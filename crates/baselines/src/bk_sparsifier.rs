@@ -1,0 +1,102 @@
+//! Offline Benczúr–Karger graph sparsification via exact edge strengths.
+//!
+//! The classical comparator for the paper's Section 5: sample edge `e` with
+//! probability `p_e = min(1, c·ln n / (ε² k_e))` and weight it `1/p_e`.
+//! Strengths are computed exactly (`dgs_hypergraph::algo::strength`), which
+//! is affordable at experiment scale and removes approximation slack from
+//! the baseline.
+
+use rand::Rng;
+
+use dgs_hypergraph::algo::strength::edge_strengths;
+use dgs_hypergraph::{Graph, HyperEdge, WeightedHypergraph};
+
+/// Benczúr–Karger sparsifier of a simple graph. Returns the weighted
+/// subgraph; expected size is `O(n log n / ε²)`.
+pub fn benczur_karger_sparsifier<R: Rng>(
+    g: &Graph,
+    epsilon: f64,
+    c: f64,
+    rng: &mut R,
+) -> WeightedHypergraph {
+    assert!(epsilon > 0.0 && c > 0.0);
+    let n = g.n();
+    let mut out = WeightedHypergraph::new(n);
+    if g.edge_count() == 0 {
+        return out;
+    }
+    let strengths = edge_strengths(g);
+    let ln_n = (n.max(2) as f64).ln();
+    for (u, v) in g.edges() {
+        let k_e = strengths[&(u, v)] as f64;
+        let p = (c * ln_n / (epsilon * epsilon * k_e)).min(1.0);
+        if rng.gen_bool(p) {
+            out.add(HyperEdge::pair(u, v), 1.0 / p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_hypergraph::generators::gnp;
+    use dgs_hypergraph::Hypergraph;
+    use rand::prelude::*;
+
+    #[test]
+    fn low_strength_edges_always_kept_with_unit_weight() {
+        // A tree has all strengths 1: p = 1 for reasonable (ε, c), so the
+        // sparsifier is the tree itself.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = benczur_karger_sparsifier(&g, 0.5, 1.0, &mut rng);
+        assert_eq!(w.edge_count(), 5);
+        for (_, wt) in w.iter() {
+            assert_eq!(wt, 1.0);
+        }
+    }
+
+    #[test]
+    fn expected_cut_weights_are_unbiased() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gnp(12, 0.6, &mut rng);
+        let h = Hypergraph::from_graph(&g);
+        let side: Vec<bool> = (0..12).map(|v| v < 6).collect();
+        let truth = h.cut_size(&side) as f64;
+        let trials = 200;
+        let mut total = 0.0;
+        for _ in 0..trials {
+            let w = benczur_karger_sparsifier(&g, 0.4, 0.4, &mut rng);
+            total += w.cut_weight(&side);
+        }
+        let avg = total / trials as f64;
+        assert!(
+            (avg - truth).abs() < truth * 0.15,
+            "avg cut weight {avg} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn aggressive_epsilon_sparsifies_dense_graphs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = Graph::complete(24);
+        let w = benczur_karger_sparsifier(&g, 1.0, 0.3, &mut rng);
+        assert!(
+            w.edge_count() < g.edge_count(),
+            "kept {} of {}",
+            w.edge_count(),
+            g.edge_count()
+        );
+        // Total weight stays close to m in expectation.
+        let ratio = w.total_weight() / g.edge_count() as f64;
+        assert!((0.5..1.6).contains(&ratio), "total weight ratio {ratio}");
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_sparsifier() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = benczur_karger_sparsifier(&Graph::new(5), 0.5, 1.0, &mut rng);
+        assert_eq!(w.edge_count(), 0);
+    }
+}

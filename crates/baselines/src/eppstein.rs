@@ -1,0 +1,193 @@
+//! The insert-only k-vertex-connectivity certificate of Eppstein et al.
+//!
+//! Rule (Section 1.1 of the paper): on inserting `{u, v}`, store the edge
+//! iff the *stored* graph has fewer than `k` vertex-disjoint `u`–`v` paths.
+//! For insert-only streams the stored graph is a sparse certificate: for
+//! any `|S| < k`, removal of `S` disconnects the certificate iff it
+//! disconnects the input, and `min(κ, k)` is preserved.
+//!
+//! Under deletions the rule is unsound: an edge dropped because `k`
+//! disjoint paths existed *at insertion time* is gone forever, even after
+//! the paths are deleted. [`EppsteinCertificate::process`] implements the
+//! natural-but-broken extension (deletes remove stored edges); experiment
+//! E12 measures how often it answers wrongly on churn streams where the
+//! paper's sketch stays correct.
+
+use dgs_hypergraph::algo::vertex_conn::{vertex_connectivity_bounded, vertex_connectivity_pair};
+use dgs_hypergraph::{Graph, Op, Update};
+
+/// The streaming certificate.
+#[derive(Clone, Debug)]
+pub struct EppsteinCertificate {
+    k: usize,
+    stored: Graph,
+    processed: usize,
+}
+
+impl EppsteinCertificate {
+    /// An empty certificate for parameter `k` on `n` vertices.
+    pub fn new(n: usize, k: usize) -> EppsteinCertificate {
+        assert!(k >= 1);
+        EppsteinCertificate {
+            k,
+            stored: Graph::new(n),
+            processed: 0,
+        }
+    }
+
+    /// The connectivity parameter.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Processes one stream update. Insertions follow the Eppstein rule;
+    /// deletions remove the edge if stored (the unsound extension — a
+    /// deleted edge that was never stored is silently ignored, and dropped
+    /// edges are never reconsidered).
+    pub fn process(&mut self, update: &Update) {
+        self.processed += 1;
+        let (u, v) = update.edge.as_pair();
+        match update.op {
+            Op::Insert => {
+                if self.stored.has_edge(u, v) {
+                    return; // already kept
+                }
+                let paths = vertex_connectivity_pair(&self.stored, u, v, self.k);
+                if paths < self.k {
+                    self.stored.add_edge(u, v);
+                }
+            }
+            Op::Delete => {
+                self.stored.remove_edge(u, v);
+            }
+        }
+    }
+
+    /// The current stored certificate graph.
+    pub fn certificate(&self) -> &Graph {
+        &self.stored
+    }
+
+    /// `min(κ(certificate), k)` — the quantity the certificate preserves on
+    /// insert-only streams.
+    pub fn connectivity_estimate(&self) -> usize {
+        vertex_connectivity_bounded(&self.stored, self.k)
+    }
+
+    /// Number of stored edges (the certificate's O(kn) space usage).
+    pub fn stored_edges(&self) -> usize {
+        self.stored.edge_count()
+    }
+
+    /// Bytes to store the kept edges (8 bytes per edge).
+    pub fn size_bytes(&self) -> usize {
+        self.stored.edge_count() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_hypergraph::algo::vertex_conn::vertex_connectivity;
+    use dgs_hypergraph::generators::{harary, insert_only_stream};
+    use dgs_hypergraph::{HyperEdge, Hypergraph};
+    use rand::prelude::*;
+
+    fn run_inserts(g: &Graph, k: usize, seed: u64) -> EppsteinCertificate {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = Hypergraph::from_graph(g);
+        let stream = insert_only_stream(&h, &mut rng);
+        let mut cert = EppsteinCertificate::new(g.n(), k);
+        for u in &stream.updates {
+            cert.process(u);
+        }
+        cert
+    }
+
+    #[test]
+    fn insert_only_preserves_min_kappa_k() {
+        for (kappa, n) in [(2usize, 10usize), (4, 12), (3, 9)] {
+            let g = harary(kappa, n);
+            for k in 1..=kappa + 1 {
+                let cert = run_inserts(&g, k, 42);
+                assert_eq!(
+                    cert.connectivity_estimate(),
+                    kappa.min(k),
+                    "H_{{{kappa},{n}}} with k = {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn certificate_is_sparse() {
+        // Dense input, small k: stored edges should be O(kn), not O(n^2).
+        let g = Graph::complete(20);
+        let cert = run_inserts(&g, 2, 7);
+        assert!(vertex_connectivity_bounded(cert.certificate(), 2) >= 2);
+        assert!(
+            cert.stored_edges() <= 2 * 2 * 20,
+            "stored {} edges",
+            cert.stored_edges()
+        );
+    }
+
+    #[test]
+    fn deletions_break_the_certificate() {
+        // The Section 1.1 counterexample shape: insert a dense core that
+        // makes later edges look redundant, then delete the core. The
+        // certificate loses edges it can never get back.
+        let n = 8;
+        let k = 1; // even connectivity itself breaks
+        let mut cert = EppsteinCertificate::new(n, k);
+        // Phase 1: a star at 0 connects everyone.
+        for v in 1..n as u32 {
+            cert.process(&Update::insert(HyperEdge::pair(0, v)));
+        }
+        // Phase 2: a path 1-2-...-7 — every edge dropped (endpoints already
+        // connected through vertex 0).
+        for v in 1..(n - 1) as u32 {
+            cert.process(&Update::insert(HyperEdge::pair(v, v + 1)));
+        }
+        // Phase 3: delete the star.
+        for v in 1..n as u32 {
+            cert.process(&Update::delete(HyperEdge::pair(0, v)));
+        }
+        // True final graph: the path (connected, ignoring vertex 0). The
+        // certificate kept nothing of it.
+        assert_eq!(
+            cert.stored_edges(),
+            0,
+            "certificate should have discarded the path edges for good"
+        );
+        assert_eq!(cert.connectivity_estimate(), 0);
+        // Ground truth: path on vertices 1..8 is connected with κ >= 1 on
+        // its own vertex set.
+        let mut truth = Graph::new(n);
+        for v in 1..(n - 1) as u32 {
+            truth.add_edge(v, v + 1);
+        }
+        assert!(vertex_connectivity(&truth) == 0 /* vertex 0 isolated */);
+    }
+
+    #[test]
+    fn already_stored_insert_is_idempotent() {
+        let mut cert = EppsteinCertificate::new(4, 2);
+        let e = Update::insert(HyperEdge::pair(0, 1));
+        cert.process(&e);
+        cert.process(&e);
+        assert_eq!(cert.stored_edges(), 1);
+    }
+
+    #[test]
+    fn delete_of_dropped_edge_is_ignored() {
+        let mut cert = EppsteinCertificate::new(5, 1);
+        // Triangle: third edge dropped under k = 1.
+        cert.process(&Update::insert(HyperEdge::pair(0, 1)));
+        cert.process(&Update::insert(HyperEdge::pair(1, 2)));
+        cert.process(&Update::insert(HyperEdge::pair(0, 2)));
+        assert_eq!(cert.stored_edges(), 2);
+        cert.process(&Update::delete(HyperEdge::pair(0, 2)));
+        assert_eq!(cert.stored_edges(), 2, "dropped edge deletion must be a no-op");
+    }
+}

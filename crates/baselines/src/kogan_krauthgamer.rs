@@ -1,0 +1,111 @@
+//! Strength-sampled hypergraph sparsification in the style of Kogan &
+//! Krauthgamer \[23\] — the prior (insert-only) hypergraph sparsification
+//! work that Section 5 extends to dynamic streams.
+//!
+//! Offline form: sample hyperedge `e` with probability
+//! `p_e = min(1, c·(log n + r)/(ε²·k_e))` and weight it `1/p_e`, where
+//! `k_e` is the exact hyperedge strength (the `r`-dependence comes from the
+//! Kogan–Krauthgamer hypergraph cut-counting bound, the same ingredient the
+//! paper's Lemma 18 uses). This is the hypergraph comparator for the
+//! sparsifier experiments; it cannot run on dynamic streams (strengths are
+//! not sketchable directly), which is exactly the gap Theorem 20 closes.
+
+use rand::Rng;
+
+use dgs_hypergraph::algo::strength::hyper_edge_strengths;
+use dgs_hypergraph::{Hypergraph, WeightedHypergraph};
+
+/// Offline strength-sampled hypergraph sparsifier.
+pub fn kogan_krauthgamer_sparsifier<R: Rng>(
+    h: &Hypergraph,
+    epsilon: f64,
+    c: f64,
+    rng: &mut R,
+) -> WeightedHypergraph {
+    assert!(epsilon > 0.0 && c > 0.0);
+    let n = h.n();
+    let r = h.max_rank().max(2) as f64;
+    let mut out = WeightedHypergraph::new(n);
+    if h.edge_count() == 0 {
+        return out;
+    }
+    let strengths = hyper_edge_strengths(h);
+    let log_n = (n.max(2) as f64).log2();
+    for (i, e) in h.edges().iter().enumerate() {
+        let k_e = strengths[i].max(1) as f64;
+        let p = (c * (log_n + r) / (epsilon * epsilon * k_e)).min(1.0);
+        if rng.gen_bool(p) {
+            out.add(e.clone(), 1.0 / p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_hypergraph::generators::{planted_hyper_cut, random_uniform_hypergraph};
+    use rand::prelude::*;
+
+    #[test]
+    fn weak_edges_kept_with_unit_weight() {
+        // A hyperedge chain has all strengths 1: everything kept at p = 1.
+        let h = Hypergraph::from_edges(
+            7,
+            (0..3).map(|i| {
+                dgs_hypergraph::HyperEdge::new(vec![2 * i, 2 * i + 1, 2 * i + 2]).unwrap()
+            }),
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = kogan_krauthgamer_sparsifier(&h, 0.5, 1.0, &mut rng);
+        assert_eq!(w.edge_count(), 3);
+        for (_, wt) in w.iter() {
+            assert_eq!(wt, 1.0);
+        }
+    }
+
+    #[test]
+    fn cut_weights_unbiased_in_expectation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let h = random_uniform_hypergraph(10, 3, 45, &mut rng);
+        let side: Vec<bool> = (0..10).map(|v| v < 5).collect();
+        let truth = h.cut_size(&side) as f64;
+        let trials = 150;
+        let mut total = 0.0;
+        for _ in 0..trials {
+            let w = kogan_krauthgamer_sparsifier(&h, 1.0, 0.2, &mut rng);
+            total += w.cut_weight(&side);
+        }
+        let avg = total / trials as f64;
+        assert!(
+            (avg - truth).abs() < truth * 0.2,
+            "avg cut weight {avg} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn planted_cut_preserved_exactly() {
+        // Crossing hyperedges of a small planted cut are weak (strength <=
+        // t), so they are kept with probability 1 at reasonable parameters.
+        let mut rng = StdRng::seed_from_u64(3);
+        let (h, side) = planted_hyper_cut(6, 6, 3, 14, 2, &mut rng);
+        let w = kogan_krauthgamer_sparsifier(&h, 0.8, 0.5, &mut rng);
+        assert_eq!(w.cut_weight(&side), 2.0);
+    }
+
+    #[test]
+    fn dense_hypergraphs_shrink() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let h = random_uniform_hypergraph(9, 3, 70, &mut rng);
+        let mut kept = 0usize;
+        for _ in 0..10 {
+            kept += kogan_krauthgamer_sparsifier(&h, 1.5, 0.2, &mut rng).edge_count();
+        }
+        assert!(
+            kept / 10 < h.edge_count(),
+            "no shrinkage: {} of {}",
+            kept / 10,
+            h.edge_count()
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! The paper's Section 5 sparsification algorithm run **offline** with
+//! exact `light_k` — no sketches anywhere.
+//!
+//! This isolates the two error sources of Theorem 20: the algorithmic
+//! sampling error (present here) versus sketch-recovery error (absent
+//! here). Experiment E8 reports both variants side by side; at matched
+//! `(k, ℓ)` the sketch version should track this baseline closely, and it
+//! also scales to larger inputs than the in-memory sketches.
+
+use rand::Rng;
+
+use dgs_hypergraph::algo::strength::light_k_exact;
+use dgs_hypergraph::{Hypergraph, WeightedHypergraph};
+
+/// Runs `G_0 = G`, `G_{i+1} = half-sample(G_i)`,
+/// `F_i = light_k(G_i \ (F_0 ∪ … ∪ F_{i-1}))`, returning `Σ 2^i·F_i`.
+///
+/// `max_levels` caps the recursion; the loop stops early when a level is
+/// fully consumed (all deeper levels are then empty, as in the sketch
+/// version).
+pub fn offline_light_sparsifier<R: Rng>(
+    h: &Hypergraph,
+    k: usize,
+    max_levels: usize,
+    rng: &mut R,
+) -> WeightedHypergraph {
+    assert!(k >= 1 && max_levels >= 1);
+    let n = h.n();
+    let mut out = WeightedHypergraph::new(n);
+    // Level membership: edge index -> deepest level it survives to.
+    let mut depth = vec![0usize; h.edge_count()];
+    for d in depth.iter_mut() {
+        let mut lvl = 0;
+        while lvl + 1 < max_levels && rng.gen_bool(0.5) {
+            lvl += 1;
+        }
+        *d = lvl;
+    }
+    let mut consumed = vec![false; h.edge_count()];
+    for i in 0..max_levels {
+        // H_i = {e : depth >= i, not yet consumed}.
+        let alive: Vec<usize> = (0..h.edge_count())
+            .filter(|&e| depth[e] >= i && !consumed[e])
+            .collect();
+        if alive.is_empty() {
+            break;
+        }
+        let current = Hypergraph::from_edges(n, alive.iter().map(|&e| h.edges()[e].clone()));
+        let (light_local, _) = light_k_exact(&current, k);
+        let weight = (1u64 << i.min(62)) as f64;
+        for local in &light_local {
+            let orig = alive[*local];
+            consumed[orig] = true;
+            out.add(h.edges()[orig].clone(), weight);
+        }
+        if light_local.len() == alive.len() {
+            break; // level fully consumed => all deeper levels empty
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_hypergraph::generators::{gnp, random_uniform_hypergraph};
+    use dgs_hypergraph::Graph;
+    use rand::prelude::*;
+
+    fn max_cut_error(h: &Hypergraph, w: &WeightedHypergraph) -> f64 {
+        let n = h.n();
+        assert!(n <= 14);
+        let mut worst: f64 = 0.0;
+        for mask in 1u32..(1 << (n - 1)) {
+            let side: Vec<bool> = (0..n).map(|v| v > 0 && mask >> (v - 1) & 1 == 1).collect();
+            let truth = h.cut_size(&side) as f64;
+            if truth == 0.0 {
+                assert_eq!(w.cut_weight(&side), 0.0);
+                continue;
+            }
+            worst = worst.max((w.cut_weight(&side) - truth).abs() / truth);
+        }
+        worst
+    }
+
+    #[test]
+    fn sparse_input_reproduced_exactly() {
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]);
+        let h = Hypergraph::from_graph(&g);
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = offline_light_sparsifier(&h, 2, 10, &mut rng);
+        assert_eq!(w.edge_count(), 6);
+        assert_eq!(max_cut_error(&h, &w), 0.0);
+    }
+
+    #[test]
+    fn error_decreases_with_k() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gnp(12, 0.8, &mut rng);
+        let h = Hypergraph::from_graph(&g);
+        // Average worst-case error over trials, for two k values.
+        let mut errs = Vec::new();
+        for k in [3usize, 11] {
+            let mut total = 0.0;
+            for _ in 0..10 {
+                let w = offline_light_sparsifier(&h, k, 12, &mut rng);
+                total += max_cut_error(&h, &w);
+            }
+            errs.push(total / 10.0);
+        }
+        assert!(
+            errs[1] <= errs[0] + 1e-9,
+            "error not improving with k: {errs:?}"
+        );
+        assert_eq!(errs[1], 0.0, "k = 11 >= every λ_e must be exact");
+    }
+
+    #[test]
+    fn hypergraph_support_is_subset() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let h = random_uniform_hypergraph(12, 3, 50, &mut rng);
+        let w = offline_light_sparsifier(&h, 4, 12, &mut rng);
+        for (e, wt) in w.iter() {
+            assert!(h.has_edge(e));
+            assert!(wt >= 1.0);
+        }
+        assert!(w.edge_count() <= h.edge_count());
+    }
+
+    #[test]
+    fn total_weight_stays_in_the_multiplicative_band() {
+        // Vertex cuts sum to 2m for graphs, so the total weight inherits
+        // the sparsifier's multiplicative guarantee around m.
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = gnp(10, 0.9, &mut rng);
+        let h = Hypergraph::from_graph(&g);
+        let trials = 100;
+        let mut total = 0.0;
+        for _ in 0..trials {
+            let w = offline_light_sparsifier(&h, 5, 14, &mut rng);
+            total += w.total_weight();
+        }
+        let avg_ratio = total / trials as f64 / h.edge_count() as f64;
+        assert!(
+            (0.5..2.0).contains(&avg_ratio),
+            "mean total-weight ratio {avg_ratio}"
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Scan-first search trees (Appendix A) and the Theorem 21 reduction.
+//!
+//! Cheriyan–Kao–Thurimella certificates (unions of scan-first search
+//! trees) would be the natural route to streaming vertex connectivity, but
+//! Theorem 21 shows *any* SFST construction needs Ω(n²) space even
+//! insert-only — which is why Section 3 takes the vertex-sampling route
+//! with **arbitrary** spanning trees instead.
+//!
+//! [`scan_first_search_tree`] implements the Appendix A definition (as a
+//! forest over all components, with an explicit scan priority so tests can
+//! adversarially randomize the order). [`sfst_indexing_trial`] runs the
+//! Theorem 21 reduction: an SFST of Alice's 4n-vertex gadget plus Bob's
+//! single edge reveals an arbitrary bit of Alice's n² input — so Alice's
+//! state must carry Ω(n²) bits.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use dgs_hypergraph::{Graph, VertexId};
+
+/// Builds a scan-first search forest.
+///
+/// Vertices are scanned in `priority` order among the currently
+/// marked-but-unscanned set; when none remains, the lowest-priority
+/// unmarked vertex becomes a new root. When a vertex is scanned, edges to
+/// all *unmarked* neighbors are added and those neighbors become marked.
+pub fn scan_first_search_tree(g: &Graph, priority: &[VertexId]) -> Vec<(VertexId, VertexId)> {
+    let n = g.n();
+    assert_eq!(priority.len(), n, "priority must be a permutation of the vertices");
+    let mut marked = vec![false; n];
+    let mut scanned = vec![false; n];
+    let mut tree = Vec::new();
+    loop {
+        // Next marked-but-unscanned vertex by priority, else a new root.
+        let next = priority
+            .iter()
+            .copied()
+            .find(|&v| marked[v as usize] && !scanned[v as usize])
+            .or_else(|| priority.iter().copied().find(|&v| !marked[v as usize]));
+        let Some(x) = next else { break };
+        marked[x as usize] = true;
+        scanned[x as usize] = true;
+        // Scan x: mark all unmarked neighbors (neighbor order follows the
+        // priority permutation for full adversarial control).
+        let mut nbrs: Vec<VertexId> = g.neighbors(x).to_vec();
+        nbrs.sort_by_key(|&v| priority.iter().position(|&p| p == v).unwrap());
+        for y in nbrs {
+            if !marked[y as usize] {
+                marked[y as usize] = true;
+                tree.push((x.min(y), x.max(y)));
+            }
+        }
+    }
+    tree
+}
+
+/// One run of the Theorem 21 reduction with random input, query, and scan
+/// order. Returns `(bob_correct, alice_input_bits)`.
+///
+/// Layout: `T = 0..n`, `U = n..2n`, `V = 2n..3n`, `W = 3n..4n`; Alice adds
+/// `{t_k, u_ℓ}` and `{v_ℓ, w_k}` whenever `x_{ℓ,k} = 1`; Bob adds
+/// `{u_i, v_i}` and reads `x_{i,j}` as "`{t_j, u_i}` or `{v_i, w_j}` is a
+/// tree edge".
+pub fn sfst_indexing_trial<R: Rng>(n: usize, rng: &mut R) -> (bool, usize) {
+    assert!(n >= 2);
+    let t = |k: usize| k as VertexId;
+    let u = |l: usize| (n + l) as VertexId;
+    let v = |l: usize| (2 * n + l) as VertexId;
+    let w = |k: usize| (3 * n + k) as VertexId;
+
+    let x: Vec<Vec<bool>> = (0..n)
+        .map(|_| (0..n).map(|_| rng.gen_bool(0.5)).collect())
+        .collect();
+    let qi = rng.gen_range(0..n);
+    let qj = rng.gen_range(0..n);
+
+    let mut g = Graph::new(4 * n);
+    #[allow(clippy::needless_range_loop)] // (l, k) symmetry reads better than iterators
+    for l in 0..n {
+        for k in 0..n {
+            if x[l][k] {
+                g.add_edge(t(k), u(l));
+                g.add_edge(v(l), w(k));
+            }
+        }
+    }
+    // Bob's edge.
+    g.add_edge(u(qi), v(qi));
+
+    // Adversarially random scan order.
+    let mut priority: Vec<VertexId> = (0..4 * n as VertexId).collect();
+    priority.shuffle(rng);
+    let tree = scan_first_search_tree(&g, &priority);
+
+    let has = |a: VertexId, b: VertexId| tree.contains(&(a.min(b), a.max(b)));
+    let decoded = has(t(qj), u(qi)) || has(v(qi), w(qj));
+    (decoded == x[qi][qj], n * n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_hypergraph::algo::{component_count, is_connected};
+    use rand::prelude::*;
+
+    #[test]
+    fn sfst_is_a_spanning_forest() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let g = dgs_hypergraph::generators::gnp(15, 0.25, &mut rng);
+            let mut priority: Vec<u32> = (0..15).collect();
+            priority.shuffle(&mut rng);
+            let tree = scan_first_search_tree(&g, &priority);
+            let tg = Graph::from_edges(15, &tree);
+            assert_eq!(component_count(&tg), component_count(&g));
+            assert_eq!(tree.len(), 15 - component_count(&g));
+            for &(a, b) in &tree {
+                assert!(g.has_edge(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn sfst_scans_breadth_first_per_definition() {
+        // Star: the root scans all leaves in one step.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let priority: Vec<u32> = (0..5).collect();
+        let tree = scan_first_search_tree(&g, &priority);
+        assert_eq!(tree.len(), 4);
+        for &(a, _) in &tree {
+            assert_eq!(a, 0);
+        }
+    }
+
+    #[test]
+    fn sfst_on_connected_graph_is_a_tree() {
+        let g = Graph::complete(8);
+        let priority: Vec<u32> = (0..8).collect();
+        let tree = scan_first_search_tree(&g, &priority);
+        assert_eq!(tree.len(), 7);
+        assert!(is_connected(&Graph::from_edges(8, &tree)));
+    }
+
+    #[test]
+    fn reduction_decodes_the_planted_bit() {
+        // Theorem 21: the decode rule is correct for EVERY valid SFST; we
+        // check it over many random inputs and adversarial scan orders.
+        let mut rng = StdRng::seed_from_u64(2);
+        for trial in 0..200 {
+            let (ok, _) = sfst_indexing_trial(4, &mut rng);
+            assert!(ok, "trial {trial}: reduction decoded the wrong bit");
+        }
+    }
+
+    #[test]
+    fn reduction_scales_with_n_squared_information() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (_, bits) = sfst_indexing_trial(10, &mut rng);
+        assert_eq!(bits, 100);
+    }
+}

@@ -1,0 +1,109 @@
+//! The trivial dynamic baseline: store the live edge set exactly.
+//!
+//! Answers every query exactly in `Θ(m)` space. Its byte count anchors the
+//! space comparisons of experiments E1/E10: the paper's structures only pay
+//! off when `m` is large relative to `kn polylog n` — the regime the tables
+//! make explicit.
+
+use std::collections::BTreeSet;
+
+use dgs_hypergraph::{GraphError, HyperEdge, Hypergraph, Op, Update};
+
+/// Stores the live edges of a dynamic stream exactly.
+#[derive(Clone, Debug, Default)]
+pub struct StoreAll {
+    n: usize,
+    live: BTreeSet<HyperEdge>,
+    peak: usize,
+}
+
+impl StoreAll {
+    /// An empty store for `n` vertices.
+    pub fn new(n: usize) -> StoreAll {
+        StoreAll {
+            n,
+            live: BTreeSet::new(),
+            peak: 0,
+        }
+    }
+
+    /// Processes one update with strict multiplicity checking.
+    pub fn process(&mut self, update: &Update) -> Result<(), GraphError> {
+        match update.op {
+            Op::Insert => {
+                if !self.live.insert(update.edge.clone()) {
+                    return Err(GraphError::MultiplicityViolation(format!(
+                        "insert of present edge {:?}",
+                        update.edge
+                    )));
+                }
+            }
+            Op::Delete => {
+                if !self.live.remove(&update.edge) {
+                    return Err(GraphError::MultiplicityViolation(format!(
+                        "delete of absent edge {:?}",
+                        update.edge
+                    )));
+                }
+            }
+        }
+        self.peak = self.peak.max(self.live.len());
+        Ok(())
+    }
+
+    /// The current live hypergraph.
+    pub fn hypergraph(&self) -> Hypergraph {
+        Hypergraph::from_edges(self.n, self.live.iter().cloned())
+    }
+
+    /// Live edge count.
+    pub fn edge_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Peak live edge count over the stream so far.
+    pub fn peak_edge_count(&self) -> usize {
+        self.peak
+    }
+
+    /// Current bytes: 4 bytes per vertex id per live edge.
+    pub fn size_bytes(&self) -> usize {
+        self.live.iter().map(|e| 4 * e.cardinality()).sum()
+    }
+
+    /// Peak bytes over the stream (what an exact algorithm must provision).
+    pub fn peak_size_bytes(&self) -> usize {
+        // Conservative: peak edges at the largest cardinality seen.
+        let max_card = self.live.iter().map(|e| e.cardinality()).max().unwrap_or(2);
+        self.peak * 4 * max_card
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_live_set_and_peak() {
+        let mut s = StoreAll::new(5);
+        let e1 = HyperEdge::pair(0, 1);
+        let e2 = HyperEdge::pair(1, 2);
+        s.process(&Update::insert(e1.clone())).unwrap();
+        s.process(&Update::insert(e2.clone())).unwrap();
+        s.process(&Update::delete(e1)).unwrap();
+        assert_eq!(s.edge_count(), 1);
+        assert_eq!(s.peak_edge_count(), 2);
+        assert_eq!(s.size_bytes(), 8);
+        assert!(s.hypergraph().has_edge(&e2));
+    }
+
+    #[test]
+    fn rejects_multiplicity_violations() {
+        let mut s = StoreAll::new(3);
+        let e = HyperEdge::pair(0, 1);
+        s.process(&Update::insert(e.clone())).unwrap();
+        assert!(s.process(&Update::insert(e.clone())).is_err());
+        s.process(&Update::delete(e.clone())).unwrap();
+        assert!(s.process(&Update::delete(e)).is_err());
+    }
+}

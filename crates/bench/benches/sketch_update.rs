@@ -1,0 +1,122 @@
+//! Update-path throughput: the per-stream-element cost of every structure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgs_connectivity::SpanningForestSketch;
+use dgs_core::{HypergraphSparsifier, LightRecoverySketch, SparsifierConfig, VertexConnConfig, VertexConnSketch};
+use dgs_field::SeedTree;
+use dgs_hypergraph::generators::gnm;
+use dgs_hypergraph::{EdgeSpace, HyperEdge};
+use dgs_sketch::{L0Params, L0Sampler};
+use rand::prelude::*;
+
+fn lean() -> dgs_connectivity::ForestParams {
+    dgs_connectivity::ForestParams {
+        l0: L0Params {
+            sparsity: 4,
+            rows: 4,
+            level_independence: 8,
+        },
+        extra_rounds: 2,
+    }
+}
+
+fn bench_l0_update(c: &mut Criterion) {
+    let mut sampler = L0Sampler::new(
+        &SeedTree::new(1),
+        1 << 30,
+        L0Params {
+            sparsity: 4,
+            rows: 4,
+            level_independence: 8,
+        },
+    );
+    let mut i = 0u64;
+    c.bench_function("l0_sampler_update", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9E3779B97F4A7C15) & ((1 << 30) - 1);
+            sampler.update(std::hint::black_box(i), 1);
+        })
+    });
+}
+
+fn bench_forest_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest_sketch_update");
+    for n in [64usize, 256] {
+        let space = EdgeSpace::graph(n).unwrap();
+        let mut sk = SpanningForestSketch::new_full(space, &SeedTree::new(2), lean());
+        let mut rng = StdRng::seed_from_u64(3);
+        let edges: Vec<HyperEdge> = (0..1000)
+            .map(|_| {
+                let a = rng.gen_range(0..n as u32);
+                let mut b = rng.gen_range(0..n as u32);
+                while b == a {
+                    b = rng.gen_range(0..n as u32);
+                }
+                HyperEdge::pair(a, b)
+            })
+            .collect();
+        let mut i = 0;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                sk.update(&edges[i % edges.len()], 1);
+                i += 1;
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vc_update(c: &mut Criterion) {
+    let n = 128;
+    let space = EdgeSpace::graph(n).unwrap();
+    let mut cfg = VertexConnConfig::query(3, n, 1.0, dgs_sketch::Profile::Practical);
+    cfg.forest = lean();
+    let mut sk = VertexConnSketch::new(space, cfg, &SeedTree::new(4));
+    let g = gnm(n, 4 * n, &mut StdRng::seed_from_u64(5));
+    let edges: Vec<HyperEdge> = g.edges().map(|(u, v)| HyperEdge::pair(u, v)).collect();
+    let mut i = 0;
+    c.bench_function("vertex_conn_update_n128_k3", |b| {
+        b.iter(|| {
+            sk.update(&edges[i % edges.len()], 1);
+            i += 1;
+        })
+    });
+}
+
+fn bench_light_update(c: &mut Criterion) {
+    let n = 64;
+    let space = EdgeSpace::graph(n).unwrap();
+    let mut sk = LightRecoverySketch::new(space, 2, &SeedTree::new(6), lean());
+    let g = gnm(n, 4 * n, &mut StdRng::seed_from_u64(7));
+    let edges: Vec<HyperEdge> = g.edges().map(|(u, v)| HyperEdge::pair(u, v)).collect();
+    let mut i = 0;
+    c.bench_function("light_recovery_update_n64_k2", |b| {
+        b.iter(|| {
+            sk.update(&edges[i % edges.len()], 1);
+            i += 1;
+        })
+    });
+}
+
+fn bench_sparsifier_update(c: &mut Criterion) {
+    let n = 48;
+    let space = EdgeSpace::graph(n).unwrap();
+    let cfg = SparsifierConfig::explicit(3, 8, lean());
+    let mut sp = HypergraphSparsifier::new(space, cfg, &SeedTree::new(8));
+    let g = gnm(n, 4 * n, &mut StdRng::seed_from_u64(9));
+    let edges: Vec<HyperEdge> = g.edges().map(|(u, v)| HyperEdge::pair(u, v)).collect();
+    let mut i = 0;
+    c.bench_function("sparsifier_update_n48_k3", |b| {
+        b.iter(|| {
+            sp.update(&edges[i % edges.len()], 1);
+            i += 1;
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_l0_update, bench_forest_update, bench_vc_update, bench_light_update, bench_sparsifier_update
+}
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Experiment harness reproducing the paper's claims.
+//!
+//! The paper (PODS 2015 theory) has no tables or figures; DESIGN.md defines
+//! experiments E1–E12, one per theorem/lemma/lower bound. Each lives in
+//! [`experiments`] with a `run(quick)` entry point that prints a table; the
+//! `experiments` binary dispatches on experiment id (`all` runs everything).
+//!
+//! Support modules: [`report`] (aligned text tables), [`stats`] (means,
+//! rates), [`workloads`] (shared workload builders and lean sketch
+//! parameters sized so a full `all` run fits laptop memory).
+
+pub mod experiments;
+pub mod report;
+pub mod stats;
+pub mod workloads;

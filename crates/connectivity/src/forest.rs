@@ -1,0 +1,607 @@
+//! The spanning-forest / spanning-graph sketch (Theorems 2 and 13) and its
+//! Borůvka decoder.
+//!
+//! Structure: for each present vertex `i` and each Borůvka round `t`, an
+//! independent ℓ0-sampler of the incidence vector `a^i` (see
+//! [`crate::vector`]). All vertices share one seed *per round* — summing
+//! same-round samplers over a component `S` yields a sampler of
+//! `Σ_{i∈S} a^i`, whose support is exactly `δ(S)`. Each round therefore
+//! extracts one outgoing edge per component; fresh rounds keep the
+//! randomness independent of previously revealed edges (the Section 4.2
+//! pitfall), and `⌈log |V|⌉ + slack` rounds connect everything whp.
+//!
+//! The sketch is *vertex-based* in the paper's sense: every linear
+//! measurement is local to one vertex, which is what [`crate::player`]
+//! exploits.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dgs_field::SeedTree;
+use dgs_hypergraph::algo::UnionFind;
+use dgs_hypergraph::{EdgeSpace, HyperEdge, VertexId};
+use dgs_sketch::{L0Params, L0Sampler, Profile};
+
+use crate::vector::incidence_coefficient;
+
+/// Sizing parameters for a [`SpanningForestSketch`].
+#[derive(Clone, Copy, Debug)]
+pub struct ForestParams {
+    /// ℓ0-sampler parameters.
+    pub l0: L0Params,
+    /// Borůvka rounds beyond `ceil(log2 |V|)` to absorb decode failures.
+    pub extra_rounds: usize,
+}
+
+impl ForestParams {
+    /// Profile-derived defaults for a sketch over `dimension` edge indices.
+    pub fn new(profile: Profile, dimension: u64) -> ForestParams {
+        ForestParams {
+            l0: L0Params::for_dimension(dimension, profile),
+            extra_rounds: 2,
+        }
+    }
+}
+
+/// A linear sketch of a (hyper)graph from which a spanning graph of the
+/// subgraph induced on a fixed vertex set can be decoded.
+#[derive(Clone, Debug)]
+pub struct SpanningForestSketch {
+    space: EdgeSpace,
+    /// Present vertices, sorted ascending.
+    vertices: Vec<VertexId>,
+    /// Global vertex id -> local index (`u32::MAX` = absent).
+    vpos: Vec<u32>,
+    rounds: usize,
+    /// `rounds * |vertices|` samplers, row-major by round.
+    samplers: Vec<L0Sampler>,
+}
+
+/// The deterministic construction plan shared by the full sketch and the
+/// per-player states: round count and the per-sampler level cap for a
+/// sketch over `nv` present vertices.
+pub(crate) fn sampler_plan(space: &EdgeSpace, nv: usize, params: ForestParams) -> (usize, usize) {
+    let rounds = ceil_log2(nv.max(2)) + params.extra_rounds;
+    let level_cap = if nv >= 2 {
+        let induced_dim = EdgeSpace::new(nv.max(2), space.max_rank())
+            .map(|es| es.dimension())
+            .unwrap_or(space.dimension());
+        L0Params::levels_for_dimension(induced_dim.min(space.dimension()))
+    } else {
+        2
+    };
+    (rounds, level_cap)
+}
+
+/// Builds the per-round samplers of one vertex of a sketch over `nv`
+/// present vertices — bit-identical to the slice the full constructor
+/// would produce, so player-built states merge exactly.
+pub(crate) fn vertex_samplers_for(
+    space: &EdgeSpace,
+    nv: usize,
+    seeds: &SeedTree,
+    params: ForestParams,
+) -> Vec<L0Sampler> {
+    let (rounds, level_cap) = sampler_plan(space, nv, params);
+    (0..rounds)
+        .map(|round| {
+            L0Sampler::with_levels(
+                &seeds.child(round as u64),
+                space.dimension(),
+                params.l0,
+                Some(level_cap),
+            )
+        })
+        .collect()
+}
+
+impl SpanningForestSketch {
+    /// Sketch over all `n` vertices of the edge space.
+    pub fn new_full(space: EdgeSpace, seeds: &SeedTree, params: ForestParams) -> Self {
+        let vertices: Vec<VertexId> = (0..space.n() as VertexId).collect();
+        Self::new_induced(space, vertices, seeds, params)
+    }
+
+    /// **Ablation constructor**: every Borůvka round shares one seed — the
+    /// "reuse a single sketch" fallacy of Section 4.2 applied to rounds.
+    /// A component whose sampler fails once then re-fails identically every
+    /// round (the aggregate state never changes until it merges), so decode
+    /// errors stop being independent retries. Experiment E11 measures this;
+    /// never use it for real work.
+    pub fn new_full_shared_rounds(
+        space: EdgeSpace,
+        seeds: &SeedTree,
+        params: ForestParams,
+    ) -> Self {
+        let mut sk = Self::new_full(space, seeds, params);
+        let nv = sk.vertices.len();
+        // Overwrite every round's samplers with clones of round 0's
+        // (identical seeds and, so far, identical zero states).
+        for round in 1..sk.rounds {
+            for local in 0..nv {
+                sk.samplers[round * nv + local] = sk.samplers[local].clone();
+            }
+        }
+        sk
+    }
+
+    /// Sketch of the subgraph induced on `vertices` (used by the
+    /// vertex-connectivity structures, where each subsampled graph keeps
+    /// only ~n/k vertices). Updates must only cover edges with *all*
+    /// endpoints present.
+    pub fn new_induced(
+        space: EdgeSpace,
+        mut vertices: Vec<VertexId>,
+        seeds: &SeedTree,
+        params: ForestParams,
+    ) -> Self {
+        vertices.sort_unstable();
+        vertices.dedup();
+        assert!(
+            vertices.iter().all(|&v| (v as usize) < space.n()),
+            "vertex out of range for edge space"
+        );
+        let nv = vertices.len();
+        let mut vpos = vec![u32::MAX; space.n()];
+        for (i, &v) in vertices.iter().enumerate() {
+            vpos[v as usize] = i as u32;
+        }
+        // Induced support never exceeds the edge space on |vertices|
+        // vertices — `sampler_plan` caps sampler levels accordingly.
+        let (rounds, level_cap) = sampler_plan(&space, nv, params);
+        let mut samplers = Vec::with_capacity(rounds * nv);
+        for round in 0..rounds {
+            let round_seed = seeds.child(round as u64);
+            for _ in 0..nv {
+                samplers.push(L0Sampler::with_levels(
+                    &round_seed,
+                    space.dimension(),
+                    params.l0,
+                    Some(level_cap),
+                ));
+            }
+        }
+        SpanningForestSketch {
+            space,
+            vertices,
+            vpos,
+            rounds,
+            samplers,
+        }
+    }
+
+    /// The underlying edge space.
+    pub fn space(&self) -> &EdgeSpace {
+        &self.space
+    }
+
+    /// The present vertex set (sorted).
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// True iff `v` is in the present vertex set.
+    pub fn has_vertex(&self, v: VertexId) -> bool {
+        (v as usize) < self.vpos.len() && self.vpos[v as usize] != u32::MAX
+    }
+
+    /// Number of Borůvka rounds (independent sketch copies).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Applies a signed update for hyperedge `e` (+1 insert, -1 delete).
+    ///
+    /// # Panics
+    /// Panics if any endpoint of `e` is absent from the present vertex set —
+    /// callers filter edges for induced subgraphs.
+    pub fn update(&mut self, e: &HyperEdge, delta: i64) {
+        let idx = self.space.rank(e);
+        let nv = self.vertices.len();
+        for &v in e.vertices() {
+            let local = self.vpos[v as usize];
+            assert!(local != u32::MAX, "update touches absent vertex {v}");
+            let coeff = incidence_coefficient(e, v) * delta;
+            for round in 0..self.rounds {
+                self.samplers[round * nv + local as usize].update(idx, coeff);
+            }
+        }
+    }
+
+    /// Applies a batch of known edges with a common sign — the peeling
+    /// primitive `B(G) - Σ_j B(F_j)` of Sections 4.1–4.2.
+    pub fn apply_edges<'a>(&mut self, edges: impl IntoIterator<Item = &'a HyperEdge>, delta: i64) {
+        for e in edges {
+            self.update(e, delta);
+        }
+    }
+
+    /// Cell-wise sum with a same-seeded, same-shape sketch.
+    pub fn add_assign_sketch(&mut self, rhs: &SpanningForestSketch) {
+        assert_eq!(self.vertices, rhs.vertices, "vertex set mismatch");
+        assert_eq!(self.rounds, rhs.rounds);
+        for (a, b) in self.samplers.iter_mut().zip(&rhs.samplers) {
+            a.add_assign_sketch(b);
+        }
+    }
+
+    /// Cell-wise difference with a same-seeded, same-shape sketch.
+    pub fn sub_assign_sketch(&mut self, rhs: &SpanningForestSketch) {
+        assert_eq!(self.vertices, rhs.vertices, "vertex set mismatch");
+        assert_eq!(self.rounds, rhs.rounds);
+        for (a, b) in self.samplers.iter_mut().zip(&rhs.samplers) {
+            a.sub_assign_sketch(b);
+        }
+    }
+
+    /// Decodes a spanning graph of the sketched subgraph: Borůvka over the
+    /// per-round component samplers. Returns the kept edges; with high
+    /// probability they connect exactly the components of the sketched
+    /// subgraph.
+    pub fn decode(&self) -> Vec<HyperEdge> {
+        self.decode_with_labels().0
+    }
+
+    /// [`decode`](Self::decode) plus the final component label of every
+    /// present vertex (labels are indices into `vertices()`).
+    pub fn decode_with_labels(&self) -> (Vec<HyperEdge>, UnionFind) {
+        let nv = self.vertices.len();
+        let mut uf = UnionFind::new(nv);
+        let mut out: BTreeSet<HyperEdge> = BTreeSet::new();
+        for round in 0..self.rounds {
+            if uf.component_count() <= 1 {
+                break;
+            }
+            // Aggregate this round's samplers per component.
+            let mut agg: BTreeMap<u32, L0Sampler> = BTreeMap::new();
+            for local in 0..nv as u32 {
+                let root = uf.find(local);
+                let sampler = &self.samplers[round * nv + local as usize];
+                match agg.get_mut(&root) {
+                    Some(acc) => acc.add_assign_sketch(sampler),
+                    None => {
+                        agg.insert(root, sampler.clone());
+                    }
+                }
+            }
+            // Sample one boundary edge per component, then merge all at once
+            // (the per-round partition snapshot the analysis assumes).
+            let mut merges: Vec<HyperEdge> = Vec::new();
+            for (_root, acc) in agg {
+                if let Some((idx, _w)) = acc.sample() {
+                    let e = self.space.unrank(idx);
+                    if e.vertices().iter().all(|&v| self.has_vertex(v)) {
+                        merges.push(e);
+                    }
+                }
+            }
+            for e in merges {
+                let locals: Vec<u32> = e
+                    .vertices()
+                    .iter()
+                    .map(|&v| self.vpos[v as usize])
+                    .collect();
+                let mut merged = false;
+                for w in locals.windows(2) {
+                    merged |= uf.union(w[0], w[1]);
+                }
+                if merged {
+                    out.insert(e);
+                }
+            }
+        }
+        (out.into_iter().collect(), uf)
+    }
+
+    /// Number of connected components of the sketched subgraph (whp).
+    pub fn component_count(&self) -> usize {
+        self.decode_with_labels().1.component_count()
+    }
+
+    /// True iff the sketched subgraph is connected (whp).
+    pub fn is_connected(&self) -> bool {
+        self.component_count() <= 1
+    }
+
+    /// Total memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.samplers.iter().map(|s| s.size_bytes()).sum()
+    }
+
+    /// The largest per-vertex message in the simultaneous communication
+    /// model: all rounds' samplers for one vertex.
+    pub fn max_player_message_bytes(&self) -> usize {
+        let nv = self.vertices.len();
+        if nv == 0 {
+            return 0;
+        }
+        (0..nv)
+            .map(|local| {
+                (0..self.rounds)
+                    .map(|r| self.samplers[r * nv + local].size_bytes())
+                    .sum()
+            })
+            .max()
+            .unwrap()
+    }
+
+    /// Clones the per-round samplers of one vertex (the player model's
+    /// message content).
+    pub fn vertex_samplers(&self, v: VertexId) -> Vec<L0Sampler> {
+        let local = self.vpos[v as usize];
+        assert!(local != u32::MAX, "vertex {v} absent");
+        let nv = self.vertices.len();
+        (0..self.rounds)
+            .map(|r| self.samplers[r * nv + local as usize].clone())
+            .collect()
+    }
+
+    /// Overwrites the samplers of one vertex (the referee's assembly step).
+    pub fn set_vertex_samplers(&mut self, v: VertexId, samplers: Vec<L0Sampler>) {
+        let local = self.vpos[v as usize];
+        assert!(local != u32::MAX, "vertex {v} absent");
+        assert_eq!(samplers.len(), self.rounds);
+        let nv = self.vertices.len();
+        for (r, s) in samplers.into_iter().enumerate() {
+            self.samplers[r * nv + local as usize] = s;
+        }
+    }
+}
+
+impl dgs_field::Codec for ForestParams {
+    fn encode(&self, w: &mut dgs_field::Writer) {
+        self.l0.encode(w);
+        w.put_usize(self.extra_rounds);
+    }
+    fn decode(r: &mut dgs_field::Reader<'_>) -> Result<Self, dgs_field::CodecError> {
+        Ok(ForestParams {
+            l0: L0Params::decode(r)?,
+            extra_rounds: r.get_len(64)?,
+        })
+    }
+}
+
+impl dgs_field::Codec for SpanningForestSketch {
+    fn encode(&self, w: &mut dgs_field::Writer) {
+        w.put_usize(self.space.n());
+        w.put_usize(self.space.max_rank());
+        self.vertices.iter().map(|&v| v as u64).collect::<Vec<u64>>().encode(w);
+        w.put_usize(self.rounds);
+        self.samplers.encode(w);
+    }
+    fn decode(r: &mut dgs_field::Reader<'_>) -> Result<Self, dgs_field::CodecError> {
+        let bad = |message: String| dgs_field::CodecError { offset: 0, message };
+        let n = r.get_len(1 << 32)?;
+        let max_rank = r.get_len(64)?;
+        let space = EdgeSpace::new(n, max_rank)
+            .map_err(|e| bad(format!("invalid edge space: {e}")))?;
+        let vertices_raw: Vec<u64> = Vec::decode(r)?;
+        let vertices: Vec<VertexId> = vertices_raw.iter().map(|&v| v as VertexId).collect();
+        if vertices.windows(2).any(|w| w[0] >= w[1])
+            || vertices.iter().any(|&v| (v as usize) >= n)
+        {
+            return Err(bad("vertex list not sorted/unique/in-range".into()));
+        }
+        let rounds = r.get_len(256)?;
+        let samplers: Vec<L0Sampler> = Vec::decode(r)?;
+        if samplers.len() != rounds * vertices.len() {
+            return Err(bad(format!(
+                "sampler count {} != rounds {} x vertices {}",
+                samplers.len(),
+                rounds,
+                vertices.len()
+            )));
+        }
+        let mut vpos = vec![u32::MAX; n];
+        for (i, &v) in vertices.iter().enumerate() {
+            vpos[v as usize] = i as u32;
+        }
+        Ok(SpanningForestSketch {
+            space,
+            vertices,
+            vpos,
+            rounds,
+            samplers,
+        })
+    }
+}
+
+fn ceil_log2(x: usize) -> usize {
+    (usize::BITS - (x - 1).leading_zeros()) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_hypergraph::algo::{component_count, hyper_component_count, is_connected};
+    use dgs_hypergraph::generators::{gnp, random_uniform_hypergraph};
+    use dgs_hypergraph::{Graph, Hypergraph};
+    use rand::prelude::*;
+
+    fn graph_sketch(n: usize, label: u64) -> SpanningForestSketch {
+        let space = EdgeSpace::graph(n).unwrap();
+        let params = ForestParams::new(Profile::Practical, space.dimension());
+        SpanningForestSketch::new_full(space, &SeedTree::new(77).child(label), params)
+    }
+
+    fn load_graph(sk: &mut SpanningForestSketch, g: &Graph) {
+        for (u, v) in g.edges() {
+            sk.update(&HyperEdge::pair(u, v), 1);
+        }
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+    }
+
+    #[test]
+    fn decodes_spanning_tree_of_path() {
+        let mut sk = graph_sketch(8, 0);
+        let g = Graph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)]);
+        load_graph(&mut sk, &g);
+        let forest = sk.decode();
+        // The path is its own unique spanning tree.
+        assert_eq!(forest.len(), 7);
+        assert!(sk.is_connected());
+    }
+
+    #[test]
+    fn connectivity_verdict_matches_truth_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for trial in 0..15 {
+            let n = rng.gen_range(6..30);
+            let p = rng.gen_range(0.05..0.4);
+            let g = gnp(n, p, &mut rng);
+            let space = EdgeSpace::graph(n).unwrap();
+            let params = ForestParams::new(Profile::Practical, space.dimension());
+            let mut sk = SpanningForestSketch::new_full(
+                space,
+                &SeedTree::new(500).child(trial),
+                params,
+            );
+            load_graph(&mut sk, &g);
+            let (forest, labels) = sk.decode_with_labels();
+            assert_eq!(
+                labels.component_count(),
+                component_count(&g),
+                "trial {trial}: wrong component count"
+            );
+            // Every decoded edge is a real edge.
+            for e in &forest {
+                let (u, v) = e.as_pair();
+                assert!(g.has_edge(u, v), "trial {trial}: phantom edge {e:?}");
+            }
+            assert_eq!(sk.is_connected(), is_connected(&g), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn deletions_are_invisible() {
+        // Insert a dense graph, delete down to a sparse one: the decode must
+        // reflect only the final graph.
+        let n = 12;
+        let mut sk = graph_sketch(n, 3);
+        let dense = Graph::complete(n);
+        load_graph(&mut sk, &dense);
+        // Delete everything except a spanning star at 0.
+        for (u, v) in dense.edges() {
+            if u != 0 {
+                sk.update(&HyperEdge::pair(u, v), -1);
+            }
+        }
+        let forest = sk.decode();
+        assert_eq!(forest.len(), n - 1);
+        for e in &forest {
+            assert_eq!(e.as_pair().0, 0, "decoded non-star edge {e:?}");
+        }
+    }
+
+    #[test]
+    fn hypergraph_spanning_sketch_theorem_13() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..8 {
+            let n = rng.gen_range(8..20);
+            let m = rng.gen_range(4..20);
+            let h = random_uniform_hypergraph(n, 3, m, &mut rng);
+            let space = EdgeSpace::new(n, 3).unwrap();
+            let params = ForestParams::new(Profile::Practical, space.dimension());
+            let mut sk = SpanningForestSketch::new_full(
+                space,
+                &SeedTree::new(600).child(trial),
+                params,
+            );
+            for e in h.edges() {
+                sk.update(e, 1);
+            }
+            let (kept, labels) = sk.decode_with_labels();
+            assert_eq!(
+                labels.component_count(),
+                hyper_component_count(&h),
+                "trial {trial}"
+            );
+            for e in &kept {
+                assert!(h.has_edge(e), "trial {trial}: phantom hyperedge {e:?}");
+            }
+            // Spanning property: the kept edges alone give the same components.
+            let sub = Hypergraph::from_edges(n, kept);
+            assert_eq!(
+                hyper_component_count(&sub),
+                hyper_component_count(&h),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn induced_sketch_ignores_missing_vertices() {
+        let n = 10;
+        let space = EdgeSpace::graph(n).unwrap();
+        let params = ForestParams::new(Profile::Practical, space.dimension());
+        let present = vec![0u32, 2, 4, 6, 8];
+        let mut sk = SpanningForestSketch::new_induced(
+            space,
+            present.clone(),
+            &SeedTree::new(700),
+            params,
+        );
+        // Edges among present vertices only.
+        sk.update(&HyperEdge::pair(0, 2), 1);
+        sk.update(&HyperEdge::pair(4, 6), 1);
+        let (forest, labels) = sk.decode_with_labels();
+        assert_eq!(forest.len(), 2);
+        assert_eq!(labels.component_count(), 3); // {0,2}, {4,6}, {8}
+        assert!(sk.has_vertex(4));
+        assert!(!sk.has_vertex(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "absent vertex")]
+    fn update_with_absent_endpoint_panics() {
+        let space = EdgeSpace::graph(6).unwrap();
+        let params = ForestParams::new(Profile::Practical, space.dimension());
+        let mut sk =
+            SpanningForestSketch::new_induced(space, vec![0, 1, 2], &SeedTree::new(1), params);
+        sk.update(&HyperEdge::pair(0, 5), 1);
+    }
+
+    #[test]
+    fn sketch_subtraction_peels_a_known_forest() {
+        // Build A(G); subtract A(F) for a recovered forest F; the remainder
+        // decodes G - F (the k-skeleton construction step).
+        let n = 9;
+        let seeds = SeedTree::new(800);
+        let space = EdgeSpace::graph(n).unwrap();
+        let params = ForestParams::new(Profile::Practical, space.dimension());
+        let g = Graph::complete(n);
+        let mut total = SpanningForestSketch::new_full(space.clone(), &seeds, params);
+        load_graph(&mut total, &g);
+        let f1 = total.decode();
+        assert_eq!(f1.len(), n - 1);
+        let mut rest = total.clone();
+        rest.apply_edges(f1.iter(), -1);
+        let f2 = rest.decode();
+        assert_eq!(f2.len(), n - 1, "K_n minus a tree is still connected");
+        for e in &f2 {
+            assert!(!f1.contains(e), "edge {e:?} reused after peeling");
+        }
+    }
+
+    #[test]
+    fn empty_sketch_decodes_no_edges() {
+        let sk = graph_sketch(6, 9);
+        assert!(sk.decode().is_empty());
+        assert_eq!(sk.component_count(), 6);
+    }
+
+    #[test]
+    fn size_accounting_scales_with_n() {
+        let small = graph_sketch(8, 10);
+        let large = graph_sketch(64, 11);
+        assert!(large.size_bytes() > small.size_bytes());
+        assert!(small.max_player_message_bytes() < small.size_bytes());
+    }
+}

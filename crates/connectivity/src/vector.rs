@@ -1,0 +1,74 @@
+//! The vertex-incidence vectors of Section 4.1.
+//!
+//! For each vertex `i`, the vector `a^i ∈ Z^d` over the hyperedge space has
+//!
+//! ```text
+//!   a^i_e = |e| - 1   if i = min e and e ∈ E
+//!   a^i_e = -1        if i ∈ e \ {min e} and e ∈ E
+//!   a^i_e = 0         otherwise
+//! ```
+//!
+//! The load-bearing property (property-tested below): for any vertex set
+//! `S`, the support of `Σ_{i∈S} a^i` is **exactly** `δ(S)`, because the only
+//! sub-multisets of `{|e|-1, -1, …, -1}` summing to zero are the empty set
+//! and the whole multiset. Summing sketches of the `a^i` over a component
+//! therefore yields a sketch of its boundary — the engine of the Borůvka
+//! decoder.
+
+use dgs_hypergraph::{HyperEdge, VertexId};
+
+/// `a^i_e` for a *present* edge `e` — the update delta a linear sketch at
+/// vertex `i` applies when `e` is inserted (negated on deletion).
+/// Returns 0 if `i ∉ e`.
+#[inline]
+pub fn incidence_coefficient(e: &HyperEdge, i: VertexId) -> i64 {
+    if !e.contains(i) {
+        0
+    } else if e.min_vertex() == i {
+        e.cardinality() as i64 - 1
+    } else {
+        -1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pair_coefficients() {
+        let e = HyperEdge::pair(3, 7);
+        assert_eq!(incidence_coefficient(&e, 3), 1);
+        assert_eq!(incidence_coefficient(&e, 7), -1);
+        assert_eq!(incidence_coefficient(&e, 5), 0);
+    }
+
+    #[test]
+    fn hyperedge_coefficients_sum_to_zero() {
+        let e = HyperEdge::new(vec![2, 5, 9, 11]).unwrap();
+        let total: i64 = e.vertices().iter().map(|&v| incidence_coefficient(&e, v)).sum();
+        assert_eq!(total, 0);
+        assert_eq!(incidence_coefficient(&e, 2), 3);
+        assert_eq!(incidence_coefficient(&e, 5), -1);
+    }
+
+    proptest! {
+        /// The Section 4.1 claim: Σ_{i∈S} a^i_e is nonzero iff e crosses S.
+        #[test]
+        fn sum_support_is_exactly_the_cut(
+            raw_edge in prop::collection::btree_set(0u32..20, 2..6),
+            s_mask in 0u32..(1 << 20),
+        ) {
+            let e = HyperEdge::new(raw_edge.into_iter().collect()).unwrap();
+            let in_s = |v: u32| s_mask >> v & 1 == 1;
+            let sum: i64 = e
+                .vertices()
+                .iter()
+                .filter(|&&v| in_s(v))
+                .map(|&v| incidence_coefficient(&e, v))
+                .sum();
+            prop_assert_eq!(sum != 0, e.crosses(in_s));
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! The paper's primary contributions (Guha–McGregor–Tench, PODS 2015):
+//! linear sketches for **vertex connectivity**, **cut-degenerate graph
+//! reconstruction**, and **hypergraph sparsification** in dynamic graph
+//! streams.
+//!
+//! | Result | API |
+//! |---|---|
+//! | Thm 4 — query "does removing `S`, `\|S\| <= k`, disconnect `G`?" in `O(kn polylog)` space | [`VertexConnSketch::certificate`] → [`VertexConnCertificate::disconnects`] |
+//! | Thm 6/8, Cor 7 — distinguish `(1+ε)k`-vertex-connected from not-`k`-connected | [`VertexConnSketch`] with [`VertexConnConfig::estimator`] → [`VertexConnCertificate::vertex_connectivity`] |
+//! | Thm 13 remark — the above over hypergraphs | same APIs with `max_rank > 2` |
+//! | edge connectivity `min(λ, k)` via skeletons (the Section 1.1 substrate) | [`EdgeConnSketch`] |
+//! | Thm 15, Lemma 16 — recover `light_k(G)`; reconstruct k-cut-degenerate hypergraphs | [`LightRecoverySketch`] |
+//! | Lemma 18, Thm 19/20 — `(1+ε)` hypergraph sparsifier | [`HypergraphSparsifier`] |
+//!
+//! All structures are linear (deletions are negative insertions), built on
+//! the substrates in `dgs-sketch` and `dgs-connectivity`, and vertex-based
+//! in the simultaneous-communication sense.
+//!
+//! The `Theory`/`Practical` parameter split is explained in
+//! `dgs_sketch::params` and DESIGN.md: the paper's constants are exposed but
+//! experiments default to practical sizings whose *scaling shape* matches
+//! the theorems.
+
+pub mod edge_conn;
+pub mod reconstruct;
+pub mod sparsify;
+pub mod vertex_conn;
+
+pub use edge_conn::EdgeConnSketch;
+pub use reconstruct::{LightRecovery, LightRecoverySketch};
+pub use sparsify::{HypergraphSparsifier, SparsifierConfig, SparsifierPlayerMessage, SparsifierResult};
+pub use vertex_conn::{VertexConnCertificate, VertexConnConfig, VertexConnPlayerMessage, VertexConnSketch};

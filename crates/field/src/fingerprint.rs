@@ -1,0 +1,137 @@
+//! Polynomial fingerprints for sparse-vector verification.
+//!
+//! A one-sparse detector (see `dgs-sketch`) must distinguish a truly
+//! one-sparse update history from a collision of several nonzero
+//! coordinates. Following the standard construction (and Jowhari et al.,
+//! which the paper uses as its sampler), we keep the fingerprint
+//!
+//! ```text
+//!     F = sum_i  c_i * z^i   (mod p)
+//! ```
+//!
+//! for a uniformly random evaluation point `z`, alongside the plain sum
+//! `W = sum c_i` and the index-weighted sum `S = sum c_i * i`. If the vector
+//! is one-sparse with support `{j}` then `j = S/W` and `F = W * z^j`; if it is
+//! not one-sparse, the verification `F == W * z^(S/W)` fails unless `z` is a
+//! root of a nonzero polynomial of degree at most `d`, which happens with
+//! probability at most `d / p` — utterly negligible for `d < 2^60`.
+
+use crate::fp61::Fp;
+use crate::seed::SeedTree;
+
+/// A reusable fingerprint evaluator with a fixed random point `z`.
+#[derive(Clone, Debug)]
+pub struct Fingerprinter {
+    z: Fp,
+}
+
+impl Fingerprinter {
+    /// Draws the evaluation point from the seed tree. The point is forced
+    /// nonzero (z = 0 would collapse all fingerprints of index > 0).
+    pub fn new(seeds: &SeedTree) -> Fingerprinter {
+        let mut raw = seeds.value_at(0);
+        let mut salt = 1;
+        let mut z = Fp::new(raw);
+        while z.is_zero() || z == Fp::ONE {
+            raw = seeds.value_at(salt);
+            z = Fp::new(raw);
+            salt += 1;
+        }
+        Fingerprinter { z }
+    }
+
+    /// The contribution of an update `(index, delta)` to the fingerprint:
+    /// `delta * z^index`.
+    #[inline]
+    pub fn term(&self, index: u64, delta: i64) -> Fp {
+        Fp::from_i64(delta).mul(self.z.pow(index))
+    }
+
+    /// `weight * z^index` — the expected fingerprint of a one-sparse vector.
+    #[inline]
+    pub fn expected(&self, index: u64, weight: Fp) -> Fp {
+        weight.mul(self.z.pow(index))
+    }
+
+    /// The evaluation point (exposed for tests and persistence).
+    pub fn point(&self) -> Fp {
+        self.z
+    }
+
+    /// Rebuilds from a persisted evaluation point.
+    ///
+    /// # Panics
+    /// Panics on the degenerate points 0 and 1.
+    pub fn from_point(z: Fp) -> Fingerprinter {
+        assert!(!z.is_zero() && z != Fp::ONE, "degenerate fingerprint point");
+        Fingerprinter { z }
+    }
+
+    /// Memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Fp>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fper(label: u64) -> Fingerprinter {
+        Fingerprinter::new(&SeedTree::new(7).child(label))
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(fper(1).point(), fper(1).point());
+        assert_ne!(fper(1).point(), fper(2).point());
+    }
+
+    #[test]
+    fn one_sparse_history_verifies() {
+        let f = fper(3);
+        // Insert index 42 three times, delete once: net weight 2.
+        let acc = f.term(42, 1) + f.term(42, 1) + f.term(42, 1) + f.term(42, -1);
+        assert_eq!(acc, f.expected(42, Fp::from_i64(2)));
+    }
+
+    #[test]
+    fn cancelling_history_fingerprints_to_zero() {
+        let f = fper(4);
+        let acc = f.term(10, 5) + f.term(10, -5) + f.term(77, 2) + f.term(77, -2);
+        assert_eq!(acc, Fp::ZERO);
+    }
+
+    #[test]
+    fn collision_does_not_verify() {
+        let f = fper(5);
+        // Two live coordinates pretending to be one: S/W would give a bogus
+        // index; check against a handful of candidate indices.
+        let acc = f.term(3, 1) + f.term(9, 1);
+        for candidate in [3u64, 6, 9, 12] {
+            assert_ne!(
+                acc,
+                f.expected(candidate, Fp::from_i64(2)),
+                "candidate {candidate} wrongly verified"
+            );
+        }
+    }
+
+    #[test]
+    fn large_indices_work() {
+        let f = fper(6);
+        let idx = (1u64 << 59) + 12345;
+        let acc = f.term(idx, 7);
+        assert_eq!(acc, f.expected(idx, Fp::from_i64(7)));
+        assert_ne!(acc, f.expected(idx + 1, Fp::from_i64(7)));
+    }
+
+    #[test]
+    fn point_never_trivial() {
+        for s in 0..200 {
+            let f = Fingerprinter::new(&SeedTree::new(s));
+            assert!(!f.point().is_zero());
+            assert_ne!(f.point(), Fp::ONE);
+        }
+    }
+}

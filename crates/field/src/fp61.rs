@@ -1,0 +1,326 @@
+//! Arithmetic in the Mersenne prime field `F_p`, `p = 2^61 - 1`.
+//!
+//! The field is large enough to embed every hyperedge index we ever rank
+//! (the workspace caps the edge-space size at `2^60`, see
+//! `dgs_hypergraph::encoding`), and small enough that a product fits in
+//! `u128` with a cheap shift-and-add Mersenne reduction.
+
+/// The field modulus `2^61 - 1` (a Mersenne prime).
+pub const P: u64 = (1 << 61) - 1;
+
+/// An element of `F_p` in canonical form (`0 <= value < P`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Fp(u64);
+
+impl std::fmt::Debug for Fp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Fp({})", self.0)
+    }
+}
+
+impl std::fmt::Display for Fp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[allow(clippy::should_implement_trait)] // plain methods mirror the ops impls below
+impl Fp {
+    /// The additive identity.
+    pub const ZERO: Fp = Fp(0);
+    /// The multiplicative identity.
+    pub const ONE: Fp = Fp(1);
+
+    /// Builds a field element from an arbitrary `u64`, reducing mod `P`.
+    #[inline]
+    pub fn new(v: u64) -> Fp {
+        // Two-step Mersenne reduction: fold the top bits down, then one
+        // conditional subtraction. Handles all u64 inputs including P itself.
+        let folded = (v & P) + (v >> 61);
+        Fp(if folded >= P { folded - P } else { folded })
+    }
+
+    /// Embeds a signed integer (e.g. a stream update delta) into the field.
+    #[inline]
+    pub fn from_i64(v: i64) -> Fp {
+        if v >= 0 {
+            Fp::new(v as u64)
+        } else {
+            Fp::new((-v) as u64).neg()
+        }
+    }
+
+    /// The canonical representative in `[0, P)`.
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Interprets the element as a *small signed* integer, i.e. the unique
+    /// representative in `(-P/2, P/2]`. Sketch cells store sums of bounded
+    /// stream deltas, so decoding recovers the true integer as long as its
+    /// magnitude stays below `P/2` — which our capacity checks guarantee.
+    #[inline]
+    pub fn to_i64(self) -> i64 {
+        if self.0 > P / 2 {
+            -((P - self.0) as i64)
+        } else {
+            self.0 as i64
+        }
+    }
+
+    /// True iff this is the zero element.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Field addition.
+    #[inline]
+    pub fn add(self, rhs: Fp) -> Fp {
+        let s = self.0 + rhs.0; // < 2^62, no overflow
+        Fp(if s >= P { s - P } else { s })
+    }
+
+    /// Field subtraction.
+    #[inline]
+    pub fn sub(self, rhs: Fp) -> Fp {
+        let s = self.0.wrapping_sub(rhs.0);
+        Fp(if self.0 < rhs.0 { s.wrapping_add(P) } else { s })
+    }
+
+    /// Additive inverse.
+    #[inline]
+    pub fn neg(self) -> Fp {
+        if self.0 == 0 {
+            Fp(0)
+        } else {
+            Fp(P - self.0)
+        }
+    }
+
+    /// Field multiplication via one `u128` product and Mersenne folding.
+    #[inline]
+    pub fn mul(self, rhs: Fp) -> Fp {
+        let prod = self.0 as u128 * rhs.0 as u128;
+        let lo = (prod as u64) & P;
+        let hi = (prod >> 61) as u64; // < 2^61
+        let s = lo + hi; // <= 2P - 2
+        Fp(if s >= P { s - P } else { s })
+    }
+
+    /// Exponentiation by square-and-multiply.
+    pub fn pow(self, mut exp: u64) -> Fp {
+        let mut base = self;
+        let mut acc = Fp::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul(base);
+            }
+            base = base.mul(base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem.
+    ///
+    /// # Panics
+    /// Panics on the zero element (a programmer error in this codebase).
+    pub fn inv(self) -> Fp {
+        assert!(!self.is_zero(), "attempted to invert Fp::ZERO");
+        self.pow(P - 2)
+    }
+
+    /// `self / rhs`; panics if `rhs` is zero.
+    pub fn div(self, rhs: Fp) -> Fp {
+        self.mul(rhs.inv())
+    }
+}
+
+impl std::ops::Add for Fp {
+    type Output = Fp;
+    #[inline]
+    fn add(self, rhs: Fp) -> Fp {
+        Fp::add(self, rhs)
+    }
+}
+
+impl std::ops::Sub for Fp {
+    type Output = Fp;
+    #[inline]
+    fn sub(self, rhs: Fp) -> Fp {
+        Fp::sub(self, rhs)
+    }
+}
+
+impl std::ops::Mul for Fp {
+    type Output = Fp;
+    #[inline]
+    fn mul(self, rhs: Fp) -> Fp {
+        Fp::mul(self, rhs)
+    }
+}
+
+impl std::ops::Neg for Fp {
+    type Output = Fp;
+    #[inline]
+    fn neg(self) -> Fp {
+        Fp::neg(self)
+    }
+}
+
+impl std::ops::AddAssign for Fp {
+    #[inline]
+    fn add_assign(&mut self, rhs: Fp) {
+        *self = Fp::add(*self, rhs);
+    }
+}
+
+impl std::ops::SubAssign for Fp {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Fp) {
+        *self = Fp::sub(*self, rhs);
+    }
+}
+
+impl std::ops::MulAssign for Fp {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Fp) {
+        *self = Fp::mul(*self, rhs);
+    }
+}
+
+impl From<u64> for Fp {
+    fn from(v: u64) -> Fp {
+        Fp::new(v)
+    }
+}
+
+impl From<i64> for Fp {
+    fn from(v: i64) -> Fp {
+        Fp::from_i64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(Fp::ZERO.value(), 0);
+        assert_eq!(Fp::ONE.value(), 1);
+        assert!(Fp::ZERO.is_zero());
+        assert!(!Fp::ONE.is_zero());
+    }
+
+    #[test]
+    fn reduction_of_p_is_zero() {
+        assert_eq!(Fp::new(P), Fp::ZERO);
+        assert_eq!(Fp::new(P + 1), Fp::ONE);
+        assert_eq!(Fp::new(u64::MAX).value(), u64::MAX % P);
+    }
+
+    #[test]
+    fn signed_embedding_round_trips() {
+        for v in [-5i64, -1, 0, 1, 7, 1 << 40, -(1 << 40)] {
+            assert_eq!(Fp::from_i64(v).to_i64(), v, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn negation_and_subtraction_agree() {
+        let a = Fp::new(123_456_789);
+        let b = Fp::new(987_654_321);
+        assert_eq!(a.sub(b), a.add(b.neg()));
+        assert_eq!(b.sub(a).add(a.sub(b)), Fp::ZERO);
+    }
+
+    #[test]
+    fn small_multiplication_table() {
+        for a in 0u64..20 {
+            for b in 0u64..20 {
+                assert_eq!(Fp::new(a).mul(Fp::new(b)).value(), a * b);
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let base = Fp::new(37);
+        let mut acc = Fp::ONE;
+        for e in 0..50u64 {
+            assert_eq!(base.pow(e), acc, "exponent {e}");
+            acc = acc.mul(base);
+        }
+    }
+
+    #[test]
+    fn fermat_inverse() {
+        for v in [1u64, 2, 3, 1000, P - 1, 1 << 60] {
+            let x = Fp::new(v);
+            assert_eq!(x.mul(x.inv()), Fp::ONE, "v = {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invert Fp::ZERO")]
+    fn inverting_zero_panics() {
+        let _ = Fp::ZERO.inv();
+    }
+
+    fn arb_fp() -> impl Strategy<Value = Fp> {
+        (0..P).prop_map(Fp::new)
+    }
+
+    proptest! {
+        #[test]
+        fn add_commutes(a in arb_fp(), b in arb_fp()) {
+            prop_assert_eq!(a.add(b), b.add(a));
+        }
+
+        #[test]
+        fn mul_commutes(a in arb_fp(), b in arb_fp()) {
+            prop_assert_eq!(a.mul(b), b.mul(a));
+        }
+
+        #[test]
+        fn add_associates(a in arb_fp(), b in arb_fp(), c in arb_fp()) {
+            prop_assert_eq!(a.add(b).add(c), a.add(b.add(c)));
+        }
+
+        #[test]
+        fn mul_associates(a in arb_fp(), b in arb_fp(), c in arb_fp()) {
+            prop_assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)));
+        }
+
+        #[test]
+        fn mul_distributes(a in arb_fp(), b in arb_fp(), c in arb_fp()) {
+            prop_assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+        }
+
+        #[test]
+        fn sub_is_add_neg(a in arb_fp(), b in arb_fp()) {
+            prop_assert_eq!(a.sub(b), a.add(b.neg()));
+        }
+
+        #[test]
+        fn nonzero_inverse_round_trips(v in 1..P) {
+            let x = Fp::new(v);
+            prop_assert_eq!(x.mul(x.inv()), Fp::ONE);
+        }
+
+        #[test]
+        fn mul_matches_u128_reference(a in 0..P, b in 0..P) {
+            let expect = ((a as u128 * b as u128) % P as u128) as u64;
+            prop_assert_eq!(Fp::new(a).mul(Fp::new(b)).value(), expect);
+        }
+
+        #[test]
+        fn signed_round_trip(v in -(P as i64 / 2)..=(P as i64 / 2)) {
+            prop_assert_eq!(Fp::from_i64(v).to_i64(), v);
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! k-wise independent hash families over `F_p`.
+//!
+//! A degree-(k-1) polynomial with uniform coefficients in `F_p`, evaluated at
+//! the key, is a k-wise independent family — the classical construction used
+//! throughout the sketching literature. The sketches in this workspace use:
+//!
+//! * pairwise (k = 2) hashes to spread edge indices across recovery buckets,
+//! * higher independence (k ≈ 12, i.e. `O(log n)`) for the geometric
+//!   level-sampling inside the ℓ0-sampler, matching the analysis of Jowhari
+//!   et al. that the paper cites, and
+//! * [`UniformHash`], a convenience wrapper that maps keys to `[0, 1)` for
+//!   the paper's vertex-sampling (Section 3) and nested edge-subsampling
+//!   (Section 5) steps.
+
+use crate::fp61::{Fp, P};
+use crate::seed::SeedTree;
+
+/// A k-wise independent hash `F_p -> F_p` given by a random polynomial.
+#[derive(Clone, Debug)]
+pub struct KWiseHash {
+    /// Coefficients c_0..c_{k-1}; the hash is `sum c_i x^i` by Horner.
+    coeffs: Vec<Fp>,
+}
+
+impl KWiseHash {
+    /// Draws a hash from the k-wise independent family rooted at `seeds`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(seeds: &SeedTree, k: usize) -> KWiseHash {
+        assert!(k >= 1, "independence parameter must be >= 1");
+        let coeffs = (0..k)
+            .map(|i| {
+                // Rejection-free: value_at is uniform over u64; reduction mod P
+                // introduces bias < 2^-58, irrelevant at our failure targets.
+                Fp::new(seeds.value_at(i as u64))
+            })
+            .collect();
+        KWiseHash { coeffs }
+    }
+
+    /// Evaluates the hash at `key` (any u64; embedded into the field).
+    #[inline]
+    pub fn eval(&self, key: u64) -> Fp {
+        let x = Fp::new(key);
+        let mut acc = Fp::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc.mul(x).add(c);
+        }
+        acc
+    }
+
+    /// Hash reduced to a bucket index in `[0, buckets)`.
+    ///
+    /// Uses the multiply-shift style reduction `(h * buckets) / P` to avoid
+    /// modulo bias against small bucket counts.
+    #[inline]
+    pub fn bucket(&self, key: u64, buckets: usize) -> usize {
+        debug_assert!(buckets > 0);
+        let h = self.eval(key).value() as u128;
+        ((h * buckets as u128) / P as u128) as usize
+    }
+
+    /// The independence parameter k (number of coefficients).
+    pub fn independence(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// The coefficient vector (for persistence).
+    pub fn coefficients(&self) -> &[Fp] {
+        &self.coeffs
+    }
+
+    /// Rebuilds a hash from a persisted coefficient vector.
+    ///
+    /// # Panics
+    /// Panics on an empty vector.
+    pub fn from_coefficients(coeffs: Vec<Fp>) -> KWiseHash {
+        assert!(!coeffs.is_empty(), "hash needs at least one coefficient");
+        KWiseHash { coeffs }
+    }
+
+    /// Memory footprint in bytes (for the space accounting of experiments).
+    pub fn size_bytes(&self) -> usize {
+        self.coeffs.len() * std::mem::size_of::<Fp>()
+    }
+}
+
+/// A hash mapping keys to the unit interval `[0, 1)`, used for the paper's
+/// probability-p sampling decisions (keep vertex v in subgraph i iff
+/// `u(v) < 1/k`; keep hyperedge e in G_i iff `u(e) < 2^-i`).
+///
+/// Backed by a [`KWiseHash`]; the unit value is `eval(key) / P`.
+#[derive(Clone, Debug)]
+pub struct UniformHash {
+    inner: KWiseHash,
+}
+
+impl UniformHash {
+    /// Draws a uniform hash with independence `k`.
+    pub fn new(seeds: &SeedTree, k: usize) -> UniformHash {
+        UniformHash {
+            inner: KWiseHash::new(seeds, k),
+        }
+    }
+
+    /// The unit-interval value for `key`.
+    #[inline]
+    pub fn unit(&self, key: u64) -> f64 {
+        self.inner.eval(key).value() as f64 / P as f64
+    }
+
+    /// Bernoulli decision: true with probability `p` over the hash draw.
+    #[inline]
+    pub fn keep(&self, key: u64, p: f64) -> bool {
+        self.unit(key) < p
+    }
+
+    /// The geometric "level" of a key: the largest `i` such that
+    /// `unit(key) < 2^-i`, capped at `max_level`. Used by the ℓ0-sampler and
+    /// the sparsifier's nested subsampling chain `G_0 ⊇ G_1 ⊇ ...`.
+    #[inline]
+    pub fn level(&self, key: u64, max_level: usize) -> usize {
+        let v = self.inner.eval(key).value();
+        if v == 0 {
+            return max_level;
+        }
+        // unit < 2^-i  <=>  v < P / 2^i  (up to the negligible P vs 2^61 gap).
+        let mut lvl = 0;
+        let mut threshold = P >> 1;
+        while lvl < max_level && v < threshold {
+            lvl += 1;
+            threshold >>= 1;
+        }
+        lvl
+    }
+
+    /// Memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.inner.size_bytes()
+    }
+
+    /// The underlying polynomial hash (for persistence).
+    pub fn inner(&self) -> &KWiseHash {
+        &self.inner
+    }
+
+    /// Rebuilds from a persisted polynomial hash.
+    pub fn from_inner(inner: KWiseHash) -> UniformHash {
+        UniformHash { inner }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> SeedTree {
+        SeedTree::new(0xC0FFEE)
+    }
+
+    #[test]
+    fn deterministic_eval() {
+        let h1 = KWiseHash::new(&tree().child(1), 4);
+        let h2 = KWiseHash::new(&tree().child(1), 4);
+        for key in 0..100 {
+            assert_eq!(h1.eval(key), h2.eval(key));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_hashes() {
+        let h1 = KWiseHash::new(&tree().child(1), 4);
+        let h2 = KWiseHash::new(&tree().child(2), 4);
+        let agree = (0..1000).filter(|&k| h1.eval(k) == h2.eval(k)).count();
+        assert!(agree < 5, "{agree} agreements out of 1000");
+    }
+
+    #[test]
+    fn degree_one_is_constant() {
+        let h = KWiseHash::new(&tree().child(9), 1);
+        let v = h.eval(0);
+        for key in 1..50 {
+            assert_eq!(h.eval(key), v);
+        }
+    }
+
+    #[test]
+    fn bucket_range() {
+        let h = KWiseHash::new(&tree().child(3), 2);
+        for key in 0..10_000 {
+            let b = h.bucket(key, 17);
+            assert!(b < 17);
+        }
+    }
+
+    #[test]
+    fn buckets_roughly_uniform() {
+        let h = KWiseHash::new(&tree().child(4), 2);
+        let buckets = 8;
+        let mut counts = vec![0usize; buckets];
+        let n = 80_000;
+        for key in 0..n as u64 {
+            counts[h.bucket(key, buckets)] += 1;
+        }
+        let expect = n / buckets;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as i64 - expect as i64).unsigned_abs() < (expect / 5) as u64,
+                "bucket {i} has {c}, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn unit_values_in_range_and_roughly_uniform() {
+        let h = UniformHash::new(&tree().child(5), 2);
+        let n = 50_000;
+        let mut below_half = 0;
+        for key in 0..n as u64 {
+            let u = h.unit(key);
+            assert!((0.0..1.0).contains(&u));
+            if u < 0.5 {
+                below_half += 1;
+            }
+        }
+        let frac = below_half as f64 / n as f64;
+        assert!((0.45..0.55).contains(&frac), "frac below 1/2 = {frac}");
+    }
+
+    #[test]
+    fn keep_probability_tracks_p() {
+        let h = UniformHash::new(&tree().child(6), 2);
+        let n = 100_000;
+        for &p in &[0.1, 0.25, 0.5] {
+            let kept = (0..n as u64).filter(|&k| h.keep(k, p)).count();
+            let frac = kept as f64 / n as f64;
+            assert!((frac - p).abs() < 0.02, "p = {p}, observed {frac}");
+        }
+    }
+
+    #[test]
+    fn level_distribution_is_geometric() {
+        let h = UniformHash::new(&tree().child(7), 12);
+        let n = 200_000;
+        let max_level = 20;
+        let mut counts = vec![0usize; max_level + 1];
+        for key in 0..n as u64 {
+            counts[h.level(key, max_level)] += 1;
+        }
+        // Level >= i happens with probability 2^-i; check the first few.
+        let mut at_least = n;
+        for (i, &c) in counts.iter().enumerate().take(6) {
+            let expect = at_least / 2;
+            assert!(
+                (c as i64 - expect as i64).unsigned_abs() < (n / 40) as u64,
+                "level {i}: {c} vs ~{expect}"
+            );
+            at_least -= c;
+            // `at_least` now counts keys with level > i, expected n/2^{i+1}.
+        }
+    }
+
+    #[test]
+    fn level_is_monotone_in_threshold() {
+        let h = UniformHash::new(&tree().child(8), 4);
+        for key in 0..1000 {
+            let l5 = h.level(key, 5);
+            let l10 = h.level(key, 10);
+            assert!(l10 >= l5);
+            assert!(l5 <= 5 && l10 <= 10);
+            if l5 < 5 {
+                assert_eq!(l5, l10);
+            }
+        }
+    }
+
+    #[test]
+    fn level_consistent_with_unit() {
+        let h = UniformHash::new(&tree().child(11), 4);
+        for key in 0..2000 {
+            let lvl = h.level(key, 30);
+            let u = h.unit(key);
+            if lvl < 30 {
+                assert!(u < 1.0 / (1u64 << lvl) as f64 * 1.0000001, "key {key}");
+                assert!(u >= 1.0 / (1u64 << (lvl + 1)) as f64 * 0.9999999, "key {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn size_accounting() {
+        let h = KWiseHash::new(&tree(), 6);
+        assert_eq!(h.size_bytes(), 6 * 8);
+        assert_eq!(h.independence(), 6);
+    }
+}

@@ -1,0 +1,29 @@
+//! Prime-field arithmetic and hashing primitives for linear graph sketches.
+//!
+//! Every sketch in this workspace is a linear map over the Mersenne prime
+//! field `F_p` with `p = 2^61 - 1`. This crate owns:
+//!
+//! * [`fp61`] — constant-time-ish modular arithmetic ([`fp61::Fp`]),
+//! * [`hash`] — k-wise independent polynomial hash families used to subsample
+//!   coordinates of the (huge, implicit) edge-indexed vectors,
+//! * [`fingerprint`] — polynomial fingerprints that let a one-sparse detector
+//!   verify its candidate against the full update history,
+//! * [`seed`] — a deterministic seed-derivation tree so that a single master
+//!   seed reproduces every random choice in a sketch (this is how we simulate
+//!   the "public random bits" of the simultaneous communication model in
+//!   Becker et al., and how independent sketch bundles are kept independent).
+//!
+//! Nothing here allocates on the hot path; hash evaluation is a short Horner
+//! loop of field multiplications.
+
+pub mod codec;
+pub mod fingerprint;
+pub mod fp61;
+pub mod hash;
+pub mod seed;
+
+pub use codec::{Codec, CodecError, Reader, Writer};
+pub use fingerprint::Fingerprinter;
+pub use fp61::Fp;
+pub use hash::{KWiseHash, UniformHash};
+pub use seed::SeedTree;

@@ -1,0 +1,119 @@
+//! Connected components for graphs and hypergraphs.
+
+use super::union_find::UnionFind;
+use crate::graph::Graph;
+use crate::hypergraph::Hypergraph;
+
+/// Component label (representative vertex id) for every vertex.
+pub fn component_labels(g: &Graph) -> Vec<u32> {
+    let mut uf = UnionFind::new(g.n());
+    for (u, v) in g.edges() {
+        uf.union(u, v);
+    }
+    uf.labels()
+}
+
+/// Number of connected components (each isolated vertex is a component; the
+/// empty graph has 0).
+pub fn component_count(g: &Graph) -> usize {
+    let mut uf = UnionFind::new(g.n());
+    for (u, v) in g.edges() {
+        uf.union(u, v);
+    }
+    uf.component_count()
+}
+
+/// True iff the graph is connected (vacuously true for n <= 1).
+pub fn is_connected(g: &Graph) -> bool {
+    component_count(g) <= 1
+}
+
+/// Component labels for a hypergraph: a hyperedge merges all its vertices.
+pub fn hyper_component_labels(h: &Hypergraph) -> Vec<u32> {
+    let mut uf = UnionFind::new(h.n());
+    for e in h.edges() {
+        let vs = e.vertices();
+        for w in vs.windows(2) {
+            uf.union(w[0], w[1]);
+        }
+    }
+    uf.labels()
+}
+
+/// Number of connected components of a hypergraph.
+pub fn hyper_component_count(h: &Hypergraph) -> usize {
+    let mut uf = UnionFind::new(h.n());
+    for e in h.edges() {
+        let vs = e.vertices();
+        for w in vs.windows(2) {
+            uf.union(w[0], w[1]);
+        }
+    }
+    uf.component_count()
+}
+
+/// True iff the hypergraph is connected.
+pub fn is_hyper_connected(h: &Hypergraph) -> bool {
+    hyper_component_count(h) <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::HyperEdge;
+
+    #[test]
+    fn path_is_connected() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert!(is_connected(&g));
+        assert_eq!(component_count(&g), 1);
+    }
+
+    #[test]
+    fn isolated_vertices_count() {
+        let g = Graph::from_edges(5, &[(0, 1)]);
+        assert_eq!(component_count(&g), 4);
+        assert!(!is_connected(&g));
+        let labels = component_labels(&g);
+        assert_eq!(labels[0], labels[1]);
+        assert_ne!(labels[2], labels[3]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(is_connected(&Graph::new(0)));
+        assert!(is_connected(&Graph::new(1)));
+        assert!(!is_connected(&Graph::new(2)));
+    }
+
+    #[test]
+    fn hyperedge_merges_all_vertices() {
+        let h = Hypergraph::from_edges(5, vec![HyperEdge::new(vec![0, 1, 2, 3]).unwrap()]);
+        assert_eq!(hyper_component_count(&h), 2); // {0,1,2,3} and {4}
+        let h2 = Hypergraph::from_edges(
+            5,
+            vec![
+                HyperEdge::new(vec![0, 1, 2]).unwrap(),
+                HyperEdge::new(vec![2, 3, 4]).unwrap(),
+            ],
+        );
+        assert!(is_hyper_connected(&h2));
+    }
+
+    #[test]
+    fn hyper_labels_match_component_structure() {
+        let h = Hypergraph::from_edges(
+            6,
+            vec![
+                HyperEdge::new(vec![0, 1]).unwrap(),
+                HyperEdge::new(vec![3, 4, 5]).unwrap(),
+            ],
+        );
+        let labels = hyper_component_labels(&h);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[3], labels[4]);
+        assert_eq!(labels[4], labels[5]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[2], labels[0]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Degeneracy, k-cores, and cut-degeneracy (Definition 9).
+//!
+//! A hypergraph is *d-degenerate* if every induced subgraph has a vertex of
+//! degree at most `d`; it is *d-cut-degenerate* if every induced subgraph
+//! has a cut of size at most `d` (Definition 9 — a strictly weaker
+//! property, Lemma 10). By Lemma 16, `light_d(G) = E` exactly when no
+//! induced subgraph is (d+1)-edge-connected, so the cut-degeneracy equals
+//! the smallest `d` whose peeling consumes every edge.
+
+use super::strength::light_k_exact;
+use crate::hypergraph::Hypergraph;
+use crate::VertexId;
+
+/// The degeneracy of a hypergraph: the maximum, over the min-degree peeling
+/// order, of the degree at removal time. Removing a vertex removes all
+/// incident hyperedges. 0 for edgeless hypergraphs.
+pub fn degeneracy(h: &Hypergraph) -> usize {
+    let n = h.n();
+    let inc = h.incidence();
+    let mut alive_edge = vec![true; h.edge_count()];
+    let mut degree: Vec<usize> = (0..n).map(|v| inc[v].len()).collect();
+    let mut removed = vec![false; n];
+    let mut best = 0;
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&v| !removed[v])
+            .min_by_key(|&v| degree[v])
+            .expect("vertex remains");
+        best = best.max(degree[v]);
+        removed[v] = true;
+        for &e in &inc[v] {
+            if alive_edge[e] {
+                alive_edge[e] = false;
+                for &u in h.edges()[e].vertices() {
+                    if !removed[u as usize] {
+                        degree[u as usize] -= 1;
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+/// True iff the hypergraph is d-degenerate.
+pub fn is_d_degenerate(h: &Hypergraph, d: usize) -> bool {
+    degeneracy(h) <= d
+}
+
+/// The cut-degeneracy (Definition 9): the smallest `d` such that the exact
+/// `light_d` peeling removes every hyperedge. 0 for edgeless hypergraphs.
+///
+/// Always at most the degeneracy (Lemma 10).
+pub fn cut_degeneracy(h: &Hypergraph) -> usize {
+    if h.edge_count() == 0 {
+        return 0;
+    }
+    let cap = degeneracy(h); // Lemma 10: cut-degeneracy <= degeneracy.
+    for d in 1..=cap {
+        let (peeled, _) = light_k_exact(h, d);
+        if peeled.len() == h.edge_count() {
+            return d;
+        }
+    }
+    cap
+}
+
+/// The vertices of the k-core of a graph viewed as a hypergraph: the maximal
+/// sub-hypergraph in which every vertex has degree at least `k`.
+pub fn k_core(h: &Hypergraph, k: usize) -> Vec<VertexId> {
+    let n = h.n();
+    let inc = h.incidence();
+    let mut alive_edge = vec![true; h.edge_count()];
+    let mut degree: Vec<usize> = (0..n).map(|v| inc[v].len()).collect();
+    let mut removed = vec![false; n];
+    loop {
+        let victim = (0..n).find(|&v| !removed[v] && degree[v] < k);
+        let Some(v) = victim else { break };
+        removed[v] = true;
+        for &e in &inc[v] {
+            if alive_edge[e] {
+                alive_edge[e] = false;
+                for &u in h.edges()[e].vertices() {
+                    if !removed[u as usize] {
+                        degree[u as usize] -= 1;
+                    }
+                }
+            }
+        }
+    }
+    (0..n as VertexId).filter(|&v| !removed[v as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::HyperEdge;
+    use crate::graph::Graph;
+
+    #[test]
+    fn tree_is_1_degenerate() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (1, 3), (3, 4), (4, 5)]);
+        let h = Hypergraph::from_graph(&g);
+        assert_eq!(degeneracy(&h), 1);
+        assert!(is_d_degenerate(&h, 1));
+        assert!(!is_d_degenerate(&h, 0));
+        assert_eq!(cut_degeneracy(&h), 1);
+    }
+
+    #[test]
+    fn clique_degeneracy() {
+        let h = Hypergraph::from_graph(&Graph::complete(5));
+        assert_eq!(degeneracy(&h), 4);
+        assert_eq!(cut_degeneracy(&h), 4);
+    }
+
+    #[test]
+    fn cycle_is_2_degenerate() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let h = Hypergraph::from_graph(&g);
+        assert_eq!(degeneracy(&h), 2);
+        assert_eq!(cut_degeneracy(&h), 2);
+    }
+
+    #[test]
+    fn empty_hypergraph() {
+        let h = Hypergraph::new(4);
+        assert_eq!(degeneracy(&h), 0);
+        assert_eq!(cut_degeneracy(&h), 0);
+    }
+
+    #[test]
+    fn lemma_10_gadget_separates_the_notions() {
+        // The paper's 8-vertex example: 3-degenerate (min degree 3) but
+        // 2-cut-degenerate. Vertices: v1..v4 = 0..3, u1..u4 = 4..7.
+        let mut g = Graph::new(8);
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                if !(i == 0 && j == 3) {
+                    g.add_edge(i, j); // v_i v_j except (v1, v4)
+                    g.add_edge(i + 4, j + 4); // u_i u_j except (u1, u4)
+                }
+            }
+        }
+        g.add_edge(0, 4); // v1 u1
+        g.add_edge(3, 7); // v4 u4
+        assert_eq!(g.min_degree(), 3);
+        let h = Hypergraph::from_graph(&g);
+        assert_eq!(degeneracy(&h), 3, "gadget is not 2-degenerate");
+        assert_eq!(cut_degeneracy(&h), 2, "gadget is 2-cut-degenerate");
+    }
+
+    #[test]
+    fn hypergraph_degeneracy_counts_hyperedges() {
+        // Star of hyperedges through vertex 0.
+        let h = Hypergraph::from_edges(
+            7,
+            vec![
+                HyperEdge::new(vec![0, 1, 2]).unwrap(),
+                HyperEdge::new(vec![0, 3, 4]).unwrap(),
+                HyperEdge::new(vec![0, 5, 6]).unwrap(),
+            ],
+        );
+        // Leaves have degree 1; peeling leaves then 0.
+        assert_eq!(degeneracy(&h), 1);
+        assert_eq!(cut_degeneracy(&h), 1);
+    }
+
+    #[test]
+    fn k_core_of_clique_plus_tail() {
+        let mut g = Graph::new(7);
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                g.add_edge(u, v);
+            }
+        }
+        g.add_edge(3, 4);
+        g.add_edge(4, 5);
+        g.add_edge(5, 6);
+        let h = Hypergraph::from_graph(&g);
+        assert_eq!(k_core(&h, 3), vec![0, 1, 2, 3]);
+        assert_eq!(k_core(&h, 1).len(), 7);
+        assert!(k_core(&h, 4).is_empty());
+    }
+
+    #[test]
+    fn cut_degeneracy_never_exceeds_degeneracy() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..8 {
+            let n = rng.gen_range(4..8);
+            let mut g = Graph::new(n);
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen_bool(0.5) {
+                        g.add_edge(u, v);
+                    }
+                }
+            }
+            let h = Hypergraph::from_graph(&g);
+            assert!(cut_degeneracy(&h) <= degeneracy(&h));
+        }
+    }
+}

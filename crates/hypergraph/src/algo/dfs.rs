@@ -1,0 +1,233 @@
+//! DFS-based connectivity structure: articulation points, bridges, and
+//! biconnected components.
+//!
+//! These are the exact `k = 1` special cases of the paper's queries —
+//! an articulation point is a size-1 disconnecting set (Theorem 4 with
+//! `k = 1`), a bridge is an edge with `λ_e = 1` (the first peel of
+//! `light_1`) — and serve as fast ground truth in tests and experiments.
+
+use crate::graph::Graph;
+use crate::VertexId;
+
+/// The classic lowpoint computation, iteratively (no recursion depth
+/// limits) over all components.
+struct LowpointDfs<'a> {
+    g: &'a Graph,
+    disc: Vec<u32>,
+    low: Vec<u32>,
+    parent: Vec<u32>,
+    timer: u32,
+    articulation: Vec<bool>,
+    bridges: Vec<(VertexId, VertexId)>,
+}
+
+const UNSET: u32 = u32::MAX;
+
+impl<'a> LowpointDfs<'a> {
+    fn run(g: &'a Graph) -> LowpointDfs<'a> {
+        let n = g.n();
+        let mut s = LowpointDfs {
+            g,
+            disc: vec![UNSET; n],
+            low: vec![UNSET; n],
+            parent: vec![UNSET; n],
+            timer: 0,
+            articulation: vec![false; n],
+            bridges: Vec::new(),
+        };
+        for root in 0..n as VertexId {
+            if s.disc[root as usize] == UNSET {
+                s.dfs_from(root);
+            }
+        }
+        s
+    }
+
+    fn dfs_from(&mut self, root: VertexId) {
+        // Explicit stack of (vertex, neighbor index) frames.
+        let mut stack: Vec<(VertexId, usize)> = vec![(root, 0)];
+        self.disc[root as usize] = self.timer;
+        self.low[root as usize] = self.timer;
+        self.timer += 1;
+        let mut root_children = 0;
+
+        while let Some(&mut (v, ref mut idx)) = stack.last_mut() {
+            let neighbors = self.g.neighbors(v);
+            if *idx < neighbors.len() {
+                let u = neighbors[*idx];
+                *idx += 1;
+                if self.disc[u as usize] == UNSET {
+                    self.parent[u as usize] = v;
+                    self.disc[u as usize] = self.timer;
+                    self.low[u as usize] = self.timer;
+                    self.timer += 1;
+                    if v == root {
+                        root_children += 1;
+                    }
+                    stack.push((u, 0));
+                } else if u != self.parent[v as usize] {
+                    // Back edge (parallel edges don't exist in simple graphs;
+                    // a single parent edge is skipped once, which is correct
+                    // because simple graphs have no parallel parent edges).
+                    self.low[v as usize] = self.low[v as usize].min(self.disc[u as usize]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    self.low[p as usize] = self.low[p as usize].min(self.low[v as usize]);
+                    if self.low[v as usize] > self.disc[p as usize] {
+                        self.bridges.push((p.min(v), p.max(v)));
+                    }
+                    if p != root && self.low[v as usize] >= self.disc[p as usize] {
+                        self.articulation[p as usize] = true;
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            self.articulation[root as usize] = true;
+        }
+    }
+}
+
+/// All articulation points (cut vertices): vertices whose removal increases
+/// the number of connected components.
+pub fn articulation_points(g: &Graph) -> Vec<VertexId> {
+    let s = LowpointDfs::run(g);
+    (0..g.n() as VertexId)
+        .filter(|&v| s.articulation[v as usize])
+        .collect()
+}
+
+/// All bridges: edges whose removal increases the component count
+/// (equivalently, edges with `λ_e = 1`). Returned as `(u, v)` with `u < v`,
+/// sorted.
+pub fn bridges(g: &Graph) -> Vec<(VertexId, VertexId)> {
+    let mut b = LowpointDfs::run(g).bridges;
+    b.sort_unstable();
+    b
+}
+
+/// True iff the connected graph remains connected after removing any one
+/// vertex (i.e. κ(G) >= 2), vacuously false if already disconnected.
+pub fn is_biconnected(g: &Graph) -> bool {
+    if g.n() <= 2 {
+        return g.n() == 2 && g.has_edge(0, 1);
+    }
+    super::components::is_connected(g) && articulation_points(g).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::strength::lambda_e;
+    use crate::algo::vertex_conn::disconnects;
+    use crate::generators::{gnp, grid, harary, random_tree};
+    use crate::hypergraph::Hypergraph;
+    use rand::prelude::*;
+
+    #[test]
+    fn path_internals_are_articulation_points() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(articulation_points(&g), vec![1, 2, 3]);
+        assert_eq!(bridges(&g).len(), 4);
+        assert!(!is_biconnected(&g));
+    }
+
+    #[test]
+    fn cycle_has_none() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert!(articulation_points(&g).is_empty());
+        assert!(bridges(&g).is_empty());
+        assert!(is_biconnected(&g));
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_vertex() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+        assert_eq!(articulation_points(&g), vec![2]);
+        assert!(bridges(&g).is_empty());
+    }
+
+    #[test]
+    fn every_tree_edge_is_a_bridge() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = random_tree(20, &mut rng);
+        assert_eq!(bridges(&g).len(), 19);
+    }
+
+    #[test]
+    fn harary_graphs_are_biconnected() {
+        for k in 2..5 {
+            assert!(is_biconnected(&harary(k, 11)), "H_{{{k},11}}");
+        }
+        assert!(!is_biconnected(&harary(1, 11)));
+    }
+
+    #[test]
+    fn matches_removal_ground_truth_on_random_graphs() {
+        use crate::algo::components::component_count;
+        let mut rng = StdRng::seed_from_u64(2);
+        for trial in 0..20 {
+            let n = rng.gen_range(4..12);
+            let g = gnp(n, rng.gen_range(0.2..0.6), &mut rng);
+            let aps: std::collections::BTreeSet<u32> =
+                articulation_points(&g).into_iter().collect();
+            let base = component_count(&g);
+            for v in 0..n as u32 {
+                // Articulation = removal increases the component count
+                // (discounting the removed vertex itself, which becomes
+                // isolated in `filter_vertices`).
+                let mut keep = vec![true; n];
+                keep[v as usize] = false;
+                let after = component_count(&g.filter_vertices(&keep)) - 1;
+                assert_eq!(
+                    aps.contains(&v),
+                    after > base,
+                    "trial {trial} vertex {v}"
+                );
+            }
+            // On connected graphs the Theorem 4 single-vertex query agrees.
+            if base == 1 {
+                for v in 0..n as u32 {
+                    assert_eq!(aps.contains(&v), disconnects(&g, &[v]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bridges_are_exactly_lambda_1_edges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for trial in 0..10 {
+            let n = rng.gen_range(4..10);
+            let g = gnp(n, 0.4, &mut rng);
+            let h = Hypergraph::from_graph(&g);
+            let bs: std::collections::BTreeSet<(u32, u32)> = bridges(&g).into_iter().collect();
+            for (idx, e) in h.edges().iter().enumerate() {
+                let is_bridge = bs.contains(&e.as_pair());
+                assert_eq!(
+                    is_bridge,
+                    lambda_e(&h, idx, 2) == 1,
+                    "trial {trial} edge {e:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_is_biconnected() {
+        assert!(is_biconnected(&grid(4, 4)));
+        assert!(bridges(&grid(4, 4)).is_empty());
+    }
+
+    #[test]
+    fn tiny_cases() {
+        assert!(!is_biconnected(&Graph::new(0)));
+        assert!(!is_biconnected(&Graph::new(1)));
+        assert!(!is_biconnected(&Graph::new(2)));
+        assert!(is_biconnected(&Graph::complete(2)));
+        assert!(is_biconnected(&Graph::complete(3)));
+        assert!(articulation_points(&Graph::new(3)).is_empty());
+    }
+}

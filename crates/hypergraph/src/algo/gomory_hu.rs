@@ -1,0 +1,214 @@
+//! Gomory–Hu trees: all-pairs minimum cuts from `n - 1` max-flows
+//! (Gusfield's simplification — no contractions).
+//!
+//! Used as ground truth when experiments need *many* cut values at once
+//! (e.g. validating a sparsifier against every s–t min cut), and as the
+//! fast exact answer for `λ(u, v)` batch queries.
+
+use super::dinic::Dinic;
+use crate::graph::Graph;
+use crate::VertexId;
+
+/// A Gomory–Hu (cut-equivalent) tree: `parent[v]` and the min-cut value
+/// `weight[v]` of the tree edge `{v, parent[v]}` (vertex 0 is the root).
+#[derive(Clone, Debug)]
+pub struct GomoryHuTree {
+    parent: Vec<VertexId>,
+    weight: Vec<u64>,
+}
+
+impl GomoryHuTree {
+    /// Builds the tree for a weighted undirected multigraph given as an
+    /// edge list (weights accumulate). `n >= 1`.
+    pub fn build(n: usize, edges: &[(VertexId, VertexId, u64)]) -> GomoryHuTree {
+        assert!(n >= 1);
+        let mut parent = vec![0 as VertexId; n];
+        let mut weight = vec![0u64; n];
+        for i in 1..n {
+            // Max-flow between i and parent[i] on the original graph.
+            let mut d = Dinic::new(n);
+            for &(a, b, w) in edges {
+                assert_ne!(a, b, "self-loop in gomory_hu");
+                d.add_undirected(a as usize, b as usize, w);
+            }
+            let f = d.max_flow(i, parent[i] as usize, u64::MAX);
+            let side = d.min_cut_side(i); // i's side of the min cut
+            weight[i] = f;
+            let pi = parent[i];
+            for (j, p) in parent.iter_mut().enumerate().skip(i + 1) {
+                if side[j] && *p == pi {
+                    *p = i as VertexId;
+                }
+            }
+            // Gusfield relink: keep the tree cut-equivalent when i separates
+            // its parent from its grandparent.
+            let k = parent[i] as usize;
+            let gp = parent[k];
+            if (k != 0 || gp != 0) && side[gp as usize] && k != i {
+                parent[i] = gp;
+                parent[k] = i as VertexId;
+                weight[i] = weight[k];
+                weight[k] = f;
+            }
+        }
+        GomoryHuTree { parent, weight }
+    }
+
+    /// Builds for an unweighted simple graph (unit capacities).
+    pub fn build_unit(g: &Graph) -> GomoryHuTree {
+        let edges: Vec<(VertexId, VertexId, u64)> =
+            g.edges().map(|(u, v)| (u, v, 1)).collect();
+        GomoryHuTree::build(g.n(), &edges)
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// The minimum `u`–`v` cut value: the smallest tree-edge weight on the
+    /// `u`–`v` tree path. Returns 0 when `u` and `v` are tree-disconnected
+    /// only in the degenerate `n == 0` sense (the tree always spans).
+    pub fn min_cut(&self, u: VertexId, v: VertexId) -> u64 {
+        assert_ne!(u, v);
+        // Walk both vertices to the root, recording path weights.
+        let depth = |mut x: VertexId| {
+            let mut d = 0;
+            while x != 0 {
+                x = self.parent[x as usize];
+                d += 1;
+            }
+            d
+        };
+        let (mut a, mut b) = (u, v);
+        let (mut da, mut db) = (depth(a), depth(b));
+        let mut best = u64::MAX;
+        while da > db {
+            best = best.min(self.weight[a as usize]);
+            a = self.parent[a as usize];
+            da -= 1;
+        }
+        while db > da {
+            best = best.min(self.weight[b as usize]);
+            b = self.parent[b as usize];
+            db -= 1;
+        }
+        while a != b {
+            best = best.min(self.weight[a as usize]);
+            best = best.min(self.weight[b as usize]);
+            a = self.parent[a as usize];
+            b = self.parent[b as usize];
+        }
+        best
+    }
+
+    /// The global minimum cut value: the lightest tree edge (`u64::MAX`
+    /// for `n <= 1`).
+    pub fn global_min_cut(&self) -> u64 {
+        self.weight[1..].iter().copied().min().unwrap_or(u64::MAX)
+    }
+
+    /// The tree edges `(v, parent[v], weight)` for `v in 1..n`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId, u64)> + '_ {
+        (1..self.parent.len()).map(move |v| {
+            (v as VertexId, self.parent[v], self.weight[v])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::strength::local_edge_connectivity;
+    use crate::generators::{gnp, harary, planted_edge_cut};
+    use rand::prelude::*;
+
+    #[test]
+    fn path_graph_tree() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let t = GomoryHuTree::build_unit(&g);
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                assert_eq!(t.min_cut(u, v), 1, "pair ({u},{v})");
+            }
+        }
+        assert_eq!(t.global_min_cut(), 1);
+    }
+
+    #[test]
+    fn all_pairs_match_flows_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for trial in 0..15 {
+            let n = rng.gen_range(4..10);
+            let g = gnp(n, rng.gen_range(0.3..0.8), &mut rng);
+            let t = GomoryHuTree::build_unit(&g);
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    let direct = local_edge_connectivity(&g, u, v, usize::MAX) as u64;
+                    assert_eq!(
+                        t.min_cut(u, v),
+                        direct,
+                        "trial {trial}, pair ({u},{v}), edges {:?}",
+                        g.edges().collect::<Vec<_>>()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_cuts() {
+        // Heavy triangle with a light tail.
+        let edges = vec![(0u32, 1u32, 5u64), (1, 2, 5), (0, 2, 5), (2, 3, 2)];
+        let t = GomoryHuTree::build(4, &edges);
+        assert_eq!(t.min_cut(0, 1), 10);
+        assert_eq!(t.min_cut(0, 3), 2);
+        assert_eq!(t.global_min_cut(), 2);
+    }
+
+    #[test]
+    fn harary_global_cut_is_k() {
+        for k in 2..5usize {
+            let t = GomoryHuTree::build_unit(&harary(k, 12));
+            assert_eq!(t.global_min_cut(), k as u64, "H_{{{k},12}}");
+        }
+    }
+
+    #[test]
+    fn planted_cut_recovered() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (g, _) = planted_edge_cut(7, 7, 3, 1.0, &mut rng);
+        let t = GomoryHuTree::build_unit(&g);
+        assert_eq!(t.global_min_cut(), 3);
+        // Cross-side pairs have cut exactly 3.
+        assert_eq!(t.min_cut(0, 13), 3);
+        // Same-side pairs in a clique have cut >= 6.
+        assert!(t.min_cut(0, 1) >= 6);
+    }
+
+    #[test]
+    fn disconnected_graph_reports_zero_cuts() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let t = GomoryHuTree::build_unit(&g);
+        assert_eq!(t.min_cut(0, 2), 0);
+        assert_eq!(t.min_cut(0, 1), 1);
+        assert_eq!(t.global_min_cut(), 0);
+    }
+
+    #[test]
+    fn single_vertex_tree() {
+        let t = GomoryHuTree::build(1, &[]);
+        assert_eq!(t.n(), 1);
+        assert_eq!(t.global_min_cut(), u64::MAX);
+    }
+
+    #[test]
+    fn tree_edge_count() {
+        let g = Graph::complete(6);
+        let t = GomoryHuTree::build_unit(&g);
+        assert_eq!(t.edges().count(), 5);
+        for (_, _, w) in t.edges() {
+            assert_eq!(w, 5, "K6 all pairwise cuts are 5");
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Hypergraph cut machinery: local edge connectivity via flow, global
+//! minimum cuts (unweighted and weighted), and brute-force validation.
+//!
+//! The flow network for hyperedge cuts is the standard incidence gadget:
+//! every hyperedge `e` becomes an arc `e_in -> e_out` of capacity `w(e)`;
+//! every incidence `v ∈ e` becomes infinite arcs `v -> e_in` and
+//! `e_out -> v`. A `u`–`v` max flow then equals the minimum number (weight)
+//! of hyperedges whose removal separates `u` from `v`.
+//!
+//! The weighted global minimum cut uses Queyranne's symmetric submodular
+//! minimization (the hypergraph generalization of Stoer–Wagner): repeatedly
+//! build a maximum-adjacency-style ordering with key
+//! `f(W ∪ {u}) - f({u})`, take the pendant pair `(s, t)`, record the cut
+//! `({t}, rest)`, and contract. Correctness for arbitrary symmetric
+//! submodular `f` — the hypergraph cut function in particular — is
+//! Queyranne (1998); we additionally brute-force-validate it in tests.
+
+use super::components::{hyper_component_count, hyper_component_labels};
+use super::dinic::Dinic;
+use crate::hypergraph::{Hypergraph, WeightedHypergraph};
+use crate::VertexId;
+
+/// Minimum number of hyperedges separating `u` from `v`, capped at `limit`.
+/// Returns 0 when `u` and `v` are in different components.
+pub fn hyper_local_edge_connectivity(
+    h: &Hypergraph,
+    u: VertexId,
+    v: VertexId,
+    limit: usize,
+) -> usize {
+    assert_ne!(u, v);
+    let n = h.n();
+    let m = h.edge_count();
+    let inf = (m as u64) + 1;
+    let mut d = Dinic::new(n + 2 * m);
+    for (i, e) in h.edges().iter().enumerate() {
+        let e_in = n + 2 * i;
+        let e_out = n + 2 * i + 1;
+        d.add_edge(e_in, e_out, 1);
+        for &x in e.vertices() {
+            d.add_edge(x as usize, e_in, inf);
+            d.add_edge(e_out, x as usize, inf);
+        }
+    }
+    d.max_flow(u as usize, v as usize, limit as u64) as usize
+}
+
+/// Global minimum hyperedge cut: `(value, side)` with `side` one shore.
+/// Returns `None` for `n < 2`. Disconnected hypergraphs have value 0.
+pub fn hyper_min_cut(h: &Hypergraph) -> Option<(usize, Vec<bool>)> {
+    let n = h.n();
+    if n < 2 {
+        return None;
+    }
+    if hyper_component_count(h) > 1 {
+        let labels = hyper_component_labels(h);
+        let side: Vec<bool> = labels.iter().map(|&l| l == labels[0]).collect();
+        return Some((0, side));
+    }
+    // Fix v0 = 0; the global min cut separates 0 from some vertex.
+    let m = h.edge_count();
+    let inf = (m as u64) + 1;
+    let mut best = usize::MAX;
+    let mut best_side = vec![false; n];
+    for t in 1..n as VertexId {
+        let mut d = Dinic::new(n + 2 * m);
+        for (i, e) in h.edges().iter().enumerate() {
+            let e_in = n + 2 * i;
+            let e_out = n + 2 * i + 1;
+            d.add_edge(e_in, e_out, 1);
+            for &x in e.vertices() {
+                d.add_edge(x as usize, e_in, inf);
+                d.add_edge(e_out, x as usize, inf);
+            }
+        }
+        let f = d.max_flow(0, t as usize, best as u64) as usize;
+        if f < best {
+            best = f;
+            let reach = d.min_cut_side(0);
+            best_side = reach[..n].to_vec();
+        }
+    }
+    Some((best, best_side))
+}
+
+/// The hyperedge connectivity (global min cut value; 0 if disconnected).
+pub fn hyper_edge_connectivity(h: &Hypergraph) -> usize {
+    match hyper_min_cut(h) {
+        Some((v, _)) => v,
+        None => 0,
+    }
+}
+
+/// Exhaustive minimum cut for hypergraphs with `n <= 24` vertices — the
+/// validation oracle in tests.
+pub fn brute_force_min_cut(h: &Hypergraph) -> Option<(usize, Vec<bool>)> {
+    let n = h.n();
+    if n < 2 {
+        return None;
+    }
+    assert!(n <= 24, "brute force limited to n <= 24 (got {n})");
+    let mut best = usize::MAX;
+    let mut best_side = Vec::new();
+    // Fix vertex 0 on the false side to halve the enumeration.
+    for mask in 1u32..(1 << (n - 1)) {
+        let side: Vec<bool> = (0..n).map(|v| v > 0 && mask >> (v - 1) & 1 == 1).collect();
+        let c = h.cut_size(&side);
+        if c < best {
+            best = c;
+            best_side = side;
+        }
+    }
+    Some((best, best_side))
+}
+
+/// Weighted global minimum cut value of a weighted hypergraph (Queyranne).
+/// Returns `None` for `n < 2`; 0 when disconnected.
+pub fn weighted_min_cut_value(w: &WeightedHypergraph) -> Option<f64> {
+    weighted_min_cut(w).map(|(v, _)| v)
+}
+
+/// Weighted global minimum cut `(value, side)` of a weighted hypergraph.
+pub fn weighted_min_cut(w: &WeightedHypergraph) -> Option<(f64, Vec<bool>)> {
+    let n = w.n();
+    if n < 2 {
+        return None;
+    }
+    // Contracted state: edges as sorted vertex lists over active vertices.
+    let mut edges: Vec<(Vec<u32>, f64)> = w
+        .iter()
+        .map(|(e, wt)| (e.vertices().to_vec(), wt))
+        .collect();
+    let mut groups: Vec<Vec<usize>> = (0..n).map(|v| vec![v]).collect();
+    let mut active: Vec<u32> = (0..n as u32).collect();
+
+    let mut best = f64::INFINITY;
+    let mut best_group: Vec<usize> = Vec::new();
+
+    while active.len() > 1 {
+        let (s, t, cut_of_phase) = queyranne_phase(&active, &edges);
+        if cut_of_phase < best {
+            best = cut_of_phase;
+            best_group = groups[t as usize].clone();
+        }
+        // Contract t into s.
+        let t_group = std::mem::take(&mut groups[t as usize]);
+        groups[s as usize].extend(t_group);
+        let mut merged: Vec<(Vec<u32>, f64)> = Vec::with_capacity(edges.len());
+        for (mut vs, wt) in edges.drain(..) {
+            for v in vs.iter_mut() {
+                if *v == t {
+                    *v = s;
+                }
+            }
+            vs.sort_unstable();
+            vs.dedup();
+            if vs.len() >= 2 {
+                merged.push((vs, wt));
+            }
+        }
+        edges = merged;
+        active.retain(|&x| x != t);
+    }
+
+    let mut side = vec![false; n];
+    for &v in &best_group {
+        side[v] = true;
+    }
+    Some((best, side))
+}
+
+/// One Queyranne phase: returns the pendant pair `(s, t)` and
+/// `f({t})` in the current contracted hypergraph.
+fn queyranne_phase(active: &[u32], edges: &[(Vec<u32>, f64)]) -> (u32, u32, f64) {
+    let m = active.len();
+    debug_assert!(m >= 2);
+    let max_id = *active.iter().max().unwrap() as usize + 1;
+    let mut pos = vec![usize::MAX; max_id];
+    for (i, &v) in active.iter().enumerate() {
+        pos[v as usize] = i;
+    }
+
+    // Per-candidate incident edge lists.
+    let mut incident: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for (ei, (vs, _)) in edges.iter().enumerate() {
+        for &v in vs {
+            incident[pos[v as usize]].push(ei);
+        }
+    }
+    // Weighted degree f({u}).
+    let degree: Vec<f64> = (0..m)
+        .map(|i| incident[i].iter().map(|&e| edges[e].1).sum())
+        .collect();
+
+    let mut in_w = vec![false; m];
+    let mut in_w_count = vec![0usize; edges.len()]; // |e ∩ W|
+    let mut order = Vec::with_capacity(m);
+
+    // Start from the first active vertex.
+    let start = 0;
+    add_to_w(start, &mut in_w, &mut in_w_count, &incident);
+    order.push(start);
+
+    for _ in 1..m {
+        // key(u) = Δ(u) - f({u}) where
+        // Δ(u) = Σ_{e∋u} w_e ([e ⊄ W∪{u}] - [e∩W ≠ ∅]); minimize key.
+        let mut pick = usize::MAX;
+        let mut pick_key = f64::INFINITY;
+        for u in 0..m {
+            if in_w[u] {
+                continue;
+            }
+            let mut delta = 0.0;
+            for &e in &incident[u] {
+                let (vs, wt) = &edges[e];
+                let inside = in_w_count[e];
+                let not_subset = inside + 1 < vs.len();
+                let touches = inside > 0;
+                delta += wt * ((not_subset as i32 - touches as i32) as f64);
+            }
+            let key = delta - degree[u];
+            if key < pick_key {
+                pick_key = key;
+                pick = u;
+            }
+        }
+        add_to_w(pick, &mut in_w, &mut in_w_count, &incident);
+        order.push(pick);
+    }
+
+    let t = order[m - 1];
+    let s = order[m - 2];
+    (active[s], active[t], degree[t])
+}
+
+fn add_to_w(
+    u: usize,
+    in_w: &mut [bool],
+    in_w_count: &mut [usize],
+    incident: &[Vec<usize>],
+) {
+    in_w[u] = true;
+    for &e in &incident[u] {
+        in_w_count[e] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::HyperEdge;
+    use rand::prelude::*;
+
+    fn he(vs: &[u32]) -> HyperEdge {
+        HyperEdge::new(vs.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn local_connectivity_of_tight_path() {
+        // Hyperedges {0,1,2}, {2,3,4}: separating 0 from 4 needs 1 edge.
+        let h = Hypergraph::from_edges(5, vec![he(&[0, 1, 2]), he(&[2, 3, 4])]);
+        assert_eq!(hyper_local_edge_connectivity(&h, 0, 4, usize::MAX), 1);
+        // 0 and 1 share one edge only.
+        assert_eq!(hyper_local_edge_connectivity(&h, 0, 1, usize::MAX), 1);
+    }
+
+    #[test]
+    fn local_connectivity_counts_parallel_structures() {
+        // Two vertex-disjoint "paths" of hyperedges from 0 to 5.
+        let h = Hypergraph::from_edges(
+            6,
+            vec![he(&[0, 1]), he(&[1, 5]), he(&[0, 2]), he(&[2, 5]), he(&[3, 4])],
+        );
+        assert_eq!(hyper_local_edge_connectivity(&h, 0, 5, usize::MAX), 2);
+        assert_eq!(hyper_local_edge_connectivity(&h, 0, 3, usize::MAX), 0);
+    }
+
+    #[test]
+    fn local_connectivity_respects_limit() {
+        let mut edges = Vec::new();
+        for i in 1..6u32 {
+            edges.push(he(&[0, i]));
+            edges.push(he(&[i, 6]));
+        }
+        let h = Hypergraph::from_edges(7, edges);
+        assert_eq!(hyper_local_edge_connectivity(&h, 0, 6, 3), 3);
+        assert_eq!(hyper_local_edge_connectivity(&h, 0, 6, usize::MAX), 5);
+    }
+
+    #[test]
+    fn min_cut_flow_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..25 {
+            let n = rng.gen_range(3..8);
+            let m = rng.gen_range(2..10);
+            let mut edges = Vec::new();
+            for _ in 0..m {
+                let r = rng.gen_range(2..=3.min(n));
+                let mut vs: Vec<u32> = (0..n as u32).collect();
+                vs.shuffle(&mut rng);
+                vs.truncate(r);
+                edges.push(HyperEdge::new(vs).unwrap());
+            }
+            let h = Hypergraph::from_edges(n, edges);
+            let (flow_val, flow_side) = hyper_min_cut(&h).unwrap();
+            let (brute_val, _) = brute_force_min_cut(&h).unwrap();
+            assert_eq!(flow_val, brute_val, "trial {trial}");
+            assert_eq!(h.cut_size(&flow_side), flow_val, "trial {trial} side");
+            assert!(flow_side.iter().any(|&b| b) && flow_side.iter().any(|&b| !b));
+        }
+    }
+
+    #[test]
+    fn weighted_min_cut_matches_brute_force_unit_weights() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..25 {
+            let n = rng.gen_range(3..8);
+            let m = rng.gen_range(2..12);
+            let mut h = Hypergraph::new(n);
+            for _ in 0..m {
+                let r = rng.gen_range(2..=3.min(n));
+                let mut vs: Vec<u32> = (0..n as u32).collect();
+                vs.shuffle(&mut rng);
+                vs.truncate(r);
+                h.add_edge(HyperEdge::new(vs).unwrap());
+            }
+            let w = WeightedHypergraph::unit(&h);
+            let (qval, qside) = weighted_min_cut(&w).unwrap();
+            let (brute, _) = brute_force_min_cut(&h).unwrap();
+            assert!(
+                (qval - brute as f64).abs() < 1e-9,
+                "trial {trial}: queyranne {qval} vs brute {brute}"
+            );
+            assert!((w.cut_weight(&qside) - qval).abs() < 1e-9, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn weighted_min_cut_matches_weighted_brute_force() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..20 {
+            let n = rng.gen_range(3..7);
+            let m = rng.gen_range(2..10);
+            let mut w = WeightedHypergraph::new(n);
+            for _ in 0..m {
+                let r = rng.gen_range(2..=3.min(n));
+                let mut vs: Vec<u32> = (0..n as u32).collect();
+                vs.shuffle(&mut rng);
+                vs.truncate(r);
+                w.add(HyperEdge::new(vs).unwrap(), rng.gen_range(1..8) as f64 / 2.0);
+            }
+            let (qval, _) = weighted_min_cut(&w).unwrap();
+            // Weighted brute force.
+            let mut brute = f64::INFINITY;
+            for mask in 1u32..(1 << (n - 1)) {
+                let side: Vec<bool> =
+                    (0..n).map(|v| v > 0 && mask >> (v - 1) & 1 == 1).collect();
+                brute = brute.min(w.cut_weight(&side));
+            }
+            assert!(
+                (qval - brute).abs() < 1e-9,
+                "trial {trial}: queyranne {qval} vs brute {brute}"
+            );
+        }
+    }
+
+    #[test]
+    fn disconnected_has_zero_cut() {
+        let h = Hypergraph::from_edges(5, vec![he(&[0, 1]), he(&[2, 3, 4])]);
+        let (v, side) = hyper_min_cut(&h).unwrap();
+        assert_eq!(v, 0);
+        assert_eq!(h.cut_size(&side), 0);
+        let w = WeightedHypergraph::unit(&h);
+        assert_eq!(weighted_min_cut_value(&w).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert!(hyper_min_cut(&Hypergraph::new(1)).is_none());
+        assert!(weighted_min_cut(&WeightedHypergraph::new(0)).is_none());
+        let h = Hypergraph::from_edges(2, vec![he(&[0, 1])]);
+        assert_eq!(hyper_min_cut(&h).unwrap().0, 1);
+    }
+
+    #[test]
+    fn fat_hyperedge_is_one_cut() {
+        // A single hyperedge covering everything: any cut removes it.
+        let h = Hypergraph::from_edges(5, vec![he(&[0, 1, 2, 3, 4])]);
+        assert_eq!(hyper_edge_connectivity(&h), 1);
+        let w = WeightedHypergraph::unit(&h);
+        assert_eq!(weighted_min_cut_value(&w).unwrap(), 1.0);
+    }
+}

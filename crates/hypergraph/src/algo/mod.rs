@@ -1,0 +1,41 @@
+//! Exact reference algorithms.
+//!
+//! These serve three roles: (1) post-processing inside the paper's
+//! constructions (e.g. running an exact vertex-connectivity algorithm on the
+//! decoded subgraph `H` in Theorem 8), (2) ground truth for every
+//! experiment, and (3) the offline baselines that the sketch algorithms are
+//! compared against.
+
+pub mod components;
+pub mod dfs;
+pub mod degeneracy;
+pub mod dinic;
+pub mod gomory_hu;
+pub mod hyper_cut;
+pub mod spanning;
+pub mod stoer_wagner;
+pub mod strength;
+pub mod union_find;
+pub mod vertex_conn;
+
+pub use components::{
+    component_count, component_labels, hyper_component_count, hyper_component_labels,
+    is_connected, is_hyper_connected,
+};
+pub use degeneracy::{cut_degeneracy, degeneracy, is_d_degenerate, k_core};
+pub use dfs::{articulation_points, bridges, is_biconnected};
+pub use gomory_hu::GomoryHuTree;
+pub use dinic::Dinic;
+pub use hyper_cut::{
+    brute_force_min_cut, hyper_edge_connectivity, hyper_local_edge_connectivity, hyper_min_cut,
+    weighted_min_cut_value,
+};
+pub use spanning::{hyper_spanning_subgraph, spanning_forest};
+pub use stoer_wagner::stoer_wagner;
+pub use strength::{
+    edge_strengths, hyper_edge_strengths, lambda_e, light_k_exact, local_edge_connectivity,
+};
+pub use union_find::UnionFind;
+pub use vertex_conn::{
+    disconnects, vertex_connectivity, vertex_connectivity_bounded, vertex_connectivity_pair,
+};

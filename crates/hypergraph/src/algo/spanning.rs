@@ -1,0 +1,95 @@
+//! Exact spanning forests and spanning subgraphs.
+//!
+//! A *spanning graph* of a hypergraph (Section 2 of the paper) is a
+//! subgraph `H` with `|δ_H(S)| >= min(1, |δ_G(S)|)` for every `S` — i.e. a
+//! sub-hypergraph with the same connected components. These exact versions
+//! are the ground truth against which sketch-decoded forests are checked.
+
+use super::union_find::UnionFind;
+use crate::graph::Graph;
+use crate::hypergraph::Hypergraph;
+use crate::VertexId;
+
+/// An arbitrary spanning forest of a graph: one edge list per tree edge.
+pub fn spanning_forest(g: &Graph) -> Vec<(VertexId, VertexId)> {
+    let mut uf = UnionFind::new(g.n());
+    let mut forest = Vec::new();
+    for (u, v) in g.edges() {
+        if uf.union(u, v) {
+            forest.push((u, v));
+        }
+    }
+    forest
+}
+
+/// Indices of a minimal spanning sub-hypergraph: greedily keep every
+/// hyperedge that merges at least two current components. The result is a
+/// spanning graph in the paper's sense with at most `n - 1` hyperedges.
+pub fn hyper_spanning_subgraph(h: &Hypergraph) -> Vec<usize> {
+    let mut uf = UnionFind::new(h.n());
+    let mut kept = Vec::new();
+    for (i, e) in h.edges().iter().enumerate() {
+        let vs = e.vertices();
+        let merges = vs[1..].iter().any(|&v| !uf.same(vs[0], v));
+        if merges {
+            for w in vs.windows(2) {
+                uf.union(w[0], w[1]);
+            }
+            kept.push(i);
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::components::{component_count, hyper_component_count};
+    use crate::edge::HyperEdge;
+
+    #[test]
+    fn forest_of_connected_graph_has_n_minus_1_edges() {
+        let g = Graph::complete(7);
+        let f = spanning_forest(&g);
+        assert_eq!(f.len(), 6);
+        let fg = Graph::from_edges(7, &f);
+        assert_eq!(component_count(&fg), 1);
+    }
+
+    #[test]
+    fn forest_preserves_components() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let f = spanning_forest(&g);
+        let fg = Graph::from_edges(6, &f);
+        assert_eq!(component_count(&fg), component_count(&g));
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn hyper_spanning_preserves_components_with_few_edges() {
+        let h = Hypergraph::from_edges(
+            7,
+            vec![
+                HyperEdge::new(vec![0, 1, 2]).unwrap(),
+                HyperEdge::new(vec![1, 2]).unwrap(),   // redundant
+                HyperEdge::new(vec![2, 3, 4]).unwrap(),
+                HyperEdge::new(vec![0, 4]).unwrap(),   // redundant
+                HyperEdge::new(vec![5, 6]).unwrap(),
+            ],
+        );
+        let kept = hyper_spanning_subgraph(&h);
+        let sub = Hypergraph::from_edges(7, kept.iter().map(|&i| h.edges()[i].clone()));
+        assert_eq!(
+            hyper_component_count(&sub),
+            hyper_component_count(&h)
+        );
+        assert!(kept.len() <= 6);
+        assert_eq!(kept, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn empty_graph_empty_forest() {
+        assert!(spanning_forest(&Graph::new(5)).is_empty());
+        assert!(hyper_spanning_subgraph(&Hypergraph::new(5)).is_empty());
+    }
+}

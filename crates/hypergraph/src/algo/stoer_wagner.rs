@@ -1,0 +1,205 @@
+//! Stoer–Wagner global minimum cut for weighted undirected graphs.
+//!
+//! O(n^3) matrix implementation — the experiments use it on graphs with at
+//! most a few hundred vertices (ground truth, strength recursion, and
+//! sparsifier quality checks). Parallel edges are accumulated into a single
+//! weight.
+
+use crate::VertexId;
+
+/// Global minimum cut of the weighted graph on `n` vertices.
+///
+/// Returns `(cut_weight, side)` where `side[v]` is true for vertices on one
+/// shore of an optimal cut. For a disconnected graph the cut weight is 0 and
+/// the side is one connected component. Returns `None` when `n < 2` (no cut
+/// exists).
+pub fn stoer_wagner(n: usize, edges: &[(VertexId, VertexId, f64)]) -> Option<(f64, Vec<bool>)> {
+    if n < 2 {
+        return None;
+    }
+    // Accumulated weight matrix.
+    let mut w = vec![vec![0.0f64; n]; n];
+    for &(u, v, wt) in edges {
+        assert!(wt >= 0.0, "negative weight {wt}");
+        assert_ne!(u, v, "self-loop in stoer_wagner");
+        w[u as usize][v as usize] += wt;
+        w[v as usize][u as usize] += wt;
+    }
+
+    // groups[i] = original vertices merged into super-vertex i.
+    let mut groups: Vec<Vec<usize>> = (0..n).map(|v| vec![v]).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+
+    let mut best = f64::INFINITY;
+    let mut best_group: Vec<usize> = Vec::new();
+
+    while active.len() > 1 {
+        // Maximum-adjacency ordering from an arbitrary start.
+        let m = active.len();
+        let mut in_a = vec![false; m];
+        let mut weight_to_a = vec![0.0f64; m];
+        let mut order = Vec::with_capacity(m);
+        for _ in 0..m {
+            let mut pick = usize::MAX;
+            for i in 0..m {
+                if !in_a[i] && (pick == usize::MAX || weight_to_a[i] > weight_to_a[pick]) {
+                    pick = i;
+                }
+            }
+            in_a[pick] = true;
+            order.push(pick);
+            for i in 0..m {
+                if !in_a[i] {
+                    weight_to_a[i] += w[active[pick]][active[i]];
+                }
+            }
+        }
+        let t_local = order[m - 1];
+        let s_local = order[m - 2];
+        let t = active[t_local];
+        let s = active[s_local];
+
+        // Cut of the phase: ({t}, rest) in the current contracted graph.
+        let cut_of_phase = weight_to_a[t_local];
+        if cut_of_phase < best {
+            best = cut_of_phase;
+            best_group = groups[t].clone();
+        }
+
+        // Contract t into s.
+        let t_group = std::mem::take(&mut groups[t]);
+        groups[s].extend(t_group);
+        for &x in &active {
+            if x != s && x != t {
+                w[s][x] += w[t][x];
+                w[x][s] = w[s][x];
+            }
+        }
+        active.retain(|&x| x != t);
+    }
+
+    let mut side = vec![false; n];
+    for &v in &best_group {
+        side[v] = true;
+    }
+    Some((best, side))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(edges: &[(u32, u32)]) -> Vec<(u32, u32, f64)> {
+        edges.iter().map(|&(u, v)| (u, v, 1.0)).collect()
+    }
+
+    fn cut_weight(_n: usize, edges: &[(u32, u32, f64)], side: &[bool]) -> f64 {
+        edges
+            .iter()
+            .filter(|&&(u, v, _)| side[u as usize] != side[v as usize])
+            .map(|&(_, _, w)| w)
+            .sum()
+    }
+
+    fn brute_min_cut(n: usize, edges: &[(u32, u32, f64)]) -> f64 {
+        let mut best = f64::INFINITY;
+        for mask in 1..(1u32 << n) - 1 {
+            let side: Vec<bool> = (0..n).map(|v| mask >> v & 1 == 1).collect();
+            best = best.min(cut_weight(n, edges, &side));
+        }
+        best
+    }
+
+    #[test]
+    fn single_edge() {
+        let (c, side) = stoer_wagner(2, &unit(&[(0, 1)])).unwrap();
+        assert_eq!(c, 1.0);
+        assert_ne!(side[0], side[1]);
+    }
+
+    #[test]
+    fn bridge_between_triangles() {
+        let edges = unit(&[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
+        let (c, side) = stoer_wagner(6, &edges).unwrap();
+        assert_eq!(c, 1.0);
+        assert_eq!(cut_weight(6, &edges, &side), 1.0);
+        assert_eq!(side[0], side[1]);
+        assert_eq!(side[1], side[2]);
+        assert_ne!(side[2], side[3]);
+    }
+
+    #[test]
+    fn cycle_has_cut_two() {
+        let n = 8;
+        let edges: Vec<_> = (0..n as u32).map(|i| (i, (i + 1) % n as u32, 1.0)).collect();
+        let (c, _) = stoer_wagner(n, &edges).unwrap();
+        assert_eq!(c, 2.0);
+    }
+
+    #[test]
+    fn complete_graph_cut_is_n_minus_1() {
+        let n = 6;
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in u + 1..n as u32 {
+                edges.push((u, v, 1.0));
+            }
+        }
+        let (c, side) = stoer_wagner(n, &edges).unwrap();
+        assert_eq!(c, (n - 1) as f64);
+        assert_eq!(side.iter().filter(|&&b| b).count().min(n - 1), 1);
+    }
+
+    #[test]
+    fn weighted_bottleneck() {
+        let edges = vec![(0, 1, 10.0), (1, 2, 0.5), (2, 3, 10.0)];
+        let (c, side) = stoer_wagner(4, &edges).unwrap();
+        assert_eq!(c, 0.5);
+        assert_eq!(cut_weight(4, &edges, &side), 0.5);
+    }
+
+    #[test]
+    fn disconnected_graph_has_zero_cut() {
+        let (c, side) = stoer_wagner(4, &unit(&[(0, 1), (2, 3)])).unwrap();
+        assert_eq!(c, 0.0);
+        assert!(side.iter().any(|&b| b) && side.iter().any(|&b| !b));
+        assert_eq!(cut_weight(4, &unit(&[(0, 1), (2, 3)]), &side), 0.0);
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let edges = vec![(0, 1, 1.0), (0, 1, 1.0), (1, 2, 1.0)];
+        let (c, _) = stoer_wagner(3, &edges).unwrap();
+        assert_eq!(c, 1.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(17);
+        for trial in 0..30 {
+            let n = rng.gen_range(3..9);
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in u + 1..n as u32 {
+                    if rng.gen_bool(0.55) {
+                        edges.push((u, v, rng.gen_range(1..6) as f64));
+                    }
+                }
+            }
+            let (c, side) = stoer_wagner(n, &edges).unwrap();
+            let brute = brute_min_cut(n, &edges);
+            assert!(
+                (c - brute).abs() < 1e-9,
+                "trial {trial}: sw {c} vs brute {brute}"
+            );
+            assert!((cut_weight(n, &edges, &side) - brute).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn n_below_two_is_none() {
+        assert!(stoer_wagner(0, &[]).is_none());
+        assert!(stoer_wagner(1, &[]).is_none());
+    }
+}

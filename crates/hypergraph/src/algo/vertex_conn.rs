@@ -1,0 +1,236 @@
+//! Exact vertex connectivity via unit-capacity max-flow (Even–Tarjan style).
+//!
+//! These routines are the paper's "any vertex connectivity algorithm"
+//! post-processing step (Theorem 8) and the ground truth for experiments
+//! E1–E3. They also answer the Theorem 4 query "does removing the vertex
+//! set S disconnect the graph?" exactly.
+
+use super::components::component_count;
+use super::dinic::Dinic;
+use crate::graph::Graph;
+use crate::hypergraph::Hypergraph;
+use crate::VertexId;
+
+/// Maximum number of vertex-disjoint `u`–`v` paths for a **non-adjacent**
+/// pair, i.e. the minimum `u`–`v` vertex separator size (Menger), capped at
+/// `limit`.
+///
+/// Built on the standard split-vertex network: every internal vertex
+/// becomes an arc `v_in -> v_out` of capacity 1; each undirected edge
+/// becomes two infinite-capacity arcs between the corresponding out/in
+/// nodes.
+///
+/// # Panics
+/// Panics if `u == v` or `{u, v}` is an edge (no finite separator exists).
+pub fn vertex_connectivity_pair(g: &Graph, u: VertexId, v: VertexId, limit: usize) -> usize {
+    assert_ne!(u, v);
+    assert!(!g.has_edge(u, v), "vertex connectivity of adjacent pair is unbounded");
+    let n = g.n();
+    let inf = n as u64 + 1;
+    let mut d = Dinic::new(2 * n);
+    let v_in = |x: VertexId| 2 * x as usize;
+    let v_out = |x: VertexId| 2 * x as usize + 1;
+    for x in 0..n as VertexId {
+        let cap = if x == u || x == v { inf } else { 1 };
+        d.add_edge(v_in(x), v_out(x), cap);
+    }
+    for (a, b) in g.edges() {
+        d.add_edge(v_out(a), v_in(b), inf);
+        d.add_edge(v_out(b), v_in(a), inf);
+    }
+    d.max_flow(v_out(u), v_in(v), limit as u64) as usize
+}
+
+/// `min(κ(G), cap)`: the vertex connectivity of `G`, computed with early
+/// exit once every flow certifies connectivity above `cap`.
+///
+/// Conventions: `κ = n - 1` for complete graphs (including `K_1` with
+/// `κ = 0`), `κ = 0` for disconnected or empty graphs.
+pub fn vertex_connectivity_bounded(g: &Graph, cap: usize) -> usize {
+    let n = g.n();
+    if n == 0 {
+        return 0;
+    }
+    // Complete graph: no non-adjacent pair exists.
+    if g.edge_count() == n * (n - 1) / 2 {
+        return (n - 1).min(cap);
+    }
+    let mut ans = (n - 1).min(cap);
+    // Process seed vertices v_0, v_1, ... while seed index <= current answer.
+    // A minimum separator S has |S| = κ <= ans at all times, so among the
+    // first κ + 1 seeds one avoids S and is separated from some non-adjacent
+    // vertex by exactly κ vertices.
+    let mut seed = 0;
+    while seed <= ans && seed < n {
+        let s = seed as VertexId;
+        for t in 0..n as VertexId {
+            if t == s || g.has_edge(s, t) {
+                continue;
+            }
+            let k = vertex_connectivity_pair(g, s, t, ans + 1);
+            if k < ans {
+                ans = k;
+            }
+            if ans == 0 {
+                return 0;
+            }
+        }
+        seed += 1;
+    }
+    ans
+}
+
+/// The exact vertex connectivity `κ(G)`.
+pub fn vertex_connectivity(g: &Graph) -> usize {
+    vertex_connectivity_bounded(g, g.n())
+}
+
+/// True iff removing the vertex set `S` disconnects the graph — the
+/// Theorem 4 query. A graph with at most one remaining vertex cannot be
+/// disconnected.
+pub fn disconnects(g: &Graph, s: &[VertexId]) -> bool {
+    let n = g.n();
+    let mut keep = vec![true; n];
+    for &v in s {
+        keep[v as usize] = true; // validate range via indexing
+        keep[v as usize] = false;
+    }
+    let remaining = keep.iter().filter(|&&b| b).count();
+    if remaining <= 1 {
+        return false;
+    }
+    let filtered = g.filter_vertices(&keep);
+    // Removed vertices are isolated in `filtered`; discount them.
+    let comps = component_count(&filtered) - (n - remaining);
+    comps >= 2
+}
+
+/// Hypergraph vertex connectivity: removing S disconnects a hypergraph iff
+/// it disconnects its clique expansion, so κ carries over exactly.
+pub fn hyper_vertex_connectivity(h: &Hypergraph) -> usize {
+    vertex_connectivity(&h.clique_expansion())
+}
+
+/// The Theorem 4 query on hypergraphs.
+pub fn hyper_disconnects(h: &Hypergraph, s: &[VertexId]) -> bool {
+    disconnects(&h.clique_expansion(), s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::harary;
+
+    #[test]
+    fn pair_connectivity_on_cycle() {
+        let n = 6;
+        let edges: Vec<_> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        let g = Graph::from_edges(n, &edges);
+        assert_eq!(vertex_connectivity_pair(&g, 0, 3, usize::MAX), 2);
+    }
+
+    #[test]
+    fn pair_connectivity_respects_limit() {
+        let g = Graph::complete(8).filter_vertices(&[true; 8]);
+        let mut g = g;
+        g.remove_edge(0, 1);
+        assert_eq!(vertex_connectivity_pair(&g, 0, 1, 3), 3);
+        assert_eq!(vertex_connectivity_pair(&g, 0, 1, usize::MAX), 6);
+    }
+
+    #[test]
+    fn connectivity_of_basic_families() {
+        // Path: κ = 1.
+        let path = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(vertex_connectivity(&path), 1);
+        // Cycle: κ = 2.
+        let cycle = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        assert_eq!(vertex_connectivity(&cycle), 2);
+        // Complete: κ = n - 1.
+        assert_eq!(vertex_connectivity(&Graph::complete(7)), 6);
+        // Disconnected: κ = 0.
+        let disc = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(vertex_connectivity(&disc), 0);
+        // Star: κ = 1.
+        let star = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(vertex_connectivity(&star), 1);
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        assert_eq!(vertex_connectivity(&Graph::new(0)), 0);
+        assert_eq!(vertex_connectivity(&Graph::new(1)), 0);
+        assert_eq!(vertex_connectivity(&Graph::new(2)), 0);
+        assert_eq!(vertex_connectivity(&Graph::complete(2)), 1);
+    }
+
+    #[test]
+    fn harary_graphs_have_exact_connectivity() {
+        for (k, n) in [(2usize, 9usize), (3, 10), (4, 11), (5, 12), (6, 14)] {
+            let g = harary(k, n);
+            assert_eq!(vertex_connectivity(&g), k, "H_{{{k},{n}}}");
+        }
+    }
+
+    #[test]
+    fn bounded_caps_the_answer() {
+        let g = Graph::complete(9);
+        assert_eq!(vertex_connectivity_bounded(&g, 3), 3);
+        let cycle = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(vertex_connectivity_bounded(&cycle, 10), 2);
+    }
+
+    #[test]
+    fn disconnects_query() {
+        // Two triangles sharing the articulation vertex 2.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+        assert!(disconnects(&g, &[2]));
+        assert!(!disconnects(&g, &[0]));
+        assert!(!disconnects(&g, &[0, 1]), "remaining triangle is connected");
+        // Removing {2,3} leaves {0,1} connected and {4} isolated => disconnected.
+        assert!(disconnects(&g, &[2, 3]));
+        // Removing everything but one vertex cannot disconnect.
+        assert!(!disconnects(&g, &[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn disconnects_matches_kappa_on_harary() {
+        let g = harary(3, 9);
+        // No set of size < 3 disconnects.
+        for a in 0..9u32 {
+            assert!(!disconnects(&g, &[a]));
+            for b in (a + 1)..9u32 {
+                assert!(!disconnects(&g, &[a, b]));
+            }
+        }
+        // Some set of size 3 disconnects (neighbors of a vertex on the cycle).
+        let mut found = false;
+        'outer: for a in 0..9u32 {
+            for b in (a + 1)..9u32 {
+                for c in (b + 1)..9u32 {
+                    if disconnects(&g, &[a, b, c]) {
+                        found = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(found);
+    }
+
+    #[test]
+    fn hypergraph_connectivity_via_clique_expansion() {
+        use crate::edge::HyperEdge;
+        // Two hyperedges sharing exactly one vertex: κ = 1.
+        let h = Hypergraph::from_edges(
+            5,
+            vec![
+                HyperEdge::new(vec![0, 1, 2]).unwrap(),
+                HyperEdge::new(vec![2, 3, 4]).unwrap(),
+            ],
+        );
+        assert_eq!(hyper_vertex_connectivity(&h), 1);
+        assert!(hyper_disconnects(&h, &[2]));
+        assert!(!hyper_disconnects(&h, &[0]));
+    }
+}

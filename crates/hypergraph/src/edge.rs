@@ -1,0 +1,164 @@
+//! Canonical hyperedges.
+
+use crate::{GraphError, VertexId};
+
+/// An undirected hyperedge: a set of at least two distinct vertices, stored
+/// sorted ascending. The special case of cardinality two is an ordinary graph
+/// edge ([`HyperEdge::pair`]).
+///
+/// Canonical form makes equality, hashing, ordering, and the `min e` vertex
+/// of the paper's Section 4.1 encoding trivial.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HyperEdge {
+    vertices: Vec<VertexId>,
+}
+
+impl std::fmt::Debug for HyperEdge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{:?}", self.vertices)
+    }
+}
+
+impl HyperEdge {
+    /// Builds a hyperedge from any vertex list; sorts and rejects duplicates
+    /// and cardinality < 2.
+    pub fn new(mut vertices: Vec<VertexId>) -> Result<HyperEdge, GraphError> {
+        vertices.sort_unstable();
+        if vertices.len() < 2 {
+            return Err(GraphError::InvalidEdge(format!(
+                "cardinality {} < 2",
+                vertices.len()
+            )));
+        }
+        if vertices.windows(2).any(|w| w[0] == w[1]) {
+            return Err(GraphError::InvalidEdge(format!(
+                "duplicate vertex in {vertices:?}"
+            )));
+        }
+        Ok(HyperEdge { vertices })
+    }
+
+    /// An ordinary graph edge `{u, v}`.
+    ///
+    /// # Panics
+    /// Panics if `u == v` (self-loops are never valid in this model).
+    pub fn pair(u: VertexId, v: VertexId) -> HyperEdge {
+        assert_ne!(u, v, "self-loop {{{u},{u}}}");
+        HyperEdge {
+            vertices: if u < v { vec![u, v] } else { vec![v, u] },
+        }
+    }
+
+    /// Internal constructor for vertex lists already known to be sorted and
+    /// distinct (used by `EdgeSpace::unrank` on its own output).
+    pub(crate) fn from_sorted_unchecked(vertices: Vec<VertexId>) -> HyperEdge {
+        debug_assert!(vertices.len() >= 2);
+        debug_assert!(vertices.windows(2).all(|w| w[0] < w[1]));
+        HyperEdge { vertices }
+    }
+
+    /// The sorted vertex list.
+    #[inline]
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// Cardinality `|e|` (at least 2).
+    #[inline]
+    pub fn cardinality(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// The smallest vertex id — the `min e` of the Section 4.1 encoding.
+    #[inline]
+    pub fn min_vertex(&self) -> VertexId {
+        self.vertices[0]
+    }
+
+    /// Membership test (binary search on the sorted list).
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.vertices.binary_search(&v).is_ok()
+    }
+
+    /// True iff the edge crosses the cut `(S, V \ S)` given as a membership
+    /// predicate: it has at least one endpoint on each side.
+    pub fn crosses<F: Fn(VertexId) -> bool>(&self, in_s: F) -> bool {
+        let first = in_s(self.vertices[0]);
+        self.vertices[1..].iter().any(|&v| in_s(v) != first)
+    }
+
+    /// For a graph edge, the `(u, v)` pair with `u < v`.
+    ///
+    /// # Panics
+    /// Panics if the cardinality is not 2.
+    pub fn as_pair(&self) -> (VertexId, VertexId) {
+        assert_eq!(self.cardinality(), 2, "as_pair on a rank-{} edge", self.cardinality());
+        (self.vertices[0], self.vertices[1])
+    }
+
+    /// All unordered vertex pairs inside the edge — the pairs whose local
+    /// connectivity determines `λ_e` (see `algo::strength`).
+    pub fn pairs(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        let vs = &self.vertices;
+        (0..vs.len()).flat_map(move |i| (i + 1..vs.len()).map(move |j| (vs[i], vs[j])))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalizes_order() {
+        let e = HyperEdge::new(vec![5, 1, 3]).unwrap();
+        assert_eq!(e.vertices(), &[1, 3, 5]);
+        assert_eq!(e.min_vertex(), 1);
+        assert_eq!(e.cardinality(), 3);
+        assert_eq!(e, HyperEdge::new(vec![3, 5, 1]).unwrap());
+    }
+
+    #[test]
+    fn rejects_duplicates_and_small() {
+        assert!(HyperEdge::new(vec![1, 1, 2]).is_err());
+        assert!(HyperEdge::new(vec![7]).is_err());
+        assert!(HyperEdge::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn pair_orders_endpoints() {
+        assert_eq!(HyperEdge::pair(9, 2).as_pair(), (2, 9));
+        assert_eq!(HyperEdge::pair(2, 9), HyperEdge::pair(9, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn pair_rejects_self_loop() {
+        let _ = HyperEdge::pair(3, 3);
+    }
+
+    #[test]
+    fn crossing_detection() {
+        let e = HyperEdge::new(vec![0, 4, 8]).unwrap();
+        // S = {0}: 0 inside, 4 and 8 outside -> crosses.
+        assert!(e.crosses(|v| v == 0));
+        // S contains all of e -> does not cross.
+        assert!(!e.crosses(|v| v <= 8));
+        // S disjoint from e -> does not cross.
+        assert!(!e.crosses(|v| v > 100));
+    }
+
+    #[test]
+    fn pairs_enumeration() {
+        let e = HyperEdge::new(vec![1, 2, 3]).unwrap();
+        let pairs: Vec<_> = e.pairs().collect();
+        assert_eq!(pairs, vec![(1, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn contains_uses_sorted_order() {
+        let e = HyperEdge::new(vec![10, 30, 20]).unwrap();
+        assert!(e.contains(20));
+        assert!(!e.contains(25));
+    }
+}

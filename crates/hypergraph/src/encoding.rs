@@ -1,0 +1,295 @@
+//! Exact ranking of the hyperedge space `P_r(V)`.
+//!
+//! Section 4.1 of the paper works with vectors indexed by "all subsets of V
+//! of size between 2 and r", a space of size `d = Σ_{s=2}^r C(n,s)`. The
+//! sketches never materialize these vectors — they only need a bijection
+//! between hyperedges and indices in `[0, d)`. We use the combinatorial
+//! number system: within the cardinality-`s` stratum, the set
+//! `{v_1 < v_2 < … < v_s}` has colex rank `Σ_i C(v_i, i)`; strata are
+//! concatenated in order of increasing cardinality.
+//!
+//! Ranking is exact (no hash collisions), which keeps the one-sparse
+//! detector's index arithmetic sound. A construction-time capacity check
+//! caps `d < 2^60` so indices embed into the Mersenne-61 field with room for
+//! the fingerprint polynomial degree argument.
+
+use crate::edge::HyperEdge;
+use crate::{GraphError, VertexId};
+
+/// Saturation bound used during binomial computation; anything at or above
+/// this is "too big" for the supported index range.
+const SATURATE: u64 = 1 << 62;
+
+/// `C(v, i)` saturating at `SATURATE`. Exact below the saturation bound.
+pub fn binomial(v: u64, i: u64) -> u64 {
+    if i == 0 {
+        return 1;
+    }
+    if v < i {
+        return 0;
+    }
+    let mut acc: u128 = 1;
+    for j in 1..=i {
+        // Multiply then divide: the running product of j consecutive ratios
+        // is always integral.
+        acc = acc * (v - i + j) as u128 / j as u128;
+        if acc >= SATURATE as u128 {
+            return SATURATE;
+        }
+    }
+    acc as u64
+}
+
+/// The indexed hyperedge space for a fixed vertex count `n` and rank bound
+/// `max_rank` (the paper's constant `r`).
+#[derive(Clone, Debug)]
+pub struct EdgeSpace {
+    n: usize,
+    max_rank: usize,
+    /// `base[s]` = first index of the cardinality-`s` stratum, for
+    /// `s in 2..=max_rank`; `base[max_rank + 1]` = total dimension `d`.
+    bases: Vec<u64>,
+}
+
+impl EdgeSpace {
+    /// Builds the space, verifying the `d < 2^60` index budget.
+    pub fn new(n: usize, max_rank: usize) -> Result<EdgeSpace, GraphError> {
+        if max_rank < 2 || n < 2 {
+            return Err(GraphError::InvalidEdge(format!(
+                "edge space needs n >= 2 and max_rank >= 2 (got n = {n}, r = {max_rank})"
+            )));
+        }
+        let mut bases = vec![0u64; max_rank + 2];
+        let mut total: u64 = 0;
+        #[allow(clippy::needless_range_loop)] // `s` is also the binomial argument
+        for s in 2..=max_rank {
+            bases[s] = total;
+            let stratum = binomial(n as u64, s as u64);
+            total = total.saturating_add(stratum);
+            if total >= 1 << 60 {
+                return Err(GraphError::EdgeSpaceTooLarge { n, max_rank });
+            }
+        }
+        bases[max_rank + 1] = total;
+        Ok(EdgeSpace { n, max_rank, bases })
+    }
+
+    /// A rank-2 (ordinary graph) edge space.
+    pub fn graph(n: usize) -> Result<EdgeSpace, GraphError> {
+        EdgeSpace::new(n, 2)
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The rank bound `r`.
+    pub fn max_rank(&self) -> usize {
+        self.max_rank
+    }
+
+    /// Total dimension `d = Σ_{s=2}^r C(n,s)`.
+    pub fn dimension(&self) -> u64 {
+        self.bases[self.max_rank + 1]
+    }
+
+    /// The index of a hyperedge.
+    ///
+    /// # Panics
+    /// Panics if the edge's vertices exceed `n` or its cardinality exceeds
+    /// the rank bound — both programmer errors at this layer (validated
+    /// streams never produce them).
+    pub fn rank(&self, e: &HyperEdge) -> u64 {
+        let s = e.cardinality();
+        assert!(
+            s <= self.max_rank,
+            "edge cardinality {s} exceeds rank bound {}",
+            self.max_rank
+        );
+        let vs = e.vertices();
+        assert!(
+            (*vs.last().unwrap() as usize) < self.n,
+            "vertex {} out of range for n = {}",
+            vs.last().unwrap(),
+            self.n
+        );
+        let mut idx = self.bases[s];
+        for (i, &v) in vs.iter().enumerate() {
+            idx += binomial(v as u64, i as u64 + 1);
+        }
+        idx
+    }
+
+    /// Convenience: the index of the graph edge `{u, v}`.
+    pub fn rank_pair(&self, u: VertexId, v: VertexId) -> u64 {
+        self.rank(&HyperEdge::pair(u, v))
+    }
+
+    /// The hyperedge with a given index (inverse of [`rank`](Self::rank)).
+    ///
+    /// # Panics
+    /// Panics if `index >= dimension()`.
+    pub fn unrank(&self, index: u64) -> HyperEdge {
+        assert!(
+            index < self.dimension(),
+            "index {index} out of range (d = {})",
+            self.dimension()
+        );
+        // Locate the cardinality stratum.
+        let mut s = 2;
+        while s < self.max_rank && index >= self.bases[s + 1] {
+            s += 1;
+        }
+        let mut rem = index - self.bases[s];
+        let mut vertices = vec![0 as VertexId; s];
+        let mut hi = self.n as u64; // exclusive upper bound for the next vertex
+        for i in (1..=s as u64).rev() {
+            // Largest v in [i-1, hi) with C(v, i) <= rem.
+            let mut lo = i - 1;
+            let mut hi_search = hi;
+            while lo + 1 < hi_search {
+                let mid = (lo + hi_search) / 2;
+                if binomial(mid, i) <= rem {
+                    lo = mid;
+                } else {
+                    hi_search = mid;
+                }
+            }
+            vertices[i as usize - 1] = lo as VertexId;
+            rem -= binomial(lo, i);
+            hi = lo;
+        }
+        debug_assert_eq!(rem, 0);
+        HyperEdge::from_sorted_unchecked(vertices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn binomial_small_table() {
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 1), 5);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(4, 5), 0);
+        assert_eq!(binomial(10, 3), 120);
+        assert_eq!(binomial(52, 5), 2_598_960);
+    }
+
+    #[test]
+    fn binomial_saturates() {
+        assert_eq!(binomial(1 << 40, 3), SATURATE);
+    }
+
+    #[test]
+    fn dimension_matches_formula() {
+        let es = EdgeSpace::new(10, 3).unwrap();
+        assert_eq!(es.dimension(), 45 + 120);
+        let es2 = EdgeSpace::graph(100).unwrap();
+        assert_eq!(es2.dimension(), 100 * 99 / 2);
+    }
+
+    #[test]
+    fn graph_edges_enumerate_densely() {
+        // Rank-2 stratum should be a bijection onto [0, C(n,2)).
+        let n = 12;
+        let es = EdgeSpace::graph(n).unwrap();
+        let mut seen = vec![false; es.dimension() as usize];
+        for u in 0..n as VertexId {
+            for v in (u + 1)..n as VertexId {
+                let r = es.rank_pair(u, v) as usize;
+                assert!(!seen[r], "collision at rank {r}");
+                seen[r] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn exhaustive_round_trip_small() {
+        let es = EdgeSpace::new(8, 4).unwrap();
+        for idx in 0..es.dimension() {
+            let e = es.unrank(idx);
+            assert_eq!(es.rank(&e), idx, "edge {e:?}");
+            assert!(e.cardinality() >= 2 && e.cardinality() <= 4);
+        }
+    }
+
+    #[test]
+    fn strata_are_contiguous_by_cardinality() {
+        let es = EdgeSpace::new(9, 3).unwrap();
+        let pairs = binomial(9, 2);
+        for idx in 0..es.dimension() {
+            let e = es.unrank(idx);
+            if idx < pairs {
+                assert_eq!(e.cardinality(), 2);
+            } else {
+                assert_eq!(e.cardinality(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_spaces() {
+        assert!(matches!(
+            EdgeSpace::new(1 << 21, 4),
+            Err(GraphError::EdgeSpaceTooLarge { .. })
+        ));
+        assert!(EdgeSpace::new(1000, 4).is_ok());
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(EdgeSpace::new(1, 2).is_err());
+        assert!(EdgeSpace::new(5, 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unrank_out_of_range_panics() {
+        let es = EdgeSpace::graph(5).unwrap();
+        let _ = es.unrank(es.dimension());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds rank bound")]
+    fn rank_oversized_edge_panics() {
+        let es = EdgeSpace::graph(10).unwrap();
+        let _ = es.rank(&HyperEdge::new(vec![1, 2, 3]).unwrap());
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_random_edges(
+            n in 5usize..60,
+            r in 2usize..5,
+            raw in prop::collection::vec(0u32..60, 2..5),
+        ) {
+            let es = EdgeSpace::new(n, r).unwrap();
+            let mut vs: Vec<u32> = raw.into_iter().map(|v| v % n as u32).collect();
+            vs.sort_unstable();
+            vs.dedup();
+            vs.truncate(r);
+            prop_assume!(vs.len() >= 2);
+            let e = HyperEdge::new(vs).unwrap();
+            let idx = es.rank(&e);
+            prop_assert!(idx < es.dimension());
+            prop_assert_eq!(es.unrank(idx), e);
+        }
+
+        #[test]
+        fn rank_is_injective(n in 5usize..40, a in 0u64..1000, b in 0u64..1000) {
+            let es = EdgeSpace::new(n, 3).unwrap();
+            let a = a % es.dimension();
+            let b = b % es.dimension();
+            let (ea, eb) = (es.unrank(a), es.unrank(b));
+            prop_assert_eq!(a == b, ea == eb);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Families with controlled (cut-)degeneracy for the reconstruction
+//! experiments (Section 4 / experiment E6).
+
+use rand::Rng;
+
+use crate::graph::Graph;
+use crate::VertexId;
+
+/// A uniform random labelled tree (Prüfer-free incremental attachment:
+/// each vertex i >= 1 attaches to a uniform predecessor). 1-degenerate.
+pub fn random_tree<R: Rng>(n: usize, rng: &mut R) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        let parent = rng.gen_range(0..i);
+        g.add_edge(i as VertexId, parent as VertexId);
+    }
+    g
+}
+
+/// The `w × h` grid graph — 2-degenerate, 2-cut-degenerate; a classic
+/// sparse reconstruction target.
+pub fn grid(w: usize, h: usize) -> Graph {
+    let mut g = Graph::new(w * h);
+    let id = |x: usize, y: usize| (y * w + x) as VertexId;
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                g.add_edge(id(x, y), id(x + 1, y));
+            }
+            if y + 1 < h {
+                g.add_edge(id(x, y), id(x, y + 1));
+            }
+        }
+    }
+    g
+}
+
+/// A random d-degenerate graph: vertices arrive in order, each connecting to
+/// `min(i, d)` distinct random predecessors. The arrival order witnesses
+/// d-degeneracy.
+pub fn random_d_degenerate<R: Rng>(n: usize, d: usize, rng: &mut R) -> Graph {
+    assert!(d >= 1);
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        let picks = d.min(i);
+        let mut chosen = std::collections::BTreeSet::new();
+        while chosen.len() < picks {
+            chosen.insert(rng.gen_range(0..i));
+        }
+        for p in chosen {
+            g.add_edge(i as VertexId, p as VertexId);
+        }
+    }
+    g
+}
+
+/// The paper's Lemma 10 gadget: the 8-vertex graph that is 2-cut-degenerate
+/// but **not** 2-degenerate (minimum degree 3). Vertices `v1..v4 = 0..3`,
+/// `u1..u4 = 4..7`; edges `{v_i, v_j}` and `{u_i, u_j}` for all `i < j`
+/// except `(1, 4)`, plus `{v1, u1}` and `{v4, u4}`.
+pub fn lemma10_gadget() -> Graph {
+    let mut g = Graph::new(8);
+    for i in 0..4u32 {
+        for j in (i + 1)..4 {
+            if !(i == 0 && j == 3) {
+                g.add_edge(i, j);
+                g.add_edge(i + 4, j + 4);
+            }
+        }
+    }
+    g.add_edge(0, 4);
+    g.add_edge(3, 7);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::degeneracy::{cut_degeneracy, degeneracy};
+    use crate::algo::is_connected;
+    use crate::hypergraph::Hypergraph;
+    use rand::prelude::*;
+
+    #[test]
+    fn tree_properties() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let g = random_tree(40, &mut rng);
+        assert_eq!(g.edge_count(), 39);
+        assert!(is_connected(&g));
+        assert_eq!(degeneracy(&Hypergraph::from_graph(&g)), 1);
+    }
+
+    #[test]
+    fn grid_properties() {
+        let g = grid(4, 5);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.edge_count(), 4 * 4 + 3 * 5); // vertical + horizontal
+        assert!(is_connected(&g));
+        let h = Hypergraph::from_graph(&g);
+        assert_eq!(degeneracy(&h), 2);
+        assert_eq!(cut_degeneracy(&h), 2);
+    }
+
+    #[test]
+    fn d_degenerate_generator_is_d_degenerate() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for d in 1..4usize {
+            let g = random_d_degenerate(25, d, &mut rng);
+            let deg = degeneracy(&Hypergraph::from_graph(&g));
+            assert!(deg <= d, "d = {d}, observed degeneracy {deg}");
+            assert!(is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn gadget_matches_lemma_10() {
+        let g = lemma10_gadget();
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.min_degree(), 3);
+        let h = Hypergraph::from_graph(&g);
+        assert_eq!(degeneracy(&h), 3);
+        assert_eq!(cut_degeneracy(&h), 2);
+    }
+}

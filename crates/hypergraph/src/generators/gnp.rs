@@ -1,0 +1,160 @@
+//! Erdős–Rényi and bipartite random graphs.
+
+use rand::Rng;
+
+use crate::graph::Graph;
+use crate::VertexId;
+
+/// `G(n, p)` with geometric edge skipping (O(m) expected time).
+pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p = {p} out of range");
+    let mut g = Graph::new(n);
+    if p == 0.0 || n < 2 {
+        return g;
+    }
+    if p == 1.0 {
+        return Graph::complete(n);
+    }
+    // Iterate over the C(n,2) potential edges in lexicographic order,
+    // skipping ahead geometrically.
+    let total = n * (n - 1) / 2;
+    let log_q = (1.0 - p).ln();
+    let mut idx: usize = 0;
+    loop {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (u.ln() / log_q).floor() as usize;
+        idx = match idx.checked_add(skip) {
+            Some(i) => i,
+            None => break,
+        };
+        if idx >= total {
+            break;
+        }
+        let (a, b) = pair_of_index(n, idx);
+        g.add_edge(a, b);
+        idx += 1;
+    }
+    g
+}
+
+/// The `idx`-th pair `(a, b)` with `a < b` in lexicographic order.
+fn pair_of_index(n: usize, idx: usize) -> (VertexId, VertexId) {
+    // Row a contains n - 1 - a pairs.
+    let mut a = 0usize;
+    let mut rem = idx;
+    loop {
+        let row = n - 1 - a;
+        if rem < row {
+            return (a as VertexId, (a + 1 + rem) as VertexId);
+        }
+        rem -= row;
+        a += 1;
+    }
+}
+
+/// `G(n, m)`: exactly `m` distinct uniform edges.
+///
+/// # Panics
+/// Panics if `m > C(n, 2)`.
+pub fn gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
+    let total = n * (n - 1) / 2;
+    assert!(m <= total, "m = {m} exceeds C({n},2) = {total}");
+    let mut g = Graph::new(n);
+    // Rejection sampling is fine until m approaches total; switch to
+    // complement sampling when dense.
+    if m * 2 <= total {
+        while g.edge_count() < m {
+            let a = rng.gen_range(0..n as VertexId);
+            let b = rng.gen_range(0..n as VertexId);
+            if a != b {
+                g.add_edge(a, b);
+            }
+        }
+    } else {
+        let mut g2 = Graph::complete(n);
+        while g2.edge_count() > m {
+            let a = rng.gen_range(0..n as VertexId);
+            let b = rng.gen_range(0..n as VertexId);
+            if a != b {
+                g2.remove_edge(a, b);
+            }
+        }
+        g = g2;
+    }
+    g
+}
+
+/// Random bipartite graph on parts of size `left` and `right` (vertices
+/// `0..left` and `left..left+right`), each cross pair present w.p. `p`.
+pub fn random_bipartite<R: Rng>(left: usize, right: usize, p: f64, rng: &mut R) -> Graph {
+    let mut g = Graph::new(left + right);
+    for u in 0..left as VertexId {
+        for v in 0..right as VertexId {
+            if rng.gen_bool(p) {
+                g.add_edge(u, left as VertexId + v);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn pair_indexing_is_a_bijection() {
+        let n = 9;
+        let mut seen = std::collections::BTreeSet::new();
+        for idx in 0..n * (n - 1) / 2 {
+            let (a, b) = pair_of_index(n, idx);
+            assert!(a < b && (b as usize) < n);
+            assert!(seen.insert((a, b)));
+        }
+        assert_eq!(seen.len(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn gnp_density_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 120;
+        let p = 0.3;
+        let mut total = 0usize;
+        for _ in 0..20 {
+            total += gnp(n, p, &mut rng).edge_count();
+        }
+        let avg = total as f64 / 20.0;
+        let expect = p * (n * (n - 1) / 2) as f64;
+        assert!(
+            (avg - expect).abs() < expect * 0.08,
+            "avg {avg} vs expect {expect}"
+        );
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(gnp(10, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(gnp(10, 1.0, &mut rng).edge_count(), 45);
+        assert_eq!(gnp(1, 0.5, &mut rng).edge_count(), 0);
+    }
+
+    #[test]
+    fn gnm_exact_count_sparse_and_dense() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(gnm(20, 10, &mut rng).edge_count(), 10);
+        assert_eq!(gnm(20, 180, &mut rng).edge_count(), 180);
+        assert_eq!(gnm(20, 190, &mut rng).edge_count(), 190);
+        assert_eq!(gnm(5, 0, &mut rng).edge_count(), 0);
+    }
+
+    #[test]
+    fn bipartite_has_no_internal_edges() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = random_bipartite(6, 7, 0.5, &mut rng);
+        for (u, v) in g.edges() {
+            assert!((u as usize) < 6 && (v as usize) >= 6, "edge ({u},{v}) not cross");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Harary graphs `H_{k,n}`: the minimum-edge graphs with vertex (and edge)
+//! connectivity exactly `k`. They are the canonical ground-truth family for
+//! the vertex-connectivity experiments (E1, E3): κ(H_{k,n}) = k precisely.
+
+use crate::graph::Graph;
+use crate::VertexId;
+
+/// The Harary graph `H_{k,n}` with `1 <= k < n`.
+///
+/// Construction (Harary 1962):
+/// * `k = 2r`: circulant — each `i` adjacent to `i ± 1, …, i ± r (mod n)`;
+/// * `k = 2r + 1`, `n` even: the above plus diameters `i ↔ i + n/2`;
+/// * `k = 2r + 1`, `n` odd: the above plus `0 ↔ (n-1)/2`, `0 ↔ (n+1)/2`,
+///   and `i ↔ i + (n+1)/2` for `1 <= i < (n-1)/2`.
+pub fn harary(k: usize, n: usize) -> Graph {
+    assert!(k >= 1 && k < n, "harary requires 1 <= k < n (got k={k}, n={n})");
+    let mut g = Graph::new(n);
+    if k == 1 {
+        // A path has κ = 1 with the minimum edge count.
+        for i in 0..n - 1 {
+            g.add_edge(i as VertexId, i as VertexId + 1);
+        }
+        return g;
+    }
+    let r = k / 2;
+    for i in 0..n {
+        for d in 1..=r {
+            g.add_edge(i as VertexId, ((i + d) % n) as VertexId);
+        }
+    }
+    if k % 2 == 1 {
+        if n.is_multiple_of(2) {
+            for i in 0..n / 2 {
+                g.add_edge(i as VertexId, (i + n / 2) as VertexId);
+            }
+        } else {
+            g.add_edge(0, (n / 2) as VertexId);
+            g.add_edge(0, (n.div_ceil(2)) as VertexId);
+            for i in 1..(n - 1) / 2 {
+                g.add_edge(i as VertexId, (i + n.div_ceil(2)) as VertexId);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::vertex_conn::vertex_connectivity;
+    use crate::algo::{is_connected, local_edge_connectivity};
+
+    #[test]
+    fn even_k_is_circulant() {
+        let g = harary(4, 10);
+        assert_eq!(g.edge_count(), 20); // kn/2
+        for v in 0..10u32 {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn connectivity_is_exactly_k_over_parameter_grid() {
+        for k in 1..=6usize {
+            for n in [k + 2, k + 5, 2 * k + 3, 13] {
+                if n <= k {
+                    continue;
+                }
+                let g = harary(k, n);
+                assert!(is_connected(&g), "H_{{{k},{n}}} disconnected");
+                assert_eq!(vertex_connectivity(&g), k, "H_{{{k},{n}}}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_count_is_near_minimum() {
+        // Harary graphs have ceil(kn/2) edges.
+        for (k, n) in [(3usize, 10usize), (3, 11), (5, 12), (4, 9)] {
+            let g = harary(k, n);
+            assert_eq!(g.edge_count(), (k * n).div_ceil(2), "H_{{{k},{n}}}");
+        }
+    }
+
+    #[test]
+    fn edge_connectivity_also_k() {
+        let g = harary(3, 12);
+        let mut lam = usize::MAX;
+        for t in 1..12u32 {
+            lam = lam.min(local_edge_connectivity(&g, 0, t, lam));
+        }
+        assert_eq!(lam, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k < n")]
+    fn rejects_k_ge_n() {
+        let _ = harary(5, 5);
+    }
+}

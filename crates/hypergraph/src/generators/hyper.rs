@@ -1,0 +1,155 @@
+//! Random hypergraph generators.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::edge::HyperEdge;
+use crate::hypergraph::Hypergraph;
+use crate::VertexId;
+
+/// `m` distinct uniform hyperedges of cardinality exactly `r` on `n` vertices.
+///
+/// # Panics
+/// Panics if `r < 2`, `r > n`, or `m` exceeds `C(n, r)` (checked loosely via
+/// a rejection cap).
+pub fn random_uniform_hypergraph<R: Rng>(
+    n: usize,
+    r: usize,
+    m: usize,
+    rng: &mut R,
+) -> Hypergraph {
+    assert!(r >= 2 && r <= n, "need 2 <= r <= n (r={r}, n={n})");
+    let mut h = Hypergraph::new(n);
+    let mut attempts = 0usize;
+    let cap = 100 * m + 1000;
+    let mut pool: Vec<VertexId> = (0..n as VertexId).collect();
+    while h.edge_count() < m {
+        attempts += 1;
+        assert!(
+            attempts < cap,
+            "could not place {m} distinct rank-{r} edges on {n} vertices"
+        );
+        pool.shuffle(rng);
+        let e = HyperEdge::new(pool[..r].to_vec()).expect("r >= 2 distinct vertices");
+        h.add_edge(e);
+    }
+    h
+}
+
+/// `m` distinct hyperedges with cardinalities uniform in `2..=max_rank`.
+pub fn random_mixed_hypergraph<R: Rng>(
+    n: usize,
+    max_rank: usize,
+    m: usize,
+    rng: &mut R,
+) -> Hypergraph {
+    assert!(max_rank >= 2 && max_rank <= n);
+    let mut h = Hypergraph::new(n);
+    let mut attempts = 0usize;
+    let cap = 100 * m + 1000;
+    let mut pool: Vec<VertexId> = (0..n as VertexId).collect();
+    while h.edge_count() < m {
+        attempts += 1;
+        assert!(attempts < cap, "could not place {m} distinct edges");
+        let r = rng.gen_range(2..=max_rank);
+        pool.shuffle(rng);
+        let e = HyperEdge::new(pool[..r].to_vec()).expect("distinct vertices");
+        h.add_edge(e);
+    }
+    h
+}
+
+/// Two dense rank-`r` blobs joined by exactly `t` crossing hyperedges.
+/// Returns the hypergraph and the planted side indicator (true = first blob).
+/// Each crossing hyperedge takes at least one vertex from each side.
+pub fn planted_hyper_cut<R: Rng>(
+    n1: usize,
+    n2: usize,
+    r: usize,
+    m_in: usize,
+    t: usize,
+    rng: &mut R,
+) -> (Hypergraph, Vec<bool>) {
+    assert!(r >= 2 && r <= n1 && r <= n2);
+    let n = n1 + n2;
+    let mut h = Hypergraph::new(n);
+    let mut pool1: Vec<VertexId> = (0..n1 as VertexId).collect();
+    let mut pool2: Vec<VertexId> = (n1 as VertexId..n as VertexId).collect();
+
+    let place = |h: &mut Hypergraph, pool: &mut Vec<VertexId>, count: usize, rng: &mut R| {
+        let mut placed = 0;
+        let mut attempts = 0;
+        while placed < count {
+            attempts += 1;
+            assert!(attempts < 100 * count + 1000, "blob placement failed");
+            pool.shuffle(rng);
+            if h.add_edge(HyperEdge::new(pool[..r].to_vec()).unwrap()) {
+                placed += 1;
+            }
+        }
+    };
+    place(&mut h, &mut pool1, m_in, rng);
+    place(&mut h, &mut pool2, m_in, rng);
+
+    // Crossing hyperedges: split r between the sides, at least 1 each.
+    let mut placed = 0;
+    let mut attempts = 0;
+    while placed < t {
+        attempts += 1;
+        assert!(attempts < 100 * t + 1000, "crossing placement failed");
+        let from1 = rng.gen_range(1..r);
+        let from2 = r - from1;
+        pool1.shuffle(rng);
+        pool2.shuffle(rng);
+        let mut vs = pool1[..from1].to_vec();
+        vs.extend_from_slice(&pool2[..from2]);
+        if h.add_edge(HyperEdge::new(vs).unwrap()) {
+            placed += 1;
+        }
+    }
+    let side: Vec<bool> = (0..n).map(|v| v < n1).collect();
+    (h, side)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn uniform_hypergraph_shape() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let h = random_uniform_hypergraph(12, 3, 25, &mut rng);
+        assert_eq!(h.edge_count(), 25);
+        assert!(h.edges().iter().all(|e| e.cardinality() == 3));
+        assert_eq!(h.max_rank(), 3);
+    }
+
+    #[test]
+    fn mixed_hypergraph_rank_spread() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let h = random_mixed_hypergraph(15, 4, 60, &mut rng);
+        assert_eq!(h.edge_count(), 60);
+        let ranks: std::collections::BTreeSet<_> =
+            h.edges().iter().map(|e| e.cardinality()).collect();
+        assert!(ranks.iter().all(|&r| (2..=4).contains(&r)));
+        assert!(ranks.len() >= 2, "expected multiple ranks, got {ranks:?}");
+    }
+
+    #[test]
+    fn planted_cut_crossing_count() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let (h, side) = planted_hyper_cut(8, 8, 3, 15, 4, &mut rng);
+        assert_eq!(h.cut_size(&side), 4);
+        assert_eq!(h.edge_count(), 34);
+    }
+
+    #[test]
+    fn planted_cut_is_minimum_when_blobs_dense() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let (h, side) = planted_hyper_cut(6, 6, 3, 18, 2, &mut rng);
+        let (val, _) = crate::algo::hyper_min_cut(&h).unwrap();
+        assert_eq!(val, 2);
+        assert_eq!(h.cut_size(&side), 2);
+    }
+}

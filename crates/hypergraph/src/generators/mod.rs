@@ -1,0 +1,18 @@
+//! Workload generators: graph/hypergraph families with known ground truth,
+//! and dynamic stream orderings with deletions.
+
+mod degenerate;
+mod gnp;
+mod harary;
+mod hyper;
+mod planted;
+mod scale_free;
+mod streams;
+
+pub use degenerate::{grid, lemma10_gadget, random_d_degenerate, random_tree};
+pub use gnp::{gnm, gnp, random_bipartite};
+pub use harary::harary;
+pub use hyper::{planted_hyper_cut, random_uniform_hypergraph, random_mixed_hypergraph};
+pub use planted::{planted_edge_cut, planted_separator};
+pub use scale_free::{barabasi_albert, complete_bipartite};
+pub use streams::{churn_stream, insert_only_stream, ChurnConfig};

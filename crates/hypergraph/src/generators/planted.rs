@@ -1,0 +1,123 @@
+//! Planted-structure generators with known connectivity ground truth.
+
+use rand::Rng;
+
+use crate::graph::Graph;
+use crate::VertexId;
+
+/// A graph with vertex connectivity exactly `s`: cliques `A` (size `a`) and
+/// `B` (size `b`) joined only through a separator `S` of `s` vertices that
+/// is complete to `A ∪ B` (no internal `S` edges).
+///
+/// Layout: `A = 0..a`, `S = a..a+s`, `B = a+s..a+s+b`. Every `A`–`B` path
+/// passes through `S`, so removing `S` disconnects; every non-adjacent pair
+/// has at least `s` vertex-disjoint paths, so nothing smaller does.
+///
+/// # Panics
+/// Panics unless `a >= 1`, `b >= 1`, `s >= 1`.
+pub fn planted_separator(a: usize, b: usize, s: usize) -> Graph {
+    assert!(a >= 1 && b >= 1 && s >= 1);
+    let n = a + s + b;
+    let mut g = Graph::new(n);
+    for u in 0..a {
+        for v in (u + 1)..a {
+            g.add_edge(u as VertexId, v as VertexId);
+        }
+    }
+    for u in (a + s)..n {
+        for v in (u + 1)..n {
+            g.add_edge(u as VertexId, v as VertexId);
+        }
+    }
+    for sep in a..(a + s) {
+        for u in 0..a {
+            g.add_edge(sep as VertexId, u as VertexId);
+        }
+        for u in (a + s)..n {
+            g.add_edge(sep as VertexId, u as VertexId);
+        }
+    }
+    g
+}
+
+/// Two `G(n, p_in)` blobs joined by exactly `t` random cross edges —
+/// a planted (approximate) minimum edge cut of size `t`. Returns the graph
+/// and the planted side indicator (true for the first blob).
+pub fn planted_edge_cut<R: Rng>(
+    n1: usize,
+    n2: usize,
+    t: usize,
+    p_in: f64,
+    rng: &mut R,
+) -> (Graph, Vec<bool>) {
+    assert!(t <= n1 * n2, "cannot plant {t} cross edges between {n1} x {n2}");
+    let n = n1 + n2;
+    let mut g = Graph::new(n);
+    for u in 0..n1 {
+        for v in (u + 1)..n1 {
+            if rng.gen_bool(p_in) {
+                g.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    for u in n1..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p_in) {
+                g.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    let mut planted = 0;
+    while planted < t {
+        let u = rng.gen_range(0..n1) as VertexId;
+        let v = (n1 + rng.gen_range(0..n2)) as VertexId;
+        if g.add_edge(u, v) {
+            planted += 1;
+        }
+    }
+    let side: Vec<bool> = (0..n).map(|v| v < n1).collect();
+    (g, side)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::vertex_conn::{disconnects, vertex_connectivity};
+    use rand::prelude::*;
+
+    #[test]
+    fn separator_graph_has_exact_connectivity() {
+        for (a, b, s) in [(4usize, 4usize, 1usize), (5, 3, 2), (4, 4, 3), (2, 6, 4)] {
+            let g = planted_separator(a, b, s);
+            assert_eq!(vertex_connectivity(&g), s, "a={a} b={b} s={s}");
+            let sep: Vec<u32> = (a..a + s).map(|v| v as u32).collect();
+            assert!(disconnects(&g, &sep));
+        }
+    }
+
+    #[test]
+    fn edge_cut_crossing_count_matches() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let (g, side) = planted_edge_cut(10, 12, 4, 0.8, &mut rng);
+        let crossing = g
+            .edges()
+            .filter(|&(u, v)| side[u as usize] != side[v as usize])
+            .count();
+        assert_eq!(crossing, 4);
+    }
+
+    #[test]
+    fn dense_blobs_make_planted_cut_minimum() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (g, side) = planted_edge_cut(9, 9, 2, 1.0, &mut rng);
+        let edges: Vec<_> = g.edges().map(|(u, v)| (u, v, 1.0)).collect();
+        let (cut, _) = crate::algo::stoer_wagner(g.n(), &edges).unwrap();
+        assert_eq!(cut, 2.0);
+        assert_eq!(
+            g.edges()
+                .filter(|&(u, v)| side[u as usize] != side[v as usize])
+                .count(),
+            2
+        );
+    }
+}

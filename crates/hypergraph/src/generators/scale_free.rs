@@ -1,0 +1,106 @@
+//! Heavy-tailed and bipartite families for workload diversity.
+
+use rand::Rng;
+
+use crate::graph::Graph;
+use crate::VertexId;
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m` distinct existing vertices chosen proportionally to degree (the
+/// standard repeated-endpoint urn). Produces heavy-tailed degrees — the
+/// workload where `light_k` peels the fringe and leaves the dense core,
+/// mirroring the social-network motivation of the paper's introduction.
+///
+/// # Panics
+/// Panics unless `1 <= m < n`.
+pub fn barabasi_albert<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
+    assert!(m >= 1 && m < n, "need 1 <= m < n (m={m}, n={n})");
+    let mut g = Graph::new(n);
+    // Urn of endpoints: each edge contributes both endpoints, so drawing
+    // uniformly from the urn is degree-proportional sampling.
+    let mut urn: Vec<VertexId> = Vec::with_capacity(4 * n * m);
+    // Seed: a star on the first m+1 vertices.
+    for v in 1..=m {
+        g.add_edge(0, v as VertexId);
+        urn.push(0);
+        urn.push(v as VertexId);
+    }
+    for v in (m + 1)..n {
+        let mut targets = std::collections::BTreeSet::new();
+        let mut guard = 0;
+        while targets.len() < m {
+            guard += 1;
+            assert!(guard < 100 * m + 1000, "attachment stalled");
+            let t = urn[rng.gen_range(0..urn.len())];
+            targets.insert(t);
+        }
+        for t in targets {
+            g.add_edge(v as VertexId, t);
+            urn.push(v as VertexId);
+            urn.push(t);
+        }
+    }
+    g
+}
+
+/// The complete bipartite graph `K_{a,b}` (parts `0..a` and `a..a+b`):
+/// vertex and edge connectivity both exactly `min(a, b)` — a second exact
+/// ground-truth family for the connectivity experiments.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = Graph::new(a + b);
+    for u in 0..a {
+        for v in 0..b {
+            g.add_edge(u as VertexId, (a + v) as VertexId);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::vertex_conn::vertex_connectivity;
+    use crate::algo::{degeneracy, is_connected, local_edge_connectivity};
+    use crate::hypergraph::Hypergraph;
+    use rand::prelude::*;
+
+    #[test]
+    fn ba_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = barabasi_albert(60, 2, &mut rng);
+        assert!(is_connected(&g));
+        assert_eq!(g.edge_count(), 2 + 2 * (60 - 3));
+        // Heavy tail: the max degree should clearly exceed the mean.
+        let max_deg = (0..60u32).map(|v| g.degree(v)).max().unwrap();
+        let mean_deg = 2.0 * g.edge_count() as f64 / 60.0;
+        assert!(
+            max_deg as f64 > 2.5 * mean_deg,
+            "max {max_deg} vs mean {mean_deg}"
+        );
+        // Attachment with m = 2 keeps the graph 2-degenerate.
+        assert!(degeneracy(&Hypergraph::from_graph(&g)) <= 2);
+    }
+
+    #[test]
+    fn ba_rejects_bad_parameters() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            barabasi_albert(3, 3, &mut rng)
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn complete_bipartite_connectivities() {
+        for (a, b) in [(2usize, 5usize), (3, 3), (4, 2)] {
+            let g = complete_bipartite(a, b);
+            assert_eq!(g.edge_count(), a * b);
+            assert_eq!(vertex_connectivity(&g), a.min(b), "K_{{{a},{b}}}");
+            let lambda = (1..(a + b) as u32)
+                .map(|t| local_edge_connectivity(&g, 0, t, usize::MAX))
+                .min()
+                .unwrap();
+            assert_eq!(lambda, a.min(b));
+        }
+    }
+}

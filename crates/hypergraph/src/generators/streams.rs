@@ -1,0 +1,189 @@
+//! Dynamic stream workloads: orderings of insertions and deletions whose
+//! final graph is a given target.
+//!
+//! The point of the dynamic model is that deletions invalidate insert-only
+//! shortcuts (Section 1.1 of the paper), so every experiment drives sketches
+//! through streams with real churn:
+//!
+//! * **noise edges** — edges not in the final graph that are inserted and
+//!   later deleted;
+//! * **churned edges** — final edges that are inserted, deleted, and
+//!   re-inserted.
+//!
+//! Per-edge operation order is preserved (I, I–D–I, or I–D) while the
+//! global interleaving is uniformly random, implemented by drawing one
+//! sorted random timestamp per operation.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::edge::HyperEdge;
+use crate::hypergraph::Hypergraph;
+use crate::stream::{Update, UpdateStream};
+use crate::VertexId;
+
+/// Churn parameters for [`churn_stream`].
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnConfig {
+    /// Noise edges inserted-then-deleted, as a fraction of the final edge
+    /// count (e.g. 0.5 = half as many noise edges as real edges).
+    pub noise_ratio: f64,
+    /// Fraction of final edges that get an extra delete + re-insert cycle.
+    pub churn_ratio: f64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> ChurnConfig {
+        ChurnConfig {
+            noise_ratio: 0.5,
+            churn_ratio: 0.25,
+        }
+    }
+}
+
+/// A random-order insert-only stream for `h`.
+pub fn insert_only_stream<R: Rng>(h: &Hypergraph, rng: &mut R) -> UpdateStream {
+    let mut edges: Vec<HyperEdge> = h.edges().to_vec();
+    edges.shuffle(rng);
+    UpdateStream {
+        n: h.n(),
+        max_rank: h.max_rank().max(2),
+        updates: edges.into_iter().map(Update::insert).collect(),
+    }
+}
+
+/// A dynamic stream with deletions whose final hypergraph is exactly `h`.
+pub fn churn_stream<R: Rng>(h: &Hypergraph, cfg: ChurnConfig, rng: &mut R) -> UpdateStream {
+    let n = h.n();
+    let max_rank = h.max_rank().max(2);
+    let m = h.edge_count();
+    let noise_count = (cfg.noise_ratio * m as f64).round() as usize;
+    let churn_count = (cfg.churn_ratio * m as f64).round() as usize;
+
+    // Per-edge op scripts.
+    let mut scripts: Vec<(HyperEdge, Vec<bool>)> = Vec::new(); // true = insert
+    let mut order: Vec<usize> = (0..m).collect();
+    order.shuffle(rng);
+    for (i, &idx) in order.iter().enumerate() {
+        let e = h.edges()[idx].clone();
+        if i < churn_count {
+            scripts.push((e, vec![true, false, true]));
+        } else {
+            scripts.push((e, vec![true]));
+        }
+    }
+    // Noise edges: random hyperedges not in the final graph.
+    let mut placed = 0;
+    let mut attempts = 0;
+    while placed < noise_count && n >= 2 {
+        attempts += 1;
+        if attempts > 100 * noise_count + 1000 {
+            break; // graph too dense for more noise; keep what we have
+        }
+        let r = rng.gen_range(2..=max_rank.min(n));
+        let mut vs = std::collections::BTreeSet::new();
+        while vs.len() < r {
+            vs.insert(rng.gen_range(0..n as VertexId));
+        }
+        let e = HyperEdge::new(vs.into_iter().collect()).unwrap();
+        if h.has_edge(&e) || scripts.iter().any(|(se, _)| se == &e) {
+            continue;
+        }
+        scripts.push((e, vec![true, false]));
+        placed += 1;
+    }
+
+    // Timestamp each operation: per-edge sorted random keys preserve the
+    // per-edge order while the global merge is uniform.
+    let mut ops: Vec<(f64, Update)> = Vec::new();
+    for (e, script) in scripts {
+        let mut keys: Vec<f64> = (0..script.len()).map(|_| rng.gen::<f64>()).collect();
+        keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (key, is_insert) in keys.into_iter().zip(script) {
+            let u = if is_insert {
+                Update::insert(e.clone())
+            } else {
+                Update::delete(e.clone())
+            };
+            ops.push((key, u));
+        }
+    }
+    ops.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    UpdateStream {
+        n,
+        max_rank,
+        updates: ops.into_iter().map(|(_, u)| u).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{gnp, random_uniform_hypergraph};
+    use rand::prelude::*;
+
+    #[test]
+    fn insert_only_round_trips() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let h = random_uniform_hypergraph(10, 3, 15, &mut rng);
+        let s = insert_only_stream(&h, &mut rng);
+        assert_eq!(s.len(), 15);
+        assert_eq!(s.deletion_fraction(), 0.0);
+        let h2 = s.final_hypergraph().unwrap();
+        assert_eq!(h2.edge_count(), 15);
+        for e in h.edges() {
+            assert!(h2.has_edge(e));
+        }
+    }
+
+    #[test]
+    fn churn_stream_is_valid_and_round_trips() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for trial in 0..10 {
+            let g = gnp(14, 0.3, &mut rng);
+            let h = Hypergraph::from_graph(&g);
+            let s = churn_stream(
+                &h,
+                ChurnConfig {
+                    noise_ratio: 1.0,
+                    churn_ratio: 0.5,
+                },
+                &mut rng,
+            );
+            let h2 = s
+                .final_hypergraph()
+                .unwrap_or_else(|e| panic!("trial {trial}: invalid stream: {e}"));
+            assert_eq!(h2.edge_count(), h.edge_count(), "trial {trial}");
+            for e in h.edges() {
+                assert!(h2.has_edge(e), "trial {trial}: missing {e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn churn_stream_contains_deletions() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = gnp(12, 0.4, &mut rng);
+        let h = Hypergraph::from_graph(&g);
+        let s = churn_stream(&h, ChurnConfig::default(), &mut rng);
+        assert!(s.deletion_fraction() > 0.0, "expected deletions in churn stream");
+        assert!(s.len() > h.edge_count());
+    }
+
+    #[test]
+    fn zero_churn_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let g = gnp(10, 0.3, &mut rng);
+        let h = Hypergraph::from_graph(&g);
+        let s = churn_stream(
+            &h,
+            ChurnConfig {
+                noise_ratio: 0.0,
+                churn_ratio: 0.0,
+            },
+            &mut rng,
+        );
+        assert_eq!(s.len(), h.edge_count());
+        assert_eq!(s.deletion_fraction(), 0.0);
+    }
+}

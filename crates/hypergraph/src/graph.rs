@@ -1,0 +1,190 @@
+//! A simple undirected graph with exact queries.
+//!
+//! Used as ground truth in experiments and as the post-processing
+//! representation for decoded sketches (e.g. the union `H = T_1 ∪ … ∪ T_R`
+//! of Section 3). Vertices are dense ids in `[0, n)`; the graph is simple
+//! (no self-loops, no parallel edges).
+
+use std::collections::BTreeSet;
+
+use crate::VertexId;
+
+/// Simple undirected graph.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    n: usize,
+    adj: Vec<Vec<VertexId>>,
+    edges: BTreeSet<(VertexId, VertexId)>,
+}
+
+impl Graph {
+    /// An empty graph on `n` vertices.
+    pub fn new(n: usize) -> Graph {
+        Graph {
+            n,
+            adj: vec![Vec::new(); n],
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// The complete graph `K_n`.
+    pub fn complete(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for u in 0..n as VertexId {
+            for v in (u + 1)..n as VertexId {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    /// Builds a graph from an edge list (duplicates are ignored).
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Graph {
+        let mut g = Graph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Inserts `{u, v}`; returns false if it was already present.
+    ///
+    /// # Panics
+    /// Panics on self-loops or out-of-range vertices.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        assert_ne!(u, v, "self-loop {{{u},{u}}}");
+        assert!((u as usize) < self.n && (v as usize) < self.n);
+        let key = if u < v { (u, v) } else { (v, u) };
+        if !self.edges.insert(key) {
+            return false;
+        }
+        self.adj[u as usize].push(v);
+        self.adj[v as usize].push(u);
+        true
+    }
+
+    /// Removes `{u, v}`; returns false if it was absent.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        let key = if u < v { (u, v) } else { (v, u) };
+        if !self.edges.remove(&key) {
+            return false;
+        }
+        self.adj[u as usize].retain(|&x| x != v);
+        self.adj[v as usize].retain(|&x| x != u);
+        true
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges.contains(&key)
+    }
+
+    /// Neighbors of `v` (unsorted).
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Minimum degree over all vertices (0 for the empty graph).
+    pub fn min_degree(&self) -> usize {
+        (0..self.n).map(|v| self.adj[v].len()).min().unwrap_or(0)
+    }
+
+    /// All edges as `(u, v)` pairs with `u < v`, in sorted order.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// The union of this graph with another on the same vertex set.
+    pub fn union(&self, other: &Graph) -> Graph {
+        assert_eq!(self.n, other.n);
+        let mut g = self.clone();
+        for (u, v) in other.edges() {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// The subgraph induced by the vertices with `keep[v] == true`,
+    /// preserving vertex ids (dropped vertices become isolated).
+    pub fn filter_vertices(&self, keep: &[bool]) -> Graph {
+        assert_eq!(keep.len(), self.n);
+        let mut g = Graph::new(self.n);
+        for (u, v) in self.edges() {
+            if keep[u as usize] && keep[v as usize] {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_round_trip() {
+        let mut g = Graph::new(5);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0), "parallel edge accepted");
+        assert!(g.has_edge(1, 0));
+        assert_eq!(g.degree(0), 1);
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.degree(1), 0);
+    }
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = Graph::complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.min_degree(), 5);
+    }
+
+    #[test]
+    fn union_merges_without_duplicates() {
+        let a = Graph::from_edges(4, &[(0, 1), (1, 2)]);
+        let b = Graph::from_edges(4, &[(1, 2), (2, 3)]);
+        let u = a.union(&b);
+        assert_eq!(u.edge_count(), 3);
+        assert!(u.has_edge(0, 1) && u.has_edge(1, 2) && u.has_edge(2, 3));
+    }
+
+    #[test]
+    fn filter_vertices_drops_incident_edges() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let f = g.filter_vertices(&[true, false, true, true]);
+        assert_eq!(f.edge_count(), 1);
+        assert!(f.has_edge(2, 3));
+        assert_eq!(f.degree(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let mut g = Graph::new(3);
+        g.add_edge(2, 2);
+    }
+}

@@ -1,0 +1,320 @@
+//! In-memory hypergraphs: unweighted (inputs, ground truth) and weighted
+//! (sparsifier outputs).
+
+use std::collections::BTreeMap;
+
+use crate::edge::HyperEdge;
+use crate::graph::Graph;
+use crate::VertexId;
+
+/// A simple unweighted hypergraph: a set of distinct hyperedges over `[0, n)`.
+#[derive(Clone, Debug, Default)]
+pub struct Hypergraph {
+    n: usize,
+    edges: Vec<HyperEdge>,
+    index: BTreeMap<HyperEdge, usize>,
+}
+
+impl Hypergraph {
+    /// An empty hypergraph on `n` vertices.
+    pub fn new(n: usize) -> Hypergraph {
+        Hypergraph {
+            n,
+            edges: Vec::new(),
+            index: BTreeMap::new(),
+        }
+    }
+
+    /// Builds from an edge list, ignoring duplicates.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = HyperEdge>) -> Hypergraph {
+        let mut h = Hypergraph::new(n);
+        for e in edges {
+            h.add_edge(e);
+        }
+        h
+    }
+
+    /// View of a simple graph as a rank-2 hypergraph.
+    pub fn from_graph(g: &Graph) -> Hypergraph {
+        Hypergraph::from_edges(g.n(), g.edges().map(|(u, v)| HyperEdge::pair(u, v)))
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of hyperedges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The largest edge cardinality present (2 for graphs; 0 if empty).
+    pub fn max_rank(&self) -> usize {
+        self.edges.iter().map(|e| e.cardinality()).max().unwrap_or(0)
+    }
+
+    /// Inserts a hyperedge; returns false if already present.
+    ///
+    /// # Panics
+    /// Panics if any vertex is out of range.
+    pub fn add_edge(&mut self, e: HyperEdge) -> bool {
+        assert!(
+            (*e.vertices().last().unwrap() as usize) < self.n,
+            "vertex out of range"
+        );
+        if self.index.contains_key(&e) {
+            return false;
+        }
+        self.index.insert(e.clone(), self.edges.len());
+        self.edges.push(e);
+        true
+    }
+
+    /// Membership test.
+    pub fn has_edge(&self, e: &HyperEdge) -> bool {
+        self.index.contains_key(e)
+    }
+
+    /// The hyperedges, in insertion order.
+    #[inline]
+    pub fn edges(&self) -> &[HyperEdge] {
+        &self.edges
+    }
+
+    /// Vertex → incident edge indices (built on demand).
+    pub fn incidence(&self) -> Vec<Vec<usize>> {
+        let mut inc = vec![Vec::new(); self.n];
+        for (i, e) in self.edges.iter().enumerate() {
+            for &v in e.vertices() {
+                inc[v as usize].push(i);
+            }
+        }
+        inc
+    }
+
+    /// Degree of a vertex = number of incident hyperedges.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.edges.iter().filter(|e| e.contains(v)).count()
+    }
+
+    /// `|δ(S)|`: the number of hyperedges crossing the cut given by the
+    /// indicator `in_s`.
+    pub fn cut_size(&self, in_s: &[bool]) -> usize {
+        assert_eq!(in_s.len(), self.n);
+        self.edges
+            .iter()
+            .filter(|e| e.crosses(|v| in_s[v as usize]))
+            .count()
+    }
+
+    /// Indices of the hyperedges in `δ(S)`.
+    pub fn crossing(&self, in_s: &[bool]) -> Vec<usize> {
+        assert_eq!(in_s.len(), self.n);
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.crosses(|v| in_s[v as usize]))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The sub-hypergraph with the edges at `remove` deleted (vertex set
+    /// unchanged). Indices refer to [`edges`](Self::edges) order.
+    pub fn remove_edges(&self, remove: &[usize]) -> Hypergraph {
+        let mut dead = vec![false; self.edges.len()];
+        for &i in remove {
+            dead[i] = true;
+        }
+        Hypergraph::from_edges(
+            self.n,
+            self.edges
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !dead[*i])
+                .map(|(_, e)| e.clone()),
+        )
+    }
+
+    /// The clique expansion: a simple graph with an edge for every vertex
+    /// pair that co-occurs in some hyperedge. Removing a vertex set S
+    /// disconnects the hypergraph iff it disconnects the clique expansion,
+    /// so hypergraph vertex connectivity reduces to graph vertex
+    /// connectivity of this expansion.
+    pub fn clique_expansion(&self) -> Graph {
+        let mut g = Graph::new(self.n);
+        for e in &self.edges {
+            for (u, v) in e.pairs() {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+}
+
+/// A weighted hypergraph — the output type of sparsifiers. Weights accumulate
+/// when the same hyperedge is added twice.
+#[derive(Clone, Debug, Default)]
+pub struct WeightedHypergraph {
+    n: usize,
+    entries: BTreeMap<HyperEdge, f64>,
+}
+
+impl WeightedHypergraph {
+    /// An empty weighted hypergraph on `n` vertices.
+    pub fn new(n: usize) -> WeightedHypergraph {
+        WeightedHypergraph {
+            n,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// All edges of an unweighted hypergraph with unit weight.
+    pub fn unit(h: &Hypergraph) -> WeightedHypergraph {
+        let mut w = WeightedHypergraph::new(h.n());
+        for e in h.edges() {
+            w.add(e.clone(), 1.0);
+        }
+        w
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct weighted hyperedges.
+    pub fn edge_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Adds `weight` to hyperedge `e` (inserting it if absent).
+    pub fn add(&mut self, e: HyperEdge, weight: f64) {
+        assert!((*e.vertices().last().unwrap() as usize) < self.n);
+        assert!(weight > 0.0, "non-positive weight {weight}");
+        *self.entries.entry(e).or_insert(0.0) += weight;
+    }
+
+    /// The weight of a hyperedge (0 if absent).
+    pub fn weight(&self, e: &HyperEdge) -> f64 {
+        self.entries.get(e).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates `(edge, weight)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&HyperEdge, f64)> {
+        self.entries.iter().map(|(e, &w)| (e, w))
+    }
+
+    /// Total weight of hyperedges crossing the cut `in_s` — the quantity the
+    /// sparsifier must preserve within `(1 ± ε)` (Definition 17).
+    pub fn cut_weight(&self, in_s: &[bool]) -> f64 {
+        assert_eq!(in_s.len(), self.n);
+        self.entries
+            .iter()
+            .filter(|(e, _)| e.crosses(|v| in_s[v as usize]))
+            .map(|(_, &w)| w)
+            .sum()
+    }
+
+    /// Total weight of all hyperedges.
+    pub fn total_weight(&self) -> f64 {
+        self.entries.values().sum()
+    }
+
+    /// Forgets weights (support hypergraph).
+    pub fn support(&self) -> Hypergraph {
+        Hypergraph::from_edges(self.n, self.entries.keys().cloned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri(a: u32, b: u32, c: u32) -> HyperEdge {
+        HyperEdge::new(vec![a, b, c]).unwrap()
+    }
+
+    #[test]
+    fn add_and_dedup() {
+        let mut h = Hypergraph::new(5);
+        assert!(h.add_edge(tri(0, 1, 2)));
+        assert!(!h.add_edge(tri(2, 1, 0)), "duplicate accepted");
+        assert!(h.has_edge(&tri(1, 0, 2)));
+        assert_eq!(h.edge_count(), 1);
+        assert_eq!(h.max_rank(), 3);
+    }
+
+    #[test]
+    fn cut_size_counts_crossing_edges() {
+        let h = Hypergraph::from_edges(
+            4,
+            vec![tri(0, 1, 2), HyperEdge::pair(2, 3), HyperEdge::pair(0, 1)],
+        );
+        // S = {0, 1}: tri crosses (2 outside), pair(2,3) doesn't, pair(0,1) doesn't.
+        let in_s = [true, true, false, false];
+        assert_eq!(h.cut_size(&in_s), 1);
+        assert_eq!(h.crossing(&in_s), vec![0]);
+        // S = {0}: tri crosses, pair(0,1) crosses.
+        let in_s = [true, false, false, false];
+        assert_eq!(h.cut_size(&in_s), 2);
+    }
+
+    #[test]
+    fn remove_edges_by_index() {
+        let h = Hypergraph::from_edges(4, vec![tri(0, 1, 2), HyperEdge::pair(2, 3)]);
+        let h2 = h.remove_edges(&[0]);
+        assert_eq!(h2.edge_count(), 1);
+        assert!(h2.has_edge(&HyperEdge::pair(2, 3)));
+    }
+
+    #[test]
+    fn clique_expansion_of_triangle_edge() {
+        let h = Hypergraph::from_edges(4, vec![tri(0, 1, 3)]);
+        let g = h.clique_expansion();
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(0, 1) && g.has_edge(0, 3) && g.has_edge(1, 3));
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn degrees_and_incidence_agree() {
+        let h = Hypergraph::from_edges(4, vec![tri(0, 1, 2), HyperEdge::pair(1, 3)]);
+        let inc = h.incidence();
+        for (v, inc_v) in inc.iter().enumerate() {
+            assert_eq!(inc_v.len(), h.degree(v as u32), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn weighted_cut_accumulates() {
+        let mut w = WeightedHypergraph::new(3);
+        w.add(HyperEdge::pair(0, 1), 2.0);
+        w.add(HyperEdge::pair(0, 1), 3.0);
+        w.add(HyperEdge::pair(1, 2), 1.0);
+        assert_eq!(w.edge_count(), 2);
+        assert_eq!(w.weight(&HyperEdge::pair(0, 1)), 5.0);
+        assert_eq!(w.cut_weight(&[true, false, false]), 5.0);
+        assert_eq!(w.cut_weight(&[true, true, false]), 1.0);
+        assert_eq!(w.total_weight(), 6.0);
+    }
+
+    #[test]
+    fn unit_weighting_matches_cut_size() {
+        let h = Hypergraph::from_edges(4, vec![tri(0, 1, 2), HyperEdge::pair(2, 3)]);
+        let w = WeightedHypergraph::unit(&h);
+        for mask in 1..(1u32 << 4) - 1 {
+            let in_s: Vec<bool> = (0..4).map(|v| mask >> v & 1 == 1).collect();
+            assert_eq!(w.cut_weight(&in_s), h.cut_size(&in_s) as f64, "mask {mask}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive weight")]
+    fn rejects_nonpositive_weight() {
+        let mut w = WeightedHypergraph::new(3);
+        w.add(HyperEdge::pair(0, 1), 0.0);
+    }
+}

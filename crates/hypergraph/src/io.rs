@@ -1,0 +1,143 @@
+//! Text serialization for dynamic hypergraph streams.
+//!
+//! Line format (whitespace separated):
+//!
+//! ```text
+//! # comment
+//! n <vertices> <max_rank>     — header, must come first
+//! + <v1> <v2> [... vr]        — hyperedge insertion
+//! - <v1> <v2> [... vr]        — hyperedge deletion
+//! ```
+//!
+//! Used by the `dgs` CLI to stream updates from files or stdin, and handy
+//! for persisting experiment workloads.
+
+use std::io::{BufRead, Write};
+
+use crate::edge::HyperEdge;
+use crate::stream::{Op, Update, UpdateStream};
+use crate::GraphError;
+
+/// Parses a stream from a reader. Fails fast with a line-numbered error.
+pub fn read_stream<R: BufRead>(reader: R) -> Result<UpdateStream, GraphError> {
+    let mut stream: Option<UpdateStream> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| GraphError::InvalidEdge(format!("io error: {e}")))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().expect("nonempty line");
+        let numbers: Result<Vec<u64>, _> = parts.map(|p| p.parse::<u64>()).collect();
+        let numbers = numbers.map_err(|e| {
+            GraphError::InvalidEdge(format!("line {}: bad number: {e}", lineno + 1))
+        })?;
+        match tag {
+            "n" => {
+                if stream.is_some() {
+                    return Err(GraphError::InvalidEdge(format!(
+                        "line {}: duplicate header",
+                        lineno + 1
+                    )));
+                }
+                if numbers.len() != 2 {
+                    return Err(GraphError::InvalidEdge(format!(
+                        "line {}: header needs `n <vertices> <max_rank>`",
+                        lineno + 1
+                    )));
+                }
+                stream = Some(UpdateStream::new(numbers[0] as usize, numbers[1] as usize));
+            }
+            "+" | "-" => {
+                let s = stream.as_mut().ok_or_else(|| {
+                    GraphError::InvalidEdge(format!(
+                        "line {}: update before header",
+                        lineno + 1
+                    ))
+                })?;
+                let vs: Vec<u32> = numbers.iter().map(|&x| x as u32).collect();
+                let e = HyperEdge::new(vs).map_err(|err| {
+                    GraphError::InvalidEdge(format!("line {}: {err}", lineno + 1))
+                })?;
+                let op = if tag == "+" { Op::Insert } else { Op::Delete };
+                s.updates.push(Update { edge: e, op });
+            }
+            other => {
+                return Err(GraphError::InvalidEdge(format!(
+                    "line {}: unknown tag `{other}`",
+                    lineno + 1
+                )));
+            }
+        }
+    }
+    stream.ok_or_else(|| GraphError::InvalidEdge("empty input: missing header".into()))
+}
+
+/// Writes a stream in the text format.
+pub fn write_stream<W: Write>(stream: &UpdateStream, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "n {} {}", stream.n, stream.max_rank)?;
+    for u in &stream.updates {
+        let tag = match u.op {
+            Op::Insert => "+",
+            Op::Delete => "-",
+        };
+        let vs: Vec<String> = u.edge.vertices().iter().map(|v| v.to_string()).collect();
+        writeln!(writer, "{tag} {}", vs.join(" "))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(s: &str) -> Result<UpdateStream, GraphError> {
+        read_stream(BufReader::new(s.as_bytes()))
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut s = UpdateStream::new(6, 3);
+        s.push_insert(HyperEdge::pair(0, 1));
+        s.push_insert(HyperEdge::new(vec![2, 3, 4]).unwrap());
+        s.push_delete(HyperEdge::pair(0, 1));
+        let mut buf = Vec::new();
+        write_stream(&s, &mut buf).unwrap();
+        let back = read_stream(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back.n, 6);
+        assert_eq!(back.max_rank, 3);
+        assert_eq!(back.updates, s.updates);
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let s = parse("# workload\n\nn 4 2\n+ 0 1\n# mid comment\n- 0 1\n+ 2 3\n").unwrap();
+        assert_eq!(s.len(), 3);
+        let g = s.final_graph().unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("").is_err(), "missing header");
+        assert!(parse("+ 0 1\n").is_err(), "update before header");
+        assert!(parse("n 4 2\nn 4 2\n").is_err(), "duplicate header");
+        assert!(parse("n 4\n").is_err(), "short header");
+        assert!(parse("n 4 2\n+ 0 zero\n").is_err(), "bad number");
+        assert!(parse("n 4 2\n* 0 1\n").is_err(), "unknown tag");
+        assert!(parse("n 4 2\n+ 1\n").is_err(), "cardinality 1");
+        assert!(parse("n 4 2\n+ 1 1\n").is_err(), "duplicate vertex");
+    }
+
+    #[test]
+    fn header_dimensions_are_enforced_on_apply() {
+        // Parsing is lenient about ranges; `final_hypergraph` validates.
+        let s = parse("n 3 2\n+ 0 7\n").unwrap();
+        assert!(s.final_hypergraph().is_err());
+        let s = parse("n 5 2\n+ 0 1 2\n").unwrap();
+        assert!(s.final_hypergraph().is_err(), "rank above header bound");
+    }
+}

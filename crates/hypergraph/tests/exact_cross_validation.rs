@@ -1,0 +1,148 @@
+//! Cross-validation of the exact-algorithm substrate against brute force:
+//! these algorithms are the ground truth for every experiment, so they get
+//! their own adversarial checks.
+
+use dgs_hypergraph::algo::strength::local_edge_connectivity;
+use dgs_hypergraph::algo::vertex_conn::{disconnects, vertex_connectivity};
+use dgs_hypergraph::algo::{degeneracy, hyper_local_edge_connectivity};
+use dgs_hypergraph::{Graph, HyperEdge, Hypergraph};
+use proptest::prelude::*;
+
+/// Strategy: a random simple graph on `n <= 9` vertices as an edge mask.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (4usize..9, any::<u64>()).prop_map(|(n, mask)| {
+        let mut g = Graph::new(n);
+        let mut bit = 0;
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if mask >> (bit % 64) & 1 == 1 {
+                    g.add_edge(u, v);
+                }
+                bit += 1;
+            }
+        }
+        g
+    })
+}
+
+/// Brute-force minimum u-v edge cut: min over vertex bipartitions
+/// separating u and v of the crossing edge count.
+fn brute_edge_cut(g: &Graph, s: u32, t: u32) -> usize {
+    let n = g.n();
+    let mut best = usize::MAX;
+    for mask in 0u32..(1 << n) {
+        if mask >> s & 1 != 1 || mask >> t & 1 != 0 {
+            continue;
+        }
+        let cut = g
+            .edges()
+            .filter(|&(a, b)| (mask >> a & 1) != (mask >> b & 1))
+            .count();
+        best = best.min(cut);
+    }
+    best
+}
+
+/// Brute-force minimum vertex separator size (κ): smallest S ⊆ V whose
+/// removal disconnects the graph, or n-1 if none exists (complete graph).
+fn brute_kappa(g: &Graph) -> usize {
+    let n = g.n();
+    let mut best = n - 1;
+    for mask in 0u32..(1 << n) {
+        let size = mask.count_ones() as usize;
+        if size >= best {
+            continue;
+        }
+        let s: Vec<u32> = (0..n as u32).filter(|&v| mask >> v & 1 == 1).collect();
+        if disconnects(g, &s) {
+            best = size;
+        }
+    }
+    best
+}
+
+/// Brute-force degeneracy: max over all induced subgraphs of the min degree.
+fn brute_degeneracy(g: &Graph) -> usize {
+    let n = g.n();
+    let mut best = 0;
+    for mask in 1u32..(1 << n) {
+        let verts: Vec<u32> = (0..n as u32).filter(|&v| mask >> v & 1 == 1).collect();
+        if verts.is_empty() {
+            continue;
+        }
+        let min_deg = verts
+            .iter()
+            .map(|&v| {
+                g.neighbors(v)
+                    .iter()
+                    .filter(|&&u| mask >> u & 1 == 1)
+                    .count()
+            })
+            .min()
+            .unwrap();
+        best = best.max(min_deg);
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Max-flow/min-cut duality: Dinic's λ(u, v) equals the brute-force
+    /// minimum separating edge cut.
+    #[test]
+    fn local_edge_connectivity_duality(g in arb_graph()) {
+        let n = g.n() as u32;
+        for (s, t) in [(0u32, n - 1), (1, n - 2)] {
+            if s == t {
+                continue;
+            }
+            let flow = local_edge_connectivity(&g, s, t, usize::MAX);
+            prop_assert_eq!(flow, brute_edge_cut(&g, s, t), "pair ({}, {})", s, t);
+        }
+    }
+
+    /// Graph and rank-2 hypergraph local connectivity agree (the gadget
+    /// network generalizes the plain flow network).
+    #[test]
+    fn graph_and_hypergraph_flows_agree(g in arb_graph()) {
+        let h = Hypergraph::from_graph(&g);
+        let n = g.n() as u32;
+        let flow_g = local_edge_connectivity(&g, 0, n - 1, usize::MAX);
+        let flow_h = hyper_local_edge_connectivity(&h, 0, n - 1, usize::MAX);
+        prop_assert_eq!(flow_g, flow_h);
+    }
+
+    /// Even–Tarjan vertex connectivity equals brute-force separator search.
+    #[test]
+    fn vertex_connectivity_matches_brute_force(g in arb_graph()) {
+        prop_assert_eq!(vertex_connectivity(&g), brute_kappa(&g));
+    }
+
+    /// Peeling degeneracy equals the max-over-subgraphs definition.
+    #[test]
+    fn degeneracy_matches_definition(g in arb_graph()) {
+        let h = Hypergraph::from_graph(&g);
+        prop_assert_eq!(degeneracy(&h), brute_degeneracy(&g));
+    }
+}
+
+#[test]
+fn hyperedge_gadget_flow_counts_fat_edges_once() {
+    // One fat hyperedge is a single removable object: λ through it is 1 no
+    // matter how many vertex pairs it spans.
+    let h = Hypergraph::from_edges(6, vec![HyperEdge::new(vec![0, 1, 2, 3, 4, 5]).unwrap()]);
+    for t in 1..6u32 {
+        assert_eq!(hyper_local_edge_connectivity(&h, 0, t, usize::MAX), 1);
+    }
+    // Adding a second parallel-ish hyperedge doubles it.
+    let h2 = Hypergraph::from_edges(
+        6,
+        vec![
+            HyperEdge::new(vec![0, 1, 2, 3, 4, 5]).unwrap(),
+            HyperEdge::new(vec![0, 3]).unwrap(),
+        ],
+    );
+    assert_eq!(hyper_local_edge_connectivity(&h2, 0, 3, usize::MAX), 2);
+    assert_eq!(hyper_local_edge_connectivity(&h2, 0, 1, usize::MAX), 1);
+}

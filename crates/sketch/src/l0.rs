@@ -1,0 +1,333 @@
+//! The ℓ0-sampler: return (the index of) a nonzero coordinate of a
+//! dynamically updated vector.
+//!
+//! Construction (Jowhari–Saglam–Tardos style): a geometric level hash
+//! assigns each coordinate a level `lvl(i) ~ Geom(1/2)`; level `j` holds the
+//! sub-vector of coordinates with `lvl >= j` in an exact
+//! [s-sparse recovery](crate::SparseRecovery) structure. Some level whp
+//! contains between 1 and `s` surviving nonzeros, and the decoder returns
+//! the recovered item minimizing the level hash — a min-wise choice that
+//! makes the sample (approximately) uniform over the support and, crucially
+//! for repeated use, a *deterministic function of the net vector and the
+//! seed*.
+
+use dgs_field::{SeedTree, UniformHash};
+
+use crate::params::L0Params;
+use crate::sparse_recovery::SparseRecovery;
+
+/// A linear ℓ0-sampler over `[0, dimension)`.
+#[derive(Clone, Debug)]
+pub struct L0Sampler {
+    level_hash: UniformHash,
+    levels: Vec<SparseRecovery>,
+    dimension: u64,
+    seed_tag: u64,
+}
+
+impl L0Sampler {
+    /// Draws a sampler from the seed tree. Pass `levels = None` for the
+    /// dimension-derived level count, or cap it when the sketched vector's
+    /// support is known to be much smaller than the dimension (e.g. induced
+    /// subgraphs on few vertices).
+    pub fn with_levels(
+        seeds: &SeedTree,
+        dimension: u64,
+        params: L0Params,
+        levels: Option<usize>,
+    ) -> L0Sampler {
+        let level_count = levels
+            .unwrap_or_else(|| L0Params::levels_for_dimension(dimension))
+            .max(2);
+        let level_hash = UniformHash::new(&seeds.child(0), params.level_independence);
+        let levels = (0..level_count)
+            .map(|j| {
+                SparseRecovery::new(
+                    &seeds.child(1).child(j as u64),
+                    dimension,
+                    params.sparsity,
+                    params.rows,
+                )
+            })
+            .collect();
+        L0Sampler {
+            level_hash,
+            levels,
+            dimension,
+            seed_tag: seeds.seed(),
+        }
+    }
+
+    /// Draws a sampler with the default level count for the dimension.
+    pub fn new(seeds: &SeedTree, dimension: u64, params: L0Params) -> L0Sampler {
+        L0Sampler::with_levels(seeds, dimension, params, None)
+    }
+
+    /// The sketched index-space size.
+    pub fn dimension(&self) -> u64 {
+        self.dimension
+    }
+
+    /// Applies `(index, delta)`: the coordinate lives in levels
+    /// `0..=lvl(index)` (expected 2 level touches per update).
+    #[inline]
+    pub fn update(&mut self, index: u64, delta: i64) {
+        debug_assert!(index < self.dimension, "index {index} out of range");
+        let top = self.level_hash.level(index, self.levels.len() - 1);
+        for j in 0..=top {
+            self.levels[j].update(index, delta);
+        }
+    }
+
+    /// Cell-wise sum with a same-seeded sampler.
+    pub fn add_assign_sketch(&mut self, rhs: &L0Sampler) {
+        assert_eq!(self.seed_tag, rhs.seed_tag, "sketch seed mismatch");
+        assert_eq!(self.levels.len(), rhs.levels.len(), "sketch shape mismatch");
+        for (a, b) in self.levels.iter_mut().zip(&rhs.levels) {
+            a.add_assign_sketch(b);
+        }
+    }
+
+    /// Cell-wise difference with a same-seeded sampler.
+    pub fn sub_assign_sketch(&mut self, rhs: &L0Sampler) {
+        assert_eq!(self.seed_tag, rhs.seed_tag, "sketch seed mismatch");
+        assert_eq!(self.levels.len(), rhs.levels.len(), "sketch shape mismatch");
+        for (a, b) in self.levels.iter_mut().zip(&rhs.levels) {
+            a.sub_assign_sketch(b);
+        }
+    }
+
+    /// True iff every cell of every level is zero.
+    pub fn is_zero(&self) -> bool {
+        self.levels.iter().all(|l| l.is_zero())
+    }
+
+    /// Samples a nonzero coordinate of the net vector.
+    ///
+    /// * `Some((index, weight))` — a true nonzero (up to the negligible
+    ///   fingerprint error), chosen min-wise among the recovered level;
+    /// * `None` — the vector is zero, **or** every level's recovery failed
+    ///   (probability `2^{-Ω(rows)}` per the parameters).
+    pub fn sample(&self) -> Option<(u64, i64)> {
+        for level in &self.levels {
+            match level.decode() {
+                Some(support) if support.is_empty() => return None, // zero here => zero everywhere below geometric nesting
+                Some(support) => {
+                    return support
+                        .into_iter()
+                        .min_by(|a, b| {
+                            self.level_hash
+                                .unit(a.0)
+                                .partial_cmp(&self.level_hash.unit(b.0))
+                                .unwrap()
+                        });
+                }
+                None => continue, // too dense at this level; subsample more
+            }
+        }
+        None
+    }
+
+    /// Exact full-support recovery when the net vector has at most
+    /// `sparsity` nonzeros (level 0 holds the whole vector).
+    pub fn recover_support(&self) -> Option<Vec<(u64, i64)>> {
+        self.levels[0].decode()
+    }
+
+    /// Memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.level_hash.size_bytes()
+            + self.levels.iter().map(|l| l.size_bytes()).sum::<usize>()
+    }
+}
+
+impl dgs_field::Codec for L0Sampler {
+    fn encode(&self, w: &mut dgs_field::Writer) {
+        w.put_u64(self.dimension);
+        w.put_u64(self.seed_tag);
+        self.level_hash.encode(w);
+        self.levels.encode(w);
+    }
+    fn decode(r: &mut dgs_field::Reader<'_>) -> Result<Self, dgs_field::CodecError> {
+        let dimension = r.get_u64()?;
+        let seed_tag = r.get_u64()?;
+        let level_hash = UniformHash::decode(r)?;
+        let levels: Vec<SparseRecovery> = Vec::decode(r)?;
+        if levels.is_empty() {
+            return Err(dgs_field::CodecError {
+                offset: 0,
+                message: "sampler with zero levels".into(),
+            });
+        }
+        Ok(L0Sampler {
+            level_hash,
+            levels,
+            dimension,
+            seed_tag,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Profile;
+    use rand::prelude::*;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    const D: u64 = 1 << 30;
+
+    fn sampler(label: u64) -> L0Sampler {
+        L0Sampler::new(
+            &SeedTree::new(31).child(label),
+            D,
+            L0Params::for_dimension(D, Profile::Practical),
+        )
+    }
+
+    #[test]
+    fn zero_vector_samples_none() {
+        assert_eq!(sampler(0).sample(), None);
+        assert!(sampler(0).is_zero());
+    }
+
+    #[test]
+    fn singleton_always_recovered() {
+        for label in 0..20 {
+            let mut s = sampler(label);
+            s.update(12345, 1);
+            assert_eq!(s.sample(), Some((12345, 1)), "label {label}");
+        }
+    }
+
+    #[test]
+    fn cancelled_updates_sample_none() {
+        let mut s = sampler(1);
+        for i in 0..100u64 {
+            s.update(i * 7, 1);
+        }
+        for i in 0..100u64 {
+            s.update(i * 7, -1);
+        }
+        assert!(s.is_zero());
+        assert_eq!(s.sample(), None);
+    }
+
+    #[test]
+    fn dense_vector_samples_true_nonzeros() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut success = 0;
+        for label in 0..30 {
+            let mut s = sampler(1000 + label);
+            let mut truth = BTreeSet::new();
+            while truth.len() < 5000 {
+                truth.insert(rng.gen_range(0..D));
+            }
+            for &i in &truth {
+                s.update(i, 1);
+            }
+            if let Some((idx, w)) = s.sample() {
+                assert!(truth.contains(&idx), "label {label}: {idx} not in support");
+                assert_eq!(w, 1);
+                success += 1;
+            }
+        }
+        assert!(success >= 28, "only {success}/30 dense samples succeeded");
+    }
+
+    #[test]
+    fn sample_spreads_over_support() {
+        // Different seeds should sample different elements of a fixed
+        // moderately sized support.
+        let support: Vec<u64> = (0..40u64).map(|i| i * 1_000_003 % D).collect();
+        let mut seen = BTreeSet::new();
+        for label in 0..60 {
+            let mut s = sampler(2000 + label);
+            for &i in &support {
+                s.update(i, 1);
+            }
+            if let Some((idx, _)) = s.sample() {
+                assert!(support.contains(&idx));
+                seen.insert(idx);
+            }
+        }
+        assert!(
+            seen.len() >= 10,
+            "samples collapsed onto {} distinct items",
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn sample_is_deterministic_for_fixed_seed_and_vector() {
+        let mut a = sampler(5);
+        let mut b = sampler(5);
+        for i in [3u64, 900, 77777, 12] {
+            a.update(i, 1);
+            // Different update order must not matter (linearity).
+        }
+        for i in [12u64, 77777, 900, 3] {
+            b.update(i, 1);
+        }
+        assert_eq!(a.sample(), b.sample());
+    }
+
+    #[test]
+    fn linearity_peels_recovered_subsets() {
+        let seeds = SeedTree::new(31).child(600);
+        let params = L0Params::for_dimension(D, Profile::Practical);
+        let mut total = L0Sampler::new(&seeds, D, params);
+        let all: Vec<u64> = vec![10, 20, 30, 40, 50];
+        for &i in &all {
+            total.update(i, 1);
+        }
+        let mut known = L0Sampler::new(&seeds, D, params);
+        known.update(20, 1);
+        known.update(40, 1);
+        let mut rest = total.clone();
+        rest.sub_assign_sketch(&known);
+        assert_eq!(
+            rest.recover_support(),
+            Some(vec![(10, 1), (30, 1), (50, 1)])
+        );
+    }
+
+    #[test]
+    fn negative_weights_survive_sampling() {
+        let mut s = sampler(8);
+        s.update(1000, -1);
+        s.update(2000, -1);
+        let (idx, w) = s.sample().expect("nonzero vector");
+        assert!(idx == 1000 || idx == 2000);
+        assert_eq!(w, -1);
+    }
+
+    #[test]
+    fn support_recovery_matches_truth_with_mixed_weights() {
+        let mut s = sampler(9);
+        let mut truth = BTreeMap::new();
+        for (i, w) in [(7u64, 2i64), (100, -1), (5000, 3)] {
+            s.update(i, w);
+            truth.insert(i, w);
+        }
+        assert_eq!(
+            s.recover_support(),
+            Some(truth.into_iter().collect::<Vec<_>>())
+        );
+    }
+
+    #[test]
+    fn theory_profile_larger_than_practical() {
+        let t = L0Sampler::new(
+            &SeedTree::new(1),
+            D,
+            L0Params::for_dimension(D, Profile::Theory),
+        );
+        let p = L0Sampler::new(
+            &SeedTree::new(1),
+            D,
+            L0Params::for_dimension(D, Profile::Practical),
+        );
+        assert!(t.size_bytes() > p.size_bytes());
+    }
+}

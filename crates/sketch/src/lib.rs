@@ -1,0 +1,30 @@
+//! Linear sketch primitives: one-sparse detectors, s-sparse recovery, and
+//! ℓ0-samplers.
+//!
+//! These are the "distribution over matrices" of Jowhari, Saglam, Tardos
+//! \[18\] that the paper invokes as a black box (Section 4.1): a linear map
+//! `M : Z^d -> (small)` from which one can, with probability `1 - 1/poly`,
+//! return the index of a nonzero coordinate of the sketched vector.
+//!
+//! Everything here is linear over the Mersenne-61 field:
+//!
+//! * updates commute and cancel (`insert` then `delete` leaves no trace),
+//! * two sketches drawn with the same seed can be added or subtracted
+//!   cell-wise ([`L0Sampler::sub_assign_sketch`]), which is what powers the
+//!   paper's peeling identities `B(G - E_1 - …) = B(G) - Σ B(E_j)`.
+//!
+//! Module map: [`one_sparse`] (the 3-field detector cell), [`sparse_recovery`]
+//! (hashing + peeling s-sparse decoder), [`l0`] (geometric level subsampling
+//! on top of s-sparse recovery), [`params`] (parameter profiles: `Theory`
+//! with the paper's polylog sizing, `Practical` with constants sized for
+//! laptop-scale experiments).
+
+pub mod l0;
+pub mod one_sparse;
+pub mod params;
+pub mod sparse_recovery;
+
+pub use l0::L0Sampler;
+pub use one_sparse::{OneSparse, OneSparseDecode};
+pub use params::{L0Params, Profile};
+pub use sparse_recovery::SparseRecovery;

@@ -1,0 +1,282 @@
+//! Exact s-sparse recovery by hashing into one-sparse cells and peeling.
+//!
+//! `rows` independent pairwise hash functions each scatter the coordinates
+//! across `2s` one-sparse cells. If the net vector has at most `s` nonzero
+//! coordinates, peeling (decode a one-sparse cell, subtract the recovered
+//! item everywhere, repeat) recovers the support exactly with probability
+//! `1 - 2^{-Ω(rows)}`; a residual nonzero cell after peeling certifies
+//! failure, so the decoder never silently returns a wrong support — the
+//! only error mode left is a fingerprint false positive (`<= d/p` per cell).
+
+use dgs_field::{Fingerprinter, KWiseHash, SeedTree};
+
+use crate::one_sparse::{OneSparse, OneSparseDecode};
+
+/// An s-sparse recovery structure.
+#[derive(Clone, Debug)]
+pub struct SparseRecovery {
+    fper: Fingerprinter,
+    hashes: Vec<KWiseHash>,
+    /// `rows x cols` cells, row-major.
+    cells: Vec<OneSparse>,
+    cols: usize,
+    sparsity: usize,
+    dimension: u64,
+}
+
+impl SparseRecovery {
+    /// A structure recovering up to `sparsity` nonzeros over `[0, dimension)`.
+    pub fn new(seeds: &SeedTree, dimension: u64, sparsity: usize, rows: usize) -> SparseRecovery {
+        assert!(sparsity >= 1 && rows >= 1);
+        let cols = 2 * sparsity;
+        let fper = Fingerprinter::new(&seeds.child(u64::MAX));
+        let hashes = (0..rows)
+            .map(|r| KWiseHash::new(&seeds.child(r as u64), 2))
+            .collect();
+        SparseRecovery {
+            fper,
+            hashes,
+            cells: vec![OneSparse::new(); rows * cols],
+            cols,
+            sparsity,
+            dimension,
+        }
+    }
+
+    /// The sparsity bound `s`.
+    pub fn sparsity(&self) -> usize {
+        self.sparsity
+    }
+
+    /// Applies `(index, delta)` to every row (one `z^index` exponentiation
+    /// shared across rows).
+    #[inline]
+    pub fn update(&mut self, index: u64, delta: i64) {
+        debug_assert!(index < self.dimension);
+        let term = self.fper.term(index, delta);
+        for (r, h) in self.hashes.iter().enumerate() {
+            let c = h.bucket(index, self.cols);
+            self.cells[r * self.cols + c].update_with_term(index, delta, term);
+        }
+    }
+
+    /// Cell-wise sum with a same-seeded structure.
+    pub fn add_assign_sketch(&mut self, rhs: &SparseRecovery) {
+        assert_eq!(self.cells.len(), rhs.cells.len(), "sketch shape mismatch");
+        assert_eq!(self.dimension, rhs.dimension);
+        for (a, b) in self.cells.iter_mut().zip(&rhs.cells) {
+            a.add_assign(b);
+        }
+    }
+
+    /// Cell-wise difference with a same-seeded structure.
+    pub fn sub_assign_sketch(&mut self, rhs: &SparseRecovery) {
+        assert_eq!(self.cells.len(), rhs.cells.len(), "sketch shape mismatch");
+        assert_eq!(self.dimension, rhs.dimension);
+        for (a, b) in self.cells.iter_mut().zip(&rhs.cells) {
+            a.sub_assign(b);
+        }
+    }
+
+    /// True iff every cell is zero (the net vector hashes to nothing).
+    pub fn is_zero(&self) -> bool {
+        self.cells.iter().all(|c| c.is_zero())
+    }
+
+    /// Attempts exact support recovery by peeling. Returns `Some(support)`
+    /// — pairs `(index, net_weight)` sorted by index — iff peeling drains
+    /// every cell; `None` means the vector (almost surely) has more than
+    /// `s` nonzeros or the hashing was unlucky.
+    pub fn decode(&self) -> Option<Vec<(u64, i64)>> {
+        let mut work = self.cells.clone();
+        let mut recovered: Vec<(u64, i64)> = Vec::new();
+        // Each peel removes one coordinate; s+1 coordinates can never drain.
+        let max_peels = self.sparsity * 2 + 2;
+        loop {
+            if work.iter().all(|c| c.is_zero()) {
+                recovered.sort_unstable();
+                return Some(recovered);
+            }
+            if recovered.len() >= max_peels {
+                return None;
+            }
+            let mut progress = false;
+            for i in 0..work.len() {
+                if let OneSparseDecode::One { index, weight } =
+                    work[i].decode(&self.fper, self.dimension)
+                {
+                    // Subtract the item from every row.
+                    let mut unit = OneSparse::new();
+                    unit.update(index, weight, &self.fper);
+                    for (r, h) in self.hashes.iter().enumerate() {
+                        let c = h.bucket(index, self.cols);
+                        work[r * self.cols + c].sub_assign(&unit);
+                    }
+                    recovered.push((index, weight));
+                    progress = true;
+                    break;
+                }
+            }
+            if !progress {
+                return None;
+            }
+        }
+    }
+
+    /// Memory footprint in bytes (cells + hash coefficients + fingerprint).
+    pub fn size_bytes(&self) -> usize {
+        self.cells.len() * OneSparse::size_bytes()
+            + self.hashes.iter().map(|h| h.size_bytes()).sum::<usize>()
+            + self.fper.size_bytes()
+    }
+}
+
+impl dgs_field::Codec for SparseRecovery {
+    fn encode(&self, w: &mut dgs_field::Writer) {
+        w.put_u64(self.dimension);
+        w.put_usize(self.sparsity);
+        self.fper.encode(w);
+        self.hashes.to_vec().encode(w);
+        self.cells.encode(w);
+    }
+    fn decode(r: &mut dgs_field::Reader<'_>) -> Result<Self, dgs_field::CodecError> {
+        let dimension = r.get_u64()?;
+        let sparsity = r.get_len(1 << 30)?.max(1);
+        let fper = Fingerprinter::decode(r)?;
+        let hashes: Vec<KWiseHash> = Vec::decode(r)?;
+        let cells: Vec<OneSparse> = Vec::decode(r)?;
+        let cols = 2 * sparsity;
+        if hashes.is_empty() || cells.len() != hashes.len() * cols {
+            return Err(dgs_field::CodecError {
+                offset: 0,
+                message: format!(
+                    "inconsistent sparse-recovery shape: {} hashes, {} cells, {} cols",
+                    hashes.len(),
+                    cells.len(),
+                    cols
+                ),
+            });
+        }
+        Ok(SparseRecovery {
+            fper,
+            hashes,
+            cells,
+            cols,
+            sparsity,
+            dimension,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    const D: u64 = 1 << 30;
+
+    fn sr(label: u64, s: usize) -> SparseRecovery {
+        SparseRecovery::new(&SeedTree::new(9).child(label), D, s, 6)
+    }
+
+    #[test]
+    fn empty_decodes_empty() {
+        assert_eq!(sr(0, 4).decode(), Some(vec![]));
+    }
+
+    #[test]
+    fn recovers_small_support_exactly() {
+        let mut s = sr(1, 4);
+        s.update(100, 1);
+        s.update(2000, -2);
+        s.update(30, 3);
+        assert_eq!(s.decode(), Some(vec![(30, 3), (100, 1), (2000, -2)]));
+    }
+
+    #[test]
+    fn cancellation_invisible() {
+        let mut s = sr(2, 4);
+        s.update(5, 1);
+        s.update(5, -1);
+        s.update(77, 1);
+        assert!(!s.is_zero());
+        assert_eq!(s.decode(), Some(vec![(77, 1)]));
+    }
+
+    #[test]
+    fn overfull_returns_none_not_garbage() {
+        let mut s = sr(3, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut truth = std::collections::BTreeSet::new();
+        while truth.len() < 64 {
+            truth.insert(rng.gen_range(0..D));
+        }
+        for &i in &truth {
+            s.update(i, 1);
+        }
+        // 64 nonzeros in a 4-sparse structure: peeling may recover a few
+        // items before stalling, but must not claim full success.
+        assert_eq!(s.decode(), None);
+    }
+
+    #[test]
+    fn boundary_sparsity_succeeds_with_high_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut success = 0;
+        let trials = 100;
+        for t in 0..trials {
+            let mut s = sr(100 + t, 8);
+            let mut truth = std::collections::BTreeMap::new();
+            while truth.len() < 8 {
+                truth.insert(rng.gen_range(0..D), 1i64);
+            }
+            for (&i, &w) in &truth {
+                s.update(i, w);
+            }
+            if let Some(out) = s.decode() {
+                assert_eq!(out, truth.into_iter().collect::<Vec<_>>(), "trial {t}");
+                success += 1;
+            }
+        }
+        assert!(success >= 95, "only {success}/{trials} full-sparsity decodes");
+    }
+
+    #[test]
+    fn linearity_subtraction_peels_known_edges() {
+        // The Section 4.2.1 pattern: recover E_1 from B(G), then decode
+        // B(G) - B(E_1) for the rest.
+        let seeds = SeedTree::new(9).child(500);
+        let mut total = SparseRecovery::new(&seeds, D, 4, 6);
+        for i in [10u64, 20, 30, 40] {
+            total.update(i, 1);
+        }
+        let mut known = SparseRecovery::new(&seeds, D, 4, 6);
+        known.update(10, 1);
+        known.update(20, 1);
+        let mut rest = total.clone();
+        rest.sub_assign_sketch(&known);
+        assert_eq!(rest.decode(), Some(vec![(30, 1), (40, 1)]));
+        // And adding back restores the original support.
+        rest.add_assign_sketch(&known);
+        assert_eq!(rest.decode(), Some(vec![(10, 1), (20, 1), (30, 1), (40, 1)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_shapes_panic() {
+        let mut a = sr(7, 4);
+        let b = sr(8, 5);
+        a.add_assign_sketch(&b);
+    }
+
+    #[test]
+    fn size_accounting_scales_with_parameters() {
+        let small = sr(9, 4);
+        let big = sr(10, 16);
+        assert!(big.size_bytes() > small.size_bytes());
+        assert_eq!(
+            small.size_bytes(),
+            6 * 8 * OneSparse::size_bytes() + 6 * 16 + 8
+        );
+    }
+}

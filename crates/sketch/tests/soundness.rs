@@ -1,0 +1,131 @@
+//! Property tests: the recovery structures must never return a *wrong*
+//! answer — failure is always explicit (`None`), never a fabricated
+//! support. This is the soundness contract every decoder upstream
+//! (Borůvka, skeleton peeling, light recovery, sparsifier) relies on.
+
+use std::collections::BTreeMap;
+
+use dgs_field::SeedTree;
+use dgs_sketch::{L0Params, L0Sampler, SparseRecovery};
+use proptest::prelude::*;
+
+const D: u64 = 1 << 28;
+
+/// A random update history plus its net vector.
+fn arb_history() -> impl Strategy<Value = (Vec<(u64, i64)>, BTreeMap<u64, i64>)> {
+    prop::collection::vec((0..D, -3i64..=3), 0..60).prop_map(|ups| {
+        let mut net = BTreeMap::new();
+        for &(i, d) in &ups {
+            if d != 0 {
+                *net.entry(i).or_insert(0) += d;
+            }
+        }
+        net.retain(|_, v| *v != 0);
+        (ups, net)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SparseRecovery: `Some(support)` is always the exact net support.
+    #[test]
+    fn sparse_recovery_never_lies((ups, net) in arb_history(), seed in 0u64..5000, s in 2usize..8) {
+        let mut sr = SparseRecovery::new(&SeedTree::new(seed), D, s, 4);
+        for &(i, d) in &ups {
+            if d != 0 {
+                sr.update(i, d);
+            }
+        }
+        if let Some(out) = sr.decode() {
+            let expect: Vec<(u64, i64)> = net.clone().into_iter().collect();
+            prop_assert_eq!(out, expect);
+        }
+        // A zero net vector reads as zero regardless of history.
+        if net.is_empty() {
+            prop_assert!(sr.is_zero());
+            prop_assert_eq!(sr.decode(), Some(vec![]));
+        }
+    }
+
+    /// L0Sampler: a returned sample is always a true nonzero with the true
+    /// net weight; a zero vector always samples None.
+    #[test]
+    fn l0_sampler_never_lies((ups, net) in arb_history(), seed in 0u64..5000) {
+        let params = L0Params { sparsity: 4, rows: 4, level_independence: 8 };
+        let mut s = L0Sampler::new(&SeedTree::new(seed), D, params);
+        for &(i, d) in &ups {
+            if d != 0 {
+                s.update(i, d);
+            }
+        }
+        match s.sample() {
+            Some((idx, w)) => {
+                prop_assert_eq!(net.get(&idx), Some(&w), "index {}", idx);
+            }
+            None => {
+                // Allowed: either the vector is zero or the sampler failed;
+                // failure must not be common for small supports.
+            }
+        }
+        if net.is_empty() {
+            prop_assert_eq!(s.sample(), None);
+        }
+    }
+
+    /// Linearity: sketch(history A) - sketch(history B) behaves as the
+    /// sketch of the difference vector.
+    #[test]
+    fn subtraction_is_vector_difference(
+        (ups_a, net_a) in arb_history(),
+        (ups_b, net_b) in arb_history(),
+        seed in 0u64..5000,
+    ) {
+        let params = L0Params { sparsity: 8, rows: 5, level_independence: 8 };
+        let seeds = SeedTree::new(seed);
+        let mut a = L0Sampler::new(&seeds, D, params);
+        let mut b = L0Sampler::new(&seeds, D, params);
+        for &(i, d) in &ups_a {
+            if d != 0 { a.update(i, d); }
+        }
+        for &(i, d) in &ups_b {
+            if d != 0 { b.update(i, d); }
+        }
+        a.sub_assign_sketch(&b);
+        let mut diff = net_a;
+        for (i, d) in net_b {
+            *diff.entry(i).or_insert(0) -= d;
+        }
+        diff.retain(|_, v| *v != 0);
+        if let Some((idx, w)) = a.sample() {
+            prop_assert_eq!(diff.get(&idx), Some(&w));
+        }
+        if diff.is_empty() {
+            prop_assert!(a.is_zero());
+        }
+    }
+}
+
+/// Deterministic reliability check (not a proptest): small supports must
+/// decode nearly always at the lean parameters used by the experiments.
+#[test]
+fn lean_parameters_reliability_floor() {
+    let params = L0Params {
+        sparsity: 4,
+        rows: 4,
+        level_independence: 8,
+    };
+    let mut ok = 0;
+    let trials = 300;
+    for t in 0..trials {
+        let mut s = L0Sampler::new(&SeedTree::new(90_000 + t), D, params);
+        // Support of size 3: well within the level-0 budget.
+        for i in [7u64, 1_000_003, 99_999_999] {
+            s.update(i, 1);
+        }
+        if s.sample().is_some() {
+            ok += 1;
+        }
+    }
+    assert!(ok >= 295, "lean sampler succeeded only {ok}/{trials}");
+}

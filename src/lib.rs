@@ -1,0 +1,67 @@
+//! # dynamic-graph-streams
+//!
+//! A production-quality Rust implementation of
+//! **"Vertex and Hyperedge Connectivity in Dynamic Graph Streams"**
+//! (Guha, McGregor, Tench — PODS 2015): linear sketches for vertex
+//! connectivity, cut-degenerate graph reconstruction, and hypergraph
+//! sparsification over streams of edge insertions *and deletions*, plus all
+//! the substrates they stand on and the baselines they are measured
+//! against.
+//!
+//! ## Crate map
+//!
+//! | re-export | crate | contents |
+//! |---|---|---|
+//! | [`field`] | `dgs-field` | Mersenne-61 arithmetic, k-wise hashing, fingerprints, seed trees |
+//! | [`hypergraph`] | `dgs-hypergraph` | graph/hypergraph types, streams, generators, exact algorithms |
+//! | [`sketch`] | `dgs-sketch` | one-sparse cells, s-sparse recovery, ℓ0-samplers |
+//! | [`connectivity`] | `dgs-connectivity` | spanning-forest and k-skeleton sketches, player model |
+//! | [`core`] | `dgs-core` | the paper's contributions (Thm 4/8/15/20) |
+//! | [`baselines`] | `dgs-baselines` | Eppstein certificate, BK sparsifier, lower-bound protocols |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dynamic_graph_streams::prelude::*;
+//!
+//! // A dynamic stream: insert a triangle, delete one edge.
+//! let n = 3;
+//! let space = EdgeSpace::graph(n).unwrap();
+//! let params = ForestParams::new(Profile::Practical, space.dimension());
+//! let mut sketch = SpanningForestSketch::new_full(space, &SeedTree::new(42), params);
+//! for (u, v) in [(0, 1), (1, 2), (0, 2)] {
+//!     sketch.update(&HyperEdge::pair(u, v), 1);
+//! }
+//! sketch.update(&HyperEdge::pair(0, 2), -1);
+//! assert!(sketch.is_connected());
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and DESIGN.md / EXPERIMENTS.md
+//! for the reproduction methodology.
+
+pub use dgs_baselines as baselines;
+pub use dgs_connectivity as connectivity;
+pub use dgs_core as core;
+pub use dgs_field as field;
+pub use dgs_hypergraph as hypergraph;
+pub use dgs_sketch as sketch;
+
+pub mod parallel;
+
+/// One-stop imports for the common API surface.
+pub mod prelude {
+    pub use dgs_baselines::{benczur_karger_sparsifier, EppsteinCertificate, StoreAll};
+    pub use dgs_connectivity::{
+        assemble_players, player_sketch, ForestParams, KSkeletonSketch, SpanningForestSketch,
+    };
+    pub use dgs_core::{
+        HypergraphSparsifier, LightRecoverySketch, SparsifierConfig, VertexConnConfig,
+        VertexConnSketch,
+    };
+    pub use dgs_field::SeedTree;
+    pub use dgs_hypergraph::{
+        EdgeSpace, Graph, GraphError, HyperEdge, Hypergraph, Op, Update, UpdateStream,
+        WeightedHypergraph,
+    };
+    pub use dgs_sketch::{L0Params, L0Sampler, Profile};
+}

@@ -1,0 +1,180 @@
+//! Multicore stream ingestion through linearity.
+//!
+//! Every structure in this workspace is a *linear* sketch: the state after
+//! a stream is the cell-wise sum of the states after any partition of that
+//! stream. Sharding a stream across threads — each building its own
+//! same-seeded sketch — and summing the results therefore yields the exact
+//! single-threaded state, bit for bit.
+//!
+//! [`parallel_ingest`] implements that pattern with scoped threads. It is
+//! deliberately simple (chunk the update slice, one sketch per thread,
+//! fold): the point is the *correctness* property tests assert — sharded
+//! equals serial — which no non-linear summary could offer.
+
+use dgs_hypergraph::{HyperEdge, Update};
+
+/// A linear graph sketch: applies signed edge updates and merges with a
+/// same-seeded sibling. Implemented by every sketch structure in the
+/// workspace.
+pub trait MergeableSketch: Send {
+    /// Applies one signed hyperedge update.
+    fn apply(&mut self, e: &HyperEdge, delta: i64);
+    /// Cell-wise sum with a same-seeded sibling.
+    fn merge_from(&mut self, other: &Self);
+}
+
+macro_rules! impl_mergeable {
+    ($ty:ty) => {
+        impl MergeableSketch for $ty {
+            fn apply(&mut self, e: &HyperEdge, delta: i64) {
+                self.update(e, delta);
+            }
+            fn merge_from(&mut self, other: &Self) {
+                self.add_assign_sketch(other);
+            }
+        }
+    };
+}
+
+impl_mergeable!(dgs_connectivity::SpanningForestSketch);
+impl_mergeable!(dgs_connectivity::KSkeletonSketch);
+impl_mergeable!(dgs_core::VertexConnSketch);
+impl_mergeable!(dgs_core::LightRecoverySketch);
+impl_mergeable!(dgs_core::HypergraphSparsifier);
+
+/// Ingests `updates` across `threads` worker threads, each building a
+/// fresh sketch via `build` (which must produce same-seeded sketches), and
+/// returns the merged result — bit-identical to serial ingestion.
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn parallel_ingest<S, F>(updates: &[Update], threads: usize, build: F) -> S
+where
+    S: MergeableSketch,
+    F: Fn() -> S + Sync,
+{
+    assert!(threads >= 1, "need at least one thread");
+    let threads = threads.min(updates.len().max(1));
+    let chunk = updates.len().div_ceil(threads);
+    let mut partials: Vec<S> = std::thread::scope(|scope| {
+        let handles: Vec<_> = updates
+            .chunks(chunk.max(1))
+            .map(|shard| {
+                let build = &build;
+                scope.spawn(move || {
+                    let mut sk = build();
+                    for u in shard {
+                        sk.apply(&u.edge, u.op.delta());
+                    }
+                    sk
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ingest worker panicked"))
+            .collect()
+    });
+    let mut acc = if partials.is_empty() {
+        build()
+    } else {
+        partials.remove(0)
+    };
+    for p in &partials {
+        acc.merge_from(p);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_connectivity::{ForestParams, SpanningForestSketch};
+    use dgs_core::{HypergraphSparsifier, SparsifierConfig, VertexConnConfig, VertexConnSketch};
+    use dgs_field::SeedTree;
+    use dgs_hypergraph::generators::{churn_stream, gnp, ChurnConfig};
+    use dgs_hypergraph::{EdgeSpace, Hypergraph};
+    use dgs_sketch::Profile;
+    use rand::prelude::*;
+
+    #[test]
+    fn sharded_forest_equals_serial() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let h = Hypergraph::from_graph(&gnp(20, 0.3, &mut rng));
+        let stream = churn_stream(&h, ChurnConfig::default(), &mut rng);
+        let space = EdgeSpace::graph(20).unwrap();
+        let params = ForestParams::new(Profile::Practical, space.dimension());
+        let seeds = SeedTree::new(10);
+
+        let mut serial = SpanningForestSketch::new_full(space.clone(), &seeds, params);
+        for u in &stream.updates {
+            serial.update(&u.edge, u.op.delta());
+        }
+        for threads in [1usize, 2, 4, 7] {
+            let par = parallel_ingest(&stream.updates, threads, || {
+                SpanningForestSketch::new_full(space.clone(), &seeds, params)
+            });
+            assert_eq!(par.decode(), serial.decode(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn sharded_vertex_conn_equals_serial() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let h = Hypergraph::from_graph(&gnp(16, 0.4, &mut rng));
+        let stream = churn_stream(&h, ChurnConfig::default(), &mut rng);
+        let space = EdgeSpace::graph(16).unwrap();
+        let cfg = VertexConnConfig::query(2, 16, 1.5, Profile::Practical);
+        let seeds = SeedTree::new(11);
+
+        let mut serial = VertexConnSketch::new(space.clone(), cfg, &seeds);
+        for u in &stream.updates {
+            serial.update(&u.edge, u.op.delta());
+        }
+        let par = parallel_ingest(&stream.updates, 3, || {
+            VertexConnSketch::new(space.clone(), cfg, &seeds)
+        });
+        assert_eq!(
+            par.certificate().union.edges(),
+            serial.certificate().union.edges()
+        );
+    }
+
+    #[test]
+    fn sharded_sparsifier_equals_serial() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let h = Hypergraph::from_graph(&gnp(12, 0.5, &mut rng));
+        let stream = churn_stream(&h, ChurnConfig::default(), &mut rng);
+        let space = EdgeSpace::graph(12).unwrap();
+        let cfg = SparsifierConfig::explicit(
+            3,
+            6,
+            ForestParams::new(Profile::Practical, space.dimension()),
+        );
+        let seeds = SeedTree::new(12);
+
+        let mut serial = HypergraphSparsifier::new(space.clone(), cfg, &seeds);
+        for u in &stream.updates {
+            serial.update(&u.edge, u.op.delta());
+        }
+        let par = parallel_ingest(&stream.updates, 4, || {
+            HypergraphSparsifier::new(space.clone(), cfg, &seeds)
+        });
+        let (a, b) = (serial.decode(), par.decode());
+        assert_eq!(a.per_level, b.per_level);
+        let ea: Vec<_> = a.sparsifier.iter().map(|(e, w)| (e.clone(), w)).collect();
+        let eb: Vec<_> = b.sparsifier.iter().map(|(e, w)| (e.clone(), w)).collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn empty_stream_is_fine() {
+        let space = EdgeSpace::graph(5).unwrap();
+        let params = ForestParams::new(Profile::Practical, space.dimension());
+        let seeds = SeedTree::new(13);
+        let sk = parallel_ingest(&[], 4, || {
+            SpanningForestSketch::new_full(space.clone(), &seeds, params)
+        });
+        assert!(sk.decode().is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Cross-crate property tests: randomized streams against exact ground
+//! truth, linearity laws, and model equivalences.
+
+use proptest::prelude::*;
+
+use dynamic_graph_streams::prelude::*;
+use rand::prelude::*;
+
+use dgs_hypergraph::algo;
+
+/// Strategy: a random valid dynamic graph stream on `n` vertices — random
+/// interleavings of inserts and deletes with legal multiplicities.
+fn arb_stream(n: usize, max_ops: usize) -> impl Strategy<Value = UpdateStream> {
+    (
+        prop::collection::vec((0u32..n as u32, 0u32..n as u32, any::<bool>()), 1..max_ops),
+        any::<u64>(),
+    )
+        .prop_map(move |(raw, _seed)| {
+            let mut live = std::collections::BTreeSet::new();
+            let mut stream = UpdateStream::new(n, 2);
+            for (a, b, prefer_delete) in raw {
+                if a == b {
+                    continue;
+                }
+                let e = HyperEdge::pair(a, b);
+                if live.contains(&e) && prefer_delete {
+                    live.remove(&e);
+                    stream.push_delete(e);
+                } else if !live.contains(&e) {
+                    live.insert(e.clone());
+                    stream.push_insert(e);
+                }
+            }
+            stream
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The forest sketch's component count equals the exact count of the
+    /// final graph, for arbitrary legal insert/delete interleavings.
+    #[test]
+    fn forest_sketch_matches_exact_components(stream in arb_stream(14, 60), seed in 0u64..1000) {
+        let g = stream.final_graph().unwrap();
+        let space = EdgeSpace::graph(14).unwrap();
+        let params = ForestParams::new(Profile::Practical, space.dimension());
+        let mut sk = SpanningForestSketch::new_full(space, &SeedTree::new(seed), params);
+        for u in &stream.updates {
+            sk.update(&u.edge, u.op.delta());
+        }
+        let (forest, labels) = sk.decode_with_labels();
+        prop_assert_eq!(labels.component_count(), algo::component_count(&g));
+        for e in &forest {
+            let (u, v) = e.as_pair();
+            prop_assert!(g.has_edge(u, v), "phantom edge {:?}", e);
+        }
+    }
+
+    /// Linearity: sketch(A) + sketch(B) decodes the union when A and B are
+    /// edge-disjoint (the distributed aggregation use case).
+    #[test]
+    fn sketch_addition_is_graph_union(split_mask in 0u32..(1 << 12), seed in 0u64..1000) {
+        let n = 8;
+        let all: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|u| ((u + 1)..n as u32).map(move |v| (u, v)))
+            .collect();
+        let space = EdgeSpace::graph(n).unwrap();
+        let params = ForestParams::new(Profile::Practical, space.dimension());
+        let seeds = SeedTree::new(seed);
+        let mut a = SpanningForestSketch::new_full(space.clone(), &seeds, params);
+        let mut b = SpanningForestSketch::new_full(space.clone(), &seeds, params);
+        let mut full = SpanningForestSketch::new_full(space, &seeds, params);
+        for (i, &(u, v)) in all.iter().enumerate().take(12) {
+            let e = HyperEdge::pair(u, v);
+            full.update(&e, 1);
+            if split_mask >> i & 1 == 1 {
+                a.update(&e, 1);
+            } else {
+                b.update(&e, 1);
+            }
+        }
+        a.add_assign_sketch(&b);
+        prop_assert_eq!(a.decode(), full.decode());
+    }
+
+    /// Update order never matters (streams are linear functionals).
+    #[test]
+    fn stream_order_is_irrelevant(stream in arb_stream(10, 40), seed in 0u64..1000, shuffle_seed in 0u64..1000) {
+        let space = EdgeSpace::graph(10).unwrap();
+        let params = ForestParams::new(Profile::Practical, space.dimension());
+        let seeds = SeedTree::new(seed);
+        let mut in_order = SpanningForestSketch::new_full(space.clone(), &seeds, params);
+        for u in &stream.updates {
+            in_order.update(&u.edge, u.op.delta());
+        }
+        // Apply the same multiset of (edge, delta) pairs in shuffled order —
+        // transiently negative multiplicities are fine for a linear sketch.
+        let mut shuffled = stream.updates.clone();
+        shuffled.shuffle(&mut StdRng::seed_from_u64(shuffle_seed));
+        let mut out_of_order = SpanningForestSketch::new_full(space, &seeds, params);
+        for u in &shuffled {
+            out_of_order.update(&u.edge, u.op.delta());
+        }
+        prop_assert_eq!(in_order.decode(), out_of_order.decode());
+    }
+
+    /// The certificate's removal answers agree with exact answers for
+    /// singleton removals (k = 1 regime of Theorem 4).
+    #[test]
+    fn single_vertex_removal_queries_match(stream in arb_stream(10, 50), seed in 0u64..200) {
+        let g = stream.final_graph().unwrap();
+        // Only meaningful when connected (Theorem 4 setting).
+        prop_assume!(algo::is_connected(&g));
+        let space = EdgeSpace::graph(10).unwrap();
+        let cfg = VertexConnConfig::query(1, 10, 6.0, Profile::Practical);
+        let mut sk = VertexConnSketch::new(space, cfg, &SeedTree::new(seed));
+        for u in &stream.updates {
+            sk.update(&u.edge, u.op.delta());
+        }
+        let cert = sk.certificate();
+        for v in 0..10u32 {
+            prop_assert_eq!(
+                cert.disconnects(&[v]),
+                algo::vertex_conn::disconnects(&g, &[v]),
+                "vertex {}", v
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// light_k recovered from a sketch equals exact light_k, which equals
+    /// the strength filter (Thm 15 + Lemma 16), on arbitrary streams.
+    #[test]
+    fn light_recovery_equals_strength_filter(stream in arb_stream(9, 40), k in 1usize..3, seed in 0u64..200) {
+        let g = stream.final_graph().unwrap();
+        let space = EdgeSpace::graph(9).unwrap();
+        let params = ForestParams::new(Profile::Practical, space.dimension());
+        let mut sk = LightRecoverySketch::new(space, k, &SeedTree::new(seed), params);
+        for u in &stream.updates {
+            sk.update(&u.edge, u.op.delta());
+        }
+        let recovered: std::collections::BTreeSet<HyperEdge> =
+            sk.recover().edges().into_iter().collect();
+        let strengths = algo::strength::edge_strengths(&g);
+        for (u, v) in g.edges() {
+            let in_light = recovered.contains(&HyperEdge::pair(u, v));
+            prop_assert_eq!(in_light, strengths[&(u, v)] <= k, "edge ({},{})", u, v);
+        }
+    }
+}
