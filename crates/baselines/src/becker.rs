@@ -49,8 +49,10 @@ impl BeckerSketch {
     /// rows (each row sketches the vertex's incident edge set).
     pub fn update(&mut self, u: VertexId, v: VertexId, delta: i64) {
         let idx = self.space.rank_pair(u, v);
-        self.rows[u as usize].update(idx, delta);
-        self.rows[v as usize].update(idx, delta);
+        let ok = self.rows[u as usize]
+            .update(idx, delta)
+            .and_then(|()| self.rows[v as usize].update(idx, delta));
+        ok.expect("ranked edge index is always in range");
     }
 
     /// Peeling reconstruction. Returns `Some(graph)` iff the peeling drains
@@ -92,7 +94,9 @@ impl BeckerSketch {
                     if !g.add_edge(a, b) {
                         return None; // duplicate — decode error
                     }
-                    work[other as usize].update(idx, -1);
+                    work[other as usize]
+                        .update(idx, -1)
+                        .expect("ranked edge index is always in range");
                 }
                 // v's remaining sketch content is never consulted again.
                 done[v] = true;
@@ -118,10 +122,10 @@ impl BeckerSketch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dgs_field::prng::*;
     use dgs_hypergraph::algo::degeneracy::degeneracy;
     use dgs_hypergraph::generators::{grid, lemma10_gadget, random_d_degenerate, random_tree};
     use dgs_hypergraph::Hypergraph;
-    use rand::prelude::*;
 
     fn load(sk: &mut BeckerSketch, g: &Graph) {
         for (u, v) in g.edges() {

@@ -6,7 +6,7 @@
 //! is affordable at experiment scale and removes approximation slack from
 //! the baseline.
 
-use rand::Rng;
+use dgs_field::prng::Rng;
 
 use dgs_hypergraph::algo::strength::edge_strengths;
 use dgs_hypergraph::{Graph, HyperEdge, WeightedHypergraph};
@@ -40,9 +40,9 @@ pub fn benczur_karger_sparsifier<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dgs_field::prng::*;
     use dgs_hypergraph::generators::gnp;
     use dgs_hypergraph::Hypergraph;
-    use rand::prelude::*;
 
     #[test]
     fn low_strength_edges_always_kept_with_unit_weight() {

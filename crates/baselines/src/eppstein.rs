@@ -88,10 +88,10 @@ impl EppsteinCertificate {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dgs_field::prng::*;
     use dgs_hypergraph::algo::vertex_conn::vertex_connectivity;
     use dgs_hypergraph::generators::{harary, insert_only_stream};
     use dgs_hypergraph::{HyperEdge, Hypergraph};
-    use rand::prelude::*;
 
     fn run_inserts(g: &Graph, k: usize, seed: u64) -> EppsteinCertificate {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -188,6 +188,10 @@ mod tests {
         cert.process(&Update::insert(HyperEdge::pair(0, 2)));
         assert_eq!(cert.stored_edges(), 2);
         cert.process(&Update::delete(HyperEdge::pair(0, 2)));
-        assert_eq!(cert.stored_edges(), 2, "dropped edge deletion must be a no-op");
+        assert_eq!(
+            cert.stored_edges(),
+            2,
+            "dropped edge deletion must be a no-op"
+        );
     }
 }

@@ -14,7 +14,7 @@
 //! bound — the experiment tables report measured success rate alongside
 //! message size versus the `(k+1)·n`-bit naive encoding.
 
-use rand::Rng;
+use dgs_field::prng::Rng;
 
 use dgs_core::{VertexConnConfig, VertexConnSketch};
 use dgs_field::SeedTree;
@@ -89,8 +89,7 @@ pub fn indexing_protocol_trial<R: Rng>(
     let filtered = expansion.filter_vertices(&keep);
     let labels = component_labels(&filtered);
     let rj = r(qj) as usize;
-    let connected = (0..total)
-        .any(|v| v != rj && keep[v] && labels[v] == labels[rj]);
+    let connected = (0..total).any(|v| v != rj && keep[v] && labels[v] == labels[rj]);
 
     IndexingOutcome {
         correct: connected == x[qi][qj],
@@ -102,7 +101,7 @@ pub fn indexing_protocol_trial<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::prelude::*;
+    use dgs_field::prng::*;
 
     #[test]
     fn protocol_decodes_reliably_with_adequate_r() {
@@ -110,13 +109,7 @@ mod tests {
         let mut correct = 0;
         let trials = 20;
         for t in 0..trials {
-            let out = indexing_protocol_trial(
-                2,
-                8,
-                4.0,
-                &SeedTree::new(3000).child(t),
-                &mut rng,
-            );
+            let out = indexing_protocol_trial(2, 8, 4.0, &SeedTree::new(3000).child(t), &mut rng);
             if out.correct {
                 correct += 1;
             }

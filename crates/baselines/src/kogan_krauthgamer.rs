@@ -10,7 +10,7 @@
 //! sparsifier experiments; it cannot run on dynamic streams (strengths are
 //! not sketchable directly), which is exactly the gap Theorem 20 closes.
 
-use rand::Rng;
+use dgs_field::prng::Rng;
 
 use dgs_hypergraph::algo::strength::hyper_edge_strengths;
 use dgs_hypergraph::{Hypergraph, WeightedHypergraph};
@@ -44,8 +44,8 @@ pub fn kogan_krauthgamer_sparsifier<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dgs_field::prng::*;
     use dgs_hypergraph::generators::{planted_hyper_cut, random_uniform_hypergraph};
-    use rand::prelude::*;
 
     #[test]
     fn weak_edges_kept_with_unit_weight() {

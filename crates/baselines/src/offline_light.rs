@@ -7,7 +7,7 @@
 //! `(k, ℓ)` the sketch version should track this baseline closely, and it
 //! also scales to larger inputs than the in-memory sketches.
 
-use rand::Rng;
+use dgs_field::prng::Rng;
 
 use dgs_hypergraph::algo::strength::light_k_exact;
 use dgs_hypergraph::{Hypergraph, WeightedHypergraph};
@@ -63,9 +63,9 @@ pub fn offline_light_sparsifier<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dgs_field::prng::*;
     use dgs_hypergraph::generators::{gnp, random_uniform_hypergraph};
     use dgs_hypergraph::Graph;
-    use rand::prelude::*;
 
     fn max_cut_error(h: &Hypergraph, w: &WeightedHypergraph) -> f64 {
         let n = h.n();

@@ -13,8 +13,8 @@
 //! single edge reveals an arbitrary bit of Alice's n² input — so Alice's
 //! state must carry Ω(n²) bits.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use dgs_field::prng::Rng;
+use dgs_field::prng::SliceRandom;
 
 use dgs_hypergraph::{Graph, VertexId};
 
@@ -26,7 +26,11 @@ use dgs_hypergraph::{Graph, VertexId};
 /// all *unmarked* neighbors are added and those neighbors become marked.
 pub fn scan_first_search_tree(g: &Graph, priority: &[VertexId]) -> Vec<(VertexId, VertexId)> {
     let n = g.n();
-    assert_eq!(priority.len(), n, "priority must be a permutation of the vertices");
+    assert_eq!(
+        priority.len(),
+        n,
+        "priority must be a permutation of the vertices"
+    );
     let mut marked = vec![false; n];
     let mut scanned = vec![false; n];
     let mut tree = Vec::new();
@@ -100,8 +104,8 @@ pub fn sfst_indexing_trial<R: Rng>(n: usize, rng: &mut R) -> (bool, usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dgs_field::prng::*;
     use dgs_hypergraph::algo::{component_count, is_connected};
-    use rand::prelude::*;
 
     #[test]
     fn sfst_is_a_spanning_forest() {

@@ -1,14 +1,14 @@
 //! Decode-path cost: Borůvka forest extraction, skeleton peeling, light
 //! recovery, and full sparsifier decode.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgs_bench::microbench::bench;
 use dgs_connectivity::{KSkeletonSketch, SpanningForestSketch};
 use dgs_core::{HypergraphSparsifier, LightRecoverySketch, SparsifierConfig};
+use dgs_field::prng::*;
 use dgs_field::SeedTree;
 use dgs_hypergraph::generators::{gnm, grid};
 use dgs_hypergraph::{EdgeSpace, HyperEdge};
 use dgs_sketch::L0Params;
-use rand::prelude::*;
 
 fn lean() -> dgs_connectivity::ForestParams {
     dgs_connectivity::ForestParams {
@@ -21,9 +21,7 @@ fn lean() -> dgs_connectivity::ForestParams {
     }
 }
 
-fn bench_forest_decode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("forest_decode");
-    group.sample_size(10);
+fn bench_forest_decode() {
     for n in [32usize, 96] {
         let space = EdgeSpace::graph(n).unwrap();
         let mut sk = SpanningForestSketch::new_full(space, &SeedTree::new(10), lean());
@@ -31,14 +29,11 @@ fn bench_forest_decode(c: &mut Criterion) {
         for (u, v) in g.edges() {
             sk.update(&HyperEdge::pair(u, v), 1);
         }
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| sk.decode())
-        });
+        bench(&format!("forest_decode/{n}"), |b| b.iter(|| sk.decode()));
     }
-    group.finish();
 }
 
-fn bench_skeleton_decode(c: &mut Criterion) {
+fn bench_skeleton_decode() {
     let n = 24;
     let space = EdgeSpace::graph(n).unwrap();
     let mut sk = KSkeletonSketch::new(space, 3, &SeedTree::new(12), lean());
@@ -46,26 +41,20 @@ fn bench_skeleton_decode(c: &mut Criterion) {
     for (u, v) in g.edges() {
         sk.update(&HyperEdge::pair(u, v), 1);
     }
-    let mut group = c.benchmark_group("skeleton");
-    group.sample_size(10);
-    group.bench_function("decode_n24_k3", |b| b.iter(|| sk.decode()));
-    group.finish();
+    bench("skeleton/decode_n24_k3", |b| b.iter(|| sk.decode()));
 }
 
-fn bench_light_recover(c: &mut Criterion) {
+fn bench_light_recover() {
     let g = grid(5, 5);
     let space = EdgeSpace::graph(g.n()).unwrap();
     let mut sk = LightRecoverySketch::new(space, 2, &SeedTree::new(14), lean());
     for (u, v) in g.edges() {
         sk.update(&HyperEdge::pair(u, v), 1);
     }
-    let mut group = c.benchmark_group("light_recovery");
-    group.sample_size(10);
-    group.bench_function("grid5x5_k2", |b| b.iter(|| sk.recover()));
-    group.finish();
+    bench("light_recovery/grid5x5_k2", |b| b.iter(|| sk.recover()));
 }
 
-fn bench_sparsifier_decode(c: &mut Criterion) {
+fn bench_sparsifier_decode() {
     let n = 24;
     let space = EdgeSpace::graph(n).unwrap();
     let cfg = SparsifierConfig::explicit(3, 6, lean());
@@ -74,13 +63,10 @@ fn bench_sparsifier_decode(c: &mut Criterion) {
     for (u, v) in g.edges() {
         sp.update(&HyperEdge::pair(u, v), 1);
     }
-    let mut group = c.benchmark_group("sparsifier");
-    group.sample_size(10);
-    group.bench_function("decode_n24_k3", |b| b.iter(|| sp.decode()));
-    group.finish();
+    bench("sparsifier/decode_n24_k3", |b| b.iter(|| sp.decode()));
 }
 
-fn bench_edge_conn_decode(c: &mut Criterion) {
+fn bench_edge_conn_decode() {
     use dgs_core::EdgeConnSketch;
     let n = 24;
     let space = EdgeSpace::graph(n).unwrap();
@@ -89,28 +75,28 @@ fn bench_edge_conn_decode(c: &mut Criterion) {
     for (u, v) in g.edges() {
         sk.update(&HyperEdge::pair(u, v), 1);
     }
-    let mut group = c.benchmark_group("edge_conn");
-    group.sample_size(10);
-    group.bench_function("decode_n24_k4", |b| b.iter(|| sk.edge_connectivity()));
-    group.finish();
+    bench("edge_conn/decode_n24_k4", |b| {
+        b.iter(|| sk.edge_connectivity())
+    });
 }
 
-fn bench_becker_reconstruct(c: &mut Criterion) {
+fn bench_becker_reconstruct() {
     use dgs_baselines::BeckerSketch;
     let g = grid(6, 6);
     let mut sk = BeckerSketch::new(g.n(), 2, 6, &SeedTree::new(19));
     for (u, v) in g.edges() {
         sk.update(u, v, 1);
     }
-    let mut group = c.benchmark_group("becker");
-    group.sample_size(10);
-    group.bench_function("reconstruct_grid6x6_d2", |b| b.iter(|| sk.reconstruct()));
-    group.finish();
+    bench("becker/reconstruct_grid6x6_d2", |b| {
+        b.iter(|| sk.reconstruct())
+    });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_forest_decode, bench_skeleton_decode, bench_light_recover, bench_sparsifier_decode, bench_edge_conn_decode, bench_becker_reconstruct
+fn main() {
+    bench_forest_decode();
+    bench_skeleton_decode();
+    bench_light_recover();
+    bench_sparsifier_decode();
+    bench_edge_conn_decode();
+    bench_becker_reconstruct();
 }
-criterion_main!(benches);

@@ -2,17 +2,17 @@
 //! layer): max-flow, global min cut, vertex connectivity, strengths,
 //! exact light_k.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgs_bench::microbench::bench;
+use dgs_field::prng::*;
 use dgs_hypergraph::algo::strength::{edge_strengths, light_k_exact};
 use dgs_hypergraph::algo::{hyper_min_cut, stoer_wagner, vertex_connectivity, Dinic};
 use dgs_hypergraph::generators::{gnm, gnp, harary, random_uniform_hypergraph};
 use dgs_hypergraph::Hypergraph;
-use rand::prelude::*;
 
-fn bench_dinic(c: &mut Criterion) {
+fn bench_dinic() {
     let mut rng = StdRng::seed_from_u64(20);
     let g = gnm(200, 1200, &mut rng);
-    c.bench_function("dinic_maxflow_n200_m1200", |b| {
+    bench("dinic_maxflow_n200_m1200", |b| {
         b.iter(|| {
             let mut d = Dinic::new(g.n());
             for (u, v) in g.edges() {
@@ -23,65 +23,54 @@ fn bench_dinic(c: &mut Criterion) {
     });
 }
 
-fn bench_stoer_wagner(c: &mut Criterion) {
-    let mut group = c.benchmark_group("stoer_wagner");
-    group.sample_size(20);
+fn bench_stoer_wagner() {
     for n in [40usize, 80] {
         let mut rng = StdRng::seed_from_u64(21);
         let g = gnp(n, 0.3, &mut rng);
         let edges: Vec<(u32, u32, f64)> = g.edges().map(|(u, v)| (u, v, 1.0)).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+        bench(&format!("stoer_wagner/{n}"), |b| {
             b.iter(|| stoer_wagner(n, &edges))
         });
     }
-    group.finish();
 }
 
-fn bench_vertex_connectivity(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vertex_connectivity");
-    group.sample_size(10);
+fn bench_vertex_connectivity() {
     for (k, n) in [(3usize, 40usize), (5, 40)] {
         let g = harary(k, n);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("harary_{k}_{n}")),
-            &n,
-            |b, _| b.iter(|| vertex_connectivity(&g)),
-        );
+        bench(&format!("vertex_connectivity/harary_{k}_{n}"), |b| {
+            b.iter(|| vertex_connectivity(&g))
+        });
     }
-    group.finish();
 }
 
-fn bench_strengths(c: &mut Criterion) {
+fn bench_strengths() {
     let mut rng = StdRng::seed_from_u64(22);
     let g = gnp(30, 0.3, &mut rng);
-    let mut group = c.benchmark_group("strength");
-    group.sample_size(10);
-    group.bench_function("edge_strengths_n30", |b| b.iter(|| edge_strengths(&g)));
-    group.finish();
+    bench("strength/edge_strengths_n30", |b| {
+        b.iter(|| edge_strengths(&g))
+    });
 }
 
-fn bench_light_exact(c: &mut Criterion) {
+fn bench_light_exact() {
     let mut rng = StdRng::seed_from_u64(23);
     let g = gnp(24, 0.4, &mut rng);
     let h = Hypergraph::from_graph(&g);
-    let mut group = c.benchmark_group("light_k_exact");
-    group.sample_size(10);
-    group.bench_function("graph_n24_k2", |b| b.iter(|| light_k_exact(&h, 2)));
-    group.finish();
+    bench("light_k_exact/graph_n24_k2", |b| {
+        b.iter(|| light_k_exact(&h, 2))
+    });
 }
 
-fn bench_hyper_min_cut(c: &mut Criterion) {
+fn bench_hyper_min_cut() {
     let mut rng = StdRng::seed_from_u64(24);
     let h = random_uniform_hypergraph(20, 3, 60, &mut rng);
-    let mut group = c.benchmark_group("hyper_min_cut");
-    group.sample_size(10);
-    group.bench_function("n20_r3_m60", |b| b.iter(|| hyper_min_cut(&h)));
-    group.finish();
+    bench("hyper_min_cut/n20_r3_m60", |b| b.iter(|| hyper_min_cut(&h)));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_dinic, bench_stoer_wagner, bench_vertex_connectivity, bench_strengths, bench_light_exact, bench_hyper_min_cut
+fn main() {
+    bench_dinic();
+    bench_stoer_wagner();
+    bench_vertex_connectivity();
+    bench_strengths();
+    bench_light_exact();
+    bench_hyper_min_cut();
 }
-criterion_main!(benches);

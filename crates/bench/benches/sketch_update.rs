@@ -1,13 +1,15 @@
 //! Update-path throughput: the per-stream-element cost of every structure.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgs_bench::microbench::bench;
 use dgs_connectivity::SpanningForestSketch;
-use dgs_core::{HypergraphSparsifier, LightRecoverySketch, SparsifierConfig, VertexConnConfig, VertexConnSketch};
+use dgs_core::{
+    HypergraphSparsifier, LightRecoverySketch, SparsifierConfig, VertexConnConfig, VertexConnSketch,
+};
+use dgs_field::prng::*;
 use dgs_field::SeedTree;
 use dgs_hypergraph::generators::gnm;
 use dgs_hypergraph::{EdgeSpace, HyperEdge};
 use dgs_sketch::{L0Params, L0Sampler};
-use rand::prelude::*;
 
 fn lean() -> dgs_connectivity::ForestParams {
     dgs_connectivity::ForestParams {
@@ -20,7 +22,7 @@ fn lean() -> dgs_connectivity::ForestParams {
     }
 }
 
-fn bench_l0_update(c: &mut Criterion) {
+fn bench_l0_update() {
     let mut sampler = L0Sampler::new(
         &SeedTree::new(1),
         1 << 30,
@@ -31,16 +33,15 @@ fn bench_l0_update(c: &mut Criterion) {
         },
     );
     let mut i = 0u64;
-    c.bench_function("l0_sampler_update", |b| {
+    bench("l0_sampler_update", |b| {
         b.iter(|| {
             i = i.wrapping_add(0x9E3779B97F4A7C15) & ((1 << 30) - 1);
-            sampler.update(std::hint::black_box(i), 1);
+            sampler.update(std::hint::black_box(i), 1).unwrap();
         })
     });
 }
 
-fn bench_forest_update(c: &mut Criterion) {
-    let mut group = c.benchmark_group("forest_sketch_update");
+fn bench_forest_update() {
     for n in [64usize, 256] {
         let space = EdgeSpace::graph(n).unwrap();
         let mut sk = SpanningForestSketch::new_full(space, &SeedTree::new(2), lean());
@@ -56,17 +57,16 @@ fn bench_forest_update(c: &mut Criterion) {
             })
             .collect();
         let mut i = 0;
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+        bench(&format!("forest_sketch_update/{n}"), |b| {
             b.iter(|| {
                 sk.update(&edges[i % edges.len()], 1);
                 i += 1;
             })
         });
     }
-    group.finish();
 }
 
-fn bench_vc_update(c: &mut Criterion) {
+fn bench_vc_update() {
     let n = 128;
     let space = EdgeSpace::graph(n).unwrap();
     let mut cfg = VertexConnConfig::query(3, n, 1.0, dgs_sketch::Profile::Practical);
@@ -75,7 +75,7 @@ fn bench_vc_update(c: &mut Criterion) {
     let g = gnm(n, 4 * n, &mut StdRng::seed_from_u64(5));
     let edges: Vec<HyperEdge> = g.edges().map(|(u, v)| HyperEdge::pair(u, v)).collect();
     let mut i = 0;
-    c.bench_function("vertex_conn_update_n128_k3", |b| {
+    bench("vertex_conn_update_n128_k3", |b| {
         b.iter(|| {
             sk.update(&edges[i % edges.len()], 1);
             i += 1;
@@ -83,14 +83,14 @@ fn bench_vc_update(c: &mut Criterion) {
     });
 }
 
-fn bench_light_update(c: &mut Criterion) {
+fn bench_light_update() {
     let n = 64;
     let space = EdgeSpace::graph(n).unwrap();
     let mut sk = LightRecoverySketch::new(space, 2, &SeedTree::new(6), lean());
     let g = gnm(n, 4 * n, &mut StdRng::seed_from_u64(7));
     let edges: Vec<HyperEdge> = g.edges().map(|(u, v)| HyperEdge::pair(u, v)).collect();
     let mut i = 0;
-    c.bench_function("light_recovery_update_n64_k2", |b| {
+    bench("light_recovery_update_n64_k2", |b| {
         b.iter(|| {
             sk.update(&edges[i % edges.len()], 1);
             i += 1;
@@ -98,7 +98,7 @@ fn bench_light_update(c: &mut Criterion) {
     });
 }
 
-fn bench_sparsifier_update(c: &mut Criterion) {
+fn bench_sparsifier_update() {
     let n = 48;
     let space = EdgeSpace::graph(n).unwrap();
     let cfg = SparsifierConfig::explicit(3, 8, lean());
@@ -106,7 +106,7 @@ fn bench_sparsifier_update(c: &mut Criterion) {
     let g = gnm(n, 4 * n, &mut StdRng::seed_from_u64(9));
     let edges: Vec<HyperEdge> = g.edges().map(|(u, v)| HyperEdge::pair(u, v)).collect();
     let mut i = 0;
-    c.bench_function("sparsifier_update_n48_k3", |b| {
+    bench("sparsifier_update_n48_k3", |b| {
         b.iter(|| {
             sp.update(&edges[i % edges.len()], 1);
             i += 1;
@@ -114,9 +114,10 @@ fn bench_sparsifier_update(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_l0_update, bench_forest_update, bench_vc_update, bench_light_update, bench_sparsifier_update
+fn main() {
+    bench_l0_update();
+    bench_forest_update();
+    bench_vc_update();
+    bench_light_update();
+    bench_sparsifier_update();
 }
-criterion_main!(benches);

@@ -12,9 +12,15 @@ const DESCRIPTIONS: &[(&str, &str)] = &[
     ("e1", "Thm 4: vertex-removal query structure"),
     ("e2", "Thm 5: Ω(kn) indexing lower-bound protocol"),
     ("e3", "Thm 6/8: (1+ε) vertex-connectivity estimator"),
-    ("e4", "Thm 13: hypergraph spanning-graph sketch / connectivity"),
+    (
+        "e4",
+        "Thm 13: hypergraph spanning-graph sketch / connectivity",
+    ),
     ("e5", "Thm 14: k-skeleton sketches"),
-    ("e6", "Thm 15: light_k recovery & cut-degenerate reconstruction"),
+    (
+        "e6",
+        "Thm 15: light_k recovery & cut-degenerate reconstruction",
+    ),
     ("e7", "Lemma 16: light_k = low-strength edges"),
     ("e8", "Lemma 18/Thm 19-20: hypergraph sparsifier"),
     ("e9", "Thm 21: scan-first-search-tree Ω(n²) reduction"),

@@ -7,11 +7,11 @@
 //! sets, and sketch size against the store-everything baseline.
 
 use dgs_core::{VertexConnConfig, VertexConnSketch};
+use dgs_field::prng::*;
 use dgs_field::SeedTree;
 use dgs_hypergraph::algo::vertex_conn::disconnects;
 use dgs_hypergraph::generators::planted_separator;
 use dgs_hypergraph::{EdgeSpace, Hypergraph, VertexId};
-use rand::prelude::*;
 
 use crate::report::{fmt_bytes, fmt_rate, Table};
 use crate::workloads::{default_stream, lean_forest};
@@ -20,14 +20,28 @@ pub fn run(quick: bool) {
     let trials = if quick { 3 } else { 6 };
     // 16.0 is the paper's Theorem 4 constant — included so the table shows
     // the worst-case sizing alongside where success actually saturates.
-    let mults: &[f64] = if quick { &[0.5, 2.0] } else { &[0.25, 0.5, 1.0, 2.0, 16.0] };
-    let configs: &[(usize, usize, usize)] =
-        if quick { &[(14, 14, 2)] } else { &[(14, 14, 2), (14, 14, 3), (20, 20, 2)] };
+    let mults: &[f64] = if quick {
+        &[0.5, 2.0]
+    } else {
+        &[0.25, 0.5, 1.0, 2.0, 16.0]
+    };
+    let configs: &[(usize, usize, usize)] = if quick {
+        &[(14, 14, 2)]
+    } else {
+        &[(14, 14, 2), (14, 14, 3), (20, 20, 2)]
+    };
 
     let mut table = Table::new(
         "E1 (Thm 4): vertex-removal queries on planted-separator graphs, churn streams",
         &[
-            "n", "k", "R-mult", "R", "separator hit", "non-sep agree", "sketch", "store-all",
+            "n",
+            "k",
+            "R-mult",
+            "R",
+            "separator hit",
+            "non-sep agree",
+            "sketch",
+            "store-all",
         ],
     );
 
@@ -93,6 +107,8 @@ pub fn run(quick: bool) {
         }
     }
     table.note("paper: R = 16·k²·ln n suffices whp; detection should saturate as R-mult grows");
-    table.note("sketch >> store-all at this scale: the polylog constants only win for m >> kn·polylog(n)");
+    table.note(
+        "sketch >> store-all at this scale: the polylog constants only win for m >> kn·polylog(n)",
+    );
     table.print();
 }

@@ -6,8 +6,8 @@
 //! floor that the indexing bound enforces.
 
 use dgs_baselines::indexing_protocol_trial;
+use dgs_field::prng::*;
 use dgs_field::SeedTree;
-use rand::prelude::*;
 
 use crate::report::{fmt_bytes, fmt_rate, Table};
 
@@ -52,7 +52,11 @@ pub fn run(quick: bool) {
             fmt_bytes(floor),
         ]);
     }
-    table.note("any structure answering these queries with prob >= 3/4 must send >= kn bits (Thm 5)");
-    table.note("the sketch succeeds, so its size can never drop below the floor column asymptotically");
+    table.note(
+        "any structure answering these queries with prob >= 3/4 must send >= kn bits (Thm 5)",
+    );
+    table.note(
+        "the sketch succeeds, so its size can never drop below the floor column asymptotically",
+    );
     table.print();
 }

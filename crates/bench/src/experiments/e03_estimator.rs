@@ -7,17 +7,24 @@
 //! and report both accuracies and the decoded κ values.
 
 use dgs_core::{VertexConnConfig, VertexConnSketch};
+use dgs_field::prng::*;
 use dgs_field::SeedTree;
 use dgs_hypergraph::algo::vertex_conn::vertex_connectivity;
 use dgs_hypergraph::generators::harary;
 use dgs_hypergraph::{EdgeSpace, Graph, Hypergraph};
-use rand::prelude::*;
 
 use crate::report::{fmt_bytes, fmt_rate, Table};
 use crate::stats::fmt_mean_std;
 use crate::workloads::{default_stream, lean_forest};
 
-fn decoded_kappa(g: &Graph, k: usize, eps: f64, mult: f64, seed: u64, rng: &mut StdRng) -> (usize, usize) {
+fn decoded_kappa(
+    g: &Graph,
+    k: usize,
+    eps: f64,
+    mult: f64,
+    seed: u64,
+    rng: &mut StdRng,
+) -> (usize, usize) {
     let n = g.n();
     let h = Hypergraph::from_graph(g);
     let stream = default_stream(&h, rng);
@@ -34,7 +41,11 @@ fn decoded_kappa(g: &Graph, k: usize, eps: f64, mult: f64, seed: u64, rng: &mut 
 
 pub fn run(quick: bool) {
     let trials = if quick { 3 } else { 5 };
-    let mults: &[f64] = if quick { &[0.5, 2.0] } else { &[0.25, 0.5, 1.0, 2.0] };
+    let mults: &[f64] = if quick {
+        &[0.5, 2.0]
+    } else {
+        &[0.25, 0.5, 1.0, 2.0]
+    };
     let (k, eps, n) = (3usize, 0.5f64, 24usize);
     let hi = ((1.0 + eps) * k as f64).ceil() as usize; // 5-connected
     let lo = k - 1; // 2-connected
@@ -59,8 +70,8 @@ pub fn run(quick: bool) {
         let mut hi_kappas = Vec::new();
         let mut lo_kappas = Vec::new();
         let mut bytes = 0;
-        let r = VertexConnConfig::estimator(k, n, eps, mult, dgs_sketch::Profile::Practical)
-            .subgraphs;
+        let r =
+            VertexConnConfig::estimator(k, n, eps, mult, dgs_sketch::Profile::Practical).subgraphs;
         for t in 0..trials {
             let (kh, b) = decoded_kappa(&g_hi, k, eps, mult, mult.to_bits() ^ t as u64, &mut rng);
             bytes = b;
@@ -68,7 +79,14 @@ pub fn run(quick: bool) {
             if kh >= k {
                 hi_ok += 1;
             }
-            let (kl, _) = decoded_kappa(&g_lo, k, eps, mult, mult.to_bits() ^ (t as u64 + 977), &mut rng);
+            let (kl, _) = decoded_kappa(
+                &g_lo,
+                k,
+                eps,
+                mult,
+                mult.to_bits() ^ (t as u64 + 977),
+                &mut rng,
+            );
             lo_kappas.push(kl as f64);
             if kl < k {
                 lo_ok += 1;
@@ -84,7 +102,9 @@ pub fn run(quick: bool) {
             fmt_bytes(bytes),
         ]);
     }
-    table.note("Cor 7: κ(H) <= κ(G) always (lo side deterministic); κ(H) >= k whp when κ(G) >= (1+ε)k");
+    table.note(
+        "Cor 7: κ(H) <= κ(G) always (lo side deterministic); κ(H) >= k whp when κ(G) >= (1+ε)k",
+    );
     table.note("paper constant is 160·k²·ε⁻¹·ln n subgraphs; the hi-side rate should saturate well below it");
     table.print();
 }

@@ -6,11 +6,11 @@
 //! component counts are checked against exact ground truth.
 
 use dgs_connectivity::{ForestParams, SpanningForestSketch};
+use dgs_field::prng::*;
 use dgs_field::SeedTree;
 use dgs_hypergraph::algo::{hyper_component_count, is_hyper_connected};
 use dgs_hypergraph::generators::{planted_hyper_cut, random_uniform_hypergraph};
 use dgs_hypergraph::{EdgeSpace, Hypergraph};
-use rand::prelude::*;
 
 use crate::report::{fmt_bytes, fmt_rate, Table};
 use crate::workloads::{default_stream, lean_forest};
@@ -50,8 +50,11 @@ pub fn run(quick: bool) {
         for t in 0..trials {
             let mut rng = StdRng::seed_from_u64(0xE4_0000 + (m * 100 + t) as u64);
             let h = random_uniform_hypergraph(n, 3, m, &mut rng);
-            let (v, c, b) =
-                run_case(&h, &SeedTree::new(0xE4).child2(m as u64, t as u64), &mut rng);
+            let (v, c, b) = run_case(
+                &h,
+                &SeedTree::new(0xE4).child2(m as u64, t as u64),
+                &mut rng,
+            );
             verdict_ok += v as usize;
             comps_ok += c as usize;
             bytes = b;
@@ -86,6 +89,7 @@ pub fn run(quick: bool) {
         fmt_bytes(bytes),
     ]);
 
-    table.note("paper: O(n polylog n)-size vertex-based sketch decides hypergraph connectivity whp");
+    table
+        .note("paper: O(n polylog n)-size vertex-based sketch decides hypergraph connectivity whp");
     table.print();
 }

@@ -7,10 +7,10 @@
 //! against the `k·(n-1)` union-of-spanning-graphs budget.
 
 use dgs_connectivity::KSkeletonSketch;
+use dgs_field::prng::*;
 use dgs_field::SeedTree;
 use dgs_hypergraph::generators::{gnp, random_uniform_hypergraph};
 use dgs_hypergraph::{EdgeSpace, Hypergraph};
-use rand::prelude::*;
 
 use crate::report::{fmt_bytes, Table};
 use crate::workloads::{default_stream, lean_forest};
@@ -38,7 +38,12 @@ pub fn run(quick: bool) {
     let mut table = Table::new(
         "E5 (Thm 14): k-skeleton property over all 2^11 cuts (n = 12, churn streams)",
         &[
-            "family", "k", "cut violations", "skeleton edges", "k(n-1) budget", "sketch",
+            "family",
+            "k",
+            "cut violations",
+            "skeleton edges",
+            "k(n-1) budget",
+            "sketch",
         ],
     );
 

@@ -9,11 +9,13 @@
 
 use dgs_baselines::BeckerSketch;
 use dgs_core::LightRecoverySketch;
+use dgs_field::prng::*;
 use dgs_field::SeedTree;
 use dgs_hypergraph::algo::strength::light_k_exact;
-use dgs_hypergraph::generators::{barabasi_albert, grid, lemma10_gadget, random_d_degenerate, random_tree};
+use dgs_hypergraph::generators::{
+    barabasi_albert, grid, lemma10_gadget, random_d_degenerate, random_tree,
+};
 use dgs_hypergraph::{EdgeSpace, Graph, HyperEdge, Hypergraph};
-use rand::prelude::*;
 use std::collections::BTreeSet;
 
 use crate::report::{fmt_bytes, fmt_rate, Table};
@@ -21,9 +23,8 @@ use crate::workloads::{default_stream, lean_forest};
 
 fn hyper_chain(links: usize) -> Hypergraph {
     let n = 2 * links + 1;
-    let edges = (0..links).map(|i| {
-        HyperEdge::new(vec![2 * i as u32, 2 * i as u32 + 1, 2 * i as u32 + 2]).unwrap()
-    });
+    let edges = (0..links)
+        .map(|i| HyperEdge::new(vec![2 * i as u32, 2 * i as u32 + 1, 2 * i as u32 + 2]).unwrap());
     Hypergraph::from_edges(n, edges)
 }
 
@@ -46,16 +47,34 @@ pub fn run(quick: bool) {
     let mut table = Table::new(
         "E6 (Thm 15): light_k recovery / cut-degenerate reconstruction (churn streams)",
         &[
-            "family", "n", "m", "k", "exact recon", "Becker d=k", "light matches exact",
+            "family",
+            "n",
+            "m",
+            "k",
+            "exact recon",
+            "Becker d=k",
+            "light matches exact",
             "player msg",
         ],
     );
 
     type FamilyFn = Box<dyn Fn(&mut StdRng) -> Hypergraph>;
     let families: Vec<(&str, usize, FamilyFn)> = vec![
-        ("tree", 1, Box::new(|rng: &mut StdRng| Hypergraph::from_graph(&random_tree(18, rng)))),
-        ("grid 4x4", 2, Box::new(|_| Hypergraph::from_graph(&grid(4, 4)))),
-        ("lemma-10 gadget", 2, Box::new(|_| Hypergraph::from_graph(&lemma10_gadget()))),
+        (
+            "tree",
+            1,
+            Box::new(|rng: &mut StdRng| Hypergraph::from_graph(&random_tree(18, rng))),
+        ),
+        (
+            "grid 4x4",
+            2,
+            Box::new(|_| Hypergraph::from_graph(&grid(4, 4))),
+        ),
+        (
+            "lemma-10 gadget",
+            2,
+            Box::new(|_| Hypergraph::from_graph(&lemma10_gadget())),
+        ),
         (
             "rand 2-degenerate",
             2,
@@ -139,7 +158,9 @@ pub fn run(quick: bool) {
             fmt_bytes(msg),
         ]);
     }
-    table.note("lemma-10 gadget: 2-cut-degenerate but NOT 2-degenerate — beyond Becker et al.'s reach");
+    table.note(
+        "lemma-10 gadget: 2-cut-degenerate but NOT 2-degenerate — beyond Becker et al.'s reach",
+    );
     table.note("Becker column: d-degenerate adjacency-row peeling with d = k (graphs only; n/a for hyperedges)");
     table.note("K6 + pendants is not 2-cut-degenerate: reconstruction must fail but light_2 must still match");
     table.print();

@@ -6,11 +6,11 @@
 //! Expect 100% agreement.
 
 use dgs_core::LightRecoverySketch;
+use dgs_field::prng::*;
 use dgs_field::SeedTree;
 use dgs_hypergraph::algo::strength::{edge_strengths, hyper_edge_strengths};
 use dgs_hypergraph::generators::{gnp, random_mixed_hypergraph};
 use dgs_hypergraph::{EdgeSpace, HyperEdge, Hypergraph};
-use rand::prelude::*;
 use std::collections::BTreeSet;
 
 use crate::report::{fmt_rate, Table};

@@ -9,12 +9,14 @@
 //! Part B (larger n, sampled cuts): offline variant and the classical
 //! Benczúr–Karger baseline, comparing error at matched output size.
 
-use dgs_baselines::{benczur_karger_sparsifier, kogan_krauthgamer_sparsifier, offline_light_sparsifier};
+use dgs_baselines::{
+    benczur_karger_sparsifier, kogan_krauthgamer_sparsifier, offline_light_sparsifier,
+};
 use dgs_core::{HypergraphSparsifier, SparsifierConfig};
+use dgs_field::prng::*;
 use dgs_field::SeedTree;
 use dgs_hypergraph::generators::{gnp, random_uniform_hypergraph};
 use dgs_hypergraph::{EdgeSpace, Hypergraph, WeightedHypergraph};
-use rand::prelude::*;
 
 use crate::report::{fmt_bytes, Table};
 use crate::stats::{fmt_mean_std, mean};
@@ -123,7 +125,13 @@ fn part_a(quick: bool) {
     let mut table = Table::new(
         "E8a (Thm 20): sketch sparsifier vs offline light_k — max rel. cut error over ALL cuts",
         &[
-            "input", "k", "sketch err", "offline err", "|sparsifier|", "m", "sketch bytes",
+            "input",
+            "k",
+            "sketch err",
+            "offline err",
+            "|sparsifier|",
+            "m",
+            "sketch bytes",
         ],
     );
 
@@ -183,7 +191,14 @@ fn part_b(quick: bool) {
 
     let mut table = Table::new(
         "E8b: offline light_k vs Benczúr–Karger at n = 64 (sampled + degree cuts)",
-        &["method", "param", "max err", "min-cut est", "kept edges", "m"],
+        &[
+            "method",
+            "param",
+            "max err",
+            "min-cut est",
+            "kept edges",
+            "m",
+        ],
     );
 
     let mut rng = StdRng::seed_from_u64(0xE8_B000);
@@ -201,9 +216,7 @@ fn part_b(quick: bool) {
             let w = offline_light_sparsifier(&h, k, 16, &mut rng);
             errs.push(max_cut_error_sampled(&h, &w, 200, &mut rng));
             kept.push(w.edge_count() as f64);
-            mincuts.push(
-                dgs_hypergraph::algo::weighted_min_cut_value(&w).unwrap_or(0.0),
-            );
+            mincuts.push(dgs_hypergraph::algo::weighted_min_cut_value(&w).unwrap_or(0.0));
         }
         table.row(vec![
             "light_k".into(),
@@ -222,9 +235,7 @@ fn part_b(quick: bool) {
             let w = benczur_karger_sparsifier(&g, eps, 0.3, &mut rng);
             errs.push(max_cut_error_sampled(&h, &w, 200, &mut rng));
             kept.push(w.edge_count() as f64);
-            mincuts.push(
-                dgs_hypergraph::algo::weighted_min_cut_value(&w).unwrap_or(0.0),
-            );
+            mincuts.push(dgs_hypergraph::algo::weighted_min_cut_value(&w).unwrap_or(0.0));
         }
         table.row(vec![
             "Benczúr–Karger".into(),
@@ -236,6 +247,8 @@ fn part_b(quick: bool) {
         ]);
     }
     table.note("both methods trade kept edges for error; the paper's route matches BK's shape while being sketchable");
-    table.note("min-cut est: weighted global min cut of the sparsifier vs the Gomory–Hu exact value");
+    table.note(
+        "min-cut est: weighted global min cut of the sparsifier vs the Gomory–Hu exact value",
+    );
     table.print();
 }

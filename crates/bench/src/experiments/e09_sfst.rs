@@ -9,9 +9,9 @@
 
 use dgs_baselines::sfst_indexing_trial;
 use dgs_connectivity::SpanningForestSketch;
+use dgs_field::prng::*;
 use dgs_field::SeedTree;
 use dgs_hypergraph::EdgeSpace;
-use rand::prelude::*;
 
 use crate::report::{fmt_bytes, fmt_rate, Table};
 use crate::workloads::lean_forest;
@@ -23,7 +23,10 @@ pub fn run(quick: bool) {
     let mut table = Table::new(
         "E9 (Thm 21): SFST indexing reduction (4n-vertex gadget, random scan orders)",
         &[
-            "n", "bit decoded", "input bits (n²)", "arbitrary-tree sketch @4n",
+            "n",
+            "bit decoded",
+            "input bits (n²)",
+            "arbitrary-tree sketch @4n",
         ],
     );
 

@@ -9,21 +9,31 @@ use std::time::Instant;
 
 use dgs_connectivity::SpanningForestSketch;
 use dgs_core::{VertexConnConfig, VertexConnSketch};
+use dgs_field::prng::*;
 use dgs_field::SeedTree;
 use dgs_hypergraph::generators::gnm;
 use dgs_hypergraph::{EdgeSpace, Hypergraph};
-use rand::prelude::*;
 
 use crate::report::{fmt_bytes, Table};
 use crate::workloads::{default_stream, lean_forest};
 
 pub fn run(quick: bool) {
-    let sizes: &[usize] = if quick { &[16, 32, 64] } else { &[16, 32, 64, 128] };
+    let sizes: &[usize] = if quick {
+        &[16, 32, 64]
+    } else {
+        &[16, 32, 64, 128]
+    };
 
     let mut table = Table::new(
         "E10: scaling at average degree 8 (churn streams)",
         &[
-            "n", "m", "forest bytes", "upd ns/edge", "decode ms", "VC(k=2) bytes", "store-all",
+            "n",
+            "m",
+            "forest bytes",
+            "upd ns/edge",
+            "decode ms",
+            "VC(k=2) bytes",
+            "store-all",
             "adj matrix",
         ],
     );

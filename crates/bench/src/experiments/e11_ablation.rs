@@ -17,12 +17,12 @@
 //!    measured either way.
 
 use dgs_connectivity::{ForestParams, KSkeletonSketch, SpanningForestSketch};
+use dgs_field::prng::*;
 use dgs_field::SeedTree;
 use dgs_hypergraph::algo::{component_count, hyper_component_count};
 use dgs_hypergraph::generators::gnp;
 use dgs_hypergraph::{EdgeSpace, Graph, HyperEdge, Hypergraph};
 use dgs_sketch::L0Params;
-use rand::prelude::*;
 
 use crate::report::{fmt_rate, Table};
 use crate::stats::fmt_mean_std;
@@ -69,15 +69,13 @@ fn round_reuse_table(quick: bool) {
                     ok += 1;
                 }
             }
-            table.row(vec![
-                mode.into(),
-                extra.to_string(),
-                fmt_rate(ok, trials),
-            ]);
+            table.row(vec![mode.into(), extra.to_string(), fmt_rate(ok, trials)]);
         }
     }
     table.note("independent rounds retry failures with fresh randomness; shared rounds re-fail identically");
-    table.note("extra rounds help ONLY the independent mode — the signature of the union-bound argument");
+    table.note(
+        "extra rounds help ONLY the independent mode — the signature of the union-bound argument",
+    );
     table.print();
 }
 

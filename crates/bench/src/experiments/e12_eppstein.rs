@@ -12,11 +12,11 @@
 
 use dgs_baselines::EppsteinCertificate;
 use dgs_core::{VertexConnConfig, VertexConnSketch};
+use dgs_field::prng::*;
 use dgs_field::SeedTree;
 use dgs_hypergraph::algo::vertex_conn::vertex_connectivity_bounded;
 use dgs_hypergraph::generators::{harary, insert_only_stream};
 use dgs_hypergraph::{EdgeSpace, HyperEdge, Hypergraph, UpdateStream};
-use rand::prelude::*;
 
 use crate::report::{fmt_rate, Table};
 use crate::workloads::{default_stream, lean_forest};
@@ -46,7 +46,10 @@ pub fn run(quick: bool) {
     let mut table = Table::new(
         "E12 (Sec 1.1): Eppstein insert-only certificate vs the sketch under deletions",
         &[
-            "workload", "truth min(κ,k)", "baseline correct", "sketch correct",
+            "workload",
+            "truth min(κ,k)",
+            "baseline correct",
+            "sketch correct",
         ],
     );
 
@@ -66,10 +69,7 @@ pub fn run(quick: bool) {
                 (default_stream(&h, rng), h)
             }),
         ),
-        (
-            "core-then-delete",
-            Box::new(move |_| core_then_delete(n)),
-        ),
+        ("core-then-delete", Box::new(move |_| core_then_delete(n))),
     ];
 
     for (name, make) in workloads {
@@ -94,8 +94,7 @@ pub fn run(quick: bool) {
             let space = EdgeSpace::graph(n).unwrap();
             let mut cfg = VertexConnConfig::query(k, n, 3.0, dgs_sketch::Profile::Practical);
             cfg.forest = lean_forest();
-            let mut sk =
-                VertexConnSketch::new(space, cfg, &SeedTree::new(0xEC).child(t as u64));
+            let mut sk = VertexConnSketch::new(space, cfg, &SeedTree::new(0xEC).child(t as u64));
             for u in &stream.updates {
                 sk.update(&u.edge, u.op.delta());
             }

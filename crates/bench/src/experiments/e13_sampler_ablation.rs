@@ -14,9 +14,9 @@
 //! report bytes per sampler — the factor that multiplies into every
 //! structure's footprint.
 
+use dgs_field::prng::*;
 use dgs_field::SeedTree;
 use dgs_sketch::{L0Params, L0Sampler};
-use rand::prelude::*;
 
 use crate::report::{fmt_bytes, fmt_rate, Table};
 
@@ -27,9 +27,7 @@ pub fn run(quick: bool) {
 
     let mut table = Table::new(
         "E13: l0-sampler ablation — sample success vs (sparsity, rows)",
-        &[
-            "sparsity", "rows", "bytes/sampler", "d=1", "d=8", "d=512",
-        ],
+        &["sparsity", "rows", "bytes/sampler", "d=1", "d=8", "d=512"],
     );
 
     for &sparsity in &[2usize, 4, 8] {
@@ -48,16 +46,15 @@ pub fn run(quick: bool) {
                         .child2((sparsity * 10 + rows) as u64, (density * 1000 + t) as u64);
                     let mut sampler = L0Sampler::new(&seeds, dimension, params);
                     bytes = sampler.size_bytes();
-                    let mut rng =
-                        StdRng::seed_from_u64(0xED_0000 + (density * 1000 + t) as u64);
+                    let mut rng = StdRng::seed_from_u64(0xED_0000 + (density * 1000 + t) as u64);
                     let mut support = std::collections::BTreeSet::new();
                     while support.len() < density {
                         support.insert(rng.gen_range(0..dimension));
                     }
                     for &i in &support {
-                        sampler.update(i, 1);
+                        sampler.update(i, 1).expect("index within dimension");
                     }
-                    if let Some((idx, w)) = sampler.sample() {
+                    if let Ok(Some((idx, w))) = sampler.sample() {
                         if support.contains(&idx) && w == 1 {
                             ok += 1;
                         }

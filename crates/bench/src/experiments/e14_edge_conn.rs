@@ -7,11 +7,11 @@
 //! `λ < k`, across graph and hypergraph workloads on churn streams.
 
 use dgs_core::EdgeConnSketch;
+use dgs_field::prng::*;
 use dgs_field::SeedTree;
 use dgs_hypergraph::algo::hyper_cut::hyper_edge_connectivity;
 use dgs_hypergraph::generators::{harary, planted_edge_cut, planted_hyper_cut};
 use dgs_hypergraph::{EdgeSpace, Hypergraph};
-use rand::prelude::*;
 
 use crate::report::{fmt_bytes, fmt_rate, Table};
 use crate::workloads::{default_stream, lean_forest};
@@ -22,7 +22,13 @@ pub fn run(quick: bool) {
 
     let mut table = Table::new(
         format!("E14: edge connectivity min(λ, {k}) from k-skeleton sketches (churn streams)"),
-        &["workload", "true λ", "est = min(λ,k)", "witness valid", "sketch"],
+        &[
+            "workload",
+            "true λ",
+            "est = min(λ,k)",
+            "witness valid",
+            "sketch",
+        ],
     );
 
     type FamilyFn = Box<dyn Fn(&mut StdRng) -> Hypergraph>;
@@ -64,8 +70,12 @@ pub fn run(quick: bool) {
             truth_rep = truth;
             let r = h.max_rank().max(2);
             let space = EdgeSpace::new(h.n(), r).unwrap();
-            let mut sk =
-                EdgeConnSketch::new(space, k, &SeedTree::new(0xEE).child(t as u64), lean_forest());
+            let mut sk = EdgeConnSketch::new(
+                space,
+                k,
+                &SeedTree::new(0xEE).child(t as u64),
+                lean_forest(),
+            );
             let stream = default_stream(&h, &mut rng);
             for u in &stream.updates {
                 sk.update(&u.edge, u.op.delta());

@@ -10,6 +10,7 @@
 //! parameters sized so a full `all` run fits laptop memory).
 
 pub mod experiments;
+pub mod microbench;
 pub mod report;
 pub mod stats;
 pub mod workloads;

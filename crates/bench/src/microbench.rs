@@ -1,0 +1,54 @@
+//! Minimal timing harness for the `benches/` targets.
+//!
+//! In-tree replacement for the external `criterion` dependency (removed so
+//! the workspace builds offline). Each benchmark warms up briefly, then
+//! runs batches until a fixed wall-clock budget is spent and reports the
+//! mean ns/iteration. No statistics beyond the mean — these benches exist
+//! to catch order-of-magnitude regressions and to profile hot paths, not
+//! to resolve 1% deltas.
+
+use std::time::{Duration, Instant};
+
+/// Per-benchmark wall-clock budget. Kept small so `cargo test`, which runs
+/// `harness = false` bench binaries, stays fast.
+const BUDGET: Duration = Duration::from_millis(150);
+const WARMUP: Duration = Duration::from_millis(30);
+
+/// Timing state handed to each benchmark closure.
+pub struct Bencher {
+    total_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f` until the budget is exhausted.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP {
+            std::hint::black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < BUDGET {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        self.total_ns = start.elapsed().as_nanos();
+        self.iters = iters;
+    }
+}
+
+/// Runs one named benchmark and prints its mean time per iteration.
+pub fn bench(name: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        total_ns: 0,
+        iters: 0,
+    };
+    f(&mut b);
+    let per = if b.iters > 0 {
+        b.total_ns / b.iters as u128
+    } else {
+        0
+    };
+    println!("{name:<44} {per:>12} ns/iter  ({} iters)", b.iters);
+}

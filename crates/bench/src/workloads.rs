@@ -1,10 +1,10 @@
 //! Shared workload builders and lean sketch parameters for the experiments.
 
 use dgs_connectivity::ForestParams;
+use dgs_field::prng::Rng;
 use dgs_hypergraph::generators::{churn_stream, ChurnConfig};
 use dgs_hypergraph::{Hypergraph, UpdateStream};
 use dgs_sketch::L0Params;
-use rand::Rng;
 
 /// Lean ℓ0 parameters used across the experiment suite: small enough that a
 /// full `experiments all` run fits comfortably in memory, large enough that
@@ -46,8 +46,8 @@ pub fn heavy_stream<R: Rng>(h: &Hypergraph, rng: &mut R) -> UpdateStream {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dgs_field::prng::*;
     use dgs_hypergraph::generators::gnp;
-    use rand::prelude::*;
 
     #[test]
     fn streams_round_trip() {

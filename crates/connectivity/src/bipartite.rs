@@ -86,10 +86,10 @@ impl BipartitenessSketch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dgs_field::prng::*;
     use dgs_hypergraph::generators::{gnp, grid, random_bipartite, random_tree};
     use dgs_hypergraph::Graph;
     use dgs_sketch::Profile;
-    use rand::prelude::*;
 
     /// Exact bipartiteness by 2-coloring BFS.
     fn exact_bipartite(g: &Graph) -> bool {
@@ -152,7 +152,10 @@ mod tests {
         let mut sk = BipartitenessSketch::new(
             6,
             &SeedTree::new(0xB1).child(4),
-            ForestParams::new(Profile::Practical, EdgeSpace::graph(12).unwrap().dimension()),
+            ForestParams::new(
+                Profile::Practical,
+                EdgeSpace::graph(12).unwrap().dimension(),
+            ),
         );
         for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)] {
             sk.update(u, v, 1);

@@ -19,7 +19,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use dgs_field::SeedTree;
 use dgs_hypergraph::algo::UnionFind;
 use dgs_hypergraph::{EdgeSpace, HyperEdge, VertexId};
-use dgs_sketch::{L0Params, L0Sampler, Profile};
+use dgs_sketch::{L0Params, L0Sampler, Profile, SketchError, SketchResult};
 
 use crate::vector::incidence_coefficient;
 
@@ -189,21 +189,55 @@ impl SpanningForestSketch {
         self.rounds
     }
 
-    /// Applies a signed update for hyperedge `e` (+1 insert, -1 delete).
+    /// Fallible signed update for hyperedge `e` (+1 insert, -1 delete).
     ///
-    /// # Panics
-    /// Panics if any endpoint of `e` is absent from the present vertex set —
-    /// callers filter edges for induced subgraphs.
-    pub fn update(&mut self, e: &HyperEdge, delta: i64) {
+    /// Validates the edge against the space (rank bound, vertex range) and
+    /// the present vertex set *before* touching any sampler cell, so a
+    /// malformed stream element surfaces as [`SketchError::InvalidInput`]
+    /// — in release builds too — instead of corrupting state or panicking.
+    pub fn try_update(&mut self, e: &HyperEdge, delta: i64) -> SketchResult<()> {
+        if e.cardinality() > self.space.max_rank() {
+            return Err(SketchError::invalid(format!(
+                "edge of rank {} exceeds the space's rank bound {}",
+                e.cardinality(),
+                self.space.max_rank()
+            )));
+        }
+        for &v in e.vertices() {
+            if (v as usize) >= self.space.n() {
+                return Err(SketchError::invalid(format!(
+                    "vertex {v} out of range for a {}-vertex edge space",
+                    self.space.n()
+                )));
+            }
+            if self.vpos[v as usize] == u32::MAX {
+                return Err(SketchError::invalid(format!(
+                    "update touches absent vertex {v}"
+                )));
+            }
+        }
         let idx = self.space.rank(e);
         let nv = self.vertices.len();
         for &v in e.vertices() {
-            let local = self.vpos[v as usize];
-            assert!(local != u32::MAX, "update touches absent vertex {v}");
+            let local = self.vpos[v as usize] as usize;
             let coeff = incidence_coefficient(e, v) * delta;
             for round in 0..self.rounds {
-                self.samplers[round * nv + local as usize].update(idx, coeff);
+                self.samplers[round * nv + local].update(idx, coeff)?;
             }
+        }
+        Ok(())
+    }
+
+    /// Applies a signed update for hyperedge `e` (+1 insert, -1 delete).
+    ///
+    /// # Panics
+    /// Panics if the edge is invalid for this sketch (absent endpoint,
+    /// out-of-range vertex, rank violation) — callers filter edges for
+    /// induced subgraphs. Use [`try_update`](Self::try_update) to handle
+    /// untrusted streams without panicking.
+    pub fn update(&mut self, e: &HyperEdge, delta: i64) {
+        if let Err(err) = self.try_update(e, delta) {
+            panic!("{err}");
         }
     }
 
@@ -215,21 +249,56 @@ impl SpanningForestSketch {
         }
     }
 
-    /// Cell-wise sum with a same-seeded, same-shape sketch.
-    pub fn add_assign_sketch(&mut self, rhs: &SpanningForestSketch) {
-        assert_eq!(self.vertices, rhs.vertices, "vertex set mismatch");
-        assert_eq!(self.rounds, rhs.rounds);
+    fn check_compatible(&self, rhs: &SpanningForestSketch) -> SketchResult<()> {
+        if self.vertices != rhs.vertices || self.rounds != rhs.rounds {
+            return Err(SketchError::invalid(format!(
+                "forest sketch shape mismatch: {} vs {} vertices, {} vs {} rounds",
+                self.vertices.len(),
+                rhs.vertices.len(),
+                self.rounds,
+                rhs.rounds
+            )));
+        }
+        Ok(())
+    }
+
+    /// Fallible cell-wise sum; [`SketchError::InvalidInput`] on a shape or
+    /// seed mismatch (e.g. sketches restored from divergent checkpoints).
+    pub fn try_add_assign_sketch(&mut self, rhs: &SpanningForestSketch) -> SketchResult<()> {
+        self.check_compatible(rhs)?;
         for (a, b) in self.samplers.iter_mut().zip(&rhs.samplers) {
-            a.add_assign_sketch(b);
+            a.add_assign_sketch(b)?;
+        }
+        Ok(())
+    }
+
+    /// Fallible cell-wise difference; see
+    /// [`try_add_assign_sketch`](Self::try_add_assign_sketch).
+    pub fn try_sub_assign_sketch(&mut self, rhs: &SpanningForestSketch) -> SketchResult<()> {
+        self.check_compatible(rhs)?;
+        for (a, b) in self.samplers.iter_mut().zip(&rhs.samplers) {
+            a.sub_assign_sketch(b)?;
+        }
+        Ok(())
+    }
+
+    /// Cell-wise sum with a same-seeded, same-shape sketch.
+    ///
+    /// # Panics
+    /// Panics on shape/seed mismatch; in-process shard merges always agree.
+    pub fn add_assign_sketch(&mut self, rhs: &SpanningForestSketch) {
+        if let Err(err) = self.try_add_assign_sketch(rhs) {
+            panic!("{err}");
         }
     }
 
     /// Cell-wise difference with a same-seeded, same-shape sketch.
+    ///
+    /// # Panics
+    /// Panics on shape/seed mismatch; in-process shard merges always agree.
     pub fn sub_assign_sketch(&mut self, rhs: &SpanningForestSketch) {
-        assert_eq!(self.vertices, rhs.vertices, "vertex set mismatch");
-        assert_eq!(self.rounds, rhs.rounds);
-        for (a, b) in self.samplers.iter_mut().zip(&rhs.samplers) {
-            a.sub_assign_sketch(b);
+        if let Err(err) = self.try_sub_assign_sketch(rhs) {
+            panic!("{err}");
         }
     }
 
@@ -237,16 +306,72 @@ impl SpanningForestSketch {
     /// per-round component samplers. Returns the kept edges; with high
     /// probability they connect exactly the components of the sketched
     /// subgraph.
+    ///
+    /// # Panics
+    /// Panics if the decode cannot be certified — use
+    /// [`try_decode`](Self::try_decode) for a typed, retryable error.
     pub fn decode(&self) -> Vec<HyperEdge> {
         self.decode_with_labels().0
     }
 
+    /// Fallible [`decode`](Self::decode).
+    pub fn try_decode(&self) -> SketchResult<Vec<HyperEdge>> {
+        Ok(self.try_decode_with_labels()?.0)
+    }
+
     /// [`decode`](Self::decode) plus the final component label of every
     /// present vertex (labels are indices into `vertices()`).
+    ///
+    /// # Panics
+    /// Panics if [`try_decode_with_labels`](Self::try_decode_with_labels)
+    /// fails; with `Profile::Practical` parameters this is a ≪ 1% event.
     pub fn decode_with_labels(&self) -> (Vec<HyperEdge>, UnionFind) {
+        match self.try_decode_with_labels() {
+            Ok(out) => out,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible Borůvka decode with explicit completeness certification.
+    ///
+    /// Per round, every component's samplers are summed and sampled once.
+    /// Mid-round sampler failures are tolerated — later rounds are fresh,
+    /// independent retries, which is exactly why the structure carries
+    /// `⌈log n⌉ + extra` rounds. The **final executed round** doubles as a
+    /// certificate: if every component's aggregate decoded to a *certified
+    /// zero* boundary (no failures, no merges), the partition is provably
+    /// stable and `Ok` is returned. Otherwise the remaining partition might
+    /// still be mergeable and the decode is a [`SketchError::SketchFailure`]
+    /// — retryable against an independent repetition, never a silently
+    /// under-merged answer.
+    ///
+    /// Corrupted inputs surface as [`SketchError::InvalidInput`]: a sampled
+    /// edge touching a vertex outside the sketched vertex set (a stream
+    /// element that bypassed [`try_update`](Self::try_update) validation).
+    /// Streams promising net multiplicities in `{0, 1}` can additionally
+    /// use [`try_decode_with_labels_strict`](Self::try_decode_with_labels_strict)
+    /// to catch duplicated updates.
+    pub fn try_decode_with_labels(&self) -> SketchResult<(Vec<HyperEdge>, UnionFind)> {
+        self.decode_impl(false)
+    }
+
+    /// [`try_decode_with_labels`](Self::try_decode_with_labels) for simple
+    /// (multiplicity-0/1) streams: additionally rejects any sampled
+    /// boundary weight with magnitude `>= max_rank`, which is impossible
+    /// when every edge's net multiplicity is 0 or 1 — the signature of a
+    /// duplicated insert (e.g. a fault-injected replay) in a rank-2 stream.
+    /// Weighted/multigraph streams must use the non-strict decode, where
+    /// larger weights are legitimate.
+    pub fn try_decode_with_labels_strict(&self) -> SketchResult<(Vec<HyperEdge>, UnionFind)> {
+        self.decode_impl(true)
+    }
+
+    fn decode_impl(&self, strict: bool) -> SketchResult<(Vec<HyperEdge>, UnionFind)> {
         let nv = self.vertices.len();
         let mut uf = UnionFind::new(nv);
         let mut out: BTreeSet<HyperEdge> = BTreeSet::new();
+        // True iff the most recent round proved the partition stable.
+        let mut last_round_certified = true;
         for round in 0..self.rounds {
             if uf.component_count() <= 1 {
                 break;
@@ -257,7 +382,7 @@ impl SpanningForestSketch {
                 let root = uf.find(local);
                 let sampler = &self.samplers[round * nv + local as usize];
                 match agg.get_mut(&root) {
-                    Some(acc) => acc.add_assign_sketch(sampler),
+                    Some(acc) => acc.add_assign_sketch(sampler)?,
                     None => {
                         agg.insert(root, sampler.clone());
                     }
@@ -266,14 +391,34 @@ impl SpanningForestSketch {
             // Sample one boundary edge per component, then merge all at once
             // (the per-round partition snapshot the analysis assumes).
             let mut merges: Vec<HyperEdge> = Vec::new();
+            let mut round_failed = false;
             for (_root, acc) in agg {
-                if let Some((idx, _w)) = acc.sample() {
-                    let e = self.space.unrank(idx);
-                    if e.vertices().iter().all(|&v| self.has_vertex(v)) {
+                match acc.sample() {
+                    Ok(Some((idx, w))) => {
+                        if strict && w.unsigned_abs() >= self.space.max_rank() as u64 {
+                            return Err(SketchError::invalid(format!(
+                                "sampled boundary weight {w} is impossible for \
+                                 rank-{} edges with net 0/1 multiplicities \
+                                 (duplicated or phantom stream element)",
+                                self.space.max_rank()
+                            )));
+                        }
+                        let e = self.space.unrank(idx);
+                        if let Some(&v) = e.vertices().iter().find(|&&v| !self.has_vertex(v)) {
+                            return Err(SketchError::invalid(format!(
+                                "sampled edge {e:?} touches vertex {v} outside \
+                                 the sketched vertex set"
+                            )));
+                        }
                         merges.push(e);
                     }
+                    // Certified-zero boundary for this component.
+                    Ok(None) => {}
+                    Err(e) if e.is_retryable() => round_failed = true,
+                    Err(e) => return Err(e),
                 }
             }
+            last_round_certified = !round_failed && merges.is_empty();
             for e in merges {
                 let locals: Vec<u32> = e
                     .vertices()
@@ -289,15 +434,43 @@ impl SpanningForestSketch {
                 }
             }
         }
-        (out.into_iter().collect(), uf)
+        if uf.component_count() > 1 && !last_round_certified {
+            return Err(SketchError::failure(
+                "forest",
+                format!(
+                    "Borůvka ended with {} components but the final round could \
+                     not certify completeness (sampler failure or still merging)",
+                    uf.component_count()
+                ),
+            ));
+        }
+        Ok((out.into_iter().collect(), uf))
+    }
+
+    /// Fallible component count of the sketched subgraph.
+    pub fn try_component_count(&self) -> SketchResult<usize> {
+        Ok(self.try_decode_with_labels()?.1.component_count())
     }
 
     /// Number of connected components of the sketched subgraph (whp).
+    ///
+    /// # Panics
+    /// Panics if the decode cannot be certified; see
+    /// [`try_component_count`](Self::try_component_count).
     pub fn component_count(&self) -> usize {
         self.decode_with_labels().1.component_count()
     }
 
+    /// Fallible connectivity verdict.
+    pub fn try_is_connected(&self) -> SketchResult<bool> {
+        Ok(self.try_component_count()? <= 1)
+    }
+
     /// True iff the sketched subgraph is connected (whp).
+    ///
+    /// # Panics
+    /// Panics if the decode cannot be certified; see
+    /// [`try_is_connected`](Self::try_is_connected).
     pub fn is_connected(&self) -> bool {
         self.component_count() <= 1
     }
@@ -335,14 +508,48 @@ impl SpanningForestSketch {
             .collect()
     }
 
-    /// Overwrites the samplers of one vertex (the referee's assembly step).
-    pub fn set_vertex_samplers(&mut self, v: VertexId, samplers: Vec<L0Sampler>) {
-        let local = self.vpos[v as usize];
-        assert!(local != u32::MAX, "vertex {v} absent");
-        assert_eq!(samplers.len(), self.rounds);
+    /// Fallible referee assembly step: overwrites one vertex's samplers
+    /// after validating the vertex is present, the round count matches, and
+    /// every incoming sampler is seed/shape-compatible with the slot it
+    /// replaces. Player messages arrive from *outside* the process, so a
+    /// corrupted or misrouted message must surface as
+    /// [`SketchError::InvalidInput`], not scribble into the sketch.
+    pub fn try_set_vertex_samplers(
+        &mut self,
+        v: VertexId,
+        samplers: Vec<L0Sampler>,
+    ) -> SketchResult<()> {
+        if (v as usize) >= self.vpos.len() || self.vpos[v as usize] == u32::MAX {
+            return Err(SketchError::invalid(format!(
+                "player message for vertex {v} absent from the sketch"
+            )));
+        }
+        if samplers.len() != self.rounds {
+            return Err(SketchError::invalid(format!(
+                "player message carries {} rounds, sketch expects {}",
+                samplers.len(),
+                self.rounds
+            )));
+        }
+        let local = self.vpos[v as usize] as usize;
         let nv = self.vertices.len();
+        for (r, s) in samplers.iter().enumerate() {
+            self.samplers[r * nv + local].check_compatible(s)?;
+        }
         for (r, s) in samplers.into_iter().enumerate() {
-            self.samplers[r * nv + local as usize] = s;
+            self.samplers[r * nv + local] = s;
+        }
+        Ok(())
+    }
+
+    /// Overwrites the samplers of one vertex (the referee's assembly step).
+    ///
+    /// # Panics
+    /// Panics on an absent vertex or mismatched message shape; see
+    /// [`try_set_vertex_samplers`](Self::try_set_vertex_samplers).
+    pub fn set_vertex_samplers(&mut self, v: VertexId, samplers: Vec<L0Sampler>) {
+        if let Err(err) = self.try_set_vertex_samplers(v, samplers) {
+            panic!("{err}");
         }
     }
 }
@@ -364,7 +571,11 @@ impl dgs_field::Codec for SpanningForestSketch {
     fn encode(&self, w: &mut dgs_field::Writer) {
         w.put_usize(self.space.n());
         w.put_usize(self.space.max_rank());
-        self.vertices.iter().map(|&v| v as u64).collect::<Vec<u64>>().encode(w);
+        self.vertices
+            .iter()
+            .map(|&v| v as u64)
+            .collect::<Vec<u64>>()
+            .encode(w);
         w.put_usize(self.rounds);
         self.samplers.encode(w);
     }
@@ -372,12 +583,11 @@ impl dgs_field::Codec for SpanningForestSketch {
         let bad = |message: String| dgs_field::CodecError { offset: 0, message };
         let n = r.get_len(1 << 32)?;
         let max_rank = r.get_len(64)?;
-        let space = EdgeSpace::new(n, max_rank)
-            .map_err(|e| bad(format!("invalid edge space: {e}")))?;
+        let space =
+            EdgeSpace::new(n, max_rank).map_err(|e| bad(format!("invalid edge space: {e}")))?;
         let vertices_raw: Vec<u64> = Vec::decode(r)?;
         let vertices: Vec<VertexId> = vertices_raw.iter().map(|&v| v as VertexId).collect();
-        if vertices.windows(2).any(|w| w[0] >= w[1])
-            || vertices.iter().any(|&v| (v as usize) >= n)
+        if vertices.windows(2).any(|w| w[0] >= w[1]) || vertices.iter().any(|&v| (v as usize) >= n)
         {
             return Err(bad("vertex list not sorted/unique/in-range".into()));
         }
@@ -412,10 +622,10 @@ fn ceil_log2(x: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dgs_field::prng::*;
     use dgs_hypergraph::algo::{component_count, hyper_component_count, is_connected};
     use dgs_hypergraph::generators::{gnp, random_uniform_hypergraph};
     use dgs_hypergraph::{Graph, Hypergraph};
-    use rand::prelude::*;
 
     fn graph_sketch(n: usize, label: u64) -> SpanningForestSketch {
         let space = EdgeSpace::graph(n).unwrap();
@@ -458,11 +668,8 @@ mod tests {
             let g = gnp(n, p, &mut rng);
             let space = EdgeSpace::graph(n).unwrap();
             let params = ForestParams::new(Profile::Practical, space.dimension());
-            let mut sk = SpanningForestSketch::new_full(
-                space,
-                &SeedTree::new(500).child(trial),
-                params,
-            );
+            let mut sk =
+                SpanningForestSketch::new_full(space, &SeedTree::new(500).child(trial), params);
             load_graph(&mut sk, &g);
             let (forest, labels) = sk.decode_with_labels();
             assert_eq!(
@@ -509,11 +716,8 @@ mod tests {
             let h = random_uniform_hypergraph(n, 3, m, &mut rng);
             let space = EdgeSpace::new(n, 3).unwrap();
             let params = ForestParams::new(Profile::Practical, space.dimension());
-            let mut sk = SpanningForestSketch::new_full(
-                space,
-                &SeedTree::new(600).child(trial),
-                params,
-            );
+            let mut sk =
+                SpanningForestSketch::new_full(space, &SeedTree::new(600).child(trial), params);
             for e in h.edges() {
                 sk.update(e, 1);
             }
@@ -542,12 +746,8 @@ mod tests {
         let space = EdgeSpace::graph(n).unwrap();
         let params = ForestParams::new(Profile::Practical, space.dimension());
         let present = vec![0u32, 2, 4, 6, 8];
-        let mut sk = SpanningForestSketch::new_induced(
-            space,
-            present.clone(),
-            &SeedTree::new(700),
-            params,
-        );
+        let mut sk =
+            SpanningForestSketch::new_induced(space, present.clone(), &SeedTree::new(700), params);
         // Edges among present vertices only.
         sk.update(&HyperEdge::pair(0, 2), 1);
         sk.update(&HyperEdge::pair(4, 6), 1);

@@ -17,7 +17,7 @@
 
 use dgs_field::SeedTree;
 use dgs_hypergraph::{EdgeSpace, HyperEdge, VertexId};
-use dgs_sketch::L0Sampler;
+use dgs_sketch::{L0Sampler, SketchError, SketchResult};
 
 use crate::forest::{vertex_samplers_for, ForestParams, SpanningForestSketch};
 use crate::vector::incidence_coefficient;
@@ -59,28 +59,73 @@ impl PlayerMessage {
         }
     }
 
-    /// Processes one local stream element: a signed update of an edge
-    /// incident to this player's vertex, applying only this vertex's
-    /// incidence coefficient.
-    ///
-    /// # Panics
-    /// Panics if `e` is not incident to the player's vertex.
-    pub fn apply(&mut self, space: &EdgeSpace, e: &HyperEdge, delta: i64) {
-        assert!(
-            e.contains(self.vertex),
-            "edge {e:?} not incident to player {}",
-            self.vertex
-        );
+    /// Fallible local stream element: a signed update of an edge incident
+    /// to this player's vertex, applying only this vertex's incidence
+    /// coefficient. Misrouted edges (not incident to the player), rank
+    /// violations, and out-of-range vertices surface as
+    /// [`SketchError::InvalidInput`].
+    pub fn try_apply(&mut self, space: &EdgeSpace, e: &HyperEdge, delta: i64) -> SketchResult<()> {
+        if !e.contains(self.vertex) {
+            return Err(SketchError::invalid(format!(
+                "edge {e:?} not incident to player {}",
+                self.vertex
+            )));
+        }
+        if e.cardinality() > space.max_rank() {
+            return Err(SketchError::invalid(format!(
+                "edge of rank {} exceeds the space's rank bound {}",
+                e.cardinality(),
+                space.max_rank()
+            )));
+        }
+        if let Some(&v) = e.vertices().iter().find(|&&v| (v as usize) >= space.n()) {
+            return Err(SketchError::invalid(format!(
+                "vertex {v} out of range for a {}-vertex edge space",
+                space.n()
+            )));
+        }
         let idx = space.rank(e);
         let coeff = incidence_coefficient(e, self.vertex) * delta;
         for s in &mut self.samplers {
-            s.update(idx, coeff);
+            s.update(idx, coeff)?;
+        }
+        Ok(())
+    }
+
+    /// Processes one local stream element.
+    ///
+    /// # Panics
+    /// Panics if `e` is not incident to the player's vertex; see
+    /// [`try_apply`](Self::try_apply).
+    pub fn apply(&mut self, space: &EdgeSpace, e: &HyperEdge, delta: i64) {
+        if let Err(err) = self.try_apply(space, e, delta) {
+            panic!("{err}");
         }
     }
 
     /// Message length in bytes — the quantity the model minimizes.
     pub fn size_bytes(&self) -> usize {
         self.samplers.iter().map(|s| s.size_bytes()).sum()
+    }
+}
+
+impl dgs_field::Codec for PlayerMessage {
+    fn encode(&self, w: &mut dgs_field::Writer) {
+        w.put_u64(self.vertex as u64);
+        self.samplers.encode(w);
+    }
+    fn decode(r: &mut dgs_field::Reader<'_>) -> Result<Self, dgs_field::CodecError> {
+        let vertex = r.get_u64()?;
+        if vertex > u32::MAX as u64 {
+            return Err(dgs_field::CodecError {
+                offset: 0,
+                message: format!("player vertex {vertex} exceeds the u32 id space"),
+            });
+        }
+        Ok(PlayerMessage {
+            vertex: vertex as VertexId,
+            samplers: Vec::decode(r)?,
+        })
     }
 }
 
@@ -118,14 +163,57 @@ pub fn assemble_players(
     sk
 }
 
+/// Strict referee for untrusted transports: requires **exactly one**
+/// message per vertex of the space and validates each message's shape and
+/// seeding against the slot it fills. A missing player (dropped message), a
+/// duplicate (retransmitted twice), an out-of-range vertex, or a corrupted
+/// sampler state all surface as [`SketchError::InvalidInput`] — the lenient
+/// [`assemble_players`] would silently read a dropped message as an
+/// isolated vertex, which is a wrong answer, not a detected fault.
+pub fn assemble_players_strict(
+    space: &EdgeSpace,
+    messages: Vec<PlayerMessage>,
+    seeds: &SeedTree,
+    params: ForestParams,
+) -> SketchResult<SpanningForestSketch> {
+    let mut sk = SpanningForestSketch::new_full(space.clone(), seeds, params);
+    let mut seen = vec![false; space.n()];
+    for msg in &messages {
+        let v = msg.vertex as usize;
+        if v >= space.n() {
+            return Err(SketchError::invalid(format!(
+                "player message for vertex {} outside the {}-vertex space",
+                msg.vertex,
+                space.n()
+            )));
+        }
+        if seen[v] {
+            return Err(SketchError::invalid(format!(
+                "duplicate player message for vertex {}",
+                msg.vertex
+            )));
+        }
+        seen[v] = true;
+    }
+    if let Some(v) = seen.iter().position(|&s| !s) {
+        return Err(SketchError::invalid(format!(
+            "missing player message for vertex {v}"
+        )));
+    }
+    for msg in messages {
+        sk.try_set_vertex_samplers(msg.vertex, msg.samplers)?;
+    }
+    Ok(sk)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dgs_field::prng::*;
     use dgs_hypergraph::algo::hyper_component_count;
     use dgs_hypergraph::generators::random_mixed_hypergraph;
     use dgs_hypergraph::Hypergraph;
     use dgs_sketch::Profile;
-    use rand::prelude::*;
 
     #[test]
     fn distributed_equals_central() {

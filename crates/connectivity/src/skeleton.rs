@@ -12,6 +12,7 @@
 
 use dgs_field::SeedTree;
 use dgs_hypergraph::{EdgeSpace, HyperEdge, VertexId};
+use dgs_sketch::{SketchError, SketchResult};
 
 use crate::forest::{ForestParams, SpanningForestSketch};
 
@@ -27,9 +28,7 @@ impl KSkeletonSketch {
     pub fn new(space: EdgeSpace, k: usize, seeds: &SeedTree, params: ForestParams) -> Self {
         assert!(k >= 1, "skeleton parameter must be >= 1");
         let layers = (0..k)
-            .map(|i| {
-                SpanningForestSketch::new_full(space.clone(), &seeds.child(i as u64), params)
-            })
+            .map(|i| SpanningForestSketch::new_full(space.clone(), &seeds.child(i as u64), params))
             .collect();
         KSkeletonSketch { layers, k }
     }
@@ -64,51 +63,113 @@ impl KSkeletonSketch {
         self.layers[0].space()
     }
 
-    /// Applies a signed hyperedge update to all `k` layers.
-    pub fn update(&mut self, e: &HyperEdge, delta: i64) {
+    /// Fallible signed hyperedge update applied to all `k` layers; the
+    /// first layer's validation rejects malformed elements before any layer
+    /// is touched (all layers share one vertex set and space, so either
+    /// every layer accepts or none do).
+    pub fn try_update(&mut self, e: &HyperEdge, delta: i64) -> SketchResult<()> {
         for layer in &mut self.layers {
-            layer.update(e, delta);
+            layer.try_update(e, delta)?;
+        }
+        Ok(())
+    }
+
+    /// Applies a signed hyperedge update to all `k` layers.
+    ///
+    /// # Panics
+    /// Panics on a malformed edge; see [`try_update`](Self::try_update).
+    pub fn update(&mut self, e: &HyperEdge, delta: i64) {
+        if let Err(err) = self.try_update(e, delta) {
+            panic!("{err}");
         }
     }
 
     /// Applies a batch of known edges to all layers (peeling support for the
     /// `light_k` recovery of Section 4.2.1, which works with
     /// `B(G - E_1 - …) = B(G) - Σ B(E_j)`).
-    pub fn apply_edges<'a>(&mut self, edges: impl IntoIterator<Item = &'a HyperEdge> + Clone, delta: i64) {
+    pub fn apply_edges<'a>(
+        &mut self,
+        edges: impl IntoIterator<Item = &'a HyperEdge> + Clone,
+        delta: i64,
+    ) {
         for layer in &mut self.layers {
             layer.apply_edges(edges.clone(), delta);
         }
     }
 
-    /// Decodes the k-skeleton: the union `F_1 ∪ … ∪ F_k`, returned as the
-    /// per-layer spanning graphs (flatten for the skeleton edge set).
-    pub fn decode_layers(&self) -> Vec<Vec<HyperEdge>> {
+    /// Fallible skeleton decode: each layer is peeled and decoded in turn;
+    /// a layer whose Borůvka pass cannot be certified complete propagates
+    /// [`SketchError::SketchFailure`] (retryable — every layer of an
+    /// independent repetition carries fresh randomness), so a partially
+    /// recovered skeleton is never passed off as the full `F_1 ∪ … ∪ F_k`.
+    pub fn try_decode_layers(&self) -> SketchResult<Vec<Vec<HyperEdge>>> {
         let mut recovered: Vec<Vec<HyperEdge>> = Vec::with_capacity(self.k);
         for (i, layer) in self.layers.iter().enumerate() {
             let mut adjusted = layer.clone();
             for f in recovered.iter().take(i) {
                 adjusted.apply_edges(f.iter(), -1);
             }
-            recovered.push(adjusted.decode());
+            recovered.push(adjusted.try_decode()?);
         }
-        recovered
+        Ok(recovered)
+    }
+
+    /// Decodes the k-skeleton: the union `F_1 ∪ … ∪ F_k`, returned as the
+    /// per-layer spanning graphs (flatten for the skeleton edge set).
+    ///
+    /// # Panics
+    /// Panics if a layer decode cannot be certified; see
+    /// [`try_decode_layers`](Self::try_decode_layers).
+    pub fn decode_layers(&self) -> Vec<Vec<HyperEdge>> {
+        match self.try_decode_layers() {
+            Ok(layers) => layers,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible [`decode`](Self::decode).
+    pub fn try_decode(&self) -> SketchResult<Vec<HyperEdge>> {
+        let mut out: std::collections::BTreeSet<HyperEdge> = std::collections::BTreeSet::new();
+        for layer in self.try_decode_layers()? {
+            out.extend(layer);
+        }
+        Ok(out.into_iter().collect())
     }
 
     /// Decodes the skeleton as a single deduplicated edge set.
+    ///
+    /// # Panics
+    /// Panics if a layer decode cannot be certified; see
+    /// [`try_decode`](Self::try_decode).
     pub fn decode(&self) -> Vec<HyperEdge> {
-        let mut out: std::collections::BTreeSet<HyperEdge> = std::collections::BTreeSet::new();
-        for layer in self.decode_layers() {
-            out.extend(layer);
+        match self.try_decode() {
+            Ok(edges) => edges,
+            Err(err) => panic!("{err}"),
         }
-        out.into_iter().collect()
+    }
+
+    /// Fallible cell-wise sum with a same-seeded sketch.
+    pub fn try_add_assign_sketch(&mut self, rhs: &KSkeletonSketch) -> SketchResult<()> {
+        if self.k != rhs.k {
+            return Err(SketchError::invalid(format!(
+                "skeleton parameter mismatch: k {} vs {}",
+                self.k, rhs.k
+            )));
+        }
+        for (a, b) in self.layers.iter_mut().zip(&rhs.layers) {
+            a.try_add_assign_sketch(b)?;
+        }
+        Ok(())
     }
 
     /// Cell-wise sum with a same-seeded sketch — linearity lets sharded
     /// stream ingestion merge partial sketches.
+    ///
+    /// # Panics
+    /// Panics on shape/seed mismatch; in-process shard merges always agree.
     pub fn add_assign_sketch(&mut self, rhs: &KSkeletonSketch) {
-        assert_eq!(self.k, rhs.k, "skeleton parameter mismatch");
-        for (a, b) in self.layers.iter_mut().zip(&rhs.layers) {
-            a.add_assign_sketch(b);
+        if let Err(err) = self.try_add_assign_sketch(rhs) {
+            panic!("{err}");
         }
     }
 
@@ -154,12 +215,36 @@ impl KSkeletonSketch {
             .collect()
     }
 
+    /// Fallible referee assembly: installs player `v`'s per-layer messages
+    /// after validating the layer count and each message's shape/seed
+    /// against the slot it fills (messages arrive over an untrusted
+    /// transport, so corruption must be detected, not absorbed).
+    pub fn try_install_player(
+        &mut self,
+        messages: Vec<crate::player::PlayerMessage>,
+    ) -> SketchResult<()> {
+        if messages.len() != self.k {
+            return Err(SketchError::invalid(format!(
+                "player bundle carries {} layer messages, skeleton expects {}",
+                messages.len(),
+                self.k
+            )));
+        }
+        for (layer, msg) in self.layers.iter_mut().zip(messages) {
+            layer.try_set_vertex_samplers(msg.vertex, msg.samplers)?;
+        }
+        Ok(())
+    }
+
     /// The referee's assembly step: installs player `v`'s per-layer
     /// messages into this (zero-initialized, same-seeded) sketch.
+    ///
+    /// # Panics
+    /// Panics on a malformed bundle; see
+    /// [`try_install_player`](Self::try_install_player).
     pub fn install_player(&mut self, messages: Vec<crate::player::PlayerMessage>) {
-        assert_eq!(messages.len(), self.k, "one message per layer required");
-        for (layer, msg) in self.layers.iter_mut().zip(messages) {
-            layer.set_vertex_samplers(msg.vertex, msg.samplers);
+        if let Err(err) = self.try_install_player(messages) {
+            panic!("{err}");
         }
     }
 }
@@ -185,10 +270,10 @@ impl dgs_field::Codec for KSkeletonSketch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dgs_field::prng::*;
     use dgs_hypergraph::generators::{gnp, random_uniform_hypergraph};
     use dgs_hypergraph::{Graph, Hypergraph};
     use dgs_sketch::Profile;
-    use rand::prelude::*;
 
     fn sketch(n: usize, r: usize, k: usize, label: u64) -> KSkeletonSketch {
         let space = EdgeSpace::new(n, r).unwrap();

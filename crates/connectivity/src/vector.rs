@@ -34,7 +34,7 @@ pub fn incidence_coefficient(e: &HyperEdge, i: VertexId) -> i64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use dgs_field::prng::*;
 
     #[test]
     fn pair_coefficients() {
@@ -47,20 +47,30 @@ mod tests {
     #[test]
     fn hyperedge_coefficients_sum_to_zero() {
         let e = HyperEdge::new(vec![2, 5, 9, 11]).unwrap();
-        let total: i64 = e.vertices().iter().map(|&v| incidence_coefficient(&e, v)).sum();
+        let total: i64 = e
+            .vertices()
+            .iter()
+            .map(|&v| incidence_coefficient(&e, v))
+            .sum();
         assert_eq!(total, 0);
         assert_eq!(incidence_coefficient(&e, 2), 3);
         assert_eq!(incidence_coefficient(&e, 5), -1);
     }
 
-    proptest! {
-        /// The Section 4.1 claim: Σ_{i∈S} a^i_e is nonzero iff e crosses S.
-        #[test]
-        fn sum_support_is_exactly_the_cut(
-            raw_edge in prop::collection::btree_set(0u32..20, 2..6),
-            s_mask in 0u32..(1 << 20),
-        ) {
-            let e = HyperEdge::new(raw_edge.into_iter().collect()).unwrap();
+    /// The Section 4.1 claim: Σ_{i∈S} a^i_e is nonzero iff e crosses S.
+    /// Randomized over edges of cardinality 2..6 on 20 vertices and all
+    /// subset masks (256 deterministic trials).
+    #[test]
+    fn sum_support_is_exactly_the_cut() {
+        let mut rng = StdRng::seed_from_u64(0x41);
+        for _ in 0..256 {
+            let card = rng.gen_range(2usize..6);
+            let mut verts = std::collections::BTreeSet::new();
+            while verts.len() < card {
+                verts.insert(rng.gen_range(0u32..20));
+            }
+            let e = HyperEdge::new(verts.into_iter().collect()).unwrap();
+            let s_mask = rng.gen_range(0u32..(1 << 20));
             let in_s = |v: u32| s_mask >> v & 1 == 1;
             let sum: i64 = e
                 .vertices()
@@ -68,7 +78,7 @@ mod tests {
                 .filter(|&&v| in_s(v))
                 .map(|&v| incidence_coefficient(&e, v))
                 .sum();
-            prop_assert_eq!(sum != 0, e.crosses(in_s));
+            assert_eq!(sum != 0, e.crosses(in_s), "edge {e:?}, mask {s_mask:#x}");
         }
     }
 }

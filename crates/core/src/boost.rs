@@ -1,0 +1,322 @@
+//! Probability amplification by independent repetition (`δ → δ^R`).
+//!
+//! Every query in this workspace fails with some per-repetition
+//! probability δ — the event surfaced as
+//! [`SketchError::SketchFailure`]. Because failures are *detected* (the
+//! typed-error invariant: a failed decode never masquerades as an answer),
+//! the classic amplification argument applies directly: run `R`
+//! structurally identical sketches seeded from **sibling seeds** of one
+//! [`SeedTree`], ingest the same stream into each, and answer from the
+//! first repetition whose decode certifies. The repetitions are mutually
+//! independent, so the probability that *all* fail is `δ^R`.
+//!
+//! [`BoostedQuery`] packages that pattern. Resolution policies:
+//!
+//! * [`query`](BoostedQuery::query) — first success. Correct whenever
+//!   failures are detected (the workspace invariant), which makes every
+//!   success equally trustworthy; this is the paper's implicit
+//!   "repeat `O(log n)` times" device.
+//! * [`query_majority`](BoostedQuery::query_majority) — majority vote over
+//!   the successful repetitions. Strictly more conservative: it also
+//!   guards against *undetected* wrong answers (e.g. adversarial stream
+//!   corruption below the detection threshold), at the cost of decoding
+//!   every repetition.
+//!
+//! Both short-circuit on [`SketchError::InvalidInput`]: a malformed stream
+//! poisons every repetition identically, so retrying is useless and the
+//! outcome is [`QueryOutcome::Invalid`].
+//!
+//! Sharded ingestion: the root crate's `parallel_ingest_boosted` stripes
+//! the `R` repetitions across worker threads (each repetition's sketch is
+//! independent, so no cross-thread merging is needed).
+
+use dgs_hypergraph::HyperEdge;
+use dgs_sketch::{SketchError, SketchResult};
+
+/// The resolution of a boosted query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryOutcome<T> {
+    /// A repetition produced a certified answer.
+    Answer {
+        /// The resolved answer.
+        value: T,
+        /// Repetitions that failed (retryably) before/while resolving.
+        failed_repetitions: usize,
+    },
+    /// Every repetition failed retryably — the `δ^R` event. The caller
+    /// knows it does *not* know; no silent wrong answer was emitted.
+    Unknown {
+        /// Number of failed repetitions (= `R`).
+        failed_repetitions: usize,
+    },
+    /// The input itself is malformed; no amount of repetition helps.
+    Invalid(SketchError),
+}
+
+impl<T> QueryOutcome<T> {
+    /// The answer, if one was resolved.
+    pub fn answer(&self) -> Option<&T> {
+        match self {
+            QueryOutcome::Answer { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+
+    /// True iff the query resolved to an answer.
+    pub fn is_answer(&self) -> bool {
+        matches!(self, QueryOutcome::Answer { .. })
+    }
+
+    /// True iff the query degraded to an explicit "unknown".
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, QueryOutcome::Unknown { .. })
+    }
+
+    /// Converts to a `Result`: `Ok(value)` on answer, the underlying error
+    /// otherwise (`Unknown` becomes a retryable `SketchFailure`).
+    pub fn into_result(self) -> SketchResult<T> {
+        match self {
+            QueryOutcome::Answer { value, .. } => Ok(value),
+            QueryOutcome::Unknown { failed_repetitions } => Err(SketchError::failure(
+                "boosted-query",
+                format!("all {failed_repetitions} repetitions failed"),
+            )),
+            QueryOutcome::Invalid(e) => Err(e),
+        }
+    }
+}
+
+/// A sketch that can participate in boosted repetition: it accepts signed
+/// hyperedge updates fallibly. Implemented by every top-level structure in
+/// this crate and by the substrate sketches in `dgs-connectivity`.
+pub trait BoostableSketch {
+    /// Applies one signed hyperedge update.
+    fn try_apply(&mut self, e: &HyperEdge, delta: i64) -> SketchResult<()>;
+}
+
+impl BoostableSketch for dgs_connectivity::SpanningForestSketch {
+    fn try_apply(&mut self, e: &HyperEdge, delta: i64) -> SketchResult<()> {
+        self.try_update(e, delta)
+    }
+}
+
+impl BoostableSketch for dgs_connectivity::KSkeletonSketch {
+    fn try_apply(&mut self, e: &HyperEdge, delta: i64) -> SketchResult<()> {
+        self.try_update(e, delta)
+    }
+}
+
+impl BoostableSketch for crate::VertexConnSketch {
+    fn try_apply(&mut self, e: &HyperEdge, delta: i64) -> SketchResult<()> {
+        self.try_update(e, delta)
+    }
+}
+
+impl BoostableSketch for crate::EdgeConnSketch {
+    fn try_apply(&mut self, e: &HyperEdge, delta: i64) -> SketchResult<()> {
+        self.try_update(e, delta)
+    }
+}
+
+impl BoostableSketch for crate::LightRecoverySketch {
+    fn try_apply(&mut self, e: &HyperEdge, delta: i64) -> SketchResult<()> {
+        self.try_update(e, delta)
+    }
+}
+
+impl BoostableSketch for crate::HypergraphSparsifier {
+    fn try_apply(&mut self, e: &HyperEdge, delta: i64) -> SketchResult<()> {
+        self.try_update(e, delta)
+    }
+}
+
+/// `R` independent same-structure repetitions resolving queries by
+/// first-success or majority (see the module docs).
+#[derive(Clone, Debug)]
+pub struct BoostedQuery<S> {
+    repetitions: Vec<S>,
+}
+
+impl<S> BoostedQuery<S> {
+    /// Builds `r` repetitions via `build`, which is handed the repetition
+    /// index — derive each repetition's randomness from a **sibling seed**
+    /// (`seeds.child(i)`) so the repetitions are independent; identical
+    /// seeds would make every repetition fail on the same streams and the
+    /// amplification argument collapses (the Section 4.2 pitfall).
+    pub fn new(r: usize, mut build: impl FnMut(usize) -> S) -> BoostedQuery<S> {
+        assert!(r >= 1, "need at least one repetition");
+        BoostedQuery {
+            repetitions: (0..r).map(&mut build).collect(),
+        }
+    }
+
+    /// Wraps already-built repetitions (used by sharded ingestion).
+    pub fn from_repetitions(repetitions: Vec<S>) -> BoostedQuery<S> {
+        assert!(!repetitions.is_empty(), "need at least one repetition");
+        BoostedQuery { repetitions }
+    }
+
+    /// Number of repetitions `R`.
+    pub fn repetitions(&self) -> usize {
+        self.repetitions.len()
+    }
+
+    /// Read access to the individual repetitions.
+    pub fn sketches(&self) -> &[S] {
+        &self.repetitions
+    }
+
+    /// Resolves a query by **first success** over the repetitions.
+    /// Retryable failures are counted and skipped; `InvalidInput`
+    /// short-circuits to [`QueryOutcome::Invalid`].
+    pub fn query<T>(&self, q: impl Fn(&S) -> SketchResult<T>) -> QueryOutcome<T> {
+        let mut failed = 0;
+        for s in &self.repetitions {
+            match q(s) {
+                Ok(value) => {
+                    return QueryOutcome::Answer {
+                        value,
+                        failed_repetitions: failed,
+                    }
+                }
+                Err(e) if e.is_retryable() => failed += 1,
+                Err(e) => return QueryOutcome::Invalid(e),
+            }
+        }
+        QueryOutcome::Unknown {
+            failed_repetitions: failed,
+        }
+    }
+
+    /// Resolves a query by **majority vote** over the successful
+    /// repetitions (ties break toward the smallest answer, so the result
+    /// is deterministic). Decodes every repetition.
+    pub fn query_majority<T: Ord + Clone>(
+        &self,
+        q: impl Fn(&S) -> SketchResult<T>,
+    ) -> QueryOutcome<T> {
+        let mut votes: std::collections::BTreeMap<T, usize> = std::collections::BTreeMap::new();
+        let mut failed = 0;
+        for s in &self.repetitions {
+            match q(s) {
+                Ok(value) => *votes.entry(value).or_insert(0) += 1,
+                Err(e) if e.is_retryable() => failed += 1,
+                Err(e) => return QueryOutcome::Invalid(e),
+            }
+        }
+        match votes.into_iter().max_by_key(|&(_, n)| n) {
+            Some((value, _)) => QueryOutcome::Answer {
+                value,
+                failed_repetitions: failed,
+            },
+            None => QueryOutcome::Unknown {
+                failed_repetitions: failed,
+            },
+        }
+    }
+}
+
+impl<S: BoostableSketch> BoostedQuery<S> {
+    /// Applies one signed hyperedge update to every repetition. A
+    /// malformed element is rejected by the first repetition's validation
+    /// before any later repetition is touched (all repetitions share one
+    /// space and vertex set, so they accept or reject identically).
+    pub fn try_update(&mut self, e: &HyperEdge, delta: i64) -> SketchResult<()> {
+        for s in &mut self.repetitions {
+            s.try_apply(e, delta)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A stub sketch whose query fails for repetition indices below the
+    /// threshold — exercises the resolution policies deterministically.
+    struct Stub {
+        index: usize,
+        answer: i64,
+    }
+
+    fn failing_below(threshold: usize) -> impl Fn(&Stub) -> SketchResult<i64> {
+        move |s: &Stub| {
+            if s.index < threshold {
+                Err(SketchError::failure("stub", "sampler failed"))
+            } else {
+                Ok(s.answer)
+            }
+        }
+    }
+
+    fn boosted(r: usize) -> BoostedQuery<Stub> {
+        BoostedQuery::new(r, |index| Stub { index, answer: 42 })
+    }
+
+    #[test]
+    fn first_success_skips_failures() {
+        let b = boosted(5);
+        assert_eq!(
+            b.query(failing_below(3)),
+            QueryOutcome::Answer {
+                value: 42,
+                failed_repetitions: 3
+            }
+        );
+    }
+
+    #[test]
+    fn all_failures_degrade_to_unknown() {
+        let b = boosted(4);
+        let out = b.query(failing_below(10));
+        assert_eq!(
+            out,
+            QueryOutcome::Unknown {
+                failed_repetitions: 4
+            }
+        );
+        assert!(out.clone().into_result().unwrap_err().is_retryable());
+        assert!(out.is_unknown() && !out.is_answer());
+    }
+
+    #[test]
+    fn invalid_input_short_circuits() {
+        let b = boosted(3);
+        let out =
+            b.query(|_s: &Stub| -> SketchResult<i64> { Err(SketchError::invalid("bad stream")) });
+        assert!(matches!(out, QueryOutcome::Invalid(ref e) if !e.is_retryable()));
+    }
+
+    #[test]
+    fn majority_prefers_the_common_answer() {
+        let b = BoostedQuery::new(5, |index| Stub {
+            index,
+            answer: if index == 0 { 7 } else { 42 },
+        });
+        let out = b.query_majority(|s| {
+            if s.index == 3 {
+                Err(SketchError::failure("stub", "one failure"))
+            } else {
+                Ok(s.answer)
+            }
+        });
+        assert_eq!(
+            out,
+            QueryOutcome::Answer {
+                value: 42,
+                failed_repetitions: 1
+            }
+        );
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let a = QueryOutcome::Answer {
+            value: 9,
+            failed_repetitions: 0,
+        };
+        assert_eq!(a.answer(), Some(&9));
+        assert_eq!(a.into_result().unwrap(), 9);
+    }
+}

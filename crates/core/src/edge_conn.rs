@@ -21,6 +21,7 @@ use dgs_connectivity::{ForestParams, KSkeletonSketch};
 use dgs_field::SeedTree;
 use dgs_hypergraph::algo::hyper_cut::hyper_min_cut;
 use dgs_hypergraph::{EdgeSpace, HyperEdge, Hypergraph};
+use dgs_sketch::SketchResult;
 
 /// A dynamic-stream sketch answering `min(λ(G), k)` for graphs and
 /// hypergraphs.
@@ -50,25 +51,57 @@ impl EdgeConnSketch {
         self.skeleton.space()
     }
 
+    /// Fallible signed hyperedge update; see
+    /// [`KSkeletonSketch::try_update`].
+    pub fn try_update(&mut self, e: &HyperEdge, delta: i64) -> SketchResult<()> {
+        self.skeleton.try_update(e, delta)
+    }
+
     /// Applies a signed hyperedge update.
+    ///
+    /// # Panics
+    /// Panics on a malformed edge; see [`try_update`](Self::try_update).
     pub fn update(&mut self, e: &HyperEdge, delta: i64) {
         self.skeleton.update(e, delta);
+    }
+
+    /// Fallible edge-connectivity query: an uncertified skeleton decode
+    /// propagates as a retryable [`dgs_sketch::SketchError::SketchFailure`]
+    /// instead of an understated `min(λ, k)`.
+    pub fn try_edge_connectivity(&self) -> SketchResult<(usize, Vec<bool>)> {
+        let n = self.space().n();
+        let skeleton = Hypergraph::from_edges(n, self.skeleton.try_decode()?);
+        Ok(match hyper_min_cut(&skeleton) {
+            Some((lambda, side)) => (lambda.min(self.k), side),
+            None => (0, vec![false; n]), // n < 2: no cut exists
+        })
     }
 
     /// Decodes the skeleton and returns `min(λ(G), k)` (whp), together with
     /// a witness side of a minimum cut when `λ(G) < k` (for `λ >= k` the
     /// side witnesses some cut of size ≥ k in the skeleton, not necessarily
     /// minimum in `G`).
+    ///
+    /// # Panics
+    /// Panics if the skeleton decode cannot be certified; see
+    /// [`try_edge_connectivity`](Self::try_edge_connectivity).
     pub fn edge_connectivity(&self) -> (usize, Vec<bool>) {
-        let n = self.space().n();
-        let skeleton = Hypergraph::from_edges(n, self.skeleton.decode());
-        match hyper_min_cut(&skeleton) {
-            Some((lambda, side)) => (lambda.min(self.k), side),
-            None => (0, vec![false; n]), // n < 2: no cut exists
+        match self.try_edge_connectivity() {
+            Ok(out) => out,
+            Err(err) => panic!("{err}"),
         }
     }
 
+    /// Fallible k-edge-connectivity verdict.
+    pub fn try_is_k_edge_connected(&self) -> SketchResult<bool> {
+        Ok(self.try_edge_connectivity()?.0 >= self.k)
+    }
+
     /// True (whp) iff the sketched (hyper)graph is k-edge-connected.
+    ///
+    /// # Panics
+    /// Panics if the skeleton decode cannot be certified; see
+    /// [`try_is_k_edge_connected`](Self::try_is_k_edge_connected).
     pub fn is_k_edge_connected(&self) -> bool {
         self.edge_connectivity().0 >= self.k
     }
@@ -87,13 +120,13 @@ impl EdgeConnSketch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dgs_field::prng::*;
     use dgs_hypergraph::algo::hyper_cut::hyper_edge_connectivity;
     use dgs_hypergraph::generators::{
         gnp, harary, planted_edge_cut, planted_hyper_cut, random_uniform_hypergraph,
     };
     use dgs_hypergraph::Graph;
     use dgs_sketch::Profile;
-    use rand::prelude::*;
 
     fn sketch_for(h: &Hypergraph, k: usize, label: u64) -> EdgeConnSketch {
         let r = h.max_rank().max(2);

@@ -21,12 +21,18 @@
 //! experiments default to practical sizings whose *scaling shape* matches
 //! the theorems.
 
+pub mod boost;
 pub mod edge_conn;
 pub mod reconstruct;
 pub mod sparsify;
 pub mod vertex_conn;
 
+pub use boost::{BoostableSketch, BoostedQuery, QueryOutcome};
 pub use edge_conn::EdgeConnSketch;
 pub use reconstruct::{LightRecovery, LightRecoverySketch};
-pub use sparsify::{HypergraphSparsifier, SparsifierConfig, SparsifierPlayerMessage, SparsifierResult};
-pub use vertex_conn::{VertexConnCertificate, VertexConnConfig, VertexConnPlayerMessage, VertexConnSketch};
+pub use sparsify::{
+    HypergraphSparsifier, SparsifierConfig, SparsifierPlayerMessage, SparsifierResult,
+};
+pub use vertex_conn::{
+    VertexConnCertificate, VertexConnConfig, VertexConnPlayerMessage, VertexConnSketch,
+};

@@ -27,6 +27,7 @@ use dgs_connectivity::{ForestParams, KSkeletonSketch};
 use dgs_field::SeedTree;
 use dgs_hypergraph::algo::strength::lambda_e;
 use dgs_hypergraph::{EdgeSpace, HyperEdge, Hypergraph};
+use dgs_sketch::SketchResult;
 
 /// The outcome of a `light_k` peeling.
 #[derive(Clone, Debug)]
@@ -93,7 +94,16 @@ impl LightRecoverySketch {
         self.skeleton.space()
     }
 
+    /// Fallible signed hyperedge update; see
+    /// [`KSkeletonSketch::try_update`].
+    pub fn try_update(&mut self, e: &HyperEdge, delta: i64) -> SketchResult<()> {
+        self.skeleton.try_update(e, delta)
+    }
+
     /// Applies a signed hyperedge update.
+    ///
+    /// # Panics
+    /// Panics on a malformed edge; see [`try_update`](Self::try_update).
     pub fn update(&mut self, e: &HyperEdge, delta: i64) {
         self.skeleton.update(e, delta);
     }
@@ -108,15 +118,18 @@ impl LightRecoverySketch {
         self.skeleton.apply_edges(edges, delta);
     }
 
-    /// Runs the peeling decoder.
-    pub fn recover(&self) -> LightRecovery {
+    /// Fallible peeling decoder: a layer decode that cannot be certified
+    /// propagates as a retryable
+    /// [`dgs_sketch::SketchError::SketchFailure`] rather than silently
+    /// terminating the peeling early (which would understate `light_k`).
+    pub fn try_recover(&self) -> SketchResult<LightRecovery> {
         let n = self.space().n();
         let mut adjusted = self.skeleton.clone();
         let mut rounds: Vec<Vec<HyperEdge>> = Vec::new();
         let mut complete = false;
         // At most n nonempty rounds (each increases the component count).
         for _ in 0..=n {
-            let skel_edges = adjusted.decode();
+            let skel_edges = adjusted.try_decode()?;
             if skel_edges.is_empty() {
                 // Spanning graph of the residual is empty => residual empty.
                 complete = true;
@@ -137,11 +150,38 @@ impl LightRecoverySketch {
             adjusted.apply_edges(e_i.iter(), -1);
             rounds.push(e_i);
         }
-        LightRecovery { rounds, complete }
+        Ok(LightRecovery { rounds, complete })
+    }
+
+    /// Runs the peeling decoder.
+    ///
+    /// # Panics
+    /// Panics if a layer decode cannot be certified; see
+    /// [`try_recover`](Self::try_recover).
+    pub fn recover(&self) -> LightRecovery {
+        match self.try_recover() {
+            Ok(rec) => rec,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible full reconstruction: `Ok(Some(G))` iff the input was
+    /// k-cut-degenerate, `Ok(None)` if the peeling provably stalled on
+    /// heavy edges (an explicit "not reconstructible", not a failure), and
+    /// `Err` if a decode could not be certified.
+    pub fn try_reconstruct(&self) -> SketchResult<Option<Hypergraph>> {
+        let rec = self.try_recover()?;
+        Ok(rec
+            .complete
+            .then(|| Hypergraph::from_edges(self.space().n(), rec.edges())))
     }
 
     /// Full reconstruction: `Some(G)` iff the input was k-cut-degenerate
     /// (equivalently, the peeling consumed every edge).
+    ///
+    /// # Panics
+    /// Panics if a layer decode cannot be certified; see
+    /// [`try_reconstruct`](Self::try_reconstruct).
     pub fn reconstruct(&self) -> Option<Hypergraph> {
         let rec = self.recover();
         rec.complete
@@ -205,11 +245,11 @@ impl dgs_field::Codec for LightRecoverySketch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dgs_field::prng::*;
     use dgs_hypergraph::algo::strength::light_k_exact;
     use dgs_hypergraph::generators::{grid, lemma10_gadget, random_d_degenerate, random_tree};
     use dgs_hypergraph::Graph;
     use dgs_sketch::Profile;
-    use rand::prelude::*;
     use std::collections::BTreeSet;
 
     fn sketch_for(h: &Hypergraph, k: usize, label: u64) -> LightRecoverySketch {

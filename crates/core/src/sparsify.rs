@@ -28,7 +28,7 @@
 use dgs_connectivity::ForestParams;
 use dgs_field::{SeedTree, UniformHash};
 use dgs_hypergraph::{EdgeSpace, HyperEdge, WeightedHypergraph};
-use dgs_sketch::Profile;
+use dgs_sketch::{Profile, SketchResult};
 
 use crate::reconstruct::LightRecoverySketch;
 
@@ -135,18 +135,52 @@ impl HypergraphSparsifier {
             .level(self.space.rank(e), self.cfg.levels - 1)
     }
 
-    /// Applies a signed hyperedge update to every level containing it
-    /// (expected 2 levels per update).
-    pub fn update(&mut self, e: &HyperEdge, delta: i64) {
+    /// Fallible signed hyperedge update applied to every level containing
+    /// the edge.
+    pub fn try_update(&mut self, e: &HyperEdge, delta: i64) -> SketchResult<()> {
         let top = self.edge_level(e);
         for i in 0..=top {
-            self.levels[i].update(e, delta);
+            self.levels[i].try_update(e, delta)?;
         }
+        Ok(())
+    }
+
+    /// Applies a signed hyperedge update to every level containing it
+    /// (expected 2 levels per update).
+    ///
+    /// # Panics
+    /// Panics on a malformed edge; see [`try_update`](Self::try_update).
+    pub fn update(&mut self, e: &HyperEdge, delta: i64) {
+        if let Err(err) = self.try_update(e, delta) {
+            panic!("{err}");
+        }
+    }
+
+    /// Fallible full decode: a level whose `light_k` recovery cannot be
+    /// certified propagates a retryable
+    /// [`dgs_sketch::SketchError::SketchFailure`] — the alternative would
+    /// be a sparsifier silently missing a level's edges, i.e. a wrong
+    /// answer on every cut it fails to cover. Note `complete = false` in
+    /// the returned result is *not* an error: it is the explicit,
+    /// detectable "budget exhausted" outcome.
+    pub fn try_decode(&self) -> SketchResult<SparsifierResult> {
+        self.decode_impl()
     }
 
     /// Runs the full decode: per-level `light_k` recovery with cross-level
     /// peeling, weights `2^i`.
+    ///
+    /// # Panics
+    /// Panics if a level decode cannot be certified; see
+    /// [`try_decode`](Self::try_decode).
     pub fn decode(&self) -> SparsifierResult {
+        match self.decode_impl() {
+            Ok(out) => out,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    fn decode_impl(&self) -> SketchResult<SparsifierResult> {
         let n = self.space.n();
         let mut sparsifier = WeightedHypergraph::new(n);
         let mut recovered: Vec<Vec<HyperEdge>> = Vec::new();
@@ -161,7 +195,7 @@ impl HypergraphSparsifier {
                     f.iter().filter(|e| self.edge_level(e) >= i).collect();
                 adjusted.apply_edges(in_level, -1);
             }
-            let rec = adjusted.recover();
+            let rec = adjusted.try_recover()?;
             let f_i = rec.edges();
             per_level.push(f_i.len());
             let weight = (1u64 << i.min(62)) as f64;
@@ -175,11 +209,11 @@ impl HypergraphSparsifier {
                 break;
             }
         }
-        SparsifierResult {
+        Ok(SparsifierResult {
             sparsifier,
             per_level,
             complete,
-        }
+        })
     }
 
     /// Cell-wise sum with a same-seeded sketch (sharded ingestion).
@@ -193,8 +227,7 @@ impl HypergraphSparsifier {
 
     /// Sketch size in bytes.
     pub fn size_bytes(&self) -> usize {
-        self.levels.iter().map(|l| l.size_bytes()).sum::<usize>()
-            + self.level_hash.size_bytes()
+        self.levels.iter().map(|l| l.size_bytes()).sum::<usize>() + self.level_hash.size_bytes()
     }
 
     /// Largest per-vertex message — the Theorem 20 `O(ε⁻² polylog n)` per
@@ -237,7 +270,10 @@ impl HypergraphSparsifier {
                 )
             })
             .collect();
-        SparsifierPlayerMessage { vertex: v, per_level }
+        SparsifierPlayerMessage {
+            vertex: v,
+            per_level,
+        }
     }
 
     /// The referee's assembly step for one player.
@@ -263,8 +299,8 @@ impl dgs_field::Codec for HypergraphSparsifier {
         let bad = |message: String| dgs_field::CodecError { offset: 0, message };
         let n = r.get_len(1 << 32)?;
         let max_rank = r.get_len(64)?;
-        let space = EdgeSpace::new(n, max_rank)
-            .map_err(|e| bad(format!("invalid edge space: {e}")))?;
+        let space =
+            EdgeSpace::new(n, max_rank).map_err(|e| bad(format!("invalid edge space: {e}")))?;
         let k = r.get_len(1 << 20)?.max(1);
         let level_count = r.get_len(1 << 16)?.max(1);
         let forest = ForestParams::decode(r)?;
@@ -311,12 +347,32 @@ impl SparsifierPlayerMessage {
     }
 }
 
+impl dgs_field::Codec for SparsifierPlayerMessage {
+    fn encode(&self, w: &mut dgs_field::Writer) {
+        w.put_u64(self.vertex as u64);
+        self.per_level.encode(w);
+    }
+    fn decode(r: &mut dgs_field::Reader<'_>) -> Result<Self, dgs_field::CodecError> {
+        let vertex = r.get_u64()?;
+        if vertex > u32::MAX as u64 {
+            return Err(dgs_field::CodecError {
+                offset: 0,
+                message: format!("player vertex {vertex} exceeds the u32 id space"),
+            });
+        }
+        Ok(SparsifierPlayerMessage {
+            vertex: vertex as dgs_hypergraph::VertexId,
+            per_level: Vec::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dgs_field::prng::*;
     use dgs_hypergraph::generators::{gnp, planted_hyper_cut, random_uniform_hypergraph};
     use dgs_hypergraph::{Graph, Hypergraph};
-    use rand::prelude::*;
 
     fn build(h: &Hypergraph, k: usize, levels: usize, label: u64) -> HypergraphSparsifier {
         let r = h.max_rank().max(2);
@@ -374,7 +430,11 @@ mod tests {
         for (i, k) in [4usize, 12].into_iter().enumerate() {
             let sp = build(&h, k, 8, 2 + i as u64);
             let res = sp.decode();
-            assert!(res.complete, "k = {k}: levels exhausted: {:?}", res.per_level);
+            assert!(
+                res.complete,
+                "k = {k}: levels exhausted: {:?}",
+                res.per_level
+            );
             errors.push(max_cut_error(&h, &res.sparsifier));
         }
         assert_eq!(errors[1], 0.0, "k = 12 >= max λ_e must be exact");

@@ -26,7 +26,7 @@ use dgs_connectivity::{ForestParams, SpanningForestSketch};
 use dgs_field::{SeedTree, UniformHash};
 use dgs_hypergraph::algo::vertex_conn::{hyper_disconnects, vertex_connectivity_bounded};
 use dgs_hypergraph::{EdgeSpace, HyperEdge, Hypergraph, VertexId};
-use dgs_sketch::Profile;
+use dgs_sketch::{Profile, SketchError, SketchResult};
 
 /// Sizing for a [`VertexConnSketch`].
 #[derive(Clone, Copy, Debug)]
@@ -81,7 +81,9 @@ impl VertexConnConfig {
 }
 
 fn graph_dimension(n: usize) -> u64 {
-    EdgeSpace::graph(n.max(2)).map(|s| s.dimension()).unwrap_or(u64::MAX)
+    EdgeSpace::graph(n.max(2))
+        .map(|s| s.dimension())
+        .unwrap_or(u64::MAX)
 }
 
 /// The Section 3 sketch: `R` spanning-forest sketches of vertex-subsampled
@@ -142,42 +144,100 @@ impl VertexConnSketch {
         &self.space
     }
 
-    /// Applies a signed hyperedge update. The edge enters exactly the
-    /// subgraphs containing *all* of its vertices (expected `R/k^|e|` of
-    /// them, so a stream update is cheap).
-    pub fn update(&mut self, e: &HyperEdge, delta: i64) {
+    /// Fallible signed hyperedge update. Malformed elements (out-of-range
+    /// vertex, rank violation) surface as [`SketchError::InvalidInput`]
+    /// before any subgraph sketch is touched.
+    pub fn try_update(&mut self, e: &HyperEdge, delta: i64) -> SketchResult<()> {
+        if e.cardinality() > self.space.max_rank() {
+            return Err(SketchError::invalid(format!(
+                "edge of rank {} exceeds the space's rank bound {}",
+                e.cardinality(),
+                self.space.max_rank()
+            )));
+        }
         let vs = e.vertices();
+        if let Some(&v) = vs.iter().find(|&&v| (v as usize) >= self.space.n()) {
+            return Err(SketchError::invalid(format!(
+                "vertex {v} out of range for a {}-vertex edge space",
+                self.space.n()
+            )));
+        }
         // Intersect the sorted membership lists of all endpoints.
         let mut common: Vec<u32> = self.membership[vs[0] as usize].clone();
         for &v in &vs[1..] {
             let other = &self.membership[v as usize];
             common = intersect_sorted(&common, other);
             if common.is_empty() {
-                return;
+                return Ok(());
             }
         }
         for i in common {
-            self.subgraphs[i as usize].update(e, delta);
+            self.subgraphs[i as usize].try_update(e, delta)?;
         }
+        Ok(())
+    }
+
+    /// Applies a signed hyperedge update. The edge enters exactly the
+    /// subgraphs containing *all* of its vertices (expected `R/k^|e|` of
+    /// them, so a stream update is cheap).
+    ///
+    /// # Panics
+    /// Panics on a malformed edge; see [`try_update`](Self::try_update).
+    pub fn update(&mut self, e: &HyperEdge, delta: i64) {
+        if let Err(err) = self.try_update(e, delta) {
+            panic!("{err}");
+        }
+    }
+
+    /// Fallible certificate decode: every subgraph's Borůvka pass must
+    /// certify completeness, otherwise the union `H` could be missing
+    /// forest edges and the removal query could report a spurious
+    /// disconnection — propagated as [`SketchError::SketchFailure`]
+    /// (retryable against an independent repetition) instead.
+    pub fn try_certificate(&self) -> SketchResult<VertexConnCertificate> {
+        let mut h = Hypergraph::new(self.space.n());
+        for sk in &self.subgraphs {
+            for e in sk.try_decode()? {
+                h.add_edge(e);
+            }
+        }
+        Ok(VertexConnCertificate { union: h })
     }
 
     /// Decodes every subgraph's spanning forest and returns the union
     /// `H = T_1 ∪ … ∪ T_R` as a query certificate.
+    ///
+    /// # Panics
+    /// Panics if a subgraph decode cannot be certified; see
+    /// [`try_certificate`](Self::try_certificate).
     pub fn certificate(&self) -> VertexConnCertificate {
-        let mut h = Hypergraph::new(self.space.n());
-        for sk in &self.subgraphs {
-            for e in sk.decode() {
-                h.add_edge(e);
-            }
+        match self.try_certificate() {
+            Ok(cert) => cert,
+            Err(err) => panic!("{err}"),
         }
-        VertexConnCertificate { union: h }
+    }
+
+    /// Fallible cell-wise sum with a same-seeded sketch.
+    pub fn try_add_assign_sketch(&mut self, rhs: &VertexConnSketch) -> SketchResult<()> {
+        if self.cfg.subgraphs != rhs.cfg.subgraphs {
+            return Err(SketchError::invalid(format!(
+                "config mismatch: {} vs {} subgraphs",
+                self.cfg.subgraphs, rhs.cfg.subgraphs
+            )));
+        }
+        for (a, b) in self.subgraphs.iter_mut().zip(&rhs.subgraphs) {
+            a.try_add_assign_sketch(b)?;
+        }
+        Ok(())
     }
 
     /// Cell-wise sum with a same-seeded sketch (sharded ingestion).
+    ///
+    /// # Panics
+    /// Panics on shape/seed mismatch; in-process shard merges always agree.
     pub fn add_assign_sketch(&mut self, rhs: &VertexConnSketch) {
-        assert_eq!(self.cfg.subgraphs, rhs.cfg.subgraphs, "config mismatch");
-        for (a, b) in self.subgraphs.iter_mut().zip(&rhs.subgraphs) {
-            a.add_assign_sketch(b);
+        if let Err(err) = self.try_add_assign_sketch(rhs) {
+            panic!("{err}");
         }
     }
 
@@ -237,11 +297,34 @@ impl VertexConnSketch {
         }
     }
 
+    /// Fallible referee assembly: validates every per-subgraph entry (index
+    /// range, vertex presence, sampler shape/seed) before installing it, so
+    /// a corrupted or misrouted message surfaces as
+    /// [`SketchError::InvalidInput`].
+    pub fn try_install_player(&mut self, message: VertexConnPlayerMessage) -> SketchResult<()> {
+        for (i, _) in &message.per_subgraph {
+            if *i as usize >= self.subgraphs.len() {
+                return Err(SketchError::invalid(format!(
+                    "player message references subgraph {i}, sketch has {}",
+                    self.subgraphs.len()
+                )));
+            }
+        }
+        for (i, msg) in message.per_subgraph {
+            self.subgraphs[i as usize].try_set_vertex_samplers(msg.vertex, msg.samplers)?;
+        }
+        Ok(())
+    }
+
     /// The referee's assembly step: installs a player's per-subgraph
     /// sampler states into this (zero-initialized, same-seeded) sketch.
+    ///
+    /// # Panics
+    /// Panics on a malformed message; see
+    /// [`try_install_player`](Self::try_install_player).
     pub fn install_player(&mut self, message: VertexConnPlayerMessage) {
-        for (i, msg) in message.per_subgraph {
-            self.subgraphs[i as usize].set_vertex_samplers(msg.vertex, msg.samplers);
+        if let Err(err) = self.try_install_player(message) {
+            panic!("{err}");
         }
     }
 }
@@ -272,8 +355,8 @@ impl dgs_field::Codec for VertexConnSketch {
         let bad = |message: String| dgs_field::CodecError { offset: 0, message };
         let n = r.get_len(1 << 32)?;
         let max_rank = r.get_len(64)?;
-        let space = EdgeSpace::new(n, max_rank)
-            .map_err(|e| bad(format!("invalid edge space: {e}")))?;
+        let space =
+            EdgeSpace::new(n, max_rank).map_err(|e| bad(format!("invalid edge space: {e}")))?;
         let cfg = VertexConnConfig::decode(r)?;
         let subgraphs: Vec<SpanningForestSketch> = Vec::decode(r)?;
         if subgraphs.len() != cfg.subgraphs {
@@ -364,10 +447,10 @@ impl VertexConnCertificate {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dgs_field::prng::*;
     use dgs_hypergraph::algo::vertex_conn::{disconnects, vertex_connectivity};
     use dgs_hypergraph::generators::{harary, planted_separator};
     use dgs_hypergraph::Graph;
-    use rand::prelude::*;
 
     fn load(sk: &mut VertexConnSketch, g: &Graph) {
         for (u, v) in g.edges() {
@@ -385,7 +468,10 @@ mod tests {
 
     #[test]
     fn intersect_sorted_basics() {
-        assert_eq!(intersect_sorted(&[1, 3, 5, 7], &[2, 3, 4, 7, 9]), vec![3, 7]);
+        assert_eq!(
+            intersect_sorted(&[1, 3, 5, 7], &[2, 3, 4, 7, 9]),
+            vec![3, 7]
+        );
         assert_eq!(intersect_sorted(&[], &[1]), Vec::<u32>::new());
         assert_eq!(intersect_sorted(&[1, 2], &[1, 2]), vec![1, 2]);
     }

@@ -206,7 +206,7 @@ impl From<i64> for Fp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::prng::*;
 
     #[test]
     fn constants() {
@@ -271,56 +271,76 @@ mod tests {
         let _ = Fp::ZERO.inv();
     }
 
-    fn arb_fp() -> impl Strategy<Value = Fp> {
-        (0..P).prop_map(Fp::new)
+    fn rand_fp(rng: &mut StdRng) -> Fp {
+        Fp::new(rng.gen_range(0..P))
     }
 
-    proptest! {
-        #[test]
-        fn add_commutes(a in arb_fp(), b in arb_fp()) {
-            prop_assert_eq!(a.add(b), b.add(a));
-        }
+    // Randomized field-law checks: 256 deterministic trials each, covering
+    // the edge of the modulus via the uniform draw over [0, P).
 
-        #[test]
-        fn mul_commutes(a in arb_fp(), b in arb_fp()) {
-            prop_assert_eq!(a.mul(b), b.mul(a));
+    #[test]
+    fn add_and_mul_commute() {
+        let mut rng = StdRng::seed_from_u64(0xF1);
+        for _ in 0..256 {
+            let (a, b) = (rand_fp(&mut rng), rand_fp(&mut rng));
+            assert_eq!(a.add(b), b.add(a));
+            assert_eq!(a.mul(b), b.mul(a));
         }
+    }
 
-        #[test]
-        fn add_associates(a in arb_fp(), b in arb_fp(), c in arb_fp()) {
-            prop_assert_eq!(a.add(b).add(c), a.add(b.add(c)));
+    #[test]
+    fn add_and_mul_associate() {
+        let mut rng = StdRng::seed_from_u64(0xF2);
+        for _ in 0..256 {
+            let (a, b, c) = (rand_fp(&mut rng), rand_fp(&mut rng), rand_fp(&mut rng));
+            assert_eq!(a.add(b).add(c), a.add(b.add(c)));
+            assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)));
         }
+    }
 
-        #[test]
-        fn mul_associates(a in arb_fp(), b in arb_fp(), c in arb_fp()) {
-            prop_assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)));
+    #[test]
+    fn mul_distributes() {
+        let mut rng = StdRng::seed_from_u64(0xF3);
+        for _ in 0..256 {
+            let (a, b, c) = (rand_fp(&mut rng), rand_fp(&mut rng), rand_fp(&mut rng));
+            assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
         }
+    }
 
-        #[test]
-        fn mul_distributes(a in arb_fp(), b in arb_fp(), c in arb_fp()) {
-            prop_assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+    #[test]
+    fn sub_is_add_neg() {
+        let mut rng = StdRng::seed_from_u64(0xF4);
+        for _ in 0..256 {
+            let (a, b) = (rand_fp(&mut rng), rand_fp(&mut rng));
+            assert_eq!(a.sub(b), a.add(b.neg()));
         }
+    }
 
-        #[test]
-        fn sub_is_add_neg(a in arb_fp(), b in arb_fp()) {
-            prop_assert_eq!(a.sub(b), a.add(b.neg()));
+    #[test]
+    fn nonzero_inverse_round_trips() {
+        let mut rng = StdRng::seed_from_u64(0xF5);
+        for _ in 0..256 {
+            let x = Fp::new(rng.gen_range(1..P));
+            assert_eq!(x.mul(x.inv()), Fp::ONE);
         }
+    }
 
-        #[test]
-        fn nonzero_inverse_round_trips(v in 1..P) {
-            let x = Fp::new(v);
-            prop_assert_eq!(x.mul(x.inv()), Fp::ONE);
-        }
-
-        #[test]
-        fn mul_matches_u128_reference(a in 0..P, b in 0..P) {
+    #[test]
+    fn mul_matches_u128_reference() {
+        let mut rng = StdRng::seed_from_u64(0xF6);
+        for _ in 0..256 {
+            let (a, b) = (rng.gen_range(0..P), rng.gen_range(0..P));
             let expect = ((a as u128 * b as u128) % P as u128) as u64;
-            prop_assert_eq!(Fp::new(a).mul(Fp::new(b)).value(), expect);
+            assert_eq!(Fp::new(a).mul(Fp::new(b)).value(), expect);
         }
+    }
 
-        #[test]
-        fn signed_round_trip(v in -(P as i64 / 2)..=(P as i64 / 2)) {
-            prop_assert_eq!(Fp::from_i64(v).to_i64(), v);
+    #[test]
+    fn signed_round_trip() {
+        let mut rng = StdRng::seed_from_u64(0xF7);
+        for _ in 0..256 {
+            let v = rng.gen_range(-(P as i64 / 2)..=(P as i64 / 2));
+            assert_eq!(Fp::from_i64(v).to_i64(), v);
         }
     }
 }

@@ -283,7 +283,10 @@ mod tests {
             let u = h.unit(key);
             if lvl < 30 {
                 assert!(u < 1.0 / (1u64 << lvl) as f64 * 1.0000001, "key {key}");
-                assert!(u >= 1.0 / (1u64 << (lvl + 1)) as f64 * 0.9999999, "key {key}");
+                assert!(
+                    u >= 1.0 / (1u64 << (lvl + 1)) as f64 * 0.9999999,
+                    "key {key}"
+                );
             }
         }
     }

@@ -8,6 +8,9 @@
 //!   coordinates of the (huge, implicit) edge-indexed vectors,
 //! * [`fingerprint`] — polynomial fingerprints that let a one-sparse detector
 //!   verify its candidate against the full update history,
+//! * [`prng`] — an in-tree deterministic PRNG (SplitMix64-seeded
+//!   xoshiro256**) replacing the external `rand` dependency for workload
+//!   generation and tests, keeping the workspace buildable fully offline,
 //! * [`seed`] — a deterministic seed-derivation tree so that a single master
 //!   seed reproduces every random choice in a sketch (this is how we simulate
 //!   the "public random bits" of the simultaneous communication model in
@@ -20,10 +23,12 @@ pub mod codec;
 pub mod fingerprint;
 pub mod fp61;
 pub mod hash;
+pub mod prng;
 pub mod seed;
 
 pub use codec::{Codec, CodecError, Reader, Writer};
 pub use fingerprint::Fingerprinter;
 pub use fp61::Fp;
 pub use hash::{KWiseHash, UniformHash};
+pub use prng::{Rng, SeedableRng, SliceRandom, StdRng};
 pub use seed::SeedTree;

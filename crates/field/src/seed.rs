@@ -60,7 +60,10 @@ impl SeedTree {
     /// coefficient tables. Index `i` yields a value independent of all other
     /// indices' values (in the SplitMix64 sense).
     pub fn value_at(&self, index: u64) -> u64 {
-        splitmix64(self.state.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        splitmix64(
+            self.state
+                .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        )
     }
 }
 

@@ -88,7 +88,9 @@ pub fn k_core(h: &Hypergraph, k: usize) -> Vec<VertexId> {
             }
         }
     }
-    (0..n as VertexId).filter(|&v| !removed[v as usize]).collect()
+    (0..n as VertexId)
+        .filter(|&v| !removed[v as usize])
+        .collect()
 }
 
 #[cfg(test)]
@@ -185,7 +187,7 @@ mod tests {
 
     #[test]
     fn cut_degeneracy_never_exceeds_degeneracy() {
-        use rand::prelude::*;
+        use dgs_field::prng::*;
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..8 {
             let n = rng.gen_range(4..8);

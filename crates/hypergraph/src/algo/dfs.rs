@@ -124,7 +124,7 @@ mod tests {
     use crate::algo::vertex_conn::disconnects;
     use crate::generators::{gnp, grid, harary, random_tree};
     use crate::hypergraph::Hypergraph;
-    use rand::prelude::*;
+    use dgs_field::prng::*;
 
     #[test]
     fn path_internals_are_articulation_points() {
@@ -181,11 +181,7 @@ mod tests {
                 let mut keep = vec![true; n];
                 keep[v as usize] = false;
                 let after = component_count(&g.filter_vertices(&keep)) - 1;
-                assert_eq!(
-                    aps.contains(&v),
-                    after > base,
-                    "trial {trial} vertex {v}"
-                );
+                assert_eq!(aps.contains(&v), after > base, "trial {trial} vertex {v}");
             }
             // On connected graphs the Theorem 4 single-vertex query agrees.
             if base == 1 {

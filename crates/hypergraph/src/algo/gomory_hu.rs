@@ -56,8 +56,7 @@ impl GomoryHuTree {
 
     /// Builds for an unweighted simple graph (unit capacities).
     pub fn build_unit(g: &Graph) -> GomoryHuTree {
-        let edges: Vec<(VertexId, VertexId, u64)> =
-            g.edges().map(|(u, v)| (u, v, 1)).collect();
+        let edges: Vec<(VertexId, VertexId, u64)> = g.edges().map(|(u, v)| (u, v, 1)).collect();
         GomoryHuTree::build(g.n(), &edges)
     }
 
@@ -110,9 +109,7 @@ impl GomoryHuTree {
 
     /// The tree edges `(v, parent[v], weight)` for `v in 1..n`.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId, u64)> + '_ {
-        (1..self.parent.len()).map(move |v| {
-            (v as VertexId, self.parent[v], self.weight[v])
-        })
+        (1..self.parent.len()).map(move |v| (v as VertexId, self.parent[v], self.weight[v]))
     }
 }
 
@@ -121,7 +118,7 @@ mod tests {
     use super::*;
     use crate::algo::strength::local_edge_connectivity;
     use crate::generators::{gnp, harary, planted_edge_cut};
-    use rand::prelude::*;
+    use dgs_field::prng::*;
 
     #[test]
     fn path_graph_tree() {

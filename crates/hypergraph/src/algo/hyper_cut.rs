@@ -233,12 +233,7 @@ fn queyranne_phase(active: &[u32], edges: &[(Vec<u32>, f64)]) -> (u32, u32, f64)
     (active[s], active[t], degree[t])
 }
 
-fn add_to_w(
-    u: usize,
-    in_w: &mut [bool],
-    in_w_count: &mut [usize],
-    incident: &[Vec<usize>],
-) {
+fn add_to_w(u: usize, in_w: &mut [bool], in_w_count: &mut [usize], incident: &[Vec<usize>]) {
     in_w[u] = true;
     for &e in &incident[u] {
         in_w_count[e] += 1;
@@ -249,7 +244,7 @@ fn add_to_w(
 mod tests {
     use super::*;
     use crate::edge::HyperEdge;
-    use rand::prelude::*;
+    use dgs_field::prng::*;
 
     fn he(vs: &[u32]) -> HyperEdge {
         HyperEdge::new(vs.to_vec()).unwrap()
@@ -269,7 +264,13 @@ mod tests {
         // Two vertex-disjoint "paths" of hyperedges from 0 to 5.
         let h = Hypergraph::from_edges(
             6,
-            vec![he(&[0, 1]), he(&[1, 5]), he(&[0, 2]), he(&[2, 5]), he(&[3, 4])],
+            vec![
+                he(&[0, 1]),
+                he(&[1, 5]),
+                he(&[0, 2]),
+                he(&[2, 5]),
+                he(&[3, 4]),
+            ],
         );
         assert_eq!(hyper_local_edge_connectivity(&h, 0, 5, usize::MAX), 2);
         assert_eq!(hyper_local_edge_connectivity(&h, 0, 3, usize::MAX), 0);
@@ -347,14 +348,16 @@ mod tests {
                 let mut vs: Vec<u32> = (0..n as u32).collect();
                 vs.shuffle(&mut rng);
                 vs.truncate(r);
-                w.add(HyperEdge::new(vs).unwrap(), rng.gen_range(1..8) as f64 / 2.0);
+                w.add(
+                    HyperEdge::new(vs).unwrap(),
+                    rng.gen_range(1..8) as f64 / 2.0,
+                );
             }
             let (qval, _) = weighted_min_cut(&w).unwrap();
             // Weighted brute force.
             let mut brute = f64::INFINITY;
             for mask in 1u32..(1 << (n - 1)) {
-                let side: Vec<bool> =
-                    (0..n).map(|v| v > 0 && mask >> (v - 1) & 1 == 1).collect();
+                let side: Vec<bool> = (0..n).map(|v| v > 0 && mask >> (v - 1) & 1 == 1).collect();
                 brute = brute.min(w.cut_weight(&side));
             }
             assert!(

@@ -7,8 +7,8 @@
 //! compared against.
 
 pub mod components;
-pub mod dfs;
 pub mod degeneracy;
+pub mod dfs;
 pub mod dinic;
 pub mod gomory_hu;
 pub mod hyper_cut;
@@ -19,13 +19,13 @@ pub mod union_find;
 pub mod vertex_conn;
 
 pub use components::{
-    component_count, component_labels, hyper_component_count, hyper_component_labels,
-    is_connected, is_hyper_connected,
+    component_count, component_labels, hyper_component_count, hyper_component_labels, is_connected,
+    is_hyper_connected,
 };
 pub use degeneracy::{cut_degeneracy, degeneracy, is_d_degenerate, k_core};
 pub use dfs::{articulation_points, bridges, is_biconnected};
-pub use gomory_hu::GomoryHuTree;
 pub use dinic::Dinic;
+pub use gomory_hu::GomoryHuTree;
 pub use hyper_cut::{
     brute_force_min_cut, hyper_edge_connectivity, hyper_local_edge_connectivity, hyper_min_cut,
     weighted_min_cut_value,

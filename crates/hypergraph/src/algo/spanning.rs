@@ -71,18 +71,15 @@ mod tests {
             7,
             vec![
                 HyperEdge::new(vec![0, 1, 2]).unwrap(),
-                HyperEdge::new(vec![1, 2]).unwrap(),   // redundant
+                HyperEdge::new(vec![1, 2]).unwrap(), // redundant
                 HyperEdge::new(vec![2, 3, 4]).unwrap(),
-                HyperEdge::new(vec![0, 4]).unwrap(),   // redundant
+                HyperEdge::new(vec![0, 4]).unwrap(), // redundant
                 HyperEdge::new(vec![5, 6]).unwrap(),
             ],
         );
         let kept = hyper_spanning_subgraph(&h);
         let sub = Hypergraph::from_edges(7, kept.iter().map(|&i| h.edges()[i].clone()));
-        assert_eq!(
-            hyper_component_count(&sub),
-            hyper_component_count(&h)
-        );
+        assert_eq!(hyper_component_count(&sub), hyper_component_count(&h));
         assert!(kept.len() <= 6);
         assert_eq!(kept, vec![0, 2, 4]);
     }

@@ -131,7 +131,9 @@ mod tests {
     #[test]
     fn cycle_has_cut_two() {
         let n = 8;
-        let edges: Vec<_> = (0..n as u32).map(|i| (i, (i + 1) % n as u32, 1.0)).collect();
+        let edges: Vec<_> = (0..n as u32)
+            .map(|i| (i, (i + 1) % n as u32, 1.0))
+            .collect();
         let (c, _) = stoer_wagner(n, &edges).unwrap();
         assert_eq!(c, 2.0);
     }
@@ -175,7 +177,7 @@ mod tests {
 
     #[test]
     fn matches_brute_force_on_random_graphs() {
-        use rand::prelude::*;
+        use dgs_field::prng::*;
         let mut rng = StdRng::seed_from_u64(17);
         for trial in 0..30 {
             let n = rng.gen_range(3..9);

@@ -67,8 +67,7 @@ pub fn light_k_exact(h: &Hypergraph, k: usize) -> (Vec<usize>, Vec<usize>) {
         if alive.is_empty() {
             break;
         }
-        let current =
-            Hypergraph::from_edges(h.n(), alive.iter().map(|&i| h.edges()[i].clone()));
+        let current = Hypergraph::from_edges(h.n(), alive.iter().map(|&i| h.edges()[i].clone()));
         // current.edges() preserves the order of `alive`.
         let mut this_round = Vec::new();
         let mut survivors = Vec::new();
@@ -132,10 +131,8 @@ fn hyper_strengths_recursive(
     let sub = Hypergraph::from_edges(
         vertices.len(),
         edge_ids.iter().map(|&i| {
-            crate::edge::HyperEdge::new(
-                h.edges()[i].vertices().iter().map(|v| local[v]).collect(),
-            )
-            .expect("valid sub-hyperedge")
+            crate::edge::HyperEdge::new(h.edges()[i].vertices().iter().map(|v| local[v]).collect())
+                .expect("valid sub-hyperedge")
         }),
     );
     // Split disconnected pieces first.
@@ -247,8 +244,8 @@ fn strengths_recursive(
         return;
     }
 
-    let (cut_val, side) = stoer_wagner(vertices.len(), &edges)
-        .expect("component has >= 2 vertices");
+    let (cut_val, side) =
+        stoer_wagner(vertices.len(), &edges).expect("component has >= 2 vertices");
     let lambda = cut_val.round() as usize;
     debug_assert!(lambda >= 1, "connected component with zero min cut");
     let new_floor = floor.max(lambda);
@@ -282,7 +279,7 @@ fn strengths_recursive(
 mod tests {
     use super::*;
     use crate::edge::HyperEdge;
-    use rand::prelude::*;
+    use dgs_field::prng::*;
 
     #[test]
     fn local_connectivity_basics() {
@@ -296,10 +293,7 @@ mod tests {
     #[test]
     fn lambda_e_of_bridge_is_one() {
         // Triangle 0-1-2 plus bridge 2-3.
-        let h = Hypergraph::from_graph(&Graph::from_edges(
-            4,
-            &[(0, 1), (1, 2), (0, 2), (2, 3)],
-        ));
+        let h = Hypergraph::from_graph(&Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]));
         let bridge = h
             .edges()
             .iter()
@@ -559,8 +553,7 @@ mod tests {
             let strengths = hyper_edge_strengths(&h);
             for k in 1..3usize {
                 let (light, _) = light_k_exact(&h, k);
-                let light_set: std::collections::BTreeSet<usize> =
-                    light.into_iter().collect();
+                let light_set: std::collections::BTreeSet<usize> = light.into_iter().collect();
                 for (i, &s) in strengths.iter().enumerate() {
                     assert_eq!(
                         light_set.contains(&i),
@@ -591,15 +584,14 @@ mod tests {
             let strengths = edge_strengths(&g);
             for k in 1..4usize {
                 let (light, _) = light_k_exact(&h, k);
-                let light_set: std::collections::BTreeSet<_> = light
-                    .iter()
-                    .map(|&i| h.edges()[i].as_pair())
-                    .collect();
+                let light_set: std::collections::BTreeSet<_> =
+                    light.iter().map(|&i| h.edges()[i].as_pair()).collect();
                 for (u, v) in g.edges() {
                     let in_light = light_set.contains(&(u, v));
                     let low_strength = strengths[&(u, v)] <= k;
                     assert_eq!(
-                        in_light, low_strength,
+                        in_light,
+                        low_strength,
                         "trial {trial}, k {k}, edge ({u},{v}), strength {}",
                         strengths[&(u, v)]
                     );

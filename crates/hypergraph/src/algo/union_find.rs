@@ -71,7 +71,9 @@ impl UnionFind {
 
     /// Canonical label (representative id) per element.
     pub fn labels(&mut self) -> Vec<u32> {
-        (0..self.parent.len() as u32).map(|x| self.find(x)).collect()
+        (0..self.parent.len() as u32)
+            .map(|x| self.find(x))
+            .collect()
     }
 }
 

@@ -24,7 +24,10 @@ use crate::VertexId;
 /// Panics if `u == v` or `{u, v}` is an edge (no finite separator exists).
 pub fn vertex_connectivity_pair(g: &Graph, u: VertexId, v: VertexId, limit: usize) -> usize {
     assert_ne!(u, v);
-    assert!(!g.has_edge(u, v), "vertex connectivity of adjacent pair is unbounded");
+    assert!(
+        !g.has_edge(u, v),
+        "vertex connectivity of adjacent pair is unbounded"
+    );
     let n = g.n();
     let inf = n as u64 + 1;
     let mut d = Dinic::new(2 * n);

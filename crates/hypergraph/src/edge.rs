@@ -93,7 +93,12 @@ impl HyperEdge {
     /// # Panics
     /// Panics if the cardinality is not 2.
     pub fn as_pair(&self) -> (VertexId, VertexId) {
-        assert_eq!(self.cardinality(), 2, "as_pair on a rank-{} edge", self.cardinality());
+        assert_eq!(
+            self.cardinality(),
+            2,
+            "as_pair on a rank-{} edge",
+            self.cardinality()
+        );
         (self.vertices[0], self.vertices[1])
     }
 

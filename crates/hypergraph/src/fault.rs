@@ -1,0 +1,484 @@
+//! Deterministic fault injection for the resilience test suite.
+//!
+//! Robustness claims are only as good as the faults they were tested
+//! against. This module provides the two fault surfaces the workspace's
+//! typed-error contract (`DESIGN.md`, "Failure semantics & fault model") is
+//! verified under:
+//!
+//! * **Stream faults** — [`FaultInjector`] corrupts an [`UpdateStream`]
+//!   with one of the [`FaultClass`]es (duplicated updates, dropped updates,
+//!   deletes of absent edges, out-of-range vertices), returning both the
+//!   corrupted stream and a machine-readable [`InjectedFault`] record so a
+//!   test can assert the fault was *detected* (typed error from stream
+//!   validation or a strict sketch decode) or *degraded gracefully*
+//!   (the answer is consistent with the stream actually received).
+//! * **Byte faults** — [`truncated`] and [`with_bit_flipped`] corrupt
+//!   encoded sketch state; every [`Codec`] decode must reject them with a
+//!   `CodecError`, never panic.
+//!
+//! [`LossyChannel`] composes the byte faults into a simple unreliable
+//! transport for the simultaneous-communication protocol (experiment E15):
+//! each transmitted message is framed with an FNV-1a checksum, frames are
+//! lost or bit-corrupted with configurable probabilities, and the receiver
+//! discards any frame that fails the checksum or decode — triggering a
+//! retransmission, exactly like a stop-and-wait ARQ. Delivered messages are
+//! therefore intact with overwhelming probability; the cost shows up only
+//! in [`ChannelStats`].
+//!
+//! Everything here is deterministic from its seed (the in-tree
+//! [`dgs_field::prng`]), so every failing case is replayable.
+
+use crate::edge::HyperEdge;
+use crate::stream::{Update, UpdateStream};
+use dgs_field::prng::*;
+use dgs_field::{Codec, CodecError, Reader, Writer};
+use std::collections::BTreeSet;
+
+/// The stream-level fault classes the resilience suite injects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// An update is replayed immediately after itself (multiplicity 2 for
+    /// inserts, a double-delete for deletes).
+    DuplicateUpdate,
+    /// An update is silently removed from the stream.
+    DropUpdate,
+    /// A delete of an edge that never appears in the stream.
+    DeleteAbsent,
+    /// An inserted edge references a vertex `>= n`.
+    OutOfRangeVertex,
+}
+
+impl FaultClass {
+    /// Every stream fault class, for exhaustive test loops.
+    pub const ALL: [FaultClass; 4] = [
+        FaultClass::DuplicateUpdate,
+        FaultClass::DropUpdate,
+        FaultClass::DeleteAbsent,
+        FaultClass::OutOfRangeVertex,
+    ];
+}
+
+impl std::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FaultClass::DuplicateUpdate => "duplicate-update",
+            FaultClass::DropUpdate => "drop-update",
+            FaultClass::DeleteAbsent => "delete-absent",
+            FaultClass::OutOfRangeVertex => "out-of-range-vertex",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A record of one injected fault: what was done and where, so tests can
+/// assert the right detection without re-deriving the corruption.
+#[derive(Clone, Debug)]
+pub struct InjectedFault {
+    /// Which class was injected.
+    pub class: FaultClass,
+    /// Index in the *corrupted* stream where the fault materializes (for
+    /// [`FaultClass::DropUpdate`], the index the removed update had in the
+    /// original stream).
+    pub position: usize,
+    /// Human-readable description of the corruption.
+    pub detail: String,
+}
+
+/// Injects stream faults deterministically from a seed.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// A fresh injector; equal seeds inject identical faults.
+    pub fn new(seed: u64) -> FaultInjector {
+        FaultInjector {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Returns a corrupted copy of `stream` with one fault of `class`
+    /// injected, plus the injection record.
+    ///
+    /// # Panics
+    /// Panics if the stream is empty (there is nothing to corrupt), or if
+    /// `class` is [`FaultClass::DeleteAbsent`] and the complete graph on
+    /// `stream.n` vertices appears in the stream (no absent pair exists).
+    pub fn inject(
+        &mut self,
+        stream: &UpdateStream,
+        class: FaultClass,
+    ) -> (UpdateStream, InjectedFault) {
+        assert!(!stream.is_empty(), "cannot inject into an empty stream");
+        let mut out = stream.clone();
+        let fault = match class {
+            FaultClass::DuplicateUpdate => {
+                let i = self.rng.gen_range(0..out.updates.len());
+                let dup = out.updates[i].clone();
+                let detail = format!("replayed update {i}: {:?} {:?}", dup.op, dup.edge);
+                out.updates.insert(i + 1, dup);
+                InjectedFault {
+                    class,
+                    position: i + 1,
+                    detail,
+                }
+            }
+            FaultClass::DropUpdate => {
+                let i = self.rng.gen_range(0..out.updates.len());
+                let gone = out.updates.remove(i);
+                InjectedFault {
+                    class,
+                    position: i,
+                    detail: format!("dropped update {i}: {:?} {:?}", gone.op, gone.edge),
+                }
+            }
+            FaultClass::DeleteAbsent => {
+                let edge = self.absent_pair(stream);
+                let i = self.rng.gen_range(0..=out.updates.len());
+                let detail = format!("inserted delete of absent edge {edge:?} at {i}");
+                out.updates.insert(i, Update::delete(edge));
+                InjectedFault {
+                    class,
+                    position: i,
+                    detail,
+                }
+            }
+            FaultClass::OutOfRangeVertex => {
+                let ghost = stream.n as u32 + self.rng.gen_range(0u32..4);
+                let anchor = self.rng.gen_range(0..stream.n as u32);
+                let edge = HyperEdge::pair(anchor, ghost);
+                let i = self.rng.gen_range(0..=out.updates.len());
+                let detail = format!(
+                    "inserted edge {edge:?} with vertex {ghost} >= n = {} at {i}",
+                    stream.n
+                );
+                out.updates.insert(i, Update::insert(edge));
+                InjectedFault {
+                    class,
+                    position: i,
+                    detail,
+                }
+            }
+        };
+        (out, fault)
+    }
+
+    /// A rank-2 edge over `[0, n)` that appears nowhere in the stream.
+    fn absent_pair(&mut self, stream: &UpdateStream) -> HyperEdge {
+        let seen: BTreeSet<&HyperEdge> = stream.updates.iter().map(|u| &u.edge).collect();
+        let n = stream.n as u32;
+        assert!(n >= 2, "need at least two vertices");
+        // Random probes first (fast on sparse streams), then exhaustive scan.
+        for _ in 0..64 {
+            let u = self.rng.gen_range(0..n);
+            let v = self.rng.gen_range(0..n);
+            if u != v {
+                let e = HyperEdge::pair(u, v);
+                if !seen.contains(&e) {
+                    return e;
+                }
+            }
+        }
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let e = HyperEdge::pair(u, v);
+                if !seen.contains(&e) {
+                    return e;
+                }
+            }
+        }
+        panic!("every pair over {n} vertices appears in the stream");
+    }
+}
+
+/// The first `len` bytes of `bytes` — a truncation fault on encoded state.
+pub fn truncated(bytes: &[u8], len: usize) -> Vec<u8> {
+    bytes[..len.min(bytes.len())].to_vec()
+}
+
+/// A copy of `bytes` with bit `bit` (counting from the LSB of byte 0)
+/// flipped — a single-bit corruption fault on encoded state.
+pub fn with_bit_flipped(bytes: &[u8], bit: usize) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    out[bit / 8] ^= 1 << (bit % 8);
+    out
+}
+
+/// FNV-1a over the payload — the frame checksum [`LossyChannel`] uses to
+/// turn arbitrary in-flight corruption into *detected* corruption.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Frames a message for transmission: `[fnv1a64(payload) as u64 LE][payload]`.
+pub fn encode_frame<T: Codec>(msg: &T) -> Vec<u8> {
+    let mut w = Writer::new();
+    msg.encode(&mut w);
+    let payload = w.into_bytes();
+    let mut frame = fnv1a64(&payload).to_le_bytes().to_vec();
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Verifies and decodes a received frame. Any truncation or bit corruption
+/// fails the checksum (or the decode) and is reported as a `CodecError` —
+/// never a silently wrong message.
+pub fn decode_frame<T: Codec>(frame: &[u8]) -> Result<T, CodecError> {
+    if frame.len() < 8 {
+        return Err(CodecError {
+            offset: frame.len(),
+            message: "frame shorter than its checksum header".into(),
+        });
+    }
+    let (header, payload) = frame.split_at(8);
+    let declared = u64::from_le_bytes(header.try_into().expect("8 bytes"));
+    if fnv1a64(payload) != declared {
+        return Err(CodecError {
+            offset: 0,
+            message: "frame checksum mismatch".into(),
+        });
+    }
+    let mut r = Reader::new(payload);
+    let msg = T::decode(&mut r)?;
+    r.expect_end()?;
+    Ok(msg)
+}
+
+/// Delivery accounting for a [`LossyChannel`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Frames put on the wire (including retransmissions).
+    pub attempts: usize,
+    /// Frames lost in flight.
+    pub losses: usize,
+    /// Frames corrupted in flight.
+    pub corruptions: usize,
+    /// Frames the receiver rejected (checksum or decode failure).
+    pub rejected: usize,
+    /// Messages delivered intact.
+    pub delivered: usize,
+}
+
+/// The channel gave up: every attempt was lost or rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChannelError {
+    /// `max_attempts` transmissions all failed.
+    Exhausted {
+        /// Number of attempts made.
+        attempts: usize,
+    },
+}
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelError::Exhausted { attempts } => {
+                write!(f, "channel exhausted after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// An unreliable transport with stop-and-wait retransmission, for running
+/// the distributed player protocol over injected loss and corruption.
+#[derive(Clone, Debug)]
+pub struct LossyChannel {
+    rng: StdRng,
+    loss_probability: f64,
+    corruption_probability: f64,
+    /// Cumulative delivery accounting.
+    pub stats: ChannelStats,
+}
+
+impl LossyChannel {
+    /// A channel that loses each frame with probability `loss_probability`
+    /// and corrupts each surviving frame (one random bit flip or a random
+    /// truncation) with probability `corruption_probability`. Deterministic
+    /// from `seed`.
+    pub fn new(seed: u64, loss_probability: f64, corruption_probability: f64) -> LossyChannel {
+        assert!(
+            (0.0..=1.0).contains(&loss_probability),
+            "loss probability {loss_probability}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&corruption_probability),
+            "corruption probability {corruption_probability}"
+        );
+        LossyChannel {
+            rng: StdRng::seed_from_u64(seed),
+            loss_probability,
+            corruption_probability,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Transmits `msg`, retransmitting on loss or detected corruption, up
+    /// to `max_attempts` times. Returns the received message and the number
+    /// of attempts it took.
+    pub fn transmit_with_retry<T: Codec>(
+        &mut self,
+        msg: &T,
+        max_attempts: usize,
+    ) -> Result<(T, usize), ChannelError> {
+        assert!(max_attempts >= 1, "need at least one attempt");
+        let frame = encode_frame(msg);
+        for attempt in 1..=max_attempts {
+            self.stats.attempts += 1;
+            if self.rng.gen_bool(self.loss_probability) {
+                self.stats.losses += 1;
+                continue; // sender times out and retransmits
+            }
+            let mut received = frame.clone();
+            if self.rng.gen_bool(self.corruption_probability) {
+                self.stats.corruptions += 1;
+                received = if self.rng.gen_bool(0.5) {
+                    let bit = self.rng.gen_range(0..received.len() * 8);
+                    with_bit_flipped(&received, bit)
+                } else {
+                    let len = self.rng.gen_range(0..received.len());
+                    truncated(&received, len)
+                };
+            }
+            match decode_frame::<T>(&received) {
+                Ok(decoded) => {
+                    self.stats.delivered += 1;
+                    return Ok((decoded, attempt));
+                }
+                Err(_) => {
+                    self.stats.rejected += 1; // receiver NAKs; retransmit
+                }
+            }
+        }
+        Err(ChannelError::Exhausted {
+            attempts: max_attempts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::Op;
+    use crate::GraphError;
+
+    fn sample_stream() -> UpdateStream {
+        let mut s = UpdateStream::new(6, 2);
+        s.push_insert(HyperEdge::pair(0, 1));
+        s.push_insert(HyperEdge::pair(1, 2));
+        s.push_insert(HyperEdge::pair(2, 3));
+        s.push_delete(HyperEdge::pair(1, 2));
+        s.push_insert(HyperEdge::pair(4, 5));
+        s
+    }
+
+    #[test]
+    fn duplicate_update_violates_multiplicity() {
+        let s = sample_stream();
+        let (bad, fault) = FaultInjector::new(1).inject(&s, FaultClass::DuplicateUpdate);
+        assert_eq!(bad.len(), s.len() + 1);
+        assert_eq!(bad.updates[fault.position], bad.updates[fault.position - 1]);
+        assert!(matches!(
+            bad.final_hypergraph(),
+            Err(GraphError::MultiplicityViolation(_))
+        ));
+    }
+
+    #[test]
+    fn dropped_update_shrinks_the_stream() {
+        let s = sample_stream();
+        let (bad, fault) = FaultInjector::new(2).inject(&s, FaultClass::DropUpdate);
+        assert_eq!(bad.len(), s.len() - 1);
+        assert!(fault.detail.starts_with("dropped update"));
+    }
+
+    #[test]
+    fn delete_absent_is_detected_by_strict_application() {
+        let s = sample_stream();
+        let (bad, fault) = FaultInjector::new(3).inject(&s, FaultClass::DeleteAbsent);
+        assert_eq!(bad.updates[fault.position].op, Op::Delete);
+        assert!(matches!(
+            bad.final_hypergraph(),
+            Err(GraphError::MultiplicityViolation(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_vertex_is_detected_by_strict_application() {
+        let s = sample_stream();
+        let (bad, _fault) = FaultInjector::new(4).inject(&s, FaultClass::OutOfRangeVertex);
+        assert!(matches!(
+            bad.final_hypergraph(),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let s = sample_stream();
+        for class in FaultClass::ALL {
+            let (a, fa) = FaultInjector::new(7).inject(&s, class);
+            let (b, fb) = FaultInjector::new(7).inject(&s, class);
+            assert_eq!(a.updates, b.updates, "{class}");
+            assert_eq!(fa.position, fb.position, "{class}");
+        }
+    }
+
+    #[test]
+    fn perfect_channel_delivers_first_try() {
+        let mut ch = LossyChannel::new(5, 0.0, 0.0);
+        let msg: Vec<u64> = (0..32).collect();
+        let (got, attempts) = ch.transmit_with_retry(&msg, 4).unwrap();
+        assert_eq!(got, msg);
+        assert_eq!(attempts, 1);
+        assert_eq!(ch.stats.delivered, 1);
+        assert_eq!(ch.stats.losses + ch.stats.rejected, 0);
+    }
+
+    #[test]
+    fn fully_lossy_channel_exhausts() {
+        let mut ch = LossyChannel::new(6, 1.0, 0.0);
+        let msg: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(
+            ch.transmit_with_retry(&msg, 5),
+            Err(ChannelError::Exhausted { attempts: 5 })
+        );
+        assert_eq!(ch.stats.losses, 5);
+        assert_eq!(ch.stats.delivered, 0);
+    }
+
+    #[test]
+    fn noisy_channel_delivers_intact_or_not_at_all() {
+        let mut ch = LossyChannel::new(7, 0.2, 0.5);
+        let msg: Vec<u64> = (0..16).map(|i| i * i).collect();
+        for _ in 0..50 {
+            let (got, _) = ch.transmit_with_retry(&msg, 64).unwrap();
+            assert_eq!(got, msg, "a corrupted frame slipped past the checksum");
+        }
+        assert!(ch.stats.rejected > 0, "corruption never exercised");
+        assert!(ch.stats.losses > 0, "loss never exercised");
+        assert_eq!(ch.stats.delivered, 50);
+    }
+
+    #[test]
+    fn checksum_catches_every_single_bit_flip_and_truncation() {
+        let msg: Vec<u64> = vec![0xDEAD, 0xBEEF, 42];
+        let frame = encode_frame(&msg);
+        for bit in 0..frame.len() * 8 {
+            let bad = with_bit_flipped(&frame, bit);
+            assert!(decode_frame::<Vec<u64>>(&bad).is_err(), "bit {bit}");
+        }
+        for len in 0..frame.len() {
+            let bad = truncated(&frame, len);
+            assert!(decode_frame::<Vec<u64>>(&bad).is_err(), "len {len}");
+        }
+        assert_eq!(decode_frame::<Vec<u64>>(&frame).unwrap(), msg);
+    }
+}

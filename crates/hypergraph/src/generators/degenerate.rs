@@ -1,7 +1,7 @@
 //! Families with controlled (cut-)degeneracy for the reconstruction
 //! experiments (Section 4 / experiment E6).
 
-use rand::Rng;
+use dgs_field::prng::Rng;
 
 use crate::graph::Graph;
 use crate::VertexId;
@@ -79,7 +79,7 @@ mod tests {
     use crate::algo::degeneracy::{cut_degeneracy, degeneracy};
     use crate::algo::is_connected;
     use crate::hypergraph::Hypergraph;
-    use rand::prelude::*;
+    use dgs_field::prng::*;
 
     #[test]
     fn tree_properties() {

@@ -1,6 +1,6 @@
 //! Erdős–Rényi and bipartite random graphs.
 
-use rand::Rng;
+use dgs_field::prng::Rng;
 
 use crate::graph::Graph;
 use crate::VertexId;
@@ -101,7 +101,7 @@ pub fn random_bipartite<R: Rng>(left: usize, right: usize, p: f64, rng: &mut R) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::prelude::*;
+    use dgs_field::prng::*;
 
     #[test]
     fn pair_indexing_is_a_bijection() {
@@ -154,7 +154,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let g = random_bipartite(6, 7, 0.5, &mut rng);
         for (u, v) in g.edges() {
-            assert!((u as usize) < 6 && (v as usize) >= 6, "edge ({u},{v}) not cross");
+            assert!(
+                (u as usize) < 6 && (v as usize) >= 6,
+                "edge ({u},{v}) not cross"
+            );
         }
     }
 }

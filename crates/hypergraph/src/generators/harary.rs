@@ -13,7 +13,10 @@ use crate::VertexId;
 /// * `k = 2r + 1`, `n` odd: the above plus `0 ↔ (n-1)/2`, `0 ↔ (n+1)/2`,
 ///   and `i ↔ i + (n+1)/2` for `1 <= i < (n-1)/2`.
 pub fn harary(k: usize, n: usize) -> Graph {
-    assert!(k >= 1 && k < n, "harary requires 1 <= k < n (got k={k}, n={n})");
+    assert!(
+        k >= 1 && k < n,
+        "harary requires 1 <= k < n (got k={k}, n={n})"
+    );
     let mut g = Graph::new(n);
     if k == 1 {
         // A path has κ = 1 with the minimum edge count.

@@ -1,7 +1,7 @@
 //! Random hypergraph generators.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use dgs_field::prng::Rng;
+use dgs_field::prng::SliceRandom;
 
 use crate::edge::HyperEdge;
 use crate::hypergraph::Hypergraph;
@@ -12,12 +12,7 @@ use crate::VertexId;
 /// # Panics
 /// Panics if `r < 2`, `r > n`, or `m` exceeds `C(n, r)` (checked loosely via
 /// a rejection cap).
-pub fn random_uniform_hypergraph<R: Rng>(
-    n: usize,
-    r: usize,
-    m: usize,
-    rng: &mut R,
-) -> Hypergraph {
+pub fn random_uniform_hypergraph<R: Rng>(n: usize, r: usize, m: usize, rng: &mut R) -> Hypergraph {
     assert!(r >= 2 && r <= n, "need 2 <= r <= n (r={r}, n={n})");
     let mut h = Hypergraph::new(n);
     let mut attempts = 0usize;
@@ -114,7 +109,7 @@ pub fn planted_hyper_cut<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::prelude::*;
+    use dgs_field::prng::*;
 
     #[test]
     fn uniform_hypergraph_shape() {

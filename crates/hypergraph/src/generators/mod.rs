@@ -12,7 +12,7 @@ mod streams;
 pub use degenerate::{grid, lemma10_gadget, random_d_degenerate, random_tree};
 pub use gnp::{gnm, gnp, random_bipartite};
 pub use harary::harary;
-pub use hyper::{planted_hyper_cut, random_uniform_hypergraph, random_mixed_hypergraph};
+pub use hyper::{planted_hyper_cut, random_mixed_hypergraph, random_uniform_hypergraph};
 pub use planted::{planted_edge_cut, planted_separator};
 pub use scale_free::{barabasi_albert, complete_bipartite};
 pub use streams::{churn_stream, insert_only_stream, ChurnConfig};

@@ -1,6 +1,6 @@
 //! Planted-structure generators with known connectivity ground truth.
 
-use rand::Rng;
+use dgs_field::prng::Rng;
 
 use crate::graph::Graph;
 use crate::VertexId;
@@ -50,7 +50,10 @@ pub fn planted_edge_cut<R: Rng>(
     p_in: f64,
     rng: &mut R,
 ) -> (Graph, Vec<bool>) {
-    assert!(t <= n1 * n2, "cannot plant {t} cross edges between {n1} x {n2}");
+    assert!(
+        t <= n1 * n2,
+        "cannot plant {t} cross edges between {n1} x {n2}"
+    );
     let n = n1 + n2;
     let mut g = Graph::new(n);
     for u in 0..n1 {
@@ -83,7 +86,7 @@ pub fn planted_edge_cut<R: Rng>(
 mod tests {
     use super::*;
     use crate::algo::vertex_conn::{disconnects, vertex_connectivity};
-    use rand::prelude::*;
+    use dgs_field::prng::*;
 
     #[test]
     fn separator_graph_has_exact_connectivity() {

@@ -1,6 +1,6 @@
 //! Heavy-tailed and bipartite families for workload diversity.
 
-use rand::Rng;
+use dgs_field::prng::Rng;
 
 use crate::graph::Graph;
 use crate::VertexId;
@@ -62,7 +62,7 @@ mod tests {
     use crate::algo::vertex_conn::vertex_connectivity;
     use crate::algo::{degeneracy, is_connected, local_edge_connectivity};
     use crate::hypergraph::Hypergraph;
-    use rand::prelude::*;
+    use dgs_field::prng::*;
 
     #[test]
     fn ba_shape() {

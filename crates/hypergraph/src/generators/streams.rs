@@ -14,8 +14,8 @@
 //! global interleaving is uniformly random, implemented by drawing one
 //! sorted random timestamp per operation.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use dgs_field::prng::Rng;
+use dgs_field::prng::SliceRandom;
 
 use crate::edge::HyperEdge;
 use crate::hypergraph::Hypergraph;
@@ -120,7 +120,7 @@ pub fn churn_stream<R: Rng>(h: &Hypergraph, cfg: ChurnConfig, rng: &mut R) -> Up
 mod tests {
     use super::*;
     use crate::generators::{gnp, random_uniform_hypergraph};
-    use rand::prelude::*;
+    use dgs_field::prng::*;
 
     #[test]
     fn insert_only_round_trips() {
@@ -166,7 +166,10 @@ mod tests {
         let g = gnp(12, 0.4, &mut rng);
         let h = Hypergraph::from_graph(&g);
         let s = churn_stream(&h, ChurnConfig::default(), &mut rng);
-        assert!(s.deletion_fraction() > 0.0, "expected deletions in churn stream");
+        assert!(
+            s.deletion_fraction() > 0.0,
+            "expected deletions in churn stream"
+        );
         assert!(s.len() > h.edge_count());
     }
 

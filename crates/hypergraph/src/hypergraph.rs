@@ -53,7 +53,11 @@ impl Hypergraph {
 
     /// The largest edge cardinality present (2 for graphs; 0 if empty).
     pub fn max_rank(&self) -> usize {
-        self.edges.iter().map(|e| e.cardinality()).max().unwrap_or(0)
+        self.edges
+            .iter()
+            .map(|e| e.cardinality())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Inserts a hyperedge; returns false if already present.

@@ -51,10 +51,7 @@ pub fn read_stream<R: BufRead>(reader: R) -> Result<UpdateStream, GraphError> {
             }
             "+" | "-" => {
                 let s = stream.as_mut().ok_or_else(|| {
-                    GraphError::InvalidEdge(format!(
-                        "line {}: update before header",
-                        lineno + 1
-                    ))
+                    GraphError::InvalidEdge(format!("line {}: update before header", lineno + 1))
                 })?;
                 let vs: Vec<u32> = numbers.iter().map(|&x| x as u32).collect();
                 let e = HyperEdge::new(vs).map_err(|err| {

@@ -13,6 +13,8 @@
 //!   for sparsifier outputs;
 //! * [`stream`] — insert/delete update streams and strict application;
 //! * [`io`] — a line-oriented text format for persisting/replaying streams;
+//! * [`fault`] — deterministic stream/byte fault injection and a lossy
+//!   retransmitting channel for the resilience suite;
 //! * [`generators`] — Erdős–Rényi, Harary (exactly k-vertex-connected),
 //!   planted-cut, degenerate, and hypergraph families, plus dynamic stream
 //!   workloads with churn;
@@ -26,14 +28,18 @@
 pub mod algo;
 pub mod edge;
 pub mod encoding;
+pub mod fault;
 pub mod generators;
 pub mod graph;
-pub mod io;
 pub mod hypergraph;
+pub mod io;
 pub mod stream;
 
 pub use edge::HyperEdge;
 pub use encoding::EdgeSpace;
+pub use fault::{
+    ChannelError, ChannelStats, FaultClass, FaultInjector, InjectedFault, LossyChannel,
+};
 pub use graph::Graph;
 pub use hypergraph::{Hypergraph, WeightedHypergraph};
 pub use stream::{Op, Update, UpdateStream};

@@ -47,12 +47,18 @@ pub struct Update {
 impl Update {
     /// Insertion of `e`.
     pub fn insert(e: HyperEdge) -> Update {
-        Update { edge: e, op: Op::Insert }
+        Update {
+            edge: e,
+            op: Op::Insert,
+        }
     }
 
     /// Deletion of `e`.
     pub fn delete(e: HyperEdge) -> Update {
-        Update { edge: e, op: Op::Delete }
+        Update {
+            edge: e,
+            op: Op::Delete,
+        }
     }
 }
 
@@ -244,7 +250,10 @@ mod tests {
     fn rank_and_range_validation() {
         let mut s = UpdateStream::new(3, 2);
         s.push_insert(HyperEdge::new(vec![0, 1, 2]).unwrap());
-        assert!(matches!(s.final_hypergraph(), Err(GraphError::InvalidEdge(_))));
+        assert!(matches!(
+            s.final_hypergraph(),
+            Err(GraphError::InvalidEdge(_))
+        ));
 
         let mut s = UpdateStream::new(3, 3);
         s.push_insert(HyperEdge::new(vec![0, 1, 5]).unwrap());

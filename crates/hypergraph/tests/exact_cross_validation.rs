@@ -2,27 +2,27 @@
 //! these algorithms are the ground truth for every experiment, so they get
 //! their own adversarial checks.
 
+use dgs_field::prng::*;
 use dgs_hypergraph::algo::strength::local_edge_connectivity;
 use dgs_hypergraph::algo::vertex_conn::{disconnects, vertex_connectivity};
 use dgs_hypergraph::algo::{degeneracy, hyper_local_edge_connectivity};
 use dgs_hypergraph::{Graph, HyperEdge, Hypergraph};
-use proptest::prelude::*;
 
-/// Strategy: a random simple graph on `n <= 9` vertices as an edge mask.
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    (4usize..9, any::<u64>()).prop_map(|(n, mask)| {
-        let mut g = Graph::new(n);
-        let mut bit = 0;
-        for u in 0..n as u32 {
-            for v in (u + 1)..n as u32 {
-                if mask >> (bit % 64) & 1 == 1 {
-                    g.add_edge(u, v);
-                }
-                bit += 1;
+/// A random simple graph on `4..9` vertices as an edge mask.
+fn random_graph(rng: &mut StdRng) -> Graph {
+    let n = rng.gen_range(4usize..9);
+    let mask: u64 = rng.gen();
+    let mut g = Graph::new(n);
+    let mut bit = 0;
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if mask >> (bit % 64) & 1 == 1 {
+                g.add_edge(u, v);
             }
+            bit += 1;
         }
-        g
-    })
+    }
+    g
 }
 
 /// Brute-force minimum u-v edge cut: min over vertex bipartitions
@@ -85,45 +85,61 @@ fn brute_degeneracy(g: &Graph) -> usize {
     best
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    /// Max-flow/min-cut duality: Dinic's λ(u, v) equals the brute-force
-    /// minimum separating edge cut.
-    #[test]
-    fn local_edge_connectivity_duality(g in arb_graph()) {
+/// Max-flow/min-cut duality: Dinic's λ(u, v) equals the brute-force
+/// minimum separating edge cut.
+#[test]
+fn local_edge_connectivity_duality() {
+    let mut rng = StdRng::seed_from_u64(0xC1);
+    for trial in 0..40 {
+        let g = random_graph(&mut rng);
         let n = g.n() as u32;
         for (s, t) in [(0u32, n - 1), (1, n - 2)] {
             if s == t {
                 continue;
             }
             let flow = local_edge_connectivity(&g, s, t, usize::MAX);
-            prop_assert_eq!(flow, brute_edge_cut(&g, s, t), "pair ({}, {})", s, t);
+            assert_eq!(
+                flow,
+                brute_edge_cut(&g, s, t),
+                "trial {trial}, pair ({s}, {t})"
+            );
         }
     }
+}
 
-    /// Graph and rank-2 hypergraph local connectivity agree (the gadget
-    /// network generalizes the plain flow network).
-    #[test]
-    fn graph_and_hypergraph_flows_agree(g in arb_graph()) {
+/// Graph and rank-2 hypergraph local connectivity agree (the gadget
+/// network generalizes the plain flow network).
+#[test]
+fn graph_and_hypergraph_flows_agree() {
+    let mut rng = StdRng::seed_from_u64(0xC2);
+    for _ in 0..40 {
+        let g = random_graph(&mut rng);
         let h = Hypergraph::from_graph(&g);
         let n = g.n() as u32;
         let flow_g = local_edge_connectivity(&g, 0, n - 1, usize::MAX);
         let flow_h = hyper_local_edge_connectivity(&h, 0, n - 1, usize::MAX);
-        prop_assert_eq!(flow_g, flow_h);
+        assert_eq!(flow_g, flow_h);
     }
+}
 
-    /// Even–Tarjan vertex connectivity equals brute-force separator search.
-    #[test]
-    fn vertex_connectivity_matches_brute_force(g in arb_graph()) {
-        prop_assert_eq!(vertex_connectivity(&g), brute_kappa(&g));
+/// Even–Tarjan vertex connectivity equals brute-force separator search.
+#[test]
+fn vertex_connectivity_matches_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0xC3);
+    for _ in 0..40 {
+        let g = random_graph(&mut rng);
+        assert_eq!(vertex_connectivity(&g), brute_kappa(&g));
     }
+}
 
-    /// Peeling degeneracy equals the max-over-subgraphs definition.
-    #[test]
-    fn degeneracy_matches_definition(g in arb_graph()) {
+/// Peeling degeneracy equals the max-over-subgraphs definition.
+#[test]
+fn degeneracy_matches_definition() {
+    let mut rng = StdRng::seed_from_u64(0xC4);
+    for _ in 0..40 {
+        let g = random_graph(&mut rng);
         let h = Hypergraph::from_graph(&g);
-        prop_assert_eq!(degeneracy(&h), brute_degeneracy(&g));
+        assert_eq!(degeneracy(&h), brute_degeneracy(&g));
     }
 }
 

@@ -1,0 +1,120 @@
+//! Typed failure semantics for the sketch stack.
+//!
+//! Every structure in this workspace is a randomized linear sketch with an
+//! explicit per-query failure probability δ (Guha–McGregor–Tench,
+//! Theorems 1–3). A caller therefore needs to distinguish two things that
+//! a panic conflates:
+//!
+//! * [`SketchError::SketchFailure`] — the sketch *detected* that this
+//!   decode attempt failed (a sampler's recovery structures were too dense,
+//!   a level was ambiguous, a round could not be certified). This is the
+//!   δ-probability event the paper's amplification arguments are built
+//!   around: it is **retryable** — re-run the query against an independent
+//!   repetition with a sibling seed (see `dgs-core`'s `BoostedQuery`) and
+//!   the failure probability drops to δ^R.
+//! * [`SketchError::InvalidInput`] — the input itself is malformed: an
+//!   out-of-range index, an edge violating the rank bound, a stream whose
+//!   net multiplicities are impossible, bytes that decode to an
+//!   inconsistent sketch, or two sketches with mismatched seeds/shapes
+//!   being merged. **Not retryable** — no repetition fixes a bad stream.
+//!
+//! The invariant the fault-injection suite asserts: every query path
+//! returns `Ok(answer)`, `Err(SketchFailure)`, or `Err(InvalidInput)` —
+//! never a panic, and never a silently wrong answer.
+
+use std::fmt;
+
+/// A typed sketch-pipeline error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SketchError {
+    /// Detected per-repetition sampler/decoder failure (probability δ).
+    /// Retry against an independent repetition with a fresh seed.
+    SketchFailure {
+        /// The structure that failed (e.g. `"l0-sampler"`, `"forest"`).
+        structure: &'static str,
+        /// Human-readable failure detail.
+        detail: String,
+    },
+    /// Malformed input: bad stream element, corrupt bytes, incompatible
+    /// sketches. Retrying cannot help.
+    InvalidInput {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+}
+
+impl SketchError {
+    /// Shorthand constructor for a retryable failure.
+    pub fn failure(structure: &'static str, detail: impl Into<String>) -> SketchError {
+        SketchError::SketchFailure {
+            structure,
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand constructor for a non-retryable input violation.
+    pub fn invalid(detail: impl Into<String>) -> SketchError {
+        SketchError::InvalidInput {
+            detail: detail.into(),
+        }
+    }
+
+    /// True iff re-running the query against an independent repetition
+    /// (fresh sibling seed) can succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, SketchError::SketchFailure { .. })
+    }
+}
+
+impl fmt::Display for SketchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchError::SketchFailure { structure, detail } => {
+                write!(f, "sketch failure in {structure} (retryable): {detail}")
+            }
+            SketchError::InvalidInput { detail } => {
+                write!(f, "invalid input (not retryable): {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SketchError {}
+
+impl From<dgs_field::CodecError> for SketchError {
+    fn from(e: dgs_field::CodecError) -> SketchError {
+        SketchError::invalid(format!("codec: {e}"))
+    }
+}
+
+/// Result alias used across the sketch stack.
+pub type SketchResult<T> = Result<T, SketchError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_split() {
+        assert!(SketchError::failure("l0-sampler", "all levels failed").is_retryable());
+        assert!(!SketchError::invalid("vertex 99 out of range").is_retryable());
+    }
+
+    #[test]
+    fn codec_errors_map_to_invalid_input() {
+        let c = dgs_field::CodecError {
+            offset: 12,
+            message: "truncated".into(),
+        };
+        let e: SketchError = c.into();
+        assert!(!e.is_retryable());
+        assert!(e.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn display_names_the_failing_structure() {
+        let e = SketchError::failure("sparse-recovery", "peeling stalled");
+        assert!(e.to_string().contains("sparse-recovery"));
+        assert!(e.to_string().contains("retryable"));
+    }
+}

@@ -13,6 +13,7 @@
 
 use dgs_field::{SeedTree, UniformHash};
 
+use crate::error::{SketchError, SketchResult};
 use crate::params::L0Params;
 use crate::sparse_recovery::SparseRecovery;
 
@@ -70,31 +71,62 @@ impl L0Sampler {
 
     /// Applies `(index, delta)`: the coordinate lives in levels
     /// `0..=lvl(index)` (expected 2 level touches per update).
+    ///
+    /// Out-of-range indices are rejected with
+    /// [`SketchError::InvalidInput`]; the check runs in release builds too
+    /// (it used to be a `debug_assert!`, which release builds skipped).
     #[inline]
-    pub fn update(&mut self, index: u64, delta: i64) {
-        debug_assert!(index < self.dimension, "index {index} out of range");
+    pub fn update(&mut self, index: u64, delta: i64) -> SketchResult<()> {
+        if index >= self.dimension {
+            return Err(SketchError::invalid(format!(
+                "index {index} out of range for dimension {}",
+                self.dimension
+            )));
+        }
         let top = self.level_hash.level(index, self.levels.len() - 1);
         for j in 0..=top {
-            self.levels[j].update(index, delta);
+            self.levels[j].update(index, delta)?;
         }
+        Ok(())
     }
 
-    /// Cell-wise sum with a same-seeded sampler.
-    pub fn add_assign_sketch(&mut self, rhs: &L0Sampler) {
-        assert_eq!(self.seed_tag, rhs.seed_tag, "sketch seed mismatch");
-        assert_eq!(self.levels.len(), rhs.levels.len(), "sketch shape mismatch");
-        for (a, b) in self.levels.iter_mut().zip(&rhs.levels) {
-            a.add_assign_sketch(b);
+    /// Verifies `rhs` was drawn with the same seed and shape, so cell-wise
+    /// arithmetic is meaningful. Public so assembly paths (player messages,
+    /// checkpoint restore) can reject incompatible states up front.
+    pub fn check_compatible(&self, rhs: &L0Sampler) -> SketchResult<()> {
+        if self.seed_tag != rhs.seed_tag {
+            return Err(SketchError::invalid(format!(
+                "sketch seed mismatch: {:#x} vs {:#x}",
+                self.seed_tag, rhs.seed_tag
+            )));
         }
+        if self.levels.len() != rhs.levels.len() {
+            return Err(SketchError::invalid(format!(
+                "sketch shape mismatch: {} vs {} levels",
+                self.levels.len(),
+                rhs.levels.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Cell-wise sum with a same-seeded sampler. Mismatched seeds or
+    /// shapes (e.g. a corrupted checkpoint) are [`SketchError::InvalidInput`].
+    pub fn add_assign_sketch(&mut self, rhs: &L0Sampler) -> SketchResult<()> {
+        self.check_compatible(rhs)?;
+        for (a, b) in self.levels.iter_mut().zip(&rhs.levels) {
+            a.add_assign_sketch(b)?;
+        }
+        Ok(())
     }
 
     /// Cell-wise difference with a same-seeded sampler.
-    pub fn sub_assign_sketch(&mut self, rhs: &L0Sampler) {
-        assert_eq!(self.seed_tag, rhs.seed_tag, "sketch seed mismatch");
-        assert_eq!(self.levels.len(), rhs.levels.len(), "sketch shape mismatch");
+    pub fn sub_assign_sketch(&mut self, rhs: &L0Sampler) -> SketchResult<()> {
+        self.check_compatible(rhs)?;
         for (a, b) in self.levels.iter_mut().zip(&rhs.levels) {
-            a.sub_assign_sketch(b);
+            a.sub_assign_sketch(b)?;
         }
+        Ok(())
     }
 
     /// True iff every cell of every level is zero.
@@ -104,28 +136,42 @@ impl L0Sampler {
 
     /// Samples a nonzero coordinate of the net vector.
     ///
-    /// * `Some((index, weight))` — a true nonzero (up to the negligible
+    /// * `Ok(Some((index, weight)))` — a true nonzero (up to the negligible
     ///   fingerprint error), chosen min-wise among the recovered level;
-    /// * `None` — the vector is zero, **or** every level's recovery failed
-    ///   (probability `2^{-Ω(rows)}` per the parameters).
-    pub fn sample(&self) -> Option<(u64, i64)> {
-        for level in &self.levels {
+    /// * `Ok(None)` — the vector is **certified zero**: level 0 holds the
+    ///   whole vector and decoded to an empty support;
+    /// * `Err(SketchFailure)` — this repetition failed (probability
+    ///   `2^{-Ω(rows)}`): every level's recovery was too dense, or the
+    ///   first decodable level was empty without level 0 confirming a zero
+    ///   vector (the levels nest *downward* — emptiness at level `j > 0`
+    ///   says nothing about coordinates whose geometric level is below
+    ///   `j`, so answering "zero" there would be a silent wrong answer).
+    pub fn sample(&self) -> SketchResult<Option<(u64, i64)>> {
+        for (j, level) in self.levels.iter().enumerate() {
             match level.decode() {
-                Some(support) if support.is_empty() => return None, // zero here => zero everywhere below geometric nesting
+                Some(support) if support.is_empty() => {
+                    if j == 0 {
+                        return Ok(None);
+                    }
+                    return Err(SketchError::failure(
+                        "l0-sampler",
+                        format!("level {j} empty but levels 0..{j} undecodable"),
+                    ));
+                }
                 Some(support) => {
-                    return support
-                        .into_iter()
-                        .min_by(|a, b| {
-                            self.level_hash
-                                .unit(a.0)
-                                .partial_cmp(&self.level_hash.unit(b.0))
-                                .unwrap()
-                        });
+                    return Ok(support.into_iter().min_by(|a, b| {
+                        self.level_hash
+                            .unit(a.0)
+                            .total_cmp(&self.level_hash.unit(b.0))
+                    }));
                 }
                 None => continue, // too dense at this level; subsample more
             }
         }
-        None
+        Err(SketchError::failure(
+            "l0-sampler",
+            format!("all {} levels undecodable", self.levels.len()),
+        ))
     }
 
     /// Exact full-support recovery when the net vector has at most
@@ -136,8 +182,7 @@ impl L0Sampler {
 
     /// Memory footprint in bytes.
     pub fn size_bytes(&self) -> usize {
-        self.level_hash.size_bytes()
-            + self.levels.iter().map(|l| l.size_bytes()).sum::<usize>()
+        self.level_hash.size_bytes() + self.levels.iter().map(|l| l.size_bytes()).sum::<usize>()
     }
 }
 
@@ -172,7 +217,7 @@ impl dgs_field::Codec for L0Sampler {
 mod tests {
     use super::*;
     use crate::params::Profile;
-    use rand::prelude::*;
+    use dgs_field::prng::*;
     use std::collections::{BTreeMap, BTreeSet};
 
     const D: u64 = 1 << 30;
@@ -187,7 +232,7 @@ mod tests {
 
     #[test]
     fn zero_vector_samples_none() {
-        assert_eq!(sampler(0).sample(), None);
+        assert_eq!(sampler(0).sample().unwrap(), None);
         assert!(sampler(0).is_zero());
     }
 
@@ -195,8 +240,8 @@ mod tests {
     fn singleton_always_recovered() {
         for label in 0..20 {
             let mut s = sampler(label);
-            s.update(12345, 1);
-            assert_eq!(s.sample(), Some((12345, 1)), "label {label}");
+            s.update(12345, 1).unwrap();
+            assert_eq!(s.sample().unwrap(), Some((12345, 1)), "label {label}");
         }
     }
 
@@ -204,13 +249,13 @@ mod tests {
     fn cancelled_updates_sample_none() {
         let mut s = sampler(1);
         for i in 0..100u64 {
-            s.update(i * 7, 1);
+            s.update(i * 7, 1).unwrap();
         }
         for i in 0..100u64 {
-            s.update(i * 7, -1);
+            s.update(i * 7, -1).unwrap();
         }
         assert!(s.is_zero());
-        assert_eq!(s.sample(), None);
+        assert_eq!(s.sample().unwrap(), None);
     }
 
     #[test]
@@ -224,9 +269,9 @@ mod tests {
                 truth.insert(rng.gen_range(0..D));
             }
             for &i in &truth {
-                s.update(i, 1);
+                s.update(i, 1).unwrap();
             }
-            if let Some((idx, w)) = s.sample() {
+            if let Ok(Some((idx, w))) = s.sample() {
                 assert!(truth.contains(&idx), "label {label}: {idx} not in support");
                 assert_eq!(w, 1);
                 success += 1;
@@ -244,9 +289,9 @@ mod tests {
         for label in 0..60 {
             let mut s = sampler(2000 + label);
             for &i in &support {
-                s.update(i, 1);
+                s.update(i, 1).unwrap();
             }
-            if let Some((idx, _)) = s.sample() {
+            if let Ok(Some((idx, _))) = s.sample() {
                 assert!(support.contains(&idx));
                 seen.insert(idx);
             }
@@ -263,11 +308,11 @@ mod tests {
         let mut a = sampler(5);
         let mut b = sampler(5);
         for i in [3u64, 900, 77777, 12] {
-            a.update(i, 1);
+            a.update(i, 1).unwrap();
             // Different update order must not matter (linearity).
         }
         for i in [12u64, 77777, 900, 3] {
-            b.update(i, 1);
+            b.update(i, 1).unwrap();
         }
         assert_eq!(a.sample(), b.sample());
     }
@@ -279,13 +324,13 @@ mod tests {
         let mut total = L0Sampler::new(&seeds, D, params);
         let all: Vec<u64> = vec![10, 20, 30, 40, 50];
         for &i in &all {
-            total.update(i, 1);
+            total.update(i, 1).unwrap();
         }
         let mut known = L0Sampler::new(&seeds, D, params);
-        known.update(20, 1);
-        known.update(40, 1);
+        known.update(20, 1).unwrap();
+        known.update(40, 1).unwrap();
         let mut rest = total.clone();
-        rest.sub_assign_sketch(&known);
+        rest.sub_assign_sketch(&known).unwrap();
         assert_eq!(
             rest.recover_support(),
             Some(vec![(10, 1), (30, 1), (50, 1)])
@@ -295,9 +340,9 @@ mod tests {
     #[test]
     fn negative_weights_survive_sampling() {
         let mut s = sampler(8);
-        s.update(1000, -1);
-        s.update(2000, -1);
-        let (idx, w) = s.sample().expect("nonzero vector");
+        s.update(1000, -1).unwrap();
+        s.update(2000, -1).unwrap();
+        let (idx, w) = s.sample().unwrap().expect("nonzero vector");
         assert!(idx == 1000 || idx == 2000);
         assert_eq!(w, -1);
     }
@@ -307,7 +352,7 @@ mod tests {
         let mut s = sampler(9);
         let mut truth = BTreeMap::new();
         for (i, w) in [(7u64, 2i64), (100, -1), (5000, 3)] {
-            s.update(i, w);
+            s.update(i, w).unwrap();
             truth.insert(i, w);
         }
         assert_eq!(

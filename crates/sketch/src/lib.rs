@@ -19,11 +19,13 @@
 //! with the paper's polylog sizing, `Practical` with constants sized for
 //! laptop-scale experiments).
 
+pub mod error;
 pub mod l0;
 pub mod one_sparse;
 pub mod params;
 pub mod sparse_recovery;
 
+pub use error::{SketchError, SketchResult};
 pub use l0::L0Sampler;
 pub use one_sparse::{OneSparse, OneSparseDecode};
 pub use params::{L0Params, Profile};

@@ -155,7 +155,10 @@ mod tests {
         c.update(42, 1, &f);
         assert_eq!(
             c.decode(&f, D),
-            OneSparseDecode::One { index: 42, weight: 1 }
+            OneSparseDecode::One {
+                index: 42,
+                weight: 1
+            }
         );
     }
 
@@ -176,7 +179,13 @@ mod tests {
         c.update(7, 2, &f);
         c.update(7, 3, &f);
         c.update(7, -1, &f);
-        assert_eq!(c.decode(&f, D), OneSparseDecode::One { index: 7, weight: 4 });
+        assert_eq!(
+            c.decode(&f, D),
+            OneSparseDecode::One {
+                index: 7,
+                weight: 4
+            }
+        );
     }
 
     #[test]
@@ -184,7 +193,13 @@ mod tests {
         let f = fper();
         let mut c = OneSparse::new();
         c.update(9, -3, &f);
-        assert_eq!(c.decode(&f, D), OneSparseDecode::One { index: 9, weight: -3 });
+        assert_eq!(
+            c.decode(&f, D),
+            OneSparseDecode::One {
+                index: 9,
+                weight: -3
+            }
+        );
     }
 
     #[test]
@@ -229,10 +244,22 @@ mod tests {
         b.update(20, 1, &f);
         let mut diff = a;
         diff.sub_assign(&b);
-        assert_eq!(diff.decode(&f, D), OneSparseDecode::One { index: 10, weight: 1 });
+        assert_eq!(
+            diff.decode(&f, D),
+            OneSparseDecode::One {
+                index: 10,
+                weight: 1
+            }
+        );
         let mut sum = b;
         sum.add_assign(&b.clone());
-        assert_eq!(sum.decode(&f, D), OneSparseDecode::One { index: 20, weight: 2 });
+        assert_eq!(
+            sum.decode(&f, D),
+            OneSparseDecode::One {
+                index: 20,
+                weight: 2
+            }
+        );
     }
 
     #[test]
@@ -245,12 +272,18 @@ mod tests {
         let mut known = OneSparse::new();
         known.update(8, 1, &f);
         c.sub_assign(&known);
-        assert_eq!(c.decode(&f, D), OneSparseDecode::One { index: 3, weight: 1 });
+        assert_eq!(
+            c.decode(&f, D),
+            OneSparseDecode::One {
+                index: 3,
+                weight: 1
+            }
+        );
     }
 
     #[test]
     fn many_random_histories_never_misdecode() {
-        use rand::prelude::*;
+        use dgs_field::prng::*;
         let f = fper();
         let mut rng = StdRng::seed_from_u64(77);
         for _ in 0..500 {

@@ -10,6 +10,7 @@
 
 use dgs_field::{Fingerprinter, KWiseHash, SeedTree};
 
+use crate::error::{SketchError, SketchResult};
 use crate::one_sparse::{OneSparse, OneSparseDecode};
 
 /// An s-sparse recovery structure.
@@ -49,33 +50,54 @@ impl SparseRecovery {
     }
 
     /// Applies `(index, delta)` to every row (one `z^index` exponentiation
-    /// shared across rows).
+    /// shared across rows). Rejects out-of-range indices with
+    /// [`SketchError::InvalidInput`] — the check runs in release builds
+    /// too, so a malformed stream can never scribble into the wrong cells.
     #[inline]
-    pub fn update(&mut self, index: u64, delta: i64) {
-        debug_assert!(index < self.dimension);
+    pub fn update(&mut self, index: u64, delta: i64) -> SketchResult<()> {
+        if index >= self.dimension {
+            return Err(SketchError::invalid(format!(
+                "index {index} out of range for dimension {}",
+                self.dimension
+            )));
+        }
         let term = self.fper.term(index, delta);
         for (r, h) in self.hashes.iter().enumerate() {
             let c = h.bucket(index, self.cols);
             self.cells[r * self.cols + c].update_with_term(index, delta, term);
         }
+        Ok(())
+    }
+
+    fn check_compatible(&self, rhs: &SparseRecovery) -> SketchResult<()> {
+        if self.cells.len() != rhs.cells.len() || self.dimension != rhs.dimension {
+            return Err(SketchError::invalid(format!(
+                "sketch shape mismatch: {} vs {} cells, dimension {} vs {}",
+                self.cells.len(),
+                rhs.cells.len(),
+                self.dimension,
+                rhs.dimension
+            )));
+        }
+        Ok(())
     }
 
     /// Cell-wise sum with a same-seeded structure.
-    pub fn add_assign_sketch(&mut self, rhs: &SparseRecovery) {
-        assert_eq!(self.cells.len(), rhs.cells.len(), "sketch shape mismatch");
-        assert_eq!(self.dimension, rhs.dimension);
+    pub fn add_assign_sketch(&mut self, rhs: &SparseRecovery) -> SketchResult<()> {
+        self.check_compatible(rhs)?;
         for (a, b) in self.cells.iter_mut().zip(&rhs.cells) {
             a.add_assign(b);
         }
+        Ok(())
     }
 
     /// Cell-wise difference with a same-seeded structure.
-    pub fn sub_assign_sketch(&mut self, rhs: &SparseRecovery) {
-        assert_eq!(self.cells.len(), rhs.cells.len(), "sketch shape mismatch");
-        assert_eq!(self.dimension, rhs.dimension);
+    pub fn sub_assign_sketch(&mut self, rhs: &SparseRecovery) -> SketchResult<()> {
+        self.check_compatible(rhs)?;
         for (a, b) in self.cells.iter_mut().zip(&rhs.cells) {
             a.sub_assign(b);
         }
+        Ok(())
     }
 
     /// True iff every cell is zero (the net vector hashes to nothing).
@@ -171,7 +193,7 @@ impl dgs_field::Codec for SparseRecovery {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::prelude::*;
+    use dgs_field::prng::*;
 
     const D: u64 = 1 << 30;
 
@@ -187,18 +209,18 @@ mod tests {
     #[test]
     fn recovers_small_support_exactly() {
         let mut s = sr(1, 4);
-        s.update(100, 1);
-        s.update(2000, -2);
-        s.update(30, 3);
+        s.update(100, 1).unwrap();
+        s.update(2000, -2).unwrap();
+        s.update(30, 3).unwrap();
         assert_eq!(s.decode(), Some(vec![(30, 3), (100, 1), (2000, -2)]));
     }
 
     #[test]
     fn cancellation_invisible() {
         let mut s = sr(2, 4);
-        s.update(5, 1);
-        s.update(5, -1);
-        s.update(77, 1);
+        s.update(5, 1).unwrap();
+        s.update(5, -1).unwrap();
+        s.update(77, 1).unwrap();
         assert!(!s.is_zero());
         assert_eq!(s.decode(), Some(vec![(77, 1)]));
     }
@@ -212,7 +234,7 @@ mod tests {
             truth.insert(rng.gen_range(0..D));
         }
         for &i in &truth {
-            s.update(i, 1);
+            s.update(i, 1).unwrap();
         }
         // 64 nonzeros in a 4-sparse structure: peeling may recover a few
         // items before stalling, but must not claim full success.
@@ -231,14 +253,17 @@ mod tests {
                 truth.insert(rng.gen_range(0..D), 1i64);
             }
             for (&i, &w) in &truth {
-                s.update(i, w);
+                s.update(i, w).unwrap();
             }
             if let Some(out) = s.decode() {
                 assert_eq!(out, truth.into_iter().collect::<Vec<_>>(), "trial {t}");
                 success += 1;
             }
         }
-        assert!(success >= 95, "only {success}/{trials} full-sparsity decodes");
+        assert!(
+            success >= 95,
+            "only {success}/{trials} full-sparsity decodes"
+        );
     }
 
     #[test]
@@ -248,25 +273,28 @@ mod tests {
         let seeds = SeedTree::new(9).child(500);
         let mut total = SparseRecovery::new(&seeds, D, 4, 6);
         for i in [10u64, 20, 30, 40] {
-            total.update(i, 1);
+            total.update(i, 1).unwrap();
         }
         let mut known = SparseRecovery::new(&seeds, D, 4, 6);
-        known.update(10, 1);
-        known.update(20, 1);
+        known.update(10, 1).unwrap();
+        known.update(20, 1).unwrap();
         let mut rest = total.clone();
-        rest.sub_assign_sketch(&known);
+        rest.sub_assign_sketch(&known).unwrap();
         assert_eq!(rest.decode(), Some(vec![(30, 1), (40, 1)]));
         // And adding back restores the original support.
-        rest.add_assign_sketch(&known);
-        assert_eq!(rest.decode(), Some(vec![(10, 1), (20, 1), (30, 1), (40, 1)]));
+        rest.add_assign_sketch(&known).unwrap();
+        assert_eq!(
+            rest.decode(),
+            Some(vec![(10, 1), (20, 1), (30, 1), (40, 1)])
+        );
     }
 
     #[test]
-    #[should_panic(expected = "shape mismatch")]
-    fn mismatched_shapes_panic() {
+    fn mismatched_shapes_are_invalid_input() {
         let mut a = sr(7, 4);
         let b = sr(8, 5);
-        a.add_assign_sketch(&b);
+        let err = a.add_assign_sketch(&b).unwrap_err();
+        assert!(!err.is_retryable());
     }
 
     #[test]

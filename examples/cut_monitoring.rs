@@ -10,7 +10,6 @@
 use dynamic_graph_streams::connectivity::BipartitenessSketch;
 use dynamic_graph_streams::core::EdgeConnSketch;
 use dynamic_graph_streams::prelude::*;
-use rand::prelude::*;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(77);

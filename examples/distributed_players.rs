@@ -12,7 +12,6 @@
 //! ```
 
 use dynamic_graph_streams::prelude::*;
-use rand::prelude::*;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(3);

@@ -11,15 +11,13 @@
 //! ```
 
 use dynamic_graph_streams::prelude::*;
-use rand::prelude::*;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(11);
 
     // Two communities of 6 authors each; 18 intra-community papers per side
     // (3 authors each) and 3 cross-community collaborations.
-    let (h, community) =
-        dgs_hypergraph::generators::planted_hyper_cut(6, 6, 3, 18, 3, &mut rng);
+    let (h, community) = dgs_hypergraph::generators::planted_hyper_cut(6, 6, 3, 18, 3, &mut rng);
     let n = h.n();
     println!(
         "corpus: {} papers over {} authors (rank 3), planted cross-community cut = {}",
@@ -45,7 +43,11 @@ fn main() {
 
     // The sparsifier sketch (light parameter k, 8 subsample levels).
     let space = EdgeSpace::new(n, 3).unwrap();
-    let cfg = SparsifierConfig::explicit(5, 8, ForestParams::new(Profile::Practical, space.dimension()));
+    let cfg = SparsifierConfig::explicit(
+        5,
+        8,
+        ForestParams::new(Profile::Practical, space.dimension()),
+    );
     let mut sp = HypergraphSparsifier::new(space, cfg, &SeedTree::new(0xCAFE));
     for u in &stream.updates {
         sp.update(&u.edge, u.op.delta());
@@ -79,7 +81,6 @@ fn main() {
 
     // Exact min cut of the weighted sparsifier vs the original.
     let (true_min, _) = dgs_hypergraph::algo::hyper_min_cut(&h).unwrap();
-    let approx_min =
-        dgs_hypergraph::algo::weighted_min_cut_value(&res.sparsifier).unwrap();
+    let approx_min = dgs_hypergraph::algo::weighted_min_cut_value(&res.sparsifier).unwrap();
     println!("global min cut: true {true_min} vs sparsifier {approx_min:.1}");
 }

@@ -12,7 +12,6 @@
 //! ```
 
 use dynamic_graph_streams::prelude::*;
-use rand::prelude::*;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(2025);
@@ -58,7 +57,10 @@ fn main() {
 
     // Post-churn audit: decode once, then scan all router pairs.
     let cert = sketch.certificate();
-    println!("auditing all {} router pairs for 2-cuts...", n * (n - 1) / 2);
+    println!(
+        "auditing all {} router pairs for 2-cuts...",
+        n * (n - 1) / 2
+    );
     let mut cuts = Vec::new();
     for x in 0..n as u32 {
         for y in (x + 1)..n as u32 {
@@ -68,7 +70,11 @@ fn main() {
         }
     }
     println!("critical pairs found: {cuts:?}");
-    assert_eq!(cuts, vec![(gateways[0], gateways[1])], "expected exactly the gateway pair");
+    assert_eq!(
+        cuts,
+        vec![(gateways[0], gateways[1])],
+        "expected exactly the gateway pair"
+    );
     println!(
         "=> the gateway pair {{{}, {}}} is the unique single point of failure (true κ = {k})",
         gateways[0], gateways[1]

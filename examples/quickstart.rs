@@ -6,7 +6,6 @@
 //! ```
 
 use dynamic_graph_streams::prelude::*;
-use rand::prelude::*;
 
 fn main() {
     // --- The input: a dynamic stream over n vertices ----------------------
@@ -68,10 +67,16 @@ fn main() {
         vc.size_bytes(),
         vc.config().subgraphs
     );
-    println!("  does removing {{0, 4, 6}} disconnect?  sketch says {}", cert.disconnects(&cut));
+    println!(
+        "  does removing {{0, 4, 6}} disconnect?  sketch says {}",
+        cert.disconnects(&cut)
+    );
     println!(
         "  does removing {{4, 6}} disconnect?     sketch says {}",
         cert.disconnects(&cut[1..])
     );
-    println!("  decoded κ(H) = {} (true κ = 3)", cert.vertex_connectivity(6));
+    println!(
+        "  decoded κ(H) = {} (true κ = 3)",
+        cert.vertex_connectivity(6)
+    );
 }

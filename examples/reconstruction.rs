@@ -7,7 +7,6 @@
 //! ```
 
 use dynamic_graph_streams::prelude::*;
-use rand::prelude::*;
 
 fn reconstruct_and_report(name: &str, h: &Hypergraph, k: usize, seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -27,8 +26,8 @@ fn reconstruct_and_report(name: &str, h: &Hypergraph, k: usize, seed: u64) {
 
     match sk.reconstruct() {
         Some(rec) => {
-            let exact = rec.edge_count() == h.edge_count()
-                && h.edges().iter().all(|e| rec.has_edge(e));
+            let exact =
+                rec.edge_count() == h.edge_count() && h.edges().iter().all(|e| rec.has_edge(e));
             println!(
                 "{name:>18}: reconstructed {} / {} edges from {} bytes/player — exact: {exact}",
                 rec.edge_count(),

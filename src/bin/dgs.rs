@@ -22,7 +22,6 @@ use dynamic_graph_streams::core::EdgeConnSketch;
 use dynamic_graph_streams::hypergraph::generators;
 use dynamic_graph_streams::hypergraph::io::{read_stream, write_stream};
 use dynamic_graph_streams::prelude::*;
-use rand::prelude::*;
 
 struct Args {
     flags: Vec<(String, String)>,
@@ -58,13 +57,19 @@ impl Args {
 
     fn usize_or(&self, name: &str, default: usize) -> usize {
         self.get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("--{name} wants a number"))))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| die(&format!("--{name} wants a number")))
+            })
             .unwrap_or(default)
     }
 
     fn f64_or(&self, name: &str, default: f64) -> f64 {
         self.get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("--{name} wants a number"))))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| die(&format!("--{name} wants a number")))
+            })
             .unwrap_or(default)
     }
 }
@@ -103,8 +108,8 @@ fn cmd_connectivity(args: &Args) {
     // the state after ingesting (both optional; linearity makes the resumed
     // state bit-identical to uninterrupted processing).
     let loaded: Option<SpanningForestSketch> = args.get("load").map(|path| {
-        let bytes = std::fs::read(path)
-            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        let bytes =
+            std::fs::read(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
         let mut r = Reader::new(&bytes);
         let sk = <SpanningForestSketch as Codec>::decode(&mut r)
             .unwrap_or_else(|e| die(&format!("corrupt checkpoint {path}: {e}")));
@@ -210,10 +215,17 @@ fn cmd_vertex_conn(args: &Args) {
     if let Some(q) = args.get("query") {
         let set: Vec<u32> = q
             .split(',')
-            .map(|p| p.trim().parse().unwrap_or_else(|_| die("--query wants v1,v2,...")))
+            .map(|p| {
+                p.trim()
+                    .parse()
+                    .unwrap_or_else(|_| die("--query wants v1,v2,..."))
+            })
             .collect();
         if set.len() > k {
-            eprintln!("warning: |S| = {} exceeds k = {k}; answer unreliable", set.len());
+            eprintln!(
+                "warning: |S| = {} exceeds k = {k}; answer unreliable",
+                set.len()
+            );
         }
         println!(
             "removing {set:?} disconnects (whp): {}",
@@ -239,7 +251,10 @@ fn cmd_reconstruct(args: &Args) {
     }
     match sk.reconstruct() {
         Some(h) => {
-            println!("reconstructed {} hyperedges ({k}-cut-degenerate input):", h.edge_count());
+            println!(
+                "reconstructed {} hyperedges ({k}-cut-degenerate input):",
+                h.edge_count()
+            );
             for e in h.edges() {
                 println!("  {:?}", e.vertices());
             }
@@ -255,7 +270,10 @@ fn cmd_reconstruct(args: &Args) {
             }
         }
     }
-    println!("per-player message bytes: {}", sk.max_player_message_bytes());
+    println!(
+        "per-player message bytes: {}",
+        sk.max_player_message_bytes()
+    );
 }
 
 fn cmd_sparsify(args: &Args) {
@@ -297,7 +315,9 @@ fn cmd_gen(args: &Args) {
             args.usize_or("m", 2 * n),
             &mut rng,
         ),
-        other => die(&format!("unknown --kind {other} (gnp|harary|tree|grid|hyper)")),
+        other => die(&format!(
+            "unknown --kind {other} (gnp|harary|tree|grid|hyper)"
+        )),
     };
     let stream = if args.get("churn").is_some() {
         generators::churn_stream(&h, generators::ChurnConfig::default(), &mut rng)

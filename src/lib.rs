@@ -52,16 +52,18 @@ pub mod parallel;
 pub mod prelude {
     pub use dgs_baselines::{benczur_karger_sparsifier, EppsteinCertificate, StoreAll};
     pub use dgs_connectivity::{
-        assemble_players, player_sketch, ForestParams, KSkeletonSketch, SpanningForestSketch,
+        assemble_players, assemble_players_strict, player_sketch, ForestParams, KSkeletonSketch,
+        SpanningForestSketch,
     };
     pub use dgs_core::{
-        HypergraphSparsifier, LightRecoverySketch, SparsifierConfig, VertexConnConfig,
-        VertexConnSketch,
+        BoostedQuery, HypergraphSparsifier, LightRecoverySketch, QueryOutcome, SparsifierConfig,
+        VertexConnConfig, VertexConnSketch,
     };
+    pub use dgs_field::prng::{Rng, SeedableRng, SliceRandom, StdRng};
     pub use dgs_field::SeedTree;
     pub use dgs_hypergraph::{
-        EdgeSpace, Graph, GraphError, HyperEdge, Hypergraph, Op, Update, UpdateStream,
-        WeightedHypergraph,
+        EdgeSpace, FaultClass, FaultInjector, Graph, GraphError, HyperEdge, Hypergraph,
+        LossyChannel, Op, Update, UpdateStream, WeightedHypergraph,
     };
-    pub use dgs_sketch::{L0Params, L0Sampler, Profile};
+    pub use dgs_sketch::{L0Params, L0Sampler, Profile, SketchError, SketchResult};
 }

@@ -86,16 +86,69 @@ where
     acc
 }
 
+/// Ingests `updates` into `repetitions` independent sketches — one per
+/// sibling seed, built by `build(repetition_index)` — striping the
+/// repetitions across `threads` worker threads, and returns them wrapped
+/// in a [`dgs_core::BoostedQuery`] for `δ → δ^R` amplified queries.
+///
+/// Unlike [`parallel_ingest`], which shards the *stream* of one sketch,
+/// this shards the *repetitions*: each is an independent sketch (different
+/// seed), so each worker simply replays the full stream into its stripe of
+/// repetitions and no cross-thread merging is needed. Combine both (shard
+/// the stream of each repetition) only when `R < threads`.
+///
+/// # Panics
+/// Panics if `threads == 0` or `repetitions == 0`.
+pub fn parallel_ingest_boosted<S, F>(
+    updates: &[Update],
+    threads: usize,
+    repetitions: usize,
+    build: F,
+) -> dgs_core::BoostedQuery<S>
+where
+    S: MergeableSketch,
+    F: Fn(usize) -> S + Sync,
+{
+    assert!(threads >= 1, "need at least one thread");
+    assert!(repetitions >= 1, "need at least one repetition");
+    let threads = threads.min(repetitions);
+    let mut indexed: Vec<(usize, S)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let build = &build;
+                scope.spawn(move || {
+                    let mut stripe = Vec::new();
+                    // Round-robin stripe: repetition i runs on thread i % threads.
+                    for i in (t..repetitions).step_by(threads) {
+                        let mut sk = build(i);
+                        for u in updates {
+                            sk.apply(&u.edge, u.op.delta());
+                        }
+                        stripe.push((i, sk));
+                    }
+                    stripe
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("boosted ingest worker panicked"))
+            .collect()
+    });
+    indexed.sort_by_key(|&(i, _)| i);
+    dgs_core::BoostedQuery::from_repetitions(indexed.into_iter().map(|(_, s)| s).collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use dgs_connectivity::{ForestParams, SpanningForestSketch};
     use dgs_core::{HypergraphSparsifier, SparsifierConfig, VertexConnConfig, VertexConnSketch};
+    use dgs_field::prng::*;
     use dgs_field::SeedTree;
     use dgs_hypergraph::generators::{churn_stream, gnp, ChurnConfig};
     use dgs_hypergraph::{EdgeSpace, Hypergraph};
     use dgs_sketch::Profile;
-    use rand::prelude::*;
 
     #[test]
     fn sharded_forest_equals_serial() {
@@ -165,6 +218,35 @@ mod tests {
         let ea: Vec<_> = a.sparsifier.iter().map(|(e, w)| (e.clone(), w)).collect();
         let eb: Vec<_> = b.sparsifier.iter().map(|(e, w)| (e.clone(), w)).collect();
         assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn boosted_ingest_matches_serial_repetitions() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let h = Hypergraph::from_graph(&gnp(14, 0.35, &mut rng));
+        let stream = churn_stream(&h, ChurnConfig::default(), &mut rng);
+        let space = EdgeSpace::graph(14).unwrap();
+        let params = ForestParams::new(Profile::Practical, space.dimension());
+        let seeds = SeedTree::new(14);
+        let build = |i: usize| {
+            SpanningForestSketch::new_full(space.clone(), &seeds.child(i as u64), params)
+        };
+
+        let mut serial = dgs_core::BoostedQuery::new(4, build);
+        for u in &stream.updates {
+            serial.try_update(&u.edge, u.op.delta()).unwrap();
+        }
+        for threads in [1usize, 3, 8] {
+            let par = parallel_ingest_boosted(&stream.updates, threads, 4, build);
+            assert_eq!(par.repetitions(), 4);
+            for (a, b) in par.sketches().iter().zip(serial.sketches()) {
+                assert_eq!(a.try_decode(), b.try_decode(), "{threads} threads");
+            }
+            assert_eq!(
+                par.query(|s| s.try_is_connected()),
+                serial.query(|s| s.try_is_connected())
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decode-67b37b85fdc7481e.d: crates/bench/benches/decode.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecode-67b37b85fdc7481e.rmeta: crates/bench/benches/decode.rs Cargo.toml
+
+crates/bench/benches/decode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

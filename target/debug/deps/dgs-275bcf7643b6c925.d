@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dgs-275bcf7643b6c925.d: src/bin/dgs.rs
+
+/root/repo/target/debug/deps/dgs-275bcf7643b6c925: src/bin/dgs.rs
+
+src/bin/dgs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dgs-a4d1021119619501.d: src/bin/dgs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdgs-a4d1021119619501.rmeta: src/bin/dgs.rs Cargo.toml
+
+src/bin/dgs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

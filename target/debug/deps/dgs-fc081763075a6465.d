@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dgs-fc081763075a6465.d: src/bin/dgs.rs
+
+/root/repo/target/debug/deps/dgs-fc081763075a6465: src/bin/dgs.rs
+
+src/bin/dgs.rs:

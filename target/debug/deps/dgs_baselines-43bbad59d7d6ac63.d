@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dgs_baselines-43bbad59d7d6ac63.d: crates/baselines/src/lib.rs crates/baselines/src/becker.rs crates/baselines/src/bk_sparsifier.rs crates/baselines/src/eppstein.rs crates/baselines/src/indexing.rs crates/baselines/src/kogan_krauthgamer.rs crates/baselines/src/offline_light.rs crates/baselines/src/sfst.rs crates/baselines/src/store_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdgs_baselines-43bbad59d7d6ac63.rmeta: crates/baselines/src/lib.rs crates/baselines/src/becker.rs crates/baselines/src/bk_sparsifier.rs crates/baselines/src/eppstein.rs crates/baselines/src/indexing.rs crates/baselines/src/kogan_krauthgamer.rs crates/baselines/src/offline_light.rs crates/baselines/src/sfst.rs crates/baselines/src/store_all.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/becker.rs:
+crates/baselines/src/bk_sparsifier.rs:
+crates/baselines/src/eppstein.rs:
+crates/baselines/src/indexing.rs:
+crates/baselines/src/kogan_krauthgamer.rs:
+crates/baselines/src/offline_light.rs:
+crates/baselines/src/sfst.rs:
+crates/baselines/src/store_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

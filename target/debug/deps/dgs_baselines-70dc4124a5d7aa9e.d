@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dgs_baselines-70dc4124a5d7aa9e.d: crates/baselines/src/lib.rs crates/baselines/src/becker.rs crates/baselines/src/bk_sparsifier.rs crates/baselines/src/eppstein.rs crates/baselines/src/indexing.rs crates/baselines/src/kogan_krauthgamer.rs crates/baselines/src/offline_light.rs crates/baselines/src/sfst.rs crates/baselines/src/store_all.rs
+
+/root/repo/target/debug/deps/dgs_baselines-70dc4124a5d7aa9e: crates/baselines/src/lib.rs crates/baselines/src/becker.rs crates/baselines/src/bk_sparsifier.rs crates/baselines/src/eppstein.rs crates/baselines/src/indexing.rs crates/baselines/src/kogan_krauthgamer.rs crates/baselines/src/offline_light.rs crates/baselines/src/sfst.rs crates/baselines/src/store_all.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/becker.rs:
+crates/baselines/src/bk_sparsifier.rs:
+crates/baselines/src/eppstein.rs:
+crates/baselines/src/indexing.rs:
+crates/baselines/src/kogan_krauthgamer.rs:
+crates/baselines/src/offline_light.rs:
+crates/baselines/src/sfst.rs:
+crates/baselines/src/store_all.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dgs_baselines-ae5d00e29d0dd9d7.d: crates/baselines/src/lib.rs crates/baselines/src/becker.rs crates/baselines/src/bk_sparsifier.rs crates/baselines/src/eppstein.rs crates/baselines/src/indexing.rs crates/baselines/src/kogan_krauthgamer.rs crates/baselines/src/offline_light.rs crates/baselines/src/sfst.rs crates/baselines/src/store_all.rs
+
+/root/repo/target/debug/deps/libdgs_baselines-ae5d00e29d0dd9d7.rlib: crates/baselines/src/lib.rs crates/baselines/src/becker.rs crates/baselines/src/bk_sparsifier.rs crates/baselines/src/eppstein.rs crates/baselines/src/indexing.rs crates/baselines/src/kogan_krauthgamer.rs crates/baselines/src/offline_light.rs crates/baselines/src/sfst.rs crates/baselines/src/store_all.rs
+
+/root/repo/target/debug/deps/libdgs_baselines-ae5d00e29d0dd9d7.rmeta: crates/baselines/src/lib.rs crates/baselines/src/becker.rs crates/baselines/src/bk_sparsifier.rs crates/baselines/src/eppstein.rs crates/baselines/src/indexing.rs crates/baselines/src/kogan_krauthgamer.rs crates/baselines/src/offline_light.rs crates/baselines/src/sfst.rs crates/baselines/src/store_all.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/becker.rs:
+crates/baselines/src/bk_sparsifier.rs:
+crates/baselines/src/eppstein.rs:
+crates/baselines/src/indexing.rs:
+crates/baselines/src/kogan_krauthgamer.rs:
+crates/baselines/src/offline_light.rs:
+crates/baselines/src/sfst.rs:
+crates/baselines/src/store_all.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dgs_connectivity-184d6d477888c24d.d: crates/connectivity/src/lib.rs crates/connectivity/src/bipartite.rs crates/connectivity/src/forest.rs crates/connectivity/src/player.rs crates/connectivity/src/skeleton.rs crates/connectivity/src/vector.rs
+
+/root/repo/target/debug/deps/libdgs_connectivity-184d6d477888c24d.rlib: crates/connectivity/src/lib.rs crates/connectivity/src/bipartite.rs crates/connectivity/src/forest.rs crates/connectivity/src/player.rs crates/connectivity/src/skeleton.rs crates/connectivity/src/vector.rs
+
+/root/repo/target/debug/deps/libdgs_connectivity-184d6d477888c24d.rmeta: crates/connectivity/src/lib.rs crates/connectivity/src/bipartite.rs crates/connectivity/src/forest.rs crates/connectivity/src/player.rs crates/connectivity/src/skeleton.rs crates/connectivity/src/vector.rs
+
+crates/connectivity/src/lib.rs:
+crates/connectivity/src/bipartite.rs:
+crates/connectivity/src/forest.rs:
+crates/connectivity/src/player.rs:
+crates/connectivity/src/skeleton.rs:
+crates/connectivity/src/vector.rs:

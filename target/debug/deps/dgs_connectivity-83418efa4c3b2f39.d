@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dgs_connectivity-83418efa4c3b2f39.d: crates/connectivity/src/lib.rs crates/connectivity/src/bipartite.rs crates/connectivity/src/forest.rs crates/connectivity/src/player.rs crates/connectivity/src/skeleton.rs crates/connectivity/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdgs_connectivity-83418efa4c3b2f39.rmeta: crates/connectivity/src/lib.rs crates/connectivity/src/bipartite.rs crates/connectivity/src/forest.rs crates/connectivity/src/player.rs crates/connectivity/src/skeleton.rs crates/connectivity/src/vector.rs Cargo.toml
+
+crates/connectivity/src/lib.rs:
+crates/connectivity/src/bipartite.rs:
+crates/connectivity/src/forest.rs:
+crates/connectivity/src/player.rs:
+crates/connectivity/src/skeleton.rs:
+crates/connectivity/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

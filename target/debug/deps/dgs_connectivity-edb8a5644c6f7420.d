@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dgs_connectivity-edb8a5644c6f7420.d: crates/connectivity/src/lib.rs crates/connectivity/src/bipartite.rs crates/connectivity/src/forest.rs crates/connectivity/src/player.rs crates/connectivity/src/skeleton.rs crates/connectivity/src/vector.rs
+
+/root/repo/target/debug/deps/dgs_connectivity-edb8a5644c6f7420: crates/connectivity/src/lib.rs crates/connectivity/src/bipartite.rs crates/connectivity/src/forest.rs crates/connectivity/src/player.rs crates/connectivity/src/skeleton.rs crates/connectivity/src/vector.rs
+
+crates/connectivity/src/lib.rs:
+crates/connectivity/src/bipartite.rs:
+crates/connectivity/src/forest.rs:
+crates/connectivity/src/player.rs:
+crates/connectivity/src/skeleton.rs:
+crates/connectivity/src/vector.rs:

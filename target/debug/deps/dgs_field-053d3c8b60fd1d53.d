@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dgs_field-053d3c8b60fd1d53.d: crates/field/src/lib.rs crates/field/src/codec.rs crates/field/src/fingerprint.rs crates/field/src/fp61.rs crates/field/src/hash.rs crates/field/src/prng.rs crates/field/src/seed.rs
+
+/root/repo/target/debug/deps/libdgs_field-053d3c8b60fd1d53.rlib: crates/field/src/lib.rs crates/field/src/codec.rs crates/field/src/fingerprint.rs crates/field/src/fp61.rs crates/field/src/hash.rs crates/field/src/prng.rs crates/field/src/seed.rs
+
+/root/repo/target/debug/deps/libdgs_field-053d3c8b60fd1d53.rmeta: crates/field/src/lib.rs crates/field/src/codec.rs crates/field/src/fingerprint.rs crates/field/src/fp61.rs crates/field/src/hash.rs crates/field/src/prng.rs crates/field/src/seed.rs
+
+crates/field/src/lib.rs:
+crates/field/src/codec.rs:
+crates/field/src/fingerprint.rs:
+crates/field/src/fp61.rs:
+crates/field/src/hash.rs:
+crates/field/src/prng.rs:
+crates/field/src/seed.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dgs_field-dec4e76e4c67a7c4.d: crates/field/src/lib.rs crates/field/src/codec.rs crates/field/src/fingerprint.rs crates/field/src/fp61.rs crates/field/src/hash.rs crates/field/src/prng.rs crates/field/src/seed.rs
+
+/root/repo/target/debug/deps/dgs_field-dec4e76e4c67a7c4: crates/field/src/lib.rs crates/field/src/codec.rs crates/field/src/fingerprint.rs crates/field/src/fp61.rs crates/field/src/hash.rs crates/field/src/prng.rs crates/field/src/seed.rs
+
+crates/field/src/lib.rs:
+crates/field/src/codec.rs:
+crates/field/src/fingerprint.rs:
+crates/field/src/fp61.rs:
+crates/field/src/hash.rs:
+crates/field/src/prng.rs:
+crates/field/src/seed.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dgs_sketch-711ca29669a37832.d: crates/sketch/src/lib.rs crates/sketch/src/error.rs crates/sketch/src/l0.rs crates/sketch/src/one_sparse.rs crates/sketch/src/params.rs crates/sketch/src/sparse_recovery.rs
+
+/root/repo/target/debug/deps/dgs_sketch-711ca29669a37832: crates/sketch/src/lib.rs crates/sketch/src/error.rs crates/sketch/src/l0.rs crates/sketch/src/one_sparse.rs crates/sketch/src/params.rs crates/sketch/src/sparse_recovery.rs
+
+crates/sketch/src/lib.rs:
+crates/sketch/src/error.rs:
+crates/sketch/src/l0.rs:
+crates/sketch/src/one_sparse.rs:
+crates/sketch/src/params.rs:
+crates/sketch/src/sparse_recovery.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dgs_sketch-88dbf2a1e200a161.d: crates/sketch/src/lib.rs crates/sketch/src/error.rs crates/sketch/src/l0.rs crates/sketch/src/one_sparse.rs crates/sketch/src/params.rs crates/sketch/src/sparse_recovery.rs
+
+/root/repo/target/debug/deps/libdgs_sketch-88dbf2a1e200a161.rlib: crates/sketch/src/lib.rs crates/sketch/src/error.rs crates/sketch/src/l0.rs crates/sketch/src/one_sparse.rs crates/sketch/src/params.rs crates/sketch/src/sparse_recovery.rs
+
+/root/repo/target/debug/deps/libdgs_sketch-88dbf2a1e200a161.rmeta: crates/sketch/src/lib.rs crates/sketch/src/error.rs crates/sketch/src/l0.rs crates/sketch/src/one_sparse.rs crates/sketch/src/params.rs crates/sketch/src/sparse_recovery.rs
+
+crates/sketch/src/lib.rs:
+crates/sketch/src/error.rs:
+crates/sketch/src/l0.rs:
+crates/sketch/src/one_sparse.rs:
+crates/sketch/src/params.rs:
+crates/sketch/src/sparse_recovery.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dgs_sketch-b9eef3b390a0f3c8.d: crates/sketch/src/lib.rs crates/sketch/src/error.rs crates/sketch/src/l0.rs crates/sketch/src/one_sparse.rs crates/sketch/src/params.rs crates/sketch/src/sparse_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdgs_sketch-b9eef3b390a0f3c8.rmeta: crates/sketch/src/lib.rs crates/sketch/src/error.rs crates/sketch/src/l0.rs crates/sketch/src/one_sparse.rs crates/sketch/src/params.rs crates/sketch/src/sparse_recovery.rs Cargo.toml
+
+crates/sketch/src/lib.rs:
+crates/sketch/src/error.rs:
+crates/sketch/src/l0.rs:
+crates/sketch/src/one_sparse.rs:
+crates/sketch/src/params.rs:
+crates/sketch/src/sparse_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distributed_model-67e7a0d2c382802f.d: tests/distributed_model.rs
+
+/root/repo/target/debug/deps/distributed_model-67e7a0d2c382802f: tests/distributed_model.rs
+
+tests/distributed_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/distributed_model-9dea499f9065d446.d: tests/distributed_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdistributed_model-9dea499f9065d446.rmeta: tests/distributed_model.rs Cargo.toml
+
+tests/distributed_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dynamic_graph_streams-338dc2b9845a32e3.d: src/lib.rs src/parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynamic_graph_streams-338dc2b9845a32e3.rmeta: src/lib.rs src/parallel.rs Cargo.toml
+
+src/lib.rs:
+src/parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dynamic_graph_streams-5a0615dcb0ad7772.d: src/lib.rs src/parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynamic_graph_streams-5a0615dcb0ad7772.rmeta: src/lib.rs src/parallel.rs Cargo.toml
+
+src/lib.rs:
+src/parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

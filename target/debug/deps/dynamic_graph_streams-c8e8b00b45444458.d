@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dynamic_graph_streams-c8e8b00b45444458.d: src/lib.rs src/parallel.rs
+
+/root/repo/target/debug/deps/libdynamic_graph_streams-c8e8b00b45444458.rlib: src/lib.rs src/parallel.rs
+
+/root/repo/target/debug/deps/libdynamic_graph_streams-c8e8b00b45444458.rmeta: src/lib.rs src/parallel.rs
+
+src/lib.rs:
+src/parallel.rs:

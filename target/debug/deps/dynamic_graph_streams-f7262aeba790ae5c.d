@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dynamic_graph_streams-f7262aeba790ae5c.d: src/lib.rs src/parallel.rs
+
+/root/repo/target/debug/deps/dynamic_graph_streams-f7262aeba790ae5c: src/lib.rs src/parallel.rs
+
+src/lib.rs:
+src/parallel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_streams-991c44aa6d519e5f.d: tests/end_to_end_streams.rs
+
+/root/repo/target/debug/deps/end_to_end_streams-991c44aa6d519e5f: tests/end_to_end_streams.rs
+
+tests/end_to_end_streams.rs:

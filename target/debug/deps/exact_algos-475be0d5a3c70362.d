@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exact_algos-475be0d5a3c70362.d: crates/bench/benches/exact_algos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexact_algos-475be0d5a3c70362.rmeta: crates/bench/benches/exact_algos.rs Cargo.toml
+
+crates/bench/benches/exact_algos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exact_cross_validation-0d746183b1bbda1d.d: crates/hypergraph/tests/exact_cross_validation.rs
+
+/root/repo/target/debug/deps/exact_cross_validation-0d746183b1bbda1d: crates/hypergraph/tests/exact_cross_validation.rs
+
+crates/hypergraph/tests/exact_cross_validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exact_cross_validation-f8100aee290c1ec0.d: crates/hypergraph/tests/exact_cross_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexact_cross_validation-f8100aee290c1ec0.rmeta: crates/hypergraph/tests/exact_cross_validation.rs Cargo.toml
+
+crates/hypergraph/tests/exact_cross_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

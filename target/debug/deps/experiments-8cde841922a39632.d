@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-8cde841922a39632.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-8cde841922a39632: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-76920f93e3c1adc7.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-76920f93e3c1adc7: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persistence-19695e79526012f7.d: tests/persistence.rs
+
+/root/repo/target/debug/deps/persistence-19695e79526012f7: tests/persistence.rs
+
+tests/persistence.rs:

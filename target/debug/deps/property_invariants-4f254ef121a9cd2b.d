@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_invariants-4f254ef121a9cd2b.d: tests/property_invariants.rs
+
+/root/repo/target/debug/deps/property_invariants-4f254ef121a9cd2b: tests/property_invariants.rs
+
+tests/property_invariants.rs:

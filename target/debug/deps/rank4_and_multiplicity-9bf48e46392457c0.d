@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rank4_and_multiplicity-9bf48e46392457c0.d: tests/rank4_and_multiplicity.rs
+
+/root/repo/target/debug/deps/rank4_and_multiplicity-9bf48e46392457c0: tests/rank4_and_multiplicity.rs
+
+tests/rank4_and_multiplicity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rank4_and_multiplicity-ca90bbf62e4c6c2a.d: tests/rank4_and_multiplicity.rs Cargo.toml
+
+/root/repo/target/debug/deps/librank4_and_multiplicity-ca90bbf62e4c6c2a.rmeta: tests/rank4_and_multiplicity.rs Cargo.toml
+
+tests/rank4_and_multiplicity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

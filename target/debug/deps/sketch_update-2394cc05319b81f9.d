@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sketch_update-2394cc05319b81f9.d: crates/bench/benches/sketch_update.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsketch_update-2394cc05319b81f9.rmeta: crates/bench/benches/sketch_update.rs Cargo.toml
+
+crates/bench/benches/sketch_update.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soundness-0c9d46b03ac09323.d: crates/sketch/tests/soundness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoundness-0c9d46b03ac09323.rmeta: crates/sketch/tests/soundness.rs Cargo.toml
+
+crates/sketch/tests/soundness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soundness-e484177de31cc3e6.d: crates/sketch/tests/soundness.rs
+
+/root/repo/target/debug/deps/soundness-e484177de31cc3e6: crates/sketch/tests/soundness.rs
+
+crates/sketch/tests/soundness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/_scratch_probe-52e1a305c5fd43b8.d: examples/_scratch_probe.rs
+
+/root/repo/target/debug/examples/_scratch_probe-52e1a305c5fd43b8: examples/_scratch_probe.rs
+
+examples/_scratch_probe.rs:

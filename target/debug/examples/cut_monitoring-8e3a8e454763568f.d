@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cut_monitoring-8e3a8e454763568f.d: examples/cut_monitoring.rs
+
+/root/repo/target/debug/examples/cut_monitoring-8e3a8e454763568f: examples/cut_monitoring.rs
+
+examples/cut_monitoring.rs:

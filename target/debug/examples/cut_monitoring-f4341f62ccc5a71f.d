@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cut_monitoring-f4341f62ccc5a71f.d: examples/cut_monitoring.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcut_monitoring-f4341f62ccc5a71f.rmeta: examples/cut_monitoring.rs Cargo.toml
+
+examples/cut_monitoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

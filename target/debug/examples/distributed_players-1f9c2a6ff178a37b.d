@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_players-1f9c2a6ff178a37b.d: examples/distributed_players.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_players-1f9c2a6ff178a37b.rmeta: examples/distributed_players.rs Cargo.toml
+
+examples/distributed_players.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

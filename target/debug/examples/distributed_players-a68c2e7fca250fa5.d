@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_players-a68c2e7fca250fa5.d: examples/distributed_players.rs
+
+/root/repo/target/debug/examples/distributed_players-a68c2e7fca250fa5: examples/distributed_players.rs
+
+examples/distributed_players.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hypergraph_sparsify-4463bc3beb10e933.d: examples/hypergraph_sparsify.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhypergraph_sparsify-4463bc3beb10e933.rmeta: examples/hypergraph_sparsify.rs Cargo.toml
+
+examples/hypergraph_sparsify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hypergraph_sparsify-f6bba415b57ac92c.d: examples/hypergraph_sparsify.rs
+
+/root/repo/target/debug/examples/hypergraph_sparsify-f6bba415b57ac92c: examples/hypergraph_sparsify.rs
+
+examples/hypergraph_sparsify.rs:

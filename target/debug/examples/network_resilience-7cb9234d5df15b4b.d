@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/network_resilience-7cb9234d5df15b4b.d: examples/network_resilience.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnetwork_resilience-7cb9234d5df15b4b.rmeta: examples/network_resilience.rs Cargo.toml
+
+examples/network_resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/network_resilience-dbcf9411c12dbdfb.d: examples/network_resilience.rs
+
+/root/repo/target/debug/examples/network_resilience-dbcf9411c12dbdfb: examples/network_resilience.rs
+
+examples/network_resilience.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5bf3c8d7e4c846f2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5bf3c8d7e4c846f2: examples/quickstart.rs
+
+examples/quickstart.rs:

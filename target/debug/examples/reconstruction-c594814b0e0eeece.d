@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/reconstruction-c594814b0e0eeece.d: examples/reconstruction.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreconstruction-c594814b0e0eeece.rmeta: examples/reconstruction.rs Cargo.toml
+
+examples/reconstruction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

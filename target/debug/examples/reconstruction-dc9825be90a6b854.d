@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reconstruction-dc9825be90a6b854.d: examples/reconstruction.rs
+
+/root/repo/target/debug/examples/reconstruction-dc9825be90a6b854: examples/reconstruction.rs
+
+examples/reconstruction.rs:

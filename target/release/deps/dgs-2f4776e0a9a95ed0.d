@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dgs-2f4776e0a9a95ed0.d: src/bin/dgs.rs
+
+/root/repo/target/release/deps/dgs-2f4776e0a9a95ed0: src/bin/dgs.rs
+
+src/bin/dgs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dgs-4830377ad39db2f9.d: src/bin/dgs.rs
+
+/root/repo/target/release/deps/dgs-4830377ad39db2f9: src/bin/dgs.rs
+
+src/bin/dgs.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dgs_baselines-d0b6a266ba1bfefd.d: crates/baselines/src/lib.rs crates/baselines/src/becker.rs crates/baselines/src/bk_sparsifier.rs crates/baselines/src/eppstein.rs crates/baselines/src/indexing.rs crates/baselines/src/kogan_krauthgamer.rs crates/baselines/src/offline_light.rs crates/baselines/src/sfst.rs crates/baselines/src/store_all.rs
+
+/root/repo/target/release/deps/libdgs_baselines-d0b6a266ba1bfefd.rlib: crates/baselines/src/lib.rs crates/baselines/src/becker.rs crates/baselines/src/bk_sparsifier.rs crates/baselines/src/eppstein.rs crates/baselines/src/indexing.rs crates/baselines/src/kogan_krauthgamer.rs crates/baselines/src/offline_light.rs crates/baselines/src/sfst.rs crates/baselines/src/store_all.rs
+
+/root/repo/target/release/deps/libdgs_baselines-d0b6a266ba1bfefd.rmeta: crates/baselines/src/lib.rs crates/baselines/src/becker.rs crates/baselines/src/bk_sparsifier.rs crates/baselines/src/eppstein.rs crates/baselines/src/indexing.rs crates/baselines/src/kogan_krauthgamer.rs crates/baselines/src/offline_light.rs crates/baselines/src/sfst.rs crates/baselines/src/store_all.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/becker.rs:
+crates/baselines/src/bk_sparsifier.rs:
+crates/baselines/src/eppstein.rs:
+crates/baselines/src/indexing.rs:
+crates/baselines/src/kogan_krauthgamer.rs:
+crates/baselines/src/offline_light.rs:
+crates/baselines/src/sfst.rs:
+crates/baselines/src/store_all.rs:

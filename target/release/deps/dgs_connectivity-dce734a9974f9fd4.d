@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dgs_connectivity-dce734a9974f9fd4.d: crates/connectivity/src/lib.rs crates/connectivity/src/bipartite.rs crates/connectivity/src/forest.rs crates/connectivity/src/player.rs crates/connectivity/src/skeleton.rs crates/connectivity/src/vector.rs
+
+/root/repo/target/release/deps/libdgs_connectivity-dce734a9974f9fd4.rlib: crates/connectivity/src/lib.rs crates/connectivity/src/bipartite.rs crates/connectivity/src/forest.rs crates/connectivity/src/player.rs crates/connectivity/src/skeleton.rs crates/connectivity/src/vector.rs
+
+/root/repo/target/release/deps/libdgs_connectivity-dce734a9974f9fd4.rmeta: crates/connectivity/src/lib.rs crates/connectivity/src/bipartite.rs crates/connectivity/src/forest.rs crates/connectivity/src/player.rs crates/connectivity/src/skeleton.rs crates/connectivity/src/vector.rs
+
+crates/connectivity/src/lib.rs:
+crates/connectivity/src/bipartite.rs:
+crates/connectivity/src/forest.rs:
+crates/connectivity/src/player.rs:
+crates/connectivity/src/skeleton.rs:
+crates/connectivity/src/vector.rs:

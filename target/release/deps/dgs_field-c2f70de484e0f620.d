@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dgs_field-c2f70de484e0f620.d: crates/field/src/lib.rs crates/field/src/codec.rs crates/field/src/fingerprint.rs crates/field/src/fp61.rs crates/field/src/hash.rs crates/field/src/prng.rs crates/field/src/seed.rs
+
+/root/repo/target/release/deps/libdgs_field-c2f70de484e0f620.rlib: crates/field/src/lib.rs crates/field/src/codec.rs crates/field/src/fingerprint.rs crates/field/src/fp61.rs crates/field/src/hash.rs crates/field/src/prng.rs crates/field/src/seed.rs
+
+/root/repo/target/release/deps/libdgs_field-c2f70de484e0f620.rmeta: crates/field/src/lib.rs crates/field/src/codec.rs crates/field/src/fingerprint.rs crates/field/src/fp61.rs crates/field/src/hash.rs crates/field/src/prng.rs crates/field/src/seed.rs
+
+crates/field/src/lib.rs:
+crates/field/src/codec.rs:
+crates/field/src/fingerprint.rs:
+crates/field/src/fp61.rs:
+crates/field/src/hash.rs:
+crates/field/src/prng.rs:
+crates/field/src/seed.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dgs_sketch-73d93d15e7a2b6c3.d: crates/sketch/src/lib.rs crates/sketch/src/error.rs crates/sketch/src/l0.rs crates/sketch/src/one_sparse.rs crates/sketch/src/params.rs crates/sketch/src/sparse_recovery.rs
+
+/root/repo/target/release/deps/libdgs_sketch-73d93d15e7a2b6c3.rlib: crates/sketch/src/lib.rs crates/sketch/src/error.rs crates/sketch/src/l0.rs crates/sketch/src/one_sparse.rs crates/sketch/src/params.rs crates/sketch/src/sparse_recovery.rs
+
+/root/repo/target/release/deps/libdgs_sketch-73d93d15e7a2b6c3.rmeta: crates/sketch/src/lib.rs crates/sketch/src/error.rs crates/sketch/src/l0.rs crates/sketch/src/one_sparse.rs crates/sketch/src/params.rs crates/sketch/src/sparse_recovery.rs
+
+crates/sketch/src/lib.rs:
+crates/sketch/src/error.rs:
+crates/sketch/src/l0.rs:
+crates/sketch/src/one_sparse.rs:
+crates/sketch/src/params.rs:
+crates/sketch/src/sparse_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/distributed_model-6d8cb14be1735d4d.d: tests/distributed_model.rs
+
+/root/repo/target/release/deps/distributed_model-6d8cb14be1735d4d: tests/distributed_model.rs
+
+tests/distributed_model.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/dynamic_graph_streams-76cf08c7e2675a60.d: src/lib.rs src/parallel.rs
+
+/root/repo/target/release/deps/dynamic_graph_streams-76cf08c7e2675a60: src/lib.rs src/parallel.rs
+
+src/lib.rs:
+src/parallel.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dynamic_graph_streams-78e91f5087837663.d: src/lib.rs src/parallel.rs
+
+/root/repo/target/release/deps/libdynamic_graph_streams-78e91f5087837663.rlib: src/lib.rs src/parallel.rs
+
+/root/repo/target/release/deps/libdynamic_graph_streams-78e91f5087837663.rmeta: src/lib.rs src/parallel.rs
+
+src/lib.rs:
+src/parallel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end_streams-78d83578260a1348.d: tests/end_to_end_streams.rs
+
+/root/repo/target/release/deps/end_to_end_streams-78d83578260a1348: tests/end_to_end_streams.rs
+
+tests/end_to_end_streams.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-eed0392e6cc6636a.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-eed0392e6cc6636a: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_injection-3ae36fd9d6c74e0d.d: tests/fault_injection.rs
+
+/root/repo/target/release/deps/fault_injection-3ae36fd9d6c74e0d: tests/fault_injection.rs
+
+tests/fault_injection.rs:

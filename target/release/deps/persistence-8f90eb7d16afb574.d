@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/persistence-8f90eb7d16afb574.d: tests/persistence.rs
+
+/root/repo/target/release/deps/persistence-8f90eb7d16afb574: tests/persistence.rs
+
+tests/persistence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/property_invariants-1c4f14fa5d4615bc.d: tests/property_invariants.rs
+
+/root/repo/target/release/deps/property_invariants-1c4f14fa5d4615bc: tests/property_invariants.rs
+
+tests/property_invariants.rs:

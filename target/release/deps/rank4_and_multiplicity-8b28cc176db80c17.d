@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rank4_and_multiplicity-8b28cc176db80c17.d: tests/rank4_and_multiplicity.rs
+
+/root/repo/target/release/deps/rank4_and_multiplicity-8b28cc176db80c17: tests/rank4_and_multiplicity.rs
+
+tests/rank4_and_multiplicity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cut_monitoring-a86eb6b7b4b87e21.d: examples/cut_monitoring.rs
+
+/root/repo/target/release/examples/cut_monitoring-a86eb6b7b4b87e21: examples/cut_monitoring.rs
+
+examples/cut_monitoring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/distributed_players-32cd60329161e73e.d: examples/distributed_players.rs
+
+/root/repo/target/release/examples/distributed_players-32cd60329161e73e: examples/distributed_players.rs
+
+examples/distributed_players.rs:

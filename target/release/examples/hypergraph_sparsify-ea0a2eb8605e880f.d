@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hypergraph_sparsify-ea0a2eb8605e880f.d: examples/hypergraph_sparsify.rs
+
+/root/repo/target/release/examples/hypergraph_sparsify-ea0a2eb8605e880f: examples/hypergraph_sparsify.rs
+
+examples/hypergraph_sparsify.rs:

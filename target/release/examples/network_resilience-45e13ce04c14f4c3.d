@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/network_resilience-45e13ce04c14f4c3.d: examples/network_resilience.rs
+
+/root/repo/target/release/examples/network_resilience-45e13ce04c14f4c3: examples/network_resilience.rs
+
+examples/network_resilience.rs:

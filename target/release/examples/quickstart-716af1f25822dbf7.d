@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-716af1f25822dbf7.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-716af1f25822dbf7: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/reconstruction-1c4f44da596bd010.d: examples/reconstruction.rs
+
+/root/repo/target/release/examples/reconstruction-1c4f44da596bd010: examples/reconstruction.rs
+
+examples/reconstruction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/verify_scratch-89c3dfc1a4bfd7ca.d: examples/verify_scratch.rs
+
+/root/repo/target/release/examples/verify_scratch-89c3dfc1a4bfd7ca: examples/verify_scratch.rs
+
+examples/verify_scratch.rs:

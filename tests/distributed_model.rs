@@ -3,7 +3,6 @@
 
 use dynamic_graph_streams::core::LightRecoverySketch;
 use dynamic_graph_streams::prelude::*;
-use rand::prelude::*;
 
 use dgs_hypergraph::algo;
 use dgs_hypergraph::generators;
@@ -73,7 +72,10 @@ fn message_sizes_are_balanced_and_account_for_the_sketch() {
         .collect();
     // Vertex-based sketches: every player pays the same structural cost.
     let sizes: Vec<usize> = messages.iter().map(|m| m.size_bytes()).collect();
-    assert!(sizes.windows(2).all(|w| w[0] == w[1]), "unbalanced messages: {sizes:?}");
+    assert!(
+        sizes.windows(2).all(|w| w[0] == w[1]),
+        "unbalanced messages: {sizes:?}"
+    );
     let full = SpanningForestSketch::new_full(space, &seeds, params);
     assert_eq!(sizes.iter().sum::<usize>(), full.size_bytes());
 }
@@ -187,7 +189,7 @@ fn player_messages_compose_with_stream_deletions() {
                 let idx = space.rank(&chord);
                 let coeff = dgs_connectivity::incidence_coefficient(&chord, v);
                 for s in &mut msg.samplers {
-                    s.update(idx, -coeff);
+                    s.update(idx, -coeff).unwrap();
                 }
             }
             msg

@@ -2,7 +2,6 @@
 //! validated against exact algorithms across crates.
 
 use dynamic_graph_streams::prelude::*;
-use rand::prelude::*;
 
 use dgs_hypergraph::algo;
 use dgs_hypergraph::generators;
@@ -43,11 +42,7 @@ fn vertex_connectivity_pipeline_matches_exact_on_harary_family() {
     for (kappa, n) in [(2usize, 18usize), (3, 18)] {
         let g = generators::harary(kappa, n);
         let h = Hypergraph::from_graph(&g);
-        let stream = generators::churn_stream(
-            &h,
-            generators::ChurnConfig::default(),
-            &mut rng,
-        );
+        let stream = generators::churn_stream(&h, generators::ChurnConfig::default(), &mut rng);
         let space = EdgeSpace::graph(n).unwrap();
         let cfg = VertexConnConfig::query(kappa, n, 3.0, Profile::Practical);
         let mut sk = VertexConnSketch::new(space, cfg, &SeedTree::new(kappa as u64));
@@ -123,8 +118,7 @@ fn store_all_and_sketch_agree_on_final_graph_connectivity() {
         let n = 16;
         let g = generators::gnp(n, rng.gen_range(0.05..0.3), &mut rng);
         let h = Hypergraph::from_graph(&g);
-        let stream =
-            generators::churn_stream(&h, generators::ChurnConfig::default(), &mut rng);
+        let stream = generators::churn_stream(&h, generators::ChurnConfig::default(), &mut rng);
 
         let mut store = StoreAll::new(n);
         for u in &stream.updates {

@@ -1,0 +1,313 @@
+//! Resilience integration suite: every injected fault is either *detected*
+//! (a typed error at stream validation, ingest, assembly, or decode) or
+//! *degraded gracefully* (an explicit failure/unknown, or an answer that is
+//! consistent with the stream actually received) — never a silent wrong
+//! answer, and never a panic. See DESIGN.md, "Failure semantics & fault
+//! model".
+
+use std::collections::BTreeMap;
+
+use dynamic_graph_streams::prelude::*;
+
+use dgs_hypergraph::algo::hyper_component_count;
+use dgs_hypergraph::fault::ChannelError;
+use dgs_hypergraph::generators;
+
+/// Component count of the *support* of a (possibly corrupted) stream: the
+/// graph formed by edges whose net multiplicity is nonzero. This is the
+/// ground truth a linear sketch that ingested the stream answers against —
+/// the sketch cannot know what the sender *meant*, only what arrived.
+fn support_component_count(stream: &UpdateStream) -> usize {
+    let mut mult: BTreeMap<HyperEdge, i64> = BTreeMap::new();
+    for u in &stream.updates {
+        *mult.entry(u.edge.clone()).or_insert(0) += u.op.delta();
+    }
+    let edges = mult.into_iter().filter(|&(_, m)| m != 0).map(|(e, _)| e);
+    hyper_component_count(&Hypergraph::from_edges(stream.n, edges))
+}
+
+#[test]
+fn every_stream_fault_is_detected_or_degrades_gracefully() {
+    for class in FaultClass::ALL {
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let h = Hypergraph::from_graph(&generators::gnp(18, 0.22, &mut rng));
+            let clean = generators::churn_stream(&h, generators::ChurnConfig::default(), &mut rng);
+            if clean.is_empty() {
+                continue;
+            }
+            let (bad, fault) = FaultInjector::new(seed * 31 + 7).inject(&clean, class);
+
+            // Stage 1 — strict stream application: the reference detector.
+            let strict = bad.final_hypergraph();
+
+            // Stage 2 — a sketch ingests whatever arrives. Each element is
+            // either accepted or rejected with a *non-retryable* typed
+            // error; nothing panics.
+            let space = EdgeSpace::graph(bad.n).unwrap();
+            let params = ForestParams::new(Profile::Practical, space.dimension());
+            let mut sk =
+                SpanningForestSketch::new_full(space, &SeedTree::new(seed ^ 0xABCD), params);
+            let mut ingest_rejected = false;
+            let mut ingested = UpdateStream::new(bad.n, bad.max_rank);
+            for u in &bad.updates {
+                match sk.try_update(&u.edge, u.op.delta()) {
+                    Ok(()) => ingested.updates.push(u.clone()),
+                    Err(e) => {
+                        assert!(
+                            !e.is_retryable(),
+                            "ingest rejection must be InvalidInput, got: {e}"
+                        );
+                        ingest_rejected = true;
+                    }
+                }
+            }
+
+            // Per-class detection guarantees.
+            match class {
+                FaultClass::OutOfRangeVertex => {
+                    assert!(
+                        ingest_rejected,
+                        "out-of-range vertex must be rejected at ingest ({})",
+                        fault.detail
+                    );
+                    assert!(matches!(strict, Err(GraphError::VertexOutOfRange { .. })));
+                }
+                FaultClass::DuplicateUpdate | FaultClass::DeleteAbsent => {
+                    assert!(
+                        matches!(strict, Err(GraphError::MultiplicityViolation(_))),
+                        "{class}: strict application must detect ({})",
+                        fault.detail
+                    );
+                }
+                // A dropped update can leave a self-consistent stream; the
+                // graceful-degradation check below is the guarantee.
+                FaultClass::DropUpdate => {}
+            }
+
+            // Stage 3 — never a silent wrong answer: when the decode
+            // certifies, the answer matches the support of what was
+            // actually ingested; otherwise the failure is a typed error.
+            // An Err here is fine: detected, typed, no panic.
+            if let Ok(c) = sk.try_component_count() {
+                assert_eq!(
+                    c,
+                    support_component_count(&ingested),
+                    "{class} seed {seed}: silent wrong answer ({})",
+                    fault.detail
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn duplicated_stream_elements_trip_the_strict_decode() {
+    // The strict decode's multiplicity check: a duplicated insert makes
+    // some boundary weight reach ±2, impossible for a multiplicity-0/1
+    // rank-2 stream. Use a single bridge edge so the duplicated edge is
+    // guaranteed to be on a sampled boundary.
+    let n = 4;
+    let space = EdgeSpace::graph(n).unwrap();
+    let params = ForestParams::new(Profile::Practical, space.dimension());
+    let mut sk = SpanningForestSketch::new_full(space, &SeedTree::new(21), params);
+    sk.try_update(&HyperEdge::pair(0, 1), 1).unwrap();
+    sk.try_update(&HyperEdge::pair(0, 1), 1).unwrap(); // the duplicate
+    let err = sk.try_decode_with_labels_strict().unwrap_err();
+    assert!(
+        !err.is_retryable(),
+        "impossible weight is not retryable: {err}"
+    );
+    assert!(err.to_string().contains("impossible"), "{err}");
+
+    // The non-strict decode (weighted streams legal) still answers, and
+    // consistently with the support graph.
+    let (_, labels) = sk.try_decode_with_labels().unwrap();
+    assert_eq!(labels.component_count(), 3);
+}
+
+#[test]
+fn dropped_player_messages_are_detected_by_strict_assembly() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let h = Hypergraph::from_graph(&generators::gnp(12, 0.4, &mut rng));
+    let space = EdgeSpace::graph(12).unwrap();
+    let params = ForestParams::new(Profile::Practical, space.dimension());
+    let seeds = SeedTree::new(77);
+    let incident = |v: u32| -> Vec<HyperEdge> {
+        h.edges()
+            .iter()
+            .filter(|e| e.contains(v))
+            .cloned()
+            .collect()
+    };
+    let messages: Vec<_> = (0..12u32)
+        .map(|v| player_sketch(&space, v, &incident(v), &seeds, params))
+        .collect();
+
+    // The complete set assembles into the central sketch.
+    let full = assemble_players_strict(&space, messages.clone(), &seeds, params).unwrap();
+    assert_eq!(
+        full.decode_with_labels().1.component_count(),
+        hyper_component_count(&h)
+    );
+
+    // A lost message is a typed error — not a silently-isolated vertex,
+    // which is what the lenient assembly would produce.
+    let mut lost = messages.clone();
+    lost.remove(4);
+    let err = assemble_players_strict(&space, lost, &seeds, params).unwrap_err();
+    assert!(!err.is_retryable());
+    assert!(err.to_string().contains("missing player message"), "{err}");
+
+    // So is a duplicated one.
+    let mut duped = messages;
+    let again = duped[3].clone();
+    duped.push(again);
+    let err = assemble_players_strict(&space, duped, &seeds, params).unwrap_err();
+    assert!(
+        err.to_string().contains("duplicate player message"),
+        "{err}"
+    );
+}
+
+#[test]
+fn sparsifier_protocol_survives_a_lossy_channel() {
+    // The e15 protocol under fault injection: every player's
+    // SparsifierPlayerMessage crosses a checksum-framed channel with 15%
+    // loss and 10% corruption; stop-and-wait retransmission must deliver
+    // every message intact, and the referee's decode must equal the
+    // central sketch's.
+    let n = 10;
+    let mut rng = StdRng::seed_from_u64(6);
+    let h = Hypergraph::from_graph(&generators::gnp(n, 0.4, &mut rng));
+    let space = EdgeSpace::graph(n).unwrap();
+    let params = ForestParams::new(Profile::Practical, space.dimension());
+    let cfg = SparsifierConfig::explicit(2, 5, params);
+    let seeds = SeedTree::new(88);
+
+    let mut central = HypergraphSparsifier::new(space.clone(), cfg, &seeds);
+    for e in h.edges() {
+        central.update(e, 1);
+    }
+
+    let incident = |v: u32| -> Vec<HyperEdge> {
+        h.edges()
+            .iter()
+            .filter(|e| e.contains(v))
+            .cloned()
+            .collect()
+    };
+    let mut referee = HypergraphSparsifier::new(space.clone(), cfg, &seeds);
+    let mut channel = LossyChannel::new(9, 0.15, 0.10);
+    for v in 0..n as u32 {
+        let msg = HypergraphSparsifier::player_message(&space, &cfg, &seeds, v, &incident(v));
+        let (delivered, _) = channel.transmit_with_retry(&msg, 64).unwrap();
+        referee.install_player(delivered);
+    }
+    assert_eq!(channel.stats.delivered, n);
+    assert!(
+        channel.stats.losses + channel.stats.rejected > 0,
+        "channel noise never exercised — raise the fault rates"
+    );
+
+    let (a, b) = (central.decode(), referee.decode());
+    assert_eq!(a.per_level, b.per_level);
+    let ea: Vec<_> = a.sparsifier.iter().map(|(e, w)| (e.clone(), w)).collect();
+    let eb: Vec<_> = b.sparsifier.iter().map(|(e, w)| (e.clone(), w)).collect();
+    assert_eq!(ea, eb);
+
+    // A channel that always loses fails *typed*, never silently.
+    let mut dead = LossyChannel::new(10, 1.0, 0.0);
+    let msg = HypergraphSparsifier::player_message(&space, &cfg, &seeds, 0, &incident(0));
+    assert_eq!(
+        dead.transmit_with_retry(&msg, 3).unwrap_err(),
+        ChannelError::Exhausted { attempts: 3 }
+    );
+}
+
+#[test]
+fn boosting_drives_the_failure_rate_down() {
+    // The δ → δ^R amplification, measured on the substrate structure whose
+    // per-repetition failure probability is actually visible: a starved
+    // ℓ0-sampler (sparsity 1, one row) over a multi-element vector fails
+    // to sample roughly a fifth of the time. (The top-level forest decode
+    // hides that δ — Borůvka's cascading merges finish well inside the
+    // round budget, so its end-to-end failure rate is near zero even with
+    // these parameters; `parallel.rs` covers boosting that structure.)
+    //
+    // R sibling-seeded repetitions of the same sampler over the same
+    // vector must (a) answer correctly whenever any repetition answers,
+    // and (b) reach "all repetitions failed" at a rate that falls sharply
+    // as R grows.
+    let weak = L0Params {
+        sparsity: 1,
+        rows: 1,
+        level_independence: 2,
+    };
+    let dim = 2016u64; // C(64, 2): a graph-scale index space
+    let reps = 4usize;
+    let trials = 150u64;
+    let mut failures_by_r = vec![0usize; reps + 1]; // index = R
+    for t in 0..trials {
+        // A fixed 8-sparse vector per trial.
+        let mut rng = StdRng::seed_from_u64(3000 + t);
+        let mut support: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        while support.len() < 8 {
+            support.insert(rng.gen_range(0..dim));
+        }
+
+        let seeds = SeedTree::new(7000 + t);
+        let mut samplers: Vec<L0Sampler> = (0..reps)
+            .map(|i| L0Sampler::new(&seeds.child(i as u64), dim, weak))
+            .collect();
+        for s in &mut samplers {
+            for &i in &support {
+                s.update(i, 1).unwrap();
+            }
+        }
+        let boosted = BoostedQuery::from_repetitions(samplers);
+
+        // Whenever the boosted query answers, the answer is a real element
+        // of the vector with its true weight — never a fabricated one.
+        match boosted.query(|s| s.sample()) {
+            QueryOutcome::Answer { value, .. } => {
+                let (idx, w) = value.expect("nonzero vector certified zero");
+                assert!(support.contains(&idx), "sampled index {idx} not in support");
+                assert_eq!(w, 1);
+            }
+            QueryOutcome::Unknown { .. } => {}
+            QueryOutcome::Invalid(e) => panic!("clean vector flagged invalid: {e}"),
+        }
+
+        // Failure rate for every prefix R = 1..=reps of the same data: the
+        // R-boosted query degrades to Unknown iff its first R repetitions
+        // all fail.
+        let per_rep_failed: Vec<bool> = boosted
+            .sketches()
+            .iter()
+            .map(|s| s.sample().is_err())
+            .collect();
+        for r in 1..=reps {
+            if per_rep_failed[..r].iter().all(|&f| f) {
+                failures_by_r[r] += 1;
+            }
+        }
+    }
+
+    assert!(
+        failures_by_r[1] >= 15,
+        "single repetitions failed only {}/{trials} times — the workload no \
+         longer probes the failure path",
+        failures_by_r[1]
+    );
+    for r in 2..=reps {
+        assert!(
+            failures_by_r[r] <= failures_by_r[r - 1],
+            "failure count rose with R: {failures_by_r:?}"
+        );
+    }
+    assert!(
+        failures_by_r[reps] * 5 < failures_by_r[1],
+        "boosting did not amplify: {failures_by_r:?} over {trials} trials"
+    );
+}

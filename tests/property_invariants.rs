@@ -1,73 +1,79 @@
 //! Cross-crate property tests: randomized streams against exact ground
-//! truth, linearity laws, and model equivalences.
+//! truth, linearity laws, and model equivalences. Each test runs a fixed
+//! number of deterministic seeded trials (the in-tree PRNG replaces the
+//! old proptest strategies).
 
-use proptest::prelude::*;
-
+use dgs_field::prng::*;
 use dynamic_graph_streams::prelude::*;
-use rand::prelude::*;
 
 use dgs_hypergraph::algo;
 
-/// Strategy: a random valid dynamic graph stream on `n` vertices — random
+/// A random valid dynamic graph stream on `n` vertices — random
 /// interleavings of inserts and deletes with legal multiplicities.
-fn arb_stream(n: usize, max_ops: usize) -> impl Strategy<Value = UpdateStream> {
-    (
-        prop::collection::vec((0u32..n as u32, 0u32..n as u32, any::<bool>()), 1..max_ops),
-        any::<u64>(),
-    )
-        .prop_map(move |(raw, _seed)| {
-            let mut live = std::collections::BTreeSet::new();
-            let mut stream = UpdateStream::new(n, 2);
-            for (a, b, prefer_delete) in raw {
-                if a == b {
-                    continue;
-                }
-                let e = HyperEdge::pair(a, b);
-                if live.contains(&e) && prefer_delete {
-                    live.remove(&e);
-                    stream.push_delete(e);
-                } else if !live.contains(&e) {
-                    live.insert(e.clone());
-                    stream.push_insert(e);
-                }
-            }
-            stream
-        })
+fn random_stream(n: usize, max_ops: usize, rng: &mut StdRng) -> UpdateStream {
+    let ops = rng.gen_range(1..max_ops);
+    let mut live = std::collections::BTreeSet::new();
+    let mut stream = UpdateStream::new(n, 2);
+    for _ in 0..ops {
+        let a = rng.gen_range(0u32..n as u32);
+        let b = rng.gen_range(0u32..n as u32);
+        let prefer_delete = rng.gen_bool(0.5);
+        if a == b {
+            continue;
+        }
+        let e = HyperEdge::pair(a, b);
+        if live.contains(&e) && prefer_delete {
+            live.remove(&e);
+            stream.push_delete(e);
+        } else if !live.contains(&e) {
+            live.insert(e.clone());
+            stream.push_insert(e);
+        }
+    }
+    stream
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The forest sketch's component count equals the exact count of the
-    /// final graph, for arbitrary legal insert/delete interleavings.
-    #[test]
-    fn forest_sketch_matches_exact_components(stream in arb_stream(14, 60), seed in 0u64..1000) {
+/// The forest sketch's component count equals the exact count of the
+/// final graph, for arbitrary legal insert/delete interleavings.
+#[test]
+fn forest_sketch_matches_exact_components() {
+    let mut rng = StdRng::seed_from_u64(0x70);
+    for trial in 0..24u64 {
+        let stream = random_stream(14, 60, &mut rng);
         let g = stream.final_graph().unwrap();
         let space = EdgeSpace::graph(14).unwrap();
         let params = ForestParams::new(Profile::Practical, space.dimension());
-        let mut sk = SpanningForestSketch::new_full(space, &SeedTree::new(seed), params);
+        let mut sk = SpanningForestSketch::new_full(space, &SeedTree::new(trial), params);
         for u in &stream.updates {
             sk.update(&u.edge, u.op.delta());
         }
         let (forest, labels) = sk.decode_with_labels();
-        prop_assert_eq!(labels.component_count(), algo::component_count(&g));
+        assert_eq!(
+            labels.component_count(),
+            algo::component_count(&g),
+            "trial {trial}"
+        );
         for e in &forest {
             let (u, v) = e.as_pair();
-            prop_assert!(g.has_edge(u, v), "phantom edge {:?}", e);
+            assert!(g.has_edge(u, v), "phantom edge {e:?}");
         }
     }
+}
 
-    /// Linearity: sketch(A) + sketch(B) decodes the union when A and B are
-    /// edge-disjoint (the distributed aggregation use case).
-    #[test]
-    fn sketch_addition_is_graph_union(split_mask in 0u32..(1 << 12), seed in 0u64..1000) {
+/// Linearity: sketch(A) + sketch(B) decodes the union when A and B are
+/// edge-disjoint (the distributed aggregation use case).
+#[test]
+fn sketch_addition_is_graph_union() {
+    let mut rng = StdRng::seed_from_u64(0x71);
+    for trial in 0..24u64 {
+        let split_mask = rng.gen_range(0u32..(1 << 12));
         let n = 8;
         let all: Vec<(u32, u32)> = (0..n as u32)
             .flat_map(|u| ((u + 1)..n as u32).map(move |v| (u, v)))
             .collect();
         let space = EdgeSpace::graph(n).unwrap();
         let params = ForestParams::new(Profile::Practical, space.dimension());
-        let seeds = SeedTree::new(seed);
+        let seeds = SeedTree::new(trial);
         let mut a = SpanningForestSketch::new_full(space.clone(), &seeds, params);
         let mut b = SpanningForestSketch::new_full(space.clone(), &seeds, params);
         let mut full = SpanningForestSketch::new_full(space, &seeds, params);
@@ -81,15 +87,19 @@ proptest! {
             }
         }
         a.add_assign_sketch(&b);
-        prop_assert_eq!(a.decode(), full.decode());
+        assert_eq!(a.decode(), full.decode(), "trial {trial}");
     }
+}
 
-    /// Update order never matters (streams are linear functionals).
-    #[test]
-    fn stream_order_is_irrelevant(stream in arb_stream(10, 40), seed in 0u64..1000, shuffle_seed in 0u64..1000) {
+/// Update order never matters (streams are linear functionals).
+#[test]
+fn stream_order_is_irrelevant() {
+    let mut rng = StdRng::seed_from_u64(0x72);
+    for trial in 0..24u64 {
+        let stream = random_stream(10, 40, &mut rng);
         let space = EdgeSpace::graph(10).unwrap();
         let params = ForestParams::new(Profile::Practical, space.dimension());
-        let seeds = SeedTree::new(seed);
+        let seeds = SeedTree::new(trial);
         let mut in_order = SpanningForestSketch::new_full(space.clone(), &seeds, params);
         for u in &stream.updates {
             in_order.update(&u.edge, u.op.delta());
@@ -97,49 +107,61 @@ proptest! {
         // Apply the same multiset of (edge, delta) pairs in shuffled order —
         // transiently negative multiplicities are fine for a linear sketch.
         let mut shuffled = stream.updates.clone();
-        shuffled.shuffle(&mut StdRng::seed_from_u64(shuffle_seed));
+        shuffled.shuffle(&mut rng);
         let mut out_of_order = SpanningForestSketch::new_full(space, &seeds, params);
         for u in &shuffled {
             out_of_order.update(&u.edge, u.op.delta());
         }
-        prop_assert_eq!(in_order.decode(), out_of_order.decode());
+        assert_eq!(in_order.decode(), out_of_order.decode(), "trial {trial}");
     }
+}
 
-    /// The certificate's removal answers agree with exact answers for
-    /// singleton removals (k = 1 regime of Theorem 4).
-    #[test]
-    fn single_vertex_removal_queries_match(stream in arb_stream(10, 50), seed in 0u64..200) {
+/// The certificate's removal answers agree with exact answers for
+/// singleton removals (k = 1 regime of Theorem 4).
+#[test]
+fn single_vertex_removal_queries_match() {
+    let mut rng = StdRng::seed_from_u64(0x73);
+    let mut connected_trials = 0;
+    let mut trial = 0u64;
+    while connected_trials < 12 {
+        trial += 1;
+        let stream = random_stream(10, 50, &mut rng);
         let g = stream.final_graph().unwrap();
         // Only meaningful when connected (Theorem 4 setting).
-        prop_assume!(algo::is_connected(&g));
+        if !algo::is_connected(&g) {
+            continue;
+        }
+        connected_trials += 1;
         let space = EdgeSpace::graph(10).unwrap();
         let cfg = VertexConnConfig::query(1, 10, 6.0, Profile::Practical);
-        let mut sk = VertexConnSketch::new(space, cfg, &SeedTree::new(seed));
+        let mut sk = VertexConnSketch::new(space, cfg, &SeedTree::new(trial));
         for u in &stream.updates {
             sk.update(&u.edge, u.op.delta());
         }
         let cert = sk.certificate();
         for v in 0..10u32 {
-            prop_assert_eq!(
+            assert_eq!(
                 cert.disconnects(&[v]),
                 algo::vertex_conn::disconnects(&g, &[v]),
-                "vertex {}", v
+                "trial {trial}, vertex {v}"
             );
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// light_k recovered from a sketch equals exact light_k, which equals
-    /// the strength filter (Thm 15 + Lemma 16), on arbitrary streams.
-    #[test]
-    fn light_recovery_equals_strength_filter(stream in arb_stream(9, 40), k in 1usize..3, seed in 0u64..200) {
+/// light_k recovered from a sketch equals exact light_k, which equals
+/// the strength filter (Thm 15 + Lemma 16), on arbitrary streams.
+#[test]
+fn light_recovery_equals_strength_filter() {
+    use dynamic_graph_streams::core::LightRecoverySketch;
+    let mut rng = StdRng::seed_from_u64(0x74);
+    for trial in 0..12u64 {
+        let stream = random_stream(9, 40, &mut rng);
+        let k = rng.gen_range(1usize..3);
         let g = stream.final_graph().unwrap();
         let space = EdgeSpace::graph(9).unwrap();
         let params = ForestParams::new(Profile::Practical, space.dimension());
-        let mut sk = LightRecoverySketch::new(space, k, &SeedTree::new(seed), params);
+        let mut sk = LightRecoverySketch::new(space, k, &SeedTree::new(trial), params);
         for u in &stream.updates {
             sk.update(&u.edge, u.op.delta());
         }
@@ -148,7 +170,11 @@ proptest! {
         let strengths = algo::strength::edge_strengths(&g);
         for (u, v) in g.edges() {
             let in_light = recovered.contains(&HyperEdge::pair(u, v));
-            prop_assert_eq!(in_light, strengths[&(u, v)] <= k, "edge ({},{})", u, v);
+            assert_eq!(
+                in_light,
+                strengths[&(u, v)] <= k,
+                "trial {trial}, edge ({u},{v})"
+            );
         }
     }
 }

@@ -5,7 +5,6 @@
 
 use dynamic_graph_streams::core::{EdgeConnSketch, LightRecoverySketch};
 use dynamic_graph_streams::prelude::*;
-use rand::prelude::*;
 
 use dgs_hypergraph::algo;
 use dgs_hypergraph::generators;
@@ -21,8 +20,11 @@ fn rank_4_spanning_and_connectivity() {
         let n = 14;
         let h = generators::random_uniform_hypergraph(n, 4, rng.gen_range(3..12), &mut rng);
         let space = EdgeSpace::new(n, 4).unwrap();
-        let mut sk =
-            SpanningForestSketch::new_full(space.clone(), &SeedTree::new(trial), params_for(&space));
+        let mut sk = SpanningForestSketch::new_full(
+            space.clone(),
+            &SeedTree::new(trial),
+            params_for(&space),
+        );
         let stream = generators::churn_stream(&h, generators::ChurnConfig::default(), &mut rng);
         for u in &stream.updates {
             sk.update(&u.edge, u.op.delta());
@@ -85,10 +87,11 @@ fn multigraph_multiplicities_are_first_class() {
     // itself is multiplicty-agnostic, which multigraph users rely on.)
     let n = 6;
     let space = EdgeSpace::graph(n).unwrap();
-    let mut sk = SpanningForestSketch::new_full(space, &SeedTree::new(9), ForestParams::new(
-        Profile::Practical,
-        EdgeSpace::graph(n).unwrap().dimension(),
-    ));
+    let mut sk = SpanningForestSketch::new_full(
+        space,
+        &SeedTree::new(9),
+        ForestParams::new(Profile::Practical, EdgeSpace::graph(n).unwrap().dimension()),
+    );
     let e = HyperEdge::pair(2, 4);
     sk.update(&e, 1);
     sk.update(&e, 1);
