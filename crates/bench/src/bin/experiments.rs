@@ -30,6 +30,10 @@ const DESCRIPTIONS: &[(&str, &str)] = &[
     ("e13", "l0-sampler parameter ablation"),
     ("e14", "edge connectivity min(λ,k) from k-skeletons"),
     ("e15", "simultaneous communication model: message sizes"),
+    (
+        "e16",
+        "crash recovery: recovery time vs checkpoint interval",
+    ),
 ];
 
 fn main() -> ExitCode {
@@ -38,7 +42,7 @@ fn main() -> ExitCode {
     let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
     if ids.is_empty() || ids.iter().any(|a| a.as_str() == "help") {
-        eprintln!("usage: experiments <all | list | e1 .. e15>... [--quick]");
+        eprintln!("usage: experiments <all | list | e1 .. e16>... [--quick]");
         return ExitCode::from(2);
     }
     if ids.iter().any(|a| a.as_str() == "list") {

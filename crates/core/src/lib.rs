@@ -22,12 +22,17 @@
 //! the theorems.
 
 pub mod boost;
+pub mod checkpoint;
 pub mod edge_conn;
 pub mod reconstruct;
 pub mod sparsify;
 pub mod vertex_conn;
 
 pub use boost::{BoostableSketch, BoostedQuery, QueryOutcome};
+pub use checkpoint::{
+    CheckpointConfig, CheckpointStore, CheckpointedIngestor, Recoverable, Recovered,
+    RecoveryDriver, RecoveryError,
+};
 pub use edge_conn::EdgeConnSketch;
 pub use reconstruct::{LightRecovery, LightRecoverySketch};
 pub use sparsify::{

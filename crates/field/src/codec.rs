@@ -47,9 +47,19 @@ impl Writer {
         self.buf.push(v);
     }
 
+    /// Appends a little-endian u32 (frame lengths, vertex ids).
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
     /// Appends a little-endian u64.
     pub fn put_u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes verbatim (framing layers supply their own lengths).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
     }
 
     /// Appends a usize (as u64).
@@ -101,6 +111,17 @@ impl<'a> Reader<'a> {
             .ok_or_else(|| self.fail("unexpected end of input"))?;
         self.pos += 1;
         Ok(b)
+    }
+
+    /// Reads a little-endian u32.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        let end = self.pos + 4;
+        let bytes = self
+            .data
+            .get(self.pos..end)
+            .ok_or_else(|| self.fail("unexpected end of input"))?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
     }
 
     /// Reads a little-endian u64.
@@ -226,12 +247,17 @@ mod tests {
     fn primitive_round_trips() {
         let mut w = Writer::new();
         w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_bytes(&[9, 8]);
         42u64.encode(&mut w);
         Fp::new(123).encode(&mut w);
         vec![1u64, 2, 3].encode(&mut w);
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u8().unwrap(), 9);
+        assert_eq!(r.get_u8().unwrap(), 8);
         assert_eq!(u64::decode(&mut r).unwrap(), 42);
         assert_eq!(Fp::decode(&mut r).unwrap(), Fp::new(123));
         assert_eq!(Vec::<u64>::decode(&mut r).unwrap(), vec![1, 2, 3]);

@@ -294,15 +294,20 @@ pub struct LossyChannel {
     rng: StdRng,
     loss_probability: f64,
     corruption_probability: f64,
+    retry_budget: usize,
     /// Cumulative delivery accounting.
     pub stats: ChannelStats,
 }
+
+/// Default per-message retry budget for [`LossyChannel::transmit`].
+pub const DEFAULT_RETRY_BUDGET: usize = 16;
 
 impl LossyChannel {
     /// A channel that loses each frame with probability `loss_probability`
     /// and corrupts each surviving frame (one random bit flip or a random
     /// truncation) with probability `corruption_probability`. Deterministic
-    /// from `seed`.
+    /// from `seed`. The default retry budget is [`DEFAULT_RETRY_BUDGET`];
+    /// tune it with [`with_retry_budget`](Self::with_retry_budget).
     pub fn new(seed: u64, loss_probability: f64, corruption_probability: f64) -> LossyChannel {
         assert!(
             (0.0..=1.0).contains(&loss_probability),
@@ -316,8 +321,34 @@ impl LossyChannel {
             rng: StdRng::seed_from_u64(seed),
             loss_probability,
             corruption_probability,
+            retry_budget: DEFAULT_RETRY_BUDGET,
             stats: ChannelStats::default(),
         }
+    }
+
+    /// Sets the per-message attempt budget used by
+    /// [`transmit`](Self::transmit). A message whose every attempt is lost
+    /// or rejected within the budget fails with
+    /// [`ChannelError::Exhausted`] — the caller always learns delivery did
+    /// not happen; nothing blocks forever.
+    ///
+    /// # Panics
+    /// Panics if `budget` is 0 (a channel that never transmits is a
+    /// configuration bug, not a runtime fault).
+    pub fn with_retry_budget(mut self, budget: usize) -> LossyChannel {
+        assert!(budget >= 1, "retry budget must allow at least one attempt");
+        self.retry_budget = budget;
+        self
+    }
+
+    /// The configured per-message attempt budget.
+    pub fn retry_budget(&self) -> usize {
+        self.retry_budget
+    }
+
+    /// Transmits `msg` under the channel's configured retry budget.
+    pub fn transmit<T: Codec>(&mut self, msg: &T) -> Result<(T, usize), ChannelError> {
+        self.transmit_with_retry(msg, self.retry_budget)
     }
 
     /// Transmits `msg`, retransmitting on loss or detected corruption, up
@@ -465,6 +496,36 @@ mod tests {
         assert!(ch.stats.rejected > 0, "corruption never exercised");
         assert!(ch.stats.losses > 0, "loss never exercised");
         assert_eq!(ch.stats.delivered, 50);
+    }
+
+    #[test]
+    fn configured_retry_budget_bounds_attempts() {
+        let mut ch = LossyChannel::new(8, 1.0, 0.0).with_retry_budget(3);
+        assert_eq!(ch.retry_budget(), 3);
+        let msg: Vec<u64> = vec![9];
+        assert_eq!(
+            ch.transmit(&msg),
+            Err(ChannelError::Exhausted { attempts: 3 })
+        );
+        assert_eq!(ch.stats.attempts, 3);
+    }
+
+    #[test]
+    fn default_budget_applies_when_unconfigured() {
+        let mut ch = LossyChannel::new(9, 1.0, 0.0);
+        let msg: Vec<u64> = vec![1];
+        assert_eq!(
+            ch.transmit(&msg),
+            Err(ChannelError::Exhausted {
+                attempts: DEFAULT_RETRY_BUDGET
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "retry budget")]
+    fn zero_budget_is_rejected_at_configuration() {
+        let _ = LossyChannel::new(10, 0.0, 0.0).with_retry_budget(0);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::GraphError;
 pub fn read_stream<R: BufRead>(reader: R) -> Result<UpdateStream, GraphError> {
     let mut stream: Option<UpdateStream> = None;
     for (lineno, line) in reader.lines().enumerate() {
-        let line = line.map_err(|e| GraphError::InvalidEdge(format!("io error: {e}")))?;
+        let line = line.map_err(|e| GraphError::Io(format!("reading line {}: {e}", lineno + 1)))?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -127,6 +127,50 @@ mod tests {
         assert!(parse("n 4 2\n* 0 1\n").is_err(), "unknown tag");
         assert!(parse("n 4 2\n+ 1\n").is_err(), "cardinality 1");
         assert!(parse("n 4 2\n+ 1 1\n").is_err(), "duplicate vertex");
+    }
+
+    #[test]
+    fn read_failures_surface_as_io_with_line_number() {
+        /// A reader that yields one good line and then an I/O error.
+        struct Flaky {
+            served: bool,
+        }
+        impl std::io::Read for Flaky {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                unreachable!("BufRead is implemented directly")
+            }
+        }
+        impl BufRead for Flaky {
+            fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+                if self.served {
+                    Err(std::io::Error::other("disk on fire"))
+                } else {
+                    Ok(b"n 4 2\n")
+                }
+            }
+            fn consume(&mut self, amt: usize) {
+                if amt > 0 {
+                    self.served = true;
+                }
+            }
+        }
+        let err = read_stream(Flaky { served: false }).unwrap_err();
+        match &err {
+            GraphError::Io(msg) => {
+                assert!(msg.contains("line 2"), "{msg}");
+                assert!(msg.contains("disk on fire"), "{msg}");
+            }
+            other => panic!("expected GraphError::Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_keep_their_line_numbers() {
+        let err = parse("n 4 2\n+ 0 1\n+ 0 zero\n").unwrap_err();
+        match &err {
+            GraphError::InvalidEdge(msg) => assert!(msg.contains("line 3"), "{msg}"),
+            other => panic!("expected InvalidEdge, got {other:?}"),
+        }
     }
 
     #[test]

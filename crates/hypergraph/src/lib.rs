@@ -13,6 +13,9 @@
 //!   for sparsifier outputs;
 //! * [`stream`] — insert/delete update streams and strict application;
 //! * [`io`] — a line-oriented text format for persisting/replaying streams;
+//! * [`wal`] — a segmented, checksum-framed write-ahead log of updates with
+//!   torn-tail truncation and fingerprint-sealed segments (the durable half
+//!   of crash recovery; see `dgs_core::checkpoint`);
 //! * [`fault`] — deterministic stream/byte fault injection and a lossy
 //!   retransmitting channel for the resilience suite;
 //! * [`generators`] — Erdős–Rényi, Harary (exactly k-vertex-connected),
@@ -34,15 +37,18 @@ pub mod graph;
 pub mod hypergraph;
 pub mod io;
 pub mod stream;
+pub mod wal;
 
 pub use edge::HyperEdge;
 pub use encoding::EdgeSpace;
 pub use fault::{
     ChannelError, ChannelStats, FaultClass, FaultInjector, InjectedFault, LossyChannel,
+    DEFAULT_RETRY_BUDGET,
 };
 pub use graph::Graph;
 pub use hypergraph::{Hypergraph, WeightedHypergraph};
 pub use stream::{Op, Update, UpdateStream};
+pub use wal::{read_wal, WalConfig, WalError, WalReplay, WalWriter};
 
 /// Vertices are dense integer ids in `[0, n)`.
 pub type VertexId = u32;
@@ -59,6 +65,8 @@ pub enum GraphError {
     MultiplicityViolation(String),
     /// The requested edge space does not fit the supported index range.
     EdgeSpaceTooLarge { n: usize, max_rank: usize },
+    /// An underlying I/O operation failed (stream files, checkpoints).
+    Io(String),
 }
 
 impl std::fmt::Display for GraphError {
@@ -75,6 +83,7 @@ impl std::fmt::Display for GraphError {
                 f,
                 "edge space for n = {n}, r = {max_rank} exceeds the 2^60 index budget"
             ),
+            GraphError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }
 }

@@ -195,6 +195,67 @@ impl UpdateStream {
     }
 }
 
+// Binary codecs for stream elements — the unit of the write-ahead log
+// (`crate::wal`). An update is `[op u8][cardinality u32][vertex u32]*`.
+
+impl dgs_field::Codec for Op {
+    fn encode(&self, w: &mut dgs_field::Writer) {
+        w.put_u8(match self {
+            Op::Insert => 0,
+            Op::Delete => 1,
+        });
+    }
+    fn decode(r: &mut dgs_field::Reader<'_>) -> Result<Self, dgs_field::CodecError> {
+        match r.get_u8()? {
+            0 => Ok(Op::Insert),
+            1 => Ok(Op::Delete),
+            other => Err(dgs_field::CodecError {
+                offset: 0,
+                message: format!("unknown op tag {other}"),
+            }),
+        }
+    }
+}
+
+impl dgs_field::Codec for HyperEdge {
+    fn encode(&self, w: &mut dgs_field::Writer) {
+        w.put_u32(self.cardinality() as u32);
+        for &v in self.vertices() {
+            w.put_u32(v);
+        }
+    }
+    fn decode(r: &mut dgs_field::Reader<'_>) -> Result<Self, dgs_field::CodecError> {
+        let card = r.get_u32()?;
+        if card > 1 << 16 {
+            return Err(dgs_field::CodecError {
+                offset: 0,
+                message: format!("hyperedge cardinality {card} exceeds bound"),
+            });
+        }
+        let mut vs = Vec::with_capacity(card as usize);
+        for _ in 0..card {
+            vs.push(r.get_u32()?);
+        }
+        HyperEdge::new(vs).map_err(|e| dgs_field::CodecError {
+            offset: 0,
+            message: format!("invalid hyperedge: {e}"),
+        })
+    }
+}
+
+impl dgs_field::Codec for Update {
+    fn encode(&self, w: &mut dgs_field::Writer) {
+        self.op.encode(w);
+        self.edge.encode(w);
+    }
+    fn decode(r: &mut dgs_field::Reader<'_>) -> Result<Self, dgs_field::CodecError> {
+        Ok(Update {
+            op: Op::decode(r)?,
+            edge: HyperEdge::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,5 +347,48 @@ mod tests {
     fn op_deltas() {
         assert_eq!(Op::Insert.delta(), 1);
         assert_eq!(Op::Delete.delta(), -1);
+    }
+
+    #[test]
+    fn update_codec_round_trips() {
+        use dgs_field::{Codec, Reader, Writer};
+        let updates = [
+            Update::insert(HyperEdge::pair(0, 7)),
+            Update::delete(HyperEdge::new(vec![3, 1, 9]).unwrap()),
+        ];
+        let mut w = Writer::new();
+        for u in &updates {
+            u.encode(&mut w);
+        }
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        for u in &updates {
+            assert_eq!(&Update::decode(&mut r).unwrap(), u);
+        }
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn update_codec_rejects_malformed_bytes() {
+        use dgs_field::{Codec, Reader, Writer};
+        // Unknown op tag.
+        let mut w = Writer::new();
+        w.put_u8(9);
+        let bytes = w.into_bytes();
+        assert!(Update::decode(&mut Reader::new(&bytes)).is_err());
+        // Cardinality-1 edge (invalid by construction).
+        let mut w = Writer::new();
+        w.put_u8(0);
+        w.put_u32(1);
+        w.put_u32(5);
+        let bytes = w.into_bytes();
+        assert!(Update::decode(&mut Reader::new(&bytes)).is_err());
+        // Truncated vertex list.
+        let mut w = Writer::new();
+        w.put_u8(0);
+        w.put_u32(4);
+        w.put_u32(5);
+        let bytes = w.into_bytes();
+        assert!(Update::decode(&mut Reader::new(&bytes)).is_err());
     }
 }

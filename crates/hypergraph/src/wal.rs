@@ -1,0 +1,872 @@
+//! A segmented, checksum-framed write-ahead log for dynamic-stream updates.
+//!
+//! Linear sketches make crash recovery *exact*: the sketch of a stream
+//! prefix plus a replay of the logged tail is bit-identical to uninterrupted
+//! ingestion. This module provides the durable half of that equation — an
+//! append-only log of [`Update`] records that survives process death and
+//! detects (never silently absorbs) on-disk corruption.
+//!
+//! ## On-disk format
+//!
+//! The log is a directory of segment files `seg-<index>.wal`:
+//!
+//! ```text
+//! segment  = magic "DGSWAL1\n" | header-frame | record-frame* | trailer-frame?
+//! frame    = [payload_len u32 LE] [fnv1a64(payload) u64 LE] [payload]
+//! header   = tag 2 | n u64 | max_rank u64 | base_offset u64 | z u64
+//! record   = tag 0 | Update (op u8, cardinality u32, vertex u32 ...)
+//! trailer  = tag 1 | record_count u64 | fingerprint u64
+//! ```
+//!
+//! Every frame carries its own FNV-1a checksum (the same framing the lossy
+//! channel in [`crate::fault`] uses), so torn writes and bit flips are
+//! *detected*. A sealed segment additionally ends with a polynomial
+//! fingerprint trailer `F = Σ_i fnv(record_i) · z^i  (mod 2^61 − 1)` over
+//! its records (the [`dgs_field::Fingerprinter`] construction), which
+//! catches whole-frame substitutions and reorderings that per-frame
+//! checksums cannot.
+//!
+//! ## Failure semantics
+//!
+//! * A torn tail — a partial final frame, a checksum mismatch, or trailing
+//!   garbage in the **last** segment — is expected after a crash:
+//!   [`read_wal`] truncates to the last valid frame and reports the dropped
+//!   byte count in [`WalReplay::torn_bytes_dropped`]. Never a panic.
+//! * Any corruption in a **sealed** (non-final) segment is not a crash
+//!   artifact and surfaces as [`WalError::Corrupt`].
+//! * [`WalWriter::resume`] reopens an existing log after a crash: it
+//!   physically truncates the torn tail, seals the final segment with a
+//!   recomputed fingerprint trailer, and continues in a fresh segment.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use dgs_field::{Codec, Fingerprinter, Fp, Reader, SeedTree, Writer};
+
+use crate::fault::fnv1a64;
+use crate::stream::{Update, UpdateStream};
+
+/// Leading bytes of every segment file.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"DGSWAL1\n";
+
+/// Largest accepted frame payload; anything bigger is corruption.
+const MAX_FRAME_PAYLOAD: u32 = 1 << 24;
+
+const TAG_RECORD: u8 = 0;
+const TAG_TRAILER: u8 = 1;
+const TAG_HEADER: u8 = 2;
+
+/// A typed write-ahead-log failure. Corrupt bytes are reported, never
+/// panicked on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// The file or directory involved.
+        path: String,
+        /// The OS error text.
+        detail: String,
+    },
+    /// A sealed portion of the log is damaged (bad magic, failed checksum
+    /// or fingerprint, missing segment, inconsistent offsets).
+    Corrupt {
+        /// Segment index where the damage was found.
+        segment: u64,
+        /// What failed to validate.
+        detail: String,
+    },
+    /// The directory contains no segments to read.
+    Empty {
+        /// The directory that was scanned.
+        dir: String,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io { path, detail } => write!(f, "wal io error on {path}: {detail}"),
+            WalError::Corrupt { segment, detail } => {
+                write!(f, "wal segment {segment} corrupt: {detail}")
+            }
+            WalError::Empty { dir } => write!(f, "wal directory {dir} has no segments"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+fn io_err(path: &Path, e: std::io::Error) -> WalError {
+    WalError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    }
+}
+
+/// Per-call writer configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct WalConfig {
+    /// Records per segment before sealing and rotating.
+    pub segment_records: u64,
+    /// Seed for the per-segment fingerprint points.
+    pub seed: u64,
+}
+
+impl Default for WalConfig {
+    fn default() -> WalConfig {
+        WalConfig {
+            segment_records: 4096,
+            seed: 0x57A1_0001,
+        }
+    }
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("seg-{index:08}.wal"))
+}
+
+/// Frames a payload: `[len u32][fnv1a64 u64][payload]`.
+fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u32(payload.len() as u32);
+    w.put_u64(fnv1a64(payload));
+    w.put_bytes(payload);
+    w.into_bytes()
+}
+
+/// An append-only writer over a segment directory.
+#[derive(Debug)]
+pub struct WalWriter {
+    dir: PathBuf,
+    n: usize,
+    max_rank: usize,
+    cfg: WalConfig,
+    file: fs::File,
+    seg_index: u64,
+    seg_count: u64,
+    fper: Fingerprinter,
+    fp_acc: Fp,
+    zpow: Fp,
+    offset: u64,
+}
+
+impl WalWriter {
+    /// Creates a fresh log for a stream over `n` vertices with rank bound
+    /// `max_rank`. The directory is created if absent and must not already
+    /// contain segments.
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        n: usize,
+        max_rank: usize,
+        cfg: WalConfig,
+    ) -> Result<WalWriter, WalError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        if !list_segments(&dir)?.is_empty() {
+            return Err(WalError::Io {
+                path: dir.display().to_string(),
+                detail: "directory already contains wal segments (use resume)".into(),
+            });
+        }
+        assert!(cfg.segment_records >= 1, "segments must hold records");
+        Self::open_segment(dir, n, max_rank, cfg, 0, 0)
+    }
+
+    /// Reopens an existing log after a crash: validates it, physically
+    /// truncates any torn tail, seals the final segment, and continues in a
+    /// fresh segment. Returns the writer positioned after the last durable
+    /// record, plus the replay of everything recovered. An empty or absent
+    /// directory degrades to [`WalWriter::create`].
+    pub fn resume(
+        dir: impl Into<PathBuf>,
+        n: usize,
+        max_rank: usize,
+        cfg: WalConfig,
+    ) -> Result<(WalWriter, WalReplay), WalError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        let segments = list_segments(&dir)?;
+        if segments.is_empty() {
+            let w = Self::create(dir, n, max_rank, cfg)?;
+            return Ok((
+                w,
+                WalReplay {
+                    n,
+                    max_rank,
+                    updates: Vec::new(),
+                    segments: 0,
+                    torn_bytes_dropped: 0,
+                },
+            ));
+        }
+        let scan = scan_segments(&dir, &segments)?;
+        if scan.replay.n != n || scan.replay.max_rank != max_rank {
+            return Err(WalError::Corrupt {
+                segment: 0,
+                detail: format!(
+                    "log is for a ({}, {})-stream, resume asked for ({n}, {max_rank})",
+                    scan.replay.n, scan.replay.max_rank
+                ),
+            });
+        }
+        let last_index = segments.len() as u64 - 1;
+        let last_path = segment_path(&dir, last_index);
+        let offset = scan.replay.updates.len() as u64;
+        if scan.last_wholly_torn {
+            // The final segment never got a valid header: delete the debris
+            // and reuse its index.
+            fs::remove_file(&last_path).map_err(|e| io_err(&last_path, e))?;
+            let writer = Self::open_segment(dir, n, max_rank, cfg, last_index, offset)?;
+            return Ok((writer, scan.replay));
+        }
+        // Drop the torn tail from disk, then seal with the recomputed
+        // fingerprint so the segment passes the strict (non-final) checks
+        // from now on.
+        let file = fs::OpenOptions::new()
+            .write(true)
+            .open(&last_path)
+            .map_err(|e| io_err(&last_path, e))?;
+        file.set_len(scan.last_valid_len)
+            .map_err(|e| io_err(&last_path, e))?;
+        if !scan.last_sealed {
+            let mut file = fs::OpenOptions::new()
+                .append(true)
+                .open(&last_path)
+                .map_err(|e| io_err(&last_path, e))?;
+            let trailer = trailer_payload(scan.last_count, scan.last_fp);
+            file.write_all(&frame_bytes(&trailer))
+                .map_err(|e| io_err(&last_path, e))?;
+            file.sync_all().map_err(|e| io_err(&last_path, e))?;
+        }
+        let writer = Self::open_segment(dir, n, max_rank, cfg, last_index + 1, offset)?;
+        Ok((writer, scan.replay))
+    }
+
+    fn open_segment(
+        dir: PathBuf,
+        n: usize,
+        max_rank: usize,
+        cfg: WalConfig,
+        seg_index: u64,
+        offset: u64,
+    ) -> Result<WalWriter, WalError> {
+        let path = segment_path(&dir, seg_index);
+        let mut file = fs::OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, e))?;
+        let fper = Fingerprinter::new(&SeedTree::new(cfg.seed).child(seg_index));
+        let mut header = Writer::new();
+        header.put_u8(TAG_HEADER);
+        header.put_u64(n as u64);
+        header.put_u64(max_rank as u64);
+        header.put_u64(offset);
+        header.put_u64(fper.point().value());
+        let mut bytes = SEGMENT_MAGIC.to_vec();
+        bytes.extend_from_slice(&frame_bytes(&header.into_bytes()));
+        file.write_all(&bytes).map_err(|e| io_err(&path, e))?;
+        Ok(WalWriter {
+            dir,
+            n,
+            max_rank,
+            cfg,
+            file,
+            seg_index,
+            seg_count: 0,
+            fper,
+            fp_acc: Fp::ZERO,
+            zpow: Fp::ONE,
+            offset,
+        })
+    }
+
+    /// Appends one update. The record is on the OS's side of the crash line
+    /// once this returns (a single `write` of a complete frame); call
+    /// [`sync`](Self::sync) to force it to the device too.
+    pub fn append(&mut self, u: &Update) -> Result<(), WalError> {
+        let mut payload = Writer::new();
+        payload.put_u8(TAG_RECORD);
+        u.encode(&mut payload);
+        let payload = payload.into_bytes();
+        let path = segment_path(&self.dir, self.seg_index);
+        self.file
+            .write_all(&frame_bytes(&payload))
+            .map_err(|e| io_err(&path, e))?;
+        self.fp_acc = self.fp_acc.add(Fp::new(fnv1a64(&payload)).mul(self.zpow));
+        self.zpow = self.zpow.mul(self.fper.point());
+        self.seg_count += 1;
+        self.offset += 1;
+        if self.seg_count >= self.cfg.segment_records {
+            self.rotate()?;
+        }
+        Ok(())
+    }
+
+    /// Seals the active segment (fingerprint trailer + fsync) and opens the
+    /// next one.
+    fn rotate(&mut self) -> Result<(), WalError> {
+        let path = segment_path(&self.dir, self.seg_index);
+        let trailer = trailer_payload(self.seg_count, self.fp_acc);
+        self.file
+            .write_all(&frame_bytes(&trailer))
+            .map_err(|e| io_err(&path, e))?;
+        self.file.sync_all().map_err(|e| io_err(&path, e))?;
+        let next = Self::open_segment(
+            self.dir.clone(),
+            self.n,
+            self.max_rank,
+            self.cfg,
+            self.seg_index + 1,
+            self.offset,
+        )?;
+        *self = next;
+        Ok(())
+    }
+
+    /// Forces buffered appends to the storage device.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        let path = segment_path(&self.dir, self.seg_index);
+        self.file.sync_all().map_err(|e| io_err(&path, e))
+    }
+
+    /// Total records ever appended — the stream offset the next record gets.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Index of the segment currently being written.
+    pub fn segment_index(&self) -> u64 {
+        self.seg_index
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+fn trailer_payload(count: u64, fp: Fp) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(TAG_TRAILER);
+    w.put_u64(count);
+    w.put_u64(fp.value());
+    w.into_bytes()
+}
+
+/// Everything recovered from a log directory.
+#[derive(Clone, Debug)]
+pub struct WalReplay {
+    /// Vertex count declared in the segment headers.
+    pub n: usize,
+    /// Rank bound declared in the segment headers.
+    pub max_rank: usize,
+    /// Every durable update, in append order.
+    pub updates: Vec<Update>,
+    /// Number of segment files read.
+    pub segments: usize,
+    /// Bytes discarded from the final segment's torn tail (0 after a clean
+    /// shutdown).
+    pub torn_bytes_dropped: u64,
+}
+
+impl WalReplay {
+    /// The recovered records as an [`UpdateStream`].
+    pub fn stream(&self) -> UpdateStream {
+        UpdateStream {
+            n: self.n,
+            max_rank: self.max_rank,
+            updates: self.updates.clone(),
+        }
+    }
+}
+
+/// Sorted segment indexes present in `dir`, validated contiguous from 0.
+fn list_segments(dir: &Path) -> Result<Vec<u64>, WalError> {
+    let mut indexes = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(ref e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(indexes),
+        Err(e) => return Err(io_err(dir, e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(idx) = name
+            .strip_prefix("seg-")
+            .and_then(|s| s.strip_suffix(".wal"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            indexes.push(idx);
+        }
+    }
+    indexes.sort_unstable();
+    for (i, &idx) in indexes.iter().enumerate() {
+        if idx != i as u64 {
+            return Err(WalError::Corrupt {
+                segment: i as u64,
+                detail: format!("segment {i} missing (found index {idx} instead)"),
+            });
+        }
+    }
+    Ok(indexes)
+}
+
+/// Internal scan result: the replay plus enough state to resume writing.
+struct Scan {
+    replay: WalReplay,
+    /// Byte length of the valid prefix of the final segment.
+    last_valid_len: u64,
+    /// Whether the final segment already ends with a valid trailer.
+    last_sealed: bool,
+    /// Records in the final segment's valid prefix.
+    last_count: u64,
+    /// Fingerprint accumulator over those records.
+    last_fp: Fp,
+    /// The final segment never got a valid header (crash during creation):
+    /// resume deletes and recreates it rather than truncating.
+    last_wholly_torn: bool,
+}
+
+/// Reads and validates the whole log. Torn tails in the final segment are
+/// truncated (and reported); corruption anywhere else is a typed error.
+pub fn read_wal(dir: impl AsRef<Path>) -> Result<WalReplay, WalError> {
+    let dir = dir.as_ref();
+    let segments = list_segments(dir)?;
+    if segments.is_empty() {
+        return Err(WalError::Empty {
+            dir: dir.display().to_string(),
+        });
+    }
+    Ok(scan_segments(dir, &segments)?.replay)
+}
+
+fn scan_segments(dir: &Path, segments: &[u64]) -> Result<Scan, WalError> {
+    let mut updates = Vec::new();
+    let mut stream_params: Option<(usize, usize)> = None;
+    let mut torn_bytes = 0u64;
+    let mut last_valid_len = 0u64;
+    let mut last_sealed = false;
+    let mut last_count = 0u64;
+    let mut last_fp = Fp::ZERO;
+    let mut last_wholly_torn = false;
+    for (i, &seg) in segments.iter().enumerate() {
+        let is_last = i + 1 == segments.len();
+        let path = segment_path(dir, seg);
+        let bytes = fs::read(&path).map_err(|e| io_err(&path, e))?;
+        let seg_scan = match scan_one_segment(&bytes, seg, is_last, updates.len() as u64)? {
+            Some(s) => s,
+            None => {
+                // The final segment's header never hit the disk (crash
+                // while opening it). It holds no records; the whole file is
+                // crash debris.
+                torn_bytes = bytes.len() as u64;
+                last_wholly_torn = true;
+                continue;
+            }
+        };
+        match stream_params {
+            None => stream_params = Some((seg_scan.n, seg_scan.max_rank)),
+            Some((n, r)) => {
+                if (seg_scan.n, seg_scan.max_rank) != (n, r) {
+                    return Err(WalError::Corrupt {
+                        segment: seg,
+                        detail: format!(
+                            "stream params ({}, {}) disagree with segment 0's ({n}, {r})",
+                            seg_scan.n, seg_scan.max_rank
+                        ),
+                    });
+                }
+            }
+        }
+        updates.extend(seg_scan.updates);
+        if is_last {
+            torn_bytes = seg_scan.torn_bytes;
+            last_valid_len = seg_scan.valid_len;
+            last_sealed = seg_scan.sealed;
+            last_count = seg_scan.count;
+            last_fp = seg_scan.fp_acc;
+        }
+    }
+    let (n, max_rank) = stream_params.expect("at least one readable segment");
+    Ok(Scan {
+        replay: WalReplay {
+            n,
+            max_rank,
+            updates,
+            segments: segments.len(),
+            torn_bytes_dropped: torn_bytes,
+        },
+        last_valid_len,
+        last_sealed,
+        last_count,
+        last_fp,
+        last_wholly_torn,
+    })
+}
+
+struct SegmentScan {
+    n: usize,
+    max_rank: usize,
+    updates: Vec<Update>,
+    torn_bytes: u64,
+    valid_len: u64,
+    sealed: bool,
+    count: u64,
+    fp_acc: Fp,
+}
+
+/// Validates one segment's bytes. `is_last` selects torn-tail tolerance;
+/// sealed segments must validate end to end, trailer included. `Ok(None)`
+/// means the final segment's header itself was torn (only legal when a
+/// prior segment exists to supply the stream parameters).
+fn scan_one_segment(
+    bytes: &[u8],
+    seg: u64,
+    is_last: bool,
+    base_offset: u64,
+) -> Result<Option<SegmentScan>, WalError> {
+    let corrupt = |detail: String| WalError::Corrupt {
+        segment: seg,
+        detail,
+    };
+    // A final segment whose magic or header frame is damaged is crash
+    // debris from `open_segment` — tolerable when segment 0 still supplies
+    // the stream parameters; fatal otherwise.
+    let header_torn = |detail: String| {
+        if is_last && seg > 0 {
+            Ok(None)
+        } else {
+            Err(corrupt(detail))
+        }
+    };
+    if bytes.len() < SEGMENT_MAGIC.len() || &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+        return header_torn("bad segment magic".into());
+    }
+    let mut pos = SEGMENT_MAGIC.len();
+
+    // Pulls the next checksum-verified frame payload, or None on a torn /
+    // corrupt boundary (the caller decides whether torn is tolerable).
+    let next_frame = |pos: &mut usize| -> Option<Vec<u8>> {
+        let start = *pos;
+        let header = bytes.get(start..start + 12)?;
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+        if len > MAX_FRAME_PAYLOAD {
+            return None;
+        }
+        let declared = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+        let payload = bytes.get(start + 12..start + 12 + len as usize)?;
+        if fnv1a64(payload) != declared {
+            return None;
+        }
+        *pos = start + 12 + len as usize;
+        Some(payload.to_vec())
+    };
+
+    let header = match next_frame(&mut pos) {
+        Some(p) => p,
+        None => return header_torn("segment header torn or corrupt".into()),
+    };
+    let mut r = Reader::new(&header);
+    let parse = |e: dgs_field::CodecError| corrupt(format!("header: {e}"));
+    if r.get_u8().map_err(parse)? != TAG_HEADER {
+        return Err(corrupt("first frame is not a header".into()));
+    }
+    let n = r.get_u64().map_err(parse)? as usize;
+    let max_rank = r.get_u64().map_err(parse)? as usize;
+    let declared_base = r.get_u64().map_err(parse)?;
+    let z = Fp::new(r.get_u64().map_err(parse)?);
+    r.expect_end().map_err(parse)?;
+    if declared_base != base_offset {
+        return Err(corrupt(format!(
+            "header declares base offset {declared_base}, log position is {base_offset}"
+        )));
+    }
+    if z.is_zero() || z == Fp::ONE {
+        return Err(corrupt("degenerate fingerprint point".into()));
+    }
+
+    let mut updates = Vec::new();
+    let mut fp_acc = Fp::ZERO;
+    let mut zpow = Fp::ONE;
+    let mut count = 0u64;
+    let mut sealed = false;
+    let mut valid_len = pos as u64;
+    loop {
+        if pos == bytes.len() {
+            break; // clean unsealed end
+        }
+        let frame_start = pos;
+        let Some(payload) = next_frame(&mut pos) else {
+            // Torn or corrupt frame boundary.
+            if is_last {
+                return Ok(Some(SegmentScan {
+                    n,
+                    max_rank,
+                    updates,
+                    torn_bytes: (bytes.len() - frame_start) as u64,
+                    valid_len,
+                    sealed: false,
+                    count,
+                    fp_acc,
+                }));
+            }
+            return Err(corrupt(format!("invalid frame at byte {frame_start}")));
+        };
+        match payload.first().copied() {
+            Some(TAG_RECORD) => {
+                if sealed {
+                    return Err(corrupt("record frame after trailer".into()));
+                }
+                let mut r = Reader::new(&payload[1..]);
+                match Update::decode(&mut r).and_then(|u| r.expect_end().map(|()| u)) {
+                    Ok(u) => {
+                        fp_acc = fp_acc.add(Fp::new(fnv1a64(&payload)).mul(zpow));
+                        zpow = zpow.mul(z);
+                        count += 1;
+                        updates.push(u);
+                        valid_len = pos as u64;
+                    }
+                    Err(e) => {
+                        // The checksum passed but the payload is not a
+                        // well-formed update: disk corruption colliding
+                        // with FNV is ~2^-64; treat as corrupt even in the
+                        // last segment rather than silently dropping a
+                        // frame the checksum vouched for.
+                        return Err(corrupt(format!(
+                            "checksummed record at byte {frame_start} undecodable: {e}"
+                        )));
+                    }
+                }
+            }
+            Some(TAG_TRAILER) => {
+                let mut r = Reader::new(&payload[1..]);
+                let tparse = |e: dgs_field::CodecError| corrupt(format!("trailer: {e}"));
+                let declared_count = r.get_u64().map_err(tparse)?;
+                let declared_fp = Fp::new(r.get_u64().map_err(tparse)?);
+                r.expect_end().map_err(tparse)?;
+                if declared_count != count || declared_fp != fp_acc {
+                    return Err(corrupt(format!(
+                        "fingerprint trailer mismatch: declared ({declared_count}, {}), \
+                         recomputed ({count}, {})",
+                        declared_fp.value(),
+                        fp_acc.value()
+                    )));
+                }
+                sealed = true;
+                valid_len = pos as u64;
+            }
+            Some(TAG_HEADER) => return Err(corrupt("header frame mid-segment".into())),
+            _ => return Err(corrupt(format!("unknown frame tag at byte {frame_start}"))),
+        }
+        if sealed && pos != bytes.len() {
+            // Bytes after a valid trailer: crash debris in the last
+            // segment, corruption anywhere else.
+            if is_last {
+                return Ok(Some(SegmentScan {
+                    n,
+                    max_rank,
+                    updates,
+                    torn_bytes: (bytes.len() - pos) as u64,
+                    valid_len,
+                    sealed,
+                    count,
+                    fp_acc,
+                }));
+            }
+            return Err(corrupt("trailing bytes after trailer".into()));
+        }
+    }
+    if !is_last && !sealed {
+        return Err(corrupt("sealed segment is missing its trailer".into()));
+    }
+    Ok(Some(SegmentScan {
+        n,
+        max_rank,
+        updates,
+        torn_bytes: 0,
+        valid_len,
+        sealed,
+        count,
+        fp_acc,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::HyperEdge;
+    use crate::fault::{truncated, with_bit_flipped};
+
+    fn tmpdir(label: &str) -> PathBuf {
+        static UNIQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "dgs-wal-{label}-{}-{}",
+            std::process::id(),
+            UNIQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_updates(m: usize) -> Vec<Update> {
+        (0..m)
+            .map(|i| {
+                let e = HyperEdge::pair(i as u32 % 7, 7 + (i as u32 % 5));
+                if i % 3 == 2 {
+                    Update::delete(e)
+                } else {
+                    Update::insert(e)
+                }
+            })
+            .collect()
+    }
+
+    fn small_cfg() -> WalConfig {
+        WalConfig {
+            segment_records: 8,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn round_trips_across_segment_rotations() {
+        let dir = tmpdir("rt");
+        let updates = sample_updates(37); // 8-record segments -> 5 files
+        let mut w = WalWriter::create(&dir, 16, 2, small_cfg()).unwrap();
+        for u in &updates {
+            w.append(u).unwrap();
+        }
+        assert_eq!(w.offset(), 37);
+        assert_eq!(w.segment_index(), 4);
+        let replay = read_wal(&dir).unwrap();
+        assert_eq!(replay.updates, updates);
+        assert_eq!(replay.n, 16);
+        assert_eq!(replay.max_rank, 2);
+        assert_eq!(replay.segments, 5);
+        assert_eq!(replay.torn_bytes_dropped, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_valid_frame() {
+        let dir = tmpdir("torn");
+        let updates = sample_updates(6);
+        let mut w = WalWriter::create(&dir, 16, 2, small_cfg()).unwrap();
+        for u in &updates {
+            w.append(u).unwrap();
+        }
+        drop(w); // crash: no seal
+        let path = segment_path(&dir, 0);
+        let full = fs::read(&path).unwrap();
+        // Chop off part of the last frame: replay must hold 5 records.
+        fs::write(&path, truncated(&full, full.len() - 3)).unwrap();
+        let replay = read_wal(&dir).unwrap();
+        assert_eq!(replay.updates, updates[..5]);
+        assert!(replay.torn_bytes_dropped > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_in_sealed_segment_is_a_typed_error() {
+        let dir = tmpdir("sealedflip");
+        let mut w = WalWriter::create(&dir, 16, 2, small_cfg()).unwrap();
+        for u in sample_updates(20) {
+            w.append(&u).unwrap(); // seals segments 0 and 1
+        }
+        let path = segment_path(&dir, 0);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, with_bit_flipped(&bytes, bytes.len() * 4)).unwrap();
+        match read_wal(&dir) {
+            Err(WalError::Corrupt { segment: 0, .. }) => {}
+            other => panic!("expected segment-0 corruption, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_truncates_seals_and_continues() {
+        let dir = tmpdir("resume");
+        let updates = sample_updates(11);
+        let mut w = WalWriter::create(&dir, 16, 2, small_cfg()).unwrap();
+        for u in &updates {
+            w.append(u).unwrap();
+        }
+        drop(w);
+        // Tear the active segment's tail.
+        let path = segment_path(&dir, 1);
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, truncated(&full, full.len() - 1)).unwrap();
+
+        let (mut w, replay) = WalWriter::resume(&dir, 16, 2, small_cfg()).unwrap();
+        assert_eq!(replay.updates, updates[..10]);
+        assert_eq!(w.offset(), 10);
+        let more = sample_updates(3);
+        for u in &more {
+            w.append(u).unwrap();
+        }
+        drop(w);
+        let replay = read_wal(&dir).unwrap();
+        assert_eq!(replay.updates.len(), 13);
+        assert_eq!(replay.updates[10..], more[..]);
+        // The previously-torn segment is now sealed: corruption in it is no
+        // longer tolerated as a torn tail.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, with_bit_flipped(&bytes, 8 * 100)).unwrap();
+        assert!(matches!(read_wal(&dir), Err(WalError::Corrupt { .. })));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_segment_is_detected() {
+        let dir = tmpdir("gap");
+        let mut w = WalWriter::create(&dir, 16, 2, small_cfg()).unwrap();
+        for u in sample_updates(20) {
+            w.append(&u).unwrap();
+        }
+        fs::remove_file(segment_path(&dir, 1)).unwrap();
+        assert!(matches!(read_wal(&dir), Err(WalError::Corrupt { .. })));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_directory_is_a_typed_error() {
+        let dir = tmpdir("empty");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(read_wal(&dir), Err(WalError::Empty { .. })));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_truncation_of_the_log_recovers_a_prefix() {
+        let dir = tmpdir("prefix");
+        let updates = sample_updates(7);
+        let mut w = WalWriter::create(&dir, 16, 2, WalConfig::default()).unwrap();
+        for u in &updates {
+            w.append(u).unwrap();
+        }
+        drop(w);
+        let path = segment_path(&dir, 0);
+        let full = fs::read(&path).unwrap();
+        let mut seen = 0usize;
+        for cut in 0..=full.len() {
+            fs::write(&path, truncated(&full, cut)).unwrap();
+            match read_wal(&dir) {
+                Ok(replay) => {
+                    assert_eq!(
+                        replay.updates,
+                        updates[..replay.updates.len()],
+                        "cut {cut}: recovered a non-prefix"
+                    );
+                    seen = seen.max(replay.updates.len());
+                }
+                Err(WalError::Corrupt { .. }) => {} // header cut away
+                Err(e) => panic!("cut {cut}: unexpected error {e}"),
+            }
+        }
+        assert_eq!(seen, updates.len());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

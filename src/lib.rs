@@ -56,14 +56,16 @@ pub mod prelude {
         SpanningForestSketch,
     };
     pub use dgs_core::{
-        BoostedQuery, HypergraphSparsifier, LightRecoverySketch, QueryOutcome, SparsifierConfig,
-        VertexConnConfig, VertexConnSketch,
+        BoostedQuery, CheckpointConfig, CheckpointStore, CheckpointedIngestor,
+        HypergraphSparsifier, LightRecoverySketch, QueryOutcome, Recoverable, Recovered,
+        RecoveryDriver, RecoveryError, SparsifierConfig, VertexConnConfig, VertexConnSketch,
     };
     pub use dgs_field::prng::{Rng, SeedableRng, SliceRandom, StdRng};
     pub use dgs_field::SeedTree;
     pub use dgs_hypergraph::{
-        EdgeSpace, FaultClass, FaultInjector, Graph, GraphError, HyperEdge, Hypergraph,
-        LossyChannel, Op, Update, UpdateStream, WeightedHypergraph,
+        read_wal, EdgeSpace, FaultClass, FaultInjector, Graph, GraphError, HyperEdge, Hypergraph,
+        LossyChannel, Op, Update, UpdateStream, WalConfig, WalError, WalReplay, WalWriter,
+        WeightedHypergraph,
     };
     pub use dgs_sketch::{L0Params, L0Sampler, Profile, SketchError, SketchResult};
 }

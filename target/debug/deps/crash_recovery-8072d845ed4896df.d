@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_recovery-8072d845ed4896df.d: tests/crash_recovery.rs
+
+/root/repo/target/debug/deps/crash_recovery-8072d845ed4896df: tests/crash_recovery.rs
+
+tests/crash_recovery.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/dgs_bench-902593c1be788d41.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e01_vc_query.rs crates/bench/src/experiments/e02_indexing.rs crates/bench/src/experiments/e03_estimator.rs crates/bench/src/experiments/e04_hyper_conn.rs crates/bench/src/experiments/e05_skeleton.rs crates/bench/src/experiments/e06_reconstruct.rs crates/bench/src/experiments/e07_lemma16.rs crates/bench/src/experiments/e08_sparsifier.rs crates/bench/src/experiments/e09_sfst.rs crates/bench/src/experiments/e10_scaling.rs crates/bench/src/experiments/e11_ablation.rs crates/bench/src/experiments/e12_eppstein.rs crates/bench/src/experiments/e13_sampler_ablation.rs crates/bench/src/experiments/e14_edge_conn.rs crates/bench/src/experiments/e15_distributed.rs crates/bench/src/microbench.rs crates/bench/src/report.rs crates/bench/src/stats.rs crates/bench/src/workloads.rs Cargo.toml
+/root/repo/target/debug/deps/dgs_bench-902593c1be788d41.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e01_vc_query.rs crates/bench/src/experiments/e02_indexing.rs crates/bench/src/experiments/e03_estimator.rs crates/bench/src/experiments/e04_hyper_conn.rs crates/bench/src/experiments/e05_skeleton.rs crates/bench/src/experiments/e06_reconstruct.rs crates/bench/src/experiments/e07_lemma16.rs crates/bench/src/experiments/e08_sparsifier.rs crates/bench/src/experiments/e09_sfst.rs crates/bench/src/experiments/e10_scaling.rs crates/bench/src/experiments/e11_ablation.rs crates/bench/src/experiments/e12_eppstein.rs crates/bench/src/experiments/e13_sampler_ablation.rs crates/bench/src/experiments/e14_edge_conn.rs crates/bench/src/experiments/e15_distributed.rs crates/bench/src/experiments/e16_recovery.rs crates/bench/src/microbench.rs crates/bench/src/report.rs crates/bench/src/stats.rs crates/bench/src/workloads.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdgs_bench-902593c1be788d41.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e01_vc_query.rs crates/bench/src/experiments/e02_indexing.rs crates/bench/src/experiments/e03_estimator.rs crates/bench/src/experiments/e04_hyper_conn.rs crates/bench/src/experiments/e05_skeleton.rs crates/bench/src/experiments/e06_reconstruct.rs crates/bench/src/experiments/e07_lemma16.rs crates/bench/src/experiments/e08_sparsifier.rs crates/bench/src/experiments/e09_sfst.rs crates/bench/src/experiments/e10_scaling.rs crates/bench/src/experiments/e11_ablation.rs crates/bench/src/experiments/e12_eppstein.rs crates/bench/src/experiments/e13_sampler_ablation.rs crates/bench/src/experiments/e14_edge_conn.rs crates/bench/src/experiments/e15_distributed.rs crates/bench/src/microbench.rs crates/bench/src/report.rs crates/bench/src/stats.rs crates/bench/src/workloads.rs Cargo.toml
+/root/repo/target/debug/deps/libdgs_bench-902593c1be788d41.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e01_vc_query.rs crates/bench/src/experiments/e02_indexing.rs crates/bench/src/experiments/e03_estimator.rs crates/bench/src/experiments/e04_hyper_conn.rs crates/bench/src/experiments/e05_skeleton.rs crates/bench/src/experiments/e06_reconstruct.rs crates/bench/src/experiments/e07_lemma16.rs crates/bench/src/experiments/e08_sparsifier.rs crates/bench/src/experiments/e09_sfst.rs crates/bench/src/experiments/e10_scaling.rs crates/bench/src/experiments/e11_ablation.rs crates/bench/src/experiments/e12_eppstein.rs crates/bench/src/experiments/e13_sampler_ablation.rs crates/bench/src/experiments/e14_edge_conn.rs crates/bench/src/experiments/e15_distributed.rs crates/bench/src/experiments/e16_recovery.rs crates/bench/src/microbench.rs crates/bench/src/report.rs crates/bench/src/stats.rs crates/bench/src/workloads.rs Cargo.toml
 
 crates/bench/src/lib.rs:
 crates/bench/src/experiments/mod.rs:
@@ -19,6 +19,7 @@ crates/bench/src/experiments/e12_eppstein.rs:
 crates/bench/src/experiments/e13_sampler_ablation.rs:
 crates/bench/src/experiments/e14_edge_conn.rs:
 crates/bench/src/experiments/e15_distributed.rs:
+crates/bench/src/experiments/e16_recovery.rs:
 crates/bench/src/microbench.rs:
 crates/bench/src/report.rs:
 crates/bench/src/stats.rs:

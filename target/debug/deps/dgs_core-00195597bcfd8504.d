@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/dgs_core-00195597bcfd8504.d: crates/core/src/lib.rs crates/core/src/boost.rs crates/core/src/edge_conn.rs crates/core/src/reconstruct.rs crates/core/src/sparsify.rs crates/core/src/vertex_conn.rs Cargo.toml
+/root/repo/target/debug/deps/dgs_core-00195597bcfd8504.d: crates/core/src/lib.rs crates/core/src/boost.rs crates/core/src/checkpoint.rs crates/core/src/edge_conn.rs crates/core/src/reconstruct.rs crates/core/src/sparsify.rs crates/core/src/vertex_conn.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdgs_core-00195597bcfd8504.rmeta: crates/core/src/lib.rs crates/core/src/boost.rs crates/core/src/edge_conn.rs crates/core/src/reconstruct.rs crates/core/src/sparsify.rs crates/core/src/vertex_conn.rs Cargo.toml
+/root/repo/target/debug/deps/libdgs_core-00195597bcfd8504.rmeta: crates/core/src/lib.rs crates/core/src/boost.rs crates/core/src/checkpoint.rs crates/core/src/edge_conn.rs crates/core/src/reconstruct.rs crates/core/src/sparsify.rs crates/core/src/vertex_conn.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/boost.rs:
+crates/core/src/checkpoint.rs:
 crates/core/src/edge_conn.rs:
 crates/core/src/reconstruct.rs:
 crates/core/src/sparsify.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/dgs_core-2eaa4a92146939a9.d: crates/core/src/lib.rs crates/core/src/boost.rs crates/core/src/edge_conn.rs crates/core/src/reconstruct.rs crates/core/src/sparsify.rs crates/core/src/vertex_conn.rs
+/root/repo/target/debug/deps/dgs_core-2eaa4a92146939a9.d: crates/core/src/lib.rs crates/core/src/boost.rs crates/core/src/checkpoint.rs crates/core/src/edge_conn.rs crates/core/src/reconstruct.rs crates/core/src/sparsify.rs crates/core/src/vertex_conn.rs
 
-/root/repo/target/debug/deps/libdgs_core-2eaa4a92146939a9.rlib: crates/core/src/lib.rs crates/core/src/boost.rs crates/core/src/edge_conn.rs crates/core/src/reconstruct.rs crates/core/src/sparsify.rs crates/core/src/vertex_conn.rs
+/root/repo/target/debug/deps/libdgs_core-2eaa4a92146939a9.rlib: crates/core/src/lib.rs crates/core/src/boost.rs crates/core/src/checkpoint.rs crates/core/src/edge_conn.rs crates/core/src/reconstruct.rs crates/core/src/sparsify.rs crates/core/src/vertex_conn.rs
 
-/root/repo/target/debug/deps/libdgs_core-2eaa4a92146939a9.rmeta: crates/core/src/lib.rs crates/core/src/boost.rs crates/core/src/edge_conn.rs crates/core/src/reconstruct.rs crates/core/src/sparsify.rs crates/core/src/vertex_conn.rs
+/root/repo/target/debug/deps/libdgs_core-2eaa4a92146939a9.rmeta: crates/core/src/lib.rs crates/core/src/boost.rs crates/core/src/checkpoint.rs crates/core/src/edge_conn.rs crates/core/src/reconstruct.rs crates/core/src/sparsify.rs crates/core/src/vertex_conn.rs
 
 crates/core/src/lib.rs:
 crates/core/src/boost.rs:
+crates/core/src/checkpoint.rs:
 crates/core/src/edge_conn.rs:
 crates/core/src/reconstruct.rs:
 crates/core/src/sparsify.rs:

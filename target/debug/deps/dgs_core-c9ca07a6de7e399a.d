@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/dgs_core-c9ca07a6de7e399a.d: crates/core/src/lib.rs crates/core/src/boost.rs crates/core/src/edge_conn.rs crates/core/src/reconstruct.rs crates/core/src/sparsify.rs crates/core/src/vertex_conn.rs
+/root/repo/target/debug/deps/dgs_core-c9ca07a6de7e399a.d: crates/core/src/lib.rs crates/core/src/boost.rs crates/core/src/checkpoint.rs crates/core/src/edge_conn.rs crates/core/src/reconstruct.rs crates/core/src/sparsify.rs crates/core/src/vertex_conn.rs
 
-/root/repo/target/debug/deps/dgs_core-c9ca07a6de7e399a: crates/core/src/lib.rs crates/core/src/boost.rs crates/core/src/edge_conn.rs crates/core/src/reconstruct.rs crates/core/src/sparsify.rs crates/core/src/vertex_conn.rs
+/root/repo/target/debug/deps/dgs_core-c9ca07a6de7e399a: crates/core/src/lib.rs crates/core/src/boost.rs crates/core/src/checkpoint.rs crates/core/src/edge_conn.rs crates/core/src/reconstruct.rs crates/core/src/sparsify.rs crates/core/src/vertex_conn.rs
 
 crates/core/src/lib.rs:
 crates/core/src/boost.rs:
+crates/core/src/checkpoint.rs:
 crates/core/src/edge_conn.rs:
 crates/core/src/reconstruct.rs:
 crates/core/src/sparsify.rs:

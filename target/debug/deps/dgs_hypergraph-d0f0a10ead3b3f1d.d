@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/dgs_hypergraph-d0f0a10ead3b3f1d.d: crates/hypergraph/src/lib.rs crates/hypergraph/src/algo/mod.rs crates/hypergraph/src/algo/components.rs crates/hypergraph/src/algo/degeneracy.rs crates/hypergraph/src/algo/dfs.rs crates/hypergraph/src/algo/dinic.rs crates/hypergraph/src/algo/gomory_hu.rs crates/hypergraph/src/algo/hyper_cut.rs crates/hypergraph/src/algo/spanning.rs crates/hypergraph/src/algo/stoer_wagner.rs crates/hypergraph/src/algo/strength.rs crates/hypergraph/src/algo/union_find.rs crates/hypergraph/src/algo/vertex_conn.rs crates/hypergraph/src/edge.rs crates/hypergraph/src/encoding.rs crates/hypergraph/src/fault.rs crates/hypergraph/src/generators/mod.rs crates/hypergraph/src/generators/degenerate.rs crates/hypergraph/src/generators/gnp.rs crates/hypergraph/src/generators/harary.rs crates/hypergraph/src/generators/hyper.rs crates/hypergraph/src/generators/planted.rs crates/hypergraph/src/generators/scale_free.rs crates/hypergraph/src/generators/streams.rs crates/hypergraph/src/graph.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/stream.rs
+/root/repo/target/debug/deps/dgs_hypergraph-d0f0a10ead3b3f1d.d: crates/hypergraph/src/lib.rs crates/hypergraph/src/algo/mod.rs crates/hypergraph/src/algo/components.rs crates/hypergraph/src/algo/degeneracy.rs crates/hypergraph/src/algo/dfs.rs crates/hypergraph/src/algo/dinic.rs crates/hypergraph/src/algo/gomory_hu.rs crates/hypergraph/src/algo/hyper_cut.rs crates/hypergraph/src/algo/spanning.rs crates/hypergraph/src/algo/stoer_wagner.rs crates/hypergraph/src/algo/strength.rs crates/hypergraph/src/algo/union_find.rs crates/hypergraph/src/algo/vertex_conn.rs crates/hypergraph/src/edge.rs crates/hypergraph/src/encoding.rs crates/hypergraph/src/fault.rs crates/hypergraph/src/generators/mod.rs crates/hypergraph/src/generators/degenerate.rs crates/hypergraph/src/generators/gnp.rs crates/hypergraph/src/generators/harary.rs crates/hypergraph/src/generators/hyper.rs crates/hypergraph/src/generators/planted.rs crates/hypergraph/src/generators/scale_free.rs crates/hypergraph/src/generators/streams.rs crates/hypergraph/src/graph.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/stream.rs crates/hypergraph/src/wal.rs
 
-/root/repo/target/debug/deps/libdgs_hypergraph-d0f0a10ead3b3f1d.rlib: crates/hypergraph/src/lib.rs crates/hypergraph/src/algo/mod.rs crates/hypergraph/src/algo/components.rs crates/hypergraph/src/algo/degeneracy.rs crates/hypergraph/src/algo/dfs.rs crates/hypergraph/src/algo/dinic.rs crates/hypergraph/src/algo/gomory_hu.rs crates/hypergraph/src/algo/hyper_cut.rs crates/hypergraph/src/algo/spanning.rs crates/hypergraph/src/algo/stoer_wagner.rs crates/hypergraph/src/algo/strength.rs crates/hypergraph/src/algo/union_find.rs crates/hypergraph/src/algo/vertex_conn.rs crates/hypergraph/src/edge.rs crates/hypergraph/src/encoding.rs crates/hypergraph/src/fault.rs crates/hypergraph/src/generators/mod.rs crates/hypergraph/src/generators/degenerate.rs crates/hypergraph/src/generators/gnp.rs crates/hypergraph/src/generators/harary.rs crates/hypergraph/src/generators/hyper.rs crates/hypergraph/src/generators/planted.rs crates/hypergraph/src/generators/scale_free.rs crates/hypergraph/src/generators/streams.rs crates/hypergraph/src/graph.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/stream.rs
+/root/repo/target/debug/deps/libdgs_hypergraph-d0f0a10ead3b3f1d.rlib: crates/hypergraph/src/lib.rs crates/hypergraph/src/algo/mod.rs crates/hypergraph/src/algo/components.rs crates/hypergraph/src/algo/degeneracy.rs crates/hypergraph/src/algo/dfs.rs crates/hypergraph/src/algo/dinic.rs crates/hypergraph/src/algo/gomory_hu.rs crates/hypergraph/src/algo/hyper_cut.rs crates/hypergraph/src/algo/spanning.rs crates/hypergraph/src/algo/stoer_wagner.rs crates/hypergraph/src/algo/strength.rs crates/hypergraph/src/algo/union_find.rs crates/hypergraph/src/algo/vertex_conn.rs crates/hypergraph/src/edge.rs crates/hypergraph/src/encoding.rs crates/hypergraph/src/fault.rs crates/hypergraph/src/generators/mod.rs crates/hypergraph/src/generators/degenerate.rs crates/hypergraph/src/generators/gnp.rs crates/hypergraph/src/generators/harary.rs crates/hypergraph/src/generators/hyper.rs crates/hypergraph/src/generators/planted.rs crates/hypergraph/src/generators/scale_free.rs crates/hypergraph/src/generators/streams.rs crates/hypergraph/src/graph.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/stream.rs crates/hypergraph/src/wal.rs
 
-/root/repo/target/debug/deps/libdgs_hypergraph-d0f0a10ead3b3f1d.rmeta: crates/hypergraph/src/lib.rs crates/hypergraph/src/algo/mod.rs crates/hypergraph/src/algo/components.rs crates/hypergraph/src/algo/degeneracy.rs crates/hypergraph/src/algo/dfs.rs crates/hypergraph/src/algo/dinic.rs crates/hypergraph/src/algo/gomory_hu.rs crates/hypergraph/src/algo/hyper_cut.rs crates/hypergraph/src/algo/spanning.rs crates/hypergraph/src/algo/stoer_wagner.rs crates/hypergraph/src/algo/strength.rs crates/hypergraph/src/algo/union_find.rs crates/hypergraph/src/algo/vertex_conn.rs crates/hypergraph/src/edge.rs crates/hypergraph/src/encoding.rs crates/hypergraph/src/fault.rs crates/hypergraph/src/generators/mod.rs crates/hypergraph/src/generators/degenerate.rs crates/hypergraph/src/generators/gnp.rs crates/hypergraph/src/generators/harary.rs crates/hypergraph/src/generators/hyper.rs crates/hypergraph/src/generators/planted.rs crates/hypergraph/src/generators/scale_free.rs crates/hypergraph/src/generators/streams.rs crates/hypergraph/src/graph.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/stream.rs
+/root/repo/target/debug/deps/libdgs_hypergraph-d0f0a10ead3b3f1d.rmeta: crates/hypergraph/src/lib.rs crates/hypergraph/src/algo/mod.rs crates/hypergraph/src/algo/components.rs crates/hypergraph/src/algo/degeneracy.rs crates/hypergraph/src/algo/dfs.rs crates/hypergraph/src/algo/dinic.rs crates/hypergraph/src/algo/gomory_hu.rs crates/hypergraph/src/algo/hyper_cut.rs crates/hypergraph/src/algo/spanning.rs crates/hypergraph/src/algo/stoer_wagner.rs crates/hypergraph/src/algo/strength.rs crates/hypergraph/src/algo/union_find.rs crates/hypergraph/src/algo/vertex_conn.rs crates/hypergraph/src/edge.rs crates/hypergraph/src/encoding.rs crates/hypergraph/src/fault.rs crates/hypergraph/src/generators/mod.rs crates/hypergraph/src/generators/degenerate.rs crates/hypergraph/src/generators/gnp.rs crates/hypergraph/src/generators/harary.rs crates/hypergraph/src/generators/hyper.rs crates/hypergraph/src/generators/planted.rs crates/hypergraph/src/generators/scale_free.rs crates/hypergraph/src/generators/streams.rs crates/hypergraph/src/graph.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/stream.rs crates/hypergraph/src/wal.rs
 
 crates/hypergraph/src/lib.rs:
 crates/hypergraph/src/algo/mod.rs:
@@ -32,3 +32,4 @@ crates/hypergraph/src/graph.rs:
 crates/hypergraph/src/hypergraph.rs:
 crates/hypergraph/src/io.rs:
 crates/hypergraph/src/stream.rs:
+crates/hypergraph/src/wal.rs:

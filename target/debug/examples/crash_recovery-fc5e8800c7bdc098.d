@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_recovery-fc5e8800c7bdc098.d: examples/crash_recovery.rs
+
+/root/repo/target/debug/examples/crash_recovery-fc5e8800c7bdc098: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

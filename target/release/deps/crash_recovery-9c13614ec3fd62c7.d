@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/crash_recovery-9c13614ec3fd62c7.d: tests/crash_recovery.rs Cargo.toml
+
+/root/repo/target/release/deps/libcrash_recovery-9c13614ec3fd62c7.rmeta: tests/crash_recovery.rs Cargo.toml
+
+tests/crash_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

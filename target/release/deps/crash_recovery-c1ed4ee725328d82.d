@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crash_recovery-c1ed4ee725328d82.d: tests/crash_recovery.rs
+
+/root/repo/target/release/deps/crash_recovery-c1ed4ee725328d82: tests/crash_recovery.rs
+
+tests/crash_recovery.rs:

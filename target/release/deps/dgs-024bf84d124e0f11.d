@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dgs-024bf84d124e0f11.d: src/bin/dgs.rs Cargo.toml
+
+/root/repo/target/release/deps/libdgs-024bf84d124e0f11.rmeta: src/bin/dgs.rs Cargo.toml
+
+src/bin/dgs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/dgs_baselines-8c524de44fe25e68.d: crates/baselines/src/lib.rs crates/baselines/src/becker.rs crates/baselines/src/bk_sparsifier.rs crates/baselines/src/eppstein.rs crates/baselines/src/indexing.rs crates/baselines/src/kogan_krauthgamer.rs crates/baselines/src/offline_light.rs crates/baselines/src/sfst.rs crates/baselines/src/store_all.rs Cargo.toml
+
+/root/repo/target/release/deps/libdgs_baselines-8c524de44fe25e68.rmeta: crates/baselines/src/lib.rs crates/baselines/src/becker.rs crates/baselines/src/bk_sparsifier.rs crates/baselines/src/eppstein.rs crates/baselines/src/indexing.rs crates/baselines/src/kogan_krauthgamer.rs crates/baselines/src/offline_light.rs crates/baselines/src/sfst.rs crates/baselines/src/store_all.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/becker.rs:
+crates/baselines/src/bk_sparsifier.rs:
+crates/baselines/src/eppstein.rs:
+crates/baselines/src/indexing.rs:
+crates/baselines/src/kogan_krauthgamer.rs:
+crates/baselines/src/offline_light.rs:
+crates/baselines/src/sfst.rs:
+crates/baselines/src/store_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

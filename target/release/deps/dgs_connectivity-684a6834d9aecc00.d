@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dgs_connectivity-684a6834d9aecc00.d: crates/connectivity/src/lib.rs crates/connectivity/src/bipartite.rs crates/connectivity/src/forest.rs crates/connectivity/src/player.rs crates/connectivity/src/skeleton.rs crates/connectivity/src/vector.rs Cargo.toml
+
+/root/repo/target/release/deps/libdgs_connectivity-684a6834d9aecc00.rmeta: crates/connectivity/src/lib.rs crates/connectivity/src/bipartite.rs crates/connectivity/src/forest.rs crates/connectivity/src/player.rs crates/connectivity/src/skeleton.rs crates/connectivity/src/vector.rs Cargo.toml
+
+crates/connectivity/src/lib.rs:
+crates/connectivity/src/bipartite.rs:
+crates/connectivity/src/forest.rs:
+crates/connectivity/src/player.rs:
+crates/connectivity/src/skeleton.rs:
+crates/connectivity/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dgs_core-02f6d9647a964d07.d: crates/core/src/lib.rs crates/core/src/boost.rs crates/core/src/checkpoint.rs crates/core/src/edge_conn.rs crates/core/src/reconstruct.rs crates/core/src/sparsify.rs crates/core/src/vertex_conn.rs Cargo.toml
+
+/root/repo/target/release/deps/libdgs_core-02f6d9647a964d07.rmeta: crates/core/src/lib.rs crates/core/src/boost.rs crates/core/src/checkpoint.rs crates/core/src/edge_conn.rs crates/core/src/reconstruct.rs crates/core/src/sparsify.rs crates/core/src/vertex_conn.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/boost.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/edge_conn.rs:
+crates/core/src/reconstruct.rs:
+crates/core/src/sparsify.rs:
+crates/core/src/vertex_conn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

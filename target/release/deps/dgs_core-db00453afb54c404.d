@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/dgs_core-db00453afb54c404.d: crates/core/src/lib.rs crates/core/src/boost.rs crates/core/src/edge_conn.rs crates/core/src/reconstruct.rs crates/core/src/sparsify.rs crates/core/src/vertex_conn.rs
+/root/repo/target/release/deps/dgs_core-db00453afb54c404.d: crates/core/src/lib.rs crates/core/src/boost.rs crates/core/src/checkpoint.rs crates/core/src/edge_conn.rs crates/core/src/reconstruct.rs crates/core/src/sparsify.rs crates/core/src/vertex_conn.rs
 
-/root/repo/target/release/deps/libdgs_core-db00453afb54c404.rlib: crates/core/src/lib.rs crates/core/src/boost.rs crates/core/src/edge_conn.rs crates/core/src/reconstruct.rs crates/core/src/sparsify.rs crates/core/src/vertex_conn.rs
+/root/repo/target/release/deps/libdgs_core-db00453afb54c404.rlib: crates/core/src/lib.rs crates/core/src/boost.rs crates/core/src/checkpoint.rs crates/core/src/edge_conn.rs crates/core/src/reconstruct.rs crates/core/src/sparsify.rs crates/core/src/vertex_conn.rs
 
-/root/repo/target/release/deps/libdgs_core-db00453afb54c404.rmeta: crates/core/src/lib.rs crates/core/src/boost.rs crates/core/src/edge_conn.rs crates/core/src/reconstruct.rs crates/core/src/sparsify.rs crates/core/src/vertex_conn.rs
+/root/repo/target/release/deps/libdgs_core-db00453afb54c404.rmeta: crates/core/src/lib.rs crates/core/src/boost.rs crates/core/src/checkpoint.rs crates/core/src/edge_conn.rs crates/core/src/reconstruct.rs crates/core/src/sparsify.rs crates/core/src/vertex_conn.rs
 
 crates/core/src/lib.rs:
 crates/core/src/boost.rs:
+crates/core/src/checkpoint.rs:
 crates/core/src/edge_conn.rs:
 crates/core/src/reconstruct.rs:
 crates/core/src/sparsify.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dgs_field-3687e3950a5c37f1.d: crates/field/src/lib.rs crates/field/src/codec.rs crates/field/src/fingerprint.rs crates/field/src/fp61.rs crates/field/src/hash.rs crates/field/src/prng.rs crates/field/src/seed.rs Cargo.toml
+
+/root/repo/target/release/deps/libdgs_field-3687e3950a5c37f1.rmeta: crates/field/src/lib.rs crates/field/src/codec.rs crates/field/src/fingerprint.rs crates/field/src/fp61.rs crates/field/src/hash.rs crates/field/src/prng.rs crates/field/src/seed.rs Cargo.toml
+
+crates/field/src/lib.rs:
+crates/field/src/codec.rs:
+crates/field/src/fingerprint.rs:
+crates/field/src/fp61.rs:
+crates/field/src/hash.rs:
+crates/field/src/prng.rs:
+crates/field/src/seed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

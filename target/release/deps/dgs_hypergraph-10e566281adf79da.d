@@ -1,0 +1,37 @@
+/root/repo/target/release/deps/dgs_hypergraph-10e566281adf79da.d: crates/hypergraph/src/lib.rs crates/hypergraph/src/algo/mod.rs crates/hypergraph/src/algo/components.rs crates/hypergraph/src/algo/degeneracy.rs crates/hypergraph/src/algo/dfs.rs crates/hypergraph/src/algo/dinic.rs crates/hypergraph/src/algo/gomory_hu.rs crates/hypergraph/src/algo/hyper_cut.rs crates/hypergraph/src/algo/spanning.rs crates/hypergraph/src/algo/stoer_wagner.rs crates/hypergraph/src/algo/strength.rs crates/hypergraph/src/algo/union_find.rs crates/hypergraph/src/algo/vertex_conn.rs crates/hypergraph/src/edge.rs crates/hypergraph/src/encoding.rs crates/hypergraph/src/fault.rs crates/hypergraph/src/generators/mod.rs crates/hypergraph/src/generators/degenerate.rs crates/hypergraph/src/generators/gnp.rs crates/hypergraph/src/generators/harary.rs crates/hypergraph/src/generators/hyper.rs crates/hypergraph/src/generators/planted.rs crates/hypergraph/src/generators/scale_free.rs crates/hypergraph/src/generators/streams.rs crates/hypergraph/src/graph.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/stream.rs crates/hypergraph/src/wal.rs Cargo.toml
+
+/root/repo/target/release/deps/libdgs_hypergraph-10e566281adf79da.rmeta: crates/hypergraph/src/lib.rs crates/hypergraph/src/algo/mod.rs crates/hypergraph/src/algo/components.rs crates/hypergraph/src/algo/degeneracy.rs crates/hypergraph/src/algo/dfs.rs crates/hypergraph/src/algo/dinic.rs crates/hypergraph/src/algo/gomory_hu.rs crates/hypergraph/src/algo/hyper_cut.rs crates/hypergraph/src/algo/spanning.rs crates/hypergraph/src/algo/stoer_wagner.rs crates/hypergraph/src/algo/strength.rs crates/hypergraph/src/algo/union_find.rs crates/hypergraph/src/algo/vertex_conn.rs crates/hypergraph/src/edge.rs crates/hypergraph/src/encoding.rs crates/hypergraph/src/fault.rs crates/hypergraph/src/generators/mod.rs crates/hypergraph/src/generators/degenerate.rs crates/hypergraph/src/generators/gnp.rs crates/hypergraph/src/generators/harary.rs crates/hypergraph/src/generators/hyper.rs crates/hypergraph/src/generators/planted.rs crates/hypergraph/src/generators/scale_free.rs crates/hypergraph/src/generators/streams.rs crates/hypergraph/src/graph.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/stream.rs crates/hypergraph/src/wal.rs Cargo.toml
+
+crates/hypergraph/src/lib.rs:
+crates/hypergraph/src/algo/mod.rs:
+crates/hypergraph/src/algo/components.rs:
+crates/hypergraph/src/algo/degeneracy.rs:
+crates/hypergraph/src/algo/dfs.rs:
+crates/hypergraph/src/algo/dinic.rs:
+crates/hypergraph/src/algo/gomory_hu.rs:
+crates/hypergraph/src/algo/hyper_cut.rs:
+crates/hypergraph/src/algo/spanning.rs:
+crates/hypergraph/src/algo/stoer_wagner.rs:
+crates/hypergraph/src/algo/strength.rs:
+crates/hypergraph/src/algo/union_find.rs:
+crates/hypergraph/src/algo/vertex_conn.rs:
+crates/hypergraph/src/edge.rs:
+crates/hypergraph/src/encoding.rs:
+crates/hypergraph/src/fault.rs:
+crates/hypergraph/src/generators/mod.rs:
+crates/hypergraph/src/generators/degenerate.rs:
+crates/hypergraph/src/generators/gnp.rs:
+crates/hypergraph/src/generators/harary.rs:
+crates/hypergraph/src/generators/hyper.rs:
+crates/hypergraph/src/generators/planted.rs:
+crates/hypergraph/src/generators/scale_free.rs:
+crates/hypergraph/src/generators/streams.rs:
+crates/hypergraph/src/graph.rs:
+crates/hypergraph/src/hypergraph.rs:
+crates/hypergraph/src/io.rs:
+crates/hypergraph/src/stream.rs:
+crates/hypergraph/src/wal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dgs_sketch-aab7e65985067f36.d: crates/sketch/src/lib.rs crates/sketch/src/error.rs crates/sketch/src/l0.rs crates/sketch/src/one_sparse.rs crates/sketch/src/params.rs crates/sketch/src/sparse_recovery.rs Cargo.toml
+
+/root/repo/target/release/deps/libdgs_sketch-aab7e65985067f36.rmeta: crates/sketch/src/lib.rs crates/sketch/src/error.rs crates/sketch/src/l0.rs crates/sketch/src/one_sparse.rs crates/sketch/src/params.rs crates/sketch/src/sparse_recovery.rs Cargo.toml
+
+crates/sketch/src/lib.rs:
+crates/sketch/src/error.rs:
+crates/sketch/src/l0.rs:
+crates/sketch/src/one_sparse.rs:
+crates/sketch/src/params.rs:
+crates/sketch/src/sparse_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/distributed_model-4a55c2e5f79ee5cb.d: tests/distributed_model.rs Cargo.toml
+
+/root/repo/target/release/deps/libdistributed_model-4a55c2e5f79ee5cb.rmeta: tests/distributed_model.rs Cargo.toml
+
+tests/distributed_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

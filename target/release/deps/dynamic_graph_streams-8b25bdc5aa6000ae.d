@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dynamic_graph_streams-8b25bdc5aa6000ae.d: src/lib.rs src/parallel.rs Cargo.toml
+
+/root/repo/target/release/deps/libdynamic_graph_streams-8b25bdc5aa6000ae.rmeta: src/lib.rs src/parallel.rs Cargo.toml
+
+src/lib.rs:
+src/parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/persistence-d8476fe1d29d568e.d: tests/persistence.rs Cargo.toml
+
+/root/repo/target/release/deps/libpersistence-d8476fe1d29d568e.rmeta: tests/persistence.rs Cargo.toml
+
+tests/persistence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/property_invariants-d59147c42cb90b8e.d: tests/property_invariants.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperty_invariants-d59147c42cb90b8e.rmeta: tests/property_invariants.rs Cargo.toml
+
+tests/property_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rank4_and_multiplicity-cfb7d37f7bae2553.d: tests/rank4_and_multiplicity.rs Cargo.toml
+
+/root/repo/target/release/deps/librank4_and_multiplicity-cfb7d37f7bae2553.rmeta: tests/rank4_and_multiplicity.rs Cargo.toml
+
+tests/rank4_and_multiplicity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

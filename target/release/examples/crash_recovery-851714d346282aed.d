@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/crash_recovery-851714d346282aed.d: examples/crash_recovery.rs
+
+/root/repo/target/release/examples/crash_recovery-851714d346282aed: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

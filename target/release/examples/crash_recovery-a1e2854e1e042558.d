@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/crash_recovery-a1e2854e1e042558.d: examples/crash_recovery.rs Cargo.toml
+
+/root/repo/target/release/examples/libcrash_recovery-a1e2854e1e042558.rmeta: examples/crash_recovery.rs Cargo.toml
+
+examples/crash_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/cut_monitoring-6fbbb6bfdf95c3f3.d: examples/cut_monitoring.rs Cargo.toml
+
+/root/repo/target/release/examples/libcut_monitoring-6fbbb6bfdf95c3f3.rmeta: examples/cut_monitoring.rs Cargo.toml
+
+examples/cut_monitoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/distributed_players-fcc02feee02dbb9f.d: examples/distributed_players.rs Cargo.toml
+
+/root/repo/target/release/examples/libdistributed_players-fcc02feee02dbb9f.rmeta: examples/distributed_players.rs Cargo.toml
+
+examples/distributed_players.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

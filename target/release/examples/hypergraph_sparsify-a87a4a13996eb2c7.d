@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/hypergraph_sparsify-a87a4a13996eb2c7.d: examples/hypergraph_sparsify.rs Cargo.toml
+
+/root/repo/target/release/examples/libhypergraph_sparsify-a87a4a13996eb2c7.rmeta: examples/hypergraph_sparsify.rs Cargo.toml
+
+examples/hypergraph_sparsify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/network_resilience-de0cd39342fd15c8.d: examples/network_resilience.rs Cargo.toml
+
+/root/repo/target/release/examples/libnetwork_resilience-de0cd39342fd15c8.rmeta: examples/network_resilience.rs Cargo.toml
+
+examples/network_resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/reconstruction-38c0fab737bda779.d: examples/reconstruction.rs Cargo.toml
+
+/root/repo/target/release/examples/libreconstruction-38c0fab737bda779.rmeta: examples/reconstruction.rs Cargo.toml
+
+examples/reconstruction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,524 @@
+//! Crash-injection harness for the checkpoint/recovery subsystem.
+//!
+//! The contract under test (DESIGN.md, "Durability & recovery"): kill
+//! ingestion at an arbitrary update index, corrupt the on-disk state with
+//! torn writes and bit flips, and recovery either reproduces a sketch
+//! **bit-identical** to an uninterrupted run over the durable prefix — so
+//! every connectivity / k-connectivity query answers identically — or
+//! fails with a typed [`RecoveryError`]. Never a panic, never a silently
+//! divergent answer.
+
+use std::fs;
+use std::path::PathBuf;
+
+use dynamic_graph_streams::prelude::*;
+
+use dgs_field::Codec;
+use dgs_hypergraph::fault::{truncated, with_bit_flipped};
+use dgs_hypergraph::generators;
+
+fn tmpdir(label: &str) -> PathBuf {
+    static UNIQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "dgs-crash-{label}-{}-{}",
+        std::process::id(),
+        UNIQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A churn workload (inserts and deletes) over a random graph.
+fn workload(seed: u64, n: usize) -> UpdateStream {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let h = Hypergraph::from_graph(&generators::gnp(n, 0.3, &mut rng));
+    generators::churn_stream(&h, generators::ChurnConfig::default(), &mut rng)
+}
+
+fn forest(n: usize, seed: u64) -> SpanningForestSketch {
+    let space = EdgeSpace::graph(n).unwrap();
+    let params = ForestParams::new(Profile::Practical, space.dimension());
+    SpanningForestSketch::new_full(space, &SeedTree::new(seed), params)
+}
+
+fn vconn(n: usize, seed: u64) -> VertexConnSketch {
+    let space = EdgeSpace::graph(n).unwrap();
+    let params = ForestParams::new(Profile::Practical, space.dimension());
+    let cfg = VertexConnConfig::explicit(2, 4, params);
+    VertexConnSketch::new(space, cfg, &SeedTree::new(seed))
+}
+
+fn encoded<T: Codec>(t: &T) -> Vec<u8> {
+    let mut w = dgs_field::Writer::new();
+    t.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Small segments and frequent snapshots so every trial crosses rotations
+/// and checkpoints.
+fn tight_cfg(seed: u64) -> CheckpointConfig {
+    CheckpointConfig {
+        wal: WalConfig {
+            segment_records: 16,
+            seed,
+        },
+        snapshot_interval: 23,
+        snapshot_seed: seed,
+    }
+}
+
+/// Runs ingestion of `updates[..crash_at]`, "crashes" (drops the ingestor
+/// without sealing), and returns the recovery outcome.
+fn crash_and_recover<T: Recoverable>(
+    wal_dir: &PathBuf,
+    snap_dir: &PathBuf,
+    stream: &UpdateStream,
+    crash_at: usize,
+    cfg: CheckpointConfig,
+    mut fresh: impl FnMut() -> T,
+) -> Recovered<T> {
+    let mut ing =
+        CheckpointedIngestor::create(wal_dir, snap_dir, stream.n, stream.max_rank, cfg, fresh())
+            .unwrap();
+    for u in &stream.updates[..crash_at] {
+        ing.ingest(u).unwrap();
+    }
+    drop(ing); // crash: no seal, no final snapshot
+
+    let store = CheckpointStore::open(snap_dir, cfg.snapshot_seed).unwrap();
+    RecoveryDriver::new(wal_dir, store)
+        .recover(|_, _| fresh())
+        .unwrap()
+}
+
+#[test]
+fn crash_at_randomized_indices_recovers_bit_identical_state() {
+    for trial in 0..12u64 {
+        let stream = workload(500 + trial, 14);
+        let mut rng = StdRng::seed_from_u64(900 + trial);
+        let crash_at = rng.gen_range(1..=stream.len());
+        let (wal_dir, snap_dir) = (tmpdir("idx-wal"), tmpdir("idx-snap"));
+        let rec = crash_and_recover(
+            &wal_dir,
+            &snap_dir,
+            &stream,
+            crash_at,
+            tight_cfg(trial),
+            || forest(stream.n, 7 * trial + 1),
+        );
+        assert_eq!(rec.offset as usize, crash_at, "trial {trial}");
+        assert_eq!(rec.wal_torn_bytes, 0, "no corruption was injected");
+
+        // Bit-exactness against an uninterrupted run over the same prefix.
+        let mut reference = forest(stream.n, 7 * trial + 1);
+        for u in &stream.updates[..crash_at] {
+            reference.apply_update(u).unwrap();
+        }
+        assert_eq!(
+            encoded(&rec.sketch),
+            encoded(&reference),
+            "trial {trial}: recovered sketch diverges from uninterrupted run"
+        );
+
+        // Finish the stream on both; every query must agree.
+        let mut recovered = rec.sketch;
+        for u in &stream.updates[crash_at..] {
+            recovered.apply_update(u).unwrap();
+            reference.apply_update(u).unwrap();
+        }
+        assert_eq!(
+            recovered.try_component_count().ok(),
+            reference.try_component_count().ok()
+        );
+        assert_eq!(encoded(&recovered), encoded(&reference));
+        fs::remove_dir_all(&wal_dir).unwrap();
+        fs::remove_dir_all(&snap_dir).unwrap();
+    }
+}
+
+#[test]
+fn torn_writes_and_bit_flips_in_the_wal_tail_recover_a_prefix() {
+    for trial in 0..10u64 {
+        let stream = workload(700 + trial, 12);
+        let mut rng = StdRng::seed_from_u64(1700 + trial);
+        let crash_at = rng.gen_range(8..=stream.len());
+        let (wal_dir, snap_dir) = (tmpdir("tear-wal"), tmpdir("tear-snap"));
+        let cfg = tight_cfg(trial);
+        let mut ing = CheckpointedIngestor::create(
+            &wal_dir,
+            &snap_dir,
+            stream.n,
+            stream.max_rank,
+            cfg,
+            forest(stream.n, trial),
+        )
+        .unwrap();
+        for u in &stream.updates[..crash_at] {
+            ing.ingest(u).unwrap();
+        }
+        let seg = crash_at / cfg.wal.segment_records as usize;
+        drop(ing);
+
+        // Injected fault: tear bytes off the active segment, or flip a bit
+        // in its record region.
+        let seg_path = wal_dir.join(format!("seg-{seg:08}.wal"));
+        let bytes = fs::read(&seg_path).unwrap();
+        if trial % 2 == 0 && bytes.len() > 4 {
+            let cut = rng.gen_range(1..bytes.len());
+            fs::write(&seg_path, truncated(&bytes, cut)).unwrap();
+        } else {
+            let bit = rng.gen_range(0..bytes.len() * 8);
+            fs::write(&seg_path, with_bit_flipped(&bytes, bit)).unwrap();
+        }
+
+        let store = CheckpointStore::open(&snap_dir, cfg.snapshot_seed).unwrap();
+        let driver = RecoveryDriver::new(&wal_dir, store);
+        match driver.recover(|_, _| forest(stream.n, trial)) {
+            Ok(rec) => {
+                // Whatever prefix survived must be *exactly* that prefix.
+                let r = rec.offset as usize;
+                assert!(r <= crash_at, "trial {trial}: recovered beyond the crash");
+                let mut reference = forest(stream.n, trial);
+                for u in &stream.updates[..r] {
+                    reference.apply_update(u).unwrap();
+                }
+                assert_eq!(
+                    encoded(&rec.sketch),
+                    encoded(&reference),
+                    "trial {trial}: prefix at offset {r} not exact"
+                );
+            }
+            // A flip in a sealed region (or segment 0's header) is damage
+            // beyond the torn tail: a typed error, never a panic.
+            Err(RecoveryError::Wal(WalError::Corrupt { .. })) => {}
+            Err(e) => panic!("trial {trial}: unexpected recovery error {e}"),
+        }
+        fs::remove_dir_all(&wal_dir).unwrap();
+        fs::remove_dir_all(&snap_dir).unwrap();
+    }
+}
+
+#[test]
+fn vertex_connectivity_queries_answer_identically_after_recovery() {
+    for trial in 0..4u64 {
+        let n = 12;
+        let stream = workload(40 + trial, n);
+        let mut rng = StdRng::seed_from_u64(2400 + trial);
+        let crash_at = rng.gen_range(1..=stream.len());
+        let (wal_dir, snap_dir) = (tmpdir("vc-wal"), tmpdir("vc-snap"));
+        let rec = crash_and_recover(
+            &wal_dir,
+            &snap_dir,
+            &stream,
+            crash_at,
+            tight_cfg(100 + trial),
+            || vconn(n, 13 * trial + 5),
+        );
+        assert_eq!(rec.offset as usize, crash_at);
+
+        let mut reference = vconn(n, 13 * trial + 5);
+        for u in &stream.updates[..crash_at] {
+            reference.apply_update(u).unwrap();
+        }
+        let mut recovered = rec.sketch;
+        for u in &stream.updates[crash_at..] {
+            recovered.apply_update(u).unwrap();
+            reference.apply_update(u).unwrap();
+        }
+
+        // Every k-connectivity query: identical certificates or identical
+        // typed failures.
+        match (reference.try_certificate(), recovered.try_certificate()) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(
+                    a.vertex_connectivity(4),
+                    b.vertex_connectivity(4),
+                    "trial {trial}"
+                );
+                for v in 0..n as u32 {
+                    assert_eq!(a.disconnects(&[v]), b.disconnects(&[v]), "trial {trial}");
+                }
+                for (u, v) in [(0u32, 1u32), (2, 7), (3, 11), (5, 6)] {
+                    assert_eq!(a.disconnects(&[u, v]), b.disconnects(&[u, v]));
+                }
+            }
+            (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => panic!(
+                "trial {trial}: certificate availability diverged: \
+                 reference {:?} vs recovered {:?}",
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+        fs::remove_dir_all(&wal_dir).unwrap();
+        fs::remove_dir_all(&snap_dir).unwrap();
+    }
+}
+
+#[test]
+fn snapshot_bit_flips_are_skipped_never_trusted() {
+    // Property: flipping any random bit of any snapshot file makes that
+    // snapshot invalid; the ladder falls back (older snapshot or full
+    // replay) and still recovers the exact durable prefix.
+    let stream = workload(31, 12);
+    let (wal_dir, snap_dir) = (tmpdir("flip-wal"), tmpdir("flip-snap"));
+    let cfg = tight_cfg(9);
+    let mut ing = CheckpointedIngestor::create(
+        &wal_dir,
+        &snap_dir,
+        stream.n,
+        stream.max_rank,
+        cfg,
+        forest(stream.n, 3),
+    )
+    .unwrap();
+    for u in &stream.updates {
+        ing.ingest(u).unwrap();
+    }
+    drop(ing);
+
+    let mut reference = forest(stream.n, 3);
+    for u in &stream.updates {
+        reference.apply_update(u).unwrap();
+    }
+    let reference_bytes = encoded(&reference);
+
+    let store = CheckpointStore::open(&snap_dir, cfg.snapshot_seed).unwrap();
+    let snaps = store.offsets().unwrap();
+    assert!(
+        snaps.len() >= 2,
+        "workload too small to exercise the ladder"
+    );
+    let mut rng = StdRng::seed_from_u64(77);
+    for round in 0..24 {
+        // Corrupt one random snapshot (keep the pristine bytes to restore).
+        let victim = snaps[rng.gen_range(0..snaps.len())];
+        let path = snap_dir.join(format!("snap-{victim:012}.ckpt"));
+        let pristine = fs::read(&path).unwrap();
+        let bit = rng.gen_range(0..pristine.len() * 8);
+        fs::write(&path, with_bit_flipped(&pristine, bit)).unwrap();
+
+        let driver = RecoveryDriver::new(&wal_dir, store.clone());
+        let rec: Recovered<SpanningForestSketch> =
+            driver.recover(|_, _| forest(stream.n, 3)).unwrap();
+        assert_eq!(rec.offset as usize, stream.len(), "round {round}");
+        assert_ne!(
+            rec.from_snapshot,
+            Some(victim),
+            "round {round}: a corrupted snapshot was trusted (bit {bit})"
+        );
+        assert!(
+            !rec.snapshot_defects.is_empty() || rec.from_snapshot != Some(victim),
+            "round {round}"
+        );
+        assert_eq!(
+            encoded(&rec.sketch),
+            reference_bytes,
+            "round {round}: silent divergence after snapshot corruption"
+        );
+        fs::write(&path, pristine).unwrap();
+    }
+
+    // All snapshots corrupted at once: full-log replay, still exact.
+    for &off in &snaps {
+        let path = snap_dir.join(format!("snap-{off:012}.ckpt"));
+        let bytes = fs::read(&path).unwrap();
+        let bit = rng.gen_range(0..bytes.len() * 8);
+        fs::write(&path, with_bit_flipped(&bytes, bit)).unwrap();
+    }
+    let driver = RecoveryDriver::new(&wal_dir, store.clone());
+    let rec: Recovered<SpanningForestSketch> = driver.recover(|_, _| forest(stream.n, 3)).unwrap();
+    assert_eq!(rec.from_snapshot, None);
+    assert_eq!(rec.snapshot_defects.len(), snaps.len());
+    assert_eq!(encoded(&rec.sketch), reference_bytes);
+    fs::remove_dir_all(&wal_dir).unwrap();
+    fs::remove_dir_all(&snap_dir).unwrap();
+}
+
+#[test]
+fn snapshot_truncated_at_every_byte_never_panics_never_lies() {
+    // Property: truncate the only snapshot at every byte offset; recovery
+    // must fall back to full-log replay and still be exact, at every cut.
+    let stream = workload(32, 10);
+    let (wal_dir, snap_dir) = (tmpdir("cut-wal"), tmpdir("cut-snap"));
+    let cfg = CheckpointConfig {
+        wal: WalConfig {
+            segment_records: 64,
+            seed: 5,
+        },
+        snapshot_interval: u64::MAX,
+        snapshot_seed: 5,
+    };
+    let mut ing = CheckpointedIngestor::create(
+        &wal_dir,
+        &snap_dir,
+        stream.n,
+        stream.max_rank,
+        cfg,
+        forest(stream.n, 11),
+    )
+    .unwrap();
+    for u in &stream.updates {
+        ing.ingest(u).unwrap();
+    }
+    ing.checkpoint_now().unwrap();
+    drop(ing);
+
+    let mut reference = forest(stream.n, 11);
+    for u in &stream.updates {
+        reference.apply_update(u).unwrap();
+    }
+    let reference_bytes = encoded(&reference);
+
+    let store = CheckpointStore::open(&snap_dir, cfg.snapshot_seed).unwrap();
+    let off = store.offsets().unwrap()[0];
+    let path = snap_dir.join(format!("snap-{off:012}.ckpt"));
+    let pristine = fs::read(&path).unwrap();
+    // Every byte of the magic + manifest frame region, then a stride
+    // through the (much larger) sketch payload.
+    let header_region = 64.min(pristine.len());
+    let cuts = (0..header_region)
+        .chain((header_region..pristine.len()).step_by(97))
+        .chain([pristine.len() - 1]);
+    for cut in cuts {
+        fs::write(&path, truncated(&pristine, cut)).unwrap();
+        let driver = RecoveryDriver::new(&wal_dir, store.clone());
+        let rec: Recovered<SpanningForestSketch> =
+            driver.recover(|_, _| forest(stream.n, 11)).unwrap();
+        assert_eq!(
+            rec.from_snapshot, None,
+            "cut {cut}: truncated snapshot used"
+        );
+        assert_eq!(
+            encoded(&rec.sketch),
+            reference_bytes,
+            "cut {cut}: silent divergence"
+        );
+    }
+    fs::remove_dir_all(&wal_dir).unwrap();
+    fs::remove_dir_all(&snap_dir).unwrap();
+}
+
+#[test]
+fn wal_truncated_at_every_byte_recovers_a_prefix_or_fails_typed() {
+    // Property: truncate a single-segment WAL at every byte offset.
+    // Recovery (no snapshots) must yield an exact prefix of the stream or
+    // a typed error — every cut, no panics, no non-prefix states.
+    let stream = workload(33, 10);
+    let take = stream.len().min(12);
+    let (wal_dir, snap_dir) = (tmpdir("pwal-wal"), tmpdir("pwal-snap"));
+    let mut w = WalWriter::create(
+        &wal_dir,
+        stream.n,
+        stream.max_rank,
+        WalConfig {
+            segment_records: 1 << 20,
+            seed: 3,
+        },
+    )
+    .unwrap();
+    for u in &stream.updates[..take] {
+        w.append(u).unwrap();
+    }
+    drop(w);
+
+    let store = CheckpointStore::open(&snap_dir, 0).unwrap();
+    let path = wal_dir.join("seg-00000000.wal");
+    let pristine = fs::read(&path).unwrap();
+    let mut best = 0usize;
+    for cut in 0..=pristine.len() {
+        fs::write(&path, truncated(&pristine, cut)).unwrap();
+        let driver = RecoveryDriver::new(&wal_dir, store.clone());
+        match driver.recover(|_, _| forest(stream.n, 21)) {
+            Ok(rec) => {
+                let r = rec.offset as usize;
+                assert!(r <= take, "cut {cut}: phantom records");
+                let mut reference = forest(stream.n, 21);
+                for u in &stream.updates[..r] {
+                    reference.apply_update(u).unwrap();
+                }
+                assert_eq!(
+                    encoded(&rec.sketch),
+                    encoded(&reference),
+                    "cut {cut}: recovered state is not the length-{r} prefix"
+                );
+                best = best.max(r);
+            }
+            // Cut inside the header: the whole segment is unreadable.
+            Err(RecoveryError::Wal(WalError::Corrupt { .. })) => {}
+            Err(RecoveryError::NoState { .. }) => {}
+            Err(e) => panic!("cut {cut}: unexpected error {e}"),
+        }
+    }
+    assert_eq!(best, take, "the uncut log must recover everything");
+    fs::remove_dir_all(&wal_dir).unwrap();
+    fs::remove_dir_all(&snap_dir).unwrap();
+}
+
+#[test]
+fn resumed_ingestion_after_crash_matches_uninterrupted_run() {
+    // End-to-end: crash, resume with CheckpointedIngestor::resume, finish
+    // the stream, and compare against a run that never crashed — including
+    // a second crash-resume cycle.
+    let stream = workload(34, 12);
+    let len = stream.len();
+    assert!(len >= 6, "workload too small");
+    let (c1, c2) = (len / 3, 2 * len / 3);
+    let (wal_dir, snap_dir) = (tmpdir("res-wal"), tmpdir("res-snap"));
+    let cfg = tight_cfg(17);
+
+    let mut ing = CheckpointedIngestor::create(
+        &wal_dir,
+        &snap_dir,
+        stream.n,
+        stream.max_rank,
+        cfg,
+        forest(stream.n, 29),
+    )
+    .unwrap();
+    for u in &stream.updates[..c1] {
+        ing.ingest(u).unwrap();
+    }
+    drop(ing); // crash 1
+
+    let (mut ing, rec) = CheckpointedIngestor::<SpanningForestSketch>::resume(
+        &wal_dir,
+        &snap_dir,
+        stream.n,
+        stream.max_rank,
+        cfg,
+        |_, _| forest(stream.n, 29),
+    )
+    .unwrap();
+    assert_eq!(rec.offset as usize, c1);
+    for u in &stream.updates[c1..c2] {
+        ing.ingest(u).unwrap();
+    }
+    drop(ing); // crash 2
+
+    let (mut ing, rec) = CheckpointedIngestor::<SpanningForestSketch>::resume(
+        &wal_dir,
+        &snap_dir,
+        stream.n,
+        stream.max_rank,
+        cfg,
+        |_, _| forest(stream.n, 29),
+    )
+    .unwrap();
+    assert_eq!(rec.offset as usize, c2);
+    for u in &stream.updates[c2..] {
+        ing.ingest(u).unwrap();
+    }
+
+    let mut reference = forest(stream.n, 29);
+    for u in &stream.updates {
+        reference.apply_update(u).unwrap();
+    }
+    assert_eq!(encoded(ing.sketch()), encoded(&reference));
+    assert_eq!(
+        ing.sketch().try_component_count().ok(),
+        reference.try_component_count().ok()
+    );
+    fs::remove_dir_all(&wal_dir).unwrap();
+    fs::remove_dir_all(&snap_dir).unwrap();
+}

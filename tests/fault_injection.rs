@@ -226,6 +226,43 @@ fn sparsifier_protocol_survives_a_lossy_channel() {
 }
 
 #[test]
+fn channel_retry_budget_is_configurable_and_exhaustion_is_typed() {
+    // The channel-level budget: `transmit` uses the configured budget, a
+    // budget raise turns a typed exhaustion into a delivery, and the stats
+    // always account for every attempt — the caller can never block
+    // forever or lose a message silently.
+    let msg: Vec<u64> = (0..24).collect();
+
+    // A very noisy (but not dead) channel with a tiny budget exhausts on
+    // at least one message of a batch; the same channel parameters with a
+    // generous budget deliver every message intact.
+    let mut tight = LossyChannel::new(31, 0.6, 0.6).with_retry_budget(2);
+    let mut exhausted = 0;
+    for _ in 0..40 {
+        match tight.transmit(&msg) {
+            Ok((got, attempts)) => {
+                assert_eq!(got, msg);
+                assert!(attempts <= 2, "budget overrun: {attempts}");
+            }
+            Err(ChannelError::Exhausted { attempts }) => {
+                assert_eq!(attempts, 2);
+                exhausted += 1;
+            }
+        }
+    }
+    assert!(exhausted > 0, "tight budget never exhausted — not probing");
+
+    let mut generous = LossyChannel::new(31, 0.6, 0.6).with_retry_budget(512);
+    for _ in 0..40 {
+        let (got, _) = generous
+            .transmit(&msg)
+            .expect("512 attempts at 36% success");
+        assert_eq!(got, msg);
+    }
+    assert_eq!(generous.stats.delivered, 40);
+}
+
+#[test]
 fn boosting_drives_the_failure_rate_down() {
     // The δ → δ^R amplification, measured on the substrate structure whose
     // per-repetition failure probability is actually visible: a starved
