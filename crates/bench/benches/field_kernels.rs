@@ -1,0 +1,114 @@
+//! Batch-kernel microbenches: the SoA fast paths vs their scalar loops.
+//!
+//! Pairs each batched kernel with the scalar loop it replaces so a single
+//! run shows the per-element win: `Fp::mul_batch` vs `Fp::mul`,
+//! `KWiseHash::eval_batch` vs `eval`, `PowTable::pow` vs `Fingerprinter`'s
+//! square-and-multiply `term`, and `L0Sampler::update_batch` vs `update`.
+
+use dgs_bench::microbench::bench;
+use dgs_field::prng::*;
+use dgs_field::{Fingerprinter, Fp, KWiseHash, SeedTree};
+use dgs_sketch::{L0Params, L0Sampler};
+
+const BATCH: usize = 256;
+const DIM: u64 = 1 << 30;
+
+fn keys(seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..BATCH).map(|_| rng.gen_range(0..DIM)).collect()
+}
+
+fn bench_mul() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a: Vec<Fp> = (0..BATCH).map(|_| Fp::new(rng.gen_range(0..DIM))).collect();
+    let b: Vec<Fp> = (0..BATCH).map(|_| Fp::new(rng.gen_range(0..DIM))).collect();
+    let mut out = a.clone();
+    bench(&format!("fp_mul_scalar_x{BATCH}"), |ben| {
+        ben.iter(|| {
+            out.copy_from_slice(&a);
+            for (o, r) in out.iter_mut().zip(b.iter()) {
+                *o = o.mul(*r);
+            }
+            std::hint::black_box(out[BATCH - 1])
+        })
+    });
+    bench(&format!("fp_mul_batch_x{BATCH}"), |ben| {
+        ben.iter(|| {
+            out.copy_from_slice(&a);
+            Fp::mul_batch(&mut out, &b);
+            std::hint::black_box(out[BATCH - 1])
+        })
+    });
+}
+
+fn bench_eval() {
+    let hash = KWiseHash::new(&SeedTree::new(2), 8);
+    let keys = keys(3);
+    let mut out = vec![Fp::ZERO; BATCH];
+    bench(&format!("kwise_eval_scalar_x{BATCH}"), |ben| {
+        ben.iter(|| {
+            for (o, &k) in out.iter_mut().zip(keys.iter()) {
+                *o = hash.eval(k);
+            }
+            std::hint::black_box(out[BATCH - 1])
+        })
+    });
+    bench(&format!("kwise_eval_batch_x{BATCH}"), |ben| {
+        ben.iter(|| {
+            hash.eval_batch(&keys, &mut out);
+            std::hint::black_box(out[BATCH - 1])
+        })
+    });
+}
+
+fn bench_pow() {
+    let fper = Fingerprinter::new(&SeedTree::new(4));
+    let keys = keys(5);
+    bench(&format!("fingerprint_term_scalar_x{BATCH}"), |ben| {
+        ben.iter(|| {
+            let mut acc = Fp::ZERO;
+            for &k in &keys {
+                acc = acc.add(fper.term(k, 1));
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    bench(&format!("fingerprint_pow_table_x{BATCH}"), |ben| {
+        ben.iter(|| {
+            let table = fper.power_table(DIM - 1);
+            let mut acc = Fp::ZERO;
+            for &k in &keys {
+                acc = acc.add(table.term(k, 1));
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+fn bench_l0() {
+    let params = L0Params {
+        sparsity: 4,
+        rows: 4,
+        level_independence: 8,
+    };
+    let entries: Vec<(u64, i64)> = keys(6).into_iter().map(|k| (k, 1)).collect();
+    let mut scalar = L0Sampler::new(&SeedTree::new(7), DIM, params);
+    bench(&format!("l0_update_scalar_x{BATCH}"), |ben| {
+        ben.iter(|| {
+            for &(k, d) in &entries {
+                scalar.update(k, d).unwrap();
+            }
+        })
+    });
+    let mut batched = L0Sampler::new(&SeedTree::new(7), DIM, params);
+    bench(&format!("l0_update_batch_x{BATCH}"), |ben| {
+        ben.iter(|| batched.update_batch(&entries).unwrap())
+    });
+}
+
+fn main() {
+    bench_mul();
+    bench_eval();
+    bench_pow();
+    bench_l0();
+}

@@ -1,9 +1,10 @@
 //! Experiment driver: regenerates the per-theorem tables of EXPERIMENTS.md.
 //!
 //! ```text
-//! experiments all [--quick]     # the whole suite
-//! experiments e1 e8 [--quick]   # selected experiments
-//! experiments list              # id -> claim mapping
+//! experiments all [--quick]            # the whole suite
+//! experiments e1 e8 [--quick]          # selected experiments
+//! experiments list                     # id -> claim mapping
+//! experiments check-ingest [baseline]  # CI guard vs BENCH_ingest.json
 //! ```
 
 use std::process::ExitCode;
@@ -34,6 +35,10 @@ const DESCRIPTIONS: &[(&str, &str)] = &[
         "e16",
         "crash recovery: recovery time vs checkpoint interval",
     ),
+    (
+        "e17",
+        "ingest throughput: scalar vs batched kernels vs sharded threads",
+    ),
 ];
 
 fn main() -> ExitCode {
@@ -42,8 +47,18 @@ fn main() -> ExitCode {
     let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
     if ids.is_empty() || ids.iter().any(|a| a.as_str() == "help") {
-        eprintln!("usage: experiments <all | list | e1 .. e16>... [--quick]");
+        eprintln!(
+            "usage: experiments <all | list | check-ingest [baseline] | e1 .. e17>... [--quick]"
+        );
         return ExitCode::from(2);
+    }
+    if ids.first().map(|a| a.as_str()) == Some("check-ingest") {
+        let baseline = ids.get(1).map_or("BENCH_ingest.json", |s| s.as_str());
+        return if dgs_bench::experiments::e17_ingest::check(baseline) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
     if ids.iter().any(|a| a.as_str() == "list") {
         for (id, desc) in DESCRIPTIONS {

@@ -1,0 +1,351 @@
+//! E17 — ingest throughput: scalar vs batched kernels vs sharded threads.
+//!
+//! The batched SoA kernels (`SpanningForestSketch::try_update_batch`) hoist
+//! hashing, level selection, and fingerprint exponentiation out of the
+//! per-update loop and share one `L0Plan` across every vertex row of a
+//! round; `try_update_batch_striped` and `dgs_core::ShardedIngestor` then
+//! stripe independent rows / boosted repetitions across scoped threads.
+//! Because the field is exact and assignment is deterministic, every
+//! variant is bit-identical to the scalar loop — this experiment asserts
+//! that in every row while measuring updates/sec, and writes the
+//! machine-readable baseline `BENCH_ingest.json` that the CI bench-smoke
+//! job (`experiments check-ingest`) guards against regressions.
+
+use std::time::Instant;
+
+use dgs_connectivity::SpanningForestSketch;
+use dgs_core::{BoostedQuery, ShardedIngestor};
+use dgs_field::prng::*;
+use dgs_field::{Codec, SeedTree, Writer};
+use dgs_hypergraph::generators::gnm;
+use dgs_hypergraph::{EdgeSpace, HyperEdge, Hypergraph};
+
+use crate::report::Table;
+use crate::workloads::{default_stream, lean_forest};
+
+fn fresh(n: usize, seed: u64) -> SpanningForestSketch {
+    let space = EdgeSpace::graph(n).unwrap();
+    SpanningForestSketch::new_full(space, &SeedTree::new(seed), lean_forest())
+}
+
+fn encoded<T: Codec>(t: &T) -> Vec<u8> {
+    let mut w = Writer::new();
+    t.encode(&mut w);
+    w.into_bytes()
+}
+
+pub struct RowOut {
+    pub mode: &'static str,
+    pub batch: Option<usize>,
+    pub threads: usize,
+    pub updates_per_sec: f64,
+    pub speedup: f64,
+    pub exact: bool,
+}
+
+pub struct Measurement {
+    pub n: usize,
+    pub updates: usize,
+    pub trials: usize,
+    pub scalar_updates_per_sec: f64,
+    pub best_batched_updates_per_sec: f64,
+    pub rows: Vec<RowOut>,
+}
+
+/// Times `ingest` over `trials` fresh sketches and returns the best
+/// updates/sec together with the final sketch encoding (for the exactness
+/// check). Best-of-trials, not mean: throughput noise is one-sided.
+fn time_best(
+    trials: usize,
+    m: usize,
+    n: usize,
+    seed: u64,
+    mut ingest: impl FnMut(&mut SpanningForestSketch),
+) -> (f64, Vec<u8>) {
+    let mut best = 0.0f64;
+    let mut bytes = Vec::new();
+    for _ in 0..trials {
+        let mut sketch = fresh(n, seed);
+        let t = Instant::now();
+        ingest(&mut sketch);
+        let ups = m as f64 / t.elapsed().as_secs_f64();
+        if ups > best {
+            best = ups;
+        }
+        bytes = encoded(&sketch);
+    }
+    (best, bytes)
+}
+
+/// Runs the measurement grid. Separated from [`run`] so the CI guard
+/// (`check-ingest`) can re-measure without printing tables.
+pub fn measure(quick: bool) -> Measurement {
+    let n: usize = if quick { 48 } else { 96 };
+    let seed = 0xE17;
+    let trials = if quick { 1 } else { 3 };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let h = Hypergraph::from_graph(&gnm(n, 4 * n, &mut rng));
+    let stream = default_stream(&h, &mut rng);
+    let pairs: Vec<(HyperEdge, i64)> = stream
+        .updates
+        .iter()
+        .map(|u| (u.edge.clone(), u.op.delta()))
+        .collect();
+    let m = pairs.len();
+
+    let mut rows: Vec<RowOut> = Vec::new();
+
+    // Scalar reference: the per-update path every variant must match.
+    let (scalar_ups, reference) = time_best(trials, m, n, seed, |s| {
+        for (e, d) in &pairs {
+            s.try_update(e, *d).expect("scalar update");
+        }
+    });
+    rows.push(RowOut {
+        mode: "scalar",
+        batch: None,
+        threads: 1,
+        updates_per_sec: scalar_ups,
+        speedup: 1.0,
+        exact: true,
+    });
+
+    // Batched kernel, single thread, over a sweep of batch sizes.
+    let batch_sizes: &[usize] = if quick {
+        &[64, 256]
+    } else {
+        &[16, 64, 256, 1024]
+    };
+    let mut best_batched = 0.0f64;
+    for &b in batch_sizes {
+        let (ups, bytes) = time_best(trials, m, n, seed, |s| {
+            for chunk in pairs.chunks(b) {
+                s.try_update_batch(chunk).expect("batched update");
+            }
+        });
+        if ups > best_batched {
+            best_batched = ups;
+        }
+        rows.push(RowOut {
+            mode: "batched",
+            batch: Some(b),
+            threads: 1,
+            updates_per_sec: ups,
+            speedup: ups / scalar_ups,
+            exact: bytes == reference,
+        });
+    }
+
+    // Batched + vertex-row striping across threads.
+    let thread_counts: &[usize] = if quick { &[2] } else { &[2, 4] };
+    for &t in thread_counts {
+        let (ups, bytes) = time_best(trials, m, n, seed, |s| {
+            for chunk in pairs.chunks(256) {
+                s.try_update_batch_striped(chunk, t)
+                    .expect("striped update");
+            }
+        });
+        if ups > best_batched {
+            best_batched = ups;
+        }
+        rows.push(RowOut {
+            mode: "striped",
+            batch: Some(256),
+            threads: t,
+            updates_per_sec: ups,
+            speedup: ups / scalar_ups,
+            exact: bytes == reference,
+        });
+    }
+
+    // Boosted repetitions: scalar loop vs the sharded batched ingestor.
+    // Throughput counts stream updates (each costs `r` repetition updates).
+    let r = 4usize;
+    let seeds = SeedTree::new(seed);
+    let build = |i: usize| {
+        let space = EdgeSpace::graph(n).unwrap();
+        SpanningForestSketch::new_full(space, &seeds.child(i as u64), lean_forest())
+    };
+    let boosted_bytes = |q: &BoostedQuery<SpanningForestSketch>| -> Vec<Vec<u8>> {
+        q.sketches().iter().map(encoded).collect()
+    };
+    let mut boosted_scalar_ups = 0.0f64;
+    let mut boosted_reference: Vec<Vec<u8>> = Vec::new();
+    for _ in 0..trials {
+        let mut q = BoostedQuery::new(r, build);
+        let t = Instant::now();
+        for (e, d) in &pairs {
+            q.try_update(e, *d).expect("boosted scalar update");
+        }
+        let ups = m as f64 / t.elapsed().as_secs_f64();
+        if ups > boosted_scalar_ups {
+            boosted_scalar_ups = ups;
+        }
+        boosted_reference = boosted_bytes(&q);
+    }
+    rows.push(RowOut {
+        mode: "boosted-scalar",
+        batch: None,
+        threads: 1,
+        updates_per_sec: boosted_scalar_ups,
+        speedup: 1.0,
+        exact: true,
+    });
+    for &t in thread_counts {
+        let mut best = 0.0f64;
+        let mut exact = false;
+        for _ in 0..trials {
+            let mut ing = ShardedIngestor::with_build(r, t, 256, build);
+            let t0 = Instant::now();
+            for (e, d) in &pairs {
+                ing.push(e, *d).expect("sharded push");
+            }
+            let q = ing.finish().expect("sharded finish");
+            let ups = m as f64 / t0.elapsed().as_secs_f64();
+            if ups > best {
+                best = ups;
+            }
+            exact = boosted_bytes(&q) == boosted_reference;
+        }
+        rows.push(RowOut {
+            mode: "boosted-sharded",
+            batch: Some(256),
+            threads: t,
+            updates_per_sec: best,
+            speedup: best / boosted_scalar_ups,
+            exact,
+        });
+    }
+
+    Measurement {
+        n,
+        updates: m,
+        trials,
+        scalar_updates_per_sec: scalar_ups,
+        best_batched_updates_per_sec: best_batched,
+        rows,
+    }
+}
+
+pub fn run(quick: bool) {
+    let meas = measure(quick);
+    let mut table = Table::new(
+        "E17: ingest throughput (forest sketch, updates/sec)",
+        &["mode", "batch", "threads", "updates/s", "speedup", "exact"],
+    );
+    for r in &meas.rows {
+        table.row(vec![
+            r.mode.to_string(),
+            r.batch.map_or("-".to_string(), |b| b.to_string()),
+            r.threads.to_string(),
+            format!("{:.0}", r.updates_per_sec),
+            format!("{:.2}x", r.speedup),
+            r.exact.to_string(),
+        ]);
+    }
+    table.note(format!(
+        "workload: {} updates over n = {}; best of {} trial(s) per row",
+        meas.updates, meas.n, meas.trials
+    ));
+    table.note("speedup is vs the scalar per-update loop of the same mode family");
+    table.note("exact = final sketch encoding bit-identical to the scalar reference");
+    table.print();
+    write_baseline(&meas);
+}
+
+/// Hand-rolled JSON baseline (`BENCH_ingest.json` in the working
+/// directory) — no serde in the dependency tree, the schema is flat.
+fn write_baseline(meas: &Measurement) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"e17-ingest\",\n");
+    out.push_str(&format!(
+        "  \"n\": {},\n  \"updates\": {},\n  \"trials\": {},\n",
+        meas.n, meas.updates, meas.trials
+    ));
+    out.push_str(&format!(
+        "  \"scalar_updates_per_sec\": {:.1},\n",
+        meas.scalar_updates_per_sec
+    ));
+    out.push_str(&format!(
+        "  \"best_batched_updates_per_sec\": {:.1},\n",
+        meas.best_batched_updates_per_sec
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in meas.rows.iter().enumerate() {
+        let batch = r.batch.map_or("null".to_string(), |b| b.to_string());
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"batch\": {batch}, \"threads\": {}, \
+             \"updates_per_sec\": {:.1}, \"speedup\": {:.3}, \"exact\": {}}}{}\n",
+            r.mode,
+            r.threads,
+            r.updates_per_sec,
+            r.speedup,
+            r.exact,
+            if i + 1 == meas.rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_ingest.json", &out) {
+        Ok(()) => println!("  wrote BENCH_ingest.json"),
+        Err(e) => eprintln!("  could not write BENCH_ingest.json: {e}"),
+    }
+}
+
+/// Extracts `"key": <number>` from flat hand-rolled JSON.
+fn json_f64_field(s: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = s.find(&needle)? + needle.len();
+    let rest = s[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// CI guard: re-measures the quick workload and fails (returns `false`) if
+/// batched throughput regressed more than `MAX_REGRESSION`x against the
+/// checked-in baseline, or if any variant lost bit-identity. The wide
+/// margin absorbs machine-to-machine variance; the guard exists to catch
+/// order-of-magnitude kernel regressions, not 10% drift.
+pub fn check(baseline_path: &str) -> bool {
+    const MAX_REGRESSION: f64 = 5.0;
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("check-ingest: cannot read {baseline_path}: {e}");
+            return false;
+        }
+    };
+    let Some(base_batched) = json_f64_field(&baseline, "best_batched_updates_per_sec") else {
+        eprintln!("check-ingest: no best_batched_updates_per_sec in {baseline_path}");
+        return false;
+    };
+    let meas = measure(true);
+    let mut ok = true;
+    for r in &meas.rows {
+        if !r.exact {
+            eprintln!(
+                "check-ingest: FAIL — {} (batch {:?}, threads {}) lost bit-identity",
+                r.mode, r.batch, r.threads
+            );
+            ok = false;
+        }
+    }
+    let current = meas.best_batched_updates_per_sec;
+    println!(
+        "check-ingest: batched {current:.0} updates/s vs baseline {base_batched:.0} \
+         (floor {:.0})",
+        base_batched / MAX_REGRESSION
+    );
+    if current * MAX_REGRESSION < base_batched {
+        eprintln!(
+            "check-ingest: FAIL — batched ingest regressed more than {MAX_REGRESSION}x \
+             ({current:.0} vs baseline {base_batched:.0} updates/s)"
+        );
+        ok = false;
+    }
+    if ok {
+        println!("check-ingest: OK");
+    }
+    ok
+}

@@ -19,11 +19,12 @@ pub mod e13_sampler_ablation;
 pub mod e14_edge_conn;
 pub mod e15_distributed;
 pub mod e16_recovery;
+pub mod e17_ingest;
 
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16",
+    "e16", "e17",
 ];
 
 /// Runs one experiment by id. Returns false for an unknown id.
@@ -45,6 +46,7 @@ pub fn run(id: &str, quick: bool) -> bool {
         "e14" => e14_edge_conn::run(quick),
         "e15" => e15_distributed::run(quick),
         "e16" => e16_recovery::run(quick),
+        "e17" => e17_ingest::run(quick),
         _ => return false,
     }
     true

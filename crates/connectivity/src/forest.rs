@@ -16,7 +16,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use dgs_field::SeedTree;
+use dgs_field::{Fp, SeedTree};
 use dgs_hypergraph::algo::UnionFind;
 use dgs_hypergraph::{EdgeSpace, HyperEdge, VertexId};
 use dgs_sketch::{L0Params, L0Sampler, Profile, SketchError, SketchResult};
@@ -224,6 +224,199 @@ impl SpanningForestSketch {
             for round in 0..self.rounds {
                 self.samplers[round * nv + local].update(idx, coeff)?;
             }
+        }
+        Ok(())
+    }
+
+    /// Validates one edge exactly as [`try_update`](Self::try_update) does,
+    /// without touching any state.
+    fn validate_edge(&self, e: &HyperEdge) -> SketchResult<()> {
+        if e.cardinality() > self.space.max_rank() {
+            return Err(SketchError::invalid(format!(
+                "edge of rank {} exceeds the space's rank bound {}",
+                e.cardinality(),
+                self.space.max_rank()
+            )));
+        }
+        for &v in e.vertices() {
+            if (v as usize) >= self.space.n() {
+                return Err(SketchError::invalid(format!(
+                    "vertex {v} out of range for a {}-vertex edge space",
+                    self.space.n()
+                )));
+            }
+            if self.vpos[v as usize] == u32::MAX {
+                return Err(SketchError::invalid(format!(
+                    "update touches absent vertex {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Batched signed updates through the planned SoA kernels.
+    ///
+    /// Exploits the per-round seed sharing: all samplers of one round are
+    /// drawn from the same seed, so the geometric levels, fingerprint
+    /// powers, and bucket columns of each edge index are computed **once
+    /// per round** ([`L0Sampler::plan_updates`]) and scattered into every
+    /// endpoint row — both endpoints of an edge, and every vertex the batch
+    /// touches, reuse the same plan. The scalar path recomputes all of it
+    /// per (endpoint, round).
+    ///
+    /// Bit-identical to calling [`try_update`](Self::try_update) per entry
+    /// in order (field addition is exact and commutative), except that an
+    /// invalid entry rejects the *entire* batch before anything is applied,
+    /// whereas the scalar loop would have applied the valid prefix.
+    pub fn try_update_batch(&mut self, updates: &[(HyperEdge, i64)]) -> SketchResult<()> {
+        let nv = self.vertices.len();
+        if updates.is_empty() || nv == 0 {
+            for (e, _) in updates {
+                self.validate_edge(e)?;
+            }
+            return Ok(());
+        }
+        for (e, _) in updates {
+            self.validate_edge(e)?;
+        }
+        let (keys, by_row) = self.aggregate_batch(updates);
+        if keys.is_empty() {
+            return Ok(());
+        }
+        for round in 0..self.rounds {
+            // Any sampler of the round carries the round's seeds; plan once.
+            let plan = self.samplers[round * nv].plan_updates(&keys)?;
+            for (local, items) in by_row.iter().enumerate() {
+                if items.is_empty() {
+                    continue;
+                }
+                self.samplers[round * nv + local].apply_planned_many(&plan, items)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Collapses the batch per edge rank, summing deltas in the field.
+    ///
+    /// Churn streams revisit edges (insert, delete, re-insert): equal ranks
+    /// hash identically, so duplicates share one plan slot, and because
+    /// field addition is exact, applying the summed delta once is
+    /// bit-identical to applying each update in turn. Edges whose deltas
+    /// cancel to zero are dropped outright (adding zero is the identity),
+    /// removing both their planning and their apply work — on a
+    /// deletion-heavy stream that is most of the batch.
+    ///
+    /// Returns the live (nonzero) rank list plus, per vertex row, the
+    /// `(plan key id, field coefficient)` contributions.
+    #[allow(clippy::type_complexity)]
+    fn aggregate_batch(&self, updates: &[(HyperEdge, i64)]) -> (Vec<u64>, Vec<Vec<(u32, Fp)>>) {
+        let mut uniq: Vec<u64> = Vec::with_capacity(updates.len());
+        let mut first: Vec<usize> = Vec::with_capacity(updates.len());
+        let mut sums: Vec<Fp> = Vec::with_capacity(updates.len());
+        let mut seen: std::collections::HashMap<u64, usize> =
+            std::collections::HashMap::with_capacity(updates.len());
+        for (i, (e, delta)) in updates.iter().enumerate() {
+            let rank = self.space.rank(e);
+            let id = *seen.entry(rank).or_insert_with(|| {
+                uniq.push(rank);
+                first.push(i);
+                sums.push(Fp::ZERO);
+                uniq.len() - 1
+            });
+            sums[id] = sums[id].add(Fp::from_i64(*delta));
+        }
+        let mut keys: Vec<u64> = Vec::with_capacity(uniq.len());
+        let mut by_row: Vec<Vec<(u32, Fp)>> = vec![Vec::new(); self.vertices.len()];
+        for (id, &rank) in uniq.iter().enumerate() {
+            if sums[id] == Fp::ZERO {
+                continue;
+            }
+            let lid = keys.len() as u32;
+            keys.push(rank);
+            let (e, _) = &updates[first[id]];
+            for &v in e.vertices() {
+                let local = self.vpos[v as usize] as usize;
+                let d = match incidence_coefficient(e, v) {
+                    1 => sums[id],
+                    -1 => sums[id].neg(),
+                    ic => Fp::from_i64(ic).mul(sums[id]),
+                };
+                by_row[local].push((lid, d));
+            }
+        }
+        (keys, by_row)
+    }
+
+    /// [`try_update_batch`](Self::try_update_batch) with the per-vertex
+    /// sampler rows striped across `threads` scoped worker threads.
+    ///
+    /// Striping is deterministic and seed-stable: vertex row `local` is
+    /// owned by thread `local % threads`, every round of a row stays with
+    /// its owner, and each thread applies its rows' updates in stream
+    /// order — so each sampler cell sees exactly the sequence of field
+    /// additions the sequential path performs, and the result is
+    /// bit-identical for every thread count.
+    pub fn try_update_batch_striped(
+        &mut self,
+        updates: &[(HyperEdge, i64)],
+        threads: usize,
+    ) -> SketchResult<()> {
+        let nv = self.vertices.len();
+        let threads = threads.max(1).min(nv.max(1));
+        if threads <= 1 || updates.is_empty() {
+            return self.try_update_batch(updates);
+        }
+        for (e, _) in updates {
+            self.validate_edge(e)?;
+        }
+        // Aggregate in the field and plan the live keys once per round (see
+        // `try_update_batch`); plans are read-only and shared by every
+        // thread.
+        let (keys, by_row) = self.aggregate_batch(updates);
+        if keys.is_empty() {
+            return Ok(());
+        }
+        let plans: Vec<dgs_sketch::L0Plan> = (0..self.rounds)
+            .map(|round| self.samplers[round * nv].plan_updates(&keys))
+            .collect::<SketchResult<_>>()?;
+        let rounds = self.rounds;
+        // Hand each thread exclusive references to its rows' samplers.
+        let mut stripe_refs: Vec<Vec<Option<&mut L0Sampler>>> = (0..threads)
+            .map(|_| (0..rounds * nv).map(|_| None).collect())
+            .collect();
+        for (f, s) in self.samplers.iter_mut().enumerate() {
+            stripe_refs[(f % nv) % threads][f] = Some(s);
+        }
+        let results: Vec<SketchResult<()>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = stripe_refs
+                .into_iter()
+                .enumerate()
+                .map(|(t, mut refs)| {
+                    let plans = &plans;
+                    let by_row = &by_row;
+                    scope.spawn(move || -> SketchResult<()> {
+                        for (local, items) in by_row.iter().enumerate() {
+                            if local % threads != t || items.is_empty() {
+                                continue;
+                            }
+                            for (round, plan) in plans.iter().enumerate() {
+                                refs[round * nv + local]
+                                    .as_deref_mut()
+                                    .expect("stripe owns its rows")
+                                    .apply_planned_many(plan, items)?;
+                            }
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("striped ingest worker panicked"))
+                .collect()
+        });
+        for r in results {
+            r?;
         }
         Ok(())
     }
@@ -788,6 +981,82 @@ mod tests {
         for e in &f2 {
             assert!(!f1.contains(e), "edge {e:?} reused after peeling");
         }
+    }
+
+    #[test]
+    fn batched_update_encoding_matches_scalar() {
+        use dgs_field::{Codec, Writer};
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 14;
+        let g = gnp(n, 0.3, &mut rng);
+        let mut updates: Vec<(HyperEdge, i64)> = g
+            .edges()
+            .map(|(u, v)| (HyperEdge::pair(u, v), 1i64))
+            .collect();
+        // Cancelling pair inside the batch.
+        let (e0, _) = updates[0].clone();
+        updates.push((e0, -1));
+        let mut scalar = graph_sketch(n, 30);
+        let mut batched = graph_sketch(n, 30);
+        for (e, d) in &updates {
+            scalar.try_update(e, *d).unwrap();
+        }
+        for chunk in updates.chunks(5) {
+            batched.try_update_batch(chunk).unwrap();
+        }
+        let (mut wa, mut wb) = (Writer::new(), Writer::new());
+        scalar.encode(&mut wa);
+        batched.encode(&mut wb);
+        assert_eq!(wa.into_bytes(), wb.into_bytes());
+    }
+
+    #[test]
+    fn striped_batched_update_is_bit_identical_for_all_thread_counts() {
+        use dgs_field::{Codec, Writer};
+        let mut rng = StdRng::seed_from_u64(22);
+        let n = 12;
+        let g = gnp(n, 0.4, &mut rng);
+        let updates: Vec<(HyperEdge, i64)> = g
+            .edges()
+            .map(|(u, v)| (HyperEdge::pair(u, v), 1i64))
+            .collect();
+        let mut reference = graph_sketch(n, 40);
+        for (e, d) in &updates {
+            reference.try_update(e, *d).unwrap();
+        }
+        let expected = {
+            let mut w = Writer::new();
+            reference.encode(&mut w);
+            w.into_bytes()
+        };
+        for threads in [1usize, 2, 3, 7, 16] {
+            let mut sk = graph_sketch(n, 40);
+            for chunk in updates.chunks(4) {
+                sk.try_update_batch_striped(chunk, threads).unwrap();
+            }
+            let mut w = Writer::new();
+            sk.encode(&mut w);
+            assert_eq!(w.into_bytes(), expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn batched_update_rejects_invalid_batch_atomically() {
+        use dgs_field::{Codec, Writer};
+        let mut sk = graph_sketch(6, 31);
+        let before = {
+            let mut w = Writer::new();
+            sk.encode(&mut w);
+            w.into_bytes()
+        };
+        let batch = vec![
+            (HyperEdge::pair(0, 1), 1i64),
+            (HyperEdge::pair(0, 99), 1i64), // out of range
+        ];
+        assert!(sk.try_update_batch(&batch).is_err());
+        let mut w = Writer::new();
+        sk.encode(&mut w);
+        assert_eq!(w.into_bytes(), before, "failed batch must apply nothing");
     }
 
     #[test]

@@ -117,6 +117,17 @@ fn io_err(path: &Path, e: std::io::Error) -> RecoveryError {
 pub trait Recoverable: Codec {
     /// Applies one stream update (a deletion is a negative insertion).
     fn apply_update(&mut self, u: &Update) -> SketchResult<()>;
+
+    /// Applies a batch of stream updates, reporting a failure as the index
+    /// of the offending update plus its error. Implementations must leave
+    /// updates `0..i` applied exactly once and `i..` untouched on
+    /// `Err((i, _))`, so WAL replay offsets stay exact.
+    fn apply_batch(&mut self, batch: &[Update]) -> Result<(), (usize, SketchError)> {
+        for (i, u) in batch.iter().enumerate() {
+            self.apply_update(u).map_err(|e| (i, e))?;
+        }
+        Ok(())
+    }
 }
 
 macro_rules! recoverable_via_try_update {
@@ -130,12 +141,34 @@ macro_rules! recoverable_via_try_update {
 }
 
 recoverable_via_try_update!(
-    SpanningForestSketch,
     KSkeletonSketch,
     VertexConnSketch,
     HypergraphSparsifier,
     LightRecoverySketch,
 );
+
+impl Recoverable for SpanningForestSketch {
+    fn apply_update(&mut self, u: &Update) -> SketchResult<()> {
+        self.try_update(&u.edge, u.op.delta())
+    }
+
+    fn apply_batch(&mut self, batch: &[Update]) -> Result<(), (usize, SketchError)> {
+        let pairs: Vec<(dgs_hypergraph::HyperEdge, i64)> = batch
+            .iter()
+            .map(|u| (u.edge.clone(), u.op.delta()))
+            .collect();
+        if self.try_update_batch(&pairs).is_ok() {
+            return Ok(());
+        }
+        // The native kernel rejects an invalid batch atomically (no state
+        // touched), so the scalar loop can locate the offending index while
+        // preserving the applied-prefix contract above.
+        for (i, u) in batch.iter().enumerate() {
+            self.apply_update(u).map_err(|e| (i, e))?;
+        }
+        Ok(())
+    }
+}
 
 /// Why a particular snapshot file was rejected. Internal to the ladder —
 /// rejected snapshots are skipped and counted, not surfaced as errors
@@ -433,16 +466,21 @@ impl RecoveryDriver {
     }
 }
 
+/// WAL replay batch granularity: large enough to amortize the batched
+/// kernels' per-batch planning work, small enough to keep scratch buffers
+/// cache-resident.
+const REPLAY_CHUNK: usize = 256;
+
 fn replay_into<T: Recoverable>(
     sketch: &mut T,
     tail: &[Update],
     base_offset: u64,
 ) -> Result<(), RecoveryError> {
-    for (i, u) in tail.iter().enumerate() {
+    for (c, chunk) in tail.chunks(REPLAY_CHUNK).enumerate() {
         sketch
-            .apply_update(u)
-            .map_err(|source| RecoveryError::Replay {
-                offset: base_offset + i as u64,
+            .apply_batch(chunk)
+            .map_err(|(i, source)| RecoveryError::Replay {
+                offset: base_offset + (c * REPLAY_CHUNK + i) as u64,
                 source,
             })?;
     }

@@ -1,0 +1,284 @@
+//! Batched, sharded stream ingestion.
+//!
+//! Every sketch in this workspace is a linear map, so ingestion
+//! parallelizes without changing any answer bit: updates to *independent*
+//! state (different boosted repetitions, different vertex rows) can run on
+//! different threads, and batching lets the sketch kernels hoist hashing
+//! and exponentiation work out of the per-update loop (see
+//! `dgs_sketch::L0Sampler::update_batch` and
+//! `SpanningForestSketch::try_update_batch`).
+//!
+//! [`ShardedIngestor`] packages the pattern for boosted-repetition
+//! ingestion: it buffers the stream into fixed-size batches and, at each
+//! flush, stripes the repetitions across a scoped thread pool. The
+//! assignment is deterministic and seed-stable — repetition `i` is always
+//! processed by stripe `i % threads`, each repetition consumes every batch
+//! in stream order through the same batched kernel — so the final states
+//! are **bit-identical** to sequential ingestion for every `(threads,
+//! batch_size)` choice, which the property tests assert byte-for-byte.
+
+use dgs_hypergraph::{HyperEdge, Update, UpdateStream};
+use dgs_sketch::SketchResult;
+
+use crate::boost::{BoostableSketch, BoostedQuery};
+
+/// A sketch accepting batched signed hyperedge updates.
+///
+/// The default implementation falls back to per-update
+/// [`BoostableSketch::try_apply`], so every boostable sketch is batchable;
+/// structures with a native batch kernel (the spanning-forest sketch)
+/// override it. Implementations must be *bit-identical* to the scalar loop
+/// on valid batches; on an invalid batch a native implementation may reject
+/// the whole batch atomically where the scalar loop would have applied the
+/// valid prefix.
+pub trait BatchableSketch: BoostableSketch + Send {
+    /// Applies a batch of signed hyperedge updates.
+    fn try_apply_batch(&mut self, batch: &[(HyperEdge, i64)]) -> SketchResult<()> {
+        for (e, delta) in batch {
+            self.try_apply(e, *delta)?;
+        }
+        Ok(())
+    }
+}
+
+impl BatchableSketch for dgs_connectivity::SpanningForestSketch {
+    fn try_apply_batch(&mut self, batch: &[(HyperEdge, i64)]) -> SketchResult<()> {
+        self.try_update_batch(batch)
+    }
+}
+
+impl BatchableSketch for dgs_connectivity::KSkeletonSketch {}
+impl BatchableSketch for crate::VertexConnSketch {}
+impl BatchableSketch for crate::EdgeConnSketch {}
+impl BatchableSketch for crate::LightRecoverySketch {}
+impl BatchableSketch for crate::HypergraphSparsifier {}
+
+/// Buffers stream updates into fixed-size batches and ingests each batch
+/// into `R` boosted repetitions, striped across a scoped thread pool.
+///
+/// Extends the repetition striping of the root crate's
+/// `parallel_ingest_boosted` to the *online* setting: updates arrive one at
+/// a time ([`push`](Self::push)), the ingestor flushes a batch whenever the
+/// buffer fills, and [`finish`](Self::finish) flushes the remainder and
+/// hands back a [`BoostedQuery`]. Because repetition assignment is
+/// deterministic (`i % threads`) and every repetition sees every batch in
+/// stream order, the result is bit-identical to sequential ingestion.
+///
+/// Error handling: an invalid update is detected at the next flush. The
+/// forest sketch's native batch kernel rejects the whole batch atomically
+/// in every repetition, so the ingestor stays consistent; treat any flush
+/// error as fatal for the query (the stream itself is malformed —
+/// retrying cannot help).
+#[derive(Debug)]
+pub struct ShardedIngestor<S> {
+    repetitions: Vec<S>,
+    threads: usize,
+    batch_size: usize,
+    buffer: Vec<(HyperEdge, i64)>,
+    ingested: u64,
+}
+
+impl<S: BatchableSketch> ShardedIngestor<S> {
+    /// Wraps already-built repetitions (must be independently seeded
+    /// siblings — see [`BoostedQuery::new`]).
+    ///
+    /// # Panics
+    /// Panics if `repetitions` is empty, or `threads`/`batch_size` is zero.
+    pub fn new(repetitions: Vec<S>, threads: usize, batch_size: usize) -> ShardedIngestor<S> {
+        assert!(!repetitions.is_empty(), "need at least one repetition");
+        assert!(threads >= 1, "need at least one thread");
+        assert!(batch_size >= 1, "need a positive batch size");
+        ShardedIngestor {
+            repetitions,
+            threads,
+            batch_size,
+            buffer: Vec::with_capacity(batch_size),
+            ingested: 0,
+        }
+    }
+
+    /// Builds `r` repetitions via `build(repetition_index)` — derive each
+    /// from a sibling seed — and wraps them in an ingestor.
+    pub fn with_build(
+        r: usize,
+        threads: usize,
+        batch_size: usize,
+        build: impl FnMut(usize) -> S,
+    ) -> ShardedIngestor<S> {
+        assert!(r >= 1, "need at least one repetition");
+        ShardedIngestor::new((0..r).map(build).collect(), threads, batch_size)
+    }
+
+    /// Number of repetitions.
+    pub fn repetitions(&self) -> usize {
+        self.repetitions.len()
+    }
+
+    /// Updates currently buffered (not yet applied to any repetition).
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Updates applied to every repetition so far (excludes the buffer).
+    pub fn ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    /// Buffers one signed update, flushing if the batch is full.
+    pub fn push(&mut self, e: &HyperEdge, delta: i64) -> SketchResult<()> {
+        self.buffer.push((e.clone(), delta));
+        if self.buffer.len() >= self.batch_size {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Buffers one stream update, flushing if the batch is full.
+    pub fn push_update(&mut self, u: &Update) -> SketchResult<()> {
+        self.push(&u.edge, u.op.delta())
+    }
+
+    /// Pushes every update of a stream (batching internally).
+    pub fn ingest_stream(&mut self, stream: &UpdateStream) -> SketchResult<()> {
+        for u in &stream.updates {
+            self.push_update(u)?;
+        }
+        Ok(())
+    }
+
+    /// Applies the buffered batch to every repetition, striping repetitions
+    /// round-robin (`i % threads`) across scoped worker threads.
+    pub fn flush(&mut self) -> SketchResult<()> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::take(&mut self.buffer);
+        let threads = self.threads.min(self.repetitions.len());
+        if threads <= 1 {
+            for s in &mut self.repetitions {
+                s.try_apply_batch(&batch)?;
+            }
+        } else {
+            let mut stripes: Vec<Vec<&mut S>> = (0..threads).map(|_| Vec::new()).collect();
+            for (i, s) in self.repetitions.iter_mut().enumerate() {
+                stripes[i % threads].push(s);
+            }
+            let results: Vec<SketchResult<()>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = stripes
+                    .into_iter()
+                    .map(|stripe| {
+                        let batch = &batch;
+                        scope.spawn(move || -> SketchResult<()> {
+                            for s in stripe {
+                                s.try_apply_batch(batch)?;
+                            }
+                            Ok(())
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sharded ingest worker panicked"))
+                    .collect()
+            });
+            for r in results {
+                r?;
+            }
+        }
+        self.ingested += batch.len() as u64;
+        self.buffer = Vec::with_capacity(self.batch_size);
+        Ok(())
+    }
+
+    /// Flushes the remaining buffer and returns the repetitions wrapped in
+    /// a [`BoostedQuery`].
+    pub fn finish(mut self) -> SketchResult<BoostedQuery<S>> {
+        self.flush()?;
+        Ok(BoostedQuery::from_repetitions(self.repetitions))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_connectivity::{ForestParams, SpanningForestSketch};
+    use dgs_field::prng::*;
+    use dgs_field::{Codec, SeedTree, Writer};
+    use dgs_hypergraph::generators::{churn_stream, gnp, ChurnConfig};
+    use dgs_hypergraph::{EdgeSpace, Hypergraph};
+    use dgs_sketch::Profile;
+
+    fn encoded<T: Codec>(t: &T) -> Vec<u8> {
+        let mut w = Writer::new();
+        t.encode(&mut w);
+        w.into_bytes()
+    }
+
+    fn forest_build<'a>(
+        space: &'a EdgeSpace,
+        seeds: &'a SeedTree,
+        params: ForestParams,
+    ) -> impl Fn(usize) -> SpanningForestSketch + 'a {
+        let space = space.clone();
+        move |i| SpanningForestSketch::new_full(space.clone(), &seeds.child(i as u64), params)
+    }
+
+    #[test]
+    fn sharded_batched_ingest_is_bit_identical_to_sequential() {
+        let mut rng = StdRng::seed_from_u64(0x1A6E);
+        let h = Hypergraph::from_graph(&gnp(16, 0.3, &mut rng));
+        let stream = churn_stream(&h, ChurnConfig::default(), &mut rng);
+        let space = EdgeSpace::graph(16).unwrap();
+        let params = ForestParams::new(Profile::Practical, space.dimension());
+        let seeds = SeedTree::new(0xB005);
+        let build = forest_build(&space, &seeds, params);
+
+        let mut serial = BoostedQuery::new(3, &build);
+        for u in &stream.updates {
+            serial.try_update(&u.edge, u.op.delta()).unwrap();
+        }
+        let expected: Vec<Vec<u8>> = serial.sketches().iter().map(encoded).collect();
+
+        for threads in [1usize, 2, 5] {
+            for batch_size in [1usize, 7, 256] {
+                let mut ing = ShardedIngestor::with_build(3, threads, batch_size, &build);
+                ing.ingest_stream(&stream).unwrap();
+                let boosted = ing.finish().unwrap();
+                let got: Vec<Vec<u8>> = boosted.sketches().iter().map(encoded).collect();
+                assert_eq!(got, expected, "threads {threads}, batch {batch_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_flushes_at_batch_size_and_on_finish() {
+        let space = EdgeSpace::graph(8).unwrap();
+        let params = ForestParams::new(Profile::Practical, space.dimension());
+        let seeds = SeedTree::new(5);
+        let build = forest_build(&space, &seeds, params);
+        let mut ing = ShardedIngestor::with_build(1, 1, 3, &build);
+        for v in 1..=4u32 {
+            ing.push(&HyperEdge::pair(0, v), 1).unwrap();
+        }
+        // 4 pushes with batch_size 3: one flush happened, one update remains.
+        assert_eq!(ing.ingested(), 3);
+        assert_eq!(ing.buffered(), 1);
+        let boosted = ing.finish().unwrap();
+        assert_eq!(boosted.repetitions(), 1);
+        let forest = boosted.sketches()[0].decode();
+        assert_eq!(forest.len(), 4);
+    }
+
+    #[test]
+    fn invalid_update_surfaces_at_flush() {
+        let space = EdgeSpace::graph(6).unwrap();
+        let params = ForestParams::new(Profile::Practical, space.dimension());
+        let seeds = SeedTree::new(6);
+        let build = forest_build(&space, &seeds, params);
+        let mut ing = ShardedIngestor::with_build(2, 2, 8, &build);
+        ing.push(&HyperEdge::pair(0, 1), 1).unwrap();
+        ing.push(&HyperEdge::pair(0, 77), 1).unwrap(); // out of range
+        let err = ing.finish().unwrap_err();
+        assert!(!err.is_retryable());
+    }
+}

@@ -24,6 +24,7 @@
 pub mod boost;
 pub mod checkpoint;
 pub mod edge_conn;
+pub mod ingest;
 pub mod reconstruct;
 pub mod sparsify;
 pub mod vertex_conn;
@@ -34,6 +35,7 @@ pub use checkpoint::{
     RecoveryDriver, RecoveryError,
 };
 pub use edge_conn::EdgeConnSketch;
+pub use ingest::{BatchableSketch, ShardedIngestor};
 pub use reconstruct::{LightRecovery, LightRecoverySketch};
 pub use sparsify::{
     HypergraphSparsifier, SparsifierConfig, SparsifierPlayerMessage, SparsifierResult,

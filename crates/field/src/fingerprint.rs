@@ -53,6 +53,33 @@ impl Fingerprinter {
         weight.mul(self.z.pow(index))
     }
 
+    /// Builds a windowed power table for `z`, valid for every
+    /// `index <= max_index`. The table costs ~16 multiplications per 4 bits
+    /// of `max_index` to build and turns each subsequent power `z^index`
+    /// into at most `ceil(bits/4)` multiplications — the batch ingest path
+    /// builds one per (level, batch) and amortizes it over all keys, versus
+    /// the ~61-step square-and-multiply ladder [`term`](Self::term) pays per
+    /// call.
+    pub fn power_table(&self, max_index: u64) -> PowTable {
+        let bits = 64 - max_index.leading_zeros() as usize;
+        let windows = bits.div_ceil(WINDOW_BITS).max(1);
+        let mut table = Vec::with_capacity(windows);
+        // base = z^(16^w) for window w.
+        let mut base = self.z;
+        for _ in 0..windows {
+            let mut row = [Fp::ONE; WINDOW_SIZE];
+            for d in 1..WINDOW_SIZE {
+                row[d] = row[d - 1].mul(base);
+            }
+            base = row[WINDOW_SIZE - 1].mul(base);
+            table.push(row);
+        }
+        PowTable {
+            windows: table,
+            max_index,
+        }
+    }
+
     /// The evaluation point (exposed for tests and persistence).
     pub fn point(&self) -> Fp {
         self.z
@@ -70,6 +97,59 @@ impl Fingerprinter {
     /// Memory footprint in bytes.
     pub fn size_bytes(&self) -> usize {
         std::mem::size_of::<Fp>()
+    }
+}
+
+const WINDOW_BITS: usize = 4;
+const WINDOW_SIZE: usize = 1 << WINDOW_BITS;
+
+/// A transient table of powers of a fingerprint point `z`, in 4-bit windows:
+/// `windows[w][d] = z^(d * 16^w)`. Built by [`Fingerprinter::power_table`]
+/// for one batch of updates and dropped afterwards, so it costs no
+/// persistent memory no matter how many fingerprinters a sketch holds.
+#[derive(Clone, Debug)]
+pub struct PowTable {
+    windows: Vec<[Fp; WINDOW_SIZE]>,
+    max_index: u64,
+}
+
+impl PowTable {
+    /// `z^index`; exactly equal to `Fingerprinter::point().pow(index)`.
+    ///
+    /// # Panics
+    /// Debug-asserts `index` is within the range the table was built for.
+    #[inline]
+    pub fn pow(&self, index: u64) -> Fp {
+        debug_assert!(
+            index <= self.max_index,
+            "index {index} exceeds power-table bound {}",
+            self.max_index
+        );
+        let mut acc = Fp::ONE;
+        let mut rest = index;
+        for row in &self.windows {
+            let digit = (rest & (WINDOW_SIZE as u64 - 1)) as usize;
+            if digit != 0 {
+                acc = acc.mul(row[digit]);
+            }
+            rest >>= WINDOW_BITS;
+            if rest == 0 {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// The fingerprint contribution `delta * z^index`; exactly equal to
+    /// [`Fingerprinter::term`].
+    #[inline]
+    pub fn term(&self, index: u64, delta: i64) -> Fp {
+        Fp::from_i64(delta).mul(self.pow(index))
+    }
+
+    /// The largest index the table can exponentiate.
+    pub fn max_index(&self) -> u64 {
+        self.max_index
     }
 }
 
@@ -124,6 +204,27 @@ mod tests {
         let acc = f.term(idx, 7);
         assert_eq!(acc, f.expected(idx, Fp::from_i64(7)));
         assert_ne!(acc, f.expected(idx + 1, Fp::from_i64(7)));
+    }
+
+    #[test]
+    fn power_table_matches_pow() {
+        let f = fper(8);
+        for max in [0u64, 1, 15, 16, 255, (1 << 20) + 3, (1 << 59) + 9] {
+            let table = f.power_table(max);
+            let probes = [0u64, 1, 2, 15, 16, 17, max / 3, max.saturating_sub(1), max];
+            for &idx in probes.iter().filter(|&&i| i <= max) {
+                assert_eq!(table.pow(idx), f.point().pow(idx), "max {max}, idx {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn power_table_term_matches_scalar_term() {
+        let f = fper(9);
+        let table = f.power_table(1 << 30);
+        for (idx, delta) in [(0u64, 1i64), (5, -3), (1 << 20, 7), ((1 << 30) - 1, -1)] {
+            assert_eq!(table.term(idx, delta), f.term(idx, delta), "idx {idx}");
+        }
     }
 
     #[test]

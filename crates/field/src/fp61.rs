@@ -109,6 +109,34 @@ impl Fp {
         Fp(if s >= P { s - P } else { s })
     }
 
+    /// Element-wise in-place product `out[i] = out[i] * rhs[i]`.
+    ///
+    /// The batched form lets the compiler keep several independent
+    /// `u128`-product / fold chains in flight at once, which the scalar
+    /// call-per-element loop does not reliably achieve. Results are exactly
+    /// [`Fp::mul`] per lane.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn mul_batch(out: &mut [Fp], rhs: &[Fp]) {
+        assert_eq!(out.len(), rhs.len(), "mul_batch length mismatch");
+        const LANES: usize = 8;
+        let mut chunks = out.chunks_exact_mut(LANES);
+        let mut rchunks = rhs.chunks_exact(LANES);
+        for (oc, rc) in (&mut chunks).zip(&mut rchunks) {
+            for i in 0..LANES {
+                oc[i] = oc[i].mul(rc[i]);
+            }
+        }
+        for (o, &r) in chunks
+            .into_remainder()
+            .iter_mut()
+            .zip(rchunks.remainder().iter())
+        {
+            *o = o.mul(r);
+        }
+    }
+
     /// Exponentiation by square-and-multiply.
     pub fn pow(self, mut exp: u64) -> Fp {
         let mut base = self;
@@ -332,6 +360,21 @@ mod tests {
             let (a, b) = (rng.gen_range(0..P), rng.gen_range(0..P));
             let expect = ((a as u128 * b as u128) % P as u128) as u64;
             assert_eq!(Fp::new(a).mul(Fp::new(b)).value(), expect);
+        }
+    }
+
+    #[test]
+    fn mul_batch_matches_scalar() {
+        let mut rng = StdRng::seed_from_u64(0xF8);
+        // Lengths straddling the internal lane width, including 0 and 1.
+        for len in [0usize, 1, 7, 8, 9, 16, 33] {
+            let a: Vec<Fp> = (0..len).map(|_| rand_fp(&mut rng)).collect();
+            let b: Vec<Fp> = (0..len).map(|_| rand_fp(&mut rng)).collect();
+            let mut out = a.clone();
+            Fp::mul_batch(&mut out, &b);
+            for i in 0..len {
+                assert_eq!(out[i], a[i].mul(b[i]), "len {len}, lane {i}");
+            }
         }
     }
 

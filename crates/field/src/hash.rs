@@ -61,6 +61,61 @@ impl KWiseHash {
         ((h * buckets as u128) / P as u128) as usize
     }
 
+    /// Evaluates the hash at every key in `keys`, writing into `out`.
+    ///
+    /// Equivalent to calling [`eval`](Self::eval) per key, but the Horner
+    /// recurrence runs over a block of keys at a time: each coefficient is
+    /// loaded once per block and the per-lane accumulators stay in
+    /// registers, instead of re-walking the coefficient vector per key.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != keys.len()`.
+    pub fn eval_batch(&self, keys: &[u64], out: &mut [Fp]) {
+        assert_eq!(keys.len(), out.len(), "eval_batch length mismatch");
+        const LANES: usize = 8;
+        let mut kc = keys.chunks_exact(LANES);
+        let mut oc = out.chunks_exact_mut(LANES);
+        for (kb, ob) in (&mut kc).zip(&mut oc) {
+            let mut x = [Fp::ZERO; LANES];
+            let mut acc = [Fp::ZERO; LANES];
+            for i in 0..LANES {
+                x[i] = Fp::new(kb[i]);
+            }
+            for &c in self.coeffs.iter().rev() {
+                for i in 0..LANES {
+                    acc[i] = acc[i].mul(x[i]).add(c);
+                }
+            }
+            ob.copy_from_slice(&acc);
+        }
+        for (&k, o) in kc.remainder().iter().zip(oc.into_remainder().iter_mut()) {
+            *o = self.eval(k);
+        }
+    }
+
+    /// Bucket indices for a batch of keys; same mapping as
+    /// [`bucket`](Self::bucket) but the `(h * buckets) / P` reduction is
+    /// computed with a Mersenne fast division (shift plus a correction)
+    /// instead of the generic 128-bit divide the scalar path compiles to.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != keys.len()` or `buckets == 0`.
+    pub fn bucket_batch(&self, keys: &[u64], buckets: usize, out: &mut [usize]) {
+        assert_eq!(keys.len(), out.len(), "bucket_batch length mismatch");
+        assert!(buckets > 0);
+        const LANES: usize = 8;
+        let mut scratch = [Fp::ZERO; LANES];
+        let mut kc = keys.chunks(LANES);
+        let mut oc = out.chunks_mut(LANES);
+        for (kb, ob) in (&mut kc).zip(&mut oc) {
+            let vals = &mut scratch[..kb.len()];
+            self.eval_batch(kb, vals);
+            for (v, o) in vals.iter().zip(ob.iter_mut()) {
+                *o = fast_bucket(v.value(), buckets);
+            }
+        }
+    }
+
     /// The independence parameter k (number of coefficients).
     pub fn independence(&self) -> usize {
         self.coeffs.len()
@@ -84,6 +139,24 @@ impl KWiseHash {
     pub fn size_bytes(&self) -> usize {
         self.coeffs.len() * std::mem::size_of::<Fp>()
     }
+}
+
+/// `floor((h * buckets) / P)` for `h < P`, without a 128-bit division.
+///
+/// Writing `prod = q0 * 2^61 + lo` gives `prod = q0 * P + (q0 + lo)`, so the
+/// quotient is `q0` plus however many times `P` still fits in the remainder
+/// `q0 + lo < 2P` (for any realistic bucket count) — at most one correction.
+#[inline]
+fn fast_bucket(h: u64, buckets: usize) -> usize {
+    debug_assert!(h < P);
+    let prod = h as u128 * buckets as u128;
+    let mut q = (prod >> 61) as u64;
+    let mut rem = (prod as u64 & P) + q;
+    while rem >= P {
+        q += 1;
+        rem -= P;
+    }
+    q as usize
 }
 
 /// A hash mapping keys to the unit interval `[0, 1)`, used for the paper's
@@ -121,7 +194,31 @@ impl UniformHash {
     /// the sparsifier's nested subsampling chain `G_0 ⊇ G_1 ⊇ ...`.
     #[inline]
     pub fn level(&self, key: u64, max_level: usize) -> usize {
-        let v = self.inner.eval(key).value();
+        Self::level_of_value(self.inner.eval(key).value(), max_level)
+    }
+
+    /// Geometric levels for a batch of keys; the polynomial evaluation runs
+    /// through [`KWiseHash::eval_batch`]. Results match [`level`](Self::level)
+    /// exactly.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != keys.len()`.
+    pub fn level_batch(&self, keys: &[u64], max_level: usize, out: &mut [usize]) {
+        assert_eq!(keys.len(), out.len(), "level_batch length mismatch");
+        let mut scratch = [Fp::ZERO; 8];
+        let mut kc = keys.chunks(8);
+        let mut oc = out.chunks_mut(8);
+        for (kb, ob) in (&mut kc).zip(&mut oc) {
+            let vals = &mut scratch[..kb.len()];
+            self.inner.eval_batch(kb, vals);
+            for (v, o) in vals.iter().zip(ob.iter_mut()) {
+                *o = Self::level_of_value(v.value(), max_level);
+            }
+        }
+    }
+
+    #[inline]
+    fn level_of_value(v: u64, max_level: usize) -> usize {
         if v == 0 {
             return max_level;
         }
@@ -286,6 +383,71 @@ mod tests {
                 assert!(
                     u >= 1.0 / (1u64 << (lvl + 1)) as f64 * 0.9999999,
                     "key {key}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eval_batch_matches_scalar() {
+        for k in [1usize, 2, 8] {
+            let h = KWiseHash::new(&tree().child(20 + k as u64), k);
+            for len in [0usize, 1, 7, 8, 9, 16, 65] {
+                let keys: Vec<u64> = (0..len as u64)
+                    .map(|i| i.wrapping_mul(0x9E37_79B9))
+                    .collect();
+                let mut out = vec![Fp::ZERO; len];
+                h.eval_batch(&keys, &mut out);
+                for (i, &key) in keys.iter().enumerate() {
+                    assert_eq!(out[i], h.eval(key), "k {k}, len {len}, lane {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_batch_matches_scalar() {
+        let h = KWiseHash::new(&tree().child(31), 2);
+        for buckets in [1usize, 2, 3, 16, 17, 1024] {
+            let keys: Vec<u64> = (0..300).collect();
+            let mut out = vec![0usize; keys.len()];
+            h.bucket_batch(&keys, buckets, &mut out);
+            for (i, &key) in keys.iter().enumerate() {
+                assert_eq!(
+                    out[i],
+                    h.bucket(key, buckets),
+                    "buckets {buckets}, key {key}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_batch_covers_extreme_hash_values() {
+        // Constant polynomials pin the hash output, exercising the fast
+        // division at the edges of [0, P).
+        for v in [0u64, 1, P / 2, P - 2, P - 1] {
+            let h = KWiseHash::from_coefficients(vec![Fp::new(v)]);
+            for buckets in [1usize, 7, 64] {
+                let mut out = [0usize; 1];
+                h.bucket_batch(&[42], buckets, &mut out);
+                assert_eq!(out[0], h.bucket(42, buckets), "v {v}, buckets {buckets}");
+            }
+        }
+    }
+
+    #[test]
+    fn level_batch_matches_scalar() {
+        let h = UniformHash::new(&tree().child(32), 8);
+        for max_level in [0usize, 3, 12, 40] {
+            let keys: Vec<u64> = (0..500).collect();
+            let mut out = vec![0usize; keys.len()];
+            h.level_batch(&keys, max_level, &mut out);
+            for (i, &key) in keys.iter().enumerate() {
+                assert_eq!(
+                    out[i],
+                    h.level(key, max_level),
+                    "max {max_level}, key {key}"
                 );
             }
         }

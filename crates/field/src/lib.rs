@@ -27,7 +27,7 @@ pub mod prng;
 pub mod seed;
 
 pub use codec::{Codec, CodecError, Reader, Writer};
-pub use fingerprint::Fingerprinter;
+pub use fingerprint::{Fingerprinter, PowTable};
 pub use fp61::Fp;
 pub use hash::{KWiseHash, UniformHash};
 pub use prng::{Rng, SeedableRng, SliceRandom, StdRng};

@@ -11,11 +11,51 @@
 //! for repeated use, a *deterministic function of the net vector and the
 //! seed*.
 
-use dgs_field::{SeedTree, UniformHash};
+use dgs_field::{Fp, SeedTree, UniformHash};
 
 use crate::error::{SketchError, SketchResult};
 use crate::params::L0Params;
 use crate::sparse_recovery::SparseRecovery;
+
+/// A precomputed batch plan for one [`L0Sampler`] seed family.
+///
+/// Planning hoists everything that depends only on `(seed, index)` — the
+/// geometric level, the per-level fingerprint powers `z_j^index`, and the
+/// per-level per-row bucket columns — out of the per-update loop. A plan
+/// built from *any* sampler of a seed family applies to *every* sampler of
+/// that family: the spanning-forest sketch exploits this by planning each
+/// round once and scattering the same plan into all vertex rows (both
+/// endpoints of an edge reuse the plan their round computed for its index).
+#[derive(Clone, Debug)]
+pub struct L0Plan {
+    seed_tag: u64,
+    level_count: usize,
+    keys: Vec<u64>,
+    /// `Fp::new(key)` per key, for the index-weighted sum.
+    key_fps: Vec<Fp>,
+    /// Top level of each key (it lives in levels `0..=top`).
+    tops: Vec<u32>,
+    /// Slot ranges: key `i` owns slots `offsets[i] .. offsets[i + 1]`,
+    /// one slot per level it touches.
+    offsets: Vec<u32>,
+    /// `z_j^key` per slot.
+    pows: Vec<Fp>,
+    /// `rows` bucket columns per slot.
+    buckets: Vec<u32>,
+    rows: usize,
+}
+
+impl L0Plan {
+    /// The number of planned keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True iff the plan covers no keys.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
 
 /// A linear ℓ0-sampler over `[0, dimension)`.
 #[derive(Clone, Debug)]
@@ -88,6 +128,204 @@ impl L0Sampler {
             self.levels[j].update(index, delta)?;
         }
         Ok(())
+    }
+
+    /// Builds a batch plan for `keys` (duplicates allowed; each occurrence
+    /// gets its own slot). Validates the whole batch up front: any
+    /// out-of-range key rejects the plan with
+    /// [`SketchError::InvalidInput`] before anything is computed, so a
+    /// failed plan never leaves partial state anywhere.
+    pub fn plan_updates(&self, keys: &[u64]) -> SketchResult<L0Plan> {
+        for &k in keys {
+            if k >= self.dimension {
+                return Err(SketchError::invalid(format!(
+                    "index {k} out of range for dimension {}",
+                    self.dimension
+                )));
+            }
+        }
+        let rows = self.levels[0].rows();
+        let max_level = self.levels.len() - 1;
+        let mut levels_of = vec![0usize; keys.len()];
+        self.level_hash.level_batch(keys, max_level, &mut levels_of);
+
+        let mut tops = Vec::with_capacity(keys.len());
+        let mut offsets = Vec::with_capacity(keys.len() + 1);
+        let mut slots = 0u32;
+        for &top in &levels_of {
+            offsets.push(slots);
+            tops.push(top as u32);
+            slots += top as u32 + 1;
+        }
+        offsets.push(slots);
+        let key_fps: Vec<Fp> = keys.iter().map(|&k| Fp::new(k)).collect();
+
+        let mut pows = vec![Fp::ZERO; slots as usize];
+        let mut buckets = vec![0u32; slots as usize * rows];
+        // Per level: plan the participating subset contiguously (sharing the
+        // power table and batched bucket hashing), then scatter into slots.
+        let max_top = levels_of.iter().copied().max().unwrap_or(0);
+        let mut subset_ids: Vec<u32> = Vec::with_capacity(keys.len());
+        let mut subset_keys: Vec<u64> = Vec::with_capacity(keys.len());
+        let mut sub_pows: Vec<Fp> = Vec::new();
+        let mut sub_buckets: Vec<u32> = Vec::new();
+        for (j, level) in self.levels.iter().enumerate().take(max_top + 1) {
+            subset_ids.clear();
+            subset_keys.clear();
+            for (i, &top) in levels_of.iter().enumerate() {
+                if top >= j {
+                    subset_ids.push(i as u32);
+                    subset_keys.push(keys[i]);
+                }
+            }
+            sub_pows.clear();
+            sub_pows.resize(subset_keys.len(), Fp::ZERO);
+            sub_buckets.clear();
+            sub_buckets.resize(subset_keys.len() * rows, 0);
+            level.plan_into(&subset_keys, &mut sub_pows, &mut sub_buckets);
+            for (pos, &kid) in subset_ids.iter().enumerate() {
+                let slot = (offsets[kid as usize] + j as u32) as usize;
+                pows[slot] = sub_pows[pos];
+                buckets[slot * rows..(slot + 1) * rows]
+                    .copy_from_slice(&sub_buckets[pos * rows..(pos + 1) * rows]);
+            }
+        }
+
+        Ok(L0Plan {
+            seed_tag: self.seed_tag,
+            level_count: self.levels.len(),
+            keys: keys.to_vec(),
+            key_fps,
+            tops,
+            offsets,
+            pows,
+            buckets,
+            rows,
+        })
+    }
+
+    fn check_plan(&self, plan: &L0Plan) -> SketchResult<()> {
+        if plan.seed_tag != self.seed_tag || plan.level_count != self.levels.len() {
+            return Err(SketchError::invalid(format!(
+                "plan/sampler mismatch: seed {:#x} vs {:#x}, {} vs {} levels",
+                plan.seed_tag,
+                self.seed_tag,
+                plan.level_count,
+                self.levels.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Applies `(plan key `key_id`, delta)` to this sampler. The plan may
+    /// come from any same-seeded sampler. Exactly equivalent to
+    /// [`update`](Self::update) on `(keys[key_id], delta)`.
+    #[inline]
+    pub fn apply_planned(&mut self, plan: &L0Plan, key_id: usize, delta: i64) -> SketchResult<()> {
+        self.check_plan(plan)?;
+        let top = plan.tops[key_id] as usize;
+        let base = plan.offsets[key_id] as usize;
+        let d = Fp::from_i64(delta);
+        let sd = d.mul(plan.key_fps[key_id]);
+        let rows = plan.rows;
+        for (j, level) in self.levels.iter_mut().enumerate().take(top + 1) {
+            let slot = base + j;
+            level.apply_soa(
+                d,
+                sd,
+                d.mul(plan.pows[slot]),
+                &plan.buckets[slot * rows..(slot + 1) * rows],
+            );
+        }
+        Ok(())
+    }
+
+    /// Applies a list of `(plan key id, field delta)` pairs to this
+    /// sampler — equivalent to calling
+    /// [`apply_planned`](Self::apply_planned) per pair with any integer
+    /// delta congruent to `d`, with the plan check hoisted out of the loop
+    /// and a mul-free fast path for unit deltas (`1 * x = x`,
+    /// `-1 * x = -x`, exactly, in canonical form). Callers may pre-sum the
+    /// deltas of duplicate keys: field addition is exact, so the aggregated
+    /// apply is bit-identical to per-update application.
+    pub fn apply_planned_many(&mut self, plan: &L0Plan, items: &[(u32, Fp)]) -> SketchResult<()> {
+        self.check_plan(plan)?;
+        let rows = plan.rows;
+        let minus_one = Fp::ONE.neg();
+        for &(key_id, d) in items {
+            let key_id = key_id as usize;
+            let top = plan.tops[key_id] as usize;
+            let base = plan.offsets[key_id] as usize;
+            let unit = if d == Fp::ONE {
+                Some(false)
+            } else if d == minus_one {
+                Some(true)
+            } else {
+                None
+            };
+            let sd = match unit {
+                Some(false) => plan.key_fps[key_id],
+                Some(true) => plan.key_fps[key_id].neg(),
+                None => d.mul(plan.key_fps[key_id]),
+            };
+            for (j, level) in self.levels.iter_mut().enumerate().take(top + 1) {
+                let slot = base + j;
+                let term = match unit {
+                    Some(false) => plan.pows[slot],
+                    Some(true) => plan.pows[slot].neg(),
+                    None => d.mul(plan.pows[slot]),
+                };
+                level.apply_soa(d, sd, term, &plan.buckets[slot * rows..(slot + 1) * rows]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Batched update: plans the whole batch, then applies every entry.
+    /// Bit-identical to calling [`update`](Self::update) per entry in
+    /// order, except that an invalid entry rejects the *entire* batch
+    /// up front instead of applying the valid prefix.
+    pub fn update_batch(&mut self, entries: &[(u64, i64)]) -> SketchResult<()> {
+        // Validate every key up front — the whole batch is rejected even if
+        // an out-of-range key's deltas would have cancelled.
+        for &(k, _) in entries {
+            if k >= self.dimension {
+                return Err(SketchError::invalid(format!(
+                    "index {k} out of range for dimension {}",
+                    self.dimension
+                )));
+            }
+        }
+        // Aggregate duplicate keys in the field: dynamic streams revisit
+        // indices (insert, delete, re-insert), equal keys hash identically,
+        // and field addition is exact — so summed deltas are bit-identical
+        // to per-update application, and keys whose deltas cancel to zero
+        // can be skipped outright (adding zero is the identity).
+        let mut uniq: Vec<u64> = Vec::with_capacity(entries.len());
+        let mut sums: Vec<Fp> = Vec::with_capacity(entries.len());
+        let mut seen: std::collections::HashMap<u64, usize> =
+            std::collections::HashMap::with_capacity(entries.len());
+        for &(k, delta) in entries {
+            let id = *seen.entry(k).or_insert_with(|| {
+                uniq.push(k);
+                sums.push(Fp::ZERO);
+                uniq.len() - 1
+            });
+            sums[id] = sums[id].add(Fp::from_i64(delta));
+        }
+        let mut keys: Vec<u64> = Vec::with_capacity(uniq.len());
+        let mut items: Vec<(u32, Fp)> = Vec::with_capacity(uniq.len());
+        for (i, &k) in uniq.iter().enumerate() {
+            if sums[i] != Fp::ZERO {
+                items.push((keys.len() as u32, sums[i]));
+                keys.push(k);
+            }
+        }
+        if keys.is_empty() {
+            return Ok(());
+        }
+        let plan = self.plan_updates(&keys)?;
+        self.apply_planned_many(&plan, &items)
     }
 
     /// Verifies `rhs` was drawn with the same seed and shape, so cell-wise
@@ -359,6 +597,73 @@ mod tests {
             s.recover_support(),
             Some(truth.into_iter().collect::<Vec<_>>())
         );
+    }
+
+    #[test]
+    fn update_batch_encoding_matches_scalar() {
+        use dgs_field::{Codec, Writer};
+        let mut rng = StdRng::seed_from_u64(0xBA7C);
+        for batch_size in [1usize, 7, 64] {
+            let mut scalar = sampler(7000 + batch_size as u64);
+            let mut batched = scalar.clone();
+            let entries: Vec<(u64, i64)> = (0..batch_size)
+                .map(|_| {
+                    (
+                        rng.gen_range(0..D),
+                        *[-2i64, -1, 1, 2].choose(&mut rng).unwrap(),
+                    )
+                })
+                .collect();
+            for &(i, d) in &entries {
+                scalar.update(i, d).unwrap();
+            }
+            batched.update_batch(&entries).unwrap();
+            let (mut wa, mut wb) = (Writer::new(), Writer::new());
+            scalar.encode(&mut wa);
+            batched.encode(&mut wb);
+            assert_eq!(wa.into_bytes(), wb.into_bytes(), "batch {batch_size}");
+        }
+    }
+
+    #[test]
+    fn plan_transfers_across_same_seeded_samplers() {
+        // The forest-sketch pattern: plan on one sampler of the seed
+        // family, apply to another.
+        let mut a = sampler(42);
+        let mut b = sampler(42);
+        let keys = [5u64, 1 << 20, 999];
+        let plan = a.plan_updates(&keys).unwrap();
+        for (i, _) in keys.iter().enumerate() {
+            a.update(keys[i], 3).unwrap();
+            b.apply_planned(&plan, i, 3).unwrap();
+        }
+        use dgs_field::{Codec, Writer};
+        let (mut wa, mut wb) = (Writer::new(), Writer::new());
+        a.encode(&mut wa);
+        b.encode(&mut wb);
+        assert_eq!(wa.into_bytes(), wb.into_bytes());
+    }
+
+    #[test]
+    fn batch_rejects_out_of_range_atomically() {
+        let mut s = sampler(43);
+        let before = s.clone();
+        let err = s.update_batch(&[(1, 1), (D, 1)]).unwrap_err();
+        assert!(!err.is_retryable());
+        // Nothing applied — not even the valid prefix.
+        use dgs_field::{Codec, Writer};
+        let (mut wa, mut wb) = (Writer::new(), Writer::new());
+        s.encode(&mut wa);
+        before.encode(&mut wb);
+        assert_eq!(wa.into_bytes(), wb.into_bytes());
+    }
+
+    #[test]
+    fn mismatched_plan_is_rejected() {
+        let a = sampler(44);
+        let mut b = sampler(45);
+        let plan = a.plan_updates(&[7]).unwrap();
+        assert!(b.apply_planned(&plan, 0, 1).is_err());
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod params;
 pub mod sparse_recovery;
 
 pub use error::{SketchError, SketchResult};
-pub use l0::L0Sampler;
+pub use l0::{L0Plan, L0Sampler};
 pub use one_sparse::{OneSparse, OneSparseDecode};
 pub use params::{L0Params, Profile};
 pub use sparse_recovery::SparseRecovery;

@@ -46,6 +46,20 @@ impl OneSparse {
         OneSparse::default()
     }
 
+    /// Reassembles a cell from its three accumulators `(W, S, F)` — the
+    /// bridge from the SoA level tables in `SparseRecovery` back to the
+    /// cell-at-a-time decoder.
+    #[inline]
+    pub fn from_parts(w: Fp, s: Fp, f: Fp) -> OneSparse {
+        OneSparse { w, s, f }
+    }
+
+    /// The three accumulators `(W, S, F)`.
+    #[inline]
+    pub fn parts(&self) -> (Fp, Fp, Fp) {
+        (self.w, self.s, self.f)
+    }
+
     /// Applies `(index, delta)` using the structure's shared fingerprinter.
     #[inline]
     pub fn update(&mut self, index: u64, delta: i64, fper: &Fingerprinter) {

@@ -7,19 +7,44 @@
 //! `1 - 2^{-Ω(rows)}`; a residual nonzero cell after peeling certifies
 //! failure, so the decoder never silently returns a wrong support — the
 //! only error mode left is a fingerprint false positive (`<= d/p` per cell).
+//!
+//! # Storage layout
+//!
+//! Cells are stored struct-of-arrays: three parallel `Vec<Fp>` level tables
+//! (`w` total weights, `s` index-weighted sums, `f` fingerprints), each
+//! `rows x cols` row-major. A batched update touches each table with a
+//! unit-stride pattern per accumulator instead of striding 24-byte
+//! `OneSparse` structs, and the batch planner
+//! ([`plan_into`](SparseRecovery::plan_into) /
+//! [`apply_soa`](SparseRecovery::apply_soa)) hoists the `z^index`
+//! exponentiation and bucket hashing out of the per-cell loop entirely.
+//! The [`Codec`](dgs_field::Codec) encoding is versioned: new encodes carry
+//! a sentinel marker, while decoding still accepts the original
+//! array-of-`OneSparse` layout.
 
-use dgs_field::{Fingerprinter, KWiseHash, SeedTree};
+use dgs_field::{Fingerprinter, Fp, KWiseHash, SeedTree};
 
 use crate::error::{SketchError, SketchResult};
 use crate::one_sparse::{OneSparse, OneSparseDecode};
+
+/// Sentinel marking the versioned SoA encoding. The legacy layout begins
+/// with the dimension, which the workspace caps at `2^60`, so `u64::MAX`
+/// can never be a legacy first word.
+const SOA_SENTINEL: u64 = u64::MAX;
+/// Version number of the SoA encoding (room for future layouts).
+const SOA_VERSION: u64 = 1;
 
 /// An s-sparse recovery structure.
 #[derive(Clone, Debug)]
 pub struct SparseRecovery {
     fper: Fingerprinter,
     hashes: Vec<KWiseHash>,
-    /// `rows x cols` cells, row-major.
-    cells: Vec<OneSparse>,
+    /// `rows x cols` total weights, row-major.
+    w: Vec<Fp>,
+    /// `rows x cols` index-weighted sums, row-major.
+    s: Vec<Fp>,
+    /// `rows x cols` fingerprints, row-major.
+    f: Vec<Fp>,
     cols: usize,
     sparsity: usize,
     dimension: u64,
@@ -31,13 +56,16 @@ impl SparseRecovery {
         assert!(sparsity >= 1 && rows >= 1);
         let cols = 2 * sparsity;
         let fper = Fingerprinter::new(&seeds.child(u64::MAX));
-        let hashes = (0..rows)
+        let hashes: Vec<KWiseHash> = (0..rows)
             .map(|r| KWiseHash::new(&seeds.child(r as u64), 2))
             .collect();
+        let cells = rows * cols;
         SparseRecovery {
             fper,
             hashes,
-            cells: vec![OneSparse::new(); rows * cols],
+            w: vec![Fp::ZERO; cells],
+            s: vec![Fp::ZERO; cells],
+            f: vec![Fp::ZERO; cells],
             cols,
             sparsity,
             dimension,
@@ -47,6 +75,11 @@ impl SparseRecovery {
     /// The sparsity bound `s`.
     pub fn sparsity(&self) -> usize {
         self.sparsity
+    }
+
+    /// The number of hash rows.
+    pub fn rows(&self) -> usize {
+        self.hashes.len()
     }
 
     /// Applies `(index, delta)` to every row (one `z^index` exponentiation
@@ -62,19 +95,70 @@ impl SparseRecovery {
             )));
         }
         let term = self.fper.term(index, delta);
+        let d = Fp::from_i64(delta);
+        let sd = d.mul(Fp::new(index));
         for (r, h) in self.hashes.iter().enumerate() {
             let c = h.bucket(index, self.cols);
-            self.cells[r * self.cols + c].update_with_term(index, delta, term);
+            let cell = r * self.cols + c;
+            self.w[cell] += d;
+            self.s[cell] += sd;
+            self.f[cell] += term;
         }
         Ok(())
     }
 
+    /// Batch planner: for each key (assumed already range-checked), writes
+    /// `z^key` into `pows[i]` and the per-row bucket of key `i` into
+    /// `buckets[i * rows .. (i + 1) * rows]`. The fingerprint exponentiations
+    /// share one windowed [power table](dgs_field::PowTable) and the bucket
+    /// hashing runs through [`KWiseHash::bucket_batch`] — this is where the
+    /// batched ingest path earns its speedup over per-update
+    /// [`update`](Self::update) calls.
+    pub fn plan_into(&self, keys: &[u64], pows: &mut [Fp], buckets: &mut [u32]) {
+        let rows = self.hashes.len();
+        assert_eq!(pows.len(), keys.len(), "plan_into pows length mismatch");
+        assert_eq!(
+            buckets.len(),
+            keys.len() * rows,
+            "plan_into buckets length mismatch"
+        );
+        let max = keys.iter().copied().max().unwrap_or(0);
+        debug_assert!(keys.iter().all(|&k| k < self.dimension));
+        let table = self.fper.power_table(max);
+        for (p, &k) in pows.iter_mut().zip(keys) {
+            *p = table.pow(k);
+        }
+        let mut scratch = vec![0usize; keys.len()];
+        for (r, h) in self.hashes.iter().enumerate() {
+            h.bucket_batch(keys, self.cols, &mut scratch);
+            for (i, &b) in scratch.iter().enumerate() {
+                buckets[i * rows + r] = b as u32;
+            }
+        }
+    }
+
+    /// Applies one planned update: `d` is the embedded delta, `sd` the
+    /// precomputed `delta * index`, `term` the fingerprint contribution
+    /// `delta * z^index`, and `row_buckets` the per-row cell columns from
+    /// [`plan_into`](Self::plan_into). Exactly equivalent to
+    /// [`update`](Self::update) on the same `(index, delta)`.
+    #[inline]
+    pub fn apply_soa(&mut self, d: Fp, sd: Fp, term: Fp, row_buckets: &[u32]) {
+        debug_assert_eq!(row_buckets.len(), self.hashes.len());
+        for (r, &c) in row_buckets.iter().enumerate() {
+            let cell = r * self.cols + c as usize;
+            self.w[cell] += d;
+            self.s[cell] += sd;
+            self.f[cell] += term;
+        }
+    }
+
     fn check_compatible(&self, rhs: &SparseRecovery) -> SketchResult<()> {
-        if self.cells.len() != rhs.cells.len() || self.dimension != rhs.dimension {
+        if self.w.len() != rhs.w.len() || self.dimension != rhs.dimension {
             return Err(SketchError::invalid(format!(
                 "sketch shape mismatch: {} vs {} cells, dimension {} vs {}",
-                self.cells.len(),
-                rhs.cells.len(),
+                self.w.len(),
+                rhs.w.len(),
                 self.dimension,
                 rhs.dimension
             )));
@@ -85,8 +169,14 @@ impl SparseRecovery {
     /// Cell-wise sum with a same-seeded structure.
     pub fn add_assign_sketch(&mut self, rhs: &SparseRecovery) -> SketchResult<()> {
         self.check_compatible(rhs)?;
-        for (a, b) in self.cells.iter_mut().zip(&rhs.cells) {
-            a.add_assign(b);
+        for (a, b) in self.w.iter_mut().zip(&rhs.w) {
+            *a += *b;
+        }
+        for (a, b) in self.s.iter_mut().zip(&rhs.s) {
+            *a += *b;
+        }
+        for (a, b) in self.f.iter_mut().zip(&rhs.f) {
+            *a += *b;
         }
         Ok(())
     }
@@ -94,15 +184,29 @@ impl SparseRecovery {
     /// Cell-wise difference with a same-seeded structure.
     pub fn sub_assign_sketch(&mut self, rhs: &SparseRecovery) -> SketchResult<()> {
         self.check_compatible(rhs)?;
-        for (a, b) in self.cells.iter_mut().zip(&rhs.cells) {
-            a.sub_assign(b);
+        for (a, b) in self.w.iter_mut().zip(&rhs.w) {
+            *a -= *b;
+        }
+        for (a, b) in self.s.iter_mut().zip(&rhs.s) {
+            *a -= *b;
+        }
+        for (a, b) in self.f.iter_mut().zip(&rhs.f) {
+            *a -= *b;
         }
         Ok(())
     }
 
     /// True iff every cell is zero (the net vector hashes to nothing).
     pub fn is_zero(&self) -> bool {
-        self.cells.iter().all(|c| c.is_zero())
+        self.w.iter().all(|x| x.is_zero())
+            && self.s.iter().all(|x| x.is_zero())
+            && self.f.iter().all(|x| x.is_zero())
+    }
+
+    /// The cell at flat position `i`, reassembled from the level tables.
+    #[inline]
+    fn cell(&self, i: usize) -> OneSparse {
+        OneSparse::from_parts(self.w[i], self.s[i], self.f[i])
     }
 
     /// Attempts exact support recovery by peeling. Returns `Some(support)`
@@ -110,7 +214,7 @@ impl SparseRecovery {
     /// every cell; `None` means the vector (almost surely) has more than
     /// `s` nonzeros or the hashing was unlucky.
     pub fn decode(&self) -> Option<Vec<(u64, i64)>> {
-        let mut work = self.cells.clone();
+        let mut work: Vec<OneSparse> = (0..self.w.len()).map(|i| self.cell(i)).collect();
         let mut recovered: Vec<(u64, i64)> = Vec::new();
         // Each peel removes one coordinate; s+1 coordinates can never drain.
         let max_peels = self.sparsity * 2 + 2;
@@ -147,34 +251,87 @@ impl SparseRecovery {
 
     /// Memory footprint in bytes (cells + hash coefficients + fingerprint).
     pub fn size_bytes(&self) -> usize {
-        self.cells.len() * OneSparse::size_bytes()
+        self.w.len() * OneSparse::size_bytes()
             + self.hashes.iter().map(|h| h.size_bytes()).sum::<usize>()
             + self.fper.size_bytes()
+    }
+
+    /// Emits the pre-SoA array-of-cells layout — kept for compatibility
+    /// tests and as a downgrade path for tooling that still reads the old
+    /// format. New code should use [`Codec::encode`](dgs_field::Codec).
+    pub fn encode_legacy(&self, w: &mut dgs_field::Writer) {
+        use dgs_field::Codec;
+        w.put_u64(self.dimension);
+        w.put_usize(self.sparsity);
+        self.fper.encode(w);
+        self.hashes.to_vec().encode(w);
+        let cells: Vec<OneSparse> = (0..self.w.len()).map(|i| self.cell(i)).collect();
+        cells.encode(w);
     }
 }
 
 impl dgs_field::Codec for SparseRecovery {
     fn encode(&self, w: &mut dgs_field::Writer) {
+        w.put_u64(SOA_SENTINEL);
+        w.put_u64(SOA_VERSION);
         w.put_u64(self.dimension);
         w.put_usize(self.sparsity);
         self.fper.encode(w);
         self.hashes.to_vec().encode(w);
-        self.cells.encode(w);
+        self.w.encode(w);
+        self.s.encode(w);
+        self.f.encode(w);
     }
     fn decode(r: &mut dgs_field::Reader<'_>) -> Result<Self, dgs_field::CodecError> {
-        let dimension = r.get_u64()?;
+        let first = r.get_u64()?;
+        let (soa, dimension) = if first == SOA_SENTINEL {
+            let version = r.get_u64()?;
+            if version != SOA_VERSION {
+                return Err(dgs_field::CodecError {
+                    offset: 0,
+                    message: format!("unknown sparse-recovery encoding version {version}"),
+                });
+            }
+            (true, r.get_u64()?)
+        } else {
+            // Legacy layout: the first word was the dimension itself.
+            (false, first)
+        };
         let sparsity = r.get_len(1 << 30)?.max(1);
         let fper = Fingerprinter::decode(r)?;
         let hashes: Vec<KWiseHash> = Vec::decode(r)?;
-        let cells: Vec<OneSparse> = Vec::decode(r)?;
+        let (w, s, f) = if soa {
+            let w: Vec<Fp> = Vec::decode(r)?;
+            let s: Vec<Fp> = Vec::decode(r)?;
+            let f: Vec<Fp> = Vec::decode(r)?;
+            (w, s, f)
+        } else {
+            let cells: Vec<OneSparse> = Vec::decode(r)?;
+            let mut w = Vec::with_capacity(cells.len());
+            let mut s = Vec::with_capacity(cells.len());
+            let mut f = Vec::with_capacity(cells.len());
+            for c in &cells {
+                let (cw, cs, cf) = c.parts();
+                w.push(cw);
+                s.push(cs);
+                f.push(cf);
+            }
+            (w, s, f)
+        };
         let cols = 2 * sparsity;
-        if hashes.is_empty() || cells.len() != hashes.len() * cols {
+        if hashes.is_empty()
+            || w.len() != hashes.len() * cols
+            || s.len() != w.len()
+            || f.len() != w.len()
+        {
             return Err(dgs_field::CodecError {
                 offset: 0,
                 message: format!(
-                    "inconsistent sparse-recovery shape: {} hashes, {} cells, {} cols",
+                    "inconsistent sparse-recovery shape: {} hashes, {}/{}/{} cells, {} cols",
                     hashes.len(),
-                    cells.len(),
+                    w.len(),
+                    s.len(),
+                    f.len(),
                     cols
                 ),
             });
@@ -182,7 +339,9 @@ impl dgs_field::Codec for SparseRecovery {
         Ok(SparseRecovery {
             fper,
             hashes,
-            cells,
+            w,
+            s,
+            f,
             cols,
             sparsity,
             dimension,
@@ -194,6 +353,7 @@ impl dgs_field::Codec for SparseRecovery {
 mod tests {
     use super::*;
     use dgs_field::prng::*;
+    use dgs_field::{Codec, Reader, Writer};
 
     const D: u64 = 1 << 30;
 
@@ -306,5 +466,68 @@ mod tests {
             small.size_bytes(),
             6 * 8 * OneSparse::size_bytes() + 6 * 16 + 8
         );
+    }
+
+    #[test]
+    fn planned_apply_matches_scalar_update() {
+        let mut scalar = sr(20, 4);
+        let mut planned = sr(20, 4);
+        let entries: Vec<(u64, i64)> = vec![(3, 1), (900, -2), (3, -1), (D - 1, 5), (0, 1)];
+        for &(i, d) in &entries {
+            scalar.update(i, d).unwrap();
+        }
+        let keys: Vec<u64> = entries.iter().map(|e| e.0).collect();
+        let rows = planned.rows();
+        let mut pows = vec![Fp::ZERO; keys.len()];
+        let mut buckets = vec![0u32; keys.len() * rows];
+        planned.plan_into(&keys, &mut pows, &mut buckets);
+        for (i, &(key, delta)) in entries.iter().enumerate() {
+            let d = Fp::from_i64(delta);
+            planned.apply_soa(
+                d,
+                d.mul(Fp::new(key)),
+                d.mul(pows[i]),
+                &buckets[i * rows..(i + 1) * rows],
+            );
+        }
+        let (mut wa, mut wb) = (Writer::new(), Writer::new());
+        scalar.encode(&mut wa);
+        planned.encode(&mut wb);
+        assert_eq!(wa.into_bytes(), wb.into_bytes());
+    }
+
+    #[test]
+    fn versioned_codec_round_trips() {
+        let mut s = sr(21, 4);
+        for (i, d) in [(10u64, 1i64), (20, -3), (1 << 29, 7)] {
+            s.update(i, d).unwrap();
+        }
+        let mut w = Writer::new();
+        s.encode(&mut w);
+        let bytes = w.into_bytes();
+        let back = <SparseRecovery as Codec>::decode(&mut Reader::new(&bytes)).unwrap();
+        let mut w2 = Writer::new();
+        back.encode(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
+        assert_eq!(back.decode(), s.decode());
+    }
+
+    #[test]
+    fn legacy_codec_layout_still_decodes() {
+        let mut s = sr(22, 4);
+        for (i, d) in [(42u64, 2i64), (77, -1), (D - 5, 3)] {
+            s.update(i, d).unwrap();
+        }
+        let mut legacy = Writer::new();
+        s.encode_legacy(&mut legacy);
+        let back =
+            <SparseRecovery as Codec>::decode(&mut Reader::new(&legacy.into_bytes())).unwrap();
+        // The decoded structure matches the original exactly: same support,
+        // same re-encoded (new-format) bytes.
+        assert_eq!(back.decode(), s.decode());
+        let (mut wa, mut wb) = (Writer::new(), Writer::new());
+        s.encode(&mut wa);
+        back.encode(&mut wb);
+        assert_eq!(wa.into_bytes(), wb.into_bytes());
     }
 }

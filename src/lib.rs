@@ -56,9 +56,10 @@ pub mod prelude {
         SpanningForestSketch,
     };
     pub use dgs_core::{
-        BoostedQuery, CheckpointConfig, CheckpointStore, CheckpointedIngestor,
+        BatchableSketch, BoostedQuery, CheckpointConfig, CheckpointStore, CheckpointedIngestor,
         HypergraphSparsifier, LightRecoverySketch, QueryOutcome, Recoverable, Recovered,
-        RecoveryDriver, RecoveryError, SparsifierConfig, VertexConnConfig, VertexConnSketch,
+        RecoveryDriver, RecoveryError, ShardedIngestor, SparsifierConfig, VertexConnConfig,
+        VertexConnSketch,
     };
     pub use dgs_field::prng::{Rng, SeedableRng, SliceRandom, StdRng};
     pub use dgs_field::SeedTree;

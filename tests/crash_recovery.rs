@@ -522,3 +522,52 @@ fn resumed_ingestion_after_crash_matches_uninterrupted_run() {
     fs::remove_dir_all(&wal_dir).unwrap();
     fs::remove_dir_all(&snap_dir).unwrap();
 }
+
+/// WAL replay runs through the batched kernel (`Recoverable::apply_batch`
+/// in fixed-size chunks). The full-log rung must stay bit-identical to a
+/// per-update replay, and a bad update landing mid-chunk must surface its
+/// exact stream index with the preceding prefix applied exactly once.
+#[test]
+fn batched_wal_replay_is_bit_identical_and_reports_exact_offsets() {
+    // Full-log recovery (no snapshots) over a churn stream long enough to
+    // span several replay chunks.
+    let stream = workload(0xBA7C, 32);
+    assert!(stream.len() > 256, "need a multi-chunk replay tail");
+    let (wal_dir, snap_dir) = (tmpdir("batch-wal"), tmpdir("batch-snap"));
+    let mut cfg = tight_cfg(1);
+    cfg.snapshot_interval = u64::MAX; // wal-only: recovery is pure replay
+    let rec = crash_and_recover(&wal_dir, &snap_dir, &stream, stream.len(), cfg, || {
+        forest(stream.n, 3)
+    });
+    assert_eq!(rec.from_snapshot, None, "replay must cover the whole log");
+    let mut reference = forest(stream.n, 3);
+    for u in &stream.updates {
+        reference.apply_update(u).unwrap();
+    }
+    assert_eq!(
+        encoded(&rec.sketch),
+        encoded(&reference),
+        "batched replay diverges from per-update replay"
+    );
+    fs::remove_dir_all(&wal_dir).unwrap();
+    fs::remove_dir_all(&snap_dir).unwrap();
+
+    // The apply_batch contract replay offsets rely on: a failure reports
+    // the in-batch index of the bad update, with updates before it applied
+    // exactly once and none after.
+    let good = workload(0xBA7D, 12);
+    let mut batch: Vec<Update> = good.updates[..10].to_vec();
+    batch.insert(7, Update::insert(HyperEdge::pair(0, 99))); // out of range
+    let mut via_batch = forest(12, 5);
+    let (bad_index, _) = via_batch.apply_batch(&batch).unwrap_err();
+    assert_eq!(bad_index, 7);
+    let mut via_scalar = forest(12, 5);
+    for u in &batch[..7] {
+        via_scalar.apply_update(u).unwrap();
+    }
+    assert_eq!(
+        encoded(&via_batch),
+        encoded(&via_scalar),
+        "failed batch must leave exactly the prefix applied"
+    );
+}

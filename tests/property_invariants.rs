@@ -178,3 +178,86 @@ fn light_recovery_equals_strength_filter() {
         }
     }
 }
+
+/// Batched ingestion — single-sketch, striped, and the sharded boosted
+/// ingestor — is byte-identical (Codec encoding) to per-update ingestion,
+/// across seeds, batch sizes, and thread counts, on random insert/delete
+/// streams salted with immediately-cancelling pairs (which the batched
+/// path aggregates away in the field).
+#[test]
+fn batched_ingest_encodes_byte_identical_to_sequential() {
+    use dgs_field::{Codec, Writer};
+    fn encoded<T: Codec>(t: &T) -> Vec<u8> {
+        let mut w = Writer::new();
+        t.encode(&mut w);
+        w.into_bytes()
+    }
+    let n = 12;
+    let mut rng = StdRng::seed_from_u64(0x75);
+    for trial in 0..6u64 {
+        let stream = random_stream(n, 120, &mut rng);
+        let mut pairs: Vec<(HyperEdge, i64)> = stream
+            .updates
+            .iter()
+            .map(|u| (u.edge.clone(), u.op.delta()))
+            .collect();
+        // Salt with cancelling insert/delete pairs at random positions.
+        for _ in 0..10 {
+            let a = rng.gen_range(0u32..n as u32);
+            let b = (a + 1 + rng.gen_range(0u32..(n - 1) as u32)) % n as u32;
+            let at = rng.gen_range(0..=pairs.len());
+            pairs.insert(at, (HyperEdge::pair(a, b), -1));
+            pairs.insert(at, (HyperEdge::pair(a, b), 1));
+        }
+        let space = EdgeSpace::graph(n).unwrap();
+        let params = ForestParams::new(Profile::Practical, space.dimension());
+        let seeds = SeedTree::new(0xF0 + trial);
+
+        let mut seq = SpanningForestSketch::new_full(space.clone(), &seeds, params);
+        for (e, d) in &pairs {
+            seq.try_update(e, *d).unwrap();
+        }
+        let expected = encoded(&seq);
+
+        for batch in [1usize, 7, 256] {
+            let mut sk = SpanningForestSketch::new_full(space.clone(), &seeds, params);
+            for chunk in pairs.chunks(batch) {
+                sk.try_update_batch(chunk).unwrap();
+            }
+            assert_eq!(encoded(&sk), expected, "trial {trial}, batch {batch}");
+            for threads in [2usize, 5] {
+                let mut sk = SpanningForestSketch::new_full(space.clone(), &seeds, params);
+                for chunk in pairs.chunks(batch) {
+                    sk.try_update_batch_striped(chunk, threads).unwrap();
+                }
+                assert_eq!(
+                    encoded(&sk),
+                    expected,
+                    "trial {trial}, batch {batch}, threads {threads}"
+                );
+            }
+        }
+
+        // Boosted repetitions through the sharded ingestor.
+        let build = |i: usize| {
+            SpanningForestSketch::new_full(space.clone(), &seeds.child(i as u64), params)
+        };
+        let mut serial = BoostedQuery::new(3, build);
+        for (e, d) in &pairs {
+            serial.try_update(e, *d).unwrap();
+        }
+        let expected_reps: Vec<Vec<u8>> = serial.sketches().iter().map(encoded).collect();
+        for (threads, batch) in [(1usize, 7usize), (2, 64), (3, 256)] {
+            let mut ing = ShardedIngestor::with_build(3, threads, batch, build);
+            for (e, d) in &pairs {
+                ing.push(e, *d).unwrap();
+            }
+            let boosted = ing.finish().unwrap();
+            let got: Vec<Vec<u8>> = boosted.sketches().iter().map(encoded).collect();
+            assert_eq!(
+                got, expected_reps,
+                "trial {trial}, threads {threads}, batch {batch}"
+            );
+        }
+    }
+}
