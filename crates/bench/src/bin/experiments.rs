@@ -39,6 +39,10 @@ const DESCRIPTIONS: &[(&str, &str)] = &[
         "e17",
         "ingest throughput: scalar vs batched kernels vs sharded threads",
     ),
+    (
+        "e18",
+        "observed failure rates vs delta/delta^R bounds (dgs-obs counters)",
+    ),
 ];
 
 fn main() -> ExitCode {
@@ -48,7 +52,8 @@ fn main() -> ExitCode {
 
     if ids.is_empty() || ids.iter().any(|a| a.as_str() == "help") {
         eprintln!(
-            "usage: experiments <all | list | check-ingest [baseline] | e1 .. e17>... [--quick]"
+            "usage: experiments <all | list | check-ingest [baseline] | check-obs [baseline] \
+             | obs-report | e1 .. e18>... [--quick]"
         );
         return ExitCode::from(2);
     }
@@ -59,6 +64,18 @@ fn main() -> ExitCode {
         } else {
             ExitCode::FAILURE
         };
+    }
+    if ids.first().map(|a| a.as_str()) == Some("check-obs") {
+        let baseline = ids.get(1).map_or("BENCH_obs.json", |s| s.as_str());
+        return if dgs_bench::experiments::e18_obs::check(baseline) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    if ids.first().map(|a| a.as_str()) == Some("obs-report") {
+        dgs_bench::experiments::e18_obs::obs_report(quick);
+        return ExitCode::SUCCESS;
     }
     if ids.iter().any(|a| a.as_str() == "list") {
         for (id, desc) in DESCRIPTIONS {

@@ -20,11 +20,12 @@ pub mod e14_edge_conn;
 pub mod e15_distributed;
 pub mod e16_recovery;
 pub mod e17_ingest;
+pub mod e18_obs;
 
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17",
+    "e16", "e17", "e18",
 ];
 
 /// Runs one experiment by id. Returns false for an unknown id.
@@ -47,6 +48,7 @@ pub fn run(id: &str, quick: bool) -> bool {
         "e15" => e15_distributed::run(quick),
         "e16" => e16_recovery::run(quick),
         "e17" => e17_ingest::run(quick),
+        "e18" => e18_obs::run(quick),
         _ => return false,
     }
     true

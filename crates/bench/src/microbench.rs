@@ -3,11 +3,14 @@
 //! In-tree replacement for the external `criterion` dependency (removed so
 //! the workspace builds offline). Each benchmark warms up briefly, then
 //! runs batches until a fixed wall-clock budget is spent and reports the
-//! mean ns/iteration. No statistics beyond the mean — these benches exist
-//! to catch order-of-magnitude regressions and to profile hot paths, not
-//! to resolve 1% deltas.
+//! mean plus p50/p95/p99 ns/iteration, accumulated in a
+//! [`dgs_obs::Histogram`] (log-bucketed, so the quantiles carry ~25%
+//! relative resolution). These benches exist to catch order-of-magnitude
+//! regressions and to profile hot paths, not to resolve 1% deltas.
 
 use std::time::{Duration, Instant};
+
+use dgs_obs::Histogram;
 
 /// Per-benchmark wall-clock budget. Kept small so `cargo test`, which runs
 /// `harness = false` bench binaries, stays fast.
@@ -18,6 +21,7 @@ const WARMUP: Duration = Duration::from_millis(30);
 pub struct Bencher {
     total_ns: u128,
     iters: u64,
+    batch_ns: Histogram,
 }
 
 impl Bencher {
@@ -26,7 +30,9 @@ impl Bencher {
     /// Calls run in inner batches of 64 per clock read: `Instant::now` costs
     /// tens of nanoseconds, so checking the deadline every call both skews
     /// sub-microsecond benchmarks upward and serializes the loop on the
-    /// timer rather than on `f` itself.
+    /// timer rather than on `f` itself. Each batch's mean ns/iteration is
+    /// one histogram sample, so the reported quantiles describe batch-level
+    /// variation (scheduling noise, frequency scaling), not per-call jitter.
     pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
         const INNER: u64 = 64;
         let warm_start = Instant::now();
@@ -36,9 +42,12 @@ impl Bencher {
         let start = Instant::now();
         let mut iters = 0u64;
         while start.elapsed() < BUDGET {
+            let batch_start = Instant::now();
             for _ in 0..INNER {
                 std::hint::black_box(f());
             }
+            let batch = batch_start.elapsed().as_nanos() as u64;
+            self.batch_ns.record(batch / INNER);
             iters += INNER;
         }
         self.total_ns = start.elapsed().as_nanos();
@@ -46,11 +55,13 @@ impl Bencher {
     }
 }
 
-/// Runs one named benchmark and prints its mean time per iteration.
+/// Runs one named benchmark and prints its mean and p50/p95/p99 time per
+/// iteration.
 pub fn bench(name: &str, f: impl FnOnce(&mut Bencher)) {
     let mut b = Bencher {
         total_ns: 0,
         iters: 0,
+        batch_ns: Histogram::standalone(),
     };
     f(&mut b);
     let per = if b.iters > 0 {
@@ -58,5 +69,12 @@ pub fn bench(name: &str, f: impl FnOnce(&mut Bencher)) {
     } else {
         0
     };
-    println!("{name:<44} {per:>12} ns/iter  ({} iters)", b.iters);
+    let stats = b.batch_ns.stats();
+    println!(
+        "{name:<44} {per:>10} ns/iter  p50 {:>8}  p95 {:>8}  p99 {:>8}  ({} iters)",
+        stats.quantile(0.50),
+        stats.quantile(0.95),
+        stats.quantile(0.99),
+        b.iters
+    );
 }

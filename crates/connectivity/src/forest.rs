@@ -19,6 +19,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use dgs_field::{Fp, SeedTree};
 use dgs_hypergraph::algo::UnionFind;
 use dgs_hypergraph::{EdgeSpace, HyperEdge, VertexId};
+use dgs_obs::{Counter, Gauge, Histogram, MetricsSink};
 use dgs_sketch::{L0Params, L0Sampler, Profile, SketchError, SketchResult};
 
 use crate::vector::incidence_coefficient;
@@ -42,6 +43,31 @@ impl ForestParams {
     }
 }
 
+/// Metric handles for one sketch; null (free) by default, shared across
+/// clones, excluded from the codec.
+#[derive(Clone, Debug, Default)]
+struct ForestMetrics {
+    decode_attempts: Counter,
+    decode_successes: Counter,
+    decode_failures: Counter,
+    rounds_used: Histogram,
+    rounds_budget: Gauge,
+    batch_zero_skips: Counter,
+}
+
+impl ForestMetrics {
+    fn resolve(sink: &MetricsSink) -> ForestMetrics {
+        ForestMetrics {
+            decode_attempts: sink.counter("dgs_connectivity_forest_decode_attempts"),
+            decode_successes: sink.counter("dgs_connectivity_forest_decode_successes"),
+            decode_failures: sink.counter("dgs_connectivity_forest_decode_failures"),
+            rounds_used: sink.histogram("dgs_connectivity_forest_rounds_used"),
+            rounds_budget: sink.gauge("dgs_connectivity_forest_rounds_budget"),
+            batch_zero_skips: sink.counter("dgs_connectivity_forest_batch_zero_skips"),
+        }
+    }
+}
+
 /// A linear sketch of a (hyper)graph from which a spanning graph of the
 /// subgraph induced on a fixed vertex set can be decoded.
 #[derive(Clone, Debug)]
@@ -54,6 +80,7 @@ pub struct SpanningForestSketch {
     rounds: usize,
     /// `rounds * |vertices|` samplers, row-major by round.
     samplers: Vec<L0Sampler>,
+    metrics: ForestMetrics,
 }
 
 /// The deterministic construction plan shared by the full sketch and the
@@ -166,6 +193,22 @@ impl SpanningForestSketch {
             vpos,
             rounds,
             samplers,
+            metrics: ForestMetrics::default(),
+        }
+    }
+
+    /// Attach metric handles resolved from `sink`
+    /// (`dgs_connectivity_forest_*`: decode outcome counters, Borůvka
+    /// rounds-used histogram vs. the rounds-budget gauge, zero-cancellation
+    /// batch skips) and propagate to every per-vertex per-round ℓ0-sampler
+    /// (`dgs_sketch_*`). Decode-time aggregate samplers are clones and share
+    /// these handles, so their sample outcomes are counted too. Default is
+    /// the null sink: recording is free.
+    pub fn set_sink(&mut self, sink: &MetricsSink) {
+        self.metrics = ForestMetrics::resolve(sink);
+        self.metrics.rounds_budget.set(self.rounds as i64);
+        for s in &mut self.samplers {
+            s.set_sink(sink);
         }
     }
 
@@ -327,8 +370,10 @@ impl SpanningForestSketch {
         }
         let mut keys: Vec<u64> = Vec::with_capacity(uniq.len());
         let mut by_row: Vec<Vec<(u32, Fp)>> = vec![Vec::new(); self.vertices.len()];
+        let mut zero_skips = 0u64;
         for (id, &rank) in uniq.iter().enumerate() {
             if sums[id] == Fp::ZERO {
+                zero_skips += 1;
                 continue;
             }
             let lid = keys.len() as u32;
@@ -344,6 +389,7 @@ impl SpanningForestSketch {
                 by_row[local].push((lid, d));
             }
         }
+        self.metrics.batch_zero_skips.add(zero_skips);
         (keys, by_row)
     }
 
@@ -560,15 +606,18 @@ impl SpanningForestSketch {
     }
 
     fn decode_impl(&self, strict: bool) -> SketchResult<(Vec<HyperEdge>, UnionFind)> {
+        self.metrics.decode_attempts.inc();
         let nv = self.vertices.len();
         let mut uf = UnionFind::new(nv);
         let mut out: BTreeSet<HyperEdge> = BTreeSet::new();
         // True iff the most recent round proved the partition stable.
         let mut last_round_certified = true;
+        let mut rounds_used = 0u64;
         for round in 0..self.rounds {
             if uf.component_count() <= 1 {
                 break;
             }
+            rounds_used += 1;
             // Aggregate this round's samplers per component.
             let mut agg: BTreeMap<u32, L0Sampler> = BTreeMap::new();
             for local in 0..nv as u32 {
@@ -628,6 +677,7 @@ impl SpanningForestSketch {
             }
         }
         if uf.component_count() > 1 && !last_round_certified {
+            self.metrics.decode_failures.inc();
             return Err(SketchError::failure(
                 "forest",
                 format!(
@@ -637,6 +687,8 @@ impl SpanningForestSketch {
                 ),
             ));
         }
+        self.metrics.decode_successes.inc();
+        self.metrics.rounds_used.record(rounds_used);
         Ok((out.into_iter().collect(), uf))
     }
 
@@ -804,6 +856,7 @@ impl dgs_field::Codec for SpanningForestSketch {
             vpos,
             rounds,
             samplers,
+            metrics: ForestMetrics::default(),
         })
     }
 }

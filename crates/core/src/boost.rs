@@ -31,6 +31,7 @@
 //! independent, so no cross-thread merging is needed).
 
 use dgs_hypergraph::HyperEdge;
+use dgs_obs::{Counter, Histogram, MetricsSink};
 use dgs_sketch::{SketchError, SketchResult};
 
 /// The resolution of a boosted query.
@@ -130,11 +131,35 @@ impl BoostableSketch for crate::HypergraphSparsifier {
     }
 }
 
+/// Metric handles for one boosted query; null (free) by default, shared
+/// across clones.
+#[derive(Clone, Debug, Default)]
+struct BoostMetrics {
+    /// Distribution of `1 + failed_repetitions` on answered queries — the
+    /// geometric-ish "repetitions until success" the `δ^R` analysis governs.
+    repetitions_until_success: Histogram,
+    answers: Counter,
+    unknowns: Counter,
+    invalid: Counter,
+}
+
+impl BoostMetrics {
+    fn resolve(sink: &MetricsSink) -> BoostMetrics {
+        BoostMetrics {
+            repetitions_until_success: sink.histogram("dgs_core_boost_repetitions_until_success"),
+            answers: sink.counter("dgs_core_boost_answers"),
+            unknowns: sink.counter("dgs_core_boost_unknowns"),
+            invalid: sink.counter("dgs_core_boost_invalid"),
+        }
+    }
+}
+
 /// `R` independent same-structure repetitions resolving queries by
 /// first-success or majority (see the module docs).
 #[derive(Clone, Debug)]
 pub struct BoostedQuery<S> {
     repetitions: Vec<S>,
+    metrics: BoostMetrics,
 }
 
 impl<S> BoostedQuery<S> {
@@ -147,13 +172,26 @@ impl<S> BoostedQuery<S> {
         assert!(r >= 1, "need at least one repetition");
         BoostedQuery {
             repetitions: (0..r).map(&mut build).collect(),
+            metrics: BoostMetrics::default(),
         }
     }
 
     /// Wraps already-built repetitions (used by sharded ingestion).
     pub fn from_repetitions(repetitions: Vec<S>) -> BoostedQuery<S> {
         assert!(!repetitions.is_empty(), "need at least one repetition");
-        BoostedQuery { repetitions }
+        BoostedQuery {
+            repetitions,
+            metrics: BoostMetrics::default(),
+        }
+    }
+
+    /// Attach metric handles resolved from `sink` (`dgs_core_boost_*`:
+    /// outcome counters and the repetitions-until-success distribution the
+    /// `δ^R` bound governs). Only the query-resolution layer is
+    /// instrumented here — to also observe the underlying sketches, set
+    /// their sinks before wrapping them. Default is the null sink.
+    pub fn set_sink(&mut self, sink: &MetricsSink) {
+        self.metrics = BoostMetrics::resolve(sink);
     }
 
     /// Number of repetitions `R`.
@@ -174,15 +212,23 @@ impl<S> BoostedQuery<S> {
         for s in &self.repetitions {
             match q(s) {
                 Ok(value) => {
+                    self.metrics.answers.inc();
+                    self.metrics
+                        .repetitions_until_success
+                        .record(failed as u64 + 1);
                     return QueryOutcome::Answer {
                         value,
                         failed_repetitions: failed,
-                    }
+                    };
                 }
                 Err(e) if e.is_retryable() => failed += 1,
-                Err(e) => return QueryOutcome::Invalid(e),
+                Err(e) => {
+                    self.metrics.invalid.inc();
+                    return QueryOutcome::Invalid(e);
+                }
             }
         }
+        self.metrics.unknowns.inc();
         QueryOutcome::Unknown {
             failed_repetitions: failed,
         }
@@ -201,17 +247,29 @@ impl<S> BoostedQuery<S> {
             match q(s) {
                 Ok(value) => *votes.entry(value).or_insert(0) += 1,
                 Err(e) if e.is_retryable() => failed += 1,
-                Err(e) => return QueryOutcome::Invalid(e),
+                Err(e) => {
+                    self.metrics.invalid.inc();
+                    return QueryOutcome::Invalid(e);
+                }
             }
         }
         match votes.into_iter().max_by_key(|&(_, n)| n) {
-            Some((value, _)) => QueryOutcome::Answer {
-                value,
-                failed_repetitions: failed,
-            },
-            None => QueryOutcome::Unknown {
-                failed_repetitions: failed,
-            },
+            Some((value, _)) => {
+                self.metrics.answers.inc();
+                self.metrics
+                    .repetitions_until_success
+                    .record(failed as u64 + 1);
+                QueryOutcome::Answer {
+                    value,
+                    failed_repetitions: failed,
+                }
+            }
+            None => {
+                self.metrics.unknowns.inc();
+                QueryOutcome::Unknown {
+                    failed_repetitions: failed,
+                }
+            }
         }
     }
 }

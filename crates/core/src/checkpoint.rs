@@ -37,6 +37,7 @@ use dgs_field::{Codec, Reader, Writer};
 use dgs_hypergraph::fault::fnv1a64;
 use dgs_hypergraph::wal::{read_wal, WalConfig, WalError, WalWriter};
 use dgs_hypergraph::{Update, UpdateStream};
+use dgs_obs::{Counter, Histogram, MetricsSink};
 use dgs_sketch::{SketchError, SketchResult};
 
 use crate::reconstruct::LightRecoverySketch;
@@ -192,11 +193,30 @@ fn snapshot_path(dir: &Path, offset: u64) -> PathBuf {
     dir.join(format!("snap-{offset:012}.ckpt"))
 }
 
+/// Metric handles for a snapshot store; null (free) by default.
+#[derive(Clone, Debug, Default)]
+struct StoreMetrics {
+    snapshot_ns: Histogram,
+    snapshot_bytes: Counter,
+    snapshots_written: Counter,
+}
+
+impl StoreMetrics {
+    fn resolve(sink: &MetricsSink) -> StoreMetrics {
+        StoreMetrics {
+            snapshot_ns: sink.histogram("dgs_core_checkpoint_snapshot_ns"),
+            snapshot_bytes: sink.counter("dgs_core_checkpoint_snapshot_bytes"),
+            snapshots_written: sink.counter("dgs_core_checkpoint_snapshots_written"),
+        }
+    }
+}
+
 /// Writes and enumerates checksummed sketch snapshots in a directory.
 #[derive(Clone, Debug)]
 pub struct CheckpointStore {
     dir: PathBuf,
     seed: u64,
+    metrics: StoreMetrics,
 }
 
 impl CheckpointStore {
@@ -207,7 +227,18 @@ impl CheckpointStore {
     pub fn open(dir: impl Into<PathBuf>, seed: u64) -> Result<CheckpointStore, RecoveryError> {
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
-        Ok(CheckpointStore { dir, seed })
+        Ok(CheckpointStore {
+            dir,
+            seed,
+            metrics: StoreMetrics::default(),
+        })
+    }
+
+    /// Attach metric handles resolved from `sink`
+    /// (`dgs_core_checkpoint_snapshot_*`: save latency histogram, bytes
+    /// written, snapshots written). Default is the null sink.
+    pub fn set_sink(&mut self, sink: &MetricsSink) {
+        self.metrics = StoreMetrics::resolve(sink);
     }
 
     /// The snapshot directory.
@@ -220,6 +251,7 @@ impl CheckpointStore {
     /// crash mid-write leaves either the old state or the new, never a
     /// half-snapshot under the final name.
     pub fn save<T: Codec>(&self, sketch: &T, offset: u64) -> Result<PathBuf, RecoveryError> {
+        let timer = self.metrics.snapshot_ns.start_timer();
         let mut w = Writer::new();
         sketch.encode(&mut w);
         let payload = w.into_bytes();
@@ -247,6 +279,9 @@ impl CheckpointStore {
             f.sync_all().map_err(|e| io_err(&tmp, e))?;
         }
         fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+        self.metrics.snapshot_bytes.add(bytes.len() as u64);
+        self.metrics.snapshots_written.inc();
+        timer.observe();
         Ok(path)
     }
 
@@ -354,11 +389,32 @@ pub struct Recovered<T> {
     pub replayed: u64,
 }
 
+/// Metric handles for the recovery ladder; null (free) by default.
+#[derive(Clone, Debug, Default)]
+struct RecoveryMetrics {
+    recover_ns: Histogram,
+    replayed_records: Counter,
+    snapshots_skipped: Counter,
+    wal_torn_bytes: Counter,
+}
+
+impl RecoveryMetrics {
+    fn resolve(sink: &MetricsSink) -> RecoveryMetrics {
+        RecoveryMetrics {
+            recover_ns: sink.histogram("dgs_core_checkpoint_recover_ns"),
+            replayed_records: sink.counter("dgs_core_checkpoint_replayed_records"),
+            snapshots_skipped: sink.counter("dgs_core_checkpoint_snapshots_skipped"),
+            wal_torn_bytes: sink.counter("dgs_core_checkpoint_wal_torn_bytes"),
+        }
+    }
+}
+
 /// Drives the recovery ladder over a WAL directory and a snapshot store.
 #[derive(Clone, Debug)]
 pub struct RecoveryDriver {
     wal_dir: PathBuf,
     store: CheckpointStore,
+    metrics: RecoveryMetrics,
 }
 
 impl RecoveryDriver {
@@ -367,7 +423,15 @@ impl RecoveryDriver {
         RecoveryDriver {
             wal_dir: wal_dir.into(),
             store,
+            metrics: RecoveryMetrics::default(),
         }
+    }
+
+    /// Attach metric handles resolved from `sink`
+    /// (`dgs_core_checkpoint_recover_*`: ladder latency, records replayed,
+    /// snapshots rejected, torn WAL bytes dropped). Default is the null sink.
+    pub fn set_sink(&mut self, sink: &MetricsSink) {
+        self.metrics = RecoveryMetrics::resolve(sink);
     }
 
     /// Recovers a sketch: newest valid snapshot + WAL-tail replay, falling
@@ -391,6 +455,28 @@ impl RecoveryDriver {
     /// sketch ahead of the writer. Read-only recovery passes `None` and
     /// keeps the most-advanced state available.
     fn recover_capped<T, F>(
+        &self,
+        cap: Option<u64>,
+        fresh: F,
+    ) -> Result<Recovered<T>, RecoveryError>
+    where
+        T: Recoverable,
+        F: FnOnce(usize, usize) -> T,
+    {
+        let timer = self.metrics.recover_ns.start_timer();
+        let out = self.recover_capped_inner(cap, fresh);
+        if let Ok(rec) = &out {
+            self.metrics.replayed_records.add(rec.replayed);
+            self.metrics
+                .snapshots_skipped
+                .add(rec.snapshot_defects.len() as u64);
+            self.metrics.wal_torn_bytes.add(rec.wal_torn_bytes);
+        }
+        timer.observe();
+        out
+    }
+
+    fn recover_capped_inner<T, F>(
         &self,
         cap: Option<u64>,
         fresh: F,
@@ -578,6 +664,14 @@ impl<T: Recoverable> CheckpointedIngestor<T> {
             since_snapshot: 0,
         };
         Ok((ingestor, recovered))
+    }
+
+    /// Attach metric handles resolved from `sink` to the WAL writer and the
+    /// snapshot store (append/sync/snapshot latencies and byte counts).
+    /// Default is the null sink.
+    pub fn set_sink(&mut self, sink: &MetricsSink) {
+        self.wal.set_sink(sink);
+        self.store.set_sink(sink);
     }
 
     /// Logs then applies one update; snapshots when the interval elapses.

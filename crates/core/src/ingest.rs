@@ -18,6 +18,7 @@
 //! batch_size)` choice, which the property tests assert byte-for-byte.
 
 use dgs_hypergraph::{HyperEdge, Update, UpdateStream};
+use dgs_obs::{Counter, Gauge, Histogram, MetricsSink};
 use dgs_sketch::SketchResult;
 
 use crate::boost::{BoostableSketch, BoostedQuery};
@@ -69,6 +70,35 @@ impl BatchableSketch for crate::HypergraphSparsifier {}
 /// in every repetition, so the ingestor stays consistent; treat any flush
 /// error as fatal for the query (the stream itself is malformed —
 /// retrying cannot help).
+/// Metric handles for one ingestor; null (free) by default.
+#[derive(Debug, Default)]
+struct IngestMetrics {
+    updates: Counter,
+    flush_ns: Histogram,
+    queue_depth: Gauge,
+    /// One labelled counter per stripe (`shard="0"..`), counting
+    /// `updates × repetitions` applications — per-shard throughput.
+    shard_updates: Vec<Counter>,
+}
+
+impl IngestMetrics {
+    fn resolve(sink: &MetricsSink, threads: usize) -> IngestMetrics {
+        IngestMetrics {
+            updates: sink.counter("dgs_core_ingest_updates"),
+            flush_ns: sink.histogram("dgs_core_ingest_flush_ns"),
+            queue_depth: sink.gauge("dgs_core_ingest_queue_depth"),
+            shard_updates: (0..threads)
+                .map(|t| {
+                    sink.counter_labelled(
+                        "dgs_core_ingest_shard_updates",
+                        &[("shard", &t.to_string())],
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
 #[derive(Debug)]
 pub struct ShardedIngestor<S> {
     repetitions: Vec<S>,
@@ -76,6 +106,7 @@ pub struct ShardedIngestor<S> {
     batch_size: usize,
     buffer: Vec<(HyperEdge, i64)>,
     ingested: u64,
+    metrics: IngestMetrics,
 }
 
 impl<S: BatchableSketch> ShardedIngestor<S> {
@@ -94,7 +125,19 @@ impl<S: BatchableSketch> ShardedIngestor<S> {
             batch_size,
             buffer: Vec::with_capacity(batch_size),
             ingested: 0,
+            metrics: IngestMetrics::default(),
         }
+    }
+
+    /// Attach metric handles resolved from `sink` (`dgs_core_ingest_*`:
+    /// total updates, flush latency histogram, buffered queue depth gauge,
+    /// and per-stripe `shard="i"` throughput counters). Only the ingestor
+    /// itself is instrumented — to also observe the sketches, set their
+    /// sinks on the repetitions before constructing the ingestor. Default
+    /// is the null sink: recording is free.
+    pub fn set_sink(&mut self, sink: &MetricsSink) {
+        let stripes = self.threads.min(self.repetitions.len());
+        self.metrics = IngestMetrics::resolve(sink, stripes);
     }
 
     /// Builds `r` repetitions via `build(repetition_index)` — derive each
@@ -127,6 +170,7 @@ impl<S: BatchableSketch> ShardedIngestor<S> {
     /// Buffers one signed update, flushing if the batch is full.
     pub fn push(&mut self, e: &HyperEdge, delta: i64) -> SketchResult<()> {
         self.buffer.push((e.clone(), delta));
+        self.metrics.queue_depth.set(self.buffer.len() as i64);
         if self.buffer.len() >= self.batch_size {
             self.flush()?;
         }
@@ -152,11 +196,15 @@ impl<S: BatchableSketch> ShardedIngestor<S> {
         if self.buffer.is_empty() {
             return Ok(());
         }
+        let timer = self.metrics.flush_ns.start_timer();
         let batch = std::mem::take(&mut self.buffer);
         let threads = self.threads.min(self.repetitions.len());
         if threads <= 1 {
             for s in &mut self.repetitions {
                 s.try_apply_batch(&batch)?;
+            }
+            if let Some(c) = self.metrics.shard_updates.first() {
+                c.add(batch.len() as u64 * self.repetitions.len() as u64);
             }
         } else {
             let mut stripes: Vec<Vec<&mut S>> = (0..threads).map(|_| Vec::new()).collect();
@@ -166,11 +214,17 @@ impl<S: BatchableSketch> ShardedIngestor<S> {
             let results: Vec<SketchResult<()>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = stripes
                     .into_iter()
-                    .map(|stripe| {
+                    .enumerate()
+                    .map(|(t, stripe)| {
                         let batch = &batch;
+                        let shard_counter = self.metrics.shard_updates.get(t).cloned();
                         scope.spawn(move || -> SketchResult<()> {
+                            let applied = batch.len() as u64 * stripe.len() as u64;
                             for s in stripe {
                                 s.try_apply_batch(batch)?;
+                            }
+                            if let Some(c) = shard_counter {
+                                c.add(applied);
                             }
                             Ok(())
                         })
@@ -186,6 +240,9 @@ impl<S: BatchableSketch> ShardedIngestor<S> {
             }
         }
         self.ingested += batch.len() as u64;
+        self.metrics.updates.add(batch.len() as u64);
+        self.metrics.queue_depth.set(0);
+        timer.observe();
         self.buffer = Vec::with_capacity(self.batch_size);
         Ok(())
     }

@@ -32,6 +32,7 @@ use crate::edge::HyperEdge;
 use crate::stream::{Update, UpdateStream};
 use dgs_field::prng::*;
 use dgs_field::{Codec, CodecError, Reader, Writer};
+use dgs_obs::{Counter, MetricsSink};
 use std::collections::BTreeSet;
 
 /// The stream-level fault classes the resilience suite injects.
@@ -88,6 +89,9 @@ pub struct InjectedFault {
 #[derive(Clone, Debug)]
 pub struct FaultInjector {
     rng: StdRng,
+    /// One `dgs_hypergraph_fault_injected{class="..."}` counter per entry of
+    /// [`FaultClass::ALL`], in that order; null (free) by default.
+    injected: [Counter; FaultClass::ALL.len()],
 }
 
 impl FaultInjector {
@@ -95,7 +99,21 @@ impl FaultInjector {
     pub fn new(seed: u64) -> FaultInjector {
         FaultInjector {
             rng: StdRng::seed_from_u64(seed),
+            injected: Default::default(),
         }
+    }
+
+    /// Attach metric handles resolved from `sink`: every injected fault
+    /// increments `dgs_hypergraph_fault_injected{class="<class>"}`, so a
+    /// resilience harness can reconcile detected faults against injected
+    /// ones. Default is the null sink.
+    pub fn set_sink(&mut self, sink: &MetricsSink) {
+        self.injected = FaultClass::ALL.map(|class| {
+            sink.counter_labelled(
+                "dgs_hypergraph_fault_injected",
+                &[("class", &class.to_string())],
+            )
+        });
     }
 
     /// Returns a corrupted copy of `stream` with one fault of `class`
@@ -111,6 +129,11 @@ impl FaultInjector {
         class: FaultClass,
     ) -> (UpdateStream, InjectedFault) {
         assert!(!stream.is_empty(), "cannot inject into an empty stream");
+        let slot = FaultClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("ALL is exhaustive");
+        self.injected[slot].inc();
         let mut out = stream.clone();
         let fault = match class {
             FaultClass::DuplicateUpdate => {

@@ -43,6 +43,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use dgs_field::{Codec, Fingerprinter, Fp, Reader, SeedTree, Writer};
+use dgs_obs::{Counter, Histogram, MetricsSink};
 
 use crate::fault::fnv1a64;
 use crate::stream::{Update, UpdateStream};
@@ -135,6 +136,26 @@ fn frame_bytes(payload: &[u8]) -> Vec<u8> {
     w.into_bytes()
 }
 
+/// Metric handles for a WAL writer; null (free) by default.
+#[derive(Clone, Debug, Default)]
+struct WalMetrics {
+    append_ns: Histogram,
+    append_bytes: Counter,
+    sync_ns: Histogram,
+    segments_sealed: Counter,
+}
+
+impl WalMetrics {
+    fn resolve(sink: &MetricsSink) -> WalMetrics {
+        WalMetrics {
+            append_ns: sink.histogram("dgs_hypergraph_wal_append_ns"),
+            append_bytes: sink.counter("dgs_hypergraph_wal_append_bytes"),
+            sync_ns: sink.histogram("dgs_hypergraph_wal_sync_ns"),
+            segments_sealed: sink.counter("dgs_hypergraph_wal_segments_sealed"),
+        }
+    }
+}
+
 /// An append-only writer over a segment directory.
 #[derive(Debug)]
 pub struct WalWriter {
@@ -149,6 +170,7 @@ pub struct WalWriter {
     fp_acc: Fp,
     zpow: Fp,
     offset: u64,
+    metrics: WalMetrics,
 }
 
 impl WalWriter {
@@ -279,21 +301,30 @@ impl WalWriter {
             fp_acc: Fp::ZERO,
             zpow: Fp::ONE,
             offset,
+            metrics: WalMetrics::default(),
         })
+    }
+
+    /// Attach metric handles resolved from `sink`
+    /// (`dgs_hypergraph_wal_*`: append latency/bytes, sync latency, sealed
+    /// segments). Default is the null sink.
+    pub fn set_sink(&mut self, sink: &MetricsSink) {
+        self.metrics = WalMetrics::resolve(sink);
     }
 
     /// Appends one update. The record is on the OS's side of the crash line
     /// once this returns (a single `write` of a complete frame); call
     /// [`sync`](Self::sync) to force it to the device too.
     pub fn append(&mut self, u: &Update) -> Result<(), WalError> {
+        let timer = self.metrics.append_ns.start_timer();
         let mut payload = Writer::new();
         payload.put_u8(TAG_RECORD);
         u.encode(&mut payload);
         let payload = payload.into_bytes();
         let path = segment_path(&self.dir, self.seg_index);
-        self.file
-            .write_all(&frame_bytes(&payload))
-            .map_err(|e| io_err(&path, e))?;
+        let frame = frame_bytes(&payload);
+        self.metrics.append_bytes.add(frame.len() as u64);
+        self.file.write_all(&frame).map_err(|e| io_err(&path, e))?;
         self.fp_acc = self.fp_acc.add(Fp::new(fnv1a64(&payload)).mul(self.zpow));
         self.zpow = self.zpow.mul(self.fper.point());
         self.seg_count += 1;
@@ -301,6 +332,7 @@ impl WalWriter {
         if self.seg_count >= self.cfg.segment_records {
             self.rotate()?;
         }
+        timer.observe();
         Ok(())
     }
 
@@ -313,7 +345,7 @@ impl WalWriter {
             .write_all(&frame_bytes(&trailer))
             .map_err(|e| io_err(&path, e))?;
         self.file.sync_all().map_err(|e| io_err(&path, e))?;
-        let next = Self::open_segment(
+        let mut next = Self::open_segment(
             self.dir.clone(),
             self.n,
             self.max_rank,
@@ -321,14 +353,21 @@ impl WalWriter {
             self.seg_index + 1,
             self.offset,
         )?;
+        // `open_segment` starts with null handles; the live ones survive the
+        // rotation.
+        next.metrics = self.metrics.clone();
+        next.metrics.segments_sealed.inc();
         *self = next;
         Ok(())
     }
 
     /// Forces buffered appends to the storage device.
     pub fn sync(&mut self) -> Result<(), WalError> {
+        let timer = self.metrics.sync_ns.start_timer();
         let path = segment_path(&self.dir, self.seg_index);
-        self.file.sync_all().map_err(|e| io_err(&path, e))
+        let out = self.file.sync_all().map_err(|e| io_err(&path, e));
+        timer.observe();
+        out
     }
 
     /// Total records ever appended — the stream offset the next record gets.

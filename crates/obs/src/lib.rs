@@ -1,0 +1,50 @@
+//! # dgs-obs: in-tree metrics and tracing for the dynamic-graph-streams stack
+//!
+//! A zero-dependency, *global-free* observability layer. There is no static
+//! registry and no macro magic: every instrumented component holds plain
+//! handles ([`Counter`], [`Gauge`], [`Histogram`]) resolved once from a
+//! [`MetricsSink`] at construction / `set_sink` time. The hot path is a single
+//! branch on an `Option` plus (when live) one relaxed atomic RMW — no locks,
+//! no allocation, no formatting.
+//!
+//! ## Pay for what you use
+//!
+//! The default sink is the *null sink* ([`MetricsSink::null`]): every handle it
+//! hands out is a no-op whose operations compile down to a `None` check.
+//! Components therefore take no constructor changes to stay observable-free —
+//! they default to null handles and only light up when the caller threads a
+//! live sink (obtained from a [`Registry`]) through `set_sink`.
+//!
+//! ## Naming scheme
+//!
+//! Metric names follow `dgs_<crate>_<subsystem>_<name>`, e.g.
+//! `dgs_sketch_l0_sample_failures` or `dgs_core_ingest_flush_ns`. Histograms
+//! that measure durations use an `_ns` suffix and record nanoseconds. Labelled
+//! metrics append `{key="value",...}` with keys sorted, e.g.
+//! `dgs_core_ingest_shard_updates{shard="3"}`.
+//!
+//! ## Export
+//!
+//! A [`Registry`] snapshots into Prometheus text exposition format
+//! ([`Registry::to_prometheus`]) or a single JSON object
+//! ([`Registry::to_json`]). Both are deterministic (keys sorted) so they can be
+//! golden-tested.
+//!
+//! ## Tracing
+//!
+//! [`MetricsSink::span`] returns an RAII [`Span`] guard that records its
+//! elapsed time into a `_ns` histogram and, when the registry was built with
+//! [`Registry::with_trace`], appends a [`TraceEvent`] to a fixed-capacity ring
+//! buffer (oldest events evicted, eviction counted).
+
+mod export;
+mod metrics;
+mod registry;
+mod trace;
+
+pub use metrics::{
+    bucket_index, bucket_upper_edge, Counter, Gauge, HistStats, Histogram, HistogramTimer,
+    HISTOGRAM_BUCKETS,
+};
+pub use registry::{MetricValue, MetricsSink, Registry, Snapshot, Span};
+pub use trace::TraceEvent;

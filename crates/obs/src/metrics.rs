@@ -1,0 +1,338 @@
+//! Atomic metric handles: `Counter`, `Gauge`, `Histogram`.
+//!
+//! Handles are cheap to clone (an `Option<Arc<..>>`) and share their cell, so
+//! a cloned sketch keeps feeding the same metric. A `Default` handle is the
+//! null handle: every operation is a branch on `None` and nothing else — no
+//! allocation, no atomics.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Monotonically increasing event counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// The no-op handle. All operations are free.
+    pub fn null() -> Self {
+        Counter(None)
+    }
+
+    /// A live handle not attached to any registry. Useful for tests and for
+    /// ad-hoc accumulation (e.g. the bench harness).
+    pub fn standalone() -> Self {
+        Counter(Some(Arc::new(AtomicU64::new(0))))
+    }
+
+    pub(crate) fn from_cell(cell: Arc<AtomicU64>) -> Self {
+        Counter(Some(cell))
+    }
+
+    /// True when attached to a live cell.
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(1, Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(delta, Relaxed);
+        }
+    }
+
+    /// Current value; 0 for the null handle.
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Relaxed))
+    }
+}
+
+/// Instantaneous signed value (queue depths, budgets).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    pub fn null() -> Self {
+        Gauge(None)
+    }
+
+    pub fn standalone() -> Self {
+        Gauge(Some(Arc::new(AtomicI64::new(0))))
+    }
+
+    pub(crate) fn from_cell(cell: Arc<AtomicI64>) -> Self {
+        Gauge(Some(cell))
+    }
+
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+
+    #[inline]
+    pub fn set(&self, value: i64) {
+        if let Some(c) = &self.0 {
+            c.store(value, Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(delta, Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |c| c.load(Relaxed))
+    }
+}
+
+/// Number of log-spaced buckets. Values 0..=3 get exact buckets; above that,
+/// each power of two is split into 4 sub-buckets (quartile mantissa), giving
+/// ~25% relative resolution across the full `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 4 + 62 * 4;
+
+/// Bucket index for a recorded value. Monotone in `v`; exact for `v < 4`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < 4 {
+        return v as usize;
+    }
+    // v >= 4: exp = floor(log2 v) >= 2. Sub-bucket from the two bits below
+    // the leading bit.
+    let exp = 63 - v.leading_zeros() as u64; // 2..=63
+    let sub = (v >> (exp - 2)) & 0b11; // top-2 mantissa bits
+    let idx = 4 + (exp - 2) * 4 + sub;
+    idx as usize
+}
+
+/// Inclusive upper edge of a bucket: the largest value mapping to `index`.
+pub fn bucket_upper_edge(index: usize) -> u64 {
+    if index < 4 {
+        return index as u64;
+    }
+    let i = (index - 4) as u64;
+    let exp = i / 4 + 2;
+    let sub = i % 4;
+    // Largest v with floor(log2 v) == exp and top-2 mantissa == sub:
+    // (base + (sub+1) * 2^(exp-2)) - 1
+    let base = 1u64 << exp;
+    let step = 1u64 << (exp - 2);
+    base.wrapping_add(step.wrapping_mul(sub + 1))
+        .wrapping_sub(1)
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCells {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistogramCells {
+    pub(crate) fn new() -> Self {
+        HistogramCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Summary statistics extracted from a histogram snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistStats {
+    pub count: u64,
+    pub sum: u64,
+    /// Non-empty buckets as `(inclusive_upper_edge, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistStats {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Quantile estimate: upper edge of the bucket containing the q-quantile.
+    /// `q` in [0, 1]. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(edge, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return edge;
+            }
+        }
+        self.buckets.last().map_or(0, |&(edge, _)| edge)
+    }
+}
+
+/// Log-bucketed histogram of `u64` observations (typically nanoseconds).
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Option<Arc<HistogramCells>>);
+
+impl Histogram {
+    pub fn null() -> Self {
+        Histogram(None)
+    }
+
+    /// A live handle not attached to any registry.
+    pub fn standalone() -> Self {
+        Histogram(Some(Arc::new(HistogramCells::new())))
+    }
+
+    pub(crate) fn from_cells(cells: Arc<HistogramCells>) -> Self {
+        Histogram(Some(cells))
+    }
+
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(h) = &self.0 {
+            h.buckets[bucket_index(value)].fetch_add(1, Relaxed);
+            h.count.fetch_add(1, Relaxed);
+            h.sum.fetch_add(value, Relaxed);
+        }
+    }
+
+    /// RAII timer recording elapsed nanoseconds on drop. The null handle
+    /// never reads the clock.
+    pub fn start_timer(&self) -> HistogramTimer {
+        HistogramTimer {
+            hist: self.clone(),
+            start: if self.is_live() {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    pub fn stats(&self) -> HistStats {
+        match &self.0 {
+            None => HistStats {
+                count: 0,
+                sum: 0,
+                buckets: Vec::new(),
+            },
+            Some(h) => {
+                let mut buckets = Vec::new();
+                for (i, b) in h.buckets.iter().enumerate() {
+                    let n = b.load(Relaxed);
+                    if n != 0 {
+                        buckets.push((bucket_upper_edge(i), n));
+                    }
+                }
+                HistStats {
+                    count: h.count.load(Relaxed),
+                    sum: h.sum.load(Relaxed),
+                    buckets,
+                }
+            }
+        }
+    }
+}
+
+/// Guard returned by [`Histogram::start_timer`].
+#[derive(Debug)]
+pub struct HistogramTimer {
+    hist: Histogram,
+    start: Option<Instant>,
+}
+
+impl HistogramTimer {
+    /// Stop early and record; equivalent to dropping the guard.
+    pub fn observe(self) {}
+}
+
+impl Drop for HistogramTimer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            self.hist.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_monotone_and_exact_small() {
+        for v in 0..4u64 {
+            assert_eq!(bucket_index(v), v as usize);
+        }
+        let mut prev = 0;
+        for exp in 0..=20u32 {
+            for off in [0u64, 1, 2, 3] {
+                let v = (1u64 << exp).saturating_add(off * (1 << exp) / 8);
+                let idx = bucket_index(v);
+                assert!(idx >= prev, "not monotone at v={v}");
+                prev = idx;
+            }
+        }
+        assert!(bucket_index(u64::MAX) < HISTOGRAM_BUCKETS);
+    }
+
+    #[test]
+    fn bucket_edges_round_trip() {
+        for idx in 0..HISTOGRAM_BUCKETS {
+            let edge = bucket_upper_edge(idx);
+            assert_eq!(bucket_index(edge), idx, "edge {edge} of bucket {idx}");
+            if edge != u64::MAX {
+                assert_eq!(bucket_index(edge + 1), idx + 1);
+            }
+        }
+        assert_eq!(bucket_upper_edge(HISTOGRAM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let h = Histogram::standalone();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.stats();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 5050);
+        // 25% relative resolution: the bucket edge is within a factor ~1.25.
+        assert!(s.quantile(0.5) >= 50 && s.quantile(0.5) <= 63);
+        assert!(s.quantile(0.99) >= 99);
+        assert_eq!(s.quantile(0.0), s.buckets[0].0);
+    }
+
+    #[test]
+    fn null_handles_are_inert() {
+        let c = Counter::null();
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        assert!(!c.is_live());
+        let g = Gauge::null();
+        g.set(5);
+        assert_eq!(g.get(), 0);
+        let h = Histogram::null();
+        h.record(123);
+        assert_eq!(h.stats().count, 0);
+        h.start_timer().observe();
+        assert_eq!(h.stats().count, 0);
+    }
+}

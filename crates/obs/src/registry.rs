@@ -1,0 +1,407 @@
+//! `Registry` (owning side) and `MetricsSink` (handle-dispensing side).
+//!
+//! Registration takes a mutex on a `BTreeMap` keyed by the fully-qualified
+//! metric key (`name` or `name{label="v",...}`); this is a *cold* path run at
+//! construction / `set_sink` time. The handles returned are lock-free
+//! thereafter. Re-registering the same key returns a handle to the same cell,
+//! so components wired to one sink aggregate naturally.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::metrics::{Counter, Gauge, HistStats, Histogram, HistogramCells};
+use crate::trace::{TraceEvent, TraceLog};
+
+#[derive(Debug, Clone)]
+enum Cell {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<HistogramCells>),
+}
+
+#[derive(Debug)]
+pub(crate) struct RegistryInner {
+    metrics: Mutex<BTreeMap<String, Cell>>,
+    trace: Option<TraceLog>,
+    epoch: Instant,
+}
+
+/// Cheap-to-clone handle used to resolve metric handles. The default /
+/// [`MetricsSink::null`] sink dispenses null handles whose operations are
+/// no-ops (and allocate nothing).
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSink {
+    inner: Option<Arc<RegistryInner>>,
+}
+
+impl MetricsSink {
+    /// The no-op sink. Every handle it returns is inert.
+    pub fn null() -> Self {
+        MetricsSink { inner: None }
+    }
+
+    /// True when backed by a live [`Registry`].
+    pub fn is_live(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Resolve (registering on first use) an unlabelled counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            None => Counter::null(),
+            Some(inner) => inner.counter(name.to_string()),
+        }
+    }
+
+    /// Resolve a labelled counter. Labels are sorted by key into the metric
+    /// key, e.g. `counter_labelled("x", &[("shard", "0")])` -> `x{shard="0"}`.
+    pub fn counter_labelled(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match &self.inner {
+            None => Counter::null(),
+            Some(inner) => inner.counter(keyed(name, labels)),
+        }
+    }
+
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.inner {
+            None => Gauge::null(),
+            Some(inner) => inner.gauge(name.to_string()),
+        }
+    }
+
+    pub fn gauge_labelled(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match &self.inner {
+            None => Gauge::null(),
+            Some(inner) => inner.gauge(keyed(name, labels)),
+        }
+    }
+
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match &self.inner {
+            None => Histogram::null(),
+            Some(inner) => inner.histogram(name.to_string()),
+        }
+    }
+
+    /// Start an RAII span. Records elapsed nanoseconds into the histogram
+    /// `<name>_ns` and, when tracing is enabled, appends a [`TraceEvent`] on
+    /// drop. On the null sink this never reads the clock nor allocates.
+    pub fn span(&self, name: &'static str) -> Span {
+        match &self.inner {
+            None => Span {
+                inner: None,
+                hist: Histogram::null(),
+                name,
+                start: None,
+            },
+            Some(inner) => {
+                let mut full = String::with_capacity(name.len() + 3);
+                full.push_str(name);
+                full.push_str("_ns");
+                let hist = inner.histogram(full);
+                Span {
+                    inner: inner.trace.is_some().then(|| Arc::clone(inner)),
+                    hist,
+                    name,
+                    start: Some(Instant::now()),
+                }
+            }
+        }
+    }
+}
+
+fn keyed(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort_unstable();
+    let mut out = String::with_capacity(name.len() + 16 * sorted.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+impl RegistryInner {
+    fn counter(self: &Arc<Self>, key: String) -> Counter {
+        let mut map = self.metrics.lock().expect("registry lock poisoned");
+        let cell = map
+            .entry(key)
+            .or_insert_with(|| Cell::Counter(Arc::new(AtomicU64::new(0))));
+        match cell {
+            Cell::Counter(c) => Counter::from_cell(Arc::clone(c)),
+            // Type mismatch with an existing key is a programming error; keep
+            // running with a detached live cell rather than panicking.
+            _ => {
+                debug_assert!(false, "metric re-registered with a different type");
+                Counter::standalone()
+            }
+        }
+    }
+
+    fn gauge(self: &Arc<Self>, key: String) -> Gauge {
+        let mut map = self.metrics.lock().expect("registry lock poisoned");
+        let cell = map
+            .entry(key)
+            .or_insert_with(|| Cell::Gauge(Arc::new(AtomicI64::new(0))));
+        match cell {
+            Cell::Gauge(g) => Gauge::from_cell(Arc::clone(g)),
+            _ => {
+                debug_assert!(false, "metric re-registered with a different type");
+                Gauge::standalone()
+            }
+        }
+    }
+
+    fn histogram(self: &Arc<Self>, key: String) -> Histogram {
+        let mut map = self.metrics.lock().expect("registry lock poisoned");
+        let cell = map
+            .entry(key)
+            .or_insert_with(|| Cell::Histogram(Arc::new(HistogramCells::new())));
+        match cell {
+            Cell::Histogram(h) => Histogram::from_cells(Arc::clone(h)),
+            _ => {
+                debug_assert!(false, "metric re-registered with a different type");
+                Histogram::standalone()
+            }
+        }
+    }
+}
+
+/// RAII span guard; see [`MetricsSink::span`].
+#[derive(Debug)]
+pub struct Span {
+    inner: Option<Arc<RegistryInner>>,
+    hist: Histogram,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Finish the span now; equivalent to dropping it.
+    pub fn exit(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            let duration_ns = start.elapsed().as_nanos() as u64;
+            self.hist.record(duration_ns);
+            if let Some(inner) = &self.inner {
+                if let Some(trace) = &inner.trace {
+                    let start_ns = start.duration_since(inner.epoch).as_nanos() as u64;
+                    trace.push(TraceEvent {
+                        name: self.name,
+                        start_ns,
+                        duration_ns,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Point-in-time value of a single metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistStats),
+}
+
+/// Deterministic (key-sorted) snapshot of a registry.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// `(fully_qualified_key, value)` pairs, ascending by key.
+    pub metrics: Vec<(String, MetricValue)>,
+    /// Retained trace events, oldest first.
+    pub trace: Vec<TraceEvent>,
+    /// Number of trace events evicted from the ring.
+    pub trace_evicted: u64,
+}
+
+/// Owning side of the metrics system. Create one, pass `sink()` handles to
+/// instrumented components, then `snapshot()` / `to_json()` /
+/// `to_prometheus()` to read everything back.
+#[derive(Clone, Debug)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// A registry without a trace ring (spans still feed histograms).
+    pub fn new() -> Self {
+        Registry {
+            inner: Arc::new(RegistryInner {
+                metrics: Mutex::new(BTreeMap::new()),
+                trace: None,
+                epoch: Instant::now(),
+            }),
+        }
+    }
+
+    /// A registry whose spans also append to a ring buffer holding the last
+    /// `capacity` events.
+    pub fn with_trace(capacity: usize) -> Self {
+        Registry {
+            inner: Arc::new(RegistryInner {
+                metrics: Mutex::new(BTreeMap::new()),
+                trace: Some(TraceLog::new(capacity)),
+                epoch: Instant::now(),
+            }),
+        }
+    }
+
+    /// A live sink dispensing handles backed by this registry.
+    pub fn sink(&self) -> MetricsSink {
+        MetricsSink {
+            inner: Some(Arc::clone(&self.inner)),
+        }
+    }
+
+    /// Snapshot all metrics (sorted by key) and the trace ring.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.inner.metrics.lock().expect("registry lock poisoned");
+        let metrics = map
+            .iter()
+            .map(|(k, cell)| {
+                let v = match cell {
+                    Cell::Counter(c) => {
+                        MetricValue::Counter(c.load(std::sync::atomic::Ordering::Relaxed))
+                    }
+                    Cell::Gauge(g) => {
+                        MetricValue::Gauge(g.load(std::sync::atomic::Ordering::Relaxed))
+                    }
+                    Cell::Histogram(h) => {
+                        MetricValue::Histogram(Histogram::from_cells(Arc::clone(h)).stats())
+                    }
+                };
+                (k.clone(), v)
+            })
+            .collect();
+        drop(map);
+        let (trace, trace_evicted) = match &self.inner.trace {
+            None => (Vec::new(), 0),
+            Some(log) => log.snapshot(),
+        };
+        Snapshot {
+            metrics,
+            trace,
+            trace_evicted,
+        }
+    }
+
+    /// Value of a counter by fully-qualified key; `None` if absent or not a
+    /// counter.
+    pub fn counter_value(&self, key: &str) -> Option<u64> {
+        match self.lookup(key)? {
+            MetricValue::Counter(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn gauge_value(&self, key: &str) -> Option<i64> {
+        match self.lookup(key)? {
+            MetricValue::Gauge(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn histogram_stats(&self, key: &str) -> Option<HistStats> {
+        match self.lookup(key)? {
+            MetricValue::Histogram(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn lookup(&self, key: &str) -> Option<MetricValue> {
+        let map = self.inner.metrics.lock().expect("registry lock poisoned");
+        map.get(key).map(|cell| match cell {
+            Cell::Counter(c) => MetricValue::Counter(c.load(std::sync::atomic::Ordering::Relaxed)),
+            Cell::Gauge(g) => MetricValue::Gauge(g.load(std::sync::atomic::Ordering::Relaxed)),
+            Cell::Histogram(h) => {
+                MetricValue::Histogram(Histogram::from_cells(Arc::clone(h)).stats())
+            }
+        })
+    }
+
+    /// Render the registry in Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        crate::export::to_prometheus(&self.snapshot())
+    }
+
+    /// Render the registry as a single deterministic JSON object.
+    pub fn to_json(&self) -> String {
+        crate::export::to_json(&self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_shares_cell() {
+        let reg = Registry::new();
+        let sink = reg.sink();
+        let a = sink.counter("dgs_test_hits");
+        let b = sink.counter("dgs_test_hits");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter_value("dgs_test_hits"), Some(3));
+    }
+
+    #[test]
+    fn labels_sorted_into_key() {
+        let reg = Registry::new();
+        let sink = reg.sink();
+        let c = sink.counter_labelled("dgs_test_x", &[("b", "2"), ("a", "1")]);
+        c.inc();
+        assert_eq!(reg.counter_value("dgs_test_x{a=\"1\",b=\"2\"}"), Some(1));
+    }
+
+    #[test]
+    fn spans_feed_histogram_and_trace() {
+        let reg = Registry::with_trace(8);
+        let sink = reg.sink();
+        {
+            let _s = sink.span("dgs_test_work");
+        }
+        sink.span("dgs_test_work").exit();
+        let stats = reg
+            .histogram_stats("dgs_test_work_ns")
+            .expect("span histogram");
+        assert_eq!(stats.count, 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.trace.len(), 2);
+        assert!(snap.trace.iter().all(|e| e.name == "dgs_test_work"));
+    }
+
+    #[test]
+    fn null_sink_dispenses_inert_handles() {
+        let sink = MetricsSink::null();
+        assert!(!sink.is_live());
+        let c = sink.counter("x");
+        c.inc();
+        assert!(!c.is_live());
+        let _s = sink.span("y");
+    }
+}

@@ -1,0 +1,77 @@
+//! Fixed-capacity ring buffer of span trace events.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A completed span occurrence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name (same string as the backing `_ns` histogram, minus suffix).
+    pub name: &'static str,
+    /// Start offset in nanoseconds since the registry's epoch.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub duration_ns: u64,
+}
+
+#[derive(Debug)]
+pub(crate) struct TraceLog {
+    capacity: usize,
+    state: Mutex<TraceState>,
+}
+
+#[derive(Debug, Default)]
+struct TraceState {
+    events: VecDeque<TraceEvent>,
+    evicted: u64,
+}
+
+impl TraceLog {
+    pub(crate) fn new(capacity: usize) -> Self {
+        TraceLog {
+            capacity: capacity.max(1),
+            state: Mutex::new(TraceState {
+                events: VecDeque::with_capacity(capacity.max(1)),
+                evicted: 0,
+            }),
+        }
+    }
+
+    pub(crate) fn push(&self, event: TraceEvent) {
+        let mut st = self.state.lock().expect("trace lock poisoned");
+        if st.events.len() == self.capacity {
+            st.events.pop_front();
+            st.evicted += 1;
+        }
+        st.events.push_back(event);
+    }
+
+    /// Events currently retained, oldest first, plus the eviction count.
+    pub(crate) fn snapshot(&self) -> (Vec<TraceEvent>, u64) {
+        let st = self.state.lock().expect("trace lock poisoned");
+        (st.events.iter().cloned().collect(), st.evicted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let log = TraceLog::new(2);
+        for i in 0..4u64 {
+            log.push(TraceEvent {
+                name: "t",
+                start_ns: i,
+                duration_ns: 1,
+            });
+        }
+        let (events, evicted) = log.snapshot();
+        assert_eq!(evicted, 2);
+        assert_eq!(
+            events.iter().map(|e| e.start_ns).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+    }
+}

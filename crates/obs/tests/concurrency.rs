@@ -1,0 +1,99 @@
+//! Property tests: concurrent increments sum exactly (no lost updates).
+
+use dgs_obs::Registry;
+
+const THREADS: usize = 8;
+const PER_THREAD: u64 = 10_000;
+
+#[test]
+fn concurrent_counter_sums_exactly() {
+    let reg = Registry::new();
+    let counter = reg.sink().counter("dgs_test_concurrent_hits");
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let c = counter.clone();
+            scope.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(
+        reg.counter_value("dgs_test_concurrent_hits"),
+        Some(THREADS as u64 * PER_THREAD)
+    );
+}
+
+#[test]
+fn concurrent_histogram_counts_and_sums_exactly() {
+    let reg = Registry::new();
+    let hist = reg.sink().histogram("dgs_test_concurrent_lat");
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let h = hist.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Spread values across many buckets.
+                    h.record((t as u64 + 1) * (i % 1024));
+                }
+            });
+        }
+    });
+    let stats = reg
+        .histogram_stats("dgs_test_concurrent_lat")
+        .expect("histogram registered");
+    let expected_count = THREADS as u64 * PER_THREAD;
+    let expected_sum: u64 = (0..THREADS as u64)
+        .map(|t| (0..PER_THREAD).map(|i| (t + 1) * (i % 1024)).sum::<u64>())
+        .sum();
+    assert_eq!(stats.count, expected_count);
+    assert_eq!(stats.sum, expected_sum);
+    // Per-bucket counts must also add up exactly to the total.
+    let bucket_total: u64 = stats.buckets.iter().map(|&(_, n)| n).sum();
+    assert_eq!(bucket_total, expected_count);
+}
+
+#[test]
+fn concurrent_gauge_adds_sum_exactly() {
+    let reg = Registry::new();
+    let gauge = reg.sink().gauge("dgs_test_concurrent_depth");
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let g = gauge.clone();
+            scope.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    g.add(3);
+                    g.add(-2);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        reg.gauge_value("dgs_test_concurrent_depth"),
+        Some(THREADS as i64 * PER_THREAD as i64)
+    );
+}
+
+#[test]
+fn concurrent_registration_yields_one_cell() {
+    let reg = Registry::new();
+    let sink = reg.sink();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let s = sink.clone();
+            scope.spawn(move || {
+                for _ in 0..100 {
+                    s.counter("dgs_test_concurrent_reg").inc();
+                }
+            });
+        }
+    });
+    assert_eq!(
+        reg.counter_value("dgs_test_concurrent_reg"),
+        Some(THREADS as u64 * 100)
+    );
+    // Exactly one metric key exists.
+    let snap = reg.snapshot();
+    assert_eq!(snap.metrics.len(), 1);
+}

@@ -1,0 +1,64 @@
+//! Golden tests: exporter output is byte-for-byte deterministic.
+
+use dgs_obs::Registry;
+
+fn populated_registry() -> Registry {
+    let reg = Registry::with_trace(4);
+    let sink = reg.sink();
+    sink.counter("dgs_sketch_l0_sample_failures").add(2);
+    sink.counter_labelled("dgs_core_ingest_shard_updates", &[("shard", "1")])
+        .add(640);
+    sink.gauge("dgs_core_ingest_queue_depth").set(17);
+    let h = sink.histogram("dgs_core_boost_repetitions_until_success");
+    h.record(1);
+    h.record(1);
+    h.record(1);
+    h.record(2);
+    h.record(5);
+    reg
+}
+
+#[test]
+fn prometheus_golden() {
+    let reg = populated_registry();
+    let expected = "\
+# TYPE dgs_core_boost_repetitions_until_success histogram
+dgs_core_boost_repetitions_until_success_bucket{le=\"1\"} 3
+dgs_core_boost_repetitions_until_success_bucket{le=\"2\"} 4
+dgs_core_boost_repetitions_until_success_bucket{le=\"5\"} 5
+dgs_core_boost_repetitions_until_success_bucket{le=\"+Inf\"} 5
+dgs_core_boost_repetitions_until_success_sum 10
+dgs_core_boost_repetitions_until_success_count 5
+# TYPE dgs_core_ingest_queue_depth gauge
+dgs_core_ingest_queue_depth 17
+# TYPE dgs_core_ingest_shard_updates counter
+dgs_core_ingest_shard_updates{shard=\"1\"} 640
+# TYPE dgs_sketch_l0_sample_failures counter
+dgs_sketch_l0_sample_failures 2
+";
+    assert_eq!(reg.to_prometheus(), expected);
+}
+
+#[test]
+fn json_golden() {
+    let reg = populated_registry();
+    let expected = concat!(
+        "{\"counters\":{",
+        "\"dgs_core_ingest_shard_updates{shard=\\\"1\\\"}\":640,",
+        "\"dgs_sketch_l0_sample_failures\":2",
+        "},\"gauges\":{",
+        "\"dgs_core_ingest_queue_depth\":17",
+        "},\"histograms\":{",
+        "\"dgs_core_boost_repetitions_until_success\":",
+        "{\"count\":5,\"sum\":10,\"mean\":2.0,\"p50\":1,\"p95\":5,\"p99\":5}",
+        "},\"trace\":[],\"trace_evicted\":0}",
+    );
+    assert_eq!(reg.to_json(), expected);
+}
+
+#[test]
+fn exporters_stable_across_snapshots() {
+    let reg = populated_registry();
+    assert_eq!(reg.to_prometheus(), reg.to_prometheus());
+    assert_eq!(reg.to_json(), reg.to_json());
+}

@@ -12,6 +12,7 @@
 //! seed*.
 
 use dgs_field::{Fp, SeedTree, UniformHash};
+use dgs_obs::{Counter, Histogram, MetricsSink};
 
 use crate::error::{SketchError, SketchResult};
 use crate::params::L0Params;
@@ -57,6 +58,29 @@ impl L0Plan {
     }
 }
 
+/// Metric handles for one sampler; null (free) by default, shared across
+/// clones, excluded from the codec.
+#[derive(Clone, Debug, Default)]
+struct L0Metrics {
+    sample_attempts: Counter,
+    sample_successes: Counter,
+    sample_failures: Counter,
+    plan_keys: Histogram,
+    batch_zero_skips: Counter,
+}
+
+impl L0Metrics {
+    fn resolve(sink: &MetricsSink) -> L0Metrics {
+        L0Metrics {
+            sample_attempts: sink.counter("dgs_sketch_l0_sample_attempts"),
+            sample_successes: sink.counter("dgs_sketch_l0_sample_successes"),
+            sample_failures: sink.counter("dgs_sketch_l0_sample_failures"),
+            plan_keys: sink.histogram("dgs_sketch_l0_plan_keys"),
+            batch_zero_skips: sink.counter("dgs_sketch_l0_batch_zero_skips"),
+        }
+    }
+}
+
 /// A linear ℓ0-sampler over `[0, dimension)`.
 #[derive(Clone, Debug)]
 pub struct L0Sampler {
@@ -64,6 +88,7 @@ pub struct L0Sampler {
     levels: Vec<SparseRecovery>,
     dimension: u64,
     seed_tag: u64,
+    metrics: L0Metrics,
 }
 
 impl L0Sampler {
@@ -96,12 +121,24 @@ impl L0Sampler {
             levels,
             dimension,
             seed_tag: seeds.seed(),
+            metrics: L0Metrics::default(),
         }
     }
 
     /// Draws a sampler with the default level count for the dimension.
     pub fn new(seeds: &SeedTree, dimension: u64, params: L0Params) -> L0Sampler {
         L0Sampler::with_levels(seeds, dimension, params, None)
+    }
+
+    /// Attach metric handles resolved from `sink` (`dgs_sketch_l0_*` sample
+    /// outcome counters, batch-plan size histogram, zero-cancellation skip
+    /// counter) and propagate to every level's recovery structure
+    /// (`dgs_sketch_sparse_*`). Default is the null sink: recording is free.
+    pub fn set_sink(&mut self, sink: &MetricsSink) {
+        self.metrics = L0Metrics::resolve(sink);
+        for level in &mut self.levels {
+            level.set_sink(sink);
+        }
     }
 
     /// The sketched index-space size.
@@ -144,6 +181,7 @@ impl L0Sampler {
                 )));
             }
         }
+        self.metrics.plan_keys.record(keys.len() as u64);
         let rows = self.levels[0].rows();
         let max_level = self.levels.len() - 1;
         let mut levels_of = vec![0usize; keys.len()];
@@ -321,6 +359,9 @@ impl L0Sampler {
                 keys.push(k);
             }
         }
+        self.metrics
+            .batch_zero_skips
+            .add((uniq.len() - keys.len()) as u64);
         if keys.is_empty() {
             return Ok(());
         }
@@ -385,18 +426,22 @@ impl L0Sampler {
     ///   says nothing about coordinates whose geometric level is below
     ///   `j`, so answering "zero" there would be a silent wrong answer).
     pub fn sample(&self) -> SketchResult<Option<(u64, i64)>> {
+        self.metrics.sample_attempts.inc();
         for (j, level) in self.levels.iter().enumerate() {
             match level.decode() {
                 Some(support) if support.is_empty() => {
                     if j == 0 {
+                        self.metrics.sample_successes.inc();
                         return Ok(None);
                     }
+                    self.metrics.sample_failures.inc();
                     return Err(SketchError::failure(
                         "l0-sampler",
                         format!("level {j} empty but levels 0..{j} undecodable"),
                     ));
                 }
                 Some(support) => {
+                    self.metrics.sample_successes.inc();
                     return Ok(support.into_iter().min_by(|a, b| {
                         self.level_hash
                             .unit(a.0)
@@ -406,6 +451,7 @@ impl L0Sampler {
                 None => continue, // too dense at this level; subsample more
             }
         }
+        self.metrics.sample_failures.inc();
         Err(SketchError::failure(
             "l0-sampler",
             format!("all {} levels undecodable", self.levels.len()),
@@ -447,6 +493,7 @@ impl dgs_field::Codec for L0Sampler {
             levels,
             dimension,
             seed_tag,
+            metrics: L0Metrics::default(),
         })
     }
 }

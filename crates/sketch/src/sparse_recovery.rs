@@ -23,6 +23,7 @@
 //! array-of-`OneSparse` layout.
 
 use dgs_field::{Fingerprinter, Fp, KWiseHash, SeedTree};
+use dgs_obs::{Counter, MetricsSink};
 
 use crate::error::{SketchError, SketchResult};
 use crate::one_sparse::{OneSparse, OneSparseDecode};
@@ -33,6 +34,28 @@ use crate::one_sparse::{OneSparse, OneSparseDecode};
 const SOA_SENTINEL: u64 = u64::MAX;
 /// Version number of the SoA encoding (room for future layouts).
 const SOA_VERSION: u64 = 1;
+
+/// Metric handles for one structure; null (free) by default, shared across
+/// clones so aggregated copies keep feeding the same counters. Excluded from
+/// the codec — a decoded structure starts unobserved.
+#[derive(Clone, Debug, Default)]
+struct SparseMetrics {
+    decode_attempts: Counter,
+    decode_successes: Counter,
+    decode_failures: Counter,
+    one_sparse_rejects: Counter,
+}
+
+impl SparseMetrics {
+    fn resolve(sink: &MetricsSink) -> SparseMetrics {
+        SparseMetrics {
+            decode_attempts: sink.counter("dgs_sketch_sparse_decode_attempts"),
+            decode_successes: sink.counter("dgs_sketch_sparse_decode_successes"),
+            decode_failures: sink.counter("dgs_sketch_sparse_decode_failures"),
+            one_sparse_rejects: sink.counter("dgs_sketch_sparse_one_sparse_rejects"),
+        }
+    }
+}
 
 /// An s-sparse recovery structure.
 #[derive(Clone, Debug)]
@@ -48,6 +71,7 @@ pub struct SparseRecovery {
     cols: usize,
     sparsity: usize,
     dimension: u64,
+    metrics: SparseMetrics,
 }
 
 impl SparseRecovery {
@@ -69,7 +93,16 @@ impl SparseRecovery {
             cols,
             sparsity,
             dimension,
+            metrics: SparseMetrics::default(),
         }
+    }
+
+    /// Attach metric handles resolved from `sink` (decode attempt / success /
+    /// failure counters and one-sparse verification rejects, under
+    /// `dgs_sketch_sparse_*`). The default is the null sink: all recording
+    /// is free. Handles are shared by clones of this structure.
+    pub fn set_sink(&mut self, sink: &MetricsSink) {
+        self.metrics = SparseMetrics::resolve(sink);
     }
 
     /// The sparsity bound `s`.
@@ -214,6 +247,7 @@ impl SparseRecovery {
     /// every cell; `None` means the vector (almost surely) has more than
     /// `s` nonzeros or the hashing was unlucky.
     pub fn decode(&self) -> Option<Vec<(u64, i64)>> {
+        self.metrics.decode_attempts.inc();
         let mut work: Vec<OneSparse> = (0..self.w.len()).map(|i| self.cell(i)).collect();
         let mut recovered: Vec<(u64, i64)> = Vec::new();
         // Each peel removes one coordinate; s+1 coordinates can never drain.
@@ -221,9 +255,11 @@ impl SparseRecovery {
         loop {
             if work.iter().all(|c| c.is_zero()) {
                 recovered.sort_unstable();
+                self.metrics.decode_successes.inc();
                 return Some(recovered);
             }
             if recovered.len() >= max_peels {
+                self.metrics.decode_failures.inc();
                 return None;
             }
             let mut progress = false;
@@ -244,6 +280,22 @@ impl SparseRecovery {
                 }
             }
             if !progress {
+                // Peeling stalled: every nonzero cell failed one-sparse
+                // verification. Count those rejects (cold path only — the
+                // scan never runs on successful decodes).
+                if self.metrics.one_sparse_rejects.is_live() {
+                    let rejects = work
+                        .iter()
+                        .filter(|c| {
+                            matches!(
+                                c.decode(&self.fper, self.dimension),
+                                OneSparseDecode::Collision
+                            )
+                        })
+                        .count();
+                    self.metrics.one_sparse_rejects.add(rejects as u64);
+                }
+                self.metrics.decode_failures.inc();
                 return None;
             }
         }
@@ -345,6 +397,7 @@ impl dgs_field::Codec for SparseRecovery {
             cols,
             sparsity,
             dimension,
+            metrics: SparseMetrics::default(),
         })
     }
 }

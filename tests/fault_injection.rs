@@ -12,6 +12,7 @@ use dynamic_graph_streams::prelude::*;
 use dgs_hypergraph::algo::hyper_component_count;
 use dgs_hypergraph::fault::ChannelError;
 use dgs_hypergraph::generators;
+use dgs_obs::Registry;
 
 /// Component count of the *support* of a (possibly corrupted) stream: the
 /// graph formed by edges whose net multiplicity is nonzero. This is the
@@ -28,6 +29,12 @@ fn support_component_count(stream: &UpdateStream) -> usize {
 
 #[test]
 fn every_stream_fault_is_detected_or_degrades_gracefully() {
+    // Every fault this loop injects (and therefore every fault the
+    // assertions below prove detected) must also show up in the injector's
+    // labelled counter — the observability layer may not undercount the
+    // fault surface the resilience claims rest on.
+    let registry = Registry::new();
+    let mut injected_by_class: BTreeMap<String, u64> = BTreeMap::new();
     for class in FaultClass::ALL {
         for seed in 0..6u64 {
             let mut rng = StdRng::seed_from_u64(100 + seed);
@@ -36,7 +43,10 @@ fn every_stream_fault_is_detected_or_degrades_gracefully() {
             if clean.is_empty() {
                 continue;
             }
-            let (bad, fault) = FaultInjector::new(seed * 31 + 7).inject(&clean, class);
+            let mut injector = FaultInjector::new(seed * 31 + 7);
+            injector.set_sink(&registry.sink());
+            let (bad, fault) = injector.inject(&clean, class);
+            *injected_by_class.entry(class.to_string()).or_insert(0) += 1;
 
             // Stage 1 — strict stream application: the reference detector.
             let strict = bad.final_hypergraph();
@@ -98,6 +108,18 @@ fn every_stream_fault_is_detected_or_degrades_gracefully() {
                 );
             }
         }
+    }
+
+    // Reconcile: each class's labelled counter equals the number of faults
+    // injected (and detected or gracefully degraded) above.
+    assert!(!injected_by_class.is_empty(), "no faults were injected");
+    for (class, expected) in &injected_by_class {
+        let key = format!("dgs_hypergraph_fault_injected{{class=\"{class}\"}}");
+        assert_eq!(
+            registry.counter_value(&key),
+            Some(*expected),
+            "fault counter {key} disagrees with the injection log"
+        );
     }
 }
 
