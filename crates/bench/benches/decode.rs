@@ -21,15 +21,38 @@ fn lean() -> dgs_connectivity::ForestParams {
     }
 }
 
+/// Decode-phase histogram metric names recorded by the forest engine,
+/// paired with the short phase labels the bench output prints.
+const DECODE_PHASES: [(&str, &str); 3] = [
+    ("aggregate", "dgs_connectivity_forest_decode_aggregate_ns"),
+    ("sample", "dgs_connectivity_forest_decode_sample_ns"),
+    ("merge", "dgs_connectivity_forest_decode_merge_ns"),
+];
+
 fn bench_forest_decode() {
+    use dgs_connectivity::DecodeScratch;
+    use dgs_obs::Registry;
     for n in [32usize, 96] {
         let space = EdgeSpace::graph(n).unwrap();
+        let registry = Registry::new();
         let mut sk = SpanningForestSketch::new_full(space, &SeedTree::new(10), lean());
+        sk.set_sink(&registry.sink());
         let g = gnm(n, 4 * n, &mut StdRng::seed_from_u64(11));
         for (u, v) in g.edges() {
             sk.update(&HyperEdge::pair(u, v), 1);
         }
-        bench(&format!("forest_decode/{n}"), |b| b.iter(|| sk.decode()));
+        bench(&format!("forest_decode_reference/{n}"), |b| {
+            b.iter(|| sk.try_decode_reference(false).unwrap())
+        });
+        let mut scratch = DecodeScratch::new();
+        bench(&format!("forest_decode/{n}"), |b| {
+            b.iter(|| sk.try_decode_with_scratch(false, 1, &mut scratch).unwrap());
+            for (phase, key) in DECODE_PHASES {
+                if let Some(stats) = registry.histogram_stats(key) {
+                    b.attach_phase_stats(phase, stats);
+                }
+            }
+        });
     }
 }
 
@@ -42,6 +65,9 @@ fn bench_skeleton_decode() {
         sk.update(&HyperEdge::pair(u, v), 1);
     }
     bench("skeleton/decode_n24_k3", |b| b.iter(|| sk.decode()));
+    bench("skeleton/decode_n24_k3_par2", |b| {
+        b.iter(|| sk.try_decode_par(2).unwrap())
+    });
 }
 
 fn bench_light_recover() {

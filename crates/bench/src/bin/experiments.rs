@@ -5,6 +5,7 @@
 //! experiments e1 e8 [--quick]          # selected experiments
 //! experiments list                     # id -> claim mapping
 //! experiments check-ingest [baseline]  # CI guard vs BENCH_ingest.json
+//! experiments check-query [baseline]   # CI guard vs BENCH_query.json
 //! ```
 
 use std::process::ExitCode;
@@ -43,6 +44,10 @@ const DESCRIPTIONS: &[(&str, &str)] = &[
         "e18",
         "observed failure rates vs delta/delta^R bounds (dgs-obs counters)",
     ),
+    (
+        "e19",
+        "query latency: parallel arena decode vs the reference decoder",
+    ),
 ];
 
 fn main() -> ExitCode {
@@ -53,13 +58,21 @@ fn main() -> ExitCode {
     if ids.is_empty() || ids.iter().any(|a| a.as_str() == "help") {
         eprintln!(
             "usage: experiments <all | list | check-ingest [baseline] | check-obs [baseline] \
-             | obs-report | e1 .. e18>... [--quick]"
+             | check-query [baseline] | obs-report | e1 .. e19>... [--quick]"
         );
         return ExitCode::from(2);
     }
     if ids.first().map(|a| a.as_str()) == Some("check-ingest") {
         let baseline = ids.get(1).map_or("BENCH_ingest.json", |s| s.as_str());
         return if dgs_bench::experiments::e17_ingest::check(baseline) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    if ids.first().map(|a| a.as_str()) == Some("check-query") {
+        let baseline = ids.get(1).map_or("BENCH_query.json", |s| s.as_str());
+        return if dgs_bench::experiments::e19_query::check(baseline) {
             ExitCode::SUCCESS
         } else {
             ExitCode::FAILURE

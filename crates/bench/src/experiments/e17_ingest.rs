@@ -292,7 +292,7 @@ fn write_baseline(meas: &Measurement) {
 }
 
 /// Extracts `"key": <number>` from flat hand-rolled JSON.
-fn json_f64_field(s: &str, key: &str) -> Option<f64> {
+pub(crate) fn json_f64_field(s: &str, key: &str) -> Option<f64> {
     let needle = format!("\"{key}\":");
     let at = s.find(&needle)? + needle.len();
     let rest = s[at..].trim_start();

@@ -21,11 +21,12 @@ pub mod e15_distributed;
 pub mod e16_recovery;
 pub mod e17_ingest;
 pub mod e18_obs;
+pub mod e19_query;
 
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18",
+    "e16", "e17", "e18", "e19",
 ];
 
 /// Runs one experiment by id. Returns false for an unknown id.
@@ -49,6 +50,7 @@ pub fn run(id: &str, quick: bool) -> bool {
         "e16" => e16_recovery::run(quick),
         "e17" => e17_ingest::run(quick),
         "e18" => e18_obs::run(quick),
+        "e19" => e19_query::run(quick),
         _ => return false,
     }
     true

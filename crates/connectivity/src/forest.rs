@@ -53,6 +53,15 @@ struct ForestMetrics {
     rounds_used: Histogram,
     rounds_budget: Gauge,
     batch_zero_skips: Counter,
+    /// Wall time of the component-aggregation phase per decode (ns,
+    /// critical path across stripes).
+    decode_aggregate_ns: Histogram,
+    /// Wall time of the sampler-decode phase per decode (ns, critical
+    /// path across stripes).
+    decode_sample_ns: Histogram,
+    /// Wall time of the sequential merge/certification phase per decode
+    /// (ns).
+    decode_merge_ns: Histogram,
 }
 
 impl ForestMetrics {
@@ -64,8 +73,70 @@ impl ForestMetrics {
             rounds_used: sink.histogram("dgs_connectivity_forest_rounds_used"),
             rounds_budget: sink.gauge("dgs_connectivity_forest_rounds_budget"),
             batch_zero_skips: sink.counter("dgs_connectivity_forest_batch_zero_skips"),
+            decode_aggregate_ns: sink.histogram("dgs_connectivity_forest_decode_aggregate_ns"),
+            decode_sample_ns: sink.histogram("dgs_connectivity_forest_decode_sample_ns"),
+            decode_merge_ns: sink.histogram("dgs_connectivity_forest_decode_merge_ns"),
         }
     }
+}
+
+/// Reusable state for the arena decode engine
+/// ([`SpanningForestSketch::try_decode_with_scratch`]).
+///
+/// Holds the component-sum arena (one `[W | S | F]` stripe of
+/// [`L0Sampler::state_len`] cells per live component), the per-stripe lazy
+/// `u128` accumulators, the union-find grouping tables, and the per-stripe
+/// peeling scratch. Buffers are resized but never shrunk, so a scratch
+/// reused across decode calls performs **zero steady-state allocations**
+/// beyond the returned edge list: the arena high-water mark is reached on
+/// the first round of the first decode (every vertex is its own
+/// component) and every later round fits inside it.
+#[derive(Debug, Default)]
+pub struct DecodeScratch {
+    /// Component-sum arena: `live_components * stride` field elements.
+    agg: Vec<Fp>,
+    /// Lazy accumulators, one `stride`-length stripe per worker.
+    acc: Vec<u128>,
+    /// Union-find root of each local vertex this round.
+    root_of: Vec<u32>,
+    /// Root -> component slot (ascending-root order).
+    slot_of: Vec<u32>,
+    /// Live roots, ascending.
+    roots: Vec<u32>,
+    /// Slot -> offset into `members` (length `roots.len() + 1`).
+    starts: Vec<u32>,
+    /// Scatter cursors while grouping.
+    cursors: Vec<u32>,
+    /// Local vertices grouped by component slot, ascending within a slot.
+    members: Vec<u32>,
+    /// Per-slot sample outcome of the current round.
+    results: Vec<SketchResult<Option<(u64, i64)>>>,
+    /// Per-worker peeling scratch.
+    peel: Vec<dgs_sketch::PeelScratch>,
+    /// Edges sampled this round, in ascending-root order.
+    merges: Vec<HyperEdge>,
+    /// Local endpoints of the edge being merged.
+    locals: Vec<u32>,
+    /// Kept spanning edges (sorted and deduplicated on return).
+    out: Vec<HyperEdge>,
+}
+
+impl DecodeScratch {
+    /// An empty scratch; buffers grow to their steady-state sizes on first
+    /// use.
+    pub fn new() -> DecodeScratch {
+        DecodeScratch::default()
+    }
+}
+
+/// Per-component verdict of one round's sample, shared by the reference
+/// decoder and the arena engine.
+enum SampleOutcome {
+    /// The component advanced: an edge was queued or its boundary is
+    /// certified zero.
+    Advanced,
+    /// A retryable sampler failure — the round cannot certify completeness.
+    Failed,
 }
 
 /// A linear sketch of a (hyper)graph from which a spanning graph of the
@@ -393,23 +464,41 @@ impl SpanningForestSketch {
         (keys, by_row)
     }
 
+    /// Minimum vertex rows per ingest stripe. Below this the per-batch
+    /// thread spawn and cache handoff cost more than the rows' apply work,
+    /// so the effective thread count is reduced instead — stripe
+    /// granularity stays proportional to rows per thread.
+    const MIN_STRIPE_ROWS: usize = 8;
+
     /// [`try_update_batch`](Self::try_update_batch) with the per-vertex
-    /// sampler rows striped across `threads` scoped worker threads.
+    /// sampler rows striped across scoped worker threads.
     ///
-    /// Striping is deterministic and seed-stable: vertex row `local` is
-    /// owned by thread `local % threads`, every round of a row stays with
-    /// its owner, and each thread applies its rows' updates in stream
-    /// order — so each sampler cell sees exactly the sequence of field
-    /// additions the sequential path performs, and the result is
-    /// bit-identical for every thread count.
+    /// Striping is deterministic and seed-stable: the vertex rows are cut
+    /// into at most `threads` **contiguous chunks** of at least
+    /// [`MIN_STRIPE_ROWS`](Self::MIN_STRIPE_ROWS) rows, every round of a
+    /// row stays with its owner, and each thread applies its rows'
+    /// updates in stream order — so each sampler cell sees exactly the
+    /// sequence of field additions the sequential path performs, and the
+    /// result is bit-identical for every thread count. Contiguous chunks
+    /// replace an earlier `local % threads` round-robin assignment, which
+    /// interleaved every thread through every cache line of the sampler
+    /// table and handed ownership out through a freshly allocated
+    /// `threads x rounds·nv` option table per batch — the source of the
+    /// E17 regression where striping lost to the single-threaded batch
+    /// path.
     pub fn try_update_batch_striped(
         &mut self,
         updates: &[(HyperEdge, i64)],
         threads: usize,
     ) -> SketchResult<()> {
         let nv = self.vertices.len();
-        let threads = threads.max(1).min(nv.max(1));
-        if threads <= 1 || updates.is_empty() {
+        // Chunk size proportional to rows per thread, floored so tiny
+        // sketches collapse to fewer (or one) worker.
+        let chunk = nv
+            .div_ceil(threads.max(1))
+            .max(Self::MIN_STRIPE_ROWS.min(nv.max(1)));
+        let stripes = nv.div_ceil(chunk.max(1));
+        if stripes <= 1 || updates.is_empty() {
             return self.try_update_batch(updates);
         }
         for (e, _) in updates {
@@ -425,31 +514,40 @@ impl SpanningForestSketch {
         let plans: Vec<dgs_sketch::L0Plan> = (0..self.rounds)
             .map(|round| self.samplers[round * nv].plan_updates(&keys))
             .collect::<SketchResult<_>>()?;
-        let rounds = self.rounds;
-        // Hand each thread exclusive references to its rows' samplers.
-        let mut stripe_refs: Vec<Vec<Option<&mut L0Sampler>>> = (0..threads)
-            .map(|_| (0..rounds * nv).map(|_| None).collect())
+        // Hand each stripe exclusive slices of its rows: per round, the
+        // sampler table is row-major by vertex, so stripe `t` owns the
+        // contiguous sub-slice `[t*chunk, min((t+1)*chunk, nv))` of every
+        // round — no per-row option table, no interleaved ownership.
+        let mut stripe_slices: Vec<Vec<&mut [L0Sampler]>> = (0..stripes)
+            .map(|_| Vec::with_capacity(self.rounds))
             .collect();
-        for (f, s) in self.samplers.iter_mut().enumerate() {
-            stripe_refs[(f % nv) % threads][f] = Some(s);
+        let mut rest: &mut [L0Sampler] = &mut self.samplers;
+        for _ in 0..self.rounds {
+            let (mut row, tail) = rest.split_at_mut(nv);
+            rest = tail;
+            for slices in stripe_slices.iter_mut() {
+                let take = chunk.min(row.len());
+                let (head, row_tail) = row.split_at_mut(take);
+                slices.push(head);
+                row = row_tail;
+            }
         }
         let results: Vec<SketchResult<()>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = stripe_refs
+            let handles: Vec<_> = stripe_slices
                 .into_iter()
                 .enumerate()
-                .map(|(t, mut refs)| {
+                .map(|(t, mut slices)| {
                     let plans = &plans;
                     let by_row = &by_row;
                     scope.spawn(move || -> SketchResult<()> {
-                        for (local, items) in by_row.iter().enumerate() {
-                            if local % threads != t || items.is_empty() {
-                                continue;
-                            }
-                            for (round, plan) in plans.iter().enumerate() {
-                                refs[round * nv + local]
-                                    .as_deref_mut()
-                                    .expect("stripe owns its rows")
-                                    .apply_planned_many(plan, items)?;
+                        let lo = t * chunk;
+                        for (round, plan) in plans.iter().enumerate() {
+                            for (off, sampler) in slices[round].iter_mut().enumerate() {
+                                let items = &by_row[lo + off];
+                                if items.is_empty() {
+                                    continue;
+                                }
+                                sampler.apply_planned_many(plan, items)?;
                             }
                         }
                         Ok(())
@@ -591,7 +689,48 @@ impl SpanningForestSketch {
     /// use [`try_decode_with_labels_strict`](Self::try_decode_with_labels_strict)
     /// to catch duplicated updates.
     pub fn try_decode_with_labels(&self) -> SketchResult<(Vec<HyperEdge>, UnionFind)> {
-        self.decode_impl(false)
+        self.decode_impl(false, 1, &mut DecodeScratch::new())
+    }
+
+    /// [`try_decode`](Self::try_decode) with the per-round component
+    /// decodes striped across `threads` scoped worker threads; see
+    /// [`try_decode_with_scratch`](Self::try_decode_with_scratch).
+    pub fn try_decode_par(&self, threads: usize) -> SketchResult<Vec<HyperEdge>> {
+        Ok(self.try_decode_with_labels_par(threads)?.0)
+    }
+
+    /// [`try_decode_with_labels`](Self::try_decode_with_labels) with
+    /// parallel per-round component decodes.
+    pub fn try_decode_with_labels_par(
+        &self,
+        threads: usize,
+    ) -> SketchResult<(Vec<HyperEdge>, UnionFind)> {
+        self.decode_impl(false, threads, &mut DecodeScratch::new())
+    }
+
+    /// [`try_decode_with_labels_strict`](Self::try_decode_with_labels_strict)
+    /// with parallel per-round component decodes.
+    pub fn try_decode_with_labels_strict_par(
+        &self,
+        threads: usize,
+    ) -> SketchResult<(Vec<HyperEdge>, UnionFind)> {
+        self.decode_impl(true, threads, &mut DecodeScratch::new())
+    }
+
+    /// The full-control decode entry point: the arena engine with an
+    /// explicit thread count and a caller-owned reusable scratch.
+    ///
+    /// Repeated calls with the same scratch perform zero steady-state
+    /// allocations beyond the returned edge list (see [`DecodeScratch`]),
+    /// and the answer is bit-identical for every `threads` value — see
+    /// `decode_impl` for why.
+    pub fn try_decode_with_scratch(
+        &self,
+        strict: bool,
+        threads: usize,
+        scratch: &mut DecodeScratch,
+    ) -> SketchResult<(Vec<HyperEdge>, UnionFind)> {
+        self.decode_impl(strict, threads, scratch)
     }
 
     /// [`try_decode_with_labels`](Self::try_decode_with_labels) for simple
@@ -602,10 +741,18 @@ impl SpanningForestSketch {
     /// Weighted/multigraph streams must use the non-strict decode, where
     /// larger weights are legitimate.
     pub fn try_decode_with_labels_strict(&self) -> SketchResult<(Vec<HyperEdge>, UnionFind)> {
-        self.decode_impl(true)
+        self.decode_impl(true, 1, &mut DecodeScratch::new())
     }
 
-    fn decode_impl(&self, strict: bool) -> SketchResult<(Vec<HyperEdge>, UnionFind)> {
+    /// The historical clone-and-merge Borůvka decoder, retained verbatim
+    /// as the sequential reference: per round it clones one sampler per
+    /// component, folds the remaining members in with
+    /// [`L0Sampler::add_assign_sketch`], and samples through the historical
+    /// peel loop ([`L0Sampler::sample_legacy`]: fresh allocations, a Fermat
+    /// inversion per nonzero cell per pass). The arena engine must match it
+    /// bit for bit — the equivalence tests and experiment E19's baseline
+    /// rows both lean on that.
+    pub fn try_decode_reference(&self, strict: bool) -> SketchResult<(Vec<HyperEdge>, UnionFind)> {
         self.metrics.decode_attempts.inc();
         let nv = self.vertices.len();
         let mut uf = UnionFind::new(nv);
@@ -635,29 +782,9 @@ impl SpanningForestSketch {
             let mut merges: Vec<HyperEdge> = Vec::new();
             let mut round_failed = false;
             for (_root, acc) in agg {
-                match acc.sample() {
-                    Ok(Some((idx, w))) => {
-                        if strict && w.unsigned_abs() >= self.space.max_rank() as u64 {
-                            return Err(SketchError::invalid(format!(
-                                "sampled boundary weight {w} is impossible for \
-                                 rank-{} edges with net 0/1 multiplicities \
-                                 (duplicated or phantom stream element)",
-                                self.space.max_rank()
-                            )));
-                        }
-                        let e = self.space.unrank(idx);
-                        if let Some(&v) = e.vertices().iter().find(|&&v| !self.has_vertex(v)) {
-                            return Err(SketchError::invalid(format!(
-                                "sampled edge {e:?} touches vertex {v} outside \
-                                 the sketched vertex set"
-                            )));
-                        }
-                        merges.push(e);
-                    }
-                    // Certified-zero boundary for this component.
-                    Ok(None) => {}
-                    Err(e) if e.is_retryable() => round_failed = true,
-                    Err(e) => return Err(e),
+                match self.classify_sample(acc.sample_legacy(), strict, &mut merges)? {
+                    SampleOutcome::Advanced => {}
+                    SampleOutcome::Failed => round_failed = true,
                 }
             }
             last_round_certified = !round_failed && merges.is_empty();
@@ -690,6 +817,320 @@ impl SpanningForestSketch {
         self.metrics.decode_successes.inc();
         self.metrics.rounds_used.record(rounds_used);
         Ok((out.into_iter().collect(), uf))
+    }
+
+    /// Applies the strict-weight and vertex-set checks to one component's
+    /// sample outcome, pushing a sampled edge onto `merges`. Shared by the
+    /// reference decoder and the arena engine so both surface byte-for-byte
+    /// identical errors in identical (ascending-root) order.
+    fn classify_sample(
+        &self,
+        outcome: SketchResult<Option<(u64, i64)>>,
+        strict: bool,
+        merges: &mut Vec<HyperEdge>,
+    ) -> SketchResult<SampleOutcome> {
+        match outcome {
+            Ok(Some((idx, w))) => {
+                if strict && w.unsigned_abs() >= self.space.max_rank() as u64 {
+                    return Err(SketchError::invalid(format!(
+                        "sampled boundary weight {w} is impossible for \
+                         rank-{} edges with net 0/1 multiplicities \
+                         (duplicated or phantom stream element)",
+                        self.space.max_rank()
+                    )));
+                }
+                let e = self.space.unrank(idx);
+                if let Some(&v) = e.vertices().iter().find(|&&v| !self.has_vertex(v)) {
+                    return Err(SketchError::invalid(format!(
+                        "sampled edge {e:?} touches vertex {v} outside \
+                         the sketched vertex set"
+                    )));
+                }
+                merges.push(e);
+                Ok(SampleOutcome::Advanced)
+            }
+            // Certified-zero boundary for this component.
+            Ok(None) => Ok(SampleOutcome::Advanced),
+            Err(e) if e.is_retryable() => Ok(SampleOutcome::Failed),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The arena decode engine.
+    ///
+    /// Per Borůvka round: group the local vertices by union-find root
+    /// (ascending-root component slots — the same order the reference
+    /// decoder's `BTreeMap` iterates), fold every component's member
+    /// samplers into a flat `[W | S | F]` arena stripe with lazy `u128`
+    /// accumulation ([`L0Sampler::accumulate_state`], reduced once per
+    /// stripe), and sample each stripe through the round's seed template
+    /// ([`L0Sampler::sample_state`]). Component slots are carved into
+    /// contiguous chunks across scoped worker threads — the same
+    /// contiguous-chunk striping discipline as
+    /// [`try_update_batch_striped`](Self::try_update_batch_striped); each
+    /// worker owns disjoint arena and result ranges, and the per-slot
+    /// outcomes are then scanned **sequentially in slot order**, so
+    /// errors, merges, and certification decisions are independent of
+    /// thread interleaving.
+    ///
+    /// Bit-identity with [`try_decode_reference`]
+    /// (Self::try_decode_reference) holds because (a) field addition is
+    /// exact and commutative, so a lazily-reduced member fold equals the
+    /// reference's incremental merge-adds cell for cell, (b) sampling is
+    /// a deterministic function of the aggregate state and the round
+    /// seeds, and (c) the slot-order scan replays the reference's
+    /// ascending-root processing exactly. Cross-*round* reuse of component
+    /// sums is deliberately **not** attempted: each round carries fresh
+    /// seeds (the Section 4.2 independence requirement), so a component's
+    /// round-`t` aggregate says nothing about its round-`t+1` state — the
+    /// only state that legitimately persists across rounds is the
+    /// union-find partition, which this engine maintains incrementally.
+    ///
+    /// Compatibility of every member with its slot's seed template is
+    /// routed through [`L0Sampler::check_compatible`] — the same check
+    /// [`try_add_assign_sketch`](Self::try_add_assign_sketch) relies on —
+    /// so the component-merge path and explicit sketch merges can never
+    /// drift apart.
+    fn decode_impl(
+        &self,
+        strict: bool,
+        threads: usize,
+        scratch: &mut DecodeScratch,
+    ) -> SketchResult<(Vec<HyperEdge>, UnionFind)> {
+        use std::time::Instant;
+        self.metrics.decode_attempts.inc();
+        let nv = self.vertices.len();
+        let stride = self.samplers.first().map_or(0, |s| s.state_len());
+        let mut uf = UnionFind::new(nv);
+        // True iff the most recent round proved the partition stable.
+        let mut last_round_certified = true;
+        let mut rounds_used = 0u64;
+        let (mut agg_ns, mut sample_ns, mut merge_ns) = (0u64, 0u64, 0u64);
+        let DecodeScratch {
+            agg,
+            acc,
+            root_of,
+            slot_of,
+            roots,
+            starts,
+            cursors,
+            members,
+            results,
+            peel,
+            merges,
+            locals,
+            out,
+        } = scratch;
+        out.clear();
+        agg.resize(nv * stride, Fp::ZERO);
+        root_of.resize(nv, 0);
+        slot_of.resize(nv, 0);
+        members.resize(nv, 0);
+        for round in 0..self.rounds {
+            if uf.component_count() <= 1 {
+                break;
+            }
+            rounds_used += 1;
+            // Group local vertices by component, slots in ascending-root
+            // order (the reference decoder's BTreeMap iteration order).
+            roots.clear();
+            for local in 0..nv as u32 {
+                let root = uf.find(local);
+                root_of[local as usize] = root;
+                if root == local {
+                    roots.push(local);
+                }
+            }
+            let live = roots.len();
+            for (slot, &root) in roots.iter().enumerate() {
+                slot_of[root as usize] = slot as u32;
+            }
+            starts.clear();
+            starts.resize(live + 1, 0);
+            for local in 0..nv {
+                starts[slot_of[root_of[local] as usize] as usize + 1] += 1;
+            }
+            for slot in 0..live {
+                starts[slot + 1] += starts[slot];
+            }
+            cursors.clear();
+            cursors.resize(live, 0);
+            for local in 0..nv as u32 {
+                let slot = slot_of[root_of[local as usize] as usize] as usize;
+                members[starts[slot] as usize + cursors[slot] as usize] = local;
+                cursors[slot] += 1;
+            }
+            results.clear();
+            results.resize_with(live, || Ok(None));
+            // Carve the live slots into contiguous stripes, at least
+            // MIN_SLOTS_PER_STRIPE slots each so tiny rounds stay inline.
+            const MIN_SLOTS_PER_STRIPE: usize = 4;
+            let chunk = live
+                .div_ceil(threads.max(1))
+                .max(MIN_SLOTS_PER_STRIPE.min(live.max(1)));
+            let stripes = live.div_ceil(chunk);
+            acc.resize(stripes * stride, 0);
+            if peel.len() < stripes {
+                peel.resize_with(stripes, dgs_sketch::PeelScratch::default);
+            }
+            // One stripe's work: fold each slot's members into its arena
+            // stripe, then sample every aggregate. Returns the stripe's
+            // (aggregate, sample) phase times.
+            let run_stripe = |slot_lo: usize,
+                              arena: &mut [Fp],
+                              acc: &mut [u128],
+                              peel: &mut dgs_sketch::PeelScratch,
+                              res: &mut [SketchResult<Option<(u64, i64)>>]|
+             -> (u64, u64) {
+                let t0 = Instant::now();
+                for (k, slot_state) in arena.chunks_exact_mut(stride).enumerate() {
+                    let slot = slot_lo + k;
+                    let lo = starts[slot] as usize;
+                    let hi = starts[slot + 1] as usize;
+                    if hi - lo == 1 {
+                        // Singleton component: sampled below directly from
+                        // its own cells; no arena state to build.
+                        continue;
+                    }
+                    let template = &self.samplers[round * nv + members[lo] as usize];
+                    // Fold only each member's populated level prefix; the
+                    // suffix of every sampler is identically zero, so the
+                    // component sum past the longest prefix is zero too and
+                    // a fill reconstructs it without touching the members.
+                    let mut plen = 0usize;
+                    for &m in &members[lo..hi] {
+                        let sampler = &self.samplers[round * nv + m as usize];
+                        if let Err(e) = template.check_compatible(sampler) {
+                            res[k] = Err(e);
+                            break;
+                        }
+                        let want = sampler.touched_state_len();
+                        if want > plen {
+                            acc[plen..want].fill(0);
+                            plen = want;
+                        }
+                        sampler.accumulate_state_touched(acc);
+                    }
+                    if res[k].is_err() {
+                        continue;
+                    }
+                    Fp::reduce_batch(&mut slot_state[..plen], &acc[..plen]);
+                    slot_state[plen..].fill(Fp::ZERO);
+                }
+                let t1 = Instant::now();
+                for (k, slot_state) in arena.chunks_exact(stride).enumerate() {
+                    if res[k].is_err() {
+                        continue;
+                    }
+                    let slot = slot_lo + k;
+                    let lo = starts[slot] as usize;
+                    let template = &self.samplers[round * nv + members[lo] as usize];
+                    // Singletons peel the sampler's own cells (same `(W, S,
+                    // F)` values the copy would hold, so same outcome);
+                    // merged components peel their arena aggregate.
+                    res[k] = if starts[slot + 1] as usize - lo == 1 {
+                        template.sample_with(peel)
+                    } else {
+                        template.sample_state(slot_state, peel)
+                    };
+                }
+                (
+                    t1.duration_since(t0).as_nanos() as u64,
+                    t1.elapsed().as_nanos() as u64,
+                )
+            };
+            if stripes <= 1 {
+                let (a, s) = run_stripe(
+                    0,
+                    &mut agg[..live * stride],
+                    &mut acc[..stride],
+                    &mut peel[0],
+                    &mut results[..],
+                );
+                agg_ns += a;
+                sample_ns += s;
+            } else {
+                let phase_ns: Vec<(u64, u64)> = std::thread::scope(|scope| {
+                    let run_stripe = &run_stripe;
+                    let mut handles = Vec::with_capacity(stripes);
+                    let mut arena_rest = &mut agg[..live * stride];
+                    let mut res_rest = &mut results[..];
+                    let mut acc_rest = &mut acc[..];
+                    let mut peel_rest = &mut peel[..];
+                    for stripe in 0..stripes {
+                        let lo = stripe * chunk;
+                        let take = chunk.min(live - lo);
+                        let (arena_mine, arena_tail) = arena_rest.split_at_mut(take * stride);
+                        arena_rest = arena_tail;
+                        let (res_mine, res_tail) = res_rest.split_at_mut(take);
+                        res_rest = res_tail;
+                        let (acc_mine, acc_tail) = acc_rest.split_at_mut(stride);
+                        acc_rest = acc_tail;
+                        let (peel_mine, peel_tail) = peel_rest.split_at_mut(1);
+                        peel_rest = peel_tail;
+                        handles.push(scope.spawn(move || {
+                            run_stripe(lo, arena_mine, acc_mine, &mut peel_mine[0], res_mine)
+                        }));
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("decode stripe worker panicked"))
+                        .collect()
+                });
+                // The phase cost is the critical path: the slowest stripe.
+                agg_ns += phase_ns.iter().map(|&(a, _)| a).max().unwrap_or(0);
+                sample_ns += phase_ns.iter().map(|&(_, s)| s).max().unwrap_or(0);
+            }
+            // Sequential post-pass in slot (ascending-root) order: strict
+            // checks, fatal errors, merges, and certification all replay
+            // the reference decoder's processing order exactly, so the
+            // outcome can never depend on thread interleaving.
+            let t2 = Instant::now();
+            merges.clear();
+            let mut round_failed = false;
+            for outcome in results.drain(..) {
+                match self.classify_sample(outcome, strict, merges)? {
+                    SampleOutcome::Advanced => {}
+                    SampleOutcome::Failed => round_failed = true,
+                }
+            }
+            last_round_certified = !round_failed && merges.is_empty();
+            for e in merges.drain(..) {
+                locals.clear();
+                locals.extend(e.vertices().iter().map(|&v| self.vpos[v as usize]));
+                let mut merged = false;
+                for w in locals.windows(2) {
+                    merged |= uf.union(w[0], w[1]);
+                }
+                if merged {
+                    out.push(e);
+                }
+            }
+            merge_ns += t2.elapsed().as_nanos() as u64;
+        }
+        self.metrics.decode_aggregate_ns.record(agg_ns);
+        self.metrics.decode_sample_ns.record(sample_ns);
+        self.metrics.decode_merge_ns.record(merge_ns);
+        if uf.component_count() > 1 && !last_round_certified {
+            self.metrics.decode_failures.inc();
+            return Err(SketchError::failure(
+                "forest",
+                format!(
+                    "Borůvka ended with {} components but the final round could \
+                     not certify completeness (sampler failure or still merging)",
+                    uf.component_count()
+                ),
+            ));
+        }
+        self.metrics.decode_successes.inc();
+        self.metrics.rounds_used.record(rounds_used);
+        // Kept edges accumulate in merge order; the reference returns them
+        // in `HyperEdge` order (BTreeSet), so normalise. No edge is ever
+        // kept twice — a second component sampling the same edge finds it
+        // already merged — but dedup cheaply documents the invariant.
+        out.sort_unstable();
+        out.dedup();
+        Ok((out.clone(), uf))
     }
 
     /// Fallible component count of the sketched subgraph.
@@ -1090,6 +1531,126 @@ mod tests {
             let mut w = Writer::new();
             sk.encode(&mut w);
             assert_eq!(w.into_bytes(), expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn arena_decode_matches_reference_bit_for_bit() {
+        // The engine must replay the clone-and-merge reference exactly —
+        // same edges, same labels — for every thread count, on graphs and
+        // hypergraphs, strict and non-strict.
+        let mut rng = StdRng::seed_from_u64(23);
+        for trial in 0..12 {
+            let n = rng.gen_range(5..28);
+            let rank = if trial % 3 == 2 { 3 } else { 2 };
+            let space = EdgeSpace::new(n, rank).unwrap();
+            let params = ForestParams::new(Profile::Practical, space.dimension());
+            let mut sk =
+                SpanningForestSketch::new_full(space, &SeedTree::new(900).child(trial), params);
+            if rank == 2 {
+                load_graph(&mut sk, &gnp(n, rng.gen_range(0.05..0.5), &mut rng));
+            } else {
+                let m = rng.gen_range(2..20);
+                for e in random_uniform_hypergraph(n, 3, m, &mut rng).edges() {
+                    sk.update(e, 1);
+                }
+            }
+            for strict in [false, true] {
+                let reference = sk.try_decode_reference(strict);
+                for threads in [1usize, 2, 4, 7] {
+                    let mut scratch = DecodeScratch::new();
+                    let engine = sk.try_decode_with_scratch(strict, threads, &mut scratch);
+                    match (&reference, &engine) {
+                        (Ok((re, ru)), Ok((ee, eu))) => {
+                            assert_eq!(re, ee, "trial {trial} strict={strict} threads={threads}");
+                            assert_eq!(
+                                ru.clone().labels(),
+                                eu.clone().labels(),
+                                "trial {trial} strict={strict} threads={threads}"
+                            );
+                        }
+                        (Err(a), Err(b)) => assert_eq!(
+                            (a.is_retryable(), a.to_string()),
+                            (b.is_retryable(), b.to_string()),
+                            "trial {trial} strict={strict} threads={threads}"
+                        ),
+                        _ => panic!(
+                            "trial {trial} strict={strict} threads={threads}: \
+                             reference {reference:?} vs engine {engine:?}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merged_player_sub_sketches_decode_identically_to_full() {
+        // Section 4 player model via linearity: same-seeded sub-sketches,
+        // each holding a shard of the stream, sum through the
+        // `L0Sampler::check_compatible`-guarded merge to exactly the
+        // full-stream sketch — byte-identical state, and byte-identical
+        // decodes on both the reference and the arena engine paths.
+        use dgs_field::{Codec, Writer};
+        let bytes = |sk: &SpanningForestSketch| {
+            let mut w = Writer::new();
+            sk.encode(&mut w);
+            w.into_bytes()
+        };
+        let mut rng = StdRng::seed_from_u64(25);
+        for trial in 0..10 {
+            let n = rng.gen_range(5..20);
+            let g = gnp(n, rng.gen_range(0.1..0.55), &mut rng);
+            let players = rng.gen_range(1..5usize);
+            let mut full = graph_sketch(n, 2000 + trial);
+            let mut shares: Vec<SpanningForestSketch> = (0..players)
+                .map(|_| graph_sketch(n, 2000 + trial))
+                .collect();
+            for (idx, (u, v)) in g.edges().enumerate() {
+                let e = HyperEdge::pair(u, v);
+                full.update(&e, 1);
+                shares[idx % players].update(&e, 1);
+            }
+            let mut merged = shares.remove(0);
+            for s in &shares {
+                merged.try_add_assign_sketch(s).unwrap();
+            }
+            assert_eq!(bytes(&merged), bytes(&full), "trial {trial}: state differs");
+            let want = full.try_decode_reference(false).unwrap();
+            for threads in [1usize, 4] {
+                let got = merged
+                    .try_decode_with_scratch(false, threads, &mut DecodeScratch::new())
+                    .unwrap();
+                assert_eq!(want.0, got.0, "trial {trial} threads={threads}");
+                assert_eq!(
+                    want.1.clone().labels(),
+                    got.1.clone().labels(),
+                    "trial {trial} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_scratch_is_reusable_across_sketches() {
+        // One scratch, many decodes of different shapes: results must match
+        // fresh-scratch decodes every time (no state leaks between calls).
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut scratch = DecodeScratch::new();
+        for trial in 0..8 {
+            let n = rng.gen_range(4..24);
+            let mut sk = graph_sketch(n, 1000 + trial);
+            load_graph(&mut sk, &gnp(n, rng.gen_range(0.1..0.6), &mut rng));
+            let fresh = sk
+                .try_decode_with_scratch(false, 2, &mut DecodeScratch::new())
+                .unwrap();
+            let reused = sk.try_decode_with_scratch(false, 2, &mut scratch).unwrap();
+            assert_eq!(fresh.0, reused.0, "trial {trial}");
+            assert_eq!(
+                fresh.1.clone().labels(),
+                reused.1.clone().labels(),
+                "trial {trial}"
+            );
         }
     }
 

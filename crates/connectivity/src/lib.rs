@@ -19,7 +19,7 @@ pub mod skeleton;
 pub mod vector;
 
 pub use bipartite::BipartitenessSketch;
-pub use forest::{ForestParams, SpanningForestSketch};
+pub use forest::{DecodeScratch, ForestParams, SpanningForestSketch};
 pub use player::{assemble_players, assemble_players_strict, player_sketch, PlayerMessage};
 pub use skeleton::KSkeletonSketch;
 pub use vector::incidence_coefficient;

@@ -14,7 +14,7 @@ use dgs_field::SeedTree;
 use dgs_hypergraph::{EdgeSpace, HyperEdge, VertexId};
 use dgs_sketch::{SketchError, SketchResult};
 
-use crate::forest::{ForestParams, SpanningForestSketch};
+use crate::forest::{DecodeScratch, ForestParams, SpanningForestSketch};
 
 /// `k` independent spanning-graph sketches, decodable into a k-skeleton.
 #[derive(Clone, Debug)]
@@ -103,13 +103,51 @@ impl KSkeletonSketch {
     /// independent repetition carries fresh randomness), so a partially
     /// recovered skeleton is never passed off as the full `F_1 ∪ … ∪ F_k`.
     pub fn try_decode_layers(&self) -> SketchResult<Vec<Vec<HyperEdge>>> {
+        self.try_decode_layers_par(1)
+    }
+
+    /// [`try_decode_layers`](Self::try_decode_layers) with the per-layer
+    /// work spread over `threads` scoped worker threads.
+    ///
+    /// The layer loop itself is inherently sequential — `F_i` is decoded
+    /// from `A^i(G) - Σ_{j<i} A^i(F_j)`, so layer `i` cannot start until
+    /// every earlier forest is known. Parallelism comes from inside each
+    /// step instead: each layer's Borůvka decode runs on the striped arena
+    /// engine, and each recovered forest is subtracted from the remaining
+    /// layers concurrently (disjoint `&mut` layer chunks, one scoped thread
+    /// each). Field addition is exact and each forest is applied to each
+    /// later layer exactly once, so the result is bit-identical to the
+    /// sequential peel for every thread count. One [`DecodeScratch`] is
+    /// reused across all `k` decodes.
+    pub fn try_decode_layers_par(&self, threads: usize) -> SketchResult<Vec<Vec<HyperEdge>>> {
         let mut recovered: Vec<Vec<HyperEdge>> = Vec::with_capacity(self.k);
-        for (i, layer) in self.layers.iter().enumerate() {
-            let mut adjusted = layer.clone();
-            for f in recovered.iter().take(i) {
-                adjusted.apply_edges(f.iter(), -1);
+        let mut adjusted: Vec<SpanningForestSketch> = self.layers.clone();
+        let mut scratch = DecodeScratch::new();
+        for i in 0..self.k {
+            let forest = adjusted[i]
+                .try_decode_with_scratch(false, threads, &mut scratch)?
+                .0;
+            let rest = &mut adjusted[i + 1..];
+            if !forest.is_empty() && !rest.is_empty() {
+                let chunk = rest.len().div_ceil(threads.max(1)).max(1);
+                if chunk >= rest.len() {
+                    for layer in rest.iter_mut() {
+                        layer.apply_edges(forest.iter(), -1);
+                    }
+                } else {
+                    std::thread::scope(|scope| {
+                        for piece in rest.chunks_mut(chunk) {
+                            let forest = &forest;
+                            scope.spawn(move || {
+                                for layer in piece {
+                                    layer.apply_edges(forest.iter(), -1);
+                                }
+                            });
+                        }
+                    });
+                }
             }
-            recovered.push(adjusted.try_decode()?);
+            recovered.push(forest);
         }
         Ok(recovered)
     }
@@ -129,8 +167,14 @@ impl KSkeletonSketch {
 
     /// Fallible [`decode`](Self::decode).
     pub fn try_decode(&self) -> SketchResult<Vec<HyperEdge>> {
+        self.try_decode_par(1)
+    }
+
+    /// [`try_decode`](Self::try_decode) with parallel per-layer work; see
+    /// [`try_decode_layers_par`](Self::try_decode_layers_par).
+    pub fn try_decode_par(&self, threads: usize) -> SketchResult<Vec<HyperEdge>> {
         let mut out: std::collections::BTreeSet<HyperEdge> = std::collections::BTreeSet::new();
-        for layer in self.try_decode_layers()? {
+        for layer in self.try_decode_layers_par(threads)? {
             out.extend(layer);
         }
         Ok(out.into_iter().collect())
@@ -170,6 +214,16 @@ impl KSkeletonSketch {
     pub fn add_assign_sketch(&mut self, rhs: &KSkeletonSketch) {
         if let Err(err) = self.try_add_assign_sketch(rhs) {
             panic!("{err}");
+        }
+    }
+
+    /// Attach metric handles to every layer (forest decode outcome counters
+    /// and decode-phase histograms, plus the per-sampler `dgs_sketch_*`
+    /// family); see [`SpanningForestSketch::set_sink`]. Default is the null
+    /// sink: recording is free.
+    pub fn set_sink(&mut self, sink: &dgs_obs::MetricsSink) {
+        for layer in &mut self.layers {
+            layer.set_sink(sink);
         }
     }
 
@@ -483,6 +537,34 @@ mod tests {
         }
         assert_eq!(central.decode(), assembled.decode());
         assert_eq!(central.decode_layers(), assembled.decode_layers());
+    }
+
+    #[test]
+    fn parallel_skeleton_decode_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(24);
+        for trial in 0..6 {
+            let n = rng.gen_range(6..14);
+            let g = gnp(n, 0.5, &mut rng);
+            let k = rng.gen_range(1..4);
+            let mut sk = sketch(n, 2, k, 200 + trial);
+            for (u, v) in g.edges() {
+                sk.update(&HyperEdge::pair(u, v), 1);
+            }
+            let seq_layers = sk.try_decode_layers().unwrap();
+            let seq = sk.try_decode().unwrap();
+            for threads in [2usize, 4, 7] {
+                assert_eq!(
+                    sk.try_decode_layers_par(threads).unwrap(),
+                    seq_layers,
+                    "trial {trial}, {threads} threads"
+                );
+                assert_eq!(
+                    sk.try_decode_par(threads).unwrap(),
+                    seq,
+                    "trial {trial}, {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

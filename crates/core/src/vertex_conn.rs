@@ -196,8 +196,55 @@ impl VertexConnSketch {
     /// (retryable against an independent repetition) instead.
     pub fn try_certificate(&self) -> SketchResult<VertexConnCertificate> {
         let mut h = Hypergraph::new(self.space.n());
+        let mut scratch = dgs_connectivity::DecodeScratch::new();
         for sk in &self.subgraphs {
-            for e in sk.try_decode()? {
+            let (forest, _) = sk.try_decode_with_scratch(false, 1, &mut scratch)?;
+            for e in forest {
+                h.add_edge(e);
+            }
+        }
+        Ok(VertexConnCertificate { union: h })
+    }
+
+    /// [`try_certificate`](Self::try_certificate) with the `R` independent
+    /// subgraph decodes fanned out over `threads` scoped worker threads
+    /// (contiguous chunks of subgraph indices, one reusable
+    /// [`dgs_connectivity::DecodeScratch`] per worker). Decodes are
+    /// read-only and per-subgraph independent, and errors are surfaced in
+    /// ascending subgraph order after the fan-out completes — so the
+    /// certificate (and any error) is identical to the sequential path for
+    /// every thread count.
+    pub fn try_certificate_par(&self, threads: usize) -> SketchResult<VertexConnCertificate> {
+        let threads = threads.max(1).min(self.subgraphs.len().max(1));
+        if threads <= 1 {
+            return self.try_certificate();
+        }
+        let chunk = self.subgraphs.len().div_ceil(threads);
+        let results: Vec<SketchResult<Vec<HyperEdge>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .subgraphs
+                .chunks(chunk)
+                .map(|piece| {
+                    scope.spawn(move || {
+                        let mut scratch = dgs_connectivity::DecodeScratch::new();
+                        piece
+                            .iter()
+                            .map(|sk| {
+                                sk.try_decode_with_scratch(false, 1, &mut scratch)
+                                    .map(|(forest, _)| forest)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("certificate decode worker panicked"))
+                .collect()
+        });
+        let mut h = Hypergraph::new(self.space.n());
+        for r in results {
+            for e in r? {
                 h.add_edge(e);
             }
         }
@@ -238,6 +285,15 @@ impl VertexConnSketch {
     pub fn add_assign_sketch(&mut self, rhs: &VertexConnSketch) {
         if let Err(err) = self.try_add_assign_sketch(rhs) {
             panic!("{err}");
+        }
+    }
+
+    /// Attach metric handles to every subgraph sketch (forest decode
+    /// counters and decode-phase histograms); see
+    /// [`SpanningForestSketch::set_sink`].
+    pub fn set_sink(&mut self, sink: &dgs_obs::MetricsSink) {
+        for sk in &mut self.subgraphs {
+            sk.set_sink(sink);
         }
     }
 
@@ -635,6 +691,17 @@ mod tests {
         assert_eq!(c1.union.edges(), c2.union.edges());
         assert!(c2.disconnects(&[4, 5]));
         assert_eq!(total_msg, central.size_bytes());
+    }
+
+    #[test]
+    fn parallel_certificate_matches_sequential() {
+        let g = planted_separator(5, 5, 2);
+        let sk = sketch_for(&g, 2, 3.0, 11);
+        let seq = sk.try_certificate().unwrap();
+        for threads in [2usize, 4, 7] {
+            let par = sk.try_certificate_par(threads).unwrap();
+            assert_eq!(seq.union.edges(), par.union.edges(), "{threads} threads");
+        }
     }
 
     #[test]

@@ -137,6 +137,150 @@ impl Fp {
         }
     }
 
+    /// Element-wise in-place sum `out[i] = out[i] + rhs[i]`.
+    ///
+    /// Same lane discipline as [`Fp::mul_batch`]: the fixed-width inner
+    /// loop keeps several independent add/conditional-subtract chains in
+    /// flight. Results are exactly [`Fp::add`] per lane.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn add_batch(out: &mut [Fp], rhs: &[Fp]) {
+        assert_eq!(out.len(), rhs.len(), "add_batch length mismatch");
+        const LANES: usize = 8;
+        let mut chunks = out.chunks_exact_mut(LANES);
+        let mut rchunks = rhs.chunks_exact(LANES);
+        for (oc, rc) in (&mut chunks).zip(&mut rchunks) {
+            for i in 0..LANES {
+                oc[i] = oc[i].add(rc[i]);
+            }
+        }
+        for (o, &r) in chunks
+            .into_remainder()
+            .iter_mut()
+            .zip(rchunks.remainder().iter())
+        {
+            *o = o.add(r);
+        }
+    }
+
+    /// Element-wise in-place difference `out[i] = out[i] - rhs[i]`.
+    ///
+    /// Same lane discipline as [`Fp::mul_batch`]; results are exactly
+    /// [`Fp::sub`] per lane.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn sub_batch(out: &mut [Fp], rhs: &[Fp]) {
+        assert_eq!(out.len(), rhs.len(), "sub_batch length mismatch");
+        const LANES: usize = 8;
+        let mut chunks = out.chunks_exact_mut(LANES);
+        let mut rchunks = rhs.chunks_exact(LANES);
+        for (oc, rc) in (&mut chunks).zip(&mut rchunks) {
+            for i in 0..LANES {
+                oc[i] = oc[i].sub(rc[i]);
+            }
+        }
+        for (o, &r) in chunks
+            .into_remainder()
+            .iter_mut()
+            .zip(rchunks.remainder().iter())
+        {
+            *o = o.sub(r);
+        }
+    }
+
+    /// Lazy-reduction accumulation `acc[i] += src[i]` over plain `u128`
+    /// accumulators, deferring the modular reduction to
+    /// [`Fp::reduce_batch`].
+    ///
+    /// Canonical values are `< 2^61`, so a `u128` accumulator absorbs more
+    /// than `2^67` summands before overflow — far beyond any sketch fan-in
+    /// (the widest sum in this workspace folds one sampler per vertex).
+    /// Summing n slices this way and reducing once costs one integer add
+    /// per cell per slice instead of an add plus a conditional subtract,
+    /// and the final [`Fp::reduce_batch`] makes the result bit-identical
+    /// to a chain of canonical [`Fp::add`]s.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn accumulate_batch(acc: &mut [u128], src: &[Fp]) {
+        assert_eq!(acc.len(), src.len(), "accumulate_batch length mismatch");
+        const LANES: usize = 8;
+        let mut chunks = acc.chunks_exact_mut(LANES);
+        let mut schunks = src.chunks_exact(LANES);
+        for (ac, sc) in (&mut chunks).zip(&mut schunks) {
+            for i in 0..LANES {
+                ac[i] += sc[i].0 as u128;
+            }
+        }
+        for (a, &s) in chunks
+            .into_remainder()
+            .iter_mut()
+            .zip(schunks.remainder().iter())
+        {
+            *a += s.0 as u128;
+        }
+    }
+
+    /// Reduces one lazy `u128` accumulator to canonical form.
+    ///
+    /// Iterated Mersenne folding: each `(v & P) + (v >> 61)` step shrinks
+    /// the value by a factor of ~2^61 while preserving it mod `P`, so two
+    /// folds bring any sum of canonical elements under `2 * P` and one
+    /// conditional subtraction finishes. Equals the sum of the accumulated
+    /// elements under canonical [`Fp::add`].
+    #[inline]
+    pub fn reduce_u128(mut v: u128) -> Fp {
+        const PW: u128 = P as u128;
+        while v >> 61 != 0 {
+            v = (v & PW) + (v >> 61);
+        }
+        let r = v as u64;
+        Fp(if r >= P { r - P } else { r })
+    }
+
+    /// Reduces a slice of lazy accumulators into canonical elements:
+    /// `out[i] = reduce(acc[i])` via [`Fp::reduce_u128`].
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn reduce_batch(out: &mut [Fp], acc: &[u128]) {
+        assert_eq!(out.len(), acc.len(), "reduce_batch length mismatch");
+        for (o, &a) in out.iter_mut().zip(acc.iter()) {
+            *o = Fp::reduce_u128(a);
+        }
+    }
+
+    /// In-place batch inversion (Montgomery's trick): replaces every
+    /// element of `vals` with its multiplicative inverse using `3(n-1)`
+    /// multiplications plus a single [`Fp::inv`], instead of one ~61-step
+    /// Fermat exponentiation per element. `scratch` holds the prefix
+    /// products and is cleared on entry; reusing one scratch vector across
+    /// calls makes the kernel allocation-free in steady state. Inverses
+    /// are unique in a field, so each lane equals [`Fp::inv`] exactly.
+    ///
+    /// # Panics
+    /// Panics if any element is zero (same contract as [`Fp::inv`]).
+    pub fn inv_batch(vals: &mut [Fp], scratch: &mut Vec<Fp>) {
+        scratch.clear();
+        if vals.is_empty() {
+            return;
+        }
+        scratch.reserve(vals.len());
+        let mut acc = Fp::ONE;
+        for v in vals.iter() {
+            scratch.push(acc);
+            acc = acc.mul(*v); // zero input surfaces in the inv() below
+        }
+        let mut tail = acc.inv();
+        for i in (0..vals.len()).rev() {
+            let orig = vals[i];
+            vals[i] = tail.mul(scratch[i]);
+            tail = tail.mul(orig);
+        }
+    }
+
     /// Exponentiation by square-and-multiply.
     pub fn pow(self, mut exp: u64) -> Fp {
         let mut base = self;
@@ -376,6 +520,81 @@ mod tests {
                 assert_eq!(out[i], a[i].mul(b[i]), "len {len}, lane {i}");
             }
         }
+    }
+
+    #[test]
+    fn add_and_sub_batch_match_scalar() {
+        let mut rng = StdRng::seed_from_u64(0xF9);
+        for len in [0usize, 1, 7, 8, 9, 16, 33] {
+            let a: Vec<Fp> = (0..len).map(|_| rand_fp(&mut rng)).collect();
+            let b: Vec<Fp> = (0..len).map(|_| rand_fp(&mut rng)).collect();
+            let mut sum = a.clone();
+            Fp::add_batch(&mut sum, &b);
+            let mut diff = a.clone();
+            Fp::sub_batch(&mut diff, &b);
+            for i in 0..len {
+                assert_eq!(sum[i], a[i].add(b[i]), "add len {len}, lane {i}");
+                assert_eq!(diff[i], a[i].sub(b[i]), "sub len {len}, lane {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_accumulation_matches_chained_adds() {
+        let mut rng = StdRng::seed_from_u64(0xFA);
+        for len in [1usize, 7, 8, 33] {
+            for terms in [1usize, 2, 5, 64] {
+                let slices: Vec<Vec<Fp>> = (0..terms)
+                    .map(|_| (0..len).map(|_| rand_fp(&mut rng)).collect())
+                    .collect();
+                let mut acc = vec![0u128; len];
+                for s in &slices {
+                    Fp::accumulate_batch(&mut acc, s);
+                }
+                let mut out = vec![Fp::ZERO; len];
+                Fp::reduce_batch(&mut out, &acc);
+                for i in 0..len {
+                    let chained = slices.iter().fold(Fp::ZERO, |a, s| a.add(s[i]));
+                    assert_eq!(out[i], chained, "len {len}, terms {terms}, lane {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_u128_handles_extremes() {
+        assert_eq!(Fp::reduce_u128(0), Fp::ZERO);
+        assert_eq!(Fp::reduce_u128(P as u128), Fp::ZERO);
+        assert_eq!(Fp::reduce_u128(P as u128 + 1), Fp::ONE);
+        // 2^67 summands of the max canonical value still reduce correctly.
+        let v = (P as u128 - 1) << 67;
+        let expect = Fp::new(P - 1).mul(Fp::new(2).pow(67));
+        assert_eq!(Fp::reduce_u128(v), expect);
+        assert_eq!(
+            Fp::reduce_u128(u128::MAX),
+            Fp::new((u128::MAX % P as u128) as u64)
+        );
+    }
+
+    #[test]
+    fn inv_batch_matches_fermat() {
+        let mut rng = StdRng::seed_from_u64(0xFB);
+        let mut scratch = Vec::new();
+        for len in [0usize, 1, 2, 7, 8, 33] {
+            let a: Vec<Fp> = (0..len).map(|_| Fp::new(rng.gen_range(1..P))).collect();
+            let mut inv = a.clone();
+            Fp::inv_batch(&mut inv, &mut scratch);
+            for i in 0..len {
+                assert_eq!(inv[i], a[i].inv(), "len {len}, lane {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invert Fp::ZERO")]
+    fn inv_batch_panics_on_zero() {
+        let mut vals = vec![Fp::ONE, Fp::ZERO, Fp::new(7)];
+        Fp::inv_batch(&mut vals, &mut Vec::new());
     }
 
     #[test]

@@ -164,6 +164,45 @@ impl HistStats {
         }
     }
 
+    /// Folds another snapshot into this one — counts, sums, and per-bucket
+    /// tallies add, so quantiles of the merged stats describe the combined
+    /// sample. Exact because both sides use the same fixed bucket edges.
+    pub fn merge(&mut self, other: &HistStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.buckets.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.buckets.len() || j < other.buckets.len() {
+            match (self.buckets.get(i), other.buckets.get(j)) {
+                (Some(&(ea, na)), Some(&(eb, nb))) => match ea.cmp(&eb) {
+                    std::cmp::Ordering::Less => {
+                        merged.push((ea, na));
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        merged.push((eb, nb));
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        merged.push((ea, na + nb));
+                        i += 1;
+                        j += 1;
+                    }
+                },
+                (Some(&b), None) => {
+                    merged.push(b);
+                    i += 1;
+                }
+                (None, Some(&b)) => {
+                    merged.push(b);
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        self.buckets = merged;
+    }
+
     /// Quantile estimate: upper edge of the bucket containing the q-quantile.
     /// `q` in [0, 1]. Returns 0 for an empty histogram.
     pub fn quantile(&self, q: f64) -> u64 {
@@ -317,6 +356,30 @@ mod tests {
         assert!(s.quantile(0.5) >= 50 && s.quantile(0.5) <= 63);
         assert!(s.quantile(0.99) >= 99);
         assert_eq!(s.quantile(0.0), s.buckets[0].0);
+    }
+
+    #[test]
+    fn hist_stats_merge_equals_single_histogram() {
+        let (a, b, both) = (
+            Histogram::standalone(),
+            Histogram::standalone(),
+            Histogram::standalone(),
+        );
+        for v in 1..=60u64 {
+            a.record(v * 7);
+            both.record(v * 7);
+        }
+        for v in 1..=40u64 {
+            b.record(v * 1000);
+            both.record(v * 1000);
+        }
+        let mut merged = a.stats();
+        merged.merge(&b.stats());
+        assert_eq!(merged, both.stats());
+        // Merging an empty side is the identity.
+        let mut id = both.stats();
+        id.merge(&Histogram::standalone().stats());
+        assert_eq!(id, both.stats());
     }
 
     #[test]

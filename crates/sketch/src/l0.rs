@@ -16,7 +16,7 @@ use dgs_obs::{Counter, Histogram, MetricsSink};
 
 use crate::error::{SketchError, SketchResult};
 use crate::params::L0Params;
-use crate::sparse_recovery::SparseRecovery;
+use crate::sparse_recovery::{PeelScratch, SparseRecovery};
 
 /// A precomputed batch plan for one [`L0Sampler`] seed family.
 ///
@@ -88,6 +88,13 @@ pub struct L0Sampler {
     levels: Vec<SparseRecovery>,
     dimension: u64,
     seed_tag: u64,
+    /// Number of leading levels any update has ever touched. Updates land
+    /// in levels `0..=top(index)`, so touched levels are always a prefix,
+    /// and levels `touched..` hold identically zero state. Conservative
+    /// under cancellation (deleting every edge leaves `touched` high),
+    /// never under-counts — the decode engine relies on that to skip
+    /// folding the zero suffix.
+    touched: usize,
     metrics: L0Metrics,
 }
 
@@ -121,6 +128,7 @@ impl L0Sampler {
             levels,
             dimension,
             seed_tag: seeds.seed(),
+            touched: 0,
             metrics: L0Metrics::default(),
         }
     }
@@ -164,6 +172,7 @@ impl L0Sampler {
         for j in 0..=top {
             self.levels[j].update(index, delta)?;
         }
+        self.touched = self.touched.max(top + 1);
         Ok(())
     }
 
@@ -275,6 +284,7 @@ impl L0Sampler {
                 &plan.buckets[slot * rows..(slot + 1) * rows],
             );
         }
+        self.touched = self.touched.max(top + 1);
         Ok(())
     }
 
@@ -315,6 +325,7 @@ impl L0Sampler {
                 };
                 level.apply_soa(d, sd, term, &plan.buckets[slot * rows..(slot + 1) * rows]);
             }
+            self.touched = self.touched.max(top + 1);
         }
         Ok(())
     }
@@ -396,6 +407,7 @@ impl L0Sampler {
         for (a, b) in self.levels.iter_mut().zip(&rhs.levels) {
             a.add_assign_sketch(b)?;
         }
+        self.touched = self.touched.max(rhs.touched);
         Ok(())
     }
 
@@ -405,12 +417,91 @@ impl L0Sampler {
         for (a, b) in self.levels.iter_mut().zip(&rhs.levels) {
             a.sub_assign_sketch(b)?;
         }
+        self.touched = self.touched.max(rhs.touched);
         Ok(())
     }
 
     /// True iff every cell of every level is zero.
     pub fn is_zero(&self) -> bool {
         self.levels.iter().all(|l| l.is_zero())
+    }
+
+    /// Flat length of the sampler's linear state: every level's `[W | S |
+    /// F]` tables concatenated in level order. This is the arena stride
+    /// used by the borrowed-state decode engine in `dgs-connectivity`.
+    pub fn state_len(&self) -> usize {
+        self.levels.iter().map(|l| l.state_len()).sum()
+    }
+
+    /// Copies the sampler's linear state into `dst`, level by level.
+    ///
+    /// # Panics
+    /// Panics if `dst.len() != self.state_len()`.
+    pub fn copy_state_into(&self, dst: &mut [Fp]) {
+        assert_eq!(
+            dst.len(),
+            self.state_len(),
+            "copy_state_into length mismatch"
+        );
+        let mut off = 0;
+        for level in &self.levels {
+            let len = level.state_len();
+            level.copy_state_into(&mut dst[off..off + len]);
+            off += len;
+        }
+    }
+
+    /// Adds the sampler's linear state into lazy `u128` accumulators (same
+    /// layout as [`copy_state_into`](Self::copy_state_into)). Summing
+    /// same-seeded samplers this way and reducing once per cell is exactly
+    /// the repeated [`add_assign_sketch`](Self::add_assign_sketch) sum —
+    /// the field addition is exact — without materialising intermediate
+    /// samplers.
+    ///
+    /// # Panics
+    /// Panics if `acc.len() != self.state_len()`.
+    pub fn accumulate_state(&self, acc: &mut [u128]) {
+        assert_eq!(
+            acc.len(),
+            self.state_len(),
+            "accumulate_state length mismatch"
+        );
+        let mut off = 0;
+        for level in &self.levels {
+            let len = level.state_len();
+            level.accumulate_state(&mut acc[off..off + len]);
+            off += len;
+        }
+    }
+
+    /// Flat length of the populated prefix of the linear state: the state
+    /// of levels `0..touched`. Everything past it is identically zero (see
+    /// the `touched` invariant), so a fold over just this prefix plus a
+    /// zero fill of the tail reconstructs the full state exactly.
+    pub fn touched_state_len(&self) -> usize {
+        self.levels[..self.touched]
+            .iter()
+            .map(|l| l.state_len())
+            .sum()
+    }
+
+    /// [`accumulate_state`](Self::accumulate_state) restricted to the
+    /// populated level prefix; returns the number of accumulators written
+    /// ([`touched_state_len`](Self::touched_state_len)). Adding zero is
+    /// the identity, so skipping the zero suffix leaves the accumulated
+    /// sum bit-identical to the full-state fold — this is the decode
+    /// engine's aggregation fast path.
+    ///
+    /// # Panics
+    /// Panics if `acc` is shorter than the populated prefix.
+    pub fn accumulate_state_touched(&self, acc: &mut [u128]) -> usize {
+        let mut off = 0;
+        for level in &self.levels[..self.touched] {
+            let len = level.state_len();
+            level.accumulate_state(&mut acc[off..off + len]);
+            off += len;
+        }
+        off
     }
 
     /// Samples a nonzero coordinate of the net vector.
@@ -426,9 +517,29 @@ impl L0Sampler {
     ///   says nothing about coordinates whose geometric level is below
     ///   `j`, so answering "zero" there would be a silent wrong answer).
     pub fn sample(&self) -> SketchResult<Option<(u64, i64)>> {
+        let mut scratch = PeelScratch::default();
+        self.sample_with(&mut scratch)
+    }
+
+    /// [`sample`](Self::sample) with a caller-owned reusable scratch —
+    /// allocation-free in steady state. This is the decode engine's fast
+    /// path for singleton components: the sampler's own cells are peeled
+    /// in place of an arena copy, with outcomes identical to
+    /// [`sample_state`](Self::sample_state) on a copy of this sampler's
+    /// state (both decoders read the same `(W, S, F)` values).
+    pub fn sample_with(&self, scratch: &mut PeelScratch) -> SketchResult<Option<(u64, i64)>> {
+        self.sample_via(|_, level, s| level.decode_into(s), scratch)
+    }
+
+    /// [`sample`](Self::sample) running each level through the historical
+    /// peeling loop ([`SparseRecovery::decode_legacy`]: fresh allocations,
+    /// one Fermat inversion per nonzero cell per pass) — the sequential
+    /// baseline the decode benchmarks (E19) measure the batched engine
+    /// against. Outcome is bit-identical to [`sample`](Self::sample).
+    pub fn sample_legacy(&self) -> SketchResult<Option<(u64, i64)>> {
         self.metrics.sample_attempts.inc();
         for (j, level) in self.levels.iter().enumerate() {
-            match level.decode() {
+            match level.decode_legacy() {
                 Some(support) if support.is_empty() => {
                     if j == 0 {
                         self.metrics.sample_successes.inc();
@@ -450,6 +561,80 @@ impl L0Sampler {
                 }
                 None => continue, // too dense at this level; subsample more
             }
+        }
+        self.metrics.sample_failures.inc();
+        Err(SketchError::failure(
+            "l0-sampler",
+            format!("all {} levels undecodable", self.levels.len()),
+        ))
+    }
+
+    /// Samples from borrowed linear state (layout as
+    /// [`copy_state_into`](Self::copy_state_into)) using this sampler's
+    /// seeds as the template — the decode-arena path: a component's
+    /// summed state is sampled without ever materialising a summed
+    /// `L0Sampler`. Valid only for state accumulated from samplers that
+    /// pass [`check_compatible`](Self::check_compatible) against `self`;
+    /// the caller owns that check. Outcomes (sample choice, certified
+    /// zero, failure classification) are identical to [`sample`]
+    /// (Self::sample) on a sampler holding the same state, and a reused
+    /// `scratch` makes the call allocation-free in steady state.
+    ///
+    /// # Panics
+    /// Panics if `state.len() != self.state_len()`.
+    pub fn sample_state(
+        &self,
+        state: &[Fp],
+        scratch: &mut PeelScratch,
+    ) -> SketchResult<Option<(u64, i64)>> {
+        assert_eq!(
+            state.len(),
+            self.state_len(),
+            "sample_state length mismatch"
+        );
+        let mut off = 0usize;
+        self.sample_via(
+            move |_, level, s| {
+                let len = level.state_len();
+                let ok = level.decode_state(&state[off..off + len], s);
+                off += len;
+                ok
+            },
+            scratch,
+        )
+    }
+
+    /// Shared sampling core: walks the levels with a per-level decoder
+    /// that leaves its support in `scratch.recovered`, applying the
+    /// certified-zero / min-wise-choice / failure rules documented on
+    /// [`sample`](Self::sample).
+    fn sample_via(
+        &self,
+        mut decode_level: impl FnMut(usize, &SparseRecovery, &mut PeelScratch) -> bool,
+        scratch: &mut PeelScratch,
+    ) -> SketchResult<Option<(u64, i64)>> {
+        self.metrics.sample_attempts.inc();
+        for (j, level) in self.levels.iter().enumerate() {
+            if !decode_level(j, level, scratch) {
+                continue; // too dense at this level; subsample more
+            }
+            if scratch.recovered.is_empty() {
+                if j == 0 {
+                    self.metrics.sample_successes.inc();
+                    return Ok(None);
+                }
+                self.metrics.sample_failures.inc();
+                return Err(SketchError::failure(
+                    "l0-sampler",
+                    format!("level {j} empty but levels 0..{j} undecodable"),
+                ));
+            }
+            self.metrics.sample_successes.inc();
+            return Ok(scratch.recovered.iter().copied().min_by(|a, b| {
+                self.level_hash
+                    .unit(a.0)
+                    .total_cmp(&self.level_hash.unit(b.0))
+            }));
         }
         self.metrics.sample_failures.inc();
         Err(SketchError::failure(
@@ -488,11 +673,21 @@ impl dgs_field::Codec for L0Sampler {
                 message: "sampler with zero levels".into(),
             });
         }
+        // The touched-prefix watermark is not encoded; rederive it from the
+        // state. "Last level with any nonzero cell" is sound: it can only
+        // undershoot the historical watermark when the extra levels hold
+        // all-zero state — exactly the condition that makes skipping them
+        // correct.
+        let touched = levels
+            .iter()
+            .rposition(|l| !l.is_zero())
+            .map_or(0, |i| i + 1);
         Ok(L0Sampler {
             level_hash,
             levels,
             dimension,
             seed_tag,
+            touched,
             metrics: L0Metrics::default(),
         })
     }
@@ -541,6 +736,59 @@ mod tests {
         }
         assert!(s.is_zero());
         assert_eq!(s.sample().unwrap(), None);
+    }
+
+    #[test]
+    fn sample_state_matches_sample_on_summed_samplers() {
+        // Accumulating same-seeded player shares into a u128 arena and
+        // sampling the reduced state must agree exactly with summing the
+        // samplers via add_assign_sketch and calling sample() — across
+        // zero, sparse, dense, and cancelled vectors.
+        let mut rng = StdRng::seed_from_u64(0xE19);
+        let mut scratch = PeelScratch::default();
+        for trial in 0..20 {
+            let parts = 1 + (trial % 4);
+            let mut shares: Vec<L0Sampler> = (0..parts).map(|_| sampler(5000 + trial)).collect();
+            let items = rng.gen_range(0..200u64);
+            for _ in 0..items {
+                let idx = rng.gen_range(0..D);
+                let delta = *[-1i64, 1, 2].choose(&mut rng).unwrap();
+                let part = rng.gen_range(0..parts) as usize;
+                shares[part].update(idx, delta).unwrap();
+            }
+            let mut summed = shares[0].clone();
+            for share in &shares[1..] {
+                summed.add_assign_sketch(share).unwrap();
+            }
+            let template = &shares[0];
+            let mut acc = vec![0u128; template.state_len()];
+            for share in &shares {
+                template.check_compatible(share).unwrap();
+                share.accumulate_state(&mut acc);
+            }
+            let mut state = vec![Fp::ZERO; template.state_len()];
+            Fp::reduce_batch(&mut state, &acc);
+            // The reduced arena equals the materialised sum bit for bit.
+            let mut direct = vec![Fp::ZERO; template.state_len()];
+            summed.copy_state_into(&mut direct);
+            assert_eq!(state, direct, "trial {trial}: arena sum diverged");
+            let via_state = template.sample_state(&state, &mut scratch);
+            let via_sum = summed.sample();
+            let via_legacy = summed.sample_legacy();
+            for (name, got) in [("sample", &via_sum), ("sample_legacy", &via_legacy)] {
+                match (&via_state, got) {
+                    (Ok(a), Ok(b)) => assert_eq!(a, b, "trial {trial} vs {name}"),
+                    (Err(a), Err(b)) => {
+                        assert_eq!(
+                            a.is_retryable(),
+                            b.is_retryable(),
+                            "trial {trial} vs {name}"
+                        )
+                    }
+                    (a, b) => panic!("trial {trial}: outcomes diverged vs {name}: {a:?} vs {b:?}"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -29,4 +29,4 @@ pub use error::{SketchError, SketchResult};
 pub use l0::{L0Plan, L0Sampler};
 pub use one_sparse::{OneSparse, OneSparseDecode};
 pub use params::{L0Params, Profile};
-pub use sparse_recovery::SparseRecovery;
+pub use sparse_recovery::{PeelScratch, SparseRecovery};

@@ -57,6 +57,43 @@ impl SparseMetrics {
     }
 }
 
+/// Reusable peeling scratch for [`SparseRecovery::decode_state`].
+///
+/// Holds the working copy of the cells, the per-pass candidate list with
+/// its batch-inverted weights, and the recovered support. All buffers are
+/// cleared (never shrunk) between uses, so one scratch reused across many
+/// decodes allocates only until the high-water mark is reached.
+#[derive(Clone, Debug, Default)]
+pub struct PeelScratch {
+    /// Working cells being drained by the current peel.
+    work: Vec<OneSparse>,
+    /// Per-cell classification cache, current for untouched cells.
+    cls: Vec<Cls>,
+    /// Per-cell inverse of the total weight `W`; fresh whenever the cell's
+    /// classification is [`Cls::Unknown`].
+    cell_winv: Vec<Fp>,
+    /// Flat cell ids of the cells whose inverses are being (re)batched.
+    cand: Vec<u32>,
+    /// Candidate total weights, replaced by their inverses in place.
+    winv: Vec<Fp>,
+    /// Prefix products for [`Fp::inv_batch`].
+    prefix: Vec<Fp>,
+    /// Support recovered by the last successful peel, sorted by index.
+    pub recovered: Vec<(u64, i64)>,
+}
+
+/// Cached one-sparse classification of a working cell. There is no cached
+/// "verified" state: a chosen cell is subtracted from itself the same pass
+/// (its state is the unit's state), so a verification is always consumed
+/// immediately.
+#[derive(Clone, Copy, Debug)]
+enum Cls {
+    /// Not yet examined since its last change; `cell_winv` is fresh.
+    Unknown,
+    /// Known not to verify (zero, zero-`W`, or failed verification).
+    NotOne,
+}
+
 /// An s-sparse recovery structure.
 #[derive(Clone, Debug)]
 pub struct SparseRecovery {
@@ -202,31 +239,54 @@ impl SparseRecovery {
     /// Cell-wise sum with a same-seeded structure.
     pub fn add_assign_sketch(&mut self, rhs: &SparseRecovery) -> SketchResult<()> {
         self.check_compatible(rhs)?;
-        for (a, b) in self.w.iter_mut().zip(&rhs.w) {
-            *a += *b;
-        }
-        for (a, b) in self.s.iter_mut().zip(&rhs.s) {
-            *a += *b;
-        }
-        for (a, b) in self.f.iter_mut().zip(&rhs.f) {
-            *a += *b;
-        }
+        Fp::add_batch(&mut self.w, &rhs.w);
+        Fp::add_batch(&mut self.s, &rhs.s);
+        Fp::add_batch(&mut self.f, &rhs.f);
         Ok(())
     }
 
     /// Cell-wise difference with a same-seeded structure.
     pub fn sub_assign_sketch(&mut self, rhs: &SparseRecovery) -> SketchResult<()> {
         self.check_compatible(rhs)?;
-        for (a, b) in self.w.iter_mut().zip(&rhs.w) {
-            *a -= *b;
-        }
-        for (a, b) in self.s.iter_mut().zip(&rhs.s) {
-            *a -= *b;
-        }
-        for (a, b) in self.f.iter_mut().zip(&rhs.f) {
-            *a -= *b;
-        }
+        Fp::sub_batch(&mut self.w, &rhs.w);
+        Fp::sub_batch(&mut self.s, &rhs.s);
+        Fp::sub_batch(&mut self.f, &rhs.f);
         Ok(())
+    }
+
+    /// Flat length of this structure's linear state: the three `rows x
+    /// cols` tables laid out `[W | S | F]`. This is the unit of transfer
+    /// for the borrowed-state decode path ([`copy_state_into`]
+    /// (Self::copy_state_into) / [`accumulate_state`]
+    /// (Self::accumulate_state) / [`decode_state`](Self::decode_state)).
+    pub fn state_len(&self) -> usize {
+        3 * self.w.len()
+    }
+
+    /// Copies the linear state into `dst` in `[W | S | F]` order.
+    ///
+    /// # Panics
+    /// Panics if `dst.len() != self.state_len()`.
+    pub fn copy_state_into(&self, dst: &mut [Fp]) {
+        let n = self.w.len();
+        assert_eq!(dst.len(), 3 * n, "copy_state_into length mismatch");
+        dst[..n].copy_from_slice(&self.w);
+        dst[n..2 * n].copy_from_slice(&self.s);
+        dst[2 * n..].copy_from_slice(&self.f);
+    }
+
+    /// Adds the linear state into lazy `u128` accumulators (same `[W | S
+    /// | F]` layout) via [`Fp::accumulate_batch`]; reduce once with
+    /// [`Fp::reduce_batch`] when the component sum is complete.
+    ///
+    /// # Panics
+    /// Panics if `acc.len() != self.state_len()`.
+    pub fn accumulate_state(&self, acc: &mut [u128]) {
+        let n = self.w.len();
+        assert_eq!(acc.len(), 3 * n, "accumulate_state length mismatch");
+        Fp::accumulate_batch(&mut acc[..n], &self.w);
+        Fp::accumulate_batch(&mut acc[n..2 * n], &self.s);
+        Fp::accumulate_batch(&mut acc[2 * n..], &self.f);
     }
 
     /// True iff every cell is zero (the net vector hashes to nothing).
@@ -247,6 +307,53 @@ impl SparseRecovery {
     /// every cell; `None` means the vector (almost surely) has more than
     /// `s` nonzeros or the hashing was unlucky.
     pub fn decode(&self) -> Option<Vec<(u64, i64)>> {
+        let mut scratch = PeelScratch::default();
+        if self.decode_into(&mut scratch) {
+            Some(std::mem::take(&mut scratch.recovered))
+        } else {
+            None
+        }
+    }
+
+    /// Peels this structure's own cells into a reusable scratch — the
+    /// allocation-free equivalent of [`decode`](Self::decode). On success
+    /// returns `true` with the sorted support left in `scratch.recovered`.
+    pub fn decode_into(&self, scratch: &mut PeelScratch) -> bool {
+        scratch.work.clear();
+        scratch.work.extend((0..self.w.len()).map(|i| self.cell(i)));
+        self.peel(scratch)
+    }
+
+    /// Peels borrowed `[W | S | F]` state — e.g. a component sum living in
+    /// a decode arena — using this structure's hashes and fingerprinter as
+    /// the seed template. Valid only for state accumulated from structures
+    /// compatible with `self` (same seeds and shape); the caller owns that
+    /// check. On success returns `true` with the sorted support left in
+    /// `scratch.recovered`; classification decisions are identical to
+    /// [`decode`](Self::decode) on a structure holding the same state, and
+    /// a reused `scratch` makes the call allocation-free in steady state.
+    ///
+    /// # Panics
+    /// Panics if `state.len() != self.state_len()`.
+    pub fn decode_state(&self, state: &[Fp], scratch: &mut PeelScratch) -> bool {
+        let n = self.w.len();
+        assert_eq!(state.len(), 3 * n, "decode_state length mismatch");
+        scratch.work.clear();
+        scratch.work.extend(
+            (0..n).map(|i| OneSparse::from_parts(state[i], state[n + i], state[2 * n + i])),
+        );
+        self.peel(scratch)
+    }
+
+    /// The historical peeling loop, kept verbatim as the sequential
+    /// baseline the optimized decode paths are benchmarked against (E19)
+    /// and tested equivalent to: a fresh `Vec<OneSparse>` per call, and a
+    /// Fermat inversion (`Fp::inv`, a ~61-step exponentiation) per nonzero
+    /// cell per pass via [`OneSparse::decode`], where [`peel`](Self::peel)
+    /// batches the pass's inversions. Inverses in a field are unique and
+    /// the first-verifying-cell choice rule is the same, so the recovered
+    /// support is bit-identical to [`decode`](Self::decode).
+    pub fn decode_legacy(&self) -> Option<Vec<(u64, i64)>> {
         self.metrics.decode_attempts.inc();
         let mut work: Vec<OneSparse> = (0..self.w.len()).map(|i| self.cell(i)).collect();
         let mut recovered: Vec<(u64, i64)> = Vec::new();
@@ -299,6 +406,151 @@ impl SparseRecovery {
                 return None;
             }
         }
+    }
+
+    /// The shared peeling core: drains `scratch.work`, leaving the sorted
+    /// support in `scratch.recovered` on success.
+    ///
+    /// The historical loop re-examined every cell on every pass: a Fermat
+    /// inversion per nonzero cell scanned, a `z^index` exponentiation per
+    /// verification and another per subtracted unit, all repeated from
+    /// scratch each pass. This core removes each of those costs without
+    /// changing a single classification decision:
+    ///
+    /// * **Batched inverses** — every candidate `W` is inverted once up
+    ///   front with one Montgomery batch inversion ([`Fp::inv_batch`]) and
+    ///   cached per cell; after a subtraction only the `rows` touched
+    ///   cells are re-inverted (another tiny batch).
+    /// * **Lazy, cached classification** — cells are still scanned in
+    ///   order and the pass still takes the *first* cell that verifies
+    ///   (the historical choice rule), but a cell examined once keeps its
+    ///   verdict until a subtraction touches it, so later passes skip
+    ///   straight over known collisions, and cells past the chosen one
+    ///   are never examined at all — no eager verification pows.
+    /// * **No unit exponentiation** — a cell that verifies as one-sparse
+    ///   holds *exactly* the unit vector's state: `W = weight`,
+    ///   `S = weight * index`, and `F = weight * z^index` (that equality
+    ///   is what verification checked), so the unit to subtract is the
+    ///   cell itself, and the historical `z^index` reconstruction is pure
+    ///   overhead.
+    ///
+    /// Classification is a pure function of a cell's current `(W, S, F)`
+    /// state and field inverses are unique, so the decoded support is
+    /// bit-identical to [`decode_legacy`](Self::decode_legacy).
+    fn peel(&self, scratch: &mut PeelScratch) -> bool {
+        self.metrics.decode_attempts.inc();
+        scratch.recovered.clear();
+        // Each peel removes one coordinate; s+1 coordinates can never drain.
+        let max_peels = self.sparsity * 2 + 2;
+        let ncells = scratch.work.len();
+        scratch.cls.clear();
+        scratch.cls.resize(ncells, Cls::Unknown);
+        scratch.cell_winv.clear();
+        scratch.cell_winv.resize(ncells, Fp::ZERO);
+        // Candidates are nonzero cells with nonzero total weight (a zero-W
+        // nonzero cell is a collision by definition, as in
+        // `OneSparse::decode`); their inverses are batched here and kept
+        // fresh per cell thereafter.
+        let mut nonzero = 0usize;
+        scratch.cand.clear();
+        scratch.winv.clear();
+        for (i, c) in scratch.work.iter().enumerate() {
+            if c.is_zero() {
+                scratch.cls[i] = Cls::NotOne;
+                continue;
+            }
+            nonzero += 1;
+            if c.parts().0.is_zero() {
+                scratch.cls[i] = Cls::NotOne;
+            } else {
+                scratch.cand.push(i as u32);
+                scratch.winv.push(c.parts().0);
+            }
+        }
+        Fp::inv_batch(&mut scratch.winv, &mut scratch.prefix);
+        for (k, &i) in scratch.cand.iter().enumerate() {
+            scratch.cell_winv[i as usize] = scratch.winv[k];
+        }
+        loop {
+            if nonzero == 0 {
+                scratch.recovered.sort_unstable();
+                self.metrics.decode_successes.inc();
+                return true;
+            }
+            if scratch.recovered.len() >= max_peels {
+                self.metrics.decode_failures.inc();
+                return false;
+            }
+            // First cell in order that verifies as one-sparse, resolving
+            // cached-unknown cells on demand.
+            let mut found = None;
+            for i in 0..ncells {
+                match scratch.cls[i] {
+                    Cls::NotOne => {}
+                    Cls::Unknown => match self.classify(&scratch.work[i], scratch.cell_winv[i]) {
+                        Some((index, weight)) => {
+                            found = Some((i, index, weight));
+                            break;
+                        }
+                        None => scratch.cls[i] = Cls::NotOne,
+                    },
+                }
+            }
+            let Some((ci, index, weight)) = found else {
+                // Peeling stalled: every nonzero cell failed one-sparse
+                // verification, so each is a reject (cold path only — the
+                // count never runs on successful decodes).
+                if self.metrics.one_sparse_rejects.is_live() {
+                    self.metrics.one_sparse_rejects.add(nonzero as u64);
+                }
+                self.metrics.decode_failures.inc();
+                return false;
+            };
+            // The verified cell's state is the unit vector's state, so it
+            // doubles as the value to subtract from every row (including
+            // itself, which it zeroes). Only the touched cells can have
+            // changed, so only they are re-inverted and re-examined.
+            let unit = scratch.work[ci];
+            scratch.cand.clear();
+            scratch.winv.clear();
+            for (r, h) in self.hashes.iter().enumerate() {
+                let i = r * self.cols + h.bucket(index, self.cols);
+                let was_zero = scratch.work[i].is_zero();
+                scratch.work[i].sub_assign(&unit);
+                let cell = &scratch.work[i];
+                match (was_zero, cell.is_zero()) {
+                    (false, true) => nonzero -= 1,
+                    (true, false) => nonzero += 1,
+                    _ => {}
+                }
+                if cell.is_zero() || cell.parts().0.is_zero() {
+                    scratch.cls[i] = Cls::NotOne;
+                } else {
+                    scratch.cls[i] = Cls::Unknown;
+                    scratch.cand.push(i as u32);
+                    scratch.winv.push(cell.parts().0);
+                }
+            }
+            Fp::inv_batch(&mut scratch.winv, &mut scratch.prefix);
+            for (k, &i) in scratch.cand.iter().enumerate() {
+                scratch.cell_winv[i as usize] = scratch.winv[k];
+            }
+            scratch.recovered.push((index, weight));
+        }
+    }
+
+    /// Classifies one cell given the precomputed inverse of its total
+    /// weight: `Some((index, weight))` iff the cell verifies as one-sparse
+    /// — exactly the `One` arm of [`OneSparse::decode`]. The caller
+    /// guarantees the cell is nonzero with nonzero `W`.
+    #[inline]
+    fn classify(&self, cell: &OneSparse, winv: Fp) -> Option<(u64, i64)> {
+        let (w, s, f) = cell.parts();
+        let index = s.mul(winv).value();
+        if index >= self.dimension || self.fper.expected(index, w) != f {
+            return None; // collision
+        }
+        Some((index, w.to_i64()))
     }
 
     /// Memory footprint in bytes (cells + hash coefficients + fingerprint).

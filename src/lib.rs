@@ -52,8 +52,8 @@ pub mod parallel;
 pub mod prelude {
     pub use dgs_baselines::{benczur_karger_sparsifier, EppsteinCertificate, StoreAll};
     pub use dgs_connectivity::{
-        assemble_players, assemble_players_strict, player_sketch, ForestParams, KSkeletonSketch,
-        SpanningForestSketch,
+        assemble_players, assemble_players_strict, player_sketch, DecodeScratch, ForestParams,
+        KSkeletonSketch, SpanningForestSketch,
     };
     pub use dgs_core::{
         BatchableSketch, BoostedQuery, CheckpointConfig, CheckpointStore, CheckpointedIngestor,

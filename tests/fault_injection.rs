@@ -370,3 +370,78 @@ fn boosting_drives_the_failure_rate_down() {
         "boosting did not amplify: {failures_by_r:?} over {trials} trials"
     );
 }
+
+#[test]
+fn parallel_decode_outcome_matches_sequential_under_faults() {
+    // Thread count and thread scheduling must not change *which* outcome a
+    // faulted decode surfaces: for every injected-fault class and seed, the
+    // arena engine at 1/2/4 threads returns exactly the reference
+    // decoder's answer — the same forest, or the same typed error with the
+    // same retryability — never a different error picked by whichever
+    // worker finished first.
+    use dgs_connectivity::DecodeScratch;
+
+    let (mut ok_seen, mut err_seen) = (0usize, 0usize);
+    for class in FaultClass::ALL {
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(500 + seed);
+            let h = Hypergraph::from_graph(&generators::gnp(16, 0.25, &mut rng));
+            let clean = generators::churn_stream(&h, generators::ChurnConfig::default(), &mut rng);
+            if clean.is_empty() {
+                continue;
+            }
+            let mut injector = FaultInjector::new(seed * 17 + 3);
+            let (bad, _) = injector.inject(&clean, class);
+            let space = EdgeSpace::graph(bad.n).unwrap();
+            // Starved sizing induces genuine sampler failures on a healthy
+            // fraction of seeds, so both the success and the
+            // error-surfacing paths are compared.
+            let params = ForestParams {
+                l0: L0Params {
+                    sparsity: 2,
+                    rows: 1,
+                    level_independence: 8,
+                },
+                extra_rounds: 0,
+            };
+            let mut sk =
+                SpanningForestSketch::new_full(space, &SeedTree::new(seed ^ 0x5EED), params);
+            for u in &bad.updates {
+                // Ingest-time rejections (e.g. out-of-range vertices) are a
+                // separate detection stage; here we compare decode outcomes
+                // on whatever state the accepted updates produced.
+                let _ = sk.try_update(&u.edge, u.op.delta());
+            }
+            for strict in [false, true] {
+                let reference = sk.try_decode_reference(strict);
+                match &reference {
+                    Ok(_) => ok_seen += 1,
+                    Err(_) => err_seen += 1,
+                }
+                for threads in [1usize, 2, 4] {
+                    let engine =
+                        sk.try_decode_with_scratch(strict, threads, &mut DecodeScratch::new());
+                    match (&reference, &engine) {
+                        (Ok((re, _)), Ok((ee, _))) => assert_eq!(
+                            re, ee,
+                            "{class:?} seed {seed} strict={strict} threads={threads}"
+                        ),
+                        (Err(a), Err(b)) => assert_eq!(
+                            (a.is_retryable(), a.to_string()),
+                            (b.is_retryable(), b.to_string()),
+                            "{class:?} seed {seed} strict={strict} threads={threads}"
+                        ),
+                        _ => panic!(
+                            "{class:?} seed {seed} strict={strict} threads={threads}: \
+                             reference {reference:?} vs engine {engine:?}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        ok_seen > 0 && err_seen > 0,
+        "workload must exercise both outcomes: {ok_seen} ok, {err_seen} err"
+    );
+}
