@@ -48,6 +48,10 @@ const DESCRIPTIONS: &[(&str, &str)] = &[
         "e19",
         "query latency: parallel arena decode vs the reference decoder",
     ),
+    (
+        "e20",
+        "self-healing soak: availability & correctness under chaos campaigns",
+    ),
 ];
 
 fn main() -> ExitCode {
@@ -58,7 +62,8 @@ fn main() -> ExitCode {
     if ids.is_empty() || ids.iter().any(|a| a.as_str() == "help") {
         eprintln!(
             "usage: experiments <all | list | check-ingest [baseline] | check-obs [baseline] \
-             | check-query [baseline] | obs-report | e1 .. e19>... [--quick]"
+             | check-query [baseline] | check-chaos [baseline] | obs-report | e1 .. e20>... \
+             [--quick]"
         );
         return ExitCode::from(2);
     }
@@ -81,6 +86,14 @@ fn main() -> ExitCode {
     if ids.first().map(|a| a.as_str()) == Some("check-obs") {
         let baseline = ids.get(1).map_or("BENCH_obs.json", |s| s.as_str());
         return if dgs_bench::experiments::e18_obs::check(baseline) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    if ids.first().map(|a| a.as_str()) == Some("check-chaos") {
+        let baseline = ids.get(1).map_or("BENCH_chaos.json", |s| s.as_str());
+        return if dgs_bench::experiments::e20_chaos::check(baseline) {
             ExitCode::SUCCESS
         } else {
             ExitCode::FAILURE

@@ -289,6 +289,8 @@ impl<S: BoostableSketch> BoostedQuery<S> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     /// A stub sketch whose query fails for repetition indices below the

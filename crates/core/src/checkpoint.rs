@@ -78,6 +78,45 @@ pub enum RecoveryError {
     },
     /// The sketch produced during ingestion rejected an update.
     Sketch(SketchError),
+    /// An error on a supervised shard's quarantine→rebuild path, annotated
+    /// with the shard id and — when the underlying failure localizes to the
+    /// log — the WAL segment and stream offset, so an operator can find the
+    /// poisoned shard from the error text alone.
+    Shard {
+        /// The shard (repetition index) the failure belongs to.
+        shard: usize,
+        /// WAL segment implicated, when the source error names one.
+        segment: Option<u64>,
+        /// Stream offset implicated, when the source error names one.
+        offset: Option<u64>,
+        /// The underlying failure.
+        source: Box<RecoveryError>,
+    },
+}
+
+impl RecoveryError {
+    /// Wraps `self` with shard context for the supervision layer, lifting
+    /// any WAL segment or stream offset the source error localizes to into
+    /// the annotation. Already-annotated errors keep their original shard.
+    pub fn in_shard(self, shard: usize) -> RecoveryError {
+        if matches!(self, RecoveryError::Shard { .. }) {
+            return self;
+        }
+        let segment = match &self {
+            RecoveryError::Wal(WalError::Corrupt { segment, .. }) => Some(*segment),
+            _ => None,
+        };
+        let offset = match &self {
+            RecoveryError::Replay { offset, .. } => Some(*offset),
+            _ => None,
+        };
+        RecoveryError::Shard {
+            shard,
+            segment,
+            offset,
+            source: Box::new(self),
+        }
+    }
 }
 
 impl std::fmt::Display for RecoveryError {
@@ -94,6 +133,21 @@ impl std::fmt::Display for RecoveryError {
                 write!(f, "replay failed at stream offset {offset}: {source}")
             }
             RecoveryError::Sketch(e) => write!(f, "sketch rejected update: {e}"),
+            RecoveryError::Shard {
+                shard,
+                segment,
+                offset,
+                source,
+            } => {
+                write!(f, "shard {shard}")?;
+                if let Some(seg) = segment {
+                    write!(f, ", wal segment {seg}")?;
+                }
+                if let Some(off) = offset {
+                    write!(f, ", stream offset {off}")?;
+                }
+                write!(f, ": {source}")
+            }
         }
     }
 }
@@ -310,6 +364,23 @@ impl CheckpointStore {
         Ok(out)
     }
 
+    /// Deletes every snapshot at an offset strictly greater than `cap`,
+    /// returning the purged offsets. A resumed pipeline calls this after a
+    /// torn WAL tail is sealed: snapshots past the durable log represent a
+    /// *different* history than the one the log will now re-record, and
+    /// must not become reachable again as the offset re-advances.
+    pub fn purge_after(&self, cap: u64) -> Result<Vec<u64>, RecoveryError> {
+        let mut purged = Vec::new();
+        for off in self.offsets()? {
+            if off > cap {
+                let path = snapshot_path(&self.dir, off);
+                fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
+                purged.push(off);
+            }
+        }
+        Ok(purged)
+    }
+
     /// Loads and fully validates the snapshot at `offset`: magic, manifest
     /// checksum, seed, recorded offset, payload length and checksum, and a
     /// complete decode with no trailing bytes.
@@ -324,8 +395,12 @@ impl CheckpointStore {
         if rest.len() < 12 {
             return Err(bad("truncated manifest frame".into()));
         }
-        let mlen = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
-        let msum = u64::from_le_bytes(rest[4..12].try_into().expect("8 bytes"));
+        let mlen = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        let msum_bytes: [u8; 8] = match rest[4..12].try_into() {
+            Ok(b) => b,
+            Err(_) => return Err(bad("truncated manifest frame".into())),
+        };
+        let msum = u64::from_le_bytes(msum_bytes);
         let manifest = rest
             .get(12..12 + mlen)
             .ok_or_else(|| bad("manifest extends past file".into()))?;
@@ -452,9 +527,11 @@ impl RecoveryDriver {
     /// `<= cap`. Resuming *ingestion* needs this: the continued WAL starts
     /// at the durable log's length, so a snapshot ahead of the log (its
     /// tail frames torn away after the snapshot was taken) would leave the
-    /// sketch ahead of the writer. Read-only recovery passes `None` and
-    /// keeps the most-advanced state available.
-    fn recover_capped<T, F>(
+    /// sketch ahead of the writer. The supervision layer
+    /// (`dgs_core::supervise`) uses it to rebuild a quarantined shard to
+    /// exactly the ensemble's current offset. Read-only recovery passes
+    /// `None` and keeps the most-advanced state available.
+    pub fn recover_capped<T, F>(
         &self,
         cap: Option<u64>,
         fresh: F,
@@ -493,12 +570,13 @@ impl RecoveryDriver {
         };
         let mut defects: Vec<String> = Vec::new();
         for &snap_offset in offsets.iter().rev() {
-            if cap.is_some_and(|c| snap_offset > c) {
-                defects.push(format!(
-                    "snapshot {snap_offset}: ahead of the durable log (cap {})",
-                    cap.expect("checked")
-                ));
-                continue;
+            if let Some(c) = cap {
+                if snap_offset > c {
+                    defects.push(format!(
+                        "snapshot {snap_offset}: ahead of the durable log (cap {c})"
+                    ));
+                    continue;
+                }
             }
             let sketch = match self.store.load::<T>(snap_offset) {
                 Ok(s) => s,
@@ -510,9 +588,15 @@ impl RecoveryDriver {
             // A snapshot ahead of the durable log is still authoritative at
             // its own offset: the records it absorbed were durable when it
             // was written, even if their WAL frames were later torn away.
+            // The replayed tail itself is also capped: mid-flush the log
+            // already holds records the ensemble has not applied yet, and a
+            // capped rebuild must stop exactly at the applied offset.
             let (tail, replayed): (&[Update], u64) = match &wal {
                 Some(replay) if (replay.updates.len() as u64) > snap_offset => {
-                    let tail = &replay.updates[snap_offset as usize..];
+                    let end = cap.map_or(replay.updates.len(), |c| {
+                        replay.updates.len().min(c as usize)
+                    });
+                    let tail = &replay.updates[snap_offset as usize..end];
                     (tail, tail.len() as u64)
                 }
                 _ => (&[], 0),
@@ -540,10 +624,13 @@ impl RecoveryDriver {
             });
         };
         let mut sketch = fresh(replay.n, replay.max_rank);
-        replay_into(&mut sketch, &replay.updates, 0)?;
+        let end = cap.map_or(replay.updates.len(), |c| {
+            replay.updates.len().min(c as usize)
+        });
+        replay_into(&mut sketch, &replay.updates[..end], 0)?;
         Ok(Recovered {
-            offset: replay.updates.len() as u64,
-            replayed: replay.updates.len() as u64,
+            offset: end as u64,
+            replayed: end as u64,
             sketch,
             from_snapshot: None,
             snapshot_defects: defects,
@@ -653,9 +740,14 @@ impl<T: Recoverable> CheckpointedIngestor<T> {
         // durable length so sketch and writer agree on the stream offset
         // (a snapshot *ahead* of the log is only usable read-only).
         let (wal, replay) = WalWriter::resume(&wal_dir, n, max_rank, cfg.wal)?;
+        let durable = replay.updates.len() as u64;
         let driver = RecoveryDriver::new(&wal_dir, store.clone());
-        let recovered = driver.recover_capped(Some(replay.updates.len() as u64), fresh)?;
+        let recovered = driver.recover_capped(Some(durable), fresh)?;
         debug_assert_eq!(recovered.offset, wal.offset());
+        // Snapshots past the sealed tail describe a history the resumed log
+        // is about to diverge from; drop them before the offset re-advances
+        // over their positions.
+        store.purge_after(durable)?;
         let ingestor = CheckpointedIngestor {
             sketch: recovered.sketch.clone(),
             wal,
@@ -726,6 +818,8 @@ pub fn ingest_all<T: Recoverable>(sketch: &mut T, stream: &UpdateStream) -> Sket
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use dgs_connectivity::forest::ForestParams;
     use dgs_field::SeedTree;
@@ -918,6 +1012,53 @@ mod tests {
             ing.sketch().try_component_count().unwrap(),
             reference.try_component_count().unwrap()
         );
+        fs::remove_dir_all(&wal_dir).unwrap();
+        fs::remove_dir_all(&snap_dir).unwrap();
+    }
+
+    /// Regression: a cap must bound the *replayed tail*, not just snapshot
+    /// selection. The supervision layer rebuilds quarantined shards while
+    /// the WAL is already ahead of the ensemble's applied offset (mid-flush
+    /// the log holds the buffered batch); replaying past the cap left the
+    /// rebuilt shard ahead of its siblings and every mid-stream rebuild
+    /// failing its offset check.
+    #[test]
+    fn capped_recovery_stops_at_the_cap_even_when_the_log_is_ahead() {
+        let wal_dir = tmpdir("cap-wal");
+        let snap_dir = tmpdir("cap-snap");
+        let updates = path_updates(30); // 29 records
+        let cfg = CheckpointConfig {
+            snapshot_interval: 8,
+            ..CheckpointConfig::default()
+        };
+        let mut ing =
+            CheckpointedIngestor::create(&wal_dir, &snap_dir, 30, 2, cfg, forest(30)).unwrap();
+        for u in &updates {
+            ing.ingest(u).unwrap();
+        }
+        drop(ing); // all 29 records are in the log; snapshots at 8/16/24
+
+        let encoded = |s: &SpanningForestSketch| {
+            let mut w = Writer::new();
+            s.encode(&mut w);
+            w.into_bytes()
+        };
+        let store = CheckpointStore::open(&snap_dir, cfg.snapshot_seed).unwrap();
+        let driver = RecoveryDriver::new(&wal_dir, store);
+        for cap in [0u64, 5, 8, 20, 29] {
+            let rec: Recovered<SpanningForestSketch> =
+                driver.recover_capped(Some(cap), |_, _| forest(30)).unwrap();
+            assert_eq!(rec.offset, cap, "offset must stop exactly at the cap");
+            let mut reference = forest(30);
+            for u in &updates[..cap as usize] {
+                reference.apply_update(u).unwrap();
+            }
+            assert_eq!(
+                encoded(&rec.sketch),
+                encoded(&reference),
+                "cap {cap}: capped recovery must be bit-identical to the capped prefix"
+            );
+        }
         fs::remove_dir_all(&wal_dir).unwrap();
         fs::remove_dir_all(&snap_dir).unwrap();
     }

@@ -19,7 +19,7 @@
 
 use dgs_hypergraph::{HyperEdge, Update, UpdateStream};
 use dgs_obs::{Counter, Gauge, Histogram, MetricsSink};
-use dgs_sketch::SketchResult;
+use dgs_sketch::{SketchError, SketchResult};
 
 use crate::boost::{BoostableSketch, BoostedQuery};
 
@@ -232,7 +232,14 @@ impl<S: BatchableSketch> ShardedIngestor<S> {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("sharded ingest worker panicked"))
+                    .map(|h| {
+                        h.join().unwrap_or_else(|_| {
+                            Err(SketchError::failure(
+                                "sharded-ingest",
+                                "ingest worker panicked",
+                            ))
+                        })
+                    })
                     .collect()
             });
             for r in results {
@@ -257,6 +264,8 @@ impl<S: BatchableSketch> ShardedIngestor<S> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use dgs_connectivity::{ForestParams, SpanningForestSketch};
     use dgs_field::prng::*;

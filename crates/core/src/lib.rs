@@ -21,12 +21,20 @@
 //! experiments default to practical sizings whose *scaling shape* matches
 //! the theorems.
 
+// The supervision stack (ingest → boost → checkpoint → supervise) must
+// degrade through typed errors, never panic: `unwrap`/`expect` are denied
+// in these modules' non-test code (tests opt back in locally).
+#[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod boost;
+#[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod checkpoint;
 pub mod edge_conn;
+#[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod ingest;
 pub mod reconstruct;
 pub mod sparsify;
+#[deny(clippy::unwrap_used, clippy::expect_used)]
+pub mod supervise;
 pub mod vertex_conn;
 
 pub use boost::{BoostableSketch, BoostedQuery, QueryOutcome};
@@ -39,6 +47,9 @@ pub use ingest::{BatchableSketch, ShardedIngestor};
 pub use reconstruct::{LightRecovery, LightRecoverySketch};
 pub use sparsify::{
     HypergraphSparsifier, SparsifierConfig, SparsifierPlayerMessage, SparsifierResult,
+};
+pub use supervise::{
+    QueryBudget, ShardState, SupervisedAnswer, SupervisedIngestor, SupervisorConfig,
 };
 pub use vertex_conn::{
     VertexConnCertificate, VertexConnConfig, VertexConnPlayerMessage, VertexConnSketch,

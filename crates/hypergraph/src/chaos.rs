@@ -1,0 +1,377 @@
+//! Deterministic chaos campaigns: scripted fault schedules for soak tests.
+//!
+//! [`fault`](crate::fault) injects *one* fault and hands back the record;
+//! this module composes many of them into a **campaign** — a seeded,
+//! replayable schedule of faults fired at scripted update indices while a
+//! pipeline ingests and answers. A campaign says nothing about *how* a
+//! fault is applied: the harness (experiment E20, the resilience tests)
+//! maps each [`ChaosFault`] onto the matching hook of the supervision
+//! layer (`dgs_core::supervise`), the checkpoint store, or the WAL. That
+//! keeps the production crates chaos-agnostic — they only ever see the
+//! same typed errors and byte corruption real deployments see.
+//!
+//! Everything is deterministic from the campaign seed (in-tree
+//! [`dgs_field::prng`]): a failing soak run replays bit-for-bit from its
+//! `(name, seed)` pair.
+
+use dgs_field::prng::*;
+use dgs_obs::{Counter, MetricsSink};
+
+/// One fault a chaos campaign can fire. The `shard` index addresses a
+/// repetition of the supervised ensemble; stream-level indices are carried
+/// by the surrounding [`ChaosEvent`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosFault {
+    /// The shard's next `attempts` sketch applies fail with a *retryable*
+    /// `SketchError` — a transient fault the backoff/retry ladder should
+    /// absorb without quarantining.
+    ShardError {
+        /// Target repetition.
+        shard: usize,
+        /// How many consecutive applies fail before the fault clears.
+        attempts: u32,
+    },
+    /// The shard fails every apply until rebuilt — a poisoned shard that
+    /// must be quarantined and recovered from snapshot + WAL replay.
+    ShardPoison {
+        /// Target repetition.
+        shard: usize,
+    },
+    /// A *valid-looking* divergent update is applied to one shard only, so
+    /// no typed error ever fires — only a scrub audit (rebuild from durable
+    /// state and byte-compare) can catch it.
+    SilentCorruption {
+        /// Target repetition.
+        shard: usize,
+    },
+    /// The shard's newest snapshot on disk is bit-corrupted; the next
+    /// rebuild must detect it and fall back down the recovery ladder.
+    CheckpointCorruption {
+        /// Target repetition.
+        shard: usize,
+    },
+    /// The WAL loses its last `bytes` bytes (torn tail), simulating a crash
+    /// mid-append; resume must seal the tail and replay only durable state.
+    WalTornTail {
+        /// Bytes torn off the active segment's tail.
+        bytes: usize,
+    },
+    /// The shard's next `queries` decode calls stall past any reasonable
+    /// per-shard deadline, exercising the query-budget path.
+    DecodeStall {
+        /// Target repetition.
+        shard: usize,
+        /// Number of consecutive stalled queries.
+        queries: u32,
+    },
+}
+
+impl ChaosFault {
+    /// Stable class label, used for metric labels and report rows.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ChaosFault::ShardError { .. } => "shard-error",
+            ChaosFault::ShardPoison { .. } => "shard-poison",
+            ChaosFault::SilentCorruption { .. } => "silent-corruption",
+            ChaosFault::CheckpointCorruption { .. } => "checkpoint-corruption",
+            ChaosFault::WalTornTail { .. } => "wal-torn-tail",
+            ChaosFault::DecodeStall { .. } => "decode-stall",
+        }
+    }
+
+    /// The shard a fault targets, when it targets one.
+    pub fn shard(&self) -> Option<usize> {
+        match *self {
+            ChaosFault::ShardError { shard, .. }
+            | ChaosFault::ShardPoison { shard }
+            | ChaosFault::SilentCorruption { shard }
+            | ChaosFault::CheckpointCorruption { shard }
+            | ChaosFault::DecodeStall { shard, .. } => Some(shard),
+            ChaosFault::WalTornTail { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ChaosFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ChaosFault::ShardError { shard, attempts } => {
+                write!(f, "shard-error(shard={shard}, attempts={attempts})")
+            }
+            ChaosFault::ShardPoison { shard } => write!(f, "shard-poison(shard={shard})"),
+            ChaosFault::SilentCorruption { shard } => {
+                write!(f, "silent-corruption(shard={shard})")
+            }
+            ChaosFault::CheckpointCorruption { shard } => {
+                write!(f, "checkpoint-corruption(shard={shard})")
+            }
+            ChaosFault::WalTornTail { bytes } => write!(f, "wal-torn-tail(bytes={bytes})"),
+            ChaosFault::DecodeStall { shard, queries } => {
+                write!(f, "decode-stall(shard={shard}, queries={queries})")
+            }
+        }
+    }
+}
+
+/// A fault scheduled at a stream position: fire after `at_update` updates
+/// have been pushed (0 = before the first update).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// Stream position the fault fires at.
+    pub at_update: usize,
+    /// The fault to fire.
+    pub fault: ChaosFault,
+}
+
+/// A named, seeded, replayable fault schedule.
+#[derive(Clone, Debug)]
+pub struct ChaosCampaign {
+    /// Campaign name (report rows, metric labels).
+    pub name: String,
+    /// Seed the schedule (and any seeded harness around it) derives from.
+    pub seed: u64,
+    /// The scripted events, in no particular order; the scheduler sorts.
+    pub events: Vec<ChaosEvent>,
+}
+
+impl ChaosCampaign {
+    /// An empty campaign to script by hand with [`at`](Self::at).
+    pub fn new(name: &str, seed: u64) -> ChaosCampaign {
+        ChaosCampaign {
+            name: name.to_string(),
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Adds one scripted event (builder style).
+    pub fn at(mut self, at_update: usize, fault: ChaosFault) -> ChaosCampaign {
+        self.events.push(ChaosEvent { at_update, fault });
+        self
+    }
+
+    /// Generates a campaign of `count` faults drawn from `palette` at
+    /// uniform positions in `[0, n_updates)`, targeting shards in
+    /// `[0, shards)`. `palette` entries are templates: their shard field is
+    /// re-rolled per event, other parameters are kept. Deterministic from
+    /// `seed`; equal inputs generate identical schedules.
+    ///
+    /// # Panics
+    /// Panics if `palette` is empty, or `shards`/`n_updates` is zero —
+    /// campaign-construction bugs, not runtime faults.
+    pub fn generate(
+        name: &str,
+        seed: u64,
+        n_updates: usize,
+        shards: usize,
+        palette: &[ChaosFault],
+        count: usize,
+    ) -> ChaosCampaign {
+        assert!(!palette.is_empty(), "empty fault palette");
+        assert!(shards >= 1, "need at least one shard");
+        assert!(n_updates >= 1, "need a non-empty stream");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::with_capacity(count);
+        for _ in 0..count {
+            let template = palette[rng.gen_range(0..palette.len())];
+            let shard = rng.gen_range(0..shards);
+            let fault = match template {
+                ChaosFault::ShardError { attempts, .. } => {
+                    ChaosFault::ShardError { shard, attempts }
+                }
+                ChaosFault::ShardPoison { .. } => ChaosFault::ShardPoison { shard },
+                ChaosFault::SilentCorruption { .. } => ChaosFault::SilentCorruption { shard },
+                ChaosFault::CheckpointCorruption { .. } => {
+                    ChaosFault::CheckpointCorruption { shard }
+                }
+                ChaosFault::WalTornTail { bytes } => ChaosFault::WalTornTail { bytes },
+                ChaosFault::DecodeStall { queries, .. } => {
+                    ChaosFault::DecodeStall { shard, queries }
+                }
+            };
+            events.push(ChaosEvent {
+                at_update: rng.gen_range(0..n_updates),
+                fault,
+            });
+        }
+        ChaosCampaign {
+            name: name.to_string(),
+            seed,
+            events,
+        }
+    }
+}
+
+/// Walks a [`ChaosCampaign`] alongside a stream: the harness calls
+/// [`due`](Self::due) as its position advances and fires whatever comes
+/// back. Events are delivered exactly once, in `at_update` order (ties in
+/// scripted order).
+#[derive(Clone, Debug)]
+pub struct ChaosScheduler {
+    events: Vec<ChaosEvent>,
+    cursor: usize,
+    fired: Counter,
+    by_kind: std::collections::BTreeMap<&'static str, Counter>,
+}
+
+impl ChaosScheduler {
+    /// A scheduler over `campaign`'s events, sorted by position.
+    pub fn new(campaign: &ChaosCampaign) -> ChaosScheduler {
+        let mut events = campaign.events.clone();
+        events.sort_by_key(|e| e.at_update);
+        ChaosScheduler {
+            events,
+            cursor: 0,
+            fired: Counter::null(),
+            by_kind: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Attach metric handles resolved from `sink`: every delivered event
+    /// increments `dgs_hypergraph_chaos_fired` and
+    /// `dgs_hypergraph_chaos_fired_kind{kind="<kind>"}`. Default is the
+    /// null sink.
+    pub fn set_sink(&mut self, sink: &MetricsSink) {
+        self.fired = sink.counter("dgs_hypergraph_chaos_fired");
+        self.by_kind = self
+            .events
+            .iter()
+            .map(|e| e.fault.kind())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .map(|kind| {
+                (
+                    kind,
+                    sink.counter_labelled("dgs_hypergraph_chaos_fired_kind", &[("kind", kind)]),
+                )
+            })
+            .collect();
+    }
+
+    /// Every not-yet-delivered event with `at_update <= position`, in
+    /// order. Subsequent calls never re-deliver.
+    pub fn due(&mut self, position: usize) -> Vec<ChaosEvent> {
+        let start = self.cursor;
+        while self.cursor < self.events.len() && self.events[self.cursor].at_update <= position {
+            self.cursor += 1;
+        }
+        let fired = &self.events[start..self.cursor];
+        for e in fired {
+            self.fired.inc();
+            if let Some(c) = self.by_kind.get(e.fault.kind()) {
+                c.inc();
+            }
+        }
+        fired.to_vec()
+    }
+
+    /// Events not yet delivered.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+
+    /// Total events in the campaign.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the campaign schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_events_fire_once_in_order() {
+        let campaign = ChaosCampaign::new("scripted", 1)
+            .at(10, ChaosFault::ShardPoison { shard: 1 })
+            .at(3, ChaosFault::WalTornTail { bytes: 5 })
+            .at(10, ChaosFault::SilentCorruption { shard: 0 });
+        let mut sched = ChaosScheduler::new(&campaign);
+        assert_eq!(sched.len(), 3);
+        assert_eq!(sched.due(2), vec![]);
+        assert_eq!(
+            sched.due(3),
+            vec![ChaosEvent {
+                at_update: 3,
+                fault: ChaosFault::WalTornTail { bytes: 5 }
+            }]
+        );
+        assert_eq!(sched.due(3), vec![], "no re-delivery");
+        let rest = sched.due(usize::MAX);
+        assert_eq!(rest.len(), 2);
+        assert!(rest.iter().all(|e| e.at_update == 10));
+        assert_eq!(sched.remaining(), 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_in_bounds() {
+        let palette = [
+            ChaosFault::ShardError {
+                shard: 0,
+                attempts: 3,
+            },
+            ChaosFault::ShardPoison { shard: 0 },
+            ChaosFault::DecodeStall {
+                shard: 0,
+                queries: 2,
+            },
+        ];
+        let a = ChaosCampaign::generate("gen", 42, 1_000, 4, &palette, 25);
+        let b = ChaosCampaign::generate("gen", 42, 1_000, 4, &palette, 25);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.events.len(), 25);
+        for e in &a.events {
+            assert!(e.at_update < 1_000);
+            if let Some(shard) = e.fault.shard() {
+                assert!(shard < 4);
+            }
+        }
+        let c = ChaosCampaign::generate("gen", 43, 1_000, 4, &palette, 25);
+        assert_ne!(a.events, c.events, "different seeds, different schedules");
+    }
+
+    #[test]
+    fn template_parameters_survive_generation() {
+        let palette = [ChaosFault::ShardError {
+            shard: 0,
+            attempts: 7,
+        }];
+        let c = ChaosCampaign::generate("params", 5, 100, 3, &palette, 10);
+        for e in &c.events {
+            match e.fault {
+                ChaosFault::ShardError { attempts, .. } => assert_eq!(attempts, 7),
+                other => panic!("unexpected fault {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_metrics_count_fired_events() {
+        let campaign = ChaosCampaign::new("metrics", 2)
+            .at(1, ChaosFault::ShardPoison { shard: 0 })
+            .at(2, ChaosFault::ShardPoison { shard: 1 })
+            .at(9, ChaosFault::WalTornTail { bytes: 1 });
+        let registry = dgs_obs::Registry::new();
+        let mut sched = ChaosScheduler::new(&campaign);
+        sched.set_sink(&registry.sink());
+        let _ = sched.due(5);
+        assert_eq!(
+            registry.counter_value("dgs_hypergraph_chaos_fired"),
+            Some(2)
+        );
+        assert_eq!(
+            registry.counter_value("dgs_hypergraph_chaos_fired_kind{kind=\"shard-poison\"}"),
+            Some(2)
+        );
+        assert_eq!(
+            registry.counter_value("dgs_hypergraph_chaos_fired_kind{kind=\"wal-torn-tail\"}"),
+            Some(0),
+            "registered at set_sink, not yet fired"
+        );
+    }
+}

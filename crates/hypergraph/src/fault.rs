@@ -228,6 +228,122 @@ pub fn with_bit_flipped(bytes: &[u8], bit: usize) -> Vec<u8> {
     out
 }
 
+/// Policy for bounded exponential backoff with jitter.
+///
+/// Delays are *virtual nanoseconds*: nothing in this module sleeps. A
+/// retry loop asks [`Backoff::next_delay`] for the next wait; simulated
+/// transports ([`LossyChannel`]) and the supervision layer in `dgs-core`
+/// account the returned delay in their stats/metrics, while a real
+/// deployment would sleep on it. Keeping the clock virtual keeps every
+/// retry schedule deterministic and replayable from its seed.
+///
+/// The schedule is the classic capped exponential: attempt `k` waits
+/// `min(base_ns * multiplier^k, max_ns)`, jittered uniformly within
+/// `±jitter` of itself (full-jitter style, in-tree PRNG). A hard
+/// `total_budget_ns` cap bounds the *sum* of all delays — once the budget
+/// would be exceeded the backoff reports exhaustion instead of spinning
+/// forever.
+#[derive(Clone, Copy, Debug)]
+pub struct BackoffConfig {
+    /// First retry delay, in (virtual) nanoseconds.
+    pub base_ns: u64,
+    /// Multiplicative growth per attempt (>= 1).
+    pub multiplier: u32,
+    /// Per-attempt delay ceiling.
+    pub max_ns: u64,
+    /// Cap on the *total* delay across all attempts; exceeding it makes
+    /// [`Backoff::next_delay`] return `None` (exhausted).
+    pub total_budget_ns: u64,
+    /// Jitter fraction in `[0, 1]`: each delay is drawn uniformly from
+    /// `[d * (1 - jitter), d * (1 + jitter)]`.
+    pub jitter: f64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> BackoffConfig {
+        BackoffConfig {
+            base_ns: 1_000_000, // 1 ms
+            multiplier: 2,
+            max_ns: 64_000_000,           // 64 ms ceiling
+            total_budget_ns: 256_000_000, // 256 ms total
+            jitter: 0.5,
+        }
+    }
+}
+
+/// One retry sequence under a [`BackoffConfig`]. Deterministic from its
+/// seed; see the config docs for the schedule.
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    cfg: BackoffConfig,
+    rng: StdRng,
+    attempts: u32,
+    waited_ns: u64,
+}
+
+impl Backoff {
+    /// A fresh sequence. Equal `(cfg, seed)` pairs produce identical
+    /// schedules.
+    ///
+    /// # Panics
+    /// Panics on a malformed config (`multiplier` 0, `jitter` outside
+    /// `[0, 1]`, zero `base_ns`) — configuration bugs, not runtime faults.
+    pub fn new(cfg: BackoffConfig, seed: u64) -> Backoff {
+        assert!(cfg.multiplier >= 1, "backoff multiplier must be >= 1");
+        assert!(cfg.base_ns >= 1, "backoff base delay must be positive");
+        assert!(
+            (0.0..=1.0).contains(&cfg.jitter),
+            "jitter fraction {} outside [0, 1]",
+            cfg.jitter
+        );
+        Backoff {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            attempts: 0,
+            waited_ns: 0,
+        }
+    }
+
+    /// The next delay in nanoseconds, or `None` when the total budget is
+    /// exhausted (the caller should give up — quarantine the shard, fail
+    /// the transmit — rather than keep spinning).
+    pub fn next_delay(&mut self) -> Option<u64> {
+        let exp = self.attempts.min(62);
+        let raw = (self.cfg.base_ns)
+            .saturating_mul((self.cfg.multiplier as u64).saturating_pow(exp))
+            .min(self.cfg.max_ns);
+        let jittered = if self.cfg.jitter == 0.0 {
+            raw
+        } else {
+            let lo = (raw as f64 * (1.0 - self.cfg.jitter)) as u64;
+            let hi = (raw as f64 * (1.0 + self.cfg.jitter)) as u64;
+            self.rng.gen_range(lo..=hi.max(lo))
+        };
+        if self.waited_ns.saturating_add(jittered) > self.cfg.total_budget_ns {
+            return None;
+        }
+        self.attempts += 1;
+        self.waited_ns += jittered;
+        Some(jittered)
+    }
+
+    /// Retry attempts granted so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Total (virtual) nanoseconds of delay granted so far.
+    pub fn waited_ns(&self) -> u64 {
+        self.waited_ns
+    }
+
+    /// Resets the sequence (after a success) without reseeding the jitter.
+    pub fn reset(&mut self) {
+        self.attempts = 0;
+        self.waited_ns = 0;
+    }
+}
+
 /// FNV-1a over the payload — the frame checksum [`LossyChannel`] uses to
 /// turn arbitrary in-flight corruption into *detected* corruption.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -286,6 +402,10 @@ pub struct ChannelStats {
     pub rejected: usize,
     /// Messages delivered intact.
     pub delivered: usize,
+    /// Messages abandoned after exhausting the attempt or backoff budget.
+    pub exhausted: usize,
+    /// Total virtual nanoseconds spent backing off between retransmissions.
+    pub backoff_waited_ns: u64,
 }
 
 /// The channel gave up: every attempt was lost or rejected.
@@ -310,20 +430,45 @@ impl std::fmt::Display for ChannelError {
 
 impl std::error::Error for ChannelError {}
 
-/// An unreliable transport with stop-and-wait retransmission, for running
-/// the distributed player protocol over injected loss and corruption.
+/// An unreliable transport with retransmission under jittered exponential
+/// backoff, for running the distributed player protocol over injected loss
+/// and corruption.
 #[derive(Clone, Debug)]
 pub struct LossyChannel {
     rng: StdRng,
     loss_probability: f64,
     corruption_probability: f64,
     retry_budget: usize,
+    backoff: Backoff,
     /// Cumulative delivery accounting.
     pub stats: ChannelStats,
+    metrics: ChannelMetrics,
+}
+
+/// Metric handles for a [`LossyChannel`]; null (free) until
+/// [`LossyChannel::set_sink`] resolves them.
+#[derive(Clone, Debug, Default)]
+struct ChannelMetrics {
+    attempts: Counter,
+    delivered: Counter,
+    exhausted: Counter,
+    backoff_ns: Counter,
 }
 
 /// Default per-message retry budget for [`LossyChannel::transmit`].
 pub const DEFAULT_RETRY_BUDGET: usize = 16;
+
+/// Default backoff policy for [`LossyChannel`]: the same capped exponential
+/// as [`BackoffConfig::default`], but with a total budget generous enough
+/// that the *attempt* budget is what binds by default — the backoff budget
+/// is an additional safety net, not the primary cutoff. Tighten it with
+/// [`LossyChannel::with_backoff`] to make the time budget bind first.
+pub fn default_channel_backoff() -> BackoffConfig {
+    BackoffConfig {
+        total_budget_ns: 4_000_000_000, // 4 s — covers DEFAULT_RETRY_BUDGET attempts
+        ..BackoffConfig::default()
+    }
+}
 
 impl LossyChannel {
     /// A channel that loses each frame with probability `loss_probability`
@@ -345,8 +490,35 @@ impl LossyChannel {
             loss_probability,
             corruption_probability,
             retry_budget: DEFAULT_RETRY_BUDGET,
+            // Sibling seed so backoff jitter never perturbs the loss RNG.
+            backoff: Backoff::new(default_channel_backoff(), seed ^ 0x6261_636b_6f66_6621),
             stats: ChannelStats::default(),
+            metrics: ChannelMetrics::default(),
         }
+    }
+
+    /// Replaces the retransmission backoff policy. A message whose
+    /// cumulative backoff would exceed `cfg.total_budget_ns` fails with
+    /// [`ChannelError::Exhausted`] even if attempts remain — retransmission
+    /// never spins past its time budget.
+    pub fn with_backoff(mut self, cfg: BackoffConfig) -> LossyChannel {
+        // Re-derive the jitter seed without perturbing the loss RNG.
+        self.backoff = Backoff::new(cfg, self.rng.clone().gen());
+        self
+    }
+
+    /// Attach metric handles resolved from `sink`:
+    /// `dgs_hypergraph_channel_attempts`, `dgs_hypergraph_channel_delivered`,
+    /// `dgs_hypergraph_channel_exhausted`, and
+    /// `dgs_hypergraph_channel_backoff_ns` (virtual nanoseconds waited).
+    /// Default is the null sink.
+    pub fn set_sink(&mut self, sink: &MetricsSink) {
+        self.metrics = ChannelMetrics {
+            attempts: sink.counter("dgs_hypergraph_channel_attempts"),
+            delivered: sink.counter("dgs_hypergraph_channel_delivered"),
+            exhausted: sink.counter("dgs_hypergraph_channel_exhausted"),
+            backoff_ns: sink.counter("dgs_hypergraph_channel_backoff_ns"),
+        };
     }
 
     /// Sets the per-message attempt budget used by
@@ -375,8 +547,11 @@ impl LossyChannel {
     }
 
     /// Transmits `msg`, retransmitting on loss or detected corruption, up
-    /// to `max_attempts` times. Returns the received message and the number
-    /// of attempts it took.
+    /// to `max_attempts` times with jittered exponential backoff between
+    /// attempts. Returns the received message and the number of attempts it
+    /// took. Fails with [`ChannelError::Exhausted`] when either the attempt
+    /// budget or the backoff's total time budget runs out, whichever binds
+    /// first.
     pub fn transmit_with_retry<T: Codec>(
         &mut self,
         msg: &T,
@@ -384,8 +559,27 @@ impl LossyChannel {
     ) -> Result<(T, usize), ChannelError> {
         assert!(max_attempts >= 1, "need at least one attempt");
         let frame = encode_frame(msg);
+        self.backoff.reset();
         for attempt in 1..=max_attempts {
+            if attempt > 1 {
+                // Stop-and-wait became wait-and-grow: back off before every
+                // retransmission, giving up if the time budget is spent.
+                match self.backoff.next_delay() {
+                    Some(delay_ns) => {
+                        self.stats.backoff_waited_ns += delay_ns;
+                        self.metrics.backoff_ns.add(delay_ns);
+                    }
+                    None => {
+                        self.stats.exhausted += 1;
+                        self.metrics.exhausted.inc();
+                        return Err(ChannelError::Exhausted {
+                            attempts: attempt - 1,
+                        });
+                    }
+                }
+            }
             self.stats.attempts += 1;
+            self.metrics.attempts.inc();
             if self.rng.gen_bool(self.loss_probability) {
                 self.stats.losses += 1;
                 continue; // sender times out and retransmits
@@ -404,6 +598,7 @@ impl LossyChannel {
             match decode_frame::<T>(&received) {
                 Ok(decoded) => {
                     self.stats.delivered += 1;
+                    self.metrics.delivered.inc();
                     return Ok((decoded, attempt));
                 }
                 Err(_) => {
@@ -411,6 +606,8 @@ impl LossyChannel {
                 }
             }
         }
+        self.stats.exhausted += 1;
+        self.metrics.exhausted.inc();
         Err(ChannelError::Exhausted {
             attempts: max_attempts,
         })
@@ -549,6 +746,119 @@ mod tests {
     #[should_panic(expected = "retry budget")]
     fn zero_budget_is_rejected_at_configuration() {
         let _ = LossyChannel::new(10, 0.0, 0.0).with_retry_budget(0);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_capped() {
+        let cfg = BackoffConfig {
+            base_ns: 1_000,
+            multiplier: 2,
+            max_ns: 8_000,
+            total_budget_ns: 1_000_000,
+            jitter: 0.5,
+        };
+        let mut a = Backoff::new(cfg, 11);
+        let mut b = Backoff::new(cfg, 11);
+        for i in 0..10 {
+            let da = a.next_delay().unwrap();
+            let db = b.next_delay().unwrap();
+            assert_eq!(da, db, "attempt {i}");
+            // Per-attempt ceiling: max_ns * (1 + jitter).
+            assert!(da <= 12_000, "attempt {i} delay {da} over jittered cap");
+        }
+        assert_eq!(a.attempts(), 10);
+        assert_eq!(a.waited_ns(), b.waited_ns());
+    }
+
+    #[test]
+    fn backoff_grows_until_the_per_attempt_ceiling() {
+        let cfg = BackoffConfig {
+            base_ns: 100,
+            multiplier: 2,
+            max_ns: 1_600,
+            total_budget_ns: u64::MAX,
+            jitter: 0.0,
+        };
+        let mut bo = Backoff::new(cfg, 0);
+        let delays: Vec<u64> = (0..8).map(|_| bo.next_delay().unwrap()).collect();
+        assert_eq!(delays, vec![100, 200, 400, 800, 1_600, 1_600, 1_600, 1_600]);
+    }
+
+    #[test]
+    fn backoff_total_budget_exhausts() {
+        let cfg = BackoffConfig {
+            base_ns: 1_000,
+            multiplier: 2,
+            max_ns: 1_000_000,
+            total_budget_ns: 6_900, // fits 1000 + 2000 + rejects 4000
+            jitter: 0.0,
+        };
+        let mut bo = Backoff::new(cfg, 3);
+        assert_eq!(bo.next_delay(), Some(1_000));
+        assert_eq!(bo.next_delay(), Some(2_000));
+        assert_eq!(bo.next_delay(), None);
+        assert_eq!(bo.waited_ns(), 3_000);
+        bo.reset();
+        assert_eq!(bo.next_delay(), Some(1_000), "reset restarts the schedule");
+    }
+
+    #[test]
+    fn lossy_channel_accounts_backoff_time() {
+        let mut ch = LossyChannel::new(12, 1.0, 0.0);
+        let msg: Vec<u64> = vec![7];
+        assert_eq!(
+            ch.transmit_with_retry(&msg, 4),
+            Err(ChannelError::Exhausted { attempts: 4 })
+        );
+        assert!(ch.stats.backoff_waited_ns > 0, "no backoff accounted");
+        assert_eq!(ch.stats.exhausted, 1);
+        // First try of each message is immediate; only retries wait.
+        let mut ok = LossyChannel::new(13, 0.0, 0.0);
+        ok.transmit_with_retry(&msg, 4).unwrap();
+        assert_eq!(ok.stats.backoff_waited_ns, 0);
+        assert_eq!(ok.stats.exhausted, 0);
+    }
+
+    #[test]
+    fn tight_backoff_budget_binds_before_attempt_budget() {
+        let cfg = BackoffConfig {
+            base_ns: 1_000_000,
+            multiplier: 2,
+            max_ns: 64_000_000,
+            total_budget_ns: 2_000_000, // roughly one or two retries' worth
+            jitter: 0.5,
+        };
+        let mut ch = LossyChannel::new(14, 1.0, 0.0).with_backoff(cfg);
+        let msg: Vec<u64> = vec![1, 2];
+        match ch.transmit_with_retry(&msg, 1_000) {
+            Err(ChannelError::Exhausted { attempts }) => {
+                assert!(attempts < 1_000, "time budget never bound");
+                assert!(ch.stats.backoff_waited_ns <= cfg.total_budget_ns);
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+        assert_eq!(ch.stats.exhausted, 1);
+    }
+
+    #[test]
+    fn channel_metrics_reach_the_sink() {
+        let registry = dgs_obs::Registry::new();
+        let mut ch = LossyChannel::new(15, 1.0, 0.0).with_retry_budget(3);
+        ch.set_sink(&registry.sink());
+        let msg: Vec<u64> = vec![5];
+        let _ = ch.transmit(&msg);
+        assert_eq!(
+            registry.counter_value("dgs_hypergraph_channel_attempts"),
+            Some(3)
+        );
+        assert_eq!(
+            registry.counter_value("dgs_hypergraph_channel_exhausted"),
+            Some(1)
+        );
+        let waited = registry
+            .counter_value("dgs_hypergraph_channel_backoff_ns")
+            .unwrap();
+        assert_eq!(waited, ch.stats.backoff_waited_ns);
     }
 
     #[test]

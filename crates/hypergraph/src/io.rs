@@ -22,7 +22,10 @@ use crate::GraphError;
 pub fn read_stream<R: BufRead>(reader: R) -> Result<UpdateStream, GraphError> {
     let mut stream: Option<UpdateStream> = None;
     for (lineno, line) in reader.lines().enumerate() {
-        let line = line.map_err(|e| GraphError::Io(format!("reading line {}: {e}", lineno + 1)))?;
+        let line = line.map_err(|e| GraphError::Io {
+            context: format!("line {}", lineno + 1),
+            detail: e.to_string(),
+        })?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -156,9 +159,9 @@ mod tests {
         }
         let err = read_stream(Flaky { served: false }).unwrap_err();
         match &err {
-            GraphError::Io(msg) => {
-                assert!(msg.contains("line 2"), "{msg}");
-                assert!(msg.contains("disk on fire"), "{msg}");
+            GraphError::Io { context, detail } => {
+                assert!(context.contains("line 2"), "{context}");
+                assert!(detail.contains("disk on fire"), "{detail}");
             }
             other => panic!("expected GraphError::Io, got {other:?}"),
         }

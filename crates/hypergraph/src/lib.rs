@@ -16,8 +16,12 @@
 //! * [`wal`] — a segmented, checksum-framed write-ahead log of updates with
 //!   torn-tail truncation and fingerprint-sealed segments (the durable half
 //!   of crash recovery; see `dgs_core::checkpoint`);
-//! * [`fault`] — deterministic stream/byte fault injection and a lossy
-//!   retransmitting channel for the resilience suite;
+//! * [`fault`] — deterministic stream/byte fault injection, jittered
+//!   exponential backoff, and a lossy retransmitting channel for the
+//!   resilience suite;
+//! * [`chaos`] — seeded, replayable fault *campaigns* (scripted schedules
+//!   of shard poisoning, checkpoint corruption, WAL torn-tails, decode
+//!   stalls) for the self-healing soak harness (experiment E20);
 //! * [`generators`] — Erdős–Rényi, Harary (exactly k-vertex-connected),
 //!   planted-cut, degenerate, and hypergraph families, plus dynamic stream
 //!   workloads with churn;
@@ -29,6 +33,7 @@
 //!   cut-degeneracy.
 
 pub mod algo;
+pub mod chaos;
 pub mod edge;
 pub mod encoding;
 pub mod fault;
@@ -39,11 +44,12 @@ pub mod io;
 pub mod stream;
 pub mod wal;
 
+pub use chaos::{ChaosCampaign, ChaosEvent, ChaosFault, ChaosScheduler};
 pub use edge::HyperEdge;
 pub use encoding::EdgeSpace;
 pub use fault::{
-    ChannelError, ChannelStats, FaultClass, FaultInjector, InjectedFault, LossyChannel,
-    DEFAULT_RETRY_BUDGET,
+    default_channel_backoff, Backoff, BackoffConfig, ChannelError, ChannelStats, FaultClass,
+    FaultInjector, InjectedFault, LossyChannel, DEFAULT_RETRY_BUDGET,
 };
 pub use graph::Graph;
 pub use hypergraph::{Hypergraph, WeightedHypergraph};
@@ -66,7 +72,12 @@ pub enum GraphError {
     /// The requested edge space does not fit the supported index range.
     EdgeSpaceTooLarge { n: usize, max_rank: usize },
     /// An underlying I/O operation failed (stream files, checkpoints).
-    Io(String),
+    Io {
+        /// Where in the input the failure happened (file, line, offset).
+        context: String,
+        /// The OS error text.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for GraphError {
@@ -83,7 +94,7 @@ impl std::fmt::Display for GraphError {
                 f,
                 "edge space for n = {n}, r = {max_rank} exceeds the 2^60 index budget"
             ),
-            GraphError::Io(msg) => write!(f, "io error: {msg}"),
+            GraphError::Io { context, detail } => write!(f, "io error at {context}: {detail}"),
         }
     }
 }

@@ -57,14 +57,15 @@ pub mod prelude {
     };
     pub use dgs_core::{
         BatchableSketch, BoostedQuery, CheckpointConfig, CheckpointStore, CheckpointedIngestor,
-        HypergraphSparsifier, LightRecoverySketch, QueryOutcome, Recoverable, Recovered,
-        RecoveryDriver, RecoveryError, ShardedIngestor, SparsifierConfig, VertexConnConfig,
-        VertexConnSketch,
+        HypergraphSparsifier, LightRecoverySketch, QueryBudget, QueryOutcome, Recoverable,
+        Recovered, RecoveryDriver, RecoveryError, ShardState, ShardedIngestor, SparsifierConfig,
+        SupervisedAnswer, SupervisedIngestor, SupervisorConfig, VertexConnConfig, VertexConnSketch,
     };
     pub use dgs_field::prng::{Rng, SeedableRng, SliceRandom, StdRng};
     pub use dgs_field::SeedTree;
     pub use dgs_hypergraph::{
-        read_wal, EdgeSpace, FaultClass, FaultInjector, Graph, GraphError, HyperEdge, Hypergraph,
+        read_wal, Backoff, BackoffConfig, ChaosCampaign, ChaosEvent, ChaosFault, ChaosScheduler,
+        EdgeSpace, FaultClass, FaultInjector, Graph, GraphError, HyperEdge, Hypergraph,
         LossyChannel, Op, Update, UpdateStream, WalConfig, WalError, WalReplay, WalWriter,
         WeightedHypergraph,
     };

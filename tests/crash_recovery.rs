@@ -16,6 +16,7 @@ use dynamic_graph_streams::prelude::*;
 use dgs_field::Codec;
 use dgs_hypergraph::fault::{truncated, with_bit_flipped};
 use dgs_hypergraph::generators;
+use dgs_obs::Registry;
 
 fn tmpdir(label: &str) -> PathBuf {
     static UNIQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
@@ -570,4 +571,164 @@ fn batched_wal_replay_is_bit_identical_and_reports_exact_offsets() {
         encoded(&via_scalar),
         "failed batch must leave exactly the prefix applied"
     );
+}
+
+/// Supervision property (DESIGN.md, "Failure domains & degradation
+/// ladder"): a shard poisoned and quarantined mid-stream, then rebuilt
+/// from its newest valid snapshot plus the WAL tail, ends **bit-identical**
+/// to a shard that never faulted — swept across workload seeds × fault
+/// points × flush-thread counts. Linearity is what makes this possible:
+/// replaying the missed suffix commutes with having applied it live.
+#[test]
+fn quarantined_shard_rebuilds_bit_identical_across_seeds_faults_and_threads() {
+    let n = 16;
+    for (trial, seed) in [21u64, 22, 23].into_iter().enumerate() {
+        let stream = workload(seed, n);
+        let len = stream.len();
+        assert!(len >= 40, "workload too short to place interior faults");
+        for (fi, fault_at) in [len / 5, len / 2, 4 * len / 5].into_iter().enumerate() {
+            for threads in [1usize, 2, 3] {
+                let wal = tmpdir("sup-prop-wal");
+                let snap = tmpdir("sup-prop-snap");
+                let cfg = SupervisorConfig {
+                    repetitions: 3,
+                    threads,
+                    batch_size: 8,
+                    rebuild_after_flushes: 1,
+                    seed,
+                    checkpoint: tight_cfg(seed),
+                    ..SupervisorConfig::default()
+                };
+                let shard_seed = move |i: usize| 7000 + 100 * seed + i as u64;
+                let mut sup = SupervisedIngestor::create(
+                    &wal,
+                    &snap,
+                    stream.n,
+                    stream.max_rank,
+                    cfg,
+                    move |i| forest(n, shard_seed(i)),
+                )
+                .unwrap();
+                let registry = Registry::new();
+                sup.set_sink(&registry.sink());
+
+                // Rotate the victim so every repetition index gets poisoned
+                // somewhere in the sweep.
+                let victim = (trial + fi + threads) % 3;
+                for u in &stream.updates[..fault_at] {
+                    sup.push(u).unwrap();
+                }
+                sup.inject_apply_fault(
+                    victim,
+                    SketchError::failure("chaos", "poisoned mid-stream"),
+                    u32::MAX,
+                );
+                for u in &stream.updates[fault_at..] {
+                    sup.push(u).unwrap();
+                }
+                sup.flush().unwrap();
+                // The poison must have actually cost us a quarantine (the
+                // property is vacuous otherwise)...
+                assert!(
+                    registry
+                        .counter_value("dgs_core_supervise_quarantines")
+                        .unwrap_or(0)
+                        >= 1,
+                    "seed {seed} fault_at {fault_at} threads {threads}: victim never quarantined"
+                );
+                // ...and if the fault landed too late for the automatic
+                // rebuild cadence, force the rebuild now — same code path.
+                if sup.shard_states()[victim] != ShardState::Healthy {
+                    sup.rebuild_now(victim).unwrap();
+                }
+
+                assert_eq!(
+                    sup.shard_states(),
+                    vec![ShardState::Healthy; 3],
+                    "seed {seed} fault_at {fault_at} threads {threads}"
+                );
+                for i in 0..3 {
+                    let mut reference = forest(n, shard_seed(i));
+                    for u in &stream.updates {
+                        reference.apply_update(u).unwrap();
+                    }
+                    assert_eq!(
+                        sup.shard_encoded(i),
+                        encoded(&reference),
+                        "seed {seed} fault_at {fault_at} threads {threads}: \
+                         shard {i} diverged from the never-faulted run"
+                    );
+                }
+                fs::remove_dir_all(&wal).unwrap();
+                fs::remove_dir_all(&snap).unwrap();
+            }
+        }
+    }
+}
+
+/// A crash while a shard sits quarantined must not lose the quarantined
+/// shard: resume rebuilds *every* repetition from the durable WAL prefix
+/// (the in-memory poison dies with the process), and finishing the stream
+/// afterwards is bit-identical to a run that never faulted or crashed.
+#[test]
+fn quarantine_survives_a_crash_and_resume_is_bit_identical() {
+    let n = 14;
+    let stream = workload(0x5AFE, n);
+    let len = stream.len();
+    let crash_at = 3 * len / 5;
+    let (wal, snap) = (tmpdir("sup-crash-wal"), tmpdir("sup-crash-snap"));
+    let cfg = SupervisorConfig {
+        repetitions: 3,
+        threads: 2,
+        batch_size: 8,
+        // Never auto-rebuild: the victim must still be quarantined when the
+        // process "dies", so resume is what heals it.
+        rebuild_after_flushes: u64::MAX,
+        seed: 0x5AFE,
+        checkpoint: tight_cfg(9),
+        ..SupervisorConfig::default()
+    };
+    let build = move |i: usize| forest(n, 4400 + i as u64);
+
+    let mut sup =
+        SupervisedIngestor::create(&wal, &snap, stream.n, stream.max_rank, cfg, build).unwrap();
+    for u in &stream.updates[..crash_at / 2] {
+        sup.push(u).unwrap();
+    }
+    sup.inject_apply_fault(1, SketchError::failure("chaos", "poisoned"), u32::MAX);
+    for u in &stream.updates[crash_at / 2..crash_at] {
+        sup.push(u).unwrap();
+    }
+    sup.flush().unwrap();
+    assert_eq!(sup.shard_states()[1], ShardState::Quarantined);
+    drop(sup); // crash: no seal, victim still down
+
+    let (mut sup, durable) =
+        SupervisedIngestor::resume(&wal, &snap, stream.n, stream.max_rank, cfg, build).unwrap();
+    assert_eq!(
+        durable, crash_at as u64,
+        "every pushed update was WAL-appended before the crash"
+    );
+    assert_eq!(
+        sup.shard_states(),
+        vec![ShardState::Healthy; 3],
+        "resume rebuilds quarantined shards from the durable log"
+    );
+    for u in &stream.updates[durable as usize..] {
+        sup.push(u).unwrap();
+    }
+    sup.flush().unwrap();
+    for i in 0..3 {
+        let mut reference = build(i);
+        for u in &stream.updates {
+            reference.apply_update(u).unwrap();
+        }
+        assert_eq!(
+            sup.shard_encoded(i),
+            encoded(&reference),
+            "shard {i} diverged across crash + resume"
+        );
+    }
+    fs::remove_dir_all(&wal).unwrap();
+    fs::remove_dir_all(&snap).unwrap();
 }

@@ -445,3 +445,257 @@ fn parallel_decode_outcome_matches_sequential_under_faults() {
         "workload must exercise both outcomes: {ok_seen} ok, {err_seen} err"
     );
 }
+
+/// Truth for a stream prefix: component count of the support of
+/// `updates[..len]`.
+fn prefix_component_count(stream: &UpdateStream, len: usize) -> usize {
+    let prefix = UpdateStream {
+        updates: stream.updates[..len].to_vec(),
+        ..stream.clone()
+    };
+    support_component_count(&prefix)
+}
+
+#[test]
+fn degraded_queries_widen_delta_but_never_the_answer() {
+    // The degradation ladder (DESIGN.md, "Failure domains & degradation
+    // ladder"): as shards are poisoned and quarantined one by one, the
+    // supervised query keeps answering from the R' survivors. The reported
+    // confidence must track the loss exactly — effective_delta = δ^R' with
+    // R' the *live* repetition count — while the answer itself never moves:
+    // a value is only ever drawn from a live repetition's successful
+    // decode, so on a decodable instance it equals the exact component
+    // count of the stream received so far or the query says Unknown.
+    let n = 16;
+    let mut rng = StdRng::seed_from_u64(0xDE6);
+    let h = Hypergraph::from_graph(&generators::gnp(n, 0.3, &mut rng));
+    let stream = generators::churn_stream(&h, generators::ChurnConfig::default(), &mut rng);
+    let step = 16; // one flush per quarantine rung
+    assert!(stream.len() > 4 * step, "stream too short for the ladder");
+    let head = stream.len() - 3 * step;
+
+    let reps = 4;
+    let cfg = SupervisorConfig {
+        repetitions: reps,
+        threads: 2,
+        batch_size: step,
+        // No self-healing: each rung must *stay* degraded while we probe it.
+        rebuild_after_flushes: u64::MAX,
+        seed: 0xDE6,
+        ..SupervisorConfig::default()
+    };
+    let wal = std::env::temp_dir().join(format!("dgs-degrade-wal-{}", std::process::id()));
+    let snap = std::env::temp_dir().join(format!("dgs-degrade-snap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal);
+    let _ = std::fs::remove_dir_all(&snap);
+    let mut sup =
+        SupervisedIngestor::create(&wal, &snap, stream.n, stream.max_rank, cfg, move |i| {
+            let space = EdgeSpace::graph(n).unwrap();
+            let params = ForestParams::new(Profile::Practical, space.dimension());
+            SpanningForestSketch::new_full(space, &SeedTree::new(0xDE60 + i as u64), params)
+        })
+        .unwrap();
+
+    for u in &stream.updates[..head] {
+        sup.push(u).unwrap();
+    }
+    sup.flush().unwrap();
+
+    let delta = cfg.delta;
+    for rung in 0..=3usize {
+        let consumed = head + rung * step;
+        let live = reps - rung;
+        assert_eq!(sup.live_repetitions(), live, "rung {rung}");
+        let truth = prefix_component_count(&stream, consumed);
+        let answer = sup
+            .query(&QueryBudget::default(), |_, s: &SpanningForestSketch| {
+                s.try_component_count()
+            })
+            .unwrap();
+        match answer {
+            SupervisedAnswer::Full { value, .. } => {
+                assert_eq!(rung, 0, "Full answer from a depleted ensemble");
+                assert_eq!(value, truth, "rung {rung}: silent wrong answer");
+            }
+            SupervisedAnswer::Degraded {
+                value,
+                healthy_repetitions,
+                total_repetitions,
+                effective_delta,
+                ..
+            } => {
+                assert!(rung > 0, "Degraded answer from a full ensemble");
+                assert_eq!(value, truth, "rung {rung}: silent wrong answer");
+                assert_eq!(healthy_repetitions, live, "rung {rung}");
+                assert_eq!(total_repetitions, reps, "rung {rung}");
+                assert!(
+                    (effective_delta - delta.powi(live as i32)).abs() < 1e-12,
+                    "rung {rung}: effective_delta {effective_delta} vs δ^{live}"
+                );
+            }
+            // An honest per-repetition δ event: every live decode failed.
+            // Allowed — but the reported residual confidence must still
+            // track the live count exactly.
+            SupervisedAnswer::Unknown {
+                healthy_repetitions,
+                effective_delta,
+                ..
+            } => {
+                assert_eq!(healthy_repetitions, live, "rung {rung}");
+                assert!(
+                    (effective_delta - delta.powi(live as i32)).abs() < 1e-12,
+                    "rung {rung}: effective_delta {effective_delta} vs δ^{live}"
+                );
+            }
+            other => panic!("rung {rung}: unexpected outcome {other:?}"),
+        }
+        if rung < 3 {
+            sup.inject_apply_fault(
+                rung,
+                SketchError::failure("chaos", "ladder poison"),
+                u32::MAX,
+            );
+            for u in &stream.updates[consumed..consumed + step] {
+                sup.push(u).unwrap();
+            }
+            sup.flush().unwrap();
+            assert_eq!(
+                sup.shard_states()[rung],
+                ShardState::Quarantined,
+                "rung {} poison did not quarantine",
+                rung + 1
+            );
+        }
+    }
+    std::fs::remove_dir_all(&wal).unwrap();
+    std::fs::remove_dir_all(&snap).unwrap();
+}
+
+#[test]
+fn partial_ensemble_unknown_rate_respects_the_widened_bound() {
+    // E18's empirical-vs-theoretical check, replayed at the ensemble layer:
+    // drive `query_ensemble` directly with R' = 2 live starved samplers
+    // (δ = 1/2 each, the paper's constant-failure regime) out of a
+    // configured R = 4, over adversarial insert/delete vectors. The
+    // observed Unknown rate must stay within 2x of the *widened* bound
+    // δ^R' — and every answer must still be a true churn survivor.
+    use dynamic_graph_streams::core::supervise::{query_ensemble, QueryPolicy};
+    use std::collections::BTreeSet;
+
+    const DIM: u64 = 2016; // C(64, 2): a graph-scale index space
+    const SUPPORT: usize = 8;
+    const CHURN: usize = 32;
+    let starved = L0Params {
+        sparsity: 1,
+        rows: 1,
+        level_independence: 2,
+    };
+    let (r_total, r_live) = (4usize, 2usize);
+    let delta = 0.5f64;
+    let trials = 300u64;
+
+    let mut unknowns = 0u64;
+    let mut full_unknowns = 0u64;
+    for t in 0..trials {
+        // The adversarial vector: SUPPORT + CHURN distinct indices in, the
+        // CHURN half deleted again in reverse, forcing exact cancellation.
+        let mut rng = StdRng::seed_from_u64(0xFA17_0000 + t);
+        let mut indices: BTreeSet<u64> = BTreeSet::new();
+        while indices.len() < SUPPORT + CHURN {
+            indices.insert(rng.gen_range(0..DIM));
+        }
+        let indices: Vec<u64> = indices.into_iter().collect();
+        let support: BTreeSet<u64> = indices.iter().take(SUPPORT).copied().collect();
+
+        let seeds = SeedTree::new(0xD06_0000 + t);
+        let mut samplers: Vec<L0Sampler> = (0..r_total)
+            .map(|i| L0Sampler::new(&seeds.child(i as u64), DIM, starved))
+            .collect();
+        for s in samplers.iter_mut() {
+            for &i in &indices {
+                s.update(i, 1).unwrap();
+            }
+            for &i in indices.iter().skip(SUPPORT).rev() {
+                s.update(i, -1).unwrap();
+            }
+        }
+
+        // The degraded ensemble: only the first R' of the R repetitions are
+        // live (the rest "quarantined").
+        let live: Vec<(usize, &L0Sampler)> =
+            samplers.iter().enumerate().take(r_live).collect();
+        let out = query_ensemble(
+            &live,
+            r_total,
+            delta,
+            &QueryBudget::default(),
+            QueryPolicy::FirstSuccess,
+            |_, s| s.sample(),
+        );
+        match out.answer {
+            SupervisedAnswer::Degraded {
+                value,
+                healthy_repetitions,
+                effective_delta,
+                ..
+            } => {
+                assert_eq!(healthy_repetitions, r_live, "trial {t}");
+                assert!(
+                    (effective_delta - delta.powi(r_live as i32)).abs() < 1e-12,
+                    "trial {t}: effective_delta {effective_delta}"
+                );
+                let (index, weight) = value.expect("nonzero vector certified zero");
+                assert!(
+                    support.contains(&index),
+                    "trial {t}: sampled cancelled index {index} — a silent wrong answer"
+                );
+                assert_eq!(weight, 1, "trial {t}: wrong recovered weight");
+            }
+            SupervisedAnswer::Unknown {
+                healthy_repetitions,
+                effective_delta,
+                ..
+            } => {
+                assert_eq!(healthy_repetitions, r_live, "trial {t}");
+                assert!(
+                    (effective_delta - delta.powi(r_live as i32)).abs() < 1e-12,
+                    "trial {t}: effective_delta {effective_delta}"
+                );
+                unknowns += 1;
+            }
+            other => panic!("trial {t}: unexpected outcome {other:?}"),
+        }
+
+        // Control: the same trial with every repetition live. Used below to
+        // show the degradation is real, not an artifact of a loose δ.
+        let full: Vec<(usize, &L0Sampler)> = samplers.iter().enumerate().collect();
+        let out = query_ensemble(
+            &full,
+            r_total,
+            delta,
+            &QueryBudget::default(),
+            QueryPolicy::FirstSuccess,
+            |_, s| s.sample(),
+        );
+        match out.answer {
+            SupervisedAnswer::Full { .. } => {}
+            SupervisedAnswer::Unknown { .. } => full_unknowns += 1,
+            other => panic!("trial {t}: unexpected full-ensemble outcome {other:?}"),
+        }
+    }
+
+    let observed = unknowns as f64 / trials as f64;
+    let bound = delta.powi(r_live as i32);
+    assert!(
+        observed <= 2.0 * bound,
+        "observed Unknown rate {observed:.4} exceeds 2x the widened bound {bound:.4}"
+    );
+    // The widening is real: losing half the ensemble must cost strictly
+    // more residual failures than the full ensemble pays on the identical
+    // trials (otherwise the test never exercised the degraded regime).
+    assert!(
+        unknowns > full_unknowns,
+        "partial ensemble ({unknowns} unknowns) did not fail more often than \
+         the full ensemble ({full_unknowns}) — the degraded regime was not exercised"
+    );
+}
