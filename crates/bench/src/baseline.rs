@@ -1,0 +1,276 @@
+//! Shared schema for the machine-readable `BENCH_*.json` baselines.
+//!
+//! Every experiment that feeds a CI guard emits the same shape — no serde
+//! in the dependency tree, so the emitter is a small hand-rolled builder
+//! and the parser a text scan:
+//!
+//! ```json
+//! {
+//!   "experiment": "e17-ingest",
+//!   "schema_version": 1,
+//!   "config": { "n": 48, "updates": 7000, "trials": 1 },
+//!   "rows": [
+//!     { "mode": "scalar", "updates_per_sec": 1234.5, "pass": true }
+//!   ],
+//!   "summary": { "best_batched_updates_per_sec": 9876.5, "pass": true }
+//! }
+//! ```
+//!
+//! * `config` — the knobs the measurement ran with (workload sizes, seeds,
+//!   trial counts): everything needed to interpret or reproduce the rows.
+//! * `rows` — one object per measured configuration, each carrying its own
+//!   `pass` verdict so a guard can point at the exact failing row.
+//! * `summary` — the aggregates guards compare against, plus the overall
+//!   `pass` verdict (the conjunction the experiment's acceptance criteria
+//!   define; `summary_pass` reads it back).
+//!
+//! Values are rendered deterministically in insertion order; floats use a
+//! fixed number of decimals chosen per field, so re-running with identical
+//! results produces byte-identical files.
+
+/// An ordered list of `"key": value` pairs, values pre-rendered as JSON.
+#[derive(Clone, Debug, Default)]
+pub struct Fields {
+    parts: Vec<(String, String)>,
+}
+
+impl Fields {
+    pub fn new() -> Fields {
+        Fields::default()
+    }
+
+    fn push(mut self, key: &str, rendered: String) -> Fields {
+        self.parts.push((key.to_string(), rendered));
+        self
+    }
+
+    pub fn u64(self, key: &str, v: u64) -> Fields {
+        self.push(key, v.to_string())
+    }
+
+    pub fn usize(self, key: &str, v: usize) -> Fields {
+        self.push(key, v.to_string())
+    }
+
+    /// A float with `decimals` fixed decimal places.
+    pub fn f64(self, key: &str, v: f64, decimals: usize) -> Fields {
+        self.push(key, format!("{v:.decimals$}"))
+    }
+
+    pub fn bool(self, key: &str, v: bool) -> Fields {
+        self.push(key, v.to_string())
+    }
+
+    /// A string value (callers pass identifiers, never text needing
+    /// escapes).
+    pub fn str(self, key: &str, v: &str) -> Fields {
+        self.push(key, format!("\"{v}\""))
+    }
+
+    /// `Some(n)` as a number, `None` as JSON `null`.
+    pub fn opt_usize(self, key: &str, v: Option<usize>) -> Fields {
+        self.push(key, v.map_or("null".to_string(), |n| n.to_string()))
+    }
+
+    /// `Some(n)` as a number, `None` as JSON `null`.
+    pub fn opt_u64(self, key: &str, v: Option<u64>) -> Fields {
+        self.push(key, v.map_or("null".to_string(), |n| n.to_string()))
+    }
+
+    fn render_inline(&self) -> String {
+        let body = self
+            .parts
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("{{{body}}}")
+    }
+
+    fn render_block(&self, indent: &str) -> String {
+        if self.parts.is_empty() {
+            return "{}".to_string();
+        }
+        let body = self
+            .parts
+            .iter()
+            .map(|(k, v)| format!("{indent}  \"{k}\": {v}"))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!("{{\n{body}\n{indent}}}")
+    }
+}
+
+/// Builder for one `BENCH_*.json` document in the shared schema.
+#[derive(Clone, Debug)]
+pub struct Baseline {
+    experiment: String,
+    config: Fields,
+    rows: Vec<Fields>,
+    summary: Fields,
+}
+
+impl Baseline {
+    pub fn new(experiment: &str) -> Baseline {
+        Baseline {
+            experiment: experiment.to_string(),
+            config: Fields::new(),
+            rows: Vec::new(),
+            summary: Fields::new(),
+        }
+    }
+
+    /// Sets the `config` block (builder style).
+    pub fn config(mut self, fields: Fields) -> Baseline {
+        self.config = fields;
+        self
+    }
+
+    /// Appends one row; `pass` is appended as the row's final field.
+    pub fn row(&mut self, fields: Fields, pass: bool) {
+        self.rows.push(fields.bool("pass", pass));
+    }
+
+    /// Sets the `summary` block; `pass` is appended as its final field.
+    /// Call this last — it is also what [`summary_pass`] reads back.
+    pub fn summary(mut self, fields: Fields, pass: bool) -> Baseline {
+        self.summary = fields.bool("pass", pass);
+        self
+    }
+
+    /// Renders the document. Deterministic for identical inputs.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"experiment\": \"{}\",\n", self.experiment));
+        out.push_str("  \"schema_version\": 1,\n");
+        out.push_str(&format!(
+            "  \"config\": {},\n",
+            self.config.render_block("  ")
+        ));
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {}{}\n",
+                r.render_inline(),
+                if i + 1 == self.rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"summary\": {}\n",
+            self.summary.render_block("  ")
+        ));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes to `path`, reporting like every experiment does.
+    pub fn write(&self, path: &str) {
+        match std::fs::write(path, self.render()) {
+            Ok(()) => println!("  wrote {path}"),
+            Err(e) => eprintln!("  could not write {path}: {e}"),
+        }
+    }
+}
+
+/// Extracts the first `"key": <number>` from a baseline document.
+pub fn json_f64_field(s: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = s.find(&needle)? + needle.len();
+    let rest = s[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the first `"key": true|false` from a baseline document.
+pub fn json_bool_field(s: &str, key: &str) -> Option<bool> {
+    let needle = format!("\"{key}\":");
+    let at = s.find(&needle)? + needle.len();
+    let rest = s[at..].trim_start();
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// The summary's overall `pass` verdict: the **last** `"pass"` in the
+/// document (rows precede the summary, and `pass` is the summary's final
+/// field).
+pub fn summary_pass(s: &str) -> Option<bool> {
+    let at = s.rfind("\"pass\":")?;
+    json_bool_field(&s[at..], "pass")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> String {
+        let mut b = Baseline::new("e99-sample").config(
+            Fields::new()
+                .usize("n", 48)
+                .u64("seed", 7)
+                .str("mode", "quick"),
+        );
+        b.row(
+            Fields::new()
+                .str("mode", "scalar")
+                .opt_usize("batch", None)
+                .f64("updates_per_sec", 1234.567, 1),
+            true,
+        );
+        b.row(
+            Fields::new()
+                .str("mode", "batched")
+                .opt_usize("batch", Some(256))
+                .f64("updates_per_sec", 8000.0, 1),
+            false,
+        );
+        b.summary(
+            Fields::new().f64("best", 8000.0, 1).bool("exact", true),
+            true,
+        )
+        .render()
+    }
+
+    #[test]
+    fn renders_shared_schema() {
+        let s = sample();
+        assert!(s.contains("\"experiment\": \"e99-sample\""));
+        assert!(s.contains("\"schema_version\": 1"));
+        assert!(s.contains("\"config\": {"));
+        assert!(s.contains("\"batch\": null"));
+        assert!(s.contains("\"updates_per_sec\": 1234.6, \"pass\": true"));
+        assert!(s.contains("\"updates_per_sec\": 8000.0, \"pass\": false"));
+        assert!(s.contains("\"summary\": {"));
+        // Deterministic render.
+        assert_eq!(s, sample());
+    }
+
+    #[test]
+    fn field_parsers_read_back() {
+        let s = sample();
+        assert_eq!(json_f64_field(&s, "best"), Some(8000.0));
+        assert_eq!(json_f64_field(&s, "n"), Some(48.0));
+        assert_eq!(json_bool_field(&s, "exact"), Some(true));
+        assert_eq!(json_f64_field(&s, "missing"), None);
+        assert_eq!(json_bool_field(&s, "missing"), None);
+    }
+
+    #[test]
+    fn summary_pass_reads_the_last_pass() {
+        // Rows carry pass=true then pass=false; the summary says true —
+        // summary_pass must see the summary's, not a row's.
+        let s = sample();
+        assert_eq!(summary_pass(&s), Some(true));
+        let mut b = Baseline::new("e99-fail");
+        b.row(Fields::new().usize("i", 0), true);
+        let failing = b.summary(Fields::new(), false).render();
+        assert_eq!(summary_pass(&failing), Some(false));
+    }
+}

@@ -52,6 +52,10 @@ const DESCRIPTIONS: &[(&str, &str)] = &[
         "e20",
         "self-healing soak: availability & correctness under chaos campaigns",
     ),
+    (
+        "e21",
+        "service under load: queries/sec vs ingest, overload ladder honesty",
+    ),
 ];
 
 fn main() -> ExitCode {
@@ -62,8 +66,8 @@ fn main() -> ExitCode {
     if ids.is_empty() || ids.iter().any(|a| a.as_str() == "help") {
         eprintln!(
             "usage: experiments <all | list | check-ingest [baseline] | check-obs [baseline] \
-             | check-query [baseline] | check-chaos [baseline] | obs-report | e1 .. e20>... \
-             [--quick]"
+             | check-query [baseline] | check-chaos [baseline] | check-service [baseline] \
+             | obs-report | e1 .. e21>... [--quick]"
         );
         return ExitCode::from(2);
     }
@@ -94,6 +98,14 @@ fn main() -> ExitCode {
     if ids.first().map(|a| a.as_str()) == Some("check-chaos") {
         let baseline = ids.get(1).map_or("BENCH_chaos.json", |s| s.as_str());
         return if dgs_bench::experiments::e20_chaos::check(baseline) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    if ids.first().map(|a| a.as_str()) == Some("check-service") {
+        let baseline = ids.get(1).map_or("BENCH_service.json", |s| s.as_str());
+        return if dgs_bench::experiments::e21_service::check(baseline) {
             ExitCode::SUCCESS
         } else {
             ExitCode::FAILURE

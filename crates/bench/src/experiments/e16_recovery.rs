@@ -20,6 +20,7 @@ use dgs_hypergraph::generators::gnm;
 use dgs_hypergraph::wal::WalConfig;
 use dgs_hypergraph::{EdgeSpace, Hypergraph};
 
+use crate::baseline::{Baseline, Fields};
 use crate::report::{fmt_bytes, Table};
 use crate::workloads::{default_stream, lean_forest};
 
@@ -188,37 +189,32 @@ pub fn run(quick: bool) {
     write_baseline(&rows, n, m, crash_at);
 }
 
-/// Hand-rolled JSON baseline (`BENCH_recovery.json` in the working
-/// directory) — no serde in the dependency tree, the schema is flat.
+/// `BENCH_recovery.json` in the shared [`crate::baseline`] schema: a row
+/// per snapshot cadence (`pass` = bit-exact recovery), summary `pass` =
+/// every cadence recovered exactly.
 fn write_baseline(rows: &[RowOut], n: usize, m: usize, crash_at: usize) {
-    let mut out = String::from("{\n");
-    out.push_str("  \"experiment\": \"e16-recovery\",\n");
-    out.push_str(&format!("  \"n\": {n},\n  \"updates\": {m},\n"));
-    out.push_str(&format!("  \"crash_at\": {crash_at},\n"));
-    out.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let interval = match r.interval_updates {
-            Some(k) => k.to_string(),
-            None => "null".to_string(),
-        };
-        out.push_str(&format!(
-            "    {{\"interval\": {interval}, \"label\": \"{}\", \"snapshots\": {}, \
-             \"wal_bytes\": {}, \"snapshot_bytes\": {}, \"ingest_ms\": {:.3}, \
-             \"replayed\": {}, \"recovery_ms\": {:.3}, \"exact\": {}}}{}\n",
-            r.interval,
-            r.snapshots,
-            r.wal_bytes,
-            r.snap_bytes,
-            r.ingest_ms,
-            r.replayed,
-            r.recovery_ms,
+    let mut b = Baseline::new("e16-recovery").config(
+        Fields::new()
+            .usize("n", n)
+            .usize("updates", m)
+            .usize("crash_at", crash_at),
+    );
+    for r in rows {
+        b.row(
+            Fields::new()
+                .opt_u64("interval", r.interval_updates)
+                .str("label", &r.interval)
+                .usize("snapshots", r.snapshots)
+                .u64("wal_bytes", r.wal_bytes)
+                .u64("snapshot_bytes", r.snap_bytes)
+                .f64("ingest_ms", r.ingest_ms, 3)
+                .u64("replayed", r.replayed)
+                .f64("recovery_ms", r.recovery_ms, 3)
+                .bool("exact", r.exact),
             r.exact,
-            if i + 1 == rows.len() { "" } else { "," }
-        ));
+        );
     }
-    out.push_str("  ]\n}\n");
-    match std::fs::write("BENCH_recovery.json", &out) {
-        Ok(()) => println!("  wrote BENCH_recovery.json"),
-        Err(e) => eprintln!("  could not write BENCH_recovery.json: {e}"),
-    }
+    let all_exact = rows.iter().all(|r| r.exact);
+    b.summary(Fields::new().bool("all_exact", all_exact), all_exact)
+        .write("BENCH_recovery.json");
 }

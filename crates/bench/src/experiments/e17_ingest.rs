@@ -20,6 +20,7 @@ use dgs_field::{Codec, SeedTree, Writer};
 use dgs_hypergraph::generators::gnm;
 use dgs_hypergraph::{EdgeSpace, HyperEdge, Hypergraph};
 
+use crate::baseline::{json_f64_field, Baseline, Fields};
 use crate::report::Table;
 use crate::workloads::{default_stream, lean_forest};
 
@@ -253,53 +254,40 @@ pub fn run(quick: bool) {
     write_baseline(&meas);
 }
 
-/// Hand-rolled JSON baseline (`BENCH_ingest.json` in the working
-/// directory) — no serde in the dependency tree, the schema is flat.
+/// `BENCH_ingest.json` in the shared [`crate::baseline`] schema: a row per
+/// ingest variant (`pass` = bit-identity held), summary throughput
+/// aggregates for the CI guard.
 fn write_baseline(meas: &Measurement) {
-    let mut out = String::from("{\n");
-    out.push_str("  \"experiment\": \"e17-ingest\",\n");
-    out.push_str(&format!(
-        "  \"n\": {},\n  \"updates\": {},\n  \"trials\": {},\n",
-        meas.n, meas.updates, meas.trials
-    ));
-    out.push_str(&format!(
-        "  \"scalar_updates_per_sec\": {:.1},\n",
-        meas.scalar_updates_per_sec
-    ));
-    out.push_str(&format!(
-        "  \"best_batched_updates_per_sec\": {:.1},\n",
-        meas.best_batched_updates_per_sec
-    ));
-    out.push_str("  \"rows\": [\n");
-    for (i, r) in meas.rows.iter().enumerate() {
-        let batch = r.batch.map_or("null".to_string(), |b| b.to_string());
-        out.push_str(&format!(
-            "    {{\"mode\": \"{}\", \"batch\": {batch}, \"threads\": {}, \
-             \"updates_per_sec\": {:.1}, \"speedup\": {:.3}, \"exact\": {}}}{}\n",
-            r.mode,
-            r.threads,
-            r.updates_per_sec,
-            r.speedup,
+    let mut b = Baseline::new("e17-ingest").config(
+        Fields::new()
+            .usize("n", meas.n)
+            .usize("updates", meas.updates)
+            .usize("trials", meas.trials),
+    );
+    for r in &meas.rows {
+        b.row(
+            Fields::new()
+                .str("mode", r.mode)
+                .opt_usize("batch", r.batch)
+                .usize("threads", r.threads)
+                .f64("updates_per_sec", r.updates_per_sec, 1)
+                .f64("speedup", r.speedup, 3)
+                .bool("exact", r.exact),
             r.exact,
-            if i + 1 == meas.rows.len() { "" } else { "," }
-        ));
+        );
     }
-    out.push_str("  ]\n}\n");
-    match std::fs::write("BENCH_ingest.json", &out) {
-        Ok(()) => println!("  wrote BENCH_ingest.json"),
-        Err(e) => eprintln!("  could not write BENCH_ingest.json: {e}"),
-    }
-}
-
-/// Extracts `"key": <number>` from flat hand-rolled JSON.
-pub(crate) fn json_f64_field(s: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    let at = s.find(&needle)? + needle.len();
-    let rest = s[at..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
+    let all_exact = meas.rows.iter().all(|r| r.exact);
+    b.summary(
+        Fields::new()
+            .f64("scalar_updates_per_sec", meas.scalar_updates_per_sec, 1)
+            .f64(
+                "best_batched_updates_per_sec",
+                meas.best_batched_updates_per_sec,
+                1,
+            ),
+        all_exact,
+    )
+    .write("BENCH_ingest.json");
 }
 
 /// CI guard: re-measures the quick workload and fails (returns `false`) if

@@ -36,6 +36,7 @@ use dgs_hypergraph::{EdgeSpace, HyperEdge, Hypergraph};
 use dgs_obs::Registry;
 use dgs_sketch::{L0Params, L0Sampler, Profile};
 
+use crate::baseline::{Baseline, Fields};
 use crate::report::Table;
 use crate::workloads::{default_stream, lean_forest};
 
@@ -271,43 +272,33 @@ pub fn run(quick: bool) {
     write_baseline(&meas);
 }
 
-/// Hand-rolled JSON baseline (`BENCH_obs.json` in the working directory) —
-/// no serde in the dependency tree, the schema is flat.
+/// `BENCH_obs.json` in the shared [`crate::baseline`] schema: a row per
+/// structure (`pass` = observed rate within 2x of its bound), summary
+/// `all_within_2x` for the CI guard.
 fn write_baseline(meas: &Measurement) {
     let all_within = meas.rate_rows.iter().all(RateRow::within_2x);
-    let mut out = String::from("{\n");
-    out.push_str("  \"experiment\": \"e18-obs\",\n");
-    out.push_str(&format!(
-        "  \"trials\": {},\n  \"support\": {},\n  \"churn\": {},\n",
-        meas.trials, meas.support, meas.churn
-    ));
-    out.push_str(&format!("  \"all_within_2x\": {all_within},\n"));
-    out.push_str("  \"rows\": [\n");
-    for (i, r) in meas.rate_rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"structure\": \"{}\", \"rows\": {}, \"sparsity\": {}, \
-             \"repetitions\": {}, \"attempts\": {}, \"failures\": {}, \
-             \"observed\": {:.6}, \"bound\": {:.6}}}{}\n",
-            r.label,
-            r.rows,
-            r.sparsity,
-            r.repetitions,
-            r.attempts,
-            r.failures,
-            r.observed,
-            r.bound,
-            if i + 1 == meas.rate_rows.len() {
-                ""
-            } else {
-                ","
-            }
-        ));
+    let mut b = Baseline::new("e18-obs").config(
+        Fields::new()
+            .u64("trials", meas.trials)
+            .usize("support", meas.support)
+            .usize("churn", meas.churn),
+    );
+    for r in &meas.rate_rows {
+        b.row(
+            Fields::new()
+                .str("structure", r.label)
+                .usize("rows", r.rows)
+                .usize("sparsity", r.sparsity)
+                .usize("repetitions", r.repetitions)
+                .u64("attempts", r.attempts)
+                .u64("failures", r.failures)
+                .f64("observed", r.observed, 6)
+                .f64("bound", r.bound, 6),
+            r.within_2x(),
+        );
     }
-    out.push_str("  ]\n}\n");
-    match std::fs::write("BENCH_obs.json", &out) {
-        Ok(()) => println!("  wrote BENCH_obs.json"),
-        Err(e) => eprintln!("  could not write BENCH_obs.json: {e}"),
-    }
+    b.summary(Fields::new().bool("all_within_2x", all_within), all_within)
+        .write("BENCH_obs.json");
 }
 
 /// CI guard: the checked-in baseline must declare every row within 2x of

@@ -19,6 +19,7 @@
 
 use std::time::Instant;
 
+use crate::baseline::{Baseline, Fields};
 use dgs_connectivity::{DecodeScratch, KSkeletonSketch, SpanningForestSketch};
 use dgs_core::{VertexConnConfig, VertexConnSketch};
 use dgs_field::prng::*;
@@ -316,40 +317,36 @@ pub fn run(quick: bool) {
     write_baseline(&meas);
 }
 
-/// Hand-rolled JSON baseline (`BENCH_query.json` in the working directory)
-/// — no serde in the dependency tree, the schema is flat.
+/// `BENCH_query.json` in the shared [`crate::baseline`] schema: a row per
+/// decode engine configuration (`pass` = exactness held), summary speedup
+/// and throughput aggregates for the CI guard.
 fn write_baseline(meas: &Measurement) {
-    let mut out = String::from("{\n");
-    out.push_str("  \"experiment\": \"e19-query\",\n");
-    out.push_str(&format!("  \"trials\": {},\n", meas.trials));
-    out.push_str(&format!(
-        "  \"forest_par4_speedup\": {:.3},\n",
-        meas.forest_par4_speedup
-    ));
-    out.push_str(&format!(
-        "  \"best_engine_decodes_per_sec\": {:.2},\n",
-        meas.best_engine_decodes_per_sec
-    ));
-    out.push_str("  \"rows\": [\n");
-    for (i, r) in meas.rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"mode\": \"{}\", \"n\": {}, \"k\": {}, \"threads\": {}, \
-             \"decode_ms\": {:.4}, \"speedup\": {:.3}, \"exact\": {}}}{}\n",
-            r.mode,
-            r.n,
-            r.k,
-            r.threads,
-            r.decode_ms,
-            r.speedup,
+    let mut b = Baseline::new("e19-query").config(Fields::new().usize("trials", meas.trials));
+    for r in &meas.rows {
+        b.row(
+            Fields::new()
+                .str("mode", r.mode)
+                .usize("n", r.n)
+                .usize("k", r.k)
+                .usize("threads", r.threads)
+                .f64("decode_ms", r.decode_ms, 4)
+                .f64("speedup", r.speedup, 3)
+                .bool("exact", r.exact),
             r.exact,
-            if i + 1 == meas.rows.len() { "" } else { "," }
-        ));
+        );
     }
-    out.push_str("  ]\n}\n");
-    match std::fs::write("BENCH_query.json", &out) {
-        Ok(()) => println!("  wrote BENCH_query.json"),
-        Err(e) => eprintln!("  could not write BENCH_query.json: {e}"),
-    }
+    let all_exact = meas.rows.iter().all(|r| r.exact);
+    b.summary(
+        Fields::new()
+            .f64("forest_par4_speedup", meas.forest_par4_speedup, 3)
+            .f64(
+                "best_engine_decodes_per_sec",
+                meas.best_engine_decodes_per_sec,
+                2,
+            ),
+        all_exact,
+    )
+    .write("BENCH_query.json");
 }
 
 /// CI guard: re-measures the quick workload and fails (returns `false`) if
@@ -366,8 +363,7 @@ pub fn check(baseline_path: &str) -> bool {
             return false;
         }
     };
-    let Some(base_dps) =
-        crate::experiments::e17_ingest::json_f64_field(&baseline, "best_engine_decodes_per_sec")
+    let Some(base_dps) = crate::baseline::json_f64_field(&baseline, "best_engine_decodes_per_sec")
     else {
         eprintln!("check-query: no best_engine_decodes_per_sec in {baseline_path}");
         return false;

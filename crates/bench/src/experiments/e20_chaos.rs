@@ -58,6 +58,7 @@ use dgs_hypergraph::{
 use dgs_obs::Registry;
 use dgs_sketch::{Profile, SketchError};
 
+use crate::baseline::{Baseline, Fields};
 use crate::report::Table;
 
 /// Everything E20 measures.
@@ -234,8 +235,9 @@ fn corrupt_snapshots(dir: &std::path::Path) {
 }
 
 /// Exact component count of the applied prefix: union-find over the live
-/// edge multiset (a hyperedge merges all its vertices).
-fn exact_components(n: usize, live_edges: &BTreeMap<HyperEdge, i64>) -> usize {
+/// edge multiset (a hyperedge merges all its vertices). Shared with E21's
+/// service soak, which verifies answers at frozen epochs the same way.
+pub(crate) fn exact_components(n: usize, live_edges: &BTreeMap<HyperEdge, i64>) -> usize {
     let mut uf = UnionFind::new(n);
     for (e, &mult) in live_edges {
         if mult <= 0 {
@@ -396,6 +398,10 @@ pub fn measure(quick: bool) -> Measurement {
                 ChaosFault::DecodeStall { shard, queries } => {
                     *stalls.borrow_mut().entry(shard % repetitions).or_insert(0) += queries;
                 }
+                // Load events target the service admission layer (E21); the
+                // bare supervisor has none, and this campaign never
+                // schedules them.
+                ChaosFault::LoadSpike { .. } | ChaosFault::SlowConsumer { .. } => {}
             }
         }
 
@@ -558,48 +564,40 @@ pub fn run(quick: bool) {
     write_baseline(&meas);
 }
 
-/// Hand-rolled JSON baseline (`BENCH_chaos.json` in the working directory).
+/// `BENCH_chaos.json` in the shared [`crate::baseline`] schema: the soak is
+/// one aggregate measurement, so all counters live in `summary` (no rows);
+/// `pass` = the [`Measurement::acceptable`] predicate.
 fn write_baseline(meas: &Measurement) {
-    let mut out = String::from("{\n");
-    out.push_str("  \"experiment\": \"e20-chaos\",\n");
-    out.push_str(&format!(
-        "  \"n\": {},\n  \"repetitions\": {},\n  \"updates\": {},\n  \"events\": {},\n",
-        meas.n, meas.repetitions, meas.updates, meas.events
-    ));
-    out.push_str(&format!(
-        "  \"queries\": {},\n  \"answered\": {},\n  \"degraded\": {},\n  \"unknown\": {},\n",
-        meas.queries, meas.answered, meas.degraded, meas.unknown
-    ));
-    out.push_str(&format!(
-        "  \"deadline_missed\": {},\n  \"silent_wrong\": {},\n",
-        meas.deadline_missed, meas.silent_wrong
-    ));
-    out.push_str(&format!(
-        "  \"availability\": {:.6},\n  \"degraded_fraction\": {:.6},\n  \
-         \"worst_effective_delta\": {:.6},\n",
-        meas.availability(),
-        meas.degraded_fraction(),
-        meas.worst_effective_delta
-    ));
-    out.push_str(&format!(
-        "  \"quarantines\": {},\n  \"rebuilds\": {},\n  \"scrub_mismatches\": {},\n  \
-         \"torn_tail_resumes\": {},\n",
-        meas.quarantines, meas.rebuilds, meas.scrub_mismatches, meas.torn_tail_resumes
-    ));
-    out.push_str(&format!(
-        "  \"rebuild_p50_ns\": {},\n  \"rebuild_max_ns\": {},\n",
-        meas.rebuild_p50_ns, meas.rebuild_max_ns
-    ));
-    out.push_str(&format!(
-        "  \"bit_identical\": {},\n  \"acceptable\": {}\n",
-        meas.bit_identical,
-        meas.acceptable()
-    ));
-    out.push_str("}\n");
-    match std::fs::write("BENCH_chaos.json", &out) {
-        Ok(()) => println!("  wrote BENCH_chaos.json"),
-        Err(e) => eprintln!("  could not write BENCH_chaos.json: {e}"),
-    }
+    Baseline::new("e20-chaos")
+        .config(
+            Fields::new()
+                .usize("n", meas.n)
+                .usize("repetitions", meas.repetitions)
+                .usize("updates", meas.updates)
+                .usize("events", meas.events),
+        )
+        .summary(
+            Fields::new()
+                .u64("queries", meas.queries)
+                .u64("answered", meas.answered)
+                .u64("degraded", meas.degraded)
+                .u64("unknown", meas.unknown)
+                .u64("deadline_missed", meas.deadline_missed)
+                .u64("silent_wrong", meas.silent_wrong)
+                .f64("availability", meas.availability(), 6)
+                .f64("degraded_fraction", meas.degraded_fraction(), 6)
+                .f64("worst_effective_delta", meas.worst_effective_delta, 6)
+                .u64("quarantines", meas.quarantines)
+                .u64("rebuilds", meas.rebuilds)
+                .u64("scrub_mismatches", meas.scrub_mismatches)
+                .u64("torn_tail_resumes", meas.torn_tail_resumes)
+                .u64("rebuild_p50_ns", meas.rebuild_p50_ns)
+                .u64("rebuild_max_ns", meas.rebuild_max_ns)
+                .bool("bit_identical", meas.bit_identical)
+                .bool("acceptable", meas.acceptable()),
+            meas.acceptable(),
+        )
+        .write("BENCH_chaos.json");
 }
 
 /// CI guard: the checked-in baseline must be acceptable, and a fresh quick

@@ -23,11 +23,12 @@ pub mod e17_ingest;
 pub mod e18_obs;
 pub mod e19_query;
 pub mod e20_chaos;
+pub mod e21_service;
 
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20",
+    "e16", "e17", "e18", "e19", "e20", "e21",
 ];
 
 /// Runs one experiment by id. Returns false for an unknown id.
@@ -53,6 +54,7 @@ pub fn run(id: &str, quick: bool) -> bool {
         "e18" => e18_obs::run(quick),
         "e19" => e19_query::run(quick),
         "e20" => e20_chaos::run(quick),
+        "e21" => e21_service::run(quick),
         _ => return false,
     }
     true

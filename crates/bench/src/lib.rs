@@ -9,6 +9,7 @@
 //! rates), [`workloads`] (shared workload builders and lean sketch
 //! parameters sized so a full `all` run fits laptop memory).
 
+pub mod baseline;
 pub mod experiments;
 pub mod microbench;
 pub mod report;

@@ -279,6 +279,7 @@ impl<S: BoostableSketch> BoostedQuery<S> {
     /// malformed element is rejected by the first repetition's validation
     /// before any later repetition is touched (all repetitions share one
     /// space and vertex set, so they accept or reject identically).
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn try_update(&mut self, e: &HyperEdge, delta: i64) -> SketchResult<()> {
         for s in &mut self.repetitions {
             s.try_apply(e, delta)?;

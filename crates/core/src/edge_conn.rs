@@ -53,6 +53,7 @@ impl EdgeConnSketch {
 
     /// Fallible signed hyperedge update; see
     /// [`KSkeletonSketch::try_update`].
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn try_update(&mut self, e: &HyperEdge, delta: i64) -> SketchResult<()> {
         self.skeleton.try_update(e, delta)
     }
@@ -68,6 +69,7 @@ impl EdgeConnSketch {
     /// Fallible edge-connectivity query: an uncertified skeleton decode
     /// propagates as a retryable [`dgs_sketch::SketchError::SketchFailure`]
     /// instead of an understated `min(λ, k)`.
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn try_edge_connectivity(&self) -> SketchResult<(usize, Vec<bool>)> {
         self.try_edge_connectivity_par(1)
     }
@@ -76,6 +78,7 @@ impl EdgeConnSketch {
     /// skeleton's per-layer decode work spread over `threads` scoped
     /// worker threads; the answer is bit-identical for every thread count
     /// (see [`KSkeletonSketch::try_decode_layers_par`]).
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn try_edge_connectivity_par(&self, threads: usize) -> SketchResult<(usize, Vec<bool>)> {
         let n = self.space().n();
         let skeleton = Hypergraph::from_edges(n, self.skeleton.try_decode_par(threads)?);
@@ -108,6 +111,7 @@ impl EdgeConnSketch {
     }
 
     /// Fallible k-edge-connectivity verdict.
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn try_is_k_edge_connected(&self) -> SketchResult<bool> {
         Ok(self.try_edge_connectivity()?.0 >= self.k)
     }

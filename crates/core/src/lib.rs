@@ -32,6 +32,8 @@ pub mod edge_conn;
 #[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod ingest;
 pub mod reconstruct;
+#[deny(clippy::unwrap_used, clippy::expect_used)]
+pub mod service;
 pub mod sparsify;
 #[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod supervise;
@@ -45,11 +47,16 @@ pub use checkpoint::{
 pub use edge_conn::EdgeConnSketch;
 pub use ingest::{BatchableSketch, ShardedIngestor};
 pub use reconstruct::{LightRecovery, LightRecoverySketch};
+pub use service::{
+    BreakerConfig, BrownoutConfig, ConnectivityService, Overload, QueryRequest, QueryResponse,
+    ServiceConfig, ServiceError, TokenBucketConfig,
+};
 pub use sparsify::{
     HypergraphSparsifier, SparsifierConfig, SparsifierPlayerMessage, SparsifierResult,
 };
 pub use supervise::{
-    QueryBudget, ShardState, SupervisedAnswer, SupervisedIngestor, SupervisorConfig,
+    EnsembleOutcome, FrozenEnsemble, QueryBudget, QueryPolicy, ShardState, SupervisedAnswer,
+    SupervisedIngestor, SupervisorConfig,
 };
 pub use vertex_conn::{
     VertexConnCertificate, VertexConnConfig, VertexConnPlayerMessage, VertexConnSketch,

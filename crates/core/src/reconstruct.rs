@@ -96,6 +96,7 @@ impl LightRecoverySketch {
 
     /// Fallible signed hyperedge update; see
     /// [`KSkeletonSketch::try_update`].
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn try_update(&mut self, e: &HyperEdge, delta: i64) -> SketchResult<()> {
         self.skeleton.try_update(e, delta)
     }
@@ -122,6 +123,7 @@ impl LightRecoverySketch {
     /// propagates as a retryable
     /// [`dgs_sketch::SketchError::SketchFailure`] rather than silently
     /// terminating the peeling early (which would understate `light_k`).
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn try_recover(&self) -> SketchResult<LightRecovery> {
         let n = self.space().n();
         let mut adjusted = self.skeleton.clone();
@@ -169,6 +171,7 @@ impl LightRecoverySketch {
     /// k-cut-degenerate, `Ok(None)` if the peeling provably stalled on
     /// heavy edges (an explicit "not reconstructible", not a failure), and
     /// `Err` if a decode could not be certified.
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn try_reconstruct(&self) -> SketchResult<Option<Hypergraph>> {
         let rec = self.try_recover()?;
         Ok(rec

@@ -137,6 +137,7 @@ impl HypergraphSparsifier {
 
     /// Fallible signed hyperedge update applied to every level containing
     /// the edge.
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn try_update(&mut self, e: &HyperEdge, delta: i64) -> SketchResult<()> {
         let top = self.edge_level(e);
         for i in 0..=top {
@@ -163,6 +164,7 @@ impl HypergraphSparsifier {
     /// answer on every cut it fails to cover. Note `complete = false` in
     /// the returned result is *not* an error: it is the explicit,
     /// detectable "budget exhausted" outcome.
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn try_decode(&self) -> SketchResult<SparsifierResult> {
         self.decode_impl()
     }

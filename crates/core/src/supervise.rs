@@ -40,6 +40,7 @@
 //! mix all surface through `dgs-obs` under `dgs_core_supervise_*`.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dgs_field::{Codec, Writer};
@@ -418,6 +419,84 @@ fn resolve_votes<T: Clone + PartialEq>(
     }
 }
 
+/// An epoch-tagged, immutable view of a supervised ensemble, produced by
+/// [`SupervisedIngestor::freeze`].
+///
+/// Sketch linearity makes a consistent frozen view cheap: every live shard
+/// has applied exactly the same update prefix at a flush boundary, so the
+/// view is the ensemble's state at stream offset [`epoch`](Self::epoch) —
+/// and because the shards sit behind [`Arc`]s, taking the view costs one
+/// reference-count bump per shard. The write path copies a shard on its
+/// next touch ([`Arc::make_mut`]), so the view stays valid, byte-for-byte,
+/// no matter how far ingestion runs ahead.
+///
+/// A frozen view answers queries through [`query`](Self::query) without
+/// any lock on the ingestor: this is what lets a long decode run
+/// concurrently with ingestion without stalling the write path.
+#[derive(Clone, Debug)]
+pub struct FrozenEnsemble<S> {
+    epoch: u64,
+    /// `(repetition index, sketch)` for every shard in the view.
+    shards: Vec<(usize, Arc<S>)>,
+    /// Configured ensemble size R.
+    total: usize,
+    /// Per-repetition failure probability δ (reporting only).
+    delta: f64,
+}
+
+impl<S> FrozenEnsemble<S> {
+    /// Stream offset (updates applied) this view is frozen at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Repetitions the view holds (R′ ≤ R).
+    pub fn repetitions(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Configured ensemble size R.
+    pub fn total_repetitions(&self) -> usize {
+        self.total
+    }
+
+    /// Per-repetition failure probability δ the view reports with.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The frozen shards, as `(repetition index, sketch)` pairs.
+    pub fn shards(&self) -> impl Iterator<Item = (usize, &S)> {
+        self.shards.iter().map(|(i, s)| (*i, s.as_ref()))
+    }
+
+    /// Resolves a query over the frozen view under `budget`, consulting at
+    /// most `max_repetitions` shards when given (brownout: answering from
+    /// R′ < R repetitions reports `Degraded { effective_delta = δ^R′ }`
+    /// exactly like a degraded live ensemble would). The view is immutable,
+    /// so any number of threads may query it concurrently.
+    pub fn query<T, F>(
+        &self,
+        budget: &QueryBudget,
+        policy: QueryPolicy,
+        max_repetitions: Option<usize>,
+        decode: F,
+    ) -> EnsembleOutcome<T>
+    where
+        T: Clone + PartialEq,
+        F: Fn(usize, &S) -> SketchResult<T>,
+    {
+        let take = max_repetitions
+            .unwrap_or(self.shards.len())
+            .min(self.shards.len());
+        let live: Vec<(usize, &S)> = self.shards[..take]
+            .iter()
+            .map(|(i, s)| (*i, s.as_ref()))
+            .collect();
+        query_ensemble(&live, self.total, self.delta, budget, policy, decode)
+    }
+}
+
 /// A deliberately injected apply fault (chaos testing): the shard's next
 /// `remaining` applies fail with clones of `error`.
 #[derive(Clone, Debug)]
@@ -427,8 +506,14 @@ struct InjectedApplyFault {
 }
 
 /// One supervised shard: a repetition plus its health bookkeeping.
+///
+/// The sketch sits behind an [`Arc`] so [`SupervisedIngestor::freeze`] can
+/// hand out epoch-tagged views by reference-count bump alone; the write
+/// path goes through [`Arc::make_mut`], which clones a shard's cells only
+/// when a frozen view still references them (copy-on-write at shard
+/// granularity — untouched shards are never copied).
 struct Shard<S> {
-    sketch: S,
+    sketch: Arc<S>,
     health: ShardState,
     store: CheckpointStore,
     backoff: Backoff,
@@ -443,7 +528,7 @@ struct Shard<S> {
     last_error: Option<String>,
 }
 
-impl<S: Recoverable> Shard<S> {
+impl<S: Recoverable + Clone> Shard<S> {
     /// Applies `batch[pos..]`, honoring an injected fault first. Preserves
     /// the applied-prefix contract of [`Recoverable::apply_batch`]: on
     /// `Err((i, _))` relative to `pos`, exactly `pos..pos + i` were applied.
@@ -456,7 +541,9 @@ impl<S: Recoverable> Shard<S> {
                 return Err((0, f.error.clone()));
             }
         }
-        self.sketch.apply_batch(&batch[pos..])
+        // Copy-on-write: clones the shard only when a frozen view still
+        // holds the pre-batch state; otherwise mutates in place.
+        Arc::make_mut(&mut self.sketch).apply_batch(&batch[pos..])
     }
 }
 
@@ -478,7 +565,10 @@ enum ApplyOutcome {
 /// Runs a shard's retry ladder for one batch: retryable failures back off
 /// and retry (resuming from the applied prefix), non-retryable failures
 /// and budget exhaustion give up.
-fn apply_with_retry<S: Recoverable>(shard: &mut Shard<S>, batch: &[Update]) -> ApplyOutcome {
+fn apply_with_retry<S: Recoverable + Clone>(
+    shard: &mut Shard<S>,
+    batch: &[Update],
+) -> ApplyOutcome {
     shard.backoff.reset();
     let mut pos = 0usize;
     let mut attempts = 0u32;
@@ -543,6 +633,8 @@ struct SupMetrics {
     answers_deadline: Counter,
     answers_invalid: Counter,
     decode_incidents: Counter,
+    freezes: Counter,
+    freeze_recovered_shards: Counter,
 }
 
 impl SupMetrics {
@@ -568,6 +660,8 @@ impl SupMetrics {
             answers_deadline: sink.counter("dgs_core_supervise_answers_deadline"),
             answers_invalid: sink.counter("dgs_core_supervise_answers_invalid"),
             decode_incidents: sink.counter("dgs_core_supervise_decode_incidents"),
+            freezes: sink.counter("dgs_core_supervise_freezes"),
+            freeze_recovered_shards: sink.counter("dgs_core_supervise_freeze_recovered_shards"),
         }
     }
 
@@ -604,7 +698,7 @@ fn shard_seed(base: u64, i: usize) -> u64 {
     base ^ (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
 }
 
-impl<S: Recoverable + Send> SupervisedIngestor<S> {
+impl<S: Recoverable + Clone + Send + Sync> SupervisedIngestor<S> {
     /// Starts supervised ingestion of a fresh stream. `build(i)` constructs
     /// repetition `i` (it must be deterministic: rebuilds call it again).
     /// WAL segments land in `wal_dir`, per-shard snapshots under
@@ -685,7 +779,7 @@ impl<S: Recoverable + Send> SupervisedIngestor<S> {
                     }
                     .in_shard(i));
                 }
-                shard.sketch = rec.sketch;
+                shard.sketch = Arc::new(rec.sketch);
             }
             shards.push(shard);
         }
@@ -732,7 +826,7 @@ impl<S: Recoverable + Send> SupervisedIngestor<S> {
         )
         .map_err(|e| e.in_shard(i))?;
         Ok(Shard {
-            sketch,
+            sketch: Arc::new(sketch),
             health: ShardState::Healthy,
             store,
             backoff: Backoff::new(cfg.backoff, shard_seed(cfg.seed, i)),
@@ -1003,7 +1097,7 @@ impl<S: Recoverable + Send> SupervisedIngestor<S> {
         match rebuilt {
             Ok(sketch) => {
                 let shard = &mut self.shards[i];
-                shard.sketch = sketch;
+                shard.sketch = Arc::new(sketch);
                 shard.health = ShardState::Healthy;
                 shard.fault = None;
                 shard.suspect_streak = 0;
@@ -1076,7 +1170,7 @@ impl<S: Recoverable + Send> SupervisedIngestor<S> {
             if shard.health.is_live() {
                 shard
                     .store
-                    .save(&shard.sketch, offset)
+                    .save(shard.sketch.as_ref(), offset)
                     .map_err(|e| e.in_shard(i))?;
             }
         }
@@ -1104,7 +1198,7 @@ impl<S: Recoverable + Send> SupervisedIngestor<S> {
         // divergence reproduces it faithfully. Replay the WAL from scratch —
         // the one record of what was actually logged.
         let rebuilt = self.replay_rebuild(i, self.ingested)?;
-        if encoded(&rebuilt) != encoded(&self.shards[i].sketch) {
+        if encoded(&rebuilt) != encoded(self.shards[i].sketch.as_ref()) {
             self.metrics.scrub_mismatches.inc();
             // Snapshots of the diverged shard are tainted back to an unknown
             // point; drop them all rather than trust any.
@@ -1121,7 +1215,7 @@ impl<S: Recoverable + Send> SupervisedIngestor<S> {
             let shard = &mut self.shards[i];
             shard.health = ShardState::Rebuilding;
             self.metrics.record_transition(ShardState::Rebuilding);
-            shard.sketch = rebuilt;
+            shard.sketch = Arc::new(rebuilt);
             shard.health = ShardState::Healthy;
             shard.decode_incidents = 0;
             self.metrics.record_transition(ShardState::Healthy);
@@ -1181,7 +1275,7 @@ impl<S: Recoverable + Send> SupervisedIngestor<S> {
             .iter()
             .enumerate()
             .filter(|(_, s)| s.health.is_live())
-            .map(|(i, s)| (i, &s.sketch))
+            .map(|(i, s)| (i, s.sketch.as_ref()))
             .collect();
         let outcome = query_ensemble(
             &live,
@@ -1230,8 +1324,63 @@ impl<S: Recoverable + Send> SupervisedIngestor<S> {
                 self.rebuild_now(i)?;
             }
         }
-        let sketches = self.shards.into_iter().map(|s| s.sketch).collect();
+        let sketches = self
+            .shards
+            .into_iter()
+            .map(|s| Arc::try_unwrap(s.sketch).unwrap_or_else(|shared| (*shared).clone()))
+            .collect();
         Ok(BoostedQuery::from_repetitions(sketches))
+    }
+
+    /// Freezes an epoch-tagged, immutable view of the live ensemble.
+    ///
+    /// Flushes first so every live shard sits at the same stream offset
+    /// (the view's [`epoch`](FrozenEnsemble::epoch)), then captures the
+    /// live shards by `Arc` clone — O(R) pointer work, no sketch bytes
+    /// copied. Subsequent ingestion copies-on-write only the shards it
+    /// touches; the frozen view never changes.
+    pub fn freeze(&mut self) -> Result<FrozenEnsemble<S>, RecoveryError> {
+        self.flush()?;
+        self.metrics.freezes.inc();
+        Ok(FrozenEnsemble {
+            epoch: self.ingested,
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.health.is_live())
+                .map(|(i, s)| (i, Arc::clone(&s.sketch)))
+                .collect(),
+            total: self.shards.len(),
+            delta: self.cfg.delta,
+        })
+    }
+
+    /// [`freeze`](Self::freeze), but quarantined/rebuilding shards are
+    /// additionally reconstructed *into the view* from their newest valid
+    /// checkpoint plus a WAL-tail replay capped at the frozen epoch
+    /// ([`RecoveryDriver::recover_capped`]) — the durable state is exact by
+    /// linearity, so the view regains full-R confidence even while the
+    /// live ensemble is degraded. Shard health is untouched (this is a
+    /// read path; healing stays with [`rebuild_now`](Self::rebuild_now)).
+    /// A shard whose recovery fails is simply left out of the view.
+    pub fn freeze_with_recovery(&mut self) -> Result<FrozenEnsemble<S>, RecoveryError> {
+        let mut view = self.freeze()?;
+        let missing: Vec<usize> = (0..self.shards.len())
+            .filter(|&i| !self.shards[i].health.is_live())
+            .collect();
+        if missing.is_empty() {
+            return Ok(view);
+        }
+        self.wal.sync()?;
+        for i in missing {
+            if let Ok(sketch) = self.rebuild_to(i, view.epoch) {
+                view.shards.push((i, Arc::new(sketch)));
+                self.metrics.freeze_recovered_shards.inc();
+            }
+        }
+        view.shards.sort_by_key(|(i, _)| *i);
+        Ok(view)
     }
 
     // ---- introspection & chaos hooks -------------------------------------
@@ -1269,7 +1418,7 @@ impl<S: Recoverable + Send> SupervisedIngestor<S> {
     /// Shard `i`'s encoded state — the byte-identity oracle used by the
     /// rebuild and scrub tests.
     pub fn shard_encoded(&self, i: usize) -> Vec<u8> {
-        encoded(&self.shards[i].sketch)
+        encoded(self.shards[i].sketch.as_ref())
     }
 
     /// Shard `i`'s snapshot directory (chaos harnesses corrupt it).
@@ -1291,7 +1440,7 @@ impl<S: Recoverable + Send> SupervisedIngestor<S> {
     /// the WAL — silent divergence no typed error will ever report. Only a
     /// scrub audit or a majority-vote query can catch it.
     pub fn apply_divergent_update(&mut self, i: usize, u: &Update) -> SketchResult<()> {
-        self.shards[i].sketch.apply_update(u)
+        Arc::make_mut(&mut self.shards[i].sketch).apply_update(u)
     }
 }
 

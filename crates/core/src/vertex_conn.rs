@@ -147,6 +147,7 @@ impl VertexConnSketch {
     /// Fallible signed hyperedge update. Malformed elements (out-of-range
     /// vertex, rank violation) surface as [`SketchError::InvalidInput`]
     /// before any subgraph sketch is touched.
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn try_update(&mut self, e: &HyperEdge, delta: i64) -> SketchResult<()> {
         if e.cardinality() > self.space.max_rank() {
             return Err(SketchError::invalid(format!(
@@ -194,6 +195,7 @@ impl VertexConnSketch {
     /// forest edges and the removal query could report a spurious
     /// disconnection — propagated as [`SketchError::SketchFailure`]
     /// (retryable against an independent repetition) instead.
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn try_certificate(&self) -> SketchResult<VertexConnCertificate> {
         let mut h = Hypergraph::new(self.space.n());
         let mut scratch = dgs_connectivity::DecodeScratch::new();
@@ -214,6 +216,7 @@ impl VertexConnSketch {
     /// ascending subgraph order after the fan-out completes — so the
     /// certificate (and any error) is identical to the sequential path for
     /// every thread count.
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn try_certificate_par(&self, threads: usize) -> SketchResult<VertexConnCertificate> {
         let threads = threads.max(1).min(self.subgraphs.len().max(1));
         if threads <= 1 {
@@ -265,6 +268,7 @@ impl VertexConnSketch {
     }
 
     /// Fallible cell-wise sum with a same-seeded sketch.
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn try_add_assign_sketch(&mut self, rhs: &VertexConnSketch) -> SketchResult<()> {
         if self.cfg.subgraphs != rhs.cfg.subgraphs {
             return Err(SketchError::invalid(format!(
@@ -357,6 +361,7 @@ impl VertexConnSketch {
     /// range, vertex presence, sampler shape/seed) before installing it, so
     /// a corrupted or misrouted message surfaces as
     /// [`SketchError::InvalidInput`].
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn try_install_player(&mut self, message: VertexConnPlayerMessage) -> SketchResult<()> {
         for (i, _) in &message.per_subgraph {
             if *i as usize >= self.subgraphs.len() {

@@ -64,6 +64,22 @@ pub enum ChaosFault {
         /// Number of consecutive stalled queries.
         queries: u32,
     },
+    /// `queries` back-to-back queries arrive at once (no stream positions
+    /// between them), exercising the admission queue, quota, and brownout
+    /// ladder of a serving layer. Targets no shard.
+    LoadSpike {
+        /// Queries in the burst.
+        queries: u32,
+    },
+    /// A consumer holds its next `queries` answers for `millis` each
+    /// (slow reader), keeping admission slots occupied and forcing
+    /// depth-based brownout on everyone behind it. Targets no shard.
+    SlowConsumer {
+        /// Queries the slow consumer issues.
+        queries: u32,
+        /// Hold time per answer, in milliseconds.
+        millis: u32,
+    },
 }
 
 impl ChaosFault {
@@ -76,6 +92,8 @@ impl ChaosFault {
             ChaosFault::CheckpointCorruption { .. } => "checkpoint-corruption",
             ChaosFault::WalTornTail { .. } => "wal-torn-tail",
             ChaosFault::DecodeStall { .. } => "decode-stall",
+            ChaosFault::LoadSpike { .. } => "load-spike",
+            ChaosFault::SlowConsumer { .. } => "slow-consumer",
         }
     }
 
@@ -87,7 +105,9 @@ impl ChaosFault {
             | ChaosFault::SilentCorruption { shard }
             | ChaosFault::CheckpointCorruption { shard }
             | ChaosFault::DecodeStall { shard, .. } => Some(shard),
-            ChaosFault::WalTornTail { .. } => None,
+            ChaosFault::WalTornTail { .. }
+            | ChaosFault::LoadSpike { .. }
+            | ChaosFault::SlowConsumer { .. } => None,
         }
     }
 }
@@ -108,6 +128,10 @@ impl std::fmt::Display for ChaosFault {
             ChaosFault::WalTornTail { bytes } => write!(f, "wal-torn-tail(bytes={bytes})"),
             ChaosFault::DecodeStall { shard, queries } => {
                 write!(f, "decode-stall(shard={shard}, queries={queries})")
+            }
+            ChaosFault::LoadSpike { queries } => write!(f, "load-spike(queries={queries})"),
+            ChaosFault::SlowConsumer { queries, millis } => {
+                write!(f, "slow-consumer(queries={queries}, millis={millis})")
             }
         }
     }
@@ -187,6 +211,10 @@ impl ChaosCampaign {
                 ChaosFault::WalTornTail { bytes } => ChaosFault::WalTornTail { bytes },
                 ChaosFault::DecodeStall { queries, .. } => {
                     ChaosFault::DecodeStall { shard, queries }
+                }
+                ChaosFault::LoadSpike { queries } => ChaosFault::LoadSpike { queries },
+                ChaosFault::SlowConsumer { queries, millis } => {
+                    ChaosFault::SlowConsumer { queries, millis }
                 }
             };
             events.push(ChaosEvent {
@@ -345,6 +373,33 @@ mod tests {
         for e in &c.events {
             match e.fault {
                 ChaosFault::ShardError { attempts, .. } => assert_eq!(attempts, 7),
+                other => panic!("unexpected fault {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn load_events_target_no_shard_and_keep_parameters() {
+        let palette = [
+            ChaosFault::LoadSpike { queries: 12 },
+            ChaosFault::SlowConsumer {
+                queries: 3,
+                millis: 40,
+            },
+        ];
+        let c = ChaosCampaign::generate("load", 9, 500, 4, &palette, 20);
+        assert_eq!(c.events.len(), 20);
+        for e in &c.events {
+            assert_eq!(e.fault.shard(), None);
+            match e.fault {
+                ChaosFault::LoadSpike { queries } => {
+                    assert_eq!(queries, 12);
+                    assert_eq!(e.fault.kind(), "load-spike");
+                }
+                ChaosFault::SlowConsumer { queries, millis } => {
+                    assert_eq!((queries, millis), (3, 40));
+                    assert_eq!(e.fault.kind(), "slow-consumer");
+                }
                 other => panic!("unexpected fault {other}"),
             }
         }

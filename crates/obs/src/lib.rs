@@ -37,6 +37,12 @@
 //! [`Registry::with_trace`], appends a [`TraceEvent`] to a fixed-capacity ring
 //! buffer (oldest events evicted, eviction counted).
 
+// Observability must never take the process down: `unwrap`/`expect` are
+// denied crate-wide in non-test code (tests opt back in locally). Poisoned
+// locks are recovered with `PoisonError::into_inner` — metric cells are
+// plain atomics, so a panic mid-registration cannot leave them torn.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 mod export;
 mod metrics;
 mod registry;

@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 use crate::metrics::{Counter, Gauge, HistStats, Histogram, HistogramCells};
@@ -85,6 +85,15 @@ impl MetricsSink {
         }
     }
 
+    /// Resolve a labelled histogram, e.g. per-tenant latency:
+    /// `histogram_labelled("dgs_core_service_query_ns", &[("tenant", "t0")])`.
+    pub fn histogram_labelled(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        match &self.inner {
+            None => Histogram::null(),
+            Some(inner) => inner.histogram(keyed(name, labels)),
+        }
+    }
+
     /// Start an RAII span. Records elapsed nanoseconds into the histogram
     /// `<name>_ns` and, when tracing is enabled, appends a [`TraceEvent`] on
     /// drop. On the null sink this never reads the clock nor allocates.
@@ -136,7 +145,7 @@ fn keyed(name: &str, labels: &[(&str, &str)]) -> String {
 
 impl RegistryInner {
     fn counter(self: &Arc<Self>, key: String) -> Counter {
-        let mut map = self.metrics.lock().expect("registry lock poisoned");
+        let mut map = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         let cell = map
             .entry(key)
             .or_insert_with(|| Cell::Counter(Arc::new(AtomicU64::new(0))));
@@ -152,7 +161,7 @@ impl RegistryInner {
     }
 
     fn gauge(self: &Arc<Self>, key: String) -> Gauge {
-        let mut map = self.metrics.lock().expect("registry lock poisoned");
+        let mut map = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         let cell = map
             .entry(key)
             .or_insert_with(|| Cell::Gauge(Arc::new(AtomicI64::new(0))));
@@ -166,7 +175,7 @@ impl RegistryInner {
     }
 
     fn histogram(self: &Arc<Self>, key: String) -> Histogram {
-        let mut map = self.metrics.lock().expect("registry lock poisoned");
+        let mut map = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         let cell = map
             .entry(key)
             .or_insert_with(|| Cell::Histogram(Arc::new(HistogramCells::new())));
@@ -279,7 +288,11 @@ impl Registry {
 
     /// Snapshot all metrics (sorted by key) and the trace ring.
     pub fn snapshot(&self) -> Snapshot {
-        let map = self.inner.metrics.lock().expect("registry lock poisoned");
+        let map = self
+            .inner
+            .metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let metrics = map
             .iter()
             .map(|(k, cell)| {
@@ -333,7 +346,11 @@ impl Registry {
     }
 
     fn lookup(&self, key: &str) -> Option<MetricValue> {
-        let map = self.inner.metrics.lock().expect("registry lock poisoned");
+        let map = self
+            .inner
+            .metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         map.get(key).map(|cell| match cell {
             Cell::Counter(c) => MetricValue::Counter(c.load(std::sync::atomic::Ordering::Relaxed)),
             Cell::Gauge(g) => MetricValue::Gauge(g.load(std::sync::atomic::Ordering::Relaxed)),
@@ -356,6 +373,8 @@ impl Registry {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]

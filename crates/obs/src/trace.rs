@@ -1,7 +1,7 @@
 //! Fixed-capacity ring buffer of span trace events.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// A completed span occurrence.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,7 +38,9 @@ impl TraceLog {
     }
 
     pub(crate) fn push(&self, event: TraceEvent) {
-        let mut st = self.state.lock().expect("trace lock poisoned");
+        // A panic while holding the lock cannot tear the ring (all mutations
+        // are VecDeque ops); recover the poisoned state rather than cascade.
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if st.events.len() == self.capacity {
             st.events.pop_front();
             st.evicted += 1;
@@ -48,7 +50,7 @@ impl TraceLog {
 
     /// Events currently retained, oldest first, plus the eviction count.
     pub(crate) fn snapshot(&self) -> (Vec<TraceEvent>, u64) {
-        let st = self.state.lock().expect("trace lock poisoned");
+        let st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         (st.events.iter().cloned().collect(), st.evicted)
     }
 }

@@ -161,6 +161,7 @@ impl L0Sampler {
     /// [`SketchError::InvalidInput`]; the check runs in release builds too
     /// (it used to be a `debug_assert!`, which release builds skipped).
     #[inline]
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn update(&mut self, index: u64, delta: i64) -> SketchResult<()> {
         if index >= self.dimension {
             return Err(SketchError::invalid(format!(
@@ -181,6 +182,7 @@ impl L0Sampler {
     /// out-of-range key rejects the plan with
     /// [`SketchError::InvalidInput`] before anything is computed, so a
     /// failed plan never leaves partial state anywhere.
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn plan_updates(&self, keys: &[u64]) -> SketchResult<L0Plan> {
         for &k in keys {
             if k >= self.dimension {
@@ -268,6 +270,7 @@ impl L0Sampler {
     /// come from any same-seeded sampler. Exactly equivalent to
     /// [`update`](Self::update) on `(keys[key_id], delta)`.
     #[inline]
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn apply_planned(&mut self, plan: &L0Plan, key_id: usize, delta: i64) -> SketchResult<()> {
         self.check_plan(plan)?;
         let top = plan.tops[key_id] as usize;
@@ -296,6 +299,7 @@ impl L0Sampler {
     /// `-1 * x = -x`, exactly, in canonical form). Callers may pre-sum the
     /// deltas of duplicate keys: field addition is exact, so the aggregated
     /// apply is bit-identical to per-update application.
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn apply_planned_many(&mut self, plan: &L0Plan, items: &[(u32, Fp)]) -> SketchResult<()> {
         self.check_plan(plan)?;
         let rows = plan.rows;
@@ -334,6 +338,7 @@ impl L0Sampler {
     /// Bit-identical to calling [`update`](Self::update) per entry in
     /// order, except that an invalid entry rejects the *entire* batch
     /// up front instead of applying the valid prefix.
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn update_batch(&mut self, entries: &[(u64, i64)]) -> SketchResult<()> {
         // Validate every key up front — the whole batch is rejected even if
         // an out-of-range key's deltas would have cancelled.
@@ -383,6 +388,7 @@ impl L0Sampler {
     /// Verifies `rhs` was drawn with the same seed and shape, so cell-wise
     /// arithmetic is meaningful. Public so assembly paths (player messages,
     /// checkpoint restore) can reject incompatible states up front.
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn check_compatible(&self, rhs: &L0Sampler) -> SketchResult<()> {
         if self.seed_tag != rhs.seed_tag {
             return Err(SketchError::invalid(format!(
@@ -402,6 +408,7 @@ impl L0Sampler {
 
     /// Cell-wise sum with a same-seeded sampler. Mismatched seeds or
     /// shapes (e.g. a corrupted checkpoint) are [`SketchError::InvalidInput`].
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn add_assign_sketch(&mut self, rhs: &L0Sampler) -> SketchResult<()> {
         self.check_compatible(rhs)?;
         for (a, b) in self.levels.iter_mut().zip(&rhs.levels) {
@@ -412,6 +419,7 @@ impl L0Sampler {
     }
 
     /// Cell-wise difference with a same-seeded sampler.
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn sub_assign_sketch(&mut self, rhs: &L0Sampler) -> SketchResult<()> {
         self.check_compatible(rhs)?;
         for (a, b) in self.levels.iter_mut().zip(&rhs.levels) {
@@ -516,6 +524,7 @@ impl L0Sampler {
     ///   vector (the levels nest *downward* — emptiness at level `j > 0`
     ///   says nothing about coordinates whose geometric level is below
     ///   `j`, so answering "zero" there would be a silent wrong answer).
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn sample(&self) -> SketchResult<Option<(u64, i64)>> {
         let mut scratch = PeelScratch::default();
         self.sample_with(&mut scratch)
@@ -527,6 +536,7 @@ impl L0Sampler {
     /// in place of an arena copy, with outcomes identical to
     /// [`sample_state`](Self::sample_state) on a copy of this sampler's
     /// state (both decoders read the same `(W, S, F)` values).
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn sample_with(&self, scratch: &mut PeelScratch) -> SketchResult<Option<(u64, i64)>> {
         self.sample_via(|_, level, s| level.decode_into(s), scratch)
     }
@@ -536,6 +546,7 @@ impl L0Sampler {
     /// one Fermat inversion per nonzero cell per pass) — the sequential
     /// baseline the decode benchmarks (E19) measure the batched engine
     /// against. Outcome is bit-identical to [`sample`](Self::sample).
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn sample_legacy(&self) -> SketchResult<Option<(u64, i64)>> {
         self.metrics.sample_attempts.inc();
         for (j, level) in self.levels.iter().enumerate() {

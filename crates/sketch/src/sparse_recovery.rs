@@ -157,6 +157,7 @@ impl SparseRecovery {
     /// [`SketchError::InvalidInput`] — the check runs in release builds
     /// too, so a malformed stream can never scribble into the wrong cells.
     #[inline]
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn update(&mut self, index: u64, delta: i64) -> SketchResult<()> {
         if index >= self.dimension {
             return Err(SketchError::invalid(format!(
@@ -237,6 +238,7 @@ impl SparseRecovery {
     }
 
     /// Cell-wise sum with a same-seeded structure.
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn add_assign_sketch(&mut self, rhs: &SparseRecovery) -> SketchResult<()> {
         self.check_compatible(rhs)?;
         Fp::add_batch(&mut self.w, &rhs.w);
@@ -246,6 +248,7 @@ impl SparseRecovery {
     }
 
     /// Cell-wise difference with a same-seeded structure.
+    #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn sub_assign_sketch(&mut self, rhs: &SparseRecovery) -> SketchResult<()> {
         self.check_compatible(rhs)?;
         Fp::sub_batch(&mut self.w, &rhs.w);

@@ -56,10 +56,13 @@ pub mod prelude {
         KSkeletonSketch, SpanningForestSketch,
     };
     pub use dgs_core::{
-        BatchableSketch, BoostedQuery, CheckpointConfig, CheckpointStore, CheckpointedIngestor,
-        HypergraphSparsifier, LightRecoverySketch, QueryBudget, QueryOutcome, Recoverable,
-        Recovered, RecoveryDriver, RecoveryError, ShardState, ShardedIngestor, SparsifierConfig,
-        SupervisedAnswer, SupervisedIngestor, SupervisorConfig, VertexConnConfig, VertexConnSketch,
+        BatchableSketch, BoostedQuery, BreakerConfig, BrownoutConfig, CheckpointConfig,
+        CheckpointStore, CheckpointedIngestor, ConnectivityService, EnsembleOutcome,
+        FrozenEnsemble, HypergraphSparsifier, LightRecoverySketch, Overload, QueryBudget,
+        QueryOutcome, QueryPolicy, QueryRequest, QueryResponse, Recoverable, Recovered,
+        RecoveryDriver, RecoveryError, ServiceConfig, ServiceError, ShardState, ShardedIngestor,
+        SparsifierConfig, SupervisedAnswer, SupervisedIngestor, SupervisorConfig,
+        TokenBucketConfig, VertexConnConfig, VertexConnSketch,
     };
     pub use dgs_field::prng::{Rng, SeedableRng, SliceRandom, StdRng};
     pub use dgs_field::SeedTree;

@@ -622,8 +622,7 @@ fn partial_ensemble_unknown_rate_respects_the_widened_bound() {
 
         // The degraded ensemble: only the first R' of the R repetitions are
         // live (the rest "quarantined").
-        let live: Vec<(usize, &L0Sampler)> =
-            samplers.iter().enumerate().take(r_live).collect();
+        let live: Vec<(usize, &L0Sampler)> = samplers.iter().enumerate().take(r_live).collect();
         let out = query_ensemble(
             &live,
             r_total,

@@ -1,0 +1,210 @@
+//! Property: a query against an epoch-tagged frozen view is byte-identical
+//! to a stop-the-world query at the same update offset.
+//!
+//! The freeze is O(R) refcount bumps over live shards, and sketch linearity
+//! makes every ingest path — scalar, batched, striped across any thread
+//! count — land the identical bits for a given prefix. So a view frozen
+//! mid-batch at offset `cut` must (a) encode every shard exactly as a
+//! sequential replay of `updates[..cut]` does, (b) answer queries exactly
+//! as that replay does, and (c) stay immutable while ingest continues past
+//! it. The grid below drives that across seeds × supervisor thread counts
+//! × mid-batch freeze points, plus the same property through the
+//! `ConnectivityService` refresh path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dynamic_graph_streams::field::{Codec, Writer};
+use dynamic_graph_streams::hypergraph::generators::{churn_stream, gnp, ChurnConfig};
+use dynamic_graph_streams::prelude::*;
+
+const N: usize = 16;
+
+fn forest(seed: u64) -> impl Fn(usize) -> SpanningForestSketch + Send + Sync + Clone {
+    move |i| {
+        let space = EdgeSpace::graph(N).expect("edge space");
+        let params = ForestParams::new(Profile::Practical, space.dimension());
+        SpanningForestSketch::new_full(space, &SeedTree::new(seed).child(i as u64), params)
+    }
+}
+
+fn workload(seed: u64, len: usize) -> Vec<Update> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let h = Hypergraph::from_graph(&gnp(N, 0.4, &mut rng));
+    let mut updates = churn_stream(
+        &h,
+        ChurnConfig {
+            noise_ratio: 2.0,
+            churn_ratio: 0.5,
+        },
+        &mut rng,
+    )
+    .updates;
+    updates.truncate(len);
+    updates
+}
+
+fn encoded(s: &SpanningForestSketch) -> Vec<u8> {
+    let mut w = Writer::new();
+    s.encode(&mut w);
+    w.into_bytes()
+}
+
+fn sup_config(seed: u64, threads: usize) -> SupervisorConfig {
+    SupervisorConfig {
+        repetitions: 3,
+        threads,
+        batch_size: 16,
+        seed,
+        ..SupervisorConfig::default()
+    }
+}
+
+/// The stop-the-world reference: each repetition replayed sequentially
+/// over `updates[..cut]`, plus the answer a query would give.
+fn reference(
+    build: &impl Fn(usize) -> SpanningForestSketch,
+    updates: &[Update],
+    cut: usize,
+    repetitions: usize,
+) -> (Vec<Vec<u8>>, usize) {
+    let sketches: Vec<SpanningForestSketch> = (0..repetitions)
+        .map(|i| {
+            let mut s = build(i);
+            for u in &updates[..cut] {
+                s.apply_update(u).expect("reference apply");
+            }
+            s
+        })
+        .collect();
+    let value = sketches[0].try_component_count().expect("reference decode");
+    (sketches.iter().map(encoded).collect(), value)
+}
+
+#[test]
+fn frozen_view_is_byte_identical_to_stop_the_world() {
+    let len = 200;
+    // Freeze points deliberately not multiples of batch_size = 16: the
+    // freeze must flush a partial batch before cloning shard handles.
+    for seed in [11u64, 29, 47] {
+        let updates = workload(seed, len);
+        for threads in [1usize, 2, 3] {
+            for cut in [33usize, 101, 187] {
+                let dirs = std::env::temp_dir().join(format!(
+                    "dgs-freeze-{}-{seed}-{threads}-{cut}",
+                    std::process::id()
+                ));
+                let _ = std::fs::remove_dir_all(&dirs);
+                let build = forest(seed ^ 0xF0);
+                let mut sup = SupervisedIngestor::create(
+                    dirs.join("wal"),
+                    dirs.join("snap"),
+                    N,
+                    2,
+                    sup_config(seed, threads),
+                    build.clone(),
+                )
+                .expect("create");
+                for u in &updates[..cut] {
+                    sup.push(u).expect("push");
+                }
+                let view: FrozenEnsemble<SpanningForestSketch> = sup.freeze().expect("freeze");
+                assert_eq!(view.epoch(), cut as u64, "freeze tags the update offset");
+
+                // Ingest continues past the freeze before the view is read:
+                // the view must be immune to everything after `cut`.
+                for u in &updates[cut..] {
+                    sup.push(u).expect("push tail");
+                }
+                sup.flush().expect("flush tail");
+
+                let (ref_bytes, ref_value) = reference(&build, &updates, cut, 3);
+                assert_eq!(view.repetitions(), 3);
+                for (i, shard) in view.shards() {
+                    assert_eq!(
+                        encoded(shard),
+                        ref_bytes[i],
+                        "shard {i} (seed {seed}, threads {threads}, cut {cut}) \
+                         diverged from the sequential replay"
+                    );
+                }
+
+                let outcome = view.query(
+                    &QueryBudget::default(),
+                    QueryPolicy::Majority,
+                    None,
+                    |_, s: &SpanningForestSketch| s.try_component_count(),
+                );
+                match outcome.answer {
+                    SupervisedAnswer::Full { value, .. } => assert_eq!(
+                        value, ref_value,
+                        "frozen answer != stop-the-world answer at cut {cut}"
+                    ),
+                    other => panic!("expected a full answer, got {other:?}"),
+                }
+                let _ = std::fs::remove_dir_all(&dirs);
+            }
+        }
+    }
+}
+
+#[test]
+fn service_refresh_serves_the_frozen_offset_while_ingest_continues() {
+    let len = 160;
+    let seed = 83u64;
+    let updates = workload(seed, len);
+    let cut = 77usize; // mid-batch for batch_size = 16
+
+    let dirs = std::env::temp_dir().join(format!("dgs-freeze-svc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dirs);
+    let svc: ConnectivityService<SpanningForestSketch> = ConnectivityService::new(ServiceConfig {
+        refresh_interval: 0, // manual refresh only: the test pins the epoch
+        ..ServiceConfig::default()
+    });
+    let build = forest(seed ^ 0xF0);
+    svc.add_tenant(
+        "t0",
+        dirs.join("wal"),
+        dirs.join("snap"),
+        N,
+        2,
+        sup_config(seed, 2),
+        build.clone(),
+    )
+    .expect("add tenant");
+
+    for u in &updates[..cut] {
+        svc.push("t0", u).expect("push");
+    }
+    assert_eq!(svc.refresh_view("t0").expect("refresh"), cut as u64);
+    for u in &updates[cut..] {
+        svc.push("t0", u).expect("push tail");
+    }
+    svc.flush("t0").expect("flush tail");
+    assert_eq!(svc.ingested("t0").expect("ingested"), updates.len() as u64);
+
+    let (_, ref_value) = reference(&build, &updates, cut, 3);
+    let decodes = AtomicUsize::new(0);
+    let resp = svc
+        .query(
+            "t0",
+            &QueryRequest {
+                policy: QueryPolicy::Majority,
+                ..QueryRequest::default()
+            },
+            |_, s: &SpanningForestSketch| {
+                decodes.fetch_add(1, Ordering::Relaxed);
+                s.try_component_count()
+            },
+        )
+        .expect("query");
+    assert_eq!(resp.epoch, cut as u64, "answered off the frozen epoch");
+    assert!(decodes.load(Ordering::Relaxed) >= 1);
+    match resp.answer {
+        SupervisedAnswer::Full { value, .. } => assert_eq!(
+            value, ref_value,
+            "service answer != stop-the-world answer at the frozen offset"
+        ),
+        other => panic!("expected a full answer, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dirs);
+}
