@@ -4,14 +4,34 @@
 //! run shows the per-element win: `Fp::mul_batch` vs `Fp::mul`,
 //! `KWiseHash::eval_batch` vs `eval`, `PowTable::pow` vs `Fingerprinter`'s
 //! square-and-multiply `term`, and `L0Sampler::update_batch` vs `update`.
+//!
+//! The explicit 4-lane kernels are additionally held to a floor: the lane
+//! variant must be at least as fast as its retained scalar oracle on the
+//! p50 (within one log-bucket of histogram slack), so a codegen regression
+//! that de-vectorizes the hot path fails the bench run instead of just
+//! printing a slower number.
 
-use dgs_bench::microbench::bench;
+use dgs_bench::microbench::{bench, bench_stats};
 use dgs_field::prng::*;
 use dgs_field::{Fingerprinter, Fp, KWiseHash, SeedTree};
 use dgs_sketch::{L0Params, L0Sampler};
 
 const BATCH: usize = 256;
 const DIM: u64 = 1 << 30;
+
+/// Slack multiplier for "lane kernel >= scalar on the p50": the histogram
+/// quantiles carry ~25% relative (log-bucket) resolution, so equality can
+/// read as one bucket apart in either direction.
+const LANE_P50_SLACK: f64 = 1.3;
+
+fn assert_lane_not_slower(name: &str, scalar_p50: u64, lanes_p50: u64) {
+    println!("{name}: lanes p50 {lanes_p50} ns vs scalar p50 {scalar_p50} ns");
+    assert!(
+        (lanes_p50 as f64) <= (scalar_p50 as f64) * LANE_P50_SLACK,
+        "{name}: lane kernel slower than the scalar oracle on the p50 \
+         ({lanes_p50} ns vs {scalar_p50} ns)"
+    );
+}
 
 fn keys(seed: u64) -> Vec<u64> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -23,42 +43,44 @@ fn bench_mul() {
     let a: Vec<Fp> = (0..BATCH).map(|_| Fp::new(rng.gen_range(0..DIM))).collect();
     let b: Vec<Fp> = (0..BATCH).map(|_| Fp::new(rng.gen_range(0..DIM))).collect();
     let mut out = a.clone();
-    bench(&format!("fp_mul_scalar_x{BATCH}"), |ben| {
+    let scalar = bench_stats(&format!("fp_mul_batch_scalar_x{BATCH}"), |ben| {
         ben.iter(|| {
             out.copy_from_slice(&a);
-            for (o, r) in out.iter_mut().zip(b.iter()) {
-                *o = o.mul(*r);
-            }
+            Fp::mul_batch_scalar(&mut out, &b);
             std::hint::black_box(out[BATCH - 1])
         })
     });
-    bench(&format!("fp_mul_batch_x{BATCH}"), |ben| {
+    let lanes = bench_stats(&format!("fp_mul_batch_lanes_x{BATCH}"), |ben| {
         ben.iter(|| {
             out.copy_from_slice(&a);
             Fp::mul_batch(&mut out, &b);
             std::hint::black_box(out[BATCH - 1])
         })
     });
+    assert_lane_not_slower("fp_mul_batch", scalar.quantile(0.50), lanes.quantile(0.50));
 }
 
 fn bench_eval() {
     let hash = KWiseHash::new(&SeedTree::new(2), 8);
     let keys = keys(3);
     let mut out = vec![Fp::ZERO; BATCH];
-    bench(&format!("kwise_eval_scalar_x{BATCH}"), |ben| {
+    let scalar = bench_stats(&format!("kwise_eval_batch_scalar_x{BATCH}"), |ben| {
         ben.iter(|| {
-            for (o, &k) in out.iter_mut().zip(keys.iter()) {
-                *o = hash.eval(k);
-            }
+            hash.eval_batch_scalar(&keys, &mut out);
             std::hint::black_box(out[BATCH - 1])
         })
     });
-    bench(&format!("kwise_eval_batch_x{BATCH}"), |ben| {
+    let lanes = bench_stats(&format!("kwise_eval_batch_lanes_x{BATCH}"), |ben| {
         ben.iter(|| {
             hash.eval_batch(&keys, &mut out);
             std::hint::black_box(out[BATCH - 1])
         })
     });
+    assert_lane_not_slower(
+        "kwise_eval_batch",
+        scalar.quantile(0.50),
+        lanes.quantile(0.50),
+    );
 }
 
 fn bench_pow() {

@@ -4,12 +4,21 @@
 //! hashing, level selection, and fingerprint exponentiation out of the
 //! per-update loop and share one `L0Plan` across every vertex row of a
 //! round; `try_update_batch_striped` and `dgs_core::ShardedIngestor` then
-//! stripe independent rows / boosted repetitions across scoped threads.
-//! Because the field is exact and assignment is deterministic, every
-//! variant is bit-identical to the scalar loop — this experiment asserts
-//! that in every row while measuring updates/sec, and writes the
-//! machine-readable baseline `BENCH_ingest.json` that the CI bench-smoke
-//! job (`experiments check-ingest`) guards against regressions.
+//! stripe independent rows / boosted repetitions across the persistent
+//! sticky worker pool (`dgs_pool::StickyPool`). Because the field is exact
+//! and assignment is deterministic, every variant is bit-identical to the
+//! scalar loop — this experiment asserts that in every row while measuring
+//! updates/sec, and writes the machine-readable baseline
+//! `BENCH_ingest.json` that the CI bench-smoke job (`experiments
+//! check-ingest`) guards against regressions — including the parallel
+//! crossover: on a multi-core host, striping at 2 threads must beat the
+//! single-thread batched kernel at the same batch size.
+//!
+//! The workload is deliberately sized so parallelism has something to
+//! amortize: the churn stream over a `gnm(n, 4n)` graph is tiled (the
+//! sketch is linear, so repeating the stream just scales multiplicities)
+//! until the update count reaches the mode's floor — small batches over a
+//! few hundred updates measure thread-spawn overhead, not ingest.
 
 use std::time::Instant;
 
@@ -24,6 +33,9 @@ use crate::baseline::{json_f64_field, Baseline, Fields};
 use crate::report::Table;
 use crate::workloads::{default_stream, lean_forest};
 
+/// Batch size shared by every striped row and the crossover comparison.
+const CROSSOVER_BATCH: usize = 256;
+
 fn fresh(n: usize, seed: u64) -> SpanningForestSketch {
     let space = EdgeSpace::graph(n).unwrap();
     SpanningForestSketch::new_full(space, &SeedTree::new(seed), lean_forest())
@@ -33,6 +45,10 @@ fn encoded<T: Codec>(t: &T) -> Vec<u8> {
     let mut w = Writer::new();
     t.encode(&mut w);
     w.into_bytes()
+}
+
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
 }
 
 pub struct RowOut {
@@ -47,10 +63,26 @@ pub struct RowOut {
 pub struct Measurement {
     pub n: usize,
     pub updates: usize,
+    pub stream_updates: usize,
     pub trials: usize,
+    pub host_cpus: usize,
     pub scalar_updates_per_sec: f64,
     pub best_batched_updates_per_sec: f64,
+    /// Smallest measured thread count whose striped row (at
+    /// [`CROSSOVER_BATCH`]) beat the single-thread batched row at the same
+    /// batch size; `0` if striping never won (e.g. a single-CPU host).
+    pub crossover_threads: usize,
     pub rows: Vec<RowOut>,
+}
+
+impl Measurement {
+    /// Updates/sec of the first row matching `(mode, batch, threads)`.
+    pub fn row_ups(&self, mode: &str, batch: Option<usize>, threads: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.mode == mode && r.batch == batch && r.threads == threads)
+            .map(|r| r.updates_per_sec)
+    }
 }
 
 /// Times `ingest` over `trials` fresh sketches and returns the best
@@ -81,17 +113,25 @@ fn time_best(
 /// Runs the measurement grid. Separated from [`run`] so the CI guard
 /// (`check-ingest`) can re-measure without printing tables.
 pub fn measure(quick: bool) -> Measurement {
-    let n: usize = if quick { 48 } else { 96 };
+    let n: usize = if quick { 128 } else { 512 };
+    // Update-count floor; the churn stream is tiled up to it so the
+    // parallel rows amortize their fan-out over real work.
+    let target: usize = if quick { 10_000 } else { 100_000 };
     let seed = 0xE17;
     let trials = if quick { 1 } else { 3 };
     let mut rng = StdRng::seed_from_u64(seed);
     let h = Hypergraph::from_graph(&gnm(n, 4 * n, &mut rng));
     let stream = default_stream(&h, &mut rng);
-    let pairs: Vec<(HyperEdge, i64)> = stream
+    let base_pairs: Vec<(HyperEdge, i64)> = stream
         .updates
         .iter()
         .map(|u| (u.edge.clone(), u.op.delta()))
         .collect();
+    let stream_updates = base_pairs.len();
+    let mut pairs = Vec::with_capacity(target + stream_updates);
+    while pairs.len() < target {
+        pairs.extend(base_pairs.iter().cloned());
+    }
     let m = pairs.len();
 
     let mut rows: Vec<RowOut> = Vec::new();
@@ -113,9 +153,9 @@ pub fn measure(quick: bool) -> Measurement {
 
     // Batched kernel, single thread, over a sweep of batch sizes.
     let batch_sizes: &[usize] = if quick {
-        &[64, 256]
+        &[64, CROSSOVER_BATCH]
     } else {
-        &[16, 64, 256, 1024]
+        &[16, 64, CROSSOVER_BATCH, 1024]
     };
     let mut best_batched = 0.0f64;
     for &b in batch_sizes {
@@ -137,26 +177,33 @@ pub fn measure(quick: bool) -> Measurement {
         });
     }
 
-    // Batched + vertex-row striping across threads.
-    let thread_counts: &[usize] = if quick { &[2] } else { &[2, 4] };
-    for &t in thread_counts {
-        let (ups, bytes) = time_best(trials, m, n, seed, |s| {
-            for chunk in pairs.chunks(256) {
-                s.try_update_batch_striped(chunk, t)
-                    .expect("striped update");
+    // Batched + vertex-row striping across the sticky pool.
+    let thread_counts: &[usize] = if quick { &[2] } else { &[2, 4, 8] };
+    let striped_batches: &[usize] = if quick {
+        &[CROSSOVER_BATCH]
+    } else {
+        &[CROSSOVER_BATCH, 1024]
+    };
+    for &b in striped_batches {
+        for &t in thread_counts {
+            let (ups, bytes) = time_best(trials, m, n, seed, |s| {
+                for chunk in pairs.chunks(b) {
+                    s.try_update_batch_striped(chunk, t)
+                        .expect("striped update");
+                }
+            });
+            if ups > best_batched {
+                best_batched = ups;
             }
-        });
-        if ups > best_batched {
-            best_batched = ups;
+            rows.push(RowOut {
+                mode: "striped",
+                batch: Some(b),
+                threads: t,
+                updates_per_sec: ups,
+                speedup: ups / scalar_ups,
+                exact: bytes == reference,
+            });
         }
-        rows.push(RowOut {
-            mode: "striped",
-            batch: Some(256),
-            threads: t,
-            updates_per_sec: ups,
-            speedup: ups / scalar_ups,
-            exact: bytes == reference,
-        });
     }
 
     // Boosted repetitions: scalar loop vs the sharded batched ingestor.
@@ -196,7 +243,7 @@ pub fn measure(quick: bool) -> Measurement {
         let mut best = 0.0f64;
         let mut exact = false;
         for _ in 0..trials {
-            let mut ing = ShardedIngestor::with_build(r, t, 256, build);
+            let mut ing = ShardedIngestor::with_build(r, t, CROSSOVER_BATCH, build);
             let t0 = Instant::now();
             for (e, d) in &pairs {
                 ing.push(e, *d).expect("sharded push");
@@ -210,7 +257,7 @@ pub fn measure(quick: bool) -> Measurement {
         }
         rows.push(RowOut {
             mode: "boosted-sharded",
-            batch: Some(256),
+            batch: Some(CROSSOVER_BATCH),
             threads: t,
             updates_per_sec: best,
             speedup: best / boosted_scalar_ups,
@@ -218,14 +265,32 @@ pub fn measure(quick: bool) -> Measurement {
         });
     }
 
-    Measurement {
+    let mut meas = Measurement {
         n,
         updates: m,
+        stream_updates,
         trials,
+        host_cpus: host_cpus(),
         scalar_updates_per_sec: scalar_ups,
         best_batched_updates_per_sec: best_batched,
+        crossover_threads: 0,
         rows,
-    }
+    };
+    // Striping crossover: smallest thread count beating the single-thread
+    // batched kernel at the same batch size.
+    let batched_ref = meas
+        .row_ups("batched", Some(CROSSOVER_BATCH), 1)
+        .unwrap_or(f64::INFINITY);
+    meas.crossover_threads = thread_counts
+        .iter()
+        .copied()
+        .filter(|&t| {
+            meas.row_ups("striped", Some(CROSSOVER_BATCH), t)
+                .is_some_and(|ups| ups > batched_ref)
+        })
+        .min()
+        .unwrap_or(0);
+    meas
 }
 
 pub fn run(quick: bool) {
@@ -245,8 +310,18 @@ pub fn run(quick: bool) {
         ]);
     }
     table.note(format!(
-        "workload: {} updates over n = {}; best of {} trial(s) per row",
-        meas.updates, meas.n, meas.trials
+        "workload: {} updates ({} unique churn, tiled) over n = {}; best of {} trial(s) per row",
+        meas.updates, meas.stream_updates, meas.n, meas.trials
+    ));
+    table.note(format!(
+        "host cpus: {}; striping crossover at batch {}: {}",
+        meas.host_cpus,
+        CROSSOVER_BATCH,
+        if meas.crossover_threads == 0 {
+            "none".to_string()
+        } else {
+            format!("{} threads", meas.crossover_threads)
+        }
     ));
     table.note("speedup is vs the scalar per-update loop of the same mode family");
     table.note("exact = final sketch encoding bit-identical to the scalar reference");
@@ -256,12 +331,14 @@ pub fn run(quick: bool) {
 
 /// `BENCH_ingest.json` in the shared [`crate::baseline`] schema: a row per
 /// ingest variant (`pass` = bit-identity held), summary throughput
-/// aggregates for the CI guard.
+/// aggregates, host CPU count, and the striping crossover point for the CI
+/// guard.
 fn write_baseline(meas: &Measurement) {
     let mut b = Baseline::new("e17-ingest").config(
         Fields::new()
             .usize("n", meas.n)
             .usize("updates", meas.updates)
+            .usize("stream_updates", meas.stream_updates)
             .usize("trials", meas.trials),
     );
     for r in &meas.rows {
@@ -284,7 +361,9 @@ fn write_baseline(meas: &Measurement) {
                 "best_batched_updates_per_sec",
                 meas.best_batched_updates_per_sec,
                 1,
-            ),
+            )
+            .usize("host_cpus", meas.host_cpus)
+            .usize("striped_crossover_threads", meas.crossover_threads),
         all_exact,
     )
     .write("BENCH_ingest.json");
@@ -292,9 +371,12 @@ fn write_baseline(meas: &Measurement) {
 
 /// CI guard: re-measures the quick workload and fails (returns `false`) if
 /// batched throughput regressed more than `MAX_REGRESSION`x against the
-/// checked-in baseline, or if any variant lost bit-identity. The wide
-/// margin absorbs machine-to-machine variance; the guard exists to catch
-/// order-of-magnitude kernel regressions, not 10% drift.
+/// checked-in baseline, if any variant lost bit-identity, or — on a
+/// multi-core host — if striping at 2 threads failed to beat the
+/// single-thread batched kernel at the same batch size. The wide
+/// throughput margin absorbs machine-to-machine variance; the guard exists
+/// to catch order-of-magnitude kernel regressions and parallel-scaling
+/// regressions, not 10% drift.
 pub fn check(baseline_path: &str) -> bool {
     const MAX_REGRESSION: f64 = 5.0;
     let baseline = match std::fs::read_to_string(baseline_path) {
@@ -331,6 +413,36 @@ pub fn check(baseline_path: &str) -> bool {
              ({current:.0} vs baseline {base_batched:.0} updates/s)"
         );
         ok = false;
+    }
+    // Parallel-scaling guard: only meaningful where a second core exists.
+    if meas.host_cpus >= 2 {
+        let batched = meas.row_ups("batched", Some(CROSSOVER_BATCH), 1);
+        let striped = meas.row_ups("striped", Some(CROSSOVER_BATCH), 2);
+        match (batched, striped) {
+            (Some(b1), Some(s2)) => {
+                println!(
+                    "check-ingest: striped(t=2) {s2:.0} vs batched(t=1) {b1:.0} \
+                     updates/s at batch {CROSSOVER_BATCH}"
+                );
+                if s2 <= b1 {
+                    eprintln!(
+                        "check-ingest: FAIL — striping at 2 threads did not beat the \
+                         single-thread batched kernel ({s2:.0} <= {b1:.0} updates/s)"
+                    );
+                    ok = false;
+                }
+            }
+            _ => {
+                eprintln!("check-ingest: FAIL — crossover rows missing from measurement");
+                ok = false;
+            }
+        }
+    } else {
+        println!(
+            "check-ingest: SKIPPED striped>batched crossover guard — single-CPU host \
+             (available_parallelism = {}); the guard is enforced on multi-core runners",
+            meas.host_cpus
+        );
     }
     if ok {
         println!("check-ingest: OK");

@@ -108,6 +108,15 @@ impl Bencher {
 /// Runs one named benchmark and prints its mean and p50/p95/p99 time per
 /// iteration, followed by one indented line per recorded phase.
 pub fn bench(name: &str, f: impl FnOnce(&mut Bencher)) {
+    bench_stats(name, f);
+}
+
+/// Like [`bench`], but also returns the batch-level timing stats so a
+/// caller can relate two runs — e.g. assert that a lane kernel is no
+/// slower than its scalar oracle on the p50. Quantiles inherit the
+/// histogram's log-bucket resolution (~25% relative), so comparisons
+/// should allow at least one bucket of slack.
+pub fn bench_stats(name: &str, f: impl FnOnce(&mut Bencher)) -> HistStats {
     let mut b = Bencher {
         total_ns: 0,
         iters: 0,
@@ -137,4 +146,5 @@ pub fn bench(name: &str, f: impl FnOnce(&mut Bencher)) {
             stats.quantile(0.99),
         );
     }
+    stats
 }

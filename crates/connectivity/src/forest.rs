@@ -470,22 +470,41 @@ impl SpanningForestSketch {
     /// granularity stays proportional to rows per thread.
     const MIN_STRIPE_ROWS: usize = 8;
 
+    /// Target working-set bytes of one sub-chunk pass of a stripe (all
+    /// rounds of the sub-chunk's rows). Sized to comfortably fit a
+    /// commodity L2 so a worker's scatter destinations stay cache-resident
+    /// while it cycles through the rounds.
+    const SUB_CHUNK_TARGET_BYTES: usize = 512 << 10;
+
     /// [`try_update_batch`](Self::try_update_batch) with the per-vertex
-    /// sampler rows striped across scoped worker threads.
+    /// sampler rows striped across the persistent sticky worker pool
+    /// ([`dgs_pool::StickyPool`]).
     ///
     /// Striping is deterministic and seed-stable: the vertex rows are cut
     /// into at most `threads` **contiguous chunks** of at least
-    /// [`MIN_STRIPE_ROWS`](Self::MIN_STRIPE_ROWS) rows, every round of a
-    /// row stays with its owner, and each thread applies its rows'
-    /// updates in stream order — so each sampler cell sees exactly the
-    /// sequence of field additions the sequential path performs, and the
-    /// result is bit-identical for every thread count. Contiguous chunks
-    /// replace an earlier `local % threads` round-robin assignment, which
-    /// interleaved every thread through every cache line of the sampler
-    /// table and handed ownership out through a freshly allocated
-    /// `threads x rounds·nv` option table per batch — the source of the
-    /// E17 regression where striping lost to the single-threaded batch
-    /// path.
+    /// [`MIN_STRIPE_ROWS`](Self::MIN_STRIPE_ROWS) rows, stripe `t` is
+    /// always submitted to pool worker `t` (sticky ownership — the same
+    /// OS thread touches the same sampler rows batch after batch, so the
+    /// rows stay hot in that core's cache), and each worker applies its
+    /// rows' updates in stream order — so every sampler cell sees exactly
+    /// the sequence of field additions the sequential path performs, and
+    /// the result is bit-identical for every thread count. Two further
+    /// levers over the earlier scoped-thread version:
+    ///
+    /// * **Parallel round planning.** Per-round [`L0Plan`]s depend only on
+    ///   the round's seeds and the aggregated key list, so they are
+    ///   computed concurrently (round `r` on worker `r % threads`) instead
+    ///   of sequentially before the fan-out — planning was the serial
+    ///   fraction that capped striped speedup well below the thread count.
+    /// * **Cache-sized sub-chunking.** Within a stripe, rows are processed
+    ///   in sub-chunks sized so one pass (all rounds of the sub-chunk)
+    ///   writes at most [`SUB_CHUNK_TARGET_BYTES`](Self::SUB_CHUNK_TARGET_BYTES)
+    ///   of sampler state, keeping the scatter destinations L2-resident.
+    ///
+    /// Plans are deterministic functions of `(seed, keys)`, and each
+    /// sampler still receives exactly one `apply_planned_many` call with
+    /// the same items in the same order, so neither lever affects the
+    /// byte-identity contract.
     pub fn try_update_batch_striped(
         &mut self,
         updates: &[(HyperEdge, i64)],
@@ -504,65 +523,97 @@ impl SpanningForestSketch {
         for (e, _) in updates {
             self.validate_edge(e)?;
         }
-        // Aggregate in the field and plan the live keys once per round (see
-        // `try_update_batch`); plans are read-only and shared by every
-        // thread.
+        // Aggregate in the field once; the key list is shared by all plans.
         let (keys, by_row) = self.aggregate_batch(updates);
         if keys.is_empty() {
             return Ok(());
         }
-        let plans: Vec<dgs_sketch::L0Plan> = (0..self.rounds)
-            .map(|round| self.samplers[round * nv].plan_updates(&keys))
-            .collect::<SketchResult<_>>()?;
-        // Hand each stripe exclusive slices of its rows: per round, the
-        // sampler table is row-major by vertex, so stripe `t` owns the
-        // contiguous sub-slice `[t*chunk, min((t+1)*chunk, nv))` of every
-        // round — no per-row option table, no interleaved ownership.
-        let mut stripe_slices: Vec<Vec<&mut [L0Sampler]>> = (0..stripes)
-            .map(|_| Vec::with_capacity(self.rounds))
-            .collect();
-        let mut rest: &mut [L0Sampler] = &mut self.samplers;
-        for _ in 0..self.rounds {
-            let (mut row, tail) = rest.split_at_mut(nv);
-            rest = tail;
-            for slices in stripe_slices.iter_mut() {
-                let take = chunk.min(row.len());
-                let (head, row_tail) = row.split_at_mut(take);
-                slices.push(head);
-                row = row_tail;
+        let rounds = self.rounds;
+        // Rows of one sub-chunk pass: all `rounds` samplers of each row.
+        let row_pass_bytes = rounds * self.samplers[0].state_len() * std::mem::size_of::<Fp>();
+        let sub_rows = (Self::SUB_CHUNK_TARGET_BYTES / row_pass_bytes.max(1)).max(1);
+        dgs_pool::with_local_pool(stripes, |pool| {
+            // Phase 1: plan every round concurrently. Each job owns one
+            // slot of `plan_slots` (disjoint `&mut` from `iter_mut`), and
+            // the scope barrier guarantees all slots are filled before the
+            // fan-out below reads them.
+            let mut plan_slots: Vec<Option<SketchResult<dgs_sketch::L0Plan>>> =
+                (0..rounds).map(|_| None).collect();
+            {
+                let samplers = &self.samplers;
+                let keys = &keys;
+                pool.scope(|scope| {
+                    for (round, slot) in plan_slots.iter_mut().enumerate() {
+                        let sampler = &samplers[round * nv];
+                        scope.spawn(round, move || {
+                            *slot = Some(sampler.plan_updates(keys));
+                        });
+                    }
+                });
             }
-        }
-        let results: Vec<SketchResult<()>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = stripe_slices
-                .into_iter()
-                .enumerate()
-                .map(|(t, mut slices)| {
+            let mut plans = Vec::with_capacity(rounds);
+            for slot in plan_slots {
+                plans.push(slot.expect("plan job did not run")?);
+            }
+            // Hand each stripe exclusive slices of its rows: per round, the
+            // sampler table is row-major by vertex, so stripe `t` owns the
+            // contiguous sub-slice `[t*chunk, min((t+1)*chunk, nv))` of
+            // every round — no per-row option table, no interleaved
+            // ownership.
+            let mut stripe_slices: Vec<Vec<&mut [L0Sampler]>> =
+                (0..stripes).map(|_| Vec::with_capacity(rounds)).collect();
+            let mut rest: &mut [L0Sampler] = &mut self.samplers;
+            for _ in 0..rounds {
+                let (mut row, tail) = rest.split_at_mut(nv);
+                rest = tail;
+                for slices in stripe_slices.iter_mut() {
+                    let take = chunk.min(row.len());
+                    let (head, row_tail) = row.split_at_mut(take);
+                    slices.push(head);
+                    row = row_tail;
+                }
+            }
+            // Phase 2: sticky fan-out — stripe `t` to worker `t`, every
+            // batch, for the pool's lifetime.
+            let mut results: Vec<SketchResult<()>> = (0..stripes).map(|_| Ok(())).collect();
+            pool.scope(|scope| {
+                for ((t, mut slices), result) in stripe_slices
+                    .into_iter()
+                    .enumerate()
+                    .zip(results.iter_mut())
+                {
                     let plans = &plans;
                     let by_row = &by_row;
-                    scope.spawn(move || -> SketchResult<()> {
+                    scope.spawn(t, move || {
                         let lo = t * chunk;
-                        for (round, plan) in plans.iter().enumerate() {
-                            for (off, sampler) in slices[round].iter_mut().enumerate() {
-                                let items = &by_row[lo + off];
-                                if items.is_empty() {
-                                    continue;
+                        let stripe_rows = slices.first().map_or(0, |s| s.len());
+                        let mut start = 0usize;
+                        'subchunks: while start < stripe_rows {
+                            let end = (start + sub_rows).min(stripe_rows);
+                            for (round, plan) in plans.iter().enumerate() {
+                                for off in start..end {
+                                    let items = &by_row[lo + off];
+                                    if items.is_empty() {
+                                        continue;
+                                    }
+                                    if let Err(e) =
+                                        slices[round][off].apply_planned_many(plan, items)
+                                    {
+                                        *result = Err(e);
+                                        break 'subchunks;
+                                    }
                                 }
-                                sampler.apply_planned_many(plan, items)?;
                             }
+                            start = end;
                         }
-                        Ok(())
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("striped ingest worker panicked"))
-                .collect()
-        });
-        for r in results {
-            r?;
-        }
-        Ok(())
+                    });
+                }
+            });
+            for r in results {
+                r?;
+            }
+            Ok(())
+        })
     }
 
     /// Applies a signed update for hyperedge `e` (+1 insert, -1 delete).
@@ -1050,32 +1101,42 @@ impl SpanningForestSketch {
                 agg_ns += a;
                 sample_ns += s;
             } else {
-                let phase_ns: Vec<(u64, u64)> = std::thread::scope(|scope| {
-                    let run_stripe = &run_stripe;
-                    let mut handles = Vec::with_capacity(stripes);
-                    let mut arena_rest = &mut agg[..live * stride];
-                    let mut res_rest = &mut results[..];
-                    let mut acc_rest = &mut acc[..];
-                    let mut peel_rest = &mut peel[..];
-                    for stripe in 0..stripes {
-                        let lo = stripe * chunk;
-                        let take = chunk.min(live - lo);
-                        let (arena_mine, arena_tail) = arena_rest.split_at_mut(take * stride);
-                        arena_rest = arena_tail;
-                        let (res_mine, res_tail) = res_rest.split_at_mut(take);
-                        res_rest = res_tail;
-                        let (acc_mine, acc_tail) = acc_rest.split_at_mut(stride);
-                        acc_rest = acc_tail;
-                        let (peel_mine, peel_tail) = peel_rest.split_at_mut(1);
-                        peel_rest = peel_tail;
-                        handles.push(scope.spawn(move || {
-                            run_stripe(lo, arena_mine, acc_mine, &mut peel_mine[0], res_mine)
-                        }));
-                    }
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("decode stripe worker panicked"))
-                        .collect()
+                // Sticky fan-out on the persistent pool: stripe `t` goes to
+                // worker `t` every round, so a worker re-reads the sampler
+                // rows it folded the round before. Each job writes its
+                // phase times into its own `phase_ns` slot (disjoint
+                // `&mut` from `iter_mut`); the scope barrier fills them
+                // all before the maxima below are taken.
+                let mut phase_ns: Vec<(u64, u64)> = vec![(0, 0); stripes];
+                dgs_pool::with_local_pool(stripes, |pool| {
+                    pool.scope(|scope| {
+                        let run_stripe = &run_stripe;
+                        let mut arena_rest = &mut agg[..live * stride];
+                        let mut res_rest = &mut results[..];
+                        let mut acc_rest = &mut acc[..];
+                        let mut peel_rest = &mut peel[..];
+                        for (stripe, phase) in phase_ns.iter_mut().enumerate() {
+                            let lo = stripe * chunk;
+                            let take = chunk.min(live - lo);
+                            let (arena_mine, arena_tail) = arena_rest.split_at_mut(take * stride);
+                            arena_rest = arena_tail;
+                            let (res_mine, res_tail) = res_rest.split_at_mut(take);
+                            res_rest = res_tail;
+                            let (acc_mine, acc_tail) = acc_rest.split_at_mut(stride);
+                            acc_rest = acc_tail;
+                            let (peel_mine, peel_tail) = peel_rest.split_at_mut(1);
+                            peel_rest = peel_tail;
+                            scope.spawn(stripe, move || {
+                                *phase = run_stripe(
+                                    lo,
+                                    arena_mine,
+                                    acc_mine,
+                                    &mut peel_mine[0],
+                                    res_mine,
+                                );
+                            });
+                        }
+                    });
                 });
                 // The phase cost is the critical path: the slowest stripe.
                 agg_ns += phase_ns.iter().map(|&(a, _)| a).max().unwrap_or(0);

@@ -10,12 +10,15 @@
 //!
 //! [`ShardedIngestor`] packages the pattern for boosted-repetition
 //! ingestion: it buffers the stream into fixed-size batches and, at each
-//! flush, stripes the repetitions across a scoped thread pool. The
-//! assignment is deterministic and seed-stable — repetition `i` is always
-//! processed by stripe `i % threads`, each repetition consumes every batch
-//! in stream order through the same batched kernel — so the final states
-//! are **bit-identical** to sequential ingestion for every `(threads,
-//! batch_size)` choice, which the property tests assert byte-for-byte.
+//! flush, stripes the repetitions across the persistent sticky worker
+//! pool ([`dgs_pool::StickyPool`], cached per caller thread). The
+//! assignment is deterministic, seed-stable, and **sticky** — repetition
+//! `i` is always submitted to pool worker `i % stripes`, flush after
+//! flush, so each worker's repetitions stay hot in its cache; each
+//! repetition consumes every batch in stream order through the same
+//! batched kernel — so the final states are **bit-identical** to
+//! sequential ingestion for every `(threads, batch_size)` choice, which
+//! the property tests assert byte-for-byte.
 
 use dgs_hypergraph::{HyperEdge, Update, UpdateStream};
 use dgs_obs::{Counter, Gauge, Histogram, MetricsSink};
@@ -55,14 +58,15 @@ impl BatchableSketch for crate::LightRecoverySketch {}
 impl BatchableSketch for crate::HypergraphSparsifier {}
 
 /// Buffers stream updates into fixed-size batches and ingests each batch
-/// into `R` boosted repetitions, striped across a scoped thread pool.
+/// into `R` boosted repetitions, striped across the persistent sticky
+/// worker pool.
 ///
 /// Extends the repetition striping of the root crate's
 /// `parallel_ingest_boosted` to the *online* setting: updates arrive one at
 /// a time ([`push`](Self::push)), the ingestor flushes a batch whenever the
 /// buffer fills, and [`finish`](Self::finish) flushes the remainder and
 /// hands back a [`BoostedQuery`]. Because repetition assignment is
-/// deterministic (`i % threads`) and every repetition sees every batch in
+/// deterministic (`i % stripes`) and every repetition sees every batch in
 /// stream order, the result is bit-identical to sequential ingestion.
 ///
 /// Error handling: an invalid update is detected at the next flush. The
@@ -102,7 +106,11 @@ impl IngestMetrics {
 #[derive(Debug)]
 pub struct ShardedIngestor<S> {
     repetitions: Vec<S>,
-    threads: usize,
+    /// Stripe (worker) count: `min(threads, repetitions)`, clamped **once**
+    /// at construction. Metrics shard counters and flush fan-out both read
+    /// this field, so the two can never disagree (previously each site
+    /// re-derived the clamp independently).
+    stripes: usize,
     batch_size: usize,
     buffer: Vec<(HyperEdge, i64)>,
     ingested: u64,
@@ -111,7 +119,9 @@ pub struct ShardedIngestor<S> {
 
 impl<S: BatchableSketch> ShardedIngestor<S> {
     /// Wraps already-built repetitions (must be independently seeded
-    /// siblings — see [`BoostedQuery::new`]).
+    /// siblings — see [`BoostedQuery::new`]). `threads` above the
+    /// repetition count is clamped down at construction: extra workers
+    /// could never own a repetition.
     ///
     /// # Panics
     /// Panics if `repetitions` is empty, or `threads`/`batch_size` is zero.
@@ -119,9 +129,10 @@ impl<S: BatchableSketch> ShardedIngestor<S> {
         assert!(!repetitions.is_empty(), "need at least one repetition");
         assert!(threads >= 1, "need at least one thread");
         assert!(batch_size >= 1, "need a positive batch size");
+        let stripes = threads.min(repetitions.len());
         ShardedIngestor {
             repetitions,
-            threads,
+            stripes,
             batch_size,
             buffer: Vec::with_capacity(batch_size),
             ingested: 0,
@@ -136,8 +147,7 @@ impl<S: BatchableSketch> ShardedIngestor<S> {
     /// sinks on the repetitions before constructing the ingestor. Default
     /// is the null sink: recording is free.
     pub fn set_sink(&mut self, sink: &MetricsSink) {
-        let stripes = self.threads.min(self.repetitions.len());
-        self.metrics = IngestMetrics::resolve(sink, stripes);
+        self.metrics = IngestMetrics::resolve(sink, self.stripes);
     }
 
     /// Builds `r` repetitions via `build(repetition_index)` — derive each
@@ -167,6 +177,13 @@ impl<S: BatchableSketch> ShardedIngestor<S> {
         self.ingested
     }
 
+    /// Ingest stripe count: `min(threads, repetitions)`, fixed at
+    /// construction. Stripe `t` owns repetitions `i ≡ t (mod stripes)` and
+    /// is always submitted to pool worker `t`.
+    pub fn stripes(&self) -> usize {
+        self.stripes
+    }
+
     /// Buffers one signed update, flushing if the batch is full.
     pub fn push(&mut self, e: &HyperEdge, delta: i64) -> SketchResult<()> {
         self.buffer.push((e.clone(), delta));
@@ -191,15 +208,21 @@ impl<S: BatchableSketch> ShardedIngestor<S> {
     }
 
     /// Applies the buffered batch to every repetition, striping repetitions
-    /// round-robin (`i % threads`) across scoped worker threads.
+    /// round-robin (`i % stripes`) across the persistent sticky worker
+    /// pool: stripe `t` is submitted to pool worker `t` on every flush, so
+    /// a worker re-touches the same repetitions' state batch after batch.
+    ///
+    /// A panic inside a repetition's batch kernel is caught on the worker
+    /// and surfaced as a non-retryable [`SketchError`], never a panic —
+    /// matching the pre-pool scoped-thread behavior.
     pub fn flush(&mut self) -> SketchResult<()> {
         if self.buffer.is_empty() {
             return Ok(());
         }
         let timer = self.metrics.flush_ns.start_timer();
         let batch = std::mem::take(&mut self.buffer);
-        let threads = self.threads.min(self.repetitions.len());
-        if threads <= 1 {
+        let stripes = self.stripes;
+        if stripes <= 1 {
             for s in &mut self.repetitions {
                 s.try_apply_batch(&batch)?;
             }
@@ -207,40 +230,44 @@ impl<S: BatchableSketch> ShardedIngestor<S> {
                 c.add(batch.len() as u64 * self.repetitions.len() as u64);
             }
         } else {
-            let mut stripes: Vec<Vec<&mut S>> = (0..threads).map(|_| Vec::new()).collect();
+            let mut stripe_reps: Vec<Vec<&mut S>> = (0..stripes).map(|_| Vec::new()).collect();
             for (i, s) in self.repetitions.iter_mut().enumerate() {
-                stripes[i % threads].push(s);
+                stripe_reps[i % stripes].push(s);
             }
-            let results: Vec<SketchResult<()>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = stripes
-                    .into_iter()
-                    .enumerate()
-                    .map(|(t, stripe)| {
+            let mut results: Vec<SketchResult<()>> = (0..stripes).map(|_| Ok(())).collect();
+            let metrics = &self.metrics;
+            dgs_pool::with_local_pool(stripes, |pool| {
+                pool.scope(|scope| {
+                    for ((t, stripe), result) in
+                        stripe_reps.into_iter().enumerate().zip(results.iter_mut())
+                    {
                         let batch = &batch;
-                        let shard_counter = self.metrics.shard_updates.get(t).cloned();
-                        scope.spawn(move || -> SketchResult<()> {
-                            let applied = batch.len() as u64 * stripe.len() as u64;
-                            for s in stripe {
-                                s.try_apply_batch(batch)?;
-                            }
-                            if let Some(c) = shard_counter {
-                                c.add(applied);
-                            }
-                            Ok(())
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| {
-                        h.join().unwrap_or_else(|_| {
-                            Err(SketchError::failure(
-                                "sharded-ingest",
-                                "ingest worker panicked",
-                            ))
-                        })
-                    })
-                    .collect()
+                        let shard_counter = metrics.shard_updates.get(t).cloned();
+                        scope.spawn(t, move || {
+                            // Catch panics on the worker so a poisoned
+                            // repetition yields an error at the barrier
+                            // instead of tripping the pool's panic flag.
+                            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                || -> SketchResult<()> {
+                                    let applied = batch.len() as u64 * stripe.len() as u64;
+                                    for s in stripe {
+                                        s.try_apply_batch(batch)?;
+                                    }
+                                    if let Some(c) = shard_counter {
+                                        c.add(applied);
+                                    }
+                                    Ok(())
+                                },
+                            ));
+                            *result = run.unwrap_or_else(|_| {
+                                Err(SketchError::failure(
+                                    "sharded-ingest",
+                                    "ingest worker panicked",
+                                ))
+                            });
+                        });
+                    }
+                });
             });
             for r in results {
                 r?;
@@ -305,15 +332,52 @@ mod tests {
         }
         let expected: Vec<Vec<u8>> = serial.sketches().iter().map(encoded).collect();
 
-        for threads in [1usize, 2, 5] {
-            for batch_size in [1usize, 7, 256] {
+        // Thread counts cover clamping (5, 8 > 3 repetitions) and batch
+        // sizes straddle the 4-lane field kernels.
+        for threads in [1usize, 2, 3, 5, 8] {
+            for batch_size in [1usize, 3, 4, 5, 8, 256] {
                 let mut ing = ShardedIngestor::with_build(3, threads, batch_size, &build);
+                assert_eq!(ing.stripes(), threads.min(3));
                 ing.ingest_stream(&stream).unwrap();
                 let boosted = ing.finish().unwrap();
                 let got: Vec<Vec<u8>> = boosted.sketches().iter().map(encoded).collect();
                 assert_eq!(got, expected, "threads {threads}, batch {batch_size}");
             }
         }
+    }
+
+    #[test]
+    fn repeated_flush_cycles_reuse_the_pool_identically() {
+        // Many explicit mid-batch flush() calls on one ingestor: every
+        // cycle re-enters the cached sticky pool, so a mailbox or barrier
+        // left dirty by cycle k would corrupt cycle k+1. Final states must
+        // still match sequential ingestion byte-for-byte.
+        let mut rng = StdRng::seed_from_u64(0x9E05);
+        let h = Hypergraph::from_graph(&gnp(14, 0.35, &mut rng));
+        let stream = churn_stream(&h, ChurnConfig::default(), &mut rng);
+        let space = EdgeSpace::graph(14).unwrap();
+        let params = ForestParams::new(Profile::Practical, space.dimension());
+        let seeds = SeedTree::new(0x9E05);
+        let build = forest_build(&space, &seeds, params);
+
+        let mut serial = BoostedQuery::new(4, &build);
+        for u in &stream.updates {
+            serial.try_update(&u.edge, u.op.delta()).unwrap();
+        }
+        let expected: Vec<Vec<u8>> = serial.sketches().iter().map(encoded).collect();
+
+        let mut ing = ShardedIngestor::with_build(4, 3, 64, &build);
+        for (j, u) in stream.updates.iter().enumerate() {
+            ing.push_update(u).unwrap();
+            // Drain mid-batch on a stride that never aligns with the batch
+            // size, forcing dozens of short pool scopes.
+            if j % 5 == 0 {
+                ing.flush().unwrap();
+            }
+        }
+        let boosted = ing.finish().unwrap();
+        let got: Vec<Vec<u8>> = boosted.sketches().iter().map(encoded).collect();
+        assert_eq!(got, expected);
     }
 
     #[test]

@@ -970,11 +970,14 @@ impl<S: Recoverable + Clone + Send + Sync> SupervisedIngestor<S> {
         Ok(())
     }
 
-    /// Stripes the batch over live shards (shard `i` → stripe
-    /// `i % threads`, deterministic like `ShardedIngestor`). Returns
-    /// `(shard index, outcome)` for every live shard. A worker panic is
-    /// converted into a `Failed` outcome for its stripe — the supervisor
-    /// itself never panics on a shard's behalf.
+    /// Stripes the batch over live shards (live slot `i` → stripe
+    /// `i % threads`, deterministic like `ShardedIngestor`) on the
+    /// persistent sticky worker pool: stripe `t` is submitted to pool
+    /// worker `t` every flush, so a worker's shards stay cache-resident
+    /// across the stream. Returns `(shard index, outcome)` for every live
+    /// shard. A worker panic is caught on the worker and converted into a
+    /// `Failed` outcome for its stripe — the supervisor itself never
+    /// panics on a shard's behalf, and the pool's panic flag never trips.
     fn apply_batch(&mut self, batch: &[Update]) -> Vec<(usize, ApplyOutcome)> {
         let live: Vec<(usize, &mut Shard<S>)> = self
             .shards
@@ -997,46 +1000,41 @@ impl<S: Recoverable + Clone + Send + Sync> SupervisedIngestor<S> {
         for (slot, entry) in live.into_iter().enumerate() {
             stripes[slot % threads].push(entry);
         }
-        let stripe_indices: Vec<Vec<usize>> = stripes
-            .iter()
-            .map(|stripe| stripe.iter().map(|(i, _)| *i).collect())
-            .collect();
-        let per_stripe: Vec<Vec<(usize, ApplyOutcome)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = stripes
-                .into_iter()
-                .map(|stripe| {
-                    scope.spawn(move || {
-                        stripe
-                            .into_iter()
-                            .map(|(i, shard)| (i, apply_with_retry(shard, batch)))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .zip(&stripe_indices)
-                .map(|(h, indices)| {
-                    h.join().unwrap_or_else(|_| {
-                        indices
-                            .iter()
-                            .map(|&i| {
-                                (
-                                    i,
-                                    ApplyOutcome::Failed {
-                                        error: SketchError::failure(
-                                            "supervise",
-                                            "flush worker panicked",
-                                        ),
-                                        attempts: 0,
-                                        waited_ns: 0,
-                                    },
-                                )
-                            })
-                            .collect()
-                    })
-                })
-                .collect()
+        let mut per_stripe: Vec<Vec<(usize, ApplyOutcome)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        dgs_pool::with_local_pool(threads, |pool| {
+            pool.scope(|scope| {
+                for ((t, stripe), out) in stripes.into_iter().enumerate().zip(per_stripe.iter_mut())
+                {
+                    let indices: Vec<usize> = stripe.iter().map(|(i, _)| *i).collect();
+                    scope.spawn(t, move || {
+                        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            stripe
+                                .into_iter()
+                                .map(|(i, shard)| (i, apply_with_retry(shard, batch)))
+                                .collect::<Vec<_>>()
+                        }));
+                        *out = run.unwrap_or_else(|_| {
+                            indices
+                                .iter()
+                                .map(|&i| {
+                                    (
+                                        i,
+                                        ApplyOutcome::Failed {
+                                            error: SketchError::failure(
+                                                "supervise",
+                                                "flush worker panicked",
+                                            ),
+                                            attempts: 0,
+                                            waited_ns: 0,
+                                        },
+                                    )
+                                })
+                                .collect()
+                        });
+                    });
+                }
+            });
         });
         per_stripe.into_iter().flatten().collect()
     }

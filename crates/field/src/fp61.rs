@@ -8,6 +8,38 @@
 /// The field modulus `2^61 - 1` (a Mersenne prime).
 pub const P: u64 = (1 << 61) - 1;
 
+/// Lane width of the explicit batch kernels ([`Fp::mul_batch`],
+/// [`Fp::add_batch`], [`Fp::sub_batch`], and `KWiseHash::eval_batch`).
+///
+/// Four `u64` lanes is one AVX2 register (or two NEON registers) worth of
+/// field elements; the kernels are written as fixed-width, branch-free
+/// blocks over raw `u64`s so the compiler can either vectorize them or at
+/// minimum keep four independent reduction chains in flight.
+pub const LANES: usize = 4;
+
+/// Branch-free canonicalization of a partially reduced value `s < 2P`.
+///
+/// If `s < P` then `s - P` wraps around to a huge value and the `min`
+/// selects `s`; if `s >= P` the `min` selects `s - P`. Compiles to a
+/// single unsigned-min (cmov / `vpminuq`) instead of a compare branch,
+/// which is what lets the batch kernels stay straight-line code.
+#[inline(always)]
+pub(crate) fn canon61(s: u64) -> u64 {
+    s.min(s.wrapping_sub(P))
+}
+
+/// Branch-free Mersenne-61 product of two canonical values.
+///
+/// One `u128` widening multiply, fold the top 67 bits onto the low 61
+/// (`lo + hi <= 2P - 2`), then [`canon61`]. Exactly [`Fp::mul`] without
+/// the conditional subtraction branch.
+#[inline(always)]
+pub(crate) fn mul61(a: u64, b: u64) -> u64 {
+    let prod = a as u128 * b as u128;
+    let s = ((prod as u64) & P) + ((prod >> 61) as u64);
+    canon61(s)
+}
+
 /// An element of `F_p` in canonical form (`0 <= value < P`).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Fp(u64);
@@ -111,21 +143,24 @@ impl Fp {
 
     /// Element-wise in-place product `out[i] = out[i] * rhs[i]`.
     ///
-    /// The batched form lets the compiler keep several independent
-    /// `u128`-product / fold chains in flight at once, which the scalar
-    /// call-per-element loop does not reliably achieve. Results are exactly
-    /// [`Fp::mul`] per lane.
+    /// Runs the explicit [`LANES`]-wide kernel: each block widens to
+    /// `u128`, folds with the branch-free Mersenne reduction
+    /// ([`canon61`]), and carries no data dependence between lanes — the
+    /// compiler keeps all four product/fold chains in flight (and can
+    /// vectorize the fold arithmetic), which the branchy
+    /// call-per-element loop does not achieve. Results are exactly
+    /// [`Fp::mul`] per lane; [`Fp::mul_batch_scalar`] is the retained
+    /// scalar oracle the property tests compare against.
     ///
     /// # Panics
     /// Panics if the slices differ in length.
     pub fn mul_batch(out: &mut [Fp], rhs: &[Fp]) {
         assert_eq!(out.len(), rhs.len(), "mul_batch length mismatch");
-        const LANES: usize = 8;
         let mut chunks = out.chunks_exact_mut(LANES);
         let mut rchunks = rhs.chunks_exact(LANES);
         for (oc, rc) in (&mut chunks).zip(&mut rchunks) {
             for i in 0..LANES {
-                oc[i] = oc[i].mul(rc[i]);
+                oc[i] = Fp(mul61(oc[i].0, rc[i].0));
             }
         }
         for (o, &r) in chunks
@@ -137,22 +172,36 @@ impl Fp {
         }
     }
 
+    /// Scalar reference loop for [`Fp::mul_batch`] — one branchy
+    /// [`Fp::mul`] per element, kept as the property-test oracle for the
+    /// lane kernel (and as the readable statement of what the kernel must
+    /// compute).
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn mul_batch_scalar(out: &mut [Fp], rhs: &[Fp]) {
+        assert_eq!(out.len(), rhs.len(), "mul_batch length mismatch");
+        for (o, &r) in out.iter_mut().zip(rhs.iter()) {
+            *o = o.mul(r);
+        }
+    }
+
     /// Element-wise in-place sum `out[i] = out[i] + rhs[i]`.
     ///
-    /// Same lane discipline as [`Fp::mul_batch`]: the fixed-width inner
-    /// loop keeps several independent add/conditional-subtract chains in
-    /// flight. Results are exactly [`Fp::add`] per lane.
+    /// Same lane discipline as [`Fp::mul_batch`]: four independent
+    /// add-and-[`canon61`] chains per block, no branches. Results are
+    /// exactly [`Fp::add`] per lane ([`Fp::add_batch_scalar`] is the
+    /// oracle).
     ///
     /// # Panics
     /// Panics if the slices differ in length.
     pub fn add_batch(out: &mut [Fp], rhs: &[Fp]) {
         assert_eq!(out.len(), rhs.len(), "add_batch length mismatch");
-        const LANES: usize = 8;
         let mut chunks = out.chunks_exact_mut(LANES);
         let mut rchunks = rhs.chunks_exact(LANES);
         for (oc, rc) in (&mut chunks).zip(&mut rchunks) {
             for i in 0..LANES {
-                oc[i] = oc[i].add(rc[i]);
+                oc[i] = Fp(canon61(oc[i].0 + rc[i].0));
             }
         }
         for (o, &r) in chunks
@@ -164,21 +213,34 @@ impl Fp {
         }
     }
 
+    /// Scalar reference loop for [`Fp::add_batch`] (property-test oracle).
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn add_batch_scalar(out: &mut [Fp], rhs: &[Fp]) {
+        assert_eq!(out.len(), rhs.len(), "add_batch length mismatch");
+        for (o, &r) in out.iter_mut().zip(rhs.iter()) {
+            *o = o.add(r);
+        }
+    }
+
     /// Element-wise in-place difference `out[i] = out[i] - rhs[i]`.
     ///
-    /// Same lane discipline as [`Fp::mul_batch`]; results are exactly
-    /// [`Fp::sub`] per lane.
+    /// The lane kernel rewrites subtraction as `a + (P - b)` — for
+    /// canonical `b < P` the offset lands in `(0, P]`, the sum stays below
+    /// `2P`, and one [`canon61`] finishes — so the whole block is
+    /// branch-free like the add kernel. Results are exactly [`Fp::sub`]
+    /// per lane ([`Fp::sub_batch_scalar`] is the oracle).
     ///
     /// # Panics
     /// Panics if the slices differ in length.
     pub fn sub_batch(out: &mut [Fp], rhs: &[Fp]) {
         assert_eq!(out.len(), rhs.len(), "sub_batch length mismatch");
-        const LANES: usize = 8;
         let mut chunks = out.chunks_exact_mut(LANES);
         let mut rchunks = rhs.chunks_exact(LANES);
         for (oc, rc) in (&mut chunks).zip(&mut rchunks) {
             for i in 0..LANES {
-                oc[i] = oc[i].sub(rc[i]);
+                oc[i] = Fp(canon61(oc[i].0 + (P - rc[i].0)));
             }
         }
         for (o, &r) in chunks
@@ -186,6 +248,17 @@ impl Fp {
             .iter_mut()
             .zip(rchunks.remainder().iter())
         {
+            *o = o.sub(r);
+        }
+    }
+
+    /// Scalar reference loop for [`Fp::sub_batch`] (property-test oracle).
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn sub_batch_scalar(out: &mut [Fp], rhs: &[Fp]) {
+        assert_eq!(out.len(), rhs.len(), "sub_batch length mismatch");
+        for (o, &r) in out.iter_mut().zip(rhs.iter()) {
             *o = o.sub(r);
         }
     }
@@ -536,6 +609,58 @@ mod tests {
                 assert_eq!(sum[i], a[i].add(b[i]), "add len {len}, lane {i}");
                 assert_eq!(diff[i], a[i].sub(b[i]), "sub len {len}, lane {i}");
             }
+        }
+    }
+
+    #[test]
+    fn lane_kernels_match_scalar_oracles() {
+        // The explicit 4-lane kernels must agree with the retained branchy
+        // scalar loops on every lane at lane-straddling lengths.
+        let mut rng = StdRng::seed_from_u64(0xFC);
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 12, 13, 64, 257] {
+            let a: Vec<Fp> = (0..len).map(|_| rand_fp(&mut rng)).collect();
+            let b: Vec<Fp> = (0..len).map(|_| rand_fp(&mut rng)).collect();
+            for (kernel, oracle) in [
+                (
+                    Fp::mul_batch as fn(&mut [Fp], &[Fp]),
+                    Fp::mul_batch_scalar as fn(&mut [Fp], &[Fp]),
+                ),
+                (Fp::add_batch, Fp::add_batch_scalar),
+                (Fp::sub_batch, Fp::sub_batch_scalar),
+            ] {
+                let mut fast = a.clone();
+                kernel(&mut fast, &b);
+                let mut slow = a.clone();
+                oracle(&mut slow, &b);
+                assert_eq!(fast, slow, "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_kernels_handle_edge_values() {
+        // Exercise the branch-free canon61 reduction where the branchy
+        // scalar path takes each of its two branches: operands at 0, 1,
+        // P/2, P-1 in all pairings, padded to cover full lane blocks and
+        // the remainder loop.
+        let edges = [0u64, 1, 2, P / 2, P / 2 + 1, P - 2, P - 1];
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for &x in &edges {
+            for &y in &edges {
+                a.push(Fp::new(x));
+                b.push(Fp::new(y));
+            }
+        }
+        // 49 elements: 12 full lane blocks plus a remainder of 1.
+        let (mut mul, mut add, mut sub) = (a.clone(), a.clone(), a.clone());
+        Fp::mul_batch(&mut mul, &b);
+        Fp::add_batch(&mut add, &b);
+        Fp::sub_batch(&mut sub, &b);
+        for i in 0..a.len() {
+            assert_eq!(mul[i], a[i].mul(b[i]), "mul lane {i}");
+            assert_eq!(add[i], a[i].add(b[i]), "add lane {i}");
+            assert_eq!(sub[i], a[i].sub(b[i]), "sub lane {i}");
         }
     }
 

@@ -12,7 +12,7 @@
 //!   the paper's vertex-sampling (Section 3) and nested edge-subsampling
 //!   (Section 5) steps.
 
-use crate::fp61::{Fp, P};
+use crate::fp61::{canon61, mul61, Fp, LANES, P};
 use crate::seed::SeedTree;
 
 /// A k-wise independent hash `F_p -> F_p` given by a random polynomial.
@@ -64,31 +64,53 @@ impl KWiseHash {
     /// Evaluates the hash at every key in `keys`, writing into `out`.
     ///
     /// Equivalent to calling [`eval`](Self::eval) per key, but the Horner
-    /// recurrence runs over a block of keys at a time: each coefficient is
-    /// loaded once per block and the per-lane accumulators stay in
-    /// registers, instead of re-walking the coefficient vector per key.
+    /// recurrence runs as an explicit [`LANES`]-wide kernel over raw
+    /// `u64`s: each coefficient is loaded once per block, the per-lane
+    /// accumulators stay in registers, and every `acc * x + c` step uses
+    /// the branch-free Mersenne-61 reduction, so the whole block is
+    /// straight-line code with four independent dependency chains.
+    /// [`eval_batch_scalar`](Self::eval_batch_scalar) is the retained
+    /// per-key oracle the property tests compare against.
     ///
     /// # Panics
     /// Panics if `out.len() != keys.len()`.
     pub fn eval_batch(&self, keys: &[u64], out: &mut [Fp]) {
         assert_eq!(keys.len(), out.len(), "eval_batch length mismatch");
-        const LANES: usize = 8;
         let mut kc = keys.chunks_exact(LANES);
         let mut oc = out.chunks_exact_mut(LANES);
         for (kb, ob) in (&mut kc).zip(&mut oc) {
-            let mut x = [Fp::ZERO; LANES];
-            let mut acc = [Fp::ZERO; LANES];
+            let mut x = [0u64; LANES];
+            let mut acc = [0u64; LANES];
             for i in 0..LANES {
-                x[i] = Fp::new(kb[i]);
+                x[i] = Fp::new(kb[i]).value();
             }
             for &c in self.coeffs.iter().rev() {
+                let cv = c.value();
                 for i in 0..LANES {
-                    acc[i] = acc[i].mul(x[i]).add(c);
+                    // acc = acc * x + c with one canon per step: the
+                    // product is canonical (< P) after mul61, so adding a
+                    // canonical coefficient stays below 2P.
+                    acc[i] = canon61(mul61(acc[i], x[i]) + cv);
                 }
             }
-            ob.copy_from_slice(&acc);
+            for i in 0..LANES {
+                ob[i] = Fp::new(acc[i]);
+            }
         }
         for (&k, o) in kc.remainder().iter().zip(oc.into_remainder().iter_mut()) {
+            *o = self.eval(k);
+        }
+    }
+
+    /// Scalar reference loop for [`eval_batch`](Self::eval_batch) — one
+    /// [`eval`](Self::eval) per key, kept as the property-test oracle for
+    /// the lane kernel.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != keys.len()`.
+    pub fn eval_batch_scalar(&self, keys: &[u64], out: &mut [Fp]) {
+        assert_eq!(keys.len(), out.len(), "eval_batch length mismatch");
+        for (&k, o) in keys.iter().zip(out.iter_mut()) {
             *o = self.eval(k);
         }
     }
@@ -103,10 +125,10 @@ impl KWiseHash {
     pub fn bucket_batch(&self, keys: &[u64], buckets: usize, out: &mut [usize]) {
         assert_eq!(keys.len(), out.len(), "bucket_batch length mismatch");
         assert!(buckets > 0);
-        const LANES: usize = 8;
-        let mut scratch = [Fp::ZERO; LANES];
-        let mut kc = keys.chunks(LANES);
-        let mut oc = out.chunks_mut(LANES);
+        const BLOCK: usize = 2 * LANES;
+        let mut scratch = [Fp::ZERO; BLOCK];
+        let mut kc = keys.chunks(BLOCK);
+        let mut oc = out.chunks_mut(BLOCK);
         for (kb, ob) in (&mut kc).zip(&mut oc) {
             let vals = &mut scratch[..kb.len()];
             self.eval_batch(kb, vals);
@@ -401,6 +423,28 @@ mod tests {
                 for (i, &key) in keys.iter().enumerate() {
                     assert_eq!(out[i], h.eval(key), "k {k}, len {len}, lane {i}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_batch_lane_kernel_matches_oracle() {
+        // The 4-lane branch-free Horner kernel must agree with the scalar
+        // oracle loop at lane-straddling lengths and at keys whose field
+        // embedding sits at the edges of [0, P) — including keys >= P,
+        // which fold before entering the recurrence.
+        let edge_keys = [0u64, 1, P - 1, P, P + 1, u64::MAX, P / 2, 2, 3, 4];
+        for k in [1usize, 2, 5, 12] {
+            let h = KWiseHash::new(&tree().child(77), k);
+            for len in [0usize, 1, 3, 4, 5, 7, 8, 9, 13] {
+                let keys: Vec<u64> = (0..len as u64)
+                    .map(|i| edge_keys[i as usize % edge_keys.len()].wrapping_add(i))
+                    .collect();
+                let mut fast = vec![Fp::ZERO; len];
+                h.eval_batch(&keys, &mut fast);
+                let mut slow = vec![Fp::ONE; len];
+                h.eval_batch_scalar(&keys, &mut slow);
+                assert_eq!(fast, slow, "k {k}, len {len}");
             }
         }
     }

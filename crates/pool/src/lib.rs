@@ -1,0 +1,558 @@
+//! Persistent sticky-shard worker pool.
+//!
+//! The batched ingest paths in this workspace parallelize over
+//! *independent* state — boosted repetitions in `dgs-core`, vertex-row
+//! stripes inside a single forest sketch in `dgs-connectivity`. The first
+//! generation of that code spawned a fresh `std::thread::scope` per batch,
+//! which has two costs that eat the parallel win on real streams:
+//!
+//! 1. **Spawn latency** — a batch is a few hundred microseconds of apply
+//!    work; creating and joining OS threads costs a meaningful fraction of
+//!    that, every single flush.
+//! 2. **Cache migration** — a freshly spawned thread lands on whatever core
+//!    the scheduler picks, so the sketch rows a stripe touched last batch
+//!    are cold again this batch.
+//!
+//! [`StickyPool`] fixes both: workers are spawned **once** and live for the
+//! pool's lifetime, jobs are routed to an explicit worker index (shard `i`
+//! always goes to worker `i % threads`, so a worker re-touches the same
+//! sketch rows batch after batch and keeps them hot in its core's cache),
+//! and each worker is fed through an in-tree single-producer/single-consumer
+//! ring mailbox — no external channel crate, no shared run queue to contend
+//! on.
+//!
+//! Borrowed jobs are supported through [`StickyPool::scope`], which acts as
+//! a drain/join **barrier**: it does not return until every job submitted
+//! inside it has completed, so jobs may capture `&mut` references into the
+//! caller's stack exactly like `std::thread::scope` — that is what lets the
+//! ingest paths keep their batch == sequential byte-identity contract while
+//! reusing long-lived workers.
+//!
+//! Determinism: the pool adds none of its own. A job runs exactly the
+//! closure it was handed, on a dedicated worker; which OS core runs a worker
+//! affects timing only. All result bytes are produced by the jobs
+//! themselves, and the ingest callers partition their state so that every
+//! cell is owned by exactly one job per barrier.
+
+// The pool sits under every supervised ingest path: it must degrade through
+// typed errors or clean panics it explicitly chooses, never an incidental
+// `unwrap` (matching the supervised-core clippy gate).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// A type-erased job. Jobs cross the mailbox as `'static` boxes; the only
+/// way to submit a non-`'static` job is [`PoolScope::spawn`], whose barrier
+/// guarantees the borrow outlives the job (see the safety comment there).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+enum Msg {
+    Run(Job),
+    Shutdown,
+}
+
+/// Locks a mutex, riding through poisoning: a poisoned pool mutex means a
+/// *worker* panicked mid-job; the panic is already recorded in the scope
+/// state and re-raised at the barrier, so the lock data (pure signalling,
+/// no invariants) is still safe to use.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Bounded single-producer/single-consumer ring of job messages.
+///
+/// The producer side is serialized by the pool (one scope at a time holds
+/// the producer lock), the consumer is the one worker thread that owns the
+/// mailbox — so `head` is written only by the consumer and `tail` only by
+/// the producer, and a slot is touched by the producer strictly before the
+/// `tail` release-store that publishes it and by the consumer strictly
+/// after the acquire-load that observes it.
+struct Ring {
+    slots: Box<[UnsafeCell<Option<Msg>>]>,
+    /// Next slot the consumer will take (monotone, wraps mod capacity).
+    head: AtomicUsize,
+    /// Next slot the producer will fill.
+    tail: AtomicUsize,
+}
+
+// SAFETY: the SPSC discipline above means no slot is ever accessed
+// concurrently from both sides; the atomics order the handoff.
+unsafe impl Sync for Ring {}
+
+struct Mailbox {
+    ring: Ring,
+    /// Parking lot for the consumer; the producer locks/unlocks it around
+    /// its notify so a sleeping consumer can never miss a push.
+    sleep: Mutex<()>,
+    wake: Condvar,
+}
+
+/// Mailbox capacity. A scope submits at most one job per worker per phase
+/// in every current caller, so even deep pipelines stay far below this;
+/// a full ring makes the producer yield until the worker drains.
+const MAILBOX_CAPACITY: usize = 64;
+
+impl Mailbox {
+    fn new() -> Mailbox {
+        Mailbox {
+            ring: Ring {
+                slots: (0..MAILBOX_CAPACITY)
+                    .map(|_| UnsafeCell::new(None))
+                    .collect(),
+                head: AtomicUsize::new(0),
+                tail: AtomicUsize::new(0),
+            },
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Producer side (requires external single-producer discipline — the
+    /// pool's producer lock).
+    fn push(&self, msg: Msg) {
+        let cap = self.ring.slots.len();
+        let mut msg = Some(msg);
+        loop {
+            let head = self.ring.head.load(Ordering::Acquire);
+            let tail = self.ring.tail.load(Ordering::Relaxed);
+            if tail.wrapping_sub(head) < cap {
+                // SAFETY: this slot index is >= every published tail the
+                // consumer may read until our release store below, and the
+                // single-producer discipline means nobody else writes it.
+                unsafe {
+                    *self.ring.slots[tail % cap].get() = msg.take();
+                }
+                self.ring
+                    .tail
+                    .store(tail.wrapping_add(1), Ordering::Release);
+                // Lock/unlock before notifying: a consumer that saw the old
+                // tail either re-checks under this lock (and sees the new
+                // one) or is already waiting (and receives the notify).
+                drop(lock_unpoisoned(&self.sleep));
+                self.wake.notify_one();
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Consumer side (worker thread only). Blocks until a message arrives.
+    fn pop(&self) -> Msg {
+        let cap = self.ring.slots.len();
+        loop {
+            let head = self.ring.head.load(Ordering::Relaxed);
+            let tail = self.ring.tail.load(Ordering::Acquire);
+            if head != tail {
+                // SAFETY: the acquire load of `tail` ordered the producer's
+                // slot write before this read; only this thread moves `head`.
+                let msg = unsafe { (*self.ring.slots[head % cap].get()).take() };
+                self.ring
+                    .head
+                    .store(head.wrapping_add(1), Ordering::Release);
+                if let Some(m) = msg {
+                    return m;
+                }
+                // A `None` here would mean the SPSC discipline was broken;
+                // fall through and re-check rather than crash the worker.
+                continue;
+            }
+            let guard = lock_unpoisoned(&self.sleep);
+            // Re-check under the lock (see `push` for why this is
+            // missed-wakeup-free); the timeout is defence in depth only.
+            if self.ring.head.load(Ordering::Relaxed) != self.ring.tail.load(Ordering::Acquire) {
+                continue;
+            }
+            let waited = self.wake.wait_timeout(guard, Duration::from_millis(50));
+            drop(match waited {
+                Ok((g, _)) => g,
+                Err(poisoned) => poisoned.into_inner().0,
+            });
+        }
+    }
+}
+
+/// Completion state shared between one [`PoolScope`] and its jobs.
+struct ScopeState {
+    pending: AtomicUsize,
+    panicked: AtomicBool,
+    done_lock: Mutex<()>,
+    done: Condvar,
+}
+
+impl ScopeState {
+    fn new() -> Arc<ScopeState> {
+        Arc::new(ScopeState {
+            pending: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            done_lock: Mutex::new(()),
+            done: Condvar::new(),
+        })
+    }
+
+    fn finish_one(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            drop(lock_unpoisoned(&self.done_lock));
+            self.done.notify_all();
+        }
+    }
+
+    fn wait_drained(&self) {
+        let mut guard = lock_unpoisoned(&self.done_lock);
+        while self.pending.load(Ordering::Acquire) != 0 {
+            guard = match self.done.wait_timeout(guard, Duration::from_millis(50)) {
+                Ok((g, _)) => g,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+}
+
+struct Worker {
+    mailbox: Arc<Mailbox>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// A persistent pool of worker threads with per-worker SPSC mailboxes and
+/// explicit, sticky job routing.
+///
+/// Create it once (per ingestor, per supervisor, or thread-local via
+/// [`with_local_pool`]) and reuse it across batches: the whole point is
+/// that worker `t` services shard `t` on every flush, so the shard's cache
+/// footprint stays resident on whatever core runs worker `t`.
+pub struct StickyPool {
+    workers: Vec<Worker>,
+    /// Serializes scopes: at most one producer feeds the mailboxes at a
+    /// time, which is what makes them legitimately single-producer.
+    producer: Mutex<()>,
+}
+
+impl std::fmt::Debug for StickyPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StickyPool")
+            .field("threads", &self.workers.len())
+            .finish()
+    }
+}
+
+impl StickyPool {
+    /// Spawns `threads` persistent workers.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0` or the OS refuses to spawn a thread.
+    pub fn new(threads: usize) -> StickyPool {
+        assert!(threads >= 1, "pool needs at least one worker");
+        let workers = (0..threads)
+            .map(|i| {
+                let mailbox = Arc::new(Mailbox::new());
+                let consumer = Arc::clone(&mailbox);
+                let builder = std::thread::Builder::new().name(format!("dgs-pool-{i}"));
+                let handle = match builder.spawn(move || {
+                    while let Msg::Run(job) = consumer.pop() {
+                        job();
+                    }
+                }) {
+                    Ok(h) => h,
+                    Err(e) => panic!("failed to spawn pool worker {i}: {e}"),
+                };
+                Worker {
+                    mailbox,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        StickyPool {
+            workers,
+            producer: Mutex::new(()),
+        }
+    }
+
+    /// Number of persistent workers.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `f` with a [`PoolScope`] that can submit borrowed jobs, then
+    /// blocks until every submitted job has completed (the drain/join
+    /// barrier). Returns `f`'s result.
+    ///
+    /// The barrier holds even if `f` itself panics — submitted jobs are
+    /// always drained before the panic propagates, so borrows handed to
+    /// [`PoolScope::spawn`] can never dangle.
+    ///
+    /// # Panics
+    /// Panics after the drain if any job panicked (mirroring the join
+    /// behaviour of `std::thread::scope`).
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&PoolScope<'_, 'env>) -> R) -> R {
+        let _producer = lock_unpoisoned(&self.producer);
+        let scope = PoolScope {
+            pool: self,
+            state: ScopeState::new(),
+            _env: PhantomData,
+        };
+        struct DrainGuard<'a>(&'a ScopeState);
+        impl Drop for DrainGuard<'_> {
+            fn drop(&mut self) {
+                self.0.wait_drained();
+            }
+        }
+        let result = {
+            let guard = DrainGuard(&scope.state);
+            let r = f(&scope);
+            drop(guard); // barrier: every job has run to completion here
+            r
+        };
+        assert!(
+            !scope.state.panicked.load(Ordering::Acquire),
+            "pool worker job panicked"
+        );
+        result
+    }
+}
+
+impl Drop for StickyPool {
+    fn drop(&mut self) {
+        let _producer = lock_unpoisoned(&self.producer);
+        for w in &self.workers {
+            w.mailbox.push(Msg::Shutdown);
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                // A worker that panicked outside a job already surfaced at
+                // the scope barrier; nothing useful to do with the result.
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Submission handle passed to the closure of [`StickyPool::scope`].
+///
+/// `'env` is the lifetime of borrows a job may capture; the scope barrier
+/// keeps them alive until every job finished.
+pub struct PoolScope<'pool, 'env> {
+    pool: &'pool StickyPool,
+    state: Arc<ScopeState>,
+    /// Invariant over `'env`, like `std::thread::Scope`.
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> PoolScope<'_, 'env> {
+    /// Submits `f` to worker `worker % threads`.
+    ///
+    /// Routing is the caller's contract with its own cache: submit shard
+    /// `i`'s work with `worker = i` on every batch and the pool guarantees
+    /// the same persistent thread services it every time.
+    ///
+    /// A panic inside `f` is caught, recorded, and re-raised by
+    /// [`StickyPool::scope`] after the barrier.
+    pub fn spawn<F>(&self, worker: usize, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        let state = Arc::clone(&self.state);
+        // Count before publishing; the job's `finish_one` is the matching
+        // decrement, so the barrier can never observe a transient zero.
+        self.state.pending.fetch_add(1, Ordering::AcqRel);
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            if catch_unwind(AssertUnwindSafe(f)).is_err() {
+                state.panicked.store(true, Ordering::Release);
+            }
+            state.finish_one();
+        });
+        // SAFETY: only the lifetime is erased. The drain barrier in
+        // `StickyPool::scope` (enforced by `DrainGuard` even on panic)
+        // blocks until this job has run, so everything `f` borrows from
+        // `'env` strictly outlives the job's execution. The transmute is
+        // between two trait-object boxes of identical layout.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
+        };
+        let w = worker % self.pool.workers.len();
+        self.pool.workers[w].mailbox.push(Msg::Run(job));
+    }
+}
+
+thread_local! {
+    /// One cached pool per calling thread (see [`with_local_pool`]).
+    static LOCAL_POOL: std::cell::RefCell<Option<StickyPool>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Runs `f` with a thread-local [`StickyPool`] of at least `threads`
+/// workers, creating or growing it on first use and caching it for the
+/// thread's lifetime.
+///
+/// This is the entry point for code that stripes *within* one call (the
+/// forest sketch's row-striped batch update and parallel decode): the
+/// caller has no natural place to own a pool, but per-call spawning is
+/// exactly what the pool exists to avoid. Keying the cache by thread keeps
+/// the single-producer mailbox discipline free (a thread only ever feeds
+/// its own pool) and makes nested parallelism safe: a pool *worker* that
+/// stripes again simply gets its own, separate thread-local pool.
+///
+/// The pool is taken out of the cache while `f` runs, so re-entrant calls
+/// on the same thread build an independent temporary pool instead of
+/// deadlocking on a shared one.
+pub fn with_local_pool<R>(threads: usize, f: impl FnOnce(&StickyPool) -> R) -> R {
+    let need = threads.max(1);
+    let cached = LOCAL_POOL.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        match slot.take() {
+            Some(pool) if pool.threads() >= need => Some(pool),
+            // Too small (or absent): drop the old pool's threads and build
+            // fresh below, outside the borrow.
+            _ => None,
+        }
+    });
+    let pool = match cached {
+        Some(pool) => pool,
+        None => StickyPool::new(need),
+    };
+    let result = f(&pool);
+    LOCAL_POOL.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        // Keep the larger pool if a re-entrant call replaced ours.
+        match slot.as_ref() {
+            Some(existing) if existing.threads() >= pool.threads() => {}
+            _ => *slot = Some(pool),
+        }
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn scope_runs_jobs_and_barriers() {
+        let pool = StickyPool::new(3);
+        let mut out = vec![0u64; 8];
+        pool.scope(|scope| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                scope.spawn(i, move || {
+                    *slot = (i as u64 + 1) * 10;
+                });
+            }
+        });
+        assert_eq!(out, vec![10, 20, 30, 40, 50, 60, 70, 80]);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_scopes() {
+        let pool = StickyPool::new(2);
+        let mut acc = 0u64;
+        for round in 0..200u64 {
+            let mut parts = [0u64; 2];
+            pool.scope(|scope| {
+                let (a, b) = parts.split_at_mut(1);
+                scope.spawn(0, move || a[0] = round);
+                scope.spawn(1, move || b[0] = round * 2);
+            });
+            acc += parts[0] + parts[1];
+        }
+        assert_eq!(acc, (0..200u64).map(|r| 3 * r).sum::<u64>());
+    }
+
+    #[test]
+    fn sticky_routing_serializes_per_worker() {
+        // Jobs routed to the same worker run in submission order (SPSC
+        // FIFO), so a chain of read-modify-writes through the same cell is
+        // deterministic without any locking of its own.
+        let pool = StickyPool::new(2);
+        let cell = std::sync::atomic::AtomicU64::new(1);
+        pool.scope(|scope| {
+            let c = &cell;
+            scope.spawn(0, move || {
+                let v = c.load(Ordering::Relaxed);
+                c.store(v * 10 + 2, Ordering::Relaxed);
+            });
+            scope.spawn(0, move || {
+                let v = c.load(Ordering::Relaxed);
+                c.store(v * 10 + 3, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(cell.load(Ordering::Relaxed), 123);
+    }
+
+    #[test]
+    fn worker_indices_wrap() {
+        let pool = StickyPool::new(2);
+        let mut out = vec![0usize; 6];
+        pool.scope(|scope| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                scope.spawn(i, move || *slot = i + 1);
+            }
+        });
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn job_panic_surfaces_at_the_barrier() {
+        let pool = StickyPool::new(2);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|scope| {
+                scope.spawn(0, || panic!("job boom"));
+            });
+        }));
+        assert!(caught.is_err());
+        // The pool survives a panicked job: workers keep serving.
+        let mut ok = false;
+        pool.scope(|scope| {
+            scope.spawn(0, || ok = true);
+        });
+        assert!(ok);
+    }
+
+    #[test]
+    fn empty_scope_returns_immediately() {
+        let pool = StickyPool::new(1);
+        let r = pool.scope(|_| 42);
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn local_pool_is_cached_and_grows() {
+        let t1 = with_local_pool(2, |p| {
+            assert!(p.threads() >= 2);
+            p.threads()
+        });
+        // Requesting fewer threads reuses the cached pool.
+        let t2 = with_local_pool(1, |p| p.threads());
+        assert_eq!(t1, t2);
+        // Requesting more grows it.
+        let t3 = with_local_pool(4, |p| p.threads());
+        assert!(t3 >= 4);
+    }
+
+    #[test]
+    fn reentrant_local_pool_does_not_deadlock() {
+        let v = with_local_pool(2, |outer| {
+            outer.scope(|_| with_local_pool(2, |inner| inner.scope(|_| 5)))
+        });
+        assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn many_jobs_per_worker_drain_in_order() {
+        let pool = StickyPool::new(1);
+        let log: std::sync::Mutex<Vec<usize>> = std::sync::Mutex::new(Vec::new());
+        pool.scope(|scope| {
+            let cell = &log;
+            for i in 0..32 {
+                scope.spawn(0, move || cell.lock().unwrap().push(i));
+            }
+        });
+        assert_eq!(log.into_inner().unwrap(), (0..32).collect::<Vec<_>>());
+    }
+}

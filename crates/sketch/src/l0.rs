@@ -67,6 +67,12 @@ struct L0Metrics {
     sample_failures: Counter,
     plan_keys: Histogram,
     batch_zero_skips: Counter,
+    /// Span of the geometric level hashing (`level_batch`) per plan call —
+    /// the `KWiseHash::eval_batch` Horner kernel dominates this.
+    kernel_level_ns: Histogram,
+    /// Span of the per-level `plan_into` + scatter loop per plan call —
+    /// dominated by the power-table and `bucket_batch` kernels.
+    kernel_plan_ns: Histogram,
 }
 
 impl L0Metrics {
@@ -77,6 +83,8 @@ impl L0Metrics {
             sample_failures: sink.counter("dgs_sketch_l0_sample_failures"),
             plan_keys: sink.histogram("dgs_sketch_l0_plan_keys"),
             batch_zero_skips: sink.counter("dgs_sketch_l0_batch_zero_skips"),
+            kernel_level_ns: sink.histogram("dgs_sketch_kernel_level_batch_ns"),
+            kernel_plan_ns: sink.histogram("dgs_sketch_kernel_plan_scatter_ns"),
         }
     }
 }
@@ -196,7 +204,10 @@ impl L0Sampler {
         let rows = self.levels[0].rows();
         let max_level = self.levels.len() - 1;
         let mut levels_of = vec![0usize; keys.len()];
+        let level_timer = self.metrics.kernel_level_ns.start_timer();
         self.level_hash.level_batch(keys, max_level, &mut levels_of);
+        level_timer.observe();
+        let plan_timer = self.metrics.kernel_plan_ns.start_timer();
 
         let mut tops = Vec::with_capacity(keys.len());
         let mut offsets = Vec::with_capacity(keys.len() + 1);
@@ -239,6 +250,7 @@ impl L0Sampler {
                     .copy_from_slice(&sub_buckets[pos * rows..(pos + 1) * rows]);
             }
         }
+        plan_timer.observe();
 
         Ok(L0Plan {
             seed_tag: self.seed_tag,

@@ -23,7 +23,7 @@
 //! array-of-`OneSparse` layout.
 
 use dgs_field::{Fingerprinter, Fp, KWiseHash, SeedTree};
-use dgs_obs::{Counter, MetricsSink};
+use dgs_obs::{Counter, Histogram, MetricsSink};
 
 use crate::error::{SketchError, SketchResult};
 use crate::one_sparse::{OneSparse, OneSparseDecode};
@@ -44,6 +44,12 @@ struct SparseMetrics {
     decode_successes: Counter,
     decode_failures: Counter,
     one_sparse_rejects: Counter,
+    /// Span of the fingerprint power-table build + `pow` fill per
+    /// `plan_into` call (the `Fp::mul_batch` lane kernel's hot caller).
+    kernel_pow_ns: Histogram,
+    /// Span of the per-row `bucket_batch` hashing per `plan_into` call
+    /// (the `KWiseHash::eval_batch` lane kernel's hot caller).
+    kernel_bucket_ns: Histogram,
 }
 
 impl SparseMetrics {
@@ -53,6 +59,8 @@ impl SparseMetrics {
             decode_successes: sink.counter("dgs_sketch_sparse_decode_successes"),
             decode_failures: sink.counter("dgs_sketch_sparse_decode_failures"),
             one_sparse_rejects: sink.counter("dgs_sketch_sparse_one_sparse_rejects"),
+            kernel_pow_ns: sink.histogram("dgs_sketch_kernel_pow_table_ns"),
+            kernel_bucket_ns: sink.histogram("dgs_sketch_kernel_bucket_batch_ns"),
         }
     }
 }
@@ -195,10 +203,13 @@ impl SparseRecovery {
         );
         let max = keys.iter().copied().max().unwrap_or(0);
         debug_assert!(keys.iter().all(|&k| k < self.dimension));
+        let pow_timer = self.metrics.kernel_pow_ns.start_timer();
         let table = self.fper.power_table(max);
         for (p, &k) in pows.iter_mut().zip(keys) {
             *p = table.pow(k);
         }
+        pow_timer.observe();
+        let bucket_timer = self.metrics.kernel_bucket_ns.start_timer();
         let mut scratch = vec![0usize; keys.len()];
         for (r, h) in self.hashes.iter().enumerate() {
             h.bucket_batch(keys, self.cols, &mut scratch);
@@ -206,6 +217,7 @@ impl SparseRecovery {
                 buckets[i * rows + r] = b as u32;
             }
         }
+        bucket_timer.observe();
     }
 
     /// Applies one planned update: `d` is the embedded delta, `sd` the

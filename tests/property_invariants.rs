@@ -261,3 +261,71 @@ fn batched_ingest_encodes_byte_identical_to_sequential() {
         }
     }
 }
+
+/// The persistent sticky pool preserves byte-identity across
+/// lane-straddling batch sizes × thread counts × mid-batch drains, and
+/// across many reuse cycles of the caller thread's cached pool — every
+/// combination below runs on this test thread, so the same pool (grown in
+/// place when a wider thread count appears) serves striped forest updates
+/// and sharded boosted ingestion back to back. A stale mailbox or worker
+/// left over from a previous scope would surface as a byte difference.
+#[test]
+fn pooled_ingest_is_identical_across_lanes_threads_and_drains() {
+    use dgs_field::{Codec, Writer};
+    fn encoded<T: Codec>(t: &T) -> Vec<u8> {
+        let mut w = Writer::new();
+        t.encode(&mut w);
+        w.into_bytes()
+    }
+    let n = 12;
+    let mut rng = StdRng::seed_from_u64(0xD00F);
+    let stream = random_stream(n, 140, &mut rng);
+    let pairs: Vec<(HyperEdge, i64)> = stream
+        .updates
+        .iter()
+        .map(|u| (u.edge.clone(), u.op.delta()))
+        .collect();
+    let space = EdgeSpace::graph(n).unwrap();
+    let params = ForestParams::new(Profile::Practical, space.dimension());
+    let seeds = SeedTree::new(0xD00F);
+
+    // Sequential references: single sketch and 5 boosted repetitions.
+    let mut seq = SpanningForestSketch::new_full(space.clone(), &seeds, params);
+    for (e, d) in &pairs {
+        seq.try_update(e, *d).unwrap();
+    }
+    let expected = encoded(&seq);
+    let build =
+        |i: usize| SpanningForestSketch::new_full(space.clone(), &seeds.child(i as u64), params);
+    let mut serial = BoostedQuery::new(5, build);
+    for (e, d) in &pairs {
+        serial.try_update(e, *d).unwrap();
+    }
+    let expected_reps: Vec<Vec<u8>> = serial.sketches().iter().map(encoded).collect();
+
+    // Lane widths straddle the 4-lane field kernels; `threads = 8` exceeds
+    // the 5 repetitions and must clamp. The thread counts deliberately
+    // shrink and regrow so the cached pool is exercised at every width.
+    for threads in [1usize, 2, 3, 8, 2] {
+        for batch in [1usize, 3, 4, 5, 8, 64] {
+            // Striped forest updates share the pool with the ingestor runs.
+            let mut sk = SpanningForestSketch::new_full(space.clone(), &seeds, params);
+            for chunk in pairs.chunks(batch) {
+                sk.try_update_batch_striped(chunk, threads).unwrap();
+            }
+            assert_eq!(encoded(&sk), expected, "striped t={threads}, b={batch}");
+
+            let mut ing = ShardedIngestor::with_build(5, threads, batch, build);
+            for (j, (e, d)) in pairs.iter().enumerate() {
+                ing.push(e, *d).unwrap();
+                // Mid-batch drains at a stride coprime to every batch size.
+                if j % 17 == 0 {
+                    ing.flush().unwrap();
+                }
+            }
+            let boosted = ing.finish().unwrap();
+            let got: Vec<Vec<u8>> = boosted.sketches().iter().map(encoded).collect();
+            assert_eq!(got, expected_reps, "sharded t={threads}, b={batch}");
+        }
+    }
+}
