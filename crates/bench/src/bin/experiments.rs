@@ -56,6 +56,10 @@ const DESCRIPTIONS: &[(&str, &str)] = &[
         "e21",
         "service under load: queries/sec vs ingest, overload ladder honesty",
     ),
+    (
+        "e22",
+        "request tracing: span completeness, postmortems per typed failure, overhead",
+    ),
 ];
 
 fn main() -> ExitCode {
@@ -67,7 +71,8 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: experiments <all | list | check-ingest [baseline] | check-obs [baseline] \
              | check-query [baseline] | check-chaos [baseline] | check-service [baseline] \
-             | obs-report | e1 .. e21>... [--quick]"
+             | check-trace [baseline] | obs-report [--postmortem <file>] | e1 .. e22>... \
+             [--quick]"
         );
         return ExitCode::from(2);
     }
@@ -111,7 +116,27 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         };
     }
+    if ids.first().map(|a| a.as_str()) == Some("check-trace") {
+        let baseline = ids.get(1).map_or("BENCH_trace.json", |s| s.as_str());
+        return if dgs_bench::experiments::e22_trace::check(baseline) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     if ids.first().map(|a| a.as_str()) == Some("obs-report") {
+        if args.iter().any(|a| a == "--postmortem") {
+            // The file path is the operand after the flag.
+            let Some(path) = ids.get(1) else {
+                eprintln!("usage: experiments obs-report --postmortem <file.dgspm>");
+                return ExitCode::from(2);
+            };
+            return if dgs_bench::experiments::e22_trace::render_postmortem(path) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
         dgs_bench::experiments::e18_obs::obs_report(quick);
         return ExitCode::SUCCESS;
     }

@@ -1,0 +1,720 @@
+//! E22 — request tracing completeness, flight-recorder postmortems, and
+//! traced-ingest overhead.
+//!
+//! The tracing layer (`dgs-trace`) claims three operational properties,
+//! each scored here against a chaos-driven service soak:
+//!
+//! 1. **Completeness** — every query attempted against a traced
+//!    [`ConnectivityService`] opens exactly one `dgs_core_service_request`
+//!    root span with a distinct trace id (rejected requests included —
+//!    the typed shed is *in* the trace as a mark), and every standalone
+//!    flush opens its own `dgs_core_supervise_flush` root. Histogram
+//!    exemplars resolve: every `(metric, bucket)` exemplar points at a
+//!    trace id present in the snapshot.
+//! 2. **Integrity** — the snapshot holds **zero orphan spans** (every
+//!    `parent_span_id` resolves inside its trace), zero evicted events
+//!    (the rings were sized for the soak), and zero torn reads.
+//! 3. **Postmortems** — every typed failure freezes exactly one
+//!    postmortem file: the chaos campaign forces a shard quarantine
+//!    (poison), honest `DeadlineExceeded` answers (stalled decodes), and
+//!    a breaker trip; `written == quarantines + deadline_missed +
+//!    breaker_trips`, and every file on disk re-reads with its checksum
+//!    frames intact (`obs-report --postmortem <file>` renders them).
+//!
+//! A separate phase measures **overhead**: the same stream is pushed
+//! through a bare [`SupervisedIngestor`] untraced and traced (tracing
+//! adds one root span per flush — never per update), best-of-trials on
+//! both sides; traced ingest must keep ≥ 95% of untraced throughput in
+//! full mode (the quick CI floor absorbs small-runner noise).
+//!
+//! `experiments check-trace` re-runs the quick soak in CI and fails on
+//! any missing/duplicated root, orphan or evicted span, unaccounted
+//! postmortem, unreadable postmortem file, or an overhead ratio below
+//! the floor (guarding the checked-in `BENCH_trace.json`).
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+use dgs_connectivity::{ForestParams, SpanningForestSketch};
+use dgs_core::{
+    BreakerConfig, BrownoutConfig, CheckpointConfig, ConnectivityService, QueryPolicy,
+    QueryRequest, ServiceConfig, ServiceError, SupervisedIngestor, SupervisorConfig,
+    TokenBucketConfig,
+};
+use dgs_field::prng::*;
+use dgs_field::SeedTree;
+use dgs_hypergraph::generators::{churn_stream, gnp, ChurnConfig};
+use dgs_hypergraph::{ChaosCampaign, ChaosFault, ChaosScheduler, EdgeSpace, Hypergraph, Update};
+use dgs_obs::Registry;
+use dgs_sketch::{Profile, SketchError};
+use dgs_trace::{FlightRecorder, Postmortem, Tracer};
+
+use crate::baseline::{summary_pass, Baseline, Fields};
+use crate::report::Table;
+
+/// Everything E22 measures.
+pub struct Measurement {
+    /// Vertices in the streamed graph.
+    pub n: usize,
+    /// Boosted repetitions (= supervised shards).
+    pub repetitions: usize,
+    /// Updates pushed through the traced service.
+    pub updates: usize,
+    /// Chaos events fired.
+    pub events: usize,
+    /// Queries attempted (admitted + typed rejections).
+    pub requests: u64,
+    /// `dgs_core_service_request` root spans in the snapshot.
+    pub request_roots: u64,
+    /// Distinct trace ids among those roots.
+    pub distinct_trace_ids: u64,
+    /// `dgs_core_supervise_flush` root spans (standalone flushes).
+    pub flush_roots: u64,
+    /// Orphan spans (parent missing inside the trace). MUST be 0.
+    pub orphans: u64,
+    /// Events evicted from any ring during the soak. MUST be 0.
+    pub evicted: u64,
+    /// Torn ring reads. MUST be 0.
+    pub torn: u64,
+    /// Histogram-bucket exemplars computed from the snapshot.
+    pub exemplars: u64,
+    /// Exemplars whose trace id is absent from the snapshot. MUST be 0.
+    pub dangling_exemplars: u64,
+    /// Shard quarantines (each writes a `shard-quarantine` postmortem).
+    pub quarantines: u64,
+    /// Honest `DeadlineExceeded` answers (each writes a postmortem).
+    pub deadline_missed: u64,
+    /// Breaker trips (each writes a `breaker-open` postmortem).
+    pub breaker_trips: u64,
+    /// Postmortem files the recorder reports written.
+    pub postmortems_written: u64,
+    /// Postmortem files on disk that decoded with valid checksums.
+    pub postmortems_readable: u64,
+    /// Postmortems whose offending-request span tree is non-empty.
+    pub postmortems_with_tree: u64,
+    /// Untraced ingest throughput (best of trials).
+    pub untraced_updates_per_sec: f64,
+    /// Traced ingest throughput (best of trials).
+    pub traced_updates_per_sec: f64,
+    /// Acceptance floor for the overhead ratio (mode-dependent).
+    pub overhead_floor: f64,
+}
+
+impl Measurement {
+    /// traced / untraced updates per second.
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.untraced_updates_per_sec <= 0.0 {
+            0.0
+        } else {
+            self.traced_updates_per_sec / self.untraced_updates_per_sec
+        }
+    }
+
+    /// Expected postmortem count from the typed-failure counters.
+    pub fn expected_postmortems(&self) -> u64 {
+        self.quarantines + self.deadline_missed + self.breaker_trips
+    }
+
+    /// The CI acceptance predicate.
+    pub fn acceptable(&self) -> bool {
+        self.request_roots == self.requests
+            && self.distinct_trace_ids == self.requests
+            && self.flush_roots > 0
+            && self.orphans == 0
+            && self.evicted == 0
+            && self.torn == 0
+            && self.exemplars > 0
+            && self.dangling_exemplars == 0
+            && self.quarantines >= 1
+            && self.deadline_missed >= 1
+            && self.breaker_trips >= 1
+            && self.postmortems_written == self.expected_postmortems()
+            && self.postmortems_readable == self.postmortems_written
+            && self.postmortems_with_tree > 0
+            && self.overhead_ratio() >= self.overhead_floor
+    }
+}
+
+const DELTA: f64 = 0.5;
+
+fn forest_build(n: usize, seed: u64) -> impl Fn(usize) -> SpanningForestSketch + Send + Sync {
+    move |i| {
+        let space = EdgeSpace::graph(n).expect("edge space");
+        let params = ForestParams::new(Profile::Practical, space.dimension());
+        SpanningForestSketch::new_full(space, &SeedTree::new(seed).child(i as u64), params)
+    }
+}
+
+/// The scripted failure campaign: a transient shard error (retry spans), a
+/// poisoning (quarantine postmortem), and a late stall burst sized to trip
+/// the breaker (deadline + breaker postmortems).
+fn campaign(seed: u64, len: usize, trip_after: u32) -> ChaosCampaign {
+    let at = |frac: f64| ((len as f64 * frac) as usize).max(1);
+    ChaosCampaign::new("e22-trace", seed)
+        .at(
+            at(0.15),
+            ChaosFault::ShardError {
+                shard: 1,
+                attempts: 2,
+            },
+        )
+        .at(at(0.30), ChaosFault::ShardPoison { shard: 0 })
+        .at(
+            at(0.85),
+            ChaosFault::SlowConsumer {
+                queries: trip_after,
+                millis: 0, // the stall length is derived from the deadline
+            },
+        )
+}
+
+fn sup_config(repetitions: usize, len: usize, seed: u64) -> SupervisorConfig {
+    SupervisorConfig {
+        repetitions,
+        threads: 2,
+        batch_size: 32,
+        // The poisoned shard must stay quarantined: its postmortem is the
+        // artifact under test, and a rebuild would fire a second one.
+        rebuild_after_flushes: u64::MAX,
+        scrub_interval: 0,
+        delta: DELTA,
+        checkpoint: CheckpointConfig {
+            snapshot_interval: (len / 8).max(256) as u64,
+            ..CheckpointConfig::default()
+        },
+        seed,
+        ..SupervisorConfig::default()
+    }
+}
+
+/// Runs the soak. Separated from [`run`] so the CI guard (`check-trace`)
+/// can re-measure without printing tables.
+pub fn measure(quick: bool) -> Measurement {
+    let n: usize = if quick { 24 } else { 32 };
+    let repetitions: usize = if quick { 3 } else { 5 };
+    let cycles: usize = if quick { 12 } else { 40 };
+    let query_stride: usize = 64;
+    let trials: usize = if quick { 3 } else { 5 };
+    let overhead_floor = if quick { 0.75 } else { 0.95 };
+    // Two consecutive misses trip the breaker. The stall burst is sized to
+    // the trip count, and two is the most the cost-admission gate will
+    // admit back-to-back: each ~150ms stall feeds the per-repetition cost
+    // EWMA, and after two of them the estimate exceeds the deadline's
+    // cost-headroom budget — a third stalled query would be CostRejected,
+    // not deadline-missed, and the breaker would never fire.
+    let trip_after: u32 = 2;
+    let seed: u64 = 0xE22;
+    let deadline = Duration::from_millis(100);
+
+    // Workload: the E20/E21 churn-cycle construction.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let h = Hypergraph::from_graph(&gnp(n, 0.25, &mut rng));
+    let base = churn_stream(
+        &h,
+        ChurnConfig {
+            noise_ratio: 1.0,
+            churn_ratio: 0.5,
+        },
+        &mut rng,
+    );
+    let mut updates: Vec<Update> = Vec::with_capacity(base.updates.len() * cycles);
+    for cycle in 0..cycles {
+        if cycle % 2 == 0 {
+            updates.extend(base.updates.iter().cloned());
+        } else {
+            for u in base.updates.iter().rev() {
+                updates.push(match u.op {
+                    dgs_hypergraph::Op::Insert => Update::delete(u.edge.clone()),
+                    dgs_hypergraph::Op::Delete => Update::insert(u.edge.clone()),
+                });
+            }
+        }
+    }
+    let len = updates.len();
+
+    let dirs = std::env::temp_dir().join(format!("dgs-e22-{}-{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dirs);
+
+    let sup_cfg = sup_config(repetitions, len, seed);
+    let svc_cfg = ServiceConfig {
+        queue_capacity: 4,
+        quota: TokenBucketConfig {
+            capacity: 4.0 * repetitions as f64,
+            refill_per_sec: 2_000.0,
+        },
+        default_deadline: deadline,
+        refresh_interval: 256,
+        recover_views: false,
+        brownout: BrownoutConfig {
+            start_depth: 2,
+            min_repetitions: 2,
+        },
+        breaker: BreakerConfig {
+            // Exactly the stall burst: the last stalled query trips it.
+            trip_after,
+            // Long enough that the breaker stays open to the end of the
+            // stream — the probes after cooldown would mint extra deadline
+            // postmortems and break exact accounting.
+            cooldown: Duration::from_secs(600),
+        },
+        ..ServiceConfig::default()
+    };
+
+    // Phase 1: traced service under chaos. Everything runs on this thread,
+    // so one ring holds the whole soak; sized with lots of headroom —
+    // eviction is scored as a failure, not tolerated.
+    let registry = Registry::new();
+    let tracer = Tracer::with_sink(1 << 15, &registry.sink());
+    let recorder =
+        FlightRecorder::with_sink(dirs.join("postmortems"), &tracer, 64, &registry.sink())
+            .expect("flight recorder dir");
+    let svc: ConnectivityService<SpanningForestSketch> =
+        ConnectivityService::with_sink(svc_cfg, &registry.sink());
+    svc.set_tracer(&tracer);
+    svc.set_flight_recorder(&recorder);
+    svc.add_tenant(
+        "t0",
+        dirs.join("wal"),
+        dirs.join("snap"),
+        n,
+        2,
+        sup_cfg,
+        forest_build(n, seed ^ 0xB00),
+    )
+    .expect("add tenant");
+
+    let camp = campaign(seed, len, trip_after);
+    let mut sched = ChaosScheduler::new(&camp);
+    sched.set_sink(&registry.sink());
+    let events = sched.len();
+
+    // While nonzero, each decode burns one unit, stalls past the deadline,
+    // and fails retryably — the budget check then returns an honest
+    // `DeadlineExceeded` (a successful slow decode would be an honest
+    // `Full` and trip nothing).
+    let stall_queries = AtomicU32::new(0);
+    let stall = deadline + Duration::from_millis(50);
+    let decode = |_shard: usize, s: &SpanningForestSketch| {
+        if stall_queries
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1))
+            .is_ok()
+        {
+            std::thread::sleep(stall);
+            return Err(SketchError::failure("chaos", "stalled decode"));
+        }
+        s.try_component_count()
+    };
+    let req = QueryRequest {
+        deadline: Some(deadline),
+        policy: QueryPolicy::FirstSuccess,
+    };
+
+    let mut requests = 0u64;
+    let mut pending_stalls = 0u32;
+    for (pos, u) in updates.iter().enumerate() {
+        for event in sched.due(pos) {
+            match event.fault {
+                ChaosFault::ShardError { shard, attempts } => {
+                    svc.with_ingestor("t0", |ing| {
+                        ing.inject_apply_fault(
+                            shard % repetitions,
+                            SketchError::failure("chaos", "transient shard error"),
+                            attempts,
+                        );
+                    })
+                    .expect("chaos tenant");
+                }
+                ChaosFault::ShardPoison { shard } => {
+                    svc.with_ingestor("t0", |ing| {
+                        ing.inject_apply_fault(
+                            shard % repetitions,
+                            SketchError::failure("chaos", "poisoned shard"),
+                            u32::MAX,
+                        );
+                    })
+                    .expect("chaos tenant");
+                }
+                ChaosFault::SlowConsumer { queries, .. } => {
+                    pending_stalls = queries;
+                }
+                // Load spikes and durability faults are E20/E21's soaks.
+                _ => {}
+            }
+        }
+        if pending_stalls > 0 {
+            // The stall burst: each query eats one stalled decode and lands
+            // an honest DeadlineExceeded; the last one trips the breaker.
+            stall_queries.store(pending_stalls, Ordering::Release);
+            for _ in 0..pending_stalls {
+                requests += 1;
+                match svc.query("t0", &req, decode) {
+                    Ok(_) | Err(ServiceError::Overload(_)) => {}
+                    Err(e) => panic!("stalled query failed: {e}"),
+                }
+            }
+            pending_stalls = 0;
+        }
+        svc.push("t0", u).expect("push");
+        if pos % query_stride == 0 {
+            requests += 1;
+            match svc.query("t0", &req, decode) {
+                Ok(_) | Err(ServiceError::Overload(_)) => {}
+                Err(e) => panic!("query failed: {e}"),
+            }
+        }
+    }
+    svc.flush("t0").expect("flush");
+
+    let snap = tracer.snapshot();
+    let mut trace_ids: BTreeSet<u64> = BTreeSet::new();
+    let mut request_roots = 0u64;
+    let mut flush_roots = 0u64;
+    for root in snap.roots() {
+        match root.name {
+            "dgs_core_service_request" => {
+                request_roots += 1;
+                trace_ids.insert(root.trace_id);
+            }
+            "dgs_core_supervise_flush" => flush_roots += 1,
+            _ => {}
+        }
+    }
+    let all_ids: BTreeSet<u64> = snap.events.iter().map(|e| e.trace_id).collect();
+    let exemplars = snap.exemplars();
+    let dangling_exemplars = exemplars
+        .iter()
+        .filter(|x| !all_ids.contains(&x.trace_id))
+        .count() as u64;
+
+    let tenant = |name: &str| {
+        registry
+            .counter_value(&format!("{name}{{tenant=\"t0\"}}"))
+            .unwrap_or(0)
+    };
+    let quarantines = registry
+        .counter_value("dgs_core_supervise_quarantines")
+        .unwrap_or(0);
+    let deadline_missed = tenant("dgs_core_service_deadline_missed");
+    let breaker_trips = tenant("dgs_core_service_breaker_trips");
+
+    // Every postmortem on disk must decode with valid checksum frames.
+    let mut postmortems_readable = 0u64;
+    let mut postmortems_with_tree = 0u64;
+    let mut pm_files: Vec<_> = std::fs::read_dir(recorder.dir())
+        .expect("postmortem dir")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    pm_files.sort();
+    for path in &pm_files {
+        if let Ok(pm) = Postmortem::read(path) {
+            postmortems_readable += 1;
+            if !pm.tree.is_empty() {
+                postmortems_with_tree += 1;
+            }
+            // The render path must not panic on any real postmortem.
+            let _ = pm.render();
+        }
+    }
+
+    // Phase 2: traced-vs-untraced ingest overhead on a bare ingestor. One
+    // untimed warm-up pass per mode drains bursty CPU credit (see the E19
+    // note), then best-of-trials on each side.
+    let mut untraced_updates_per_sec = 0.0f64;
+    let mut traced_updates_per_sec = 0.0f64;
+    for trial in 0..=trials {
+        for traced in [false, true] {
+            let tag = format!("ovh-{trial}-{traced}");
+            let mut ing: SupervisedIngestor<SpanningForestSketch> = SupervisedIngestor::create(
+                dirs.join(format!("{tag}-wal")),
+                dirs.join(format!("{tag}-snap")),
+                n,
+                2,
+                sup_config(repetitions, len, seed),
+                forest_build(n, seed ^ 0x0FF),
+            )
+            .expect("overhead ingestor");
+            let overhead_tracer = Tracer::new(1 << 10);
+            if traced {
+                ing.set_tracer(&overhead_tracer);
+            }
+            let t0 = Instant::now();
+            for u in &updates {
+                ing.push(u).expect("overhead push");
+            }
+            ing.flush().expect("overhead flush");
+            let rate = len as f64 / t0.elapsed().as_secs_f64();
+            if trial > 0 {
+                let best = if traced {
+                    &mut traced_updates_per_sec
+                } else {
+                    &mut untraced_updates_per_sec
+                };
+                *best = best.max(rate);
+            }
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dirs);
+    Measurement {
+        n,
+        repetitions,
+        updates: len,
+        events,
+        requests,
+        request_roots,
+        distinct_trace_ids: trace_ids.len() as u64,
+        flush_roots,
+        orphans: snap.orphans().len() as u64,
+        evicted: snap.evicted,
+        torn: snap.torn,
+        exemplars: exemplars.len() as u64,
+        dangling_exemplars,
+        quarantines,
+        deadline_missed,
+        breaker_trips,
+        postmortems_written: recorder.written(),
+        postmortems_readable,
+        postmortems_with_tree,
+        untraced_updates_per_sec,
+        traced_updates_per_sec,
+        overhead_floor,
+    }
+}
+
+pub fn run(quick: bool) {
+    let meas = measure(quick);
+    let mut table = Table::new(
+        "E22: request tracing, flight recorder, traced-ingest overhead",
+        &["metric", "value"],
+    );
+    let rows: Vec<(&str, String)> = vec![
+        (
+            "workload",
+            format!(
+                "n = {}, R = {}, {} updates, {} chaos events, {} requests",
+                meas.n, meas.repetitions, meas.updates, meas.events, meas.requests
+            ),
+        ),
+        (
+            "root spans",
+            format!(
+                "{} request roots / {} requests ({} distinct trace ids), {} flush roots",
+                meas.request_roots, meas.requests, meas.distinct_trace_ids, meas.flush_roots
+            ),
+        ),
+        (
+            "integrity",
+            format!(
+                "{} orphans, {} evicted, {} torn",
+                meas.orphans, meas.evicted, meas.torn
+            ),
+        ),
+        (
+            "exemplars",
+            format!("{} ({} dangling)", meas.exemplars, meas.dangling_exemplars),
+        ),
+        (
+            "typed failures",
+            format!(
+                "{} quarantines, {} deadline-exceeded, {} breaker trips",
+                meas.quarantines, meas.deadline_missed, meas.breaker_trips
+            ),
+        ),
+        (
+            "postmortems",
+            format!(
+                "{} written (expected {}), {} readable, {} with span tree",
+                meas.postmortems_written,
+                meas.expected_postmortems(),
+                meas.postmortems_readable,
+                meas.postmortems_with_tree
+            ),
+        ),
+        (
+            "ingest overhead",
+            format!(
+                "{:.0} untraced -> {:.0} traced updates/s (ratio {:.3}, floor {:.2})",
+                meas.untraced_updates_per_sec,
+                meas.traced_updates_per_sec,
+                meas.overhead_ratio(),
+                meas.overhead_floor
+            ),
+        ),
+    ];
+    for (k, v) in rows {
+        table.row(vec![k.to_string(), v]);
+    }
+    table.note("one root span per request — typed rejections included, as marks inside the trace");
+    table
+        .note("postmortem accounting is exact: written == quarantines + deadlines + breaker trips");
+    table.note(format!(
+        "acceptance: roots == requests (distinct ids), zero orphans/evictions/torn reads, \
+         exact postmortems all readable, overhead ratio >= floor — {}",
+        if meas.acceptable() { "PASS" } else { "FAIL" }
+    ));
+    table.print();
+    write_baseline(&meas);
+}
+
+/// `BENCH_trace.json` in the shared [`crate::baseline`] schema.
+fn write_baseline(meas: &Measurement) {
+    let mut b = Baseline::new("e22-trace").config(
+        Fields::new()
+            .usize("n", meas.n)
+            .usize("repetitions", meas.repetitions)
+            .usize("updates", meas.updates)
+            .usize("events", meas.events),
+    );
+    b.row(
+        Fields::new()
+            .str("aspect", "completeness")
+            .u64("requests", meas.requests)
+            .u64("request_roots", meas.request_roots)
+            .u64("distinct_trace_ids", meas.distinct_trace_ids)
+            .u64("flush_roots", meas.flush_roots),
+        meas.request_roots == meas.requests
+            && meas.distinct_trace_ids == meas.requests
+            && meas.flush_roots > 0,
+    );
+    b.row(
+        Fields::new()
+            .str("aspect", "integrity")
+            .u64("orphans", meas.orphans)
+            .u64("evicted", meas.evicted)
+            .u64("torn", meas.torn)
+            .u64("exemplars", meas.exemplars)
+            .u64("dangling_exemplars", meas.dangling_exemplars),
+        meas.orphans == 0
+            && meas.evicted == 0
+            && meas.torn == 0
+            && meas.exemplars > 0
+            && meas.dangling_exemplars == 0,
+    );
+    b.row(
+        Fields::new()
+            .str("aspect", "postmortems")
+            .u64("quarantines", meas.quarantines)
+            .u64("deadline_missed", meas.deadline_missed)
+            .u64("breaker_trips", meas.breaker_trips)
+            .u64("expected", meas.expected_postmortems())
+            .u64("written", meas.postmortems_written)
+            .u64("readable", meas.postmortems_readable)
+            .u64("with_tree", meas.postmortems_with_tree),
+        meas.postmortems_written == meas.expected_postmortems()
+            && meas.postmortems_readable == meas.postmortems_written
+            && meas.expected_postmortems() > 0
+            && meas.postmortems_with_tree > 0,
+    );
+    b.row(
+        Fields::new()
+            .str("aspect", "overhead")
+            .f64("untraced_updates_per_sec", meas.untraced_updates_per_sec, 1)
+            .f64("traced_updates_per_sec", meas.traced_updates_per_sec, 1)
+            .f64("overhead_ratio", meas.overhead_ratio(), 4)
+            .f64("floor", meas.overhead_floor, 2),
+        meas.overhead_ratio() >= meas.overhead_floor,
+    );
+    b.summary(
+        Fields::new()
+            .u64("requests", meas.requests)
+            .u64("request_roots", meas.request_roots)
+            .u64("orphans", meas.orphans)
+            .u64("evicted", meas.evicted)
+            .u64("postmortems_written", meas.postmortems_written)
+            .u64("postmortems_expected", meas.expected_postmortems())
+            .f64("overhead_ratio", meas.overhead_ratio(), 4)
+            .bool("acceptable", meas.acceptable()),
+        meas.acceptable(),
+    )
+    .write("BENCH_trace.json");
+}
+
+/// CI guard: the checked-in baseline must pass, and a fresh quick soak
+/// must be acceptable too. Returns `false` on any violation.
+pub fn check(baseline_path: &str) -> bool {
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("check-trace: cannot read {baseline_path}: {e}");
+            return false;
+        }
+    };
+    let mut ok = true;
+    if summary_pass(&baseline) != Some(true) {
+        eprintln!("check-trace: FAIL — checked-in {baseline_path} records a failing soak");
+        ok = false;
+    }
+    let meas = measure(true);
+    println!(
+        "check-trace: {} roots / {} requests, {} orphans, {} evicted, \
+         postmortems {}/{} expected, overhead ratio {:.3} (floor {:.2})",
+        meas.request_roots,
+        meas.requests,
+        meas.orphans,
+        meas.evicted,
+        meas.postmortems_written,
+        meas.expected_postmortems(),
+        meas.overhead_ratio(),
+        meas.overhead_floor
+    );
+    if meas.request_roots != meas.requests || meas.distinct_trace_ids != meas.requests {
+        eprintln!(
+            "check-trace: FAIL — {} requests produced {} root spans ({} distinct ids)",
+            meas.requests, meas.request_roots, meas.distinct_trace_ids
+        );
+        ok = false;
+    }
+    if meas.orphans > 0 || meas.evicted > 0 || meas.torn > 0 {
+        eprintln!(
+            "check-trace: FAIL — snapshot not clean ({} orphans, {} evicted, {} torn)",
+            meas.orphans, meas.evicted, meas.torn
+        );
+        ok = false;
+    }
+    if meas.postmortems_written != meas.expected_postmortems()
+        || meas.postmortems_readable != meas.postmortems_written
+    {
+        eprintln!(
+            "check-trace: FAIL — postmortem accounting: {} written, {} expected, {} readable",
+            meas.postmortems_written,
+            meas.expected_postmortems(),
+            meas.postmortems_readable
+        );
+        ok = false;
+    }
+    if meas.expected_postmortems() == 0 || meas.postmortems_with_tree == 0 {
+        eprintln!(
+            "check-trace: FAIL — soak coverage missing ({} typed failures, {} with tree)",
+            meas.expected_postmortems(),
+            meas.postmortems_with_tree
+        );
+        ok = false;
+    }
+    if meas.overhead_ratio() < meas.overhead_floor {
+        eprintln!(
+            "check-trace: FAIL — traced ingest kept only {:.1}% of untraced (floor {:.0}%)",
+            meas.overhead_ratio() * 100.0,
+            meas.overhead_floor * 100.0
+        );
+        ok = false;
+    }
+    if ok {
+        println!("check-trace: OK");
+    }
+    ok
+}
+
+/// `obs-report --postmortem <file>`: render one postmortem to stdout.
+pub fn render_postmortem(path: &str) -> bool {
+    match Postmortem::read(std::path::Path::new(path)) {
+        Ok(pm) => {
+            print!("{}", pm.render());
+            true
+        }
+        Err(e) => {
+            eprintln!("obs-report: cannot read postmortem {path}: {e}");
+            false
+        }
+    }
+}

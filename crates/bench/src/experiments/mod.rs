@@ -24,11 +24,12 @@ pub mod e18_obs;
 pub mod e19_query;
 pub mod e20_chaos;
 pub mod e21_service;
+pub mod e22_trace;
 
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22",
 ];
 
 /// Runs one experiment by id. Returns false for an unknown id.
@@ -55,6 +56,7 @@ pub fn run(id: &str, quick: bool) -> bool {
         "e19" => e19_query::run(quick),
         "e20" => e20_chaos::run(quick),
         "e21" => e21_service::run(quick),
+        "e22" => e22_trace::run(quick),
         _ => return false,
     }
     true

@@ -1172,6 +1172,12 @@ impl SpanningForestSketch {
         self.metrics.decode_aggregate_ns.record(agg_ns);
         self.metrics.decode_sample_ns.record(sample_ns);
         self.metrics.decode_merge_ns.record(merge_ns);
+        // Under an ambient request trace these become phase spans of the
+        // decode (inert otherwise), linking the per-phase histograms above
+        // to the specific request that produced them.
+        dgs_trace::phase("dgs_connectivity_forest_decode_aggregate", agg_ns);
+        dgs_trace::phase("dgs_connectivity_forest_decode_sample", sample_ns);
+        dgs_trace::phase("dgs_connectivity_forest_decode_merge", merge_ns);
         if uf.component_count() > 1 && !last_round_certified {
             self.metrics.decode_failures.inc();
             return Err(SketchError::failure(

@@ -208,6 +208,9 @@ impl<S> BoostedQuery<S> {
     /// Retryable failures are counted and skipped; `InvalidInput`
     /// short-circuits to [`QueryOutcome::Invalid`].
     pub fn query<T>(&self, q: impl Fn(&S) -> SketchResult<T>) -> QueryOutcome<T> {
+        // Inert without an ambient trace; under one, records how long the
+        // boosted decode took end to end.
+        let _span = dgs_trace::child("dgs_core_boost_decode");
         let mut failed = 0;
         for s in &self.repetitions {
             match q(s) {

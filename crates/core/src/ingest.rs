@@ -115,6 +115,9 @@ pub struct ShardedIngestor<S> {
     buffer: Vec<(HyperEdge, i64)>,
     ingested: u64,
     metrics: IngestMetrics,
+    /// Kept to re-attach the striping pool's own metrics on every flush
+    /// (idempotent after the first — see [`dgs_pool::StickyPool::set_sink`]).
+    sink: MetricsSink,
 }
 
 impl<S: BatchableSketch> ShardedIngestor<S> {
@@ -137,6 +140,7 @@ impl<S: BatchableSketch> ShardedIngestor<S> {
             buffer: Vec::with_capacity(batch_size),
             ingested: 0,
             metrics: IngestMetrics::default(),
+            sink: MetricsSink::null(),
         }
     }
 
@@ -148,6 +152,7 @@ impl<S: BatchableSketch> ShardedIngestor<S> {
     /// is the null sink: recording is free.
     pub fn set_sink(&mut self, sink: &MetricsSink) {
         self.metrics = IngestMetrics::resolve(sink, self.stripes);
+        self.sink = sink.clone();
     }
 
     /// Builds `r` repetitions via `build(repetition_index)` — derive each
@@ -237,6 +242,7 @@ impl<S: BatchableSketch> ShardedIngestor<S> {
             let mut results: Vec<SketchResult<()>> = (0..stripes).map(|_| Ok(())).collect();
             let metrics = &self.metrics;
             dgs_pool::with_local_pool(stripes, |pool| {
+                pool.set_sink(&self.sink);
                 pool.scope(|scope| {
                     for ((t, stripe), result) in
                         stripe_reps.into_iter().enumerate().zip(results.iter_mut())

@@ -34,6 +34,8 @@ pub mod ingest;
 pub mod reconstruct;
 #[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod service;
+#[deny(clippy::unwrap_used, clippy::expect_used)]
+pub mod slo;
 pub mod sparsify;
 #[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod supervise;
@@ -51,6 +53,7 @@ pub use service::{
     BreakerConfig, BrownoutConfig, ConnectivityService, Overload, QueryRequest, QueryResponse,
     ServiceConfig, ServiceError, TokenBucketConfig,
 };
+pub use slo::{BurnMachine, SloConfig, SloEngine, SloReport, SloState};
 pub use sparsify::{
     HypergraphSparsifier, SparsifierConfig, SparsifierPlayerMessage, SparsifierResult,
 };

@@ -419,6 +419,8 @@ pub struct ConnectivityService<S: Recoverable> {
     cfg: ServiceConfig,
     sink: MetricsSink,
     tenants: RwLock<BTreeMap<String, Arc<Tenant<S>>>>,
+    tracer: RwLock<Option<dgs_trace::Tracer>>,
+    flight: RwLock<Option<dgs_trace::FlightRecorder>>,
 }
 
 impl<S: Recoverable + Clone + Send + Sync> ConnectivityService<S> {
@@ -448,6 +450,30 @@ impl<S: Recoverable + Clone + Send + Sync> ConnectivityService<S> {
             cfg,
             sink: sink.clone(),
             tenants: RwLock::new(BTreeMap::new()),
+            tracer: RwLock::new(None),
+            flight: RwLock::new(None),
+        }
+    }
+
+    /// Attaches a tracer: every query gets a `dgs_core_service_request`
+    /// root span, and the tracer is installed into every tenant's
+    /// ingestor (current and future) so flushes and decode consultations
+    /// nest under it. Default is no tracer (zero-cost).
+    pub fn set_tracer(&self, tracer: &dgs_trace::Tracer) {
+        *lock_write(&self.tracer) = Some(tracer.clone());
+        for tenant in lock_read(&self.tenants).values() {
+            lock_mutex(&tenant.ingestor).set_tracer(tracer);
+        }
+    }
+
+    /// Attaches a flight recorder: breaker trips, deadline-exceeded
+    /// answers, shard quarantines, and scrub mismatches each freeze a
+    /// postmortem file. Installed into every tenant's ingestor (current
+    /// and future). Default is none.
+    pub fn set_flight_recorder(&self, recorder: &dgs_trace::FlightRecorder) {
+        *lock_write(&self.flight) = Some(recorder.clone());
+        for tenant in lock_read(&self.tenants).values() {
+            lock_mutex(&tenant.ingestor).set_flight_recorder(recorder);
         }
     }
 
@@ -472,6 +498,12 @@ impl<S: Recoverable + Clone + Send + Sync> ConnectivityService<S> {
     {
         let mut ingestor = SupervisedIngestor::create(wal_dir, snap_root, n, max_rank, sup, build)?;
         ingestor.set_sink(&self.sink);
+        if let Some(tracer) = lock_read(&self.tracer).as_ref() {
+            ingestor.set_tracer(tracer);
+        }
+        if let Some(recorder) = lock_read(&self.flight).as_ref() {
+            ingestor.set_flight_recorder(recorder);
+        }
         let view = ingestor.freeze()?;
         let tenant = Arc::new(Tenant {
             ingestor: Mutex::new(ingestor),
@@ -634,6 +666,14 @@ impl<S: Recoverable + Clone + Send + Sync> ConnectivityService<S> {
         let start = Instant::now();
         let deadline = req.deadline.unwrap_or(self.cfg.default_deadline);
 
+        // Trace context is allocated at admission: one root span per
+        // request, alive through the ladder, decode, and feedback. Every
+        // instrumentation point below it (`mark`, `child`) is inert when
+        // no tracer is attached.
+        let _request_span = lock_read(&self.tracer)
+            .as_ref()
+            .map(|tr| tr.root("dgs_core_service_request"));
+
         // Rung 1: circuit breaker.
         {
             let mut adm = lock_mutex(&t.admission);
@@ -642,6 +682,7 @@ impl<S: Recoverable + Clone + Send + Sync> ConnectivityService<S> {
                     let overload = Overload::CircuitOpen {
                         retry_after: until.saturating_duration_since(start),
                     };
+                    dgs_trace::mark("dgs_core_service_reject_breaker");
                     t.metrics.record_rejection(&overload);
                     return Err(ServiceError::Overload(overload));
                 }
@@ -663,6 +704,7 @@ impl<S: Recoverable + Clone + Send + Sync> ConnectivityService<S> {
                 depth: depth + 1,
                 capacity: self.cfg.queue_capacity,
             };
+            dgs_trace::mark("dgs_core_service_reject_queue_full");
             t.metrics.record_rejection(&overload);
             return Err(ServiceError::Overload(overload));
         }
@@ -695,6 +737,7 @@ impl<S: Recoverable + Clone + Send + Sync> ConnectivityService<S> {
                     estimated: Duration::from_nanos(per_rep as u64),
                     deadline,
                 };
+                dgs_trace::mark("dgs_core_service_reject_cost");
                 t.metrics.record_rejection(&overload);
                 return Err(ServiceError::Overload(overload));
             }
@@ -707,6 +750,7 @@ impl<S: Recoverable + Clone + Send + Sync> ConnectivityService<S> {
                 let overload = Overload::QuotaExhausted {
                     retry_after: Duration::from_secs_f64(deficit / self.cfg.quota.refill_per_sec),
                 };
+                dgs_trace::mark("dgs_core_service_reject_quota");
                 t.metrics.record_rejection(&overload);
                 return Err(ServiceError::Overload(overload));
             }
@@ -730,7 +774,9 @@ impl<S: Recoverable + Clone + Send + Sync> ConnectivityService<S> {
             per_shard_deadline: Some(remaining / offered.max(1) as u32),
             max_decode_steps: Some(offered),
         };
+        let decode_span = dgs_trace::child("dgs_core_service_decode");
         let outcome = view.query(&budget, req.policy, Some(offered), &decode);
+        decode_span.finish();
         let latency = start.elapsed();
         t.metrics.query_ns.record(latency.as_nanos() as u64);
 
@@ -746,10 +792,28 @@ impl<S: Recoverable + Clone + Send + Sync> ConnectivityService<S> {
             if matches!(outcome.answer, SupervisedAnswer::DeadlineExceeded { .. }) {
                 t.metrics.deadline_missed.inc();
                 adm.consecutive_deadline += 1;
+                if let Some(flight) = lock_read(&self.flight).as_ref() {
+                    flight.record(
+                        "deadline-exceeded",
+                        &format!(
+                            "tenant {tenant}: deadline {deadline:?} missed after consulting {}",
+                            outcome.consulted
+                        ),
+                    );
+                }
                 if adm.consecutive_deadline >= self.cfg.breaker.trip_after {
                     adm.breaker_open_until = Some(Instant::now() + self.cfg.breaker.cooldown);
                     adm.consecutive_deadline = 0;
                     t.metrics.breaker_trips.inc();
+                    if let Some(flight) = lock_read(&self.flight).as_ref() {
+                        flight.record(
+                            "breaker-open",
+                            &format!(
+                                "tenant {tenant}: breaker tripped after {} consecutive deadline misses",
+                                self.cfg.breaker.trip_after
+                            ),
+                        );
+                    }
                 }
             } else {
                 adm.consecutive_deadline = 0;

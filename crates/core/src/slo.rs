@@ -1,0 +1,587 @@
+//! Per-tenant SLO engine: multi-window burn-rate alerting over the
+//! service's existing metrics.
+//!
+//! Two objectives per tenant, both derived from metrics the
+//! [`ConnectivityService`](crate::service::ConnectivityService) already
+//! publishes — the engine reads a [`Registry`], it never instruments the
+//! hot path:
+//!
+//! - **latency** — the fraction of admitted queries completing within
+//!   [`SloConfig::latency_target_ns`], measured from the per-tenant
+//!   `dgs_core_service_query_ns` histogram (good = cumulative count in
+//!   buckets whose upper edge fits the target, so the measurement is
+//!   conservative: a borderline bucket counts as bad).
+//! - **availability** — the fraction of decoded answers that are usable
+//!   (`Full` or `Degraded`), from the per-tenant answer counters.
+//!   `Unknown`, `DeadlineExceeded`, and `Invalid` are bad.
+//!
+//! Each `(tenant, objective)` pair runs a [`BurnMachine`]: cumulative
+//! `(time, good, total)` samples are appended on every
+//! [`SloEngine::evaluate`] call, and the burn rate — bad fraction divided
+//! by the error budget `1 - objective` — is computed over a **short** and
+//! a **long** trailing window. Burn 1.0 means the budget is being spent
+//! exactly at the sustainable rate; 2.0 spends a long window's budget in
+//! half the window. The state machine pages only when *both* windows
+//! burn past [`SloConfig::page_burn`] (the short window makes paging
+//! fast to clear after recovery, the long window keeps a brief spike
+//! from paging at all), warns at [`SloConfig::warn_burn`] the same way,
+//! and is `Ok` otherwise.
+//!
+//! Results are exported back through the same sink under
+//! `dgs_core_slo_*` (state gauge 0/1/2, burn gauges scaled ×1000,
+//! transition counters) so one Prometheus scrape carries the service
+//! metrics and the verdicts derived from them.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::time::Duration;
+
+use dgs_obs::{Counter, Gauge, HistStats, MetricsSink, Registry};
+
+/// Objectives and window shape for every tenant. One config serves all
+/// tenants — per-tenant objectives would go in a map keyed like the
+/// engine's machines, but the service currently offers one class.
+#[derive(Clone, Copy, Debug)]
+pub struct SloConfig {
+    /// A query completing within this many nanoseconds is "good" for the
+    /// latency objective.
+    pub latency_target_ns: u64,
+    /// Fraction of queries that must meet the latency target.
+    pub latency_objective: f64,
+    /// Fraction of decoded answers that must be usable.
+    pub availability_objective: f64,
+    /// Short (fast-reacting) burn window.
+    pub short_window: Duration,
+    /// Long (sustained) burn window.
+    pub long_window: Duration,
+    /// Both windows at or above this burn rate → `Warn`.
+    pub warn_burn: f64,
+    /// Both windows at or above this burn rate → `Page`.
+    pub page_burn: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> SloConfig {
+        SloConfig {
+            latency_target_ns: 50_000_000, // 50 ms
+            latency_objective: 0.99,
+            availability_objective: 0.999,
+            short_window: Duration::from_secs(300),
+            long_window: Duration::from_secs(3600),
+            warn_burn: 1.0,
+            page_burn: 6.0,
+        }
+    }
+}
+
+/// Alert state of one `(tenant, objective)` machine, ordered by severity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SloState {
+    /// Burn within budget on at least one window.
+    #[default]
+    Ok,
+    /// Both windows burning past `warn_burn`.
+    Warn,
+    /// Both windows burning past `page_burn`.
+    Page,
+}
+
+impl SloState {
+    /// Gauge encoding: 0 / 1 / 2.
+    pub fn as_level(self) -> i64 {
+        match self {
+            SloState::Ok => 0,
+            SloState::Warn => 1,
+            SloState::Page => 2,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            SloState::Ok => "ok",
+            SloState::Warn => "warn",
+            SloState::Page => "page",
+        }
+    }
+}
+
+impl fmt::Display for SloState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One evaluated `(tenant, objective)` verdict.
+#[derive(Clone, Debug)]
+pub struct SloReport {
+    /// Tenant name as it appears in the metric label.
+    pub tenant: String,
+    /// `"latency"` or `"availability"`.
+    pub slo: &'static str,
+    /// State after this evaluation.
+    pub state: SloState,
+    /// Burn rate over the short window.
+    pub burn_short: f64,
+    /// Burn rate over the long window.
+    pub burn_long: f64,
+    /// Cumulative good events at this evaluation.
+    pub good: u64,
+    /// Cumulative total events at this evaluation.
+    pub total: u64,
+}
+
+/// Multi-window burn-rate state machine over cumulative counts.
+///
+/// Samples are cumulative `(at, good, total)` triples; windows are
+/// evaluated against the newest sample no younger than `at - window`
+/// (falling back to the oldest retained sample while history is still
+/// shorter than the window).
+#[derive(Debug, Default)]
+pub struct BurnMachine {
+    samples: VecDeque<(Duration, u64, u64)>,
+    state: SloState,
+}
+
+impl BurnMachine {
+    /// Burn rate of the window ending at the newest sample. With no events
+    /// in the window the burn is 0 — no traffic spends no budget.
+    fn window_burn(&self, window: Duration, objective: f64) -> f64 {
+        let Some(&(newest_at, newest_good, newest_total)) = self.samples.back() else {
+            return 0.0;
+        };
+        let cutoff = newest_at.saturating_sub(window);
+        // Newest sample at or before the cutoff is the baseline; while the
+        // history is shorter than the window, the oldest sample is.
+        let mut base = match self.samples.front() {
+            Some(&first) => first,
+            None => return 0.0,
+        };
+        for &s in &self.samples {
+            if s.0 <= cutoff {
+                base = s;
+            } else {
+                break;
+            }
+        }
+        let total = newest_total.saturating_sub(base.2);
+        if total == 0 {
+            return 0.0;
+        }
+        let good = newest_good.saturating_sub(base.1);
+        let bad_frac = (total - good.min(total)) as f64 / total as f64;
+        let budget = (1.0 - objective).max(f64::EPSILON);
+        bad_frac / budget
+    }
+
+    /// Appends the cumulative sample and re-evaluates the state. Returns
+    /// `(state, burn_short, burn_long)`.
+    pub fn observe(
+        &mut self,
+        at: Duration,
+        good: u64,
+        total: u64,
+        objective: f64,
+        cfg: &SloConfig,
+    ) -> (SloState, f64, f64) {
+        // Counters are monotone; a sample older than the newest retained
+        // one (clock misuse) is clamped rather than corrupting the deque.
+        if let Some(&(newest_at, _, _)) = self.samples.back() {
+            if at < newest_at {
+                return (
+                    self.state,
+                    self.window_burn(cfg.short_window, objective),
+                    self.window_burn(cfg.long_window, objective),
+                );
+            }
+        }
+        self.samples.push_back((at, good, total));
+        // Retain one sample at or before the long-window cutoff as the
+        // baseline; everything older is unreachable.
+        let cutoff = at.saturating_sub(cfg.long_window);
+        while self.samples.len() > 2 && self.samples[1].0 <= cutoff {
+            self.samples.pop_front();
+        }
+        let burn_short = self.window_burn(cfg.short_window, objective);
+        let burn_long = self.window_burn(cfg.long_window, objective);
+        self.state = if burn_short >= cfg.page_burn && burn_long >= cfg.page_burn {
+            SloState::Page
+        } else if burn_short >= cfg.warn_burn && burn_long >= cfg.warn_burn {
+            SloState::Warn
+        } else {
+            SloState::Ok
+        };
+        (self.state, burn_short, burn_long)
+    }
+
+    /// Current state without observing a new sample.
+    pub fn state(&self) -> SloState {
+        self.state
+    }
+}
+
+struct Machine {
+    burn: BurnMachine,
+    state_gauge: Gauge,
+    burn_short_gauge: Gauge,
+    burn_long_gauge: Gauge,
+}
+
+/// Periodically evaluates every tenant's objectives against a
+/// [`Registry`] and exports verdicts through `sink` (typically the sink
+/// of the same registry, so scrape output carries both).
+///
+/// `evaluate` takes the evaluation time as a [`Duration`] on the
+/// caller's clock (time since service start, typically) — the engine
+/// never reads a wall clock, which keeps tests deterministic.
+pub struct SloEngine {
+    cfg: SloConfig,
+    sink: MetricsSink,
+    machines: BTreeMap<(String, &'static str), Machine>,
+    evaluations: Counter,
+}
+
+impl SloEngine {
+    /// An engine exporting through `sink`.
+    pub fn new(cfg: SloConfig, sink: &MetricsSink) -> SloEngine {
+        assert!(
+            cfg.latency_objective > 0.0 && cfg.latency_objective < 1.0,
+            "latency objective {} outside (0, 1)",
+            cfg.latency_objective
+        );
+        assert!(
+            cfg.availability_objective > 0.0 && cfg.availability_objective < 1.0,
+            "availability objective {} outside (0, 1)",
+            cfg.availability_objective
+        );
+        assert!(
+            cfg.warn_burn <= cfg.page_burn,
+            "warn burn must not exceed page burn"
+        );
+        SloEngine {
+            cfg,
+            sink: sink.clone(),
+            machines: BTreeMap::new(),
+            evaluations: sink.counter("dgs_core_slo_evaluations"),
+        }
+    }
+
+    /// The configured objectives.
+    pub fn config(&self) -> &SloConfig {
+        &self.cfg
+    }
+
+    /// Evaluates every tenant found in `registry` at time `at`, updates
+    /// the exported gauges/counters, and returns the verdicts sorted by
+    /// `(tenant, slo)`.
+    pub fn evaluate(&mut self, registry: &Registry, at: Duration) -> Vec<SloReport> {
+        self.evaluations.inc();
+        let mut reports = Vec::new();
+        for tenant in discover_tenants(registry) {
+            let latency = latency_counts(registry, &tenant, self.cfg.latency_target_ns);
+            reports.push(self.step(&tenant, "latency", latency, at));
+            let availability = availability_counts(registry, &tenant);
+            reports.push(self.step(&tenant, "availability", availability, at));
+        }
+        reports
+    }
+
+    fn step(
+        &mut self,
+        tenant: &str,
+        slo: &'static str,
+        (good, total): (u64, u64),
+        at: Duration,
+    ) -> SloReport {
+        let objective = match slo {
+            "latency" => self.cfg.latency_objective,
+            _ => self.cfg.availability_objective,
+        };
+        let machine = self
+            .machines
+            .entry((tenant.to_string(), slo))
+            .or_insert_with(|| {
+                let l = &[("slo", slo), ("tenant", tenant)];
+                Machine {
+                    burn: BurnMachine::default(),
+                    state_gauge: self.sink.gauge_labelled("dgs_core_slo_state", l),
+                    burn_short_gauge: self.sink.gauge_labelled("dgs_core_slo_burn_short_x1000", l),
+                    burn_long_gauge: self.sink.gauge_labelled("dgs_core_slo_burn_long_x1000", l),
+                }
+            });
+        let before = machine.burn.state();
+        let (state, burn_short, burn_long) =
+            machine.burn.observe(at, good, total, objective, &self.cfg);
+        machine.state_gauge.set(state.as_level());
+        machine.burn_short_gauge.set(scale_burn(burn_short));
+        machine.burn_long_gauge.set(scale_burn(burn_long));
+        if state != before {
+            self.sink
+                .counter_labelled(
+                    "dgs_core_slo_transitions",
+                    &[("slo", slo), ("tenant", tenant), ("to", state.label())],
+                )
+                .inc();
+        }
+        SloReport {
+            tenant: tenant.to_string(),
+            slo,
+            state,
+            burn_short,
+            burn_long,
+            good,
+            total,
+        }
+    }
+}
+
+fn scale_burn(burn: f64) -> i64 {
+    (burn * 1000.0).min(i64::MAX as f64) as i64
+}
+
+/// Tenants present in the registry, from the per-tenant latency
+/// histogram's key. Label values are stored escaped, so the extracted
+/// text can be spliced back into sibling keys verbatim.
+fn discover_tenants(registry: &Registry) -> Vec<String> {
+    const PREFIX: &str = "dgs_core_service_query_ns{tenant=\"";
+    let mut tenants = Vec::new();
+    for (key, _) in &registry.snapshot().metrics {
+        if let Some(rest) = key.strip_prefix(PREFIX) {
+            if let Some(tenant) = rest.strip_suffix("\"}") {
+                tenants.push(tenant.to_string());
+            }
+        }
+    }
+    tenants
+}
+
+/// Cumulative `(good, total)` for the latency objective: queries whose
+/// recorded latency landed in a bucket entirely at or under the target.
+fn latency_counts(registry: &Registry, tenant: &str, target_ns: u64) -> (u64, u64) {
+    let key = format!("dgs_core_service_query_ns{{tenant=\"{tenant}\"}}");
+    match registry.histogram_stats(&key) {
+        None => (0, 0),
+        Some(stats) => (good_under(&stats, target_ns), stats.count),
+    }
+}
+
+fn good_under(stats: &HistStats, target_ns: u64) -> u64 {
+    stats
+        .buckets
+        .iter()
+        .filter(|&&(upper, _)| upper <= target_ns)
+        .map(|&(_, count)| count)
+        .sum()
+}
+
+/// Cumulative `(good, total)` for the availability objective over the
+/// answer-mix counters.
+fn availability_counts(registry: &Registry, tenant: &str) -> (u64, u64) {
+    let c = |name: &str| {
+        registry
+            .counter_value(&format!("{name}{{tenant=\"{tenant}\"}}"))
+            .unwrap_or(0)
+    };
+    let good = c("dgs_core_service_answers_full") + c("dgs_core_service_answers_degraded");
+    let bad = c("dgs_core_service_answers_unknown")
+        + c("dgs_core_service_answers_deadline")
+        + c("dgs_core_service_answers_invalid");
+    (good, good + bad)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    fn cfg() -> SloConfig {
+        SloConfig {
+            latency_target_ns: 1_000_000, // 1 ms
+            latency_objective: 0.9,
+            availability_objective: 0.9,
+            short_window: Duration::from_secs(10),
+            long_window: Duration::from_secs(60),
+            warn_burn: 1.0,
+            page_burn: 5.0,
+        }
+    }
+
+    fn tenant_handles(sink: &MetricsSink, tenant: &str) -> (dgs_obs::Histogram, Counter, Counter) {
+        let l = &[("tenant", tenant)];
+        (
+            sink.histogram_labelled("dgs_core_service_query_ns", l),
+            sink.counter_labelled("dgs_core_service_answers_full", l),
+            sink.counter_labelled("dgs_core_service_answers_deadline", l),
+        )
+    }
+
+    #[test]
+    fn healthy_tenant_stays_ok() {
+        let reg = Registry::new();
+        let mut engine = SloEngine::new(cfg(), &reg.sink());
+        let (lat, full, _) = tenant_handles(&reg.sink(), "t0");
+        for s in 1..=20u64 {
+            lat.record(100_000); // well under target
+            full.inc();
+            let reports = engine.evaluate(&reg, Duration::from_secs(s));
+            assert!(
+                reports.iter().all(|r| r.state == SloState::Ok),
+                "at {s}s: {reports:?}"
+            );
+        }
+        assert_eq!(
+            reg.gauge_value("dgs_core_slo_state{slo=\"latency\",tenant=\"t0\"}"),
+            Some(0)
+        );
+        assert_eq!(reg.counter_value("dgs_core_slo_evaluations"), Some(20));
+    }
+
+    #[test]
+    fn sustained_misses_escalate_then_recover() {
+        let reg = Registry::new();
+        let mut engine = SloEngine::new(cfg(), &reg.sink());
+        let (lat, full, deadline) = tenant_handles(&reg.sink(), "t0");
+        // Seed healthy history.
+        for s in 1..=5u64 {
+            lat.record(100_000);
+            full.inc();
+            engine.evaluate(&reg, Duration::from_secs(s));
+        }
+        // Every query misses the target and times out: burn saturates far
+        // past page on both windows.
+        let mut paged_at = None;
+        for s in 6..=40u64 {
+            lat.record(50_000_000);
+            deadline.inc();
+            let reports = engine.evaluate(&reg, Duration::from_secs(s));
+            let latency = reports.iter().find(|r| r.slo == "latency").unwrap();
+            if latency.state == SloState::Page && paged_at.is_none() {
+                paged_at = Some(s);
+            }
+        }
+        let paged_at = paged_at.expect("sustained misses must page");
+        assert_eq!(
+            reg.gauge_value("dgs_core_slo_state{slo=\"latency\",tenant=\"t0\"}"),
+            Some(2)
+        );
+        assert_eq!(
+            reg.gauge_value("dgs_core_slo_state{slo=\"availability\",tenant=\"t0\"}"),
+            Some(2)
+        );
+        assert!(
+            reg.counter_value(
+                "dgs_core_slo_transitions{slo=\"latency\",tenant=\"t0\",to=\"page\"}"
+            )
+            .unwrap_or(0)
+                >= 1
+        );
+        // Recovery: the short window clears first (it forgets the incident
+        // quickly), which de-escalates even while the long window still
+        // burns — the point of requiring both windows.
+        let mut recovered_at = None;
+        for s in 41..=120u64 {
+            for _ in 0..20 {
+                lat.record(100_000);
+                full.inc();
+            }
+            let reports = engine.evaluate(&reg, Duration::from_secs(s));
+            let latency = reports.iter().find(|r| r.slo == "latency").unwrap();
+            if latency.state == SloState::Ok && recovered_at.is_none() {
+                recovered_at = Some(s);
+            }
+        }
+        let recovered_at = recovered_at.expect("recovery must return to ok");
+        assert!(
+            recovered_at - 40 < 20,
+            "short window should clear paging quickly, took {}s",
+            recovered_at - 40
+        );
+        assert!(paged_at < recovered_at);
+        assert_eq!(
+            reg.gauge_value("dgs_core_slo_state{slo=\"latency\",tenant=\"t0\"}"),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn brief_spike_does_not_page() {
+        let reg = Registry::new();
+        let mut engine = SloEngine::new(cfg(), &reg.sink());
+        let (lat, full, deadline) = tenant_handles(&reg.sink(), "t0");
+        // A long healthy history, then a 2-second total outage, then
+        // healthy again: the long window never reaches page burn.
+        for s in 1..=60u64 {
+            for _ in 0..10 {
+                lat.record(100_000);
+                full.inc();
+            }
+            engine.evaluate(&reg, Duration::from_secs(s));
+        }
+        let mut worst = SloState::Ok;
+        for s in 61..=62u64 {
+            for _ in 0..10 {
+                lat.record(50_000_000);
+                deadline.inc();
+            }
+            let reports = engine.evaluate(&reg, Duration::from_secs(s));
+            worst = worst.max(reports.iter().map(|r| r.state).max().unwrap());
+        }
+        for s in 63..=70u64 {
+            for _ in 0..10 {
+                lat.record(100_000);
+                full.inc();
+            }
+            let reports = engine.evaluate(&reg, Duration::from_secs(s));
+            worst = worst.max(reports.iter().map(|r| r.state).max().unwrap());
+        }
+        assert!(
+            worst < SloState::Page,
+            "a 2s spike in a healthy hour must not page (worst {worst})"
+        );
+    }
+
+    #[test]
+    fn tenants_are_discovered_and_isolated() {
+        let reg = Registry::new();
+        let mut engine = SloEngine::new(cfg(), &reg.sink());
+        let (lat_a, full_a, _) = tenant_handles(&reg.sink(), "alpha");
+        let (lat_b, _, deadline_b) = tenant_handles(&reg.sink(), "beta");
+        for s in 1..=30u64 {
+            lat_a.record(100_000);
+            full_a.inc();
+            lat_b.record(50_000_000);
+            deadline_b.inc();
+            engine.evaluate(&reg, Duration::from_secs(s));
+        }
+        assert_eq!(
+            reg.gauge_value("dgs_core_slo_state{slo=\"latency\",tenant=\"alpha\"}"),
+            Some(0)
+        );
+        assert_eq!(
+            reg.gauge_value("dgs_core_slo_state{slo=\"latency\",tenant=\"beta\"}"),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn no_traffic_burns_nothing() {
+        let reg = Registry::new();
+        let mut engine = SloEngine::new(cfg(), &reg.sink());
+        let (lat, _, _) = tenant_handles(&reg.sink(), "idle");
+        let _ = lat; // registers the tenant without recording anything
+        let reports = engine.evaluate(&reg, Duration::from_secs(1));
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.state == SloState::Ok));
+        assert!(reports.iter().all(|r| r.burn_short == 0.0));
+    }
+
+    #[test]
+    fn out_of_order_sample_is_ignored() {
+        let mut machine = BurnMachine::default();
+        let c = cfg();
+        machine.observe(Duration::from_secs(10), 0, 10, 0.9, &c);
+        let (state, _, _) = machine.observe(Duration::from_secs(5), 100, 100, 0.9, &c);
+        // The stale sample neither crashes nor rewrites history.
+        assert_eq!(state, machine.state());
+    }
+}

@@ -325,8 +325,13 @@ where
             break;
         }
         consulted += 1;
+        // Inert (a thread-local read) unless the caller holds an ambient
+        // trace context — the span then records which shard was consulted
+        // and how long its decode took.
+        let span = dgs_trace::child("dgs_core_supervise_shard_decode");
         let decode_start = Instant::now();
         let outcome = decode(shard, sketch);
+        span.finish();
         if budget
             .per_shard_deadline
             .is_some_and(|limit| decode_start.elapsed() > limit)
@@ -692,6 +697,9 @@ pub struct SupervisedIngestor<S: Recoverable> {
     scrub_cursor: usize,
     ingested: u64,
     metrics: SupMetrics,
+    sink: MetricsSink,
+    tracer: Option<dgs_trace::Tracer>,
+    flight: Option<dgs_trace::FlightRecorder>,
 }
 
 fn shard_seed(base: u64, i: usize) -> u64 {
@@ -734,6 +742,9 @@ impl<S: Recoverable + Clone + Send + Sync> SupervisedIngestor<S> {
             scrub_cursor: 0,
             ingested: 0,
             metrics: SupMetrics::default(),
+            sink: MetricsSink::null(),
+            tracer: None,
+            flight: None,
         })
     }
 
@@ -795,6 +806,9 @@ impl<S: Recoverable + Clone + Send + Sync> SupervisedIngestor<S> {
             scrub_cursor: 0,
             ingested: durable,
             metrics: SupMetrics::default(),
+            sink: MetricsSink::null(),
+            tracer: None,
+            flight: None,
         };
         Ok((ingestor, durable))
     }
@@ -843,6 +857,7 @@ impl<S: Recoverable + Clone + Send + Sync> SupervisedIngestor<S> {
     /// the null sink.
     pub fn set_sink(&mut self, sink: &MetricsSink) {
         self.metrics = SupMetrics::resolve(sink);
+        self.sink = sink.clone();
         self.wal.set_sink(sink);
         for shard in &mut self.shards {
             shard.store.set_sink(sink);
@@ -850,6 +865,20 @@ impl<S: Recoverable + Clone + Send + Sync> SupervisedIngestor<S> {
         self.metrics
             .healthy_shards
             .set(self.live_repetitions() as i64);
+    }
+
+    /// Attach a tracer: each standalone flush opens a root span, and
+    /// query-path decode consultations nest under the caller's ambient
+    /// request trace. Default is no tracer (zero-cost).
+    pub fn set_tracer(&mut self, tracer: &dgs_trace::Tracer) {
+        self.tracer = Some(tracer.clone());
+    }
+
+    /// Attach a flight recorder: shard quarantines and scrub mismatches
+    /// freeze a postmortem (recent trace events + the offending request's
+    /// span tree) to disk. Default is none.
+    pub fn set_flight_recorder(&mut self, recorder: &dgs_trace::FlightRecorder) {
+        self.flight = Some(recorder.clone());
     }
 
     /// Logs one update to the WAL and buffers it; flushes at batch size.
@@ -877,6 +906,20 @@ impl<S: Recoverable + Clone + Send + Sync> SupervisedIngestor<S> {
     /// the same batch non-retryably — the input is then at fault and no
     /// amount of shard health will absorb it.
     pub fn flush(&mut self) -> Result<(), RecoveryError> {
+        // A query-triggered flush rides the request's ambient trace as a
+        // child span; a standalone flush (batch boundary during ingest)
+        // opens its own root. One span per flush — not per update — keeps
+        // traced-ingest overhead within the E22 bound.
+        let _root = if dgs_trace::current_trace_id() == 0 {
+            self.tracer
+                .as_ref()
+                .map(|t| t.root("dgs_core_supervise_flush"))
+        } else {
+            None
+        };
+        let _child = _root
+            .is_none()
+            .then(|| dgs_trace::child("dgs_core_supervise_flush"));
         self.rebuild_due_shards();
         let batch = std::mem::take(&mut self.buffer);
         if batch.is_empty() {
@@ -1002,7 +1045,9 @@ impl<S: Recoverable + Clone + Send + Sync> SupervisedIngestor<S> {
         }
         let mut per_stripe: Vec<Vec<(usize, ApplyOutcome)>> =
             (0..threads).map(|_| Vec::new()).collect();
+        let sink = self.sink.clone();
         dgs_pool::with_local_pool(threads, |pool| {
+            pool.set_sink(&sink);
             pool.scope(|scope| {
                 for ((t, stripe), out) in stripes.into_iter().enumerate().zip(per_stripe.iter_mut())
                 {
@@ -1040,10 +1085,13 @@ impl<S: Recoverable + Clone + Send + Sync> SupervisedIngestor<S> {
     }
 
     fn quarantine(&mut self, i: usize, cause: String) {
-        let shard = &mut self.shards[i];
-        if shard.health == ShardState::Quarantined {
+        if self.shards[i].health == ShardState::Quarantined {
             return;
         }
+        if let Some(flight) = &self.flight {
+            flight.record("shard-quarantine", &format!("shard {i}: {cause}"));
+        }
+        let shard = &mut self.shards[i];
         shard.health = ShardState::Quarantined;
         shard.quarantined_flushes = 0;
         shard.suspect_streak = 0;
@@ -1198,6 +1246,12 @@ impl<S: Recoverable + Clone + Send + Sync> SupervisedIngestor<S> {
         let rebuilt = self.replay_rebuild(i, self.ingested)?;
         if encoded(&rebuilt) != encoded(self.shards[i].sketch.as_ref()) {
             self.metrics.scrub_mismatches.inc();
+            if let Some(flight) = &self.flight {
+                flight.record(
+                    "scrub-mismatch",
+                    &format!("shard {i}: live state diverged from durable state"),
+                );
+            }
             // Snapshots of the diverged shard are tainted back to an unknown
             // point; drop them all rather than trust any.
             self.shards[i]

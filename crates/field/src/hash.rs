@@ -15,6 +15,21 @@
 use crate::fp61::{canon61, mul61, Fp, LANES, P};
 use crate::seed::SeedTree;
 
+/// FNV-1a over a byte slice — the workspace's frame checksum.
+///
+/// Every checksum-framed on-disk and on-wire format in this workspace (the
+/// WAL segments, checkpoint manifests, the lossy-channel protocol, and the
+/// trace postmortem files) frames payloads with this hash, so it lives at
+/// the bottom layer where all of them can reach it.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// A k-wise independent hash `F_p -> F_p` given by a random polynomial.
 #[derive(Clone, Debug)]
 pub struct KWiseHash {

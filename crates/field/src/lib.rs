@@ -29,6 +29,6 @@ pub mod seed;
 pub use codec::{Codec, CodecError, Reader, Writer};
 pub use fingerprint::{Fingerprinter, PowTable};
 pub use fp61::Fp;
-pub use hash::{KWiseHash, UniformHash};
+pub use hash::{fnv1a64, KWiseHash, UniformHash};
 pub use prng::{Rng, SeedableRng, SliceRandom, StdRng};
 pub use seed::SeedTree;

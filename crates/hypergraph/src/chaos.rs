@@ -289,6 +289,10 @@ impl ChaosScheduler {
             if let Some(c) = self.by_kind.get(e.fault.kind()) {
                 c.inc();
             }
+            // Stamp the fault injection into any ambient trace (inert
+            // otherwise), so a postmortem's recent-events window shows the
+            // chaos that preceded the failure.
+            dgs_trace::mark(e.fault.kind());
         }
         fired.to_vec()
     }

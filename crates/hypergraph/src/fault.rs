@@ -345,15 +345,10 @@ impl Backoff {
 }
 
 /// FNV-1a over the payload — the frame checksum [`LossyChannel`] uses to
-/// turn arbitrary in-flight corruption into *detected* corruption.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// turn arbitrary in-flight corruption into *detected* corruption. The
+/// implementation lives in `dgs-field` so checksum-framed formats below the
+/// graph layer (e.g. trace postmortem files) share the exact same hash.
+pub use dgs_field::fnv1a64;
 
 /// Frames a message for transmission: `[fnv1a64(payload) as u64 LE][payload]`.
 pub fn encode_frame<T: Codec>(msg: &T) -> Vec<u8> {

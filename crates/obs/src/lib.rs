@@ -52,5 +52,5 @@ pub use metrics::{
     bucket_index, bucket_upper_edge, Counter, Gauge, HistStats, Histogram, HistogramTimer,
     HISTOGRAM_BUCKETS,
 };
-pub use registry::{MetricValue, MetricsSink, Registry, Snapshot, Span};
+pub use registry::{valid_metric_name, MetricValue, MetricsSink, Registry, Snapshot, Span};
 pub use trace::TraceEvent;

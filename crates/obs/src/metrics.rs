@@ -36,15 +36,20 @@ impl Counter {
 
     #[inline]
     pub fn inc(&self) {
-        if let Some(c) = &self.0 {
-            c.fetch_add(1, Relaxed);
-        }
+        self.add(1);
     }
 
+    /// Add to the counter, saturating at `u64::MAX`. The hot path stays a
+    /// single `fetch_add`; only the (practically unreachable) overflow case
+    /// pays a corrective store, so a counter pins at MAX instead of wrapping
+    /// back to small values and corrupting rate calculations.
     #[inline]
     pub fn add(&self, delta: u64) {
         if let Some(c) = &self.0 {
-            c.fetch_add(delta, Relaxed);
+            let prev = c.fetch_add(delta, Relaxed);
+            if prev.checked_add(delta).is_none() {
+                c.store(u64::MAX, Relaxed);
+            }
         }
     }
 
@@ -82,10 +87,29 @@ impl Gauge {
         }
     }
 
+    /// Add to the gauge, saturating at the `i64` range instead of wrapping.
     #[inline]
     pub fn add(&self, delta: i64) {
         if let Some(c) = &self.0 {
-            c.fetch_add(delta, Relaxed);
+            let prev = c.fetch_add(delta, Relaxed);
+            if prev.checked_add(delta).is_none() {
+                c.store(if delta > 0 { i64::MAX } else { i64::MIN }, Relaxed);
+            }
+        }
+    }
+
+    /// Decrement by one, flooring at zero. For depth-style gauges where a
+    /// racing or spurious decrement must never drive the reading negative.
+    #[inline]
+    pub fn dec_saturating(&self) {
+        if let Some(c) = &self.0 {
+            let mut cur = c.load(Relaxed);
+            while cur > 0 {
+                match c.compare_exchange_weak(cur, cur - 1, Relaxed, Relaxed) {
+                    Ok(_) => return,
+                    Err(v) => cur = v,
+                }
+            }
         }
     }
 
@@ -248,7 +272,12 @@ impl Histogram {
         if let Some(h) = &self.0 {
             h.buckets[bucket_index(value)].fetch_add(1, Relaxed);
             h.count.fetch_add(1, Relaxed);
-            h.sum.fetch_add(value, Relaxed);
+            // The running sum saturates like `Counter`: an overflowed sum
+            // pins at MAX rather than wrapping under the count.
+            let prev = h.sum.fetch_add(value, Relaxed);
+            if prev.checked_add(value).is_none() {
+                h.sum.store(u64::MAX, Relaxed);
+            }
         }
     }
 
@@ -380,6 +409,53 @@ mod tests {
         let mut id = both.stats();
         id.merge(&Histogram::standalone().stats());
         assert_eq!(id, both.stats());
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let c = Counter::standalone();
+        c.add(u64::MAX - 1);
+        c.add(10);
+        assert_eq!(c.get(), u64::MAX, "overflowing add must pin at MAX");
+        c.inc();
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX, "saturated counter must stay at MAX");
+    }
+
+    #[test]
+    fn gauge_add_saturates_at_i64_range() {
+        let g = Gauge::standalone();
+        g.set(i64::MAX - 1);
+        g.add(10);
+        assert_eq!(g.get(), i64::MAX);
+        g.set(i64::MIN + 1);
+        g.add(-10);
+        assert_eq!(g.get(), i64::MIN);
+    }
+
+    #[test]
+    fn gauge_dec_saturating_floors_at_zero() {
+        let g = Gauge::standalone();
+        g.add(2);
+        g.dec_saturating();
+        g.dec_saturating();
+        assert_eq!(g.get(), 0);
+        // The spurious extra decrement (e.g. a double-drained queue slot)
+        // must not drive a depth gauge negative.
+        g.dec_saturating();
+        assert_eq!(g.get(), 0);
+        // Null handle stays inert.
+        Gauge::null().dec_saturating();
+    }
+
+    #[test]
+    fn histogram_sum_saturates() {
+        let h = Histogram::standalone();
+        h.record(u64::MAX - 3);
+        h.record(100);
+        let s = h.stats();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, u64::MAX, "overflowing sum must pin at MAX");
     }
 
     #[test]

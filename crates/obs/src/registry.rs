@@ -47,8 +47,20 @@ impl MetricsSink {
         self.inner.is_some()
     }
 
+    /// True when both sinks dispense handles into the same registry (or both
+    /// are null). Lets idempotent wiring like `StickyPool::set_sink` skip
+    /// re-resolving handles when re-attached to the sink it already has.
+    pub fn same_registry(&self, other: &MetricsSink) -> bool {
+        match (&self.inner, &other.inner) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
     /// Resolve (registering on first use) an unlabelled counter.
     pub fn counter(&self, name: &str) -> Counter {
+        debug_assert!(valid_metric_name(name), "invalid metric name {name:?}");
         match &self.inner {
             None => Counter::null(),
             Some(inner) => inner.counter(name.to_string()),
@@ -65,6 +77,7 @@ impl MetricsSink {
     }
 
     pub fn gauge(&self, name: &str) -> Gauge {
+        debug_assert!(valid_metric_name(name), "invalid metric name {name:?}");
         match &self.inner {
             None => Gauge::null(),
             Some(inner) => inner.gauge(name.to_string()),
@@ -79,6 +92,7 @@ impl MetricsSink {
     }
 
     pub fn histogram(&self, name: &str) -> Histogram {
+        debug_assert!(valid_metric_name(name), "invalid metric name {name:?}");
         match &self.inner {
             None => Histogram::null(),
             Some(inner) => inner.histogram(name.to_string()),
@@ -121,7 +135,33 @@ impl MetricsSink {
     }
 }
 
+/// True when `name` is a valid Prometheus metric name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`. Keys built by [`MetricsSink`] debug-assert
+/// this, so invalid names surface in tests instead of in scrape parsers.
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Escape a label value for the Prometheus exposition format: backslash,
+/// double quote, and newline must be escaped inside `label="..."`.
+fn push_escaped_label_value(out: &mut String, v: &str) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
 fn keyed(name: &str, labels: &[(&str, &str)]) -> String {
+    debug_assert!(valid_metric_name(name), "invalid metric name {name:?}");
     if labels.is_empty() {
         return name.to_string();
     }
@@ -136,7 +176,9 @@ fn keyed(name: &str, labels: &[(&str, &str)]) -> String {
         }
         out.push_str(k);
         out.push_str("=\"");
-        out.push_str(v);
+        // Values are stored escaped, so the exporter can splice the label
+        // body verbatim into the exposition output.
+        push_escaped_label_value(&mut out, v);
         out.push('"');
     }
     out.push('}');
@@ -412,6 +454,39 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.trace.len(), 2);
         assert!(snap.trace.iter().all(|e| e.name == "dgs_test_work"));
+    }
+
+    #[test]
+    fn label_values_escaped_into_key() {
+        let reg = Registry::new();
+        let sink = reg.sink();
+        let c = sink.counter_labelled("dgs_test_esc", &[("path", "a\\b\"c\nd")]);
+        c.inc();
+        assert_eq!(
+            reg.counter_value("dgs_test_esc{path=\"a\\\\b\\\"c\\nd\"}"),
+            Some(1),
+            "backslash, quote, and newline must be stored escaped"
+        );
+    }
+
+    #[test]
+    fn metric_name_validity() {
+        for ok in ["dgs_core_slo_state", "_x", "a:b:c", "Upper9"] {
+            assert!(valid_metric_name(ok), "{ok:?} should be valid");
+        }
+        for bad in ["", "9lead", "has space", "dash-ed", "brace{", "uni\u{e9}"] {
+            assert!(!valid_metric_name(bad), "{bad:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn same_registry_compares_backing_store() {
+        let a = Registry::new();
+        let b = Registry::new();
+        assert!(a.sink().same_registry(&a.sink()));
+        assert!(!a.sink().same_registry(&b.sink()));
+        assert!(MetricsSink::null().same_registry(&MetricsSink::null()));
+        assert!(!a.sink().same_registry(&MetricsSink::null()));
     }
 
     #[test]

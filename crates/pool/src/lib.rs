@@ -46,6 +46,8 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
+use dgs_obs::{Counter, Gauge, Histogram, MetricsSink};
+
 /// A type-erased job. Jobs cross the mailbox as `'static` boxes; the only
 /// way to submit a non-`'static` job is [`PoolScope::spawn`], whose barrier
 /// guarantees the borrow outlives the job (see the safety comment there).
@@ -87,12 +89,29 @@ struct Ring {
 // concurrently from both sides; the atomics order the handoff.
 unsafe impl Sync for Ring {}
 
+/// Per-worker observability handles. Default (null) handles make every
+/// operation a no-op, so an unattached pool pays only the mutex clone.
+#[derive(Clone, Debug, Default)]
+struct WorkerMetrics {
+    /// Jobs queued in this worker's mailbox, not yet dequeued.
+    depth: Gauge,
+    /// Wall time per executed job, nanoseconds.
+    busy_ns: Histogram,
+    /// Running→waiting transitions (the worker went to sleep empty).
+    parks: Counter,
+    /// Wakeups that found work after having parked.
+    unparks: Counter,
+}
+
 struct Mailbox {
     ring: Ring,
     /// Parking lot for the consumer; the producer locks/unlocks it around
     /// its notify so a sleeping consumer can never miss a push.
     sleep: Mutex<()>,
     wake: Condvar,
+    /// Swapped wholesale by [`StickyPool::set_sink`]; the hot paths take
+    /// one uncontended lock per push / per job to clone the cheap handles.
+    metrics: Mutex<WorkerMetrics>,
 }
 
 /// Mailbox capacity. A scope submits at most one job per worker per phase
@@ -112,7 +131,12 @@ impl Mailbox {
             },
             sleep: Mutex::new(()),
             wake: Condvar::new(),
+            metrics: Mutex::new(WorkerMetrics::default()),
         }
+    }
+
+    fn metrics(&self) -> WorkerMetrics {
+        lock_unpoisoned(&self.metrics).clone()
     }
 
     /// Producer side (requires external single-producer discipline — the
@@ -145,8 +169,12 @@ impl Mailbox {
     }
 
     /// Consumer side (worker thread only). Blocks until a message arrives.
-    fn pop(&self) -> Msg {
+    /// `metrics` counts the running→waiting transition (one park per empty
+    /// sleep, however many timeout wakeups it spans) and the wakeup that
+    /// found work.
+    fn pop(&self, metrics: &WorkerMetrics) -> Msg {
         let cap = self.ring.slots.len();
+        let mut parked = false;
         loop {
             let head = self.ring.head.load(Ordering::Relaxed);
             let tail = self.ring.tail.load(Ordering::Acquire);
@@ -158,6 +186,9 @@ impl Mailbox {
                     .head
                     .store(head.wrapping_add(1), Ordering::Release);
                 if let Some(m) = msg {
+                    if parked {
+                        metrics.unparks.inc();
+                    }
                     return m;
                 }
                 // A `None` here would mean the SPSC discipline was broken;
@@ -165,6 +196,10 @@ impl Mailbox {
                 continue;
             }
             let guard = lock_unpoisoned(&self.sleep);
+            if !parked {
+                parked = true;
+                metrics.parks.inc();
+            }
             // Re-check under the lock (see `push` for why this is
             // missed-wakeup-free); the timeout is defence in depth only.
             if self.ring.head.load(Ordering::Relaxed) != self.ring.tail.load(Ordering::Acquire) {
@@ -232,6 +267,9 @@ pub struct StickyPool {
     /// Serializes scopes: at most one producer feeds the mailboxes at a
     /// time, which is what makes them legitimately single-producer.
     producer: Mutex<()>,
+    /// The sink the pool is currently attached to, for idempotent
+    /// [`StickyPool::set_sink`] re-attachment.
+    last_sink: Mutex<MetricsSink>,
 }
 
 impl std::fmt::Debug for StickyPool {
@@ -255,7 +293,12 @@ impl StickyPool {
                 let consumer = Arc::clone(&mailbox);
                 let builder = std::thread::Builder::new().name(format!("dgs-pool-{i}"));
                 let handle = match builder.spawn(move || {
-                    while let Msg::Run(job) = consumer.pop() {
+                    while let Msg::Run(job) = {
+                        // Snapshot handles per message so a `set_sink`
+                        // while idle counts the very next park correctly.
+                        let metrics = consumer.metrics();
+                        consumer.pop(&metrics)
+                    } {
                         job();
                     }
                 }) {
@@ -271,12 +314,42 @@ impl StickyPool {
         StickyPool {
             workers,
             producer: Mutex::new(()),
+            last_sink: Mutex::new(MetricsSink::null()),
         }
     }
 
     /// Number of persistent workers.
     pub fn threads(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Attach (or re-attach) observability: per-worker mailbox depth gauges
+    /// (`dgs_pool_mailbox_depth{worker="i"}`), per-worker busy-time
+    /// histograms (`dgs_pool_worker_busy_ns{worker="i"}`), and pool-wide
+    /// park/unpark counters — the signals that make striped-ingest stalls
+    /// (one deep mailbox, one saturated worker) visible in `obs-report`.
+    ///
+    /// Idempotent: re-attaching a sink backed by the same registry is a
+    /// no-op, so callers that thread a sink through every flush (the
+    /// ingestors' `with_local_pool` call sites) pay one registry-identity
+    /// check per batch after the first.
+    pub fn set_sink(&self, sink: &MetricsSink) {
+        let mut last = lock_unpoisoned(&self.last_sink);
+        if last.same_registry(sink) {
+            return;
+        }
+        *last = sink.clone();
+        for (i, w) in self.workers.iter().enumerate() {
+            let worker = i.to_string();
+            let labels = [("worker", worker.as_str())];
+            let resolved = WorkerMetrics {
+                depth: sink.gauge_labelled("dgs_pool_mailbox_depth", &labels),
+                busy_ns: sink.histogram_labelled("dgs_pool_worker_busy_ns", &labels),
+                parks: sink.counter("dgs_pool_worker_parks"),
+                unparks: sink.counter("dgs_pool_worker_unparks"),
+            };
+            *lock_unpoisoned(&w.mailbox.metrics) = resolved;
+        }
     }
 
     /// Runs `f` with a [`PoolScope`] that can submit borrowed jobs, then
@@ -358,13 +431,23 @@ impl<'env> PoolScope<'_, 'env> {
         F: FnOnce() + Send + 'env,
     {
         let state = Arc::clone(&self.state);
+        let w = worker % self.pool.workers.len();
+        // Metrics ride inside the job wrapper so that busy time and the
+        // depth decrement are published strictly before `finish_one` — a
+        // caller reading its registry right after the scope barrier sees
+        // every job accounted for.
+        let metrics = self.pool.workers[w].mailbox.metrics();
+        metrics.depth.add(1);
         // Count before publishing; the job's `finish_one` is the matching
         // decrement, so the barrier can never observe a transient zero.
         self.state.pending.fetch_add(1, Ordering::AcqRel);
         let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            metrics.depth.dec_saturating();
+            let timer = metrics.busy_ns.start_timer();
             if catch_unwind(AssertUnwindSafe(f)).is_err() {
                 state.panicked.store(true, Ordering::Release);
             }
+            timer.observe();
             state.finish_one();
         });
         // SAFETY: only the lifetime is erased. The drain barrier in
@@ -375,7 +458,6 @@ impl<'env> PoolScope<'_, 'env> {
         let job: Job = unsafe {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
         };
-        let w = worker % self.pool.workers.len();
         self.pool.workers[w].mailbox.push(Msg::Run(job));
     }
 }
@@ -541,6 +623,57 @@ mod tests {
             outer.scope(|_| with_local_pool(2, |inner| inner.scope(|_| 5)))
         });
         assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn set_sink_exposes_depth_busy_and_park_metrics() {
+        let reg = dgs_obs::Registry::new();
+        let pool = StickyPool::new(2);
+        pool.set_sink(&reg.sink());
+        // Idempotent re-attach: same registry, keeps working handles.
+        pool.set_sink(&reg.sink());
+        pool.scope(|scope| {
+            for i in 0..8 {
+                scope.spawn(i, move || {
+                    std::thread::sleep(Duration::from_micros(200));
+                });
+            }
+        });
+        // The barrier guarantees every job was dequeued: depth back to 0.
+        for w in 0..2 {
+            assert_eq!(
+                reg.gauge_value(&format!("dgs_pool_mailbox_depth{{worker=\"{w}\"}}")),
+                Some(0),
+                "drained mailbox must read depth 0"
+            );
+        }
+        // Every job's execution time is in exactly one worker's histogram.
+        let busy_total: u64 = (0..2)
+            .map(|w| {
+                reg.histogram_stats(&format!("dgs_pool_worker_busy_ns{{worker=\"{w}\"}}"))
+                    .map_or(0, |s| s.count)
+            })
+            .sum();
+        assert_eq!(busy_total, 8);
+        // Park/unpark counters are registered (values depend on timing).
+        assert!(reg.counter_value("dgs_pool_worker_parks").is_some());
+        assert!(reg.counter_value("dgs_pool_worker_unparks").is_some());
+    }
+
+    #[test]
+    fn unattached_pool_stays_metric_free() {
+        let pool = StickyPool::new(1);
+        let mut ran = false;
+        pool.scope(|scope| scope.spawn(0, || ran = true));
+        assert!(ran);
+        // Attaching after the fact only observes subsequent work.
+        let reg = dgs_obs::Registry::new();
+        pool.set_sink(&reg.sink());
+        pool.scope(|scope| scope.spawn(0, || {}));
+        let stats = reg
+            .histogram_stats("dgs_pool_worker_busy_ns{worker=\"0\"}")
+            .unwrap();
+        assert_eq!(stats.count, 1);
     }
 
     #[test]

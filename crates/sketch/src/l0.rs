@@ -538,6 +538,10 @@ impl L0Sampler {
     ///   `j`, so answering "zero" there would be a silent wrong answer).
     #[must_use = "a dropped SketchResult hides a sketch failure"]
     pub fn sample(&self) -> SketchResult<Option<(u64, i64)>> {
+        // Span on the convenience entry only: the decode engine's
+        // per-component fast paths (`sample_with`/`sample_state`) run at
+        // too high a volume to record one event each.
+        let _span = dgs_trace::child("dgs_sketch_l0_sample");
         let mut scratch = PeelScratch::default();
         self.sample_with(&mut scratch)
     }

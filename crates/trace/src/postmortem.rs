@@ -1,0 +1,500 @@
+//! Failure flight recorder: checksum-framed postmortem files.
+//!
+//! When a typed failure fires (shard quarantine, scrub mismatch, deadline
+//! exceeded, breaker open), [`FlightRecorder::record`] freezes the last N
+//! trace events plus the offending request's span tree into a
+//! `pm-NNNNNN-<kind>.dgspm` file. The framing reuses the WAL's on-disk
+//! discipline — `[payload_len u32 LE][fnv1a64(payload) u64 LE][payload]` per
+//! frame — so corruption of a stored postmortem is *detected* on read, never
+//! silently rendered. [`Postmortem::read`] validates every checksum and
+//! returns owned events for offline rendering (`obs-report --postmortem`).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+use dgs_field::{fnv1a64, Reader, Writer};
+use dgs_obs::{Counter, MetricsSink};
+
+use crate::{current_trace_id, mark, render_span_tree, TraceEvent, Tracer};
+
+/// Leading magic of a postmortem file (8 bytes, version in the tag).
+pub const POSTMORTEM_MAGIC: &[u8; 8] = b"DGSPMT1\n";
+
+/// Hard cap on a single frame's payload, guarding `read` against hostile or
+/// torn length fields.
+const MAX_FRAME: usize = 1 << 20;
+
+/// Longest event name / failure detail accepted on decode.
+const MAX_STR: usize = 4096;
+
+#[derive(Debug)]
+struct RecorderInner {
+    dir: PathBuf,
+    tracer: Tracer,
+    /// How many trailing events of the snapshot to freeze.
+    last_events: usize,
+    seq: AtomicU64,
+    written: AtomicU64,
+    postmortems: Counter,
+    write_failures: Counter,
+}
+
+/// Captures postmortems into a directory; cheap to clone and share across
+/// the service and its ingestors.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    inner: Arc<RecorderInner>,
+}
+
+impl FlightRecorder {
+    /// Recorder writing into `dir` (created if absent), freezing the last
+    /// `last_events` trace events per postmortem. No metrics exported.
+    pub fn new(
+        dir: impl Into<PathBuf>,
+        tracer: &Tracer,
+        last_events: usize,
+    ) -> std::io::Result<FlightRecorder> {
+        FlightRecorder::with_sink(dir, tracer, last_events, &MetricsSink::null())
+    }
+
+    /// Like [`FlightRecorder::new`], additionally exporting
+    /// `dgs_trace_postmortems` / `dgs_trace_postmortem_write_failures`.
+    pub fn with_sink(
+        dir: impl Into<PathBuf>,
+        tracer: &Tracer,
+        last_events: usize,
+        sink: &MetricsSink,
+    ) -> std::io::Result<FlightRecorder> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(FlightRecorder {
+            inner: Arc::new(RecorderInner {
+                dir,
+                tracer: tracer.clone(),
+                last_events: last_events.max(1),
+                seq: AtomicU64::new(0),
+                written: AtomicU64::new(0),
+                postmortems: sink.counter("dgs_trace_postmortems"),
+                write_failures: sink.counter("dgs_trace_postmortem_write_failures"),
+            }),
+        })
+    }
+
+    /// Freeze a postmortem for a typed failure. `kind` is a short static
+    /// slug (`"shard-quarantine"`, `"deadline-exceeded"`, ...) that lands in
+    /// the file name; `detail` is free-form context (tenant, shard, cause).
+    ///
+    /// The failure itself is first [`mark`]ed into the ambient trace, so the
+    /// frozen span tree shows *where* in the request it fired. Returns the
+    /// file path, or `None` when the write failed (failures are counted,
+    /// never propagated — the flight recorder must not take down serving).
+    pub fn record(&self, kind: &'static str, detail: &str) -> Option<PathBuf> {
+        let trace_id = current_trace_id();
+        mark(kind);
+        let snap = self.inner.tracer.snapshot();
+        let skip = snap.events.len().saturating_sub(self.inner.last_events);
+        let recent = &snap.events[skip..];
+        let tree: Vec<TraceEvent> = if trace_id != 0 {
+            snap.trace(trace_id)
+        } else {
+            Vec::new()
+        };
+        let seq = self.inner.seq.fetch_add(1, Relaxed);
+        let path = self.inner.dir.join(format!("pm-{seq:06}-{kind}.dgspm"));
+        match std::fs::write(&path, encode(kind, detail, trace_id, recent, &tree)) {
+            Ok(()) => {
+                self.inner.written.fetch_add(1, Relaxed);
+                self.inner.postmortems.inc();
+                Some(path)
+            }
+            Err(_) => {
+                self.inner.write_failures.inc();
+                None
+            }
+        }
+    }
+
+    /// Number of postmortem files successfully written.
+    pub fn written(&self) -> u64 {
+        self.inner.written.load(Relaxed)
+    }
+
+    /// The directory postmortems are written into.
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+}
+
+/// One span/event as stored in a postmortem file (owned strings — the
+/// reading process does not share the writer's intern table).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PmEvent {
+    pub name: String,
+    pub trace_id: u64,
+    pub span_id: u64,
+    pub parent_span_id: u64,
+    pub start_ns: u64,
+    pub duration_ns: u64,
+}
+
+/// A decoded postmortem file; see [`Postmortem::read`].
+#[derive(Clone, Debug)]
+pub struct Postmortem {
+    pub kind: String,
+    pub detail: String,
+    /// Trace id of the offending request; 0 when the failure fired outside
+    /// any request context (e.g. a background scrub hit).
+    pub trace_id: u64,
+    /// The last N events across all requests at freeze time.
+    pub recent: Vec<PmEvent>,
+    /// The offending request's span tree (empty when `trace_id == 0`).
+    pub tree: Vec<PmEvent>,
+}
+
+/// Why a postmortem file could not be decoded.
+#[derive(Debug)]
+pub enum PostmortemError {
+    Io(std::io::Error),
+    /// Bad magic, checksum mismatch, or malformed payload at `offset`.
+    Corrupt {
+        offset: usize,
+        message: String,
+    },
+}
+
+impl fmt::Display for PostmortemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PostmortemError::Io(e) => write!(f, "postmortem io: {e}"),
+            PostmortemError::Corrupt { offset, message } => {
+                write!(f, "postmortem corrupt at byte {offset}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PostmortemError {}
+
+impl From<std::io::Error> for PostmortemError {
+    fn from(e: std::io::Error) -> Self {
+        PostmortemError::Io(e)
+    }
+}
+
+fn corrupt(offset: usize, message: impl Into<String>) -> PostmortemError {
+    PostmortemError::Corrupt {
+        offset,
+        message: message.into(),
+    }
+}
+
+fn put_str(w: &mut Writer, s: &str) {
+    w.put_usize(s.len());
+    w.put_bytes(s.as_bytes());
+}
+
+fn get_str(r: &mut Reader, offset: usize) -> Result<String, PostmortemError> {
+    let len = r
+        .get_len(MAX_STR)
+        .map_err(|e| corrupt(offset, e.to_string()))?;
+    let mut bytes = Vec::with_capacity(len);
+    for _ in 0..len {
+        bytes.push(r.get_u8().map_err(|e| corrupt(offset, e.to_string()))?);
+    }
+    String::from_utf8(bytes).map_err(|_| corrupt(offset, "event name is not UTF-8"))
+}
+
+fn encode_event(e: &TraceEvent) -> Vec<u8> {
+    let mut w = Writer::new();
+    put_str(&mut w, e.name);
+    w.put_u64(e.trace_id);
+    w.put_u64(e.span_id);
+    w.put_u64(e.parent_span_id);
+    w.put_u64(e.start_ns);
+    w.put_u64(e.duration_ns);
+    w.into_bytes()
+}
+
+fn decode_event(payload: &[u8], offset: usize) -> Result<PmEvent, PostmortemError> {
+    let mut r = Reader::new(payload);
+    let name = get_str(&mut r, offset)?;
+    let mut u64s = [0u64; 5];
+    for v in &mut u64s {
+        *v = r.get_u64().map_err(|e| corrupt(offset, e.to_string()))?;
+    }
+    r.expect_end().map_err(|e| corrupt(offset, e.to_string()))?;
+    Ok(PmEvent {
+        name,
+        trace_id: u64s[0],
+        span_id: u64s[1],
+        parent_span_id: u64s[2],
+        start_ns: u64s[3],
+        duration_ns: u64s[4],
+    })
+}
+
+/// Append one WAL-style frame: `[len u32][fnv1a64 u64][payload]`.
+fn frame(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+fn encode(
+    kind: &str,
+    detail: &str,
+    trace_id: u64,
+    recent: &[TraceEvent],
+    tree: &[TraceEvent],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + 64 * (recent.len() + tree.len()));
+    out.extend_from_slice(POSTMORTEM_MAGIC);
+    let mut header = Writer::new();
+    header.put_u32(1); // format version
+    put_str(&mut header, kind);
+    put_str(&mut header, detail);
+    header.put_u64(trace_id);
+    header.put_u32(recent.len() as u32);
+    header.put_u32(tree.len() as u32);
+    frame(&mut out, &header.into_bytes());
+    for e in recent.iter().chain(tree) {
+        frame(&mut out, &encode_event(e));
+    }
+    out
+}
+
+/// Pull the next checksum-validated frame payload; advances `pos`.
+fn next_frame<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<&'a [u8], PostmortemError> {
+    let at = *pos;
+    let header = bytes
+        .get(at..at + 12)
+        .ok_or_else(|| corrupt(at, "truncated frame header"))?;
+    let len_bytes: [u8; 4] = header[0..4]
+        .try_into()
+        .map_err(|_| corrupt(at, "unreachable: 4-byte slice"))?;
+    let sum_bytes: [u8; 8] = header[4..12]
+        .try_into()
+        .map_err(|_| corrupt(at, "unreachable: 8-byte slice"))?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(corrupt(
+            at,
+            format!("frame length {len} exceeds {MAX_FRAME}"),
+        ));
+    }
+    let payload = bytes
+        .get(at + 12..at + 12 + len)
+        .ok_or_else(|| corrupt(at, "truncated frame payload"))?;
+    let expect = u64::from_le_bytes(sum_bytes);
+    let got = fnv1a64(payload);
+    if got != expect {
+        return Err(corrupt(
+            at,
+            format!("frame checksum mismatch (stored {expect:#018x}, computed {got:#018x})"),
+        ));
+    }
+    *pos = at + 12 + len;
+    Ok(payload)
+}
+
+impl Postmortem {
+    /// Read and fully validate a postmortem file. Every frame checksum must
+    /// match and the file must contain exactly the declared frames.
+    pub fn read(path: &Path) -> Result<Postmortem, PostmortemError> {
+        let bytes = std::fs::read(path)?;
+        if !bytes.starts_with(POSTMORTEM_MAGIC) {
+            return Err(corrupt(0, "bad magic (not a postmortem file)"));
+        }
+        let mut pos = POSTMORTEM_MAGIC.len();
+        let header_at = pos;
+        let header = next_frame(&bytes, &mut pos)?;
+        let mut r = Reader::new(header);
+        let version = r.get_u32().map_err(|e| corrupt(header_at, e.to_string()))?;
+        if version != 1 {
+            return Err(corrupt(header_at, format!("unknown version {version}")));
+        }
+        let kind = get_str(&mut r, header_at)?;
+        let detail = get_str(&mut r, header_at)?;
+        let trace_id = r.get_u64().map_err(|e| corrupt(header_at, e.to_string()))?;
+        let recent_count = r.get_u32().map_err(|e| corrupt(header_at, e.to_string()))? as usize;
+        let tree_count = r.get_u32().map_err(|e| corrupt(header_at, e.to_string()))? as usize;
+        r.expect_end()
+            .map_err(|e| corrupt(header_at, e.to_string()))?;
+        let read_events =
+            |count: usize, pos: &mut usize| -> Result<Vec<PmEvent>, PostmortemError> {
+                let mut events = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    let at = *pos;
+                    events.push(decode_event(next_frame(&bytes, pos)?, at)?);
+                }
+                Ok(events)
+            };
+        let recent = read_events(recent_count, &mut pos)?;
+        let tree = read_events(tree_count, &mut pos)?;
+        if pos != bytes.len() {
+            return Err(corrupt(
+                pos,
+                format!("{} trailing bytes", bytes.len() - pos),
+            ));
+        }
+        Ok(Postmortem {
+            kind,
+            detail,
+            trace_id,
+            recent,
+            tree,
+        })
+    }
+
+    /// Human-readable report: the failure, the last-events window, and the
+    /// offending request's span tree.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "postmortem: {}", self.kind);
+        if !self.detail.is_empty() {
+            let _ = writeln!(out, "detail: {}", self.detail);
+        }
+        if self.trace_id == 0 {
+            let _ = writeln!(out, "trace: <none — failure fired outside request context>");
+        } else {
+            let _ = writeln!(out, "trace: {}", self.trace_id);
+        }
+        let _ = writeln!(out, "\n== last {} events ==", self.recent.len());
+        for e in &self.recent {
+            let _ = writeln!(
+                out,
+                "  t={}ns dur={}ns trace={} span={} parent={} {}",
+                e.start_ns, e.duration_ns, e.trace_id, e.span_id, e.parent_span_id, e.name
+            );
+        }
+        if !self.tree.is_empty() {
+            let _ = writeln!(out, "\n== offending request ==");
+            let rows: Vec<crate::SpanRow> = self
+                .tree
+                .iter()
+                .map(|e| {
+                    (
+                        e.span_id,
+                        e.parent_span_id,
+                        e.name.clone(),
+                        e.start_ns,
+                        e.duration_ns,
+                    )
+                })
+                .collect();
+            out.push_str(&render_span_tree(self.trace_id, &rows));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use crate::child;
+    use dgs_obs::Registry;
+
+    fn tmpdir(label: &str) -> PathBuf {
+        static UNIQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "dgs-trace-{label}-{}-{}",
+            std::process::id(),
+            UNIQ.fetch_add(1, Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn postmortem_round_trip() {
+        let dir = tmpdir("roundtrip");
+        let reg = Registry::new();
+        let tracer = Tracer::with_sink(256, &reg.sink());
+        let recorder = FlightRecorder::with_sink(&dir, &tracer, 32, &reg.sink()).unwrap();
+        let path;
+        let trace_id;
+        {
+            let root = tracer.root("request");
+            trace_id = root.trace_id();
+            let _decode = child("shard-decode");
+            path = recorder
+                .record("deadline-exceeded", "tenant=acme shard=3")
+                .unwrap();
+        }
+        assert_eq!(recorder.written(), 1);
+        assert_eq!(reg.counter_value("dgs_trace_postmortems"), Some(1));
+        let pm = Postmortem::read(&path).unwrap();
+        assert_eq!(pm.kind, "deadline-exceeded");
+        assert_eq!(pm.detail, "tenant=acme shard=3");
+        assert_eq!(pm.trace_id, trace_id);
+        // The failure mark is frozen inside the offending request's tree
+        // even though the root/decode spans were still open at record time.
+        assert!(pm.tree.iter().any(|e| e.name == "deadline-exceeded"));
+        let text = pm.render();
+        assert!(text.contains("postmortem: deadline-exceeded"));
+        assert!(text.contains("tenant=acme shard=3"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_outside_request_context_has_empty_tree() {
+        let dir = tmpdir("noctx");
+        let tracer = Tracer::new(64);
+        tracer.root("earlier-request").finish();
+        let recorder = FlightRecorder::new(&dir, &tracer, 8).unwrap();
+        let path = recorder.record("scrub-mismatch", "shard=1").unwrap();
+        let pm = Postmortem::read(&path).unwrap();
+        assert_eq!(pm.trace_id, 0);
+        assert!(pm.tree.is_empty());
+        // The recent window still shows what the system was doing.
+        assert!(pm.recent.iter().any(|e| e.name == "earlier-request"));
+        assert!(pm.render().contains("outside request context"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_detected_not_rendered() {
+        let dir = tmpdir("corrupt");
+        let tracer = Tracer::new(64);
+        let recorder = FlightRecorder::new(&dir, &tracer, 8).unwrap();
+        let root = tracer.root("request");
+        let path = recorder.record("breaker-open", "tenant=t").unwrap();
+        drop(root);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload byte past the first frame header.
+        let at = POSTMORTEM_MAGIC.len() + 13;
+        bytes[at] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        match Postmortem::read(&path) {
+            Err(PostmortemError::Corrupt { message, .. }) => {
+                assert!(
+                    message.contains("checksum") || message.contains("length"),
+                    "{message}"
+                );
+            }
+            other => panic!("corruption must be detected, got {other:?}"),
+        }
+        // Truncation is detected too.
+        let keep = bytes.len() - 5;
+        std::fs::write(&path, &bytes[..keep]).unwrap();
+        assert!(Postmortem::read(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sequence_numbers_produce_distinct_files() {
+        let dir = tmpdir("seq");
+        let tracer = Tracer::new(64);
+        let recorder = FlightRecorder::new(&dir, &tracer, 8).unwrap();
+        let a = recorder.record("shard-quarantine", "shard=0").unwrap();
+        let b = recorder.record("shard-quarantine", "shard=1").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(recorder.written(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,55 @@
+//! The untraced instrumentation path must not allocate: with no ambient
+//! trace context, `child`/`mark`/`phase` are a thread-local read plus a
+//! branch. This binary installs a counting global allocator and holds
+//! exactly one test so no concurrent test can pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn untraced_instrumentation_allocates_nothing() {
+    // Touch the thread-locals once so their lazy init is outside the
+    // measured window (mirrors components warming up before serving).
+    dgs_trace::mark("dgs_trace_warmup");
+    let _ = dgs_trace::current_trace_id();
+
+    let before = ALLOCATIONS.load(Relaxed);
+    for i in 0..10_000u64 {
+        let span = dgs_trace::child("dgs_trace_untraced_child");
+        assert!(!span.is_live());
+        drop(span);
+        dgs_trace::mark("dgs_trace_untraced_mark");
+        dgs_trace::phase("dgs_trace_untraced_phase", i);
+        assert_eq!(dgs_trace::current_trace_id(), 0);
+    }
+    let after = ALLOCATIONS.load(Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "untraced instrumentation path allocated {} times",
+        after - before
+    );
+}

@@ -1,0 +1,147 @@
+//! End-to-end request tracing: every query against a traced
+//! [`ConnectivityService`] opens a root span, the phases it passes
+//! through (admission, decode, per-shard consultation) nest under it in
+//! lock-free per-thread rings, and two consumers read the stream back:
+//!
+//! 1. the **flight recorder** — a typed failure (here an honest
+//!    `DeadlineExceeded`) freezes the recent trace window plus the
+//!    offending request's span tree into a checksum-framed postmortem
+//!    file, readable offline via `experiments obs-report --postmortem`;
+//! 2. the **SLO engine** — per-tenant latency/availability objectives
+//!    evaluated from the very histograms the service already exports,
+//!    with multi-window burn rates driving an ok → warn → page ladder.
+//!
+//! ```sh
+//! cargo run --release --example request_tracing
+//! ```
+
+use std::fs;
+use std::time::Duration;
+
+use dynamic_graph_streams::prelude::*;
+
+use dgs_core::slo::{SloConfig, SloEngine};
+use dgs_hypergraph::generators;
+use dgs_obs::Registry;
+use dgs_sketch::SketchError;
+use dgs_trace::{FlightRecorder, Postmortem, Tracer};
+
+fn main() {
+    let n = 32;
+    let base = std::env::temp_dir().join(format!("dgs-example-trace-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&base);
+
+    // --- A traced service: tracer + flight recorder installed up front ---
+    let registry = Registry::new();
+    let tracer = Tracer::with_sink(4096, &registry.sink());
+    let recorder =
+        FlightRecorder::with_sink(base.join("postmortems"), &tracer, 32, &registry.sink())
+            .expect("postmortem dir");
+    let svc: ConnectivityService<SpanningForestSketch> = ConnectivityService::with_sink(
+        ServiceConfig {
+            default_deadline: Duration::from_millis(250),
+            refresh_interval: 64,
+            ..ServiceConfig::default()
+        },
+        &registry.sink(),
+    );
+    svc.set_tracer(&tracer);
+    svc.set_flight_recorder(&recorder);
+
+    let seed = 42u64;
+    svc.add_tenant(
+        "alpha",
+        base.join("wal"),
+        base.join("snapshots"),
+        n,
+        2,
+        SupervisorConfig {
+            repetitions: 3,
+            threads: 2,
+            batch_size: 32,
+            seed,
+            ..SupervisorConfig::default()
+        },
+        move |i| {
+            let space = EdgeSpace::graph(n).unwrap();
+            let params = ForestParams::new(Profile::Practical, space.dimension());
+            SpanningForestSketch::new_full(space, &SeedTree::new(seed).child(i as u64), params)
+        },
+    )
+    .expect("add tenant");
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let h = Hypergraph::from_graph(&generators::gnp(n, 0.15, &mut rng));
+    let stream = generators::churn_stream(&h, generators::ChurnConfig::default(), &mut rng);
+    svc.ingest_stream("alpha", &stream).expect("ingest");
+    svc.refresh_view("alpha").expect("refresh");
+
+    // --- 1. A healthy query, and the span tree it left behind -------------
+    let resp = svc
+        .query("alpha", &QueryRequest::default(), |_, s| {
+            s.try_component_count()
+        })
+        .expect("query");
+    println!(
+        "query answered: {:?} at epoch {} in {:?}",
+        resp.answer.value(),
+        resp.epoch,
+        resp.latency
+    );
+    let snap = tracer.snapshot();
+    let last_root = snap.roots().last().map(|r| r.trace_id).expect("a root");
+    println!("\nspan tree of the last request:");
+    print!("{}", snap.render_tree(last_root));
+
+    // --- 2. A typed failure freezes a postmortem --------------------------
+    // A decode that outlives the deadline: the service answers with an
+    // honest DeadlineExceeded, and the flight recorder freezes the trace.
+    let tight = QueryRequest {
+        deadline: Some(Duration::from_millis(20)),
+        ..QueryRequest::default()
+    };
+    let resp = svc
+        .query("alpha", &tight, |_, s| {
+            std::thread::sleep(Duration::from_millis(40));
+            let _ = s.try_component_count(); // too late to count
+            Err::<usize, _>(SketchError::failure("example", "stalled decode"))
+        })
+        .expect("query");
+    println!("\nstalled query answered honestly: {:?}", resp.answer);
+    println!("postmortems written: {}", recorder.written());
+    let pm_file = fs::read_dir(recorder.dir())
+        .expect("postmortem dir")
+        .map(|e| e.expect("entry").path())
+        .next()
+        .expect("a postmortem file");
+    let pm = Postmortem::read(&pm_file).expect("checksum-framed read");
+    println!("\n{}", pm.render());
+
+    // --- 3. The SLO engine reads the same histograms ----------------------
+    // Logical time is supplied by the caller, so burn windows are exact
+    // and testable; a real deployment ticks this from its clock.
+    let mut engine = SloEngine::new(SloConfig::default(), &registry.sink());
+    for minute in 1..=3u64 {
+        for report in engine.evaluate(&registry, Duration::from_secs(60 * minute)) {
+            println!(
+                "slo[{}] tenant={} state={} burn_short={:.2} burn_long={:.2} ({}/{} good)",
+                report.slo,
+                report.tenant,
+                report.state,
+                report.burn_short,
+                report.burn_long,
+                report.good,
+                report.total
+            );
+        }
+    }
+    println!(
+        "\nexported: dgs_core_slo_state{{slo=\"latency\",tenant=\"alpha\"}} = {}",
+        registry
+            .gauge_value("dgs_core_slo_state{slo=\"latency\",tenant=\"alpha\"}")
+            .unwrap_or(-1)
+    );
+
+    let _ = fs::remove_dir_all(&base);
+    println!("\nok: every request traced, every typed failure frozen, SLOs burn-rate scored");
+}
