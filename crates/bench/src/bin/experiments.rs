@@ -60,6 +60,10 @@ const DESCRIPTIONS: &[(&str, &str)] = &[
         "e22",
         "request tracing: span completeness, postmortems per typed failure, overhead",
     ),
+    (
+        "e23",
+        "hybrid sparse/sketch backend: exact fast path vs sketch-only, spill exactness",
+    ),
 ];
 
 fn main() -> ExitCode {
@@ -71,8 +75,8 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: experiments <all | list | check-ingest [baseline] | check-obs [baseline] \
              | check-query [baseline] | check-chaos [baseline] | check-service [baseline] \
-             | check-trace [baseline] | obs-report [--postmortem <file>] | e1 .. e22>... \
-             [--quick]"
+             | check-trace [baseline] | check-hybrid [baseline] \
+             | obs-report [--postmortem <file>] | e1 .. e23>... [--quick]"
         );
         return ExitCode::from(2);
     }
@@ -119,6 +123,14 @@ fn main() -> ExitCode {
     if ids.first().map(|a| a.as_str()) == Some("check-trace") {
         let baseline = ids.get(1).map_or("BENCH_trace.json", |s| s.as_str());
         return if dgs_bench::experiments::e22_trace::check(baseline) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    if ids.first().map(|a| a.as_str()) == Some("check-hybrid") {
+        let baseline = ids.get(1).map_or("BENCH_hybrid.json", |s| s.as_str());
+        return if dgs_bench::experiments::e23_hybrid::check(baseline) {
             ExitCode::SUCCESS
         } else {
             ExitCode::FAILURE

@@ -438,9 +438,16 @@ pub fn check(baseline_path: &str) -> bool {
             }
         }
     } else {
+        // Spell out both CPU counts so a skipped guard is auditable from
+        // the CI log alone: the detected count explains *why* this run
+        // skipped, the baseline's recorded count shows what the checked-in
+        // measurement ran on.
+        let base_cpus = json_f64_field(&baseline, "host_cpus")
+            .map_or_else(|| "unrecorded".to_string(), |c| format!("{c:.0}"));
         println!(
-            "check-ingest: SKIPPED striped>batched crossover guard — single-CPU host \
-             (available_parallelism = {}); the guard is enforced on multi-core runners",
+            "check-ingest: SKIPPED striped>batched crossover guard — single-CPU host: \
+             detected host_cpus = {} (baseline recorded host_cpus = {base_cpus}); \
+             the guard is enforced on multi-core runners",
             meas.host_cpus
         );
     }

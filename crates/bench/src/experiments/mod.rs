@@ -1,4 +1,4 @@
-//! Experiments E1–E12 (see DESIGN.md's per-experiment index).
+//! Experiments E1–E23 (see DESIGN.md's per-experiment index).
 //!
 //! Each module prints one or more tables; `run_all` executes the suite in
 //! order. `quick` trims trial counts and sweep grids for CI-speed runs.
@@ -25,11 +25,12 @@ pub mod e19_query;
 pub mod e20_chaos;
 pub mod e21_service;
 pub mod e22_trace;
+pub mod e23_hybrid;
 
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21", "e22",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23",
 ];
 
 /// Runs one experiment by id. Returns false for an unknown id.
@@ -57,6 +58,7 @@ pub fn run(id: &str, quick: bool) -> bool {
         "e20" => e20_chaos::run(quick),
         "e21" => e21_service::run(quick),
         "e22" => e22_trace::run(quick),
+        "e23" => e23_hybrid::run(quick),
         _ => return false,
     }
     true

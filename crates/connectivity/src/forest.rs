@@ -344,7 +344,12 @@ impl SpanningForestSketch {
 
     /// Validates one edge exactly as [`try_update`](Self::try_update) does,
     /// without touching any state.
-    fn validate_edge(&self, e: &HyperEdge) -> SketchResult<()> {
+    ///
+    /// Public so wrappers that buffer updates before forwarding them (the
+    /// hybrid sparse/sketch backend in `dgs-core`) can accept and reject
+    /// *exactly* the streams this sketch would — a buffered prefix that was
+    /// never validated here could poison a later spill replay.
+    pub fn validate_edge(&self, e: &HyperEdge) -> SketchResult<()> {
         if e.cardinality() > self.space.max_rank() {
             return Err(SketchError::invalid(format!(
                 "edge of rank {} exceeds the space's rank bound {}",

@@ -225,6 +225,29 @@ impl Recoverable for SpanningForestSketch {
     }
 }
 
+impl Recoverable for crate::HybridConnectivitySketch {
+    fn apply_update(&mut self, u: &Update) -> SketchResult<()> {
+        self.try_update(&u.edge, u.op.delta())
+    }
+
+    fn apply_batch(&mut self, batch: &[Update]) -> Result<(), (usize, SketchError)> {
+        let pairs: Vec<(dgs_hypergraph::HyperEdge, i64)> = batch
+            .iter()
+            .map(|u| (u.edge.clone(), u.op.delta()))
+            .collect();
+        if self.try_update_batch(&pairs).is_ok() {
+            return Ok(());
+        }
+        // Like the forest: the hybrid validates the whole batch before
+        // touching the buffer or the sketch, so a failed batch left no
+        // state behind and the scalar loop can locate the offending index.
+        for (i, u) in batch.iter().enumerate() {
+            self.apply_update(u).map_err(|e| (i, e))?;
+        }
+        Ok(())
+    }
+}
+
 /// Why a particular snapshot file was rejected. Internal to the ladder —
 /// rejected snapshots are skipped and counted, not surfaced as errors
 /// (unless *no* rung of the ladder succeeds).

@@ -51,6 +51,12 @@ impl BatchableSketch for dgs_connectivity::SpanningForestSketch {
     }
 }
 
+impl BatchableSketch for crate::HybridConnectivitySketch {
+    fn try_apply_batch(&mut self, batch: &[(HyperEdge, i64)]) -> SketchResult<()> {
+        self.try_update_batch(batch)
+    }
+}
+
 impl BatchableSketch for dgs_connectivity::KSkeletonSketch {}
 impl BatchableSketch for crate::VertexConnSketch {}
 impl BatchableSketch for crate::EdgeConnSketch {}
@@ -105,6 +111,12 @@ impl IngestMetrics {
 
 #[derive(Debug)]
 pub struct ShardedIngestor<S> {
+    /// Boosted repetitions in **stripe-major** physical order: stripe 0's
+    /// repetitions first (logical indices `0, stripes, 2·stripes, …`), then
+    /// stripe 1's, and so on. Keeping each stripe's partition contiguous
+    /// lets [`flush`](Self::flush) hand every pool worker a
+    /// `split_at_mut` slice — no per-flush partition `Vec`s — while
+    /// [`finish`](Self::finish) un-permutes back to logical (seed) order.
     repetitions: Vec<S>,
     /// Stripe (worker) count: `min(threads, repetitions)`, clamped **once**
     /// at construction. Metrics shard counters and flush fan-out both read
@@ -118,6 +130,15 @@ pub struct ShardedIngestor<S> {
     /// Kept to re-attach the striping pool's own metrics on every flush
     /// (idempotent after the first — see [`dgs_pool::StickyPool::set_sink`]).
     sink: MetricsSink,
+    /// Per-stripe flush results, kept across flush cycles (like
+    /// `DecodeScratch`) so steady-state flushes allocate nothing.
+    results: Vec<SketchResult<()>>,
+}
+
+/// Logical (seed-order) indices in stripe-major order: stripe `t` owns
+/// logical repetitions `t, t + stripes, t + 2·stripes, …`.
+fn stripe_major_order(n: usize, stripes: usize) -> impl Iterator<Item = usize> {
+    (0..stripes).flat_map(move |t| (t..n).step_by(stripes))
 }
 
 impl<S: BatchableSketch> ShardedIngestor<S> {
@@ -133,14 +154,22 @@ impl<S: BatchableSketch> ShardedIngestor<S> {
         assert!(threads >= 1, "need at least one thread");
         assert!(batch_size >= 1, "need a positive batch size");
         let stripes = threads.min(repetitions.len());
+        let n = repetitions.len();
+        // Permute into stripe-major physical order (see the field docs);
+        // identity when stripes == 1.
+        let mut slots: Vec<Option<S>> = repetitions.into_iter().map(Some).collect();
+        let mut reordered: Vec<S> = Vec::with_capacity(n);
+        reordered.extend(stripe_major_order(n, stripes).filter_map(|i| slots[i].take()));
+        debug_assert_eq!(reordered.len(), n);
         ShardedIngestor {
-            repetitions,
+            repetitions: reordered,
             stripes,
             batch_size,
             buffer: Vec::with_capacity(batch_size),
             ingested: 0,
             metrics: IngestMetrics::default(),
             sink: MetricsSink::null(),
+            results: Vec::with_capacity(stripes),
         }
     }
 
@@ -225,28 +254,32 @@ impl<S: BatchableSketch> ShardedIngestor<S> {
             return Ok(());
         }
         let timer = self.metrics.flush_ns.start_timer();
-        let batch = std::mem::take(&mut self.buffer);
+        let mut batch = std::mem::take(&mut self.buffer);
         let stripes = self.stripes;
+        let n = self.repetitions.len();
         if stripes <= 1 {
             for s in &mut self.repetitions {
                 s.try_apply_batch(&batch)?;
             }
             if let Some(c) = self.metrics.shard_updates.first() {
-                c.add(batch.len() as u64 * self.repetitions.len() as u64);
+                c.add(batch.len() as u64 * n as u64);
             }
         } else {
-            let mut stripe_reps: Vec<Vec<&mut S>> = (0..stripes).map(|_| Vec::new()).collect();
-            for (i, s) in self.repetitions.iter_mut().enumerate() {
-                stripe_reps[i % stripes].push(s);
-            }
-            let mut results: Vec<SketchResult<()>> = (0..stripes).map(|_| Ok(())).collect();
+            // The repetitions already sit in stripe-major order, so the
+            // partition is `stripes` contiguous `split_at_mut` slices —
+            // nothing is allocated here in steady state (the results
+            // scratch keeps its capacity across flush cycles).
+            self.results.clear();
+            self.results.extend((0..stripes).map(|_| Ok(())));
             let metrics = &self.metrics;
+            let mut rest: &mut [S] = &mut self.repetitions;
             dgs_pool::with_local_pool(stripes, |pool| {
                 pool.set_sink(&self.sink);
                 pool.scope(|scope| {
-                    for ((t, stripe), result) in
-                        stripe_reps.into_iter().enumerate().zip(results.iter_mut())
-                    {
+                    for (t, result) in self.results.iter_mut().enumerate() {
+                        let len = n / stripes + usize::from(t < n % stripes);
+                        let (stripe, tail) = std::mem::take(&mut rest).split_at_mut(len);
+                        rest = tail;
                         let batch = &batch;
                         let shard_counter = metrics.shard_updates.get(t).cloned();
                         scope.spawn(t, move || {
@@ -256,7 +289,7 @@ impl<S: BatchableSketch> ShardedIngestor<S> {
                             let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
                                 || -> SketchResult<()> {
                                     let applied = batch.len() as u64 * stripe.len() as u64;
-                                    for s in stripe {
+                                    for s in stripe.iter_mut() {
                                         s.try_apply_batch(batch)?;
                                     }
                                     if let Some(c) = shard_counter {
@@ -275,23 +308,35 @@ impl<S: BatchableSketch> ShardedIngestor<S> {
                     }
                 });
             });
-            for r in results {
-                r?;
+            for r in self.results.iter_mut() {
+                std::mem::replace(r, Ok(()))?;
             }
         }
         self.ingested += batch.len() as u64;
         self.metrics.updates.add(batch.len() as u64);
         self.metrics.queue_depth.set(0);
         timer.observe();
-        self.buffer = Vec::with_capacity(self.batch_size);
+        // Hand the drained batch Vec back to the buffer: its capacity is
+        // reused by the next fill instead of being reallocated every flush.
+        batch.clear();
+        self.buffer = batch;
         Ok(())
     }
 
     /// Flushes the remaining buffer and returns the repetitions wrapped in
-    /// a [`BoostedQuery`].
+    /// a [`BoostedQuery`], un-permuted back to logical (seed) order.
     pub fn finish(mut self) -> SketchResult<BoostedQuery<S>> {
         self.flush()?;
-        Ok(BoostedQuery::from_repetitions(self.repetitions))
+        let n = self.repetitions.len();
+        let stripes = self.stripes;
+        let mut slots: Vec<Option<S>> = (0..n).map(|_| None).collect();
+        let mut physical = self.repetitions.into_iter();
+        for i in stripe_major_order(n, stripes) {
+            slots[i] = physical.next();
+        }
+        let logical: Vec<S> = slots.into_iter().flatten().collect();
+        debug_assert_eq!(logical.len(), n);
+        Ok(BoostedQuery::from_repetitions(logical))
     }
 }
 

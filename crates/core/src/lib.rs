@@ -30,6 +30,8 @@ pub mod boost;
 pub mod checkpoint;
 pub mod edge_conn;
 #[deny(clippy::unwrap_used, clippy::expect_used)]
+pub mod hybrid;
+#[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod ingest;
 pub mod reconstruct;
 #[deny(clippy::unwrap_used, clippy::expect_used)]
@@ -47,6 +49,7 @@ pub use checkpoint::{
     RecoveryDriver, RecoveryError,
 };
 pub use edge_conn::EdgeConnSketch;
+pub use hybrid::{HybridConfig, HybridConnectivitySketch, HybridMode};
 pub use ingest::{BatchableSketch, ShardedIngestor};
 pub use reconstruct::{LightRecovery, LightRecoverySketch};
 pub use service::{

@@ -604,6 +604,87 @@ mod tests {
     }
 
     #[test]
+    fn zero_job_drain_barrier_on_a_multi_worker_pool() {
+        // The drain barrier must complete with *zero* submitted jobs — no
+        // worker ever posts a finish_one, so the waiter can only return if
+        // the zero-pending case short-circuits — and it must do so
+        // repeatedly, interleaved with real work, without waking workers
+        // into phantom jobs.
+        let reg = dgs_obs::Registry::new();
+        let pool = StickyPool::new(4);
+        pool.set_sink(&reg.sink());
+        for round in 0..3 {
+            let r = pool.scope(|_| round);
+            assert_eq!(r, round);
+            let mut ran = 0u32;
+            pool.scope(|scope| {
+                let cell = &mut ran;
+                scope.spawn(round, move || *cell += 1);
+            });
+            assert_eq!(ran, 1, "round {round}: pool must stay usable");
+        }
+        // Exactly the 3 real jobs executed; the 3 empty scopes contributed
+        // nothing to any worker's busy histogram.
+        let busy_total: u64 = (0..4)
+            .map(|w| {
+                reg.histogram_stats(&format!("dgs_pool_worker_busy_ns{{worker=\"{w}\"}}"))
+                    .map_or(0, |s| s.count)
+            })
+            .sum();
+        assert_eq!(busy_total, 3);
+    }
+
+    #[test]
+    fn panic_mid_drain_still_runs_every_queued_job() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        // A job that panics *mid-drain* — with more jobs queued behind it
+        // on its own mailbox and on a sibling worker — must not abort the
+        // drain: panics are caught per job, every other job still runs,
+        // and the panic is re-raised only once the barrier has fully
+        // drained.
+        let pool = StickyPool::new(2);
+        let ran = AtomicU32::new(0);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|scope| {
+                let ran = &ran;
+                scope.spawn(0, move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                });
+                scope.spawn(0, || panic!("mid-drain boom"));
+                // Queued behind the panicking job on the same mailbox.
+                scope.spawn(0, move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                });
+                // And concurrent work on the sibling worker.
+                scope.spawn(1, move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                });
+                scope.spawn(1, move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        }));
+        assert!(caught.is_err(), "the panic must surface at the barrier");
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            4,
+            "every non-panicking job must have run to completion"
+        );
+        // The pool survives and keeps serving both workers.
+        let mut ok = 0u32;
+        pool.scope(|scope| {
+            let cell = &mut ok;
+            scope.spawn(0, move || *cell += 1);
+        });
+        let mut ok2 = 0u32;
+        pool.scope(|scope| {
+            let cell = &mut ok2;
+            scope.spawn(1, move || *cell += 1);
+        });
+        assert_eq!((ok, ok2), (1, 1));
+    }
+
+    #[test]
     fn local_pool_is_cached_and_grows() {
         let t1 = with_local_pool(2, |p| {
             assert!(p.threads() >= 2);

@@ -58,11 +58,12 @@ pub mod prelude {
     pub use dgs_core::{
         BatchableSketch, BoostedQuery, BreakerConfig, BrownoutConfig, CheckpointConfig,
         CheckpointStore, CheckpointedIngestor, ConnectivityService, EnsembleOutcome,
-        FrozenEnsemble, HypergraphSparsifier, LightRecoverySketch, Overload, QueryBudget,
-        QueryOutcome, QueryPolicy, QueryRequest, QueryResponse, Recoverable, Recovered,
-        RecoveryDriver, RecoveryError, ServiceConfig, ServiceError, ShardState, ShardedIngestor,
-        SparsifierConfig, SupervisedAnswer, SupervisedIngestor, SupervisorConfig,
-        TokenBucketConfig, VertexConnConfig, VertexConnSketch,
+        FrozenEnsemble, HybridConfig, HybridConnectivitySketch, HybridMode, HypergraphSparsifier,
+        LightRecoverySketch, Overload, QueryBudget, QueryOutcome, QueryPolicy, QueryRequest,
+        QueryResponse, Recoverable, Recovered, RecoveryDriver, RecoveryError, ServiceConfig,
+        ServiceError, ShardState, ShardedIngestor, SparsifierConfig, SupervisedAnswer,
+        SupervisedIngestor, SupervisorConfig, TokenBucketConfig, VertexConnConfig,
+        VertexConnSketch,
     };
     pub use dgs_field::prng::{Rng, SeedableRng, SliceRandom, StdRng};
     pub use dgs_field::SeedTree;
